@@ -1,0 +1,57 @@
+//! Ablation of the two-level parallelization scheme (Figs. 2–3):
+//!
+//! * outer level only — candidates in parallel, edges sequential,
+//! * inner level only — candidates sequential, edges in parallel,
+//! * both levels — the full scheme,
+//! * neither — fully serial.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qaoa::Backend;
+use qarchsearch::search::{ParallelSearch, SerialSearch};
+use qarchsearch_bench::HarnessParams;
+
+fn bench_two_level(c: &mut Criterion) {
+    let params = HarnessParams::tiny();
+    let graphs = params.er_dataset();
+
+    let mut group = c.benchmark_group("ablation_two_level");
+    group.sample_size(10);
+
+    let mut base = params.search_config(None);
+    base.max_depth = 1;
+
+    // Fully serial: serial scheduler + sequential edge evaluation.
+    let mut serial_cfg = base.clone();
+    serial_cfg.evaluator.backend = Backend::TensorNetworkSequential;
+    group.bench_function("neither", |b| {
+        b.iter(|| SerialSearch::new(serial_cfg.clone()).run(&graphs).unwrap());
+    });
+
+    // Inner only: serial scheduler, parallel edges.
+    let mut inner_cfg = base.clone();
+    inner_cfg.evaluator.backend = Backend::TensorNetwork;
+    group.bench_function("inner_only", |b| {
+        b.iter(|| SerialSearch::new(inner_cfg.clone()).run(&graphs).unwrap());
+    });
+
+    // Outer only: parallel scheduler, sequential edges.
+    let mut outer_cfg = base.clone();
+    outer_cfg.evaluator.backend = Backend::TensorNetworkSequential;
+    outer_cfg.threads = Some(4);
+    group.bench_function("outer_only", |b| {
+        b.iter(|| ParallelSearch::new(outer_cfg.clone()).run(&graphs).unwrap());
+    });
+
+    // Both levels.
+    let mut both_cfg = base.clone();
+    both_cfg.evaluator.backend = Backend::TensorNetwork;
+    both_cfg.threads = Some(4);
+    group.bench_function("both", |b| {
+        b.iter(|| ParallelSearch::new(both_cfg.clone()).run(&graphs).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_two_level);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Ablation: dense state-vector backend vs tensor-network backend for one
+//! QAOA energy evaluation (the design choice called out in DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qaoa::ansatz::QaoaAnsatz;
+use qaoa::energy::EnergyEvaluator;
+use qaoa::mixer::Mixer;
+use qaoa::Backend;
+
+fn bench_backend_compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_compare");
+    group.sample_size(10);
+
+    for n in [8usize, 10, 12] {
+        let graph = graphs::Graph::connected_erdos_renyi(n, 0.4, 5, 50);
+        let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::qnas());
+        for backend in [Backend::StateVector, Backend::TensorNetwork] {
+            let eval = EnergyEvaluator::new(&graph, backend);
+            group.bench_with_input(
+                BenchmarkId::new(backend.to_string(), n),
+                &n,
+                |b, _| {
+                    b.iter(|| eval.energy(&ansatz, &[0.4], &[0.3]).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backend_compare);
+criterion_main!(benches);

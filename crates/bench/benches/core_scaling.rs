@@ -1,0 +1,33 @@
+//! Criterion companion to Fig. 5: parallel search time at p = 2 as the outer
+//! thread-pool size grows, with the serial scheduler as the reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qarchsearch::search::{ParallelSearch, SerialSearch};
+use qarchsearch_bench::HarnessParams;
+
+fn bench_core_scaling(c: &mut Criterion) {
+    let params = HarnessParams::tiny();
+    let graph = graphs::Graph::connected_erdos_renyi(params.num_nodes, 0.5, params.seed, 50);
+    let graphs = vec![graph];
+
+    let mut group = c.benchmark_group("fig5_core_scaling");
+    group.sample_size(10);
+
+    let mut serial_config = params.search_config(None);
+    serial_config.max_depth = 2;
+    group.bench_function("serial_reference", |b| {
+        b.iter(|| SerialSearch::new(serial_config.clone()).run(&graphs).unwrap());
+    });
+
+    for threads in [1usize, 2, 4] {
+        let mut config = params.search_config(Some(threads));
+        config.max_depth = 2;
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, _| {
+            b.iter(|| ParallelSearch::new(config.clone()).run(&graphs).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_core_scaling);
+criterion_main!(benches);

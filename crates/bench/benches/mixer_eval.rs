@@ -1,0 +1,31 @@
+//! Criterion companion to Figs. 7–9: cost of training each candidate mixer at
+//! p = 1 on a 4-regular graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qaoa::mixer::Mixer;
+use qaoa::Backend;
+use qarchsearch::evaluator::{Evaluator, EvaluatorConfig};
+
+fn bench_mixer_eval(c: &mut Criterion) {
+    let graph = graphs::Graph::random_regular(8, 4, 3).expect("regular graph");
+    let evaluator = Evaluator::new(EvaluatorConfig {
+        backend: Backend::TensorNetwork,
+        budget: 20,
+        ..EvaluatorConfig::default()
+    });
+
+    let mut group = c.benchmark_group("fig7_mixer_eval");
+    group.sample_size(10);
+
+    let mut mixers = Mixer::fig7_candidates();
+    mixers.push(Mixer::baseline());
+    for mixer in mixers {
+        group.bench_with_input(BenchmarkId::new("train_p1", mixer.label()), &mixer, |b, m| {
+            b.iter(|| evaluator.evaluate_on_graph(&graph, m, 1).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mixer_eval);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Ablation: classical optimizer choice (COBYLA vs Nelder–Mead vs SPSA vs
+//! random search) at a fixed evaluation budget for the QAOA evaluator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optim::OptimizerKind;
+use qaoa::mixer::Mixer;
+use qaoa::Backend;
+use qarchsearch::evaluator::{Evaluator, EvaluatorConfig};
+
+fn bench_optimizer_compare(c: &mut Criterion) {
+    let graph = graphs::Graph::connected_erdos_renyi(8, 0.5, 23, 50);
+
+    let mut group = c.benchmark_group("optimizer_compare");
+    group.sample_size(10);
+
+    for kind in [
+        OptimizerKind::Cobyla,
+        OptimizerKind::NelderMead,
+        OptimizerKind::Spsa,
+        OptimizerKind::RandomSearch,
+    ] {
+        let evaluator = Evaluator::new(EvaluatorConfig {
+            backend: Backend::TensorNetwork,
+            optimizer: kind,
+            budget: 25,
+            ..EvaluatorConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::new("train_p1", kind.to_string()), &kind, |b, _| {
+            b.iter(|| evaluator.evaluate_on_graph(&graph, &Mixer::baseline(), 1).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer_compare);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Ablation: contraction-ordering heuristics (greedy min-degree vs min-fill
+//! vs natural order) for the tensor networks produced by QAOA expectation
+//! values.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qaoa::ansatz::QaoaAnsatz;
+use qaoa::mixer::Mixer;
+use tensornet::{OrderingHeuristic, TensorNetwork};
+
+fn bench_ordering_compare(c: &mut Criterion) {
+    let graph = graphs::Graph::connected_erdos_renyi(10, 0.4, 17, 50);
+    let ansatz = QaoaAnsatz::new(&graph, 2, Mixer::qnas());
+    let circuit = ansatz.bind(&[0.4, 0.2], &[0.3, 0.1]).expect("bind");
+    let edge = graph.edges()[0];
+    let network = TensorNetwork::for_diagonal_expectation(
+        &circuit,
+        &[(edge.u, [1.0, -1.0]), (edge.v, [1.0, -1.0])],
+    )
+    .expect("network");
+
+    let mut group = c.benchmark_group("ordering_compare");
+    group.sample_size(20);
+
+    for (name, heuristic) in [
+        ("min-degree", OrderingHeuristic::MinDegree),
+        ("min-fill", OrderingHeuristic::MinFill),
+        ("natural", OrderingHeuristic::Natural),
+    ] {
+        group.bench_with_input(BenchmarkId::new("contract", name), &heuristic, |b, h| {
+            b.iter(|| network.contract_with_heuristic(*h).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ordering_compare);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion companion to Fig. 4: serial vs parallel search time as a
+//! function of the QAOA depth `p`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qarchsearch::search::{ParallelSearch, SerialSearch};
+use qarchsearch_bench::HarnessParams;
+
+fn bench_search_depth(c: &mut Criterion) {
+    let params = HarnessParams::tiny();
+    let graphs = params.er_dataset();
+
+    let mut group = c.benchmark_group("fig4_search_depth");
+    group.sample_size(10);
+
+    for p in 1..=params.p_max {
+        let mut config = params.search_config(None);
+        config.max_depth = p;
+
+        group.bench_with_input(BenchmarkId::new("serial", p), &p, |b, _| {
+            b.iter(|| SerialSearch::new(config.clone()).run(&graphs).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", p), &p, |b, _| {
+            b.iter(|| ParallelSearch::new(config.clone()).run(&graphs).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_depth);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Fig. 4: time to simulate circuits with serial and parallel architecture
+//! search, as a function of the QAOA depth `p`, averaged over several runs on
+//! different Erdős–Rényi graphs.
+//!
+//! Paper shape: serial time grows roughly quadratically with `p` (since
+//! `p ≈ k`), the parallel search is >50% faster across the sweep.
+//!
+//! ```text
+//! cargo run --release -p qarchsearch-bench --bin fig4_serial_vs_parallel
+//! QAS_PAPER_SCALE=1 cargo run --release -p qarchsearch-bench --bin fig4_serial_vs_parallel
+//! ```
+
+use qarchsearch_bench::{emit, FigureReport, HarnessParams};
+use qarchsearch::search::{ParallelSearch, SerialSearch};
+
+fn main() {
+    let params = HarnessParams::from_env();
+    let mut report = FigureReport::new("fig4", "p", "time_to_simulate_seconds");
+
+    for run in 0..params.runs {
+        // Each run uses a different slice of ER graphs, as in the paper
+        // ("averaged over five separate runs ... on different Erdős-Renyi
+        // graphs").
+        let seed = params.seed + run as u64 * 1000;
+        let graphs = graphs::datasets::erdos_renyi_dataset(
+            params.num_graphs,
+            params.num_nodes,
+            seed,
+        );
+
+        for p in 1..=params.p_max {
+            let mut config = params.search_config(None);
+            config.max_depth = p;
+
+            let serial_outcome = SerialSearch::new(config.clone()).run(&graphs).expect("serial search");
+            // The per-depth time of the deepest level is the cost of adding
+            // that depth; Fig. 4 plots the time to search at depth p.
+            let serial_time = serial_outcome.elapsed_at_depth(p).unwrap_or(0.0);
+
+            let parallel_outcome =
+                ParallelSearch::new(config).run(&graphs).expect("parallel search");
+            let parallel_time = parallel_outcome.elapsed_at_depth(p).unwrap_or(0.0);
+
+            report.push("serial", p as f64, serial_time);
+            report.push("parallel", p as f64, parallel_time);
+
+            eprintln!(
+                "[fig4] run {run} p={p}: serial {serial_time:.3}s parallel {parallel_time:.3}s \
+                 (best mixer serial {}, parallel {})",
+                serial_outcome.best.mixer_label, parallel_outcome.best.mixer_label
+            );
+        }
+    }
+
+    // Also print per-depth averages over the runs, which is what the figure plots.
+    let mut averaged = FigureReport::new("fig4-averaged", "p", "time_to_simulate_seconds");
+    for series in ["serial", "parallel"] {
+        for p in 1..=params.p_max {
+            let ys: Vec<f64> = report
+                .points
+                .iter()
+                .filter(|pt| pt.series == series && (pt.x - p as f64).abs() < 1e-9)
+                .map(|pt| pt.y)
+                .collect();
+            if !ys.is_empty() {
+                averaged.push(series, p as f64, ys.iter().sum::<f64>() / ys.len() as f64);
+            }
+        }
+    }
+
+    emit(&report);
+    emit(&averaged);
+}

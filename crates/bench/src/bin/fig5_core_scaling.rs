@@ -1,0 +1,48 @@
+//! Fig. 5: time to search one graph at `p = 2` as the number of cores
+//! available to the parallel scheduler is swept (8..64 in steps of 8 in the
+//! paper), with the serial time as the reference line.
+//!
+//! Paper shape: the parallel search makes good use of additional cores and is
+//! markedly faster than the serial search at every core count.
+//!
+//! ```text
+//! cargo run --release -p qarchsearch-bench --bin fig5_core_scaling
+//! QAS_MAX_CORES=64 QAS_PAPER_SCALE=1 cargo run --release -p qarchsearch-bench --bin fig5_core_scaling
+//! ```
+
+use qarchsearch_bench::{emit, FigureReport, HarnessParams};
+use qarchsearch::search::{ParallelSearch, SerialSearch};
+
+fn main() {
+    let params = HarnessParams::from_env();
+    // One ER graph, p = 2, as in the paper.
+    let graph = graphs::Graph::connected_erdos_renyi(params.num_nodes, 0.5, params.seed, 50);
+    let graphs = vec![graph];
+    let depth = 2.min(params.p_max.max(1));
+
+    let mut config = params.search_config(None);
+    config.max_depth = depth;
+
+    let serial_outcome = SerialSearch::new(config.clone()).run(&graphs).expect("serial search");
+    let serial_time = serial_outcome.total_elapsed_seconds;
+
+    let mut report = FigureReport::new("fig5", "cores", "time_to_simulate_seconds");
+    report.push("serial", 0.0, serial_time);
+
+    // Paper sweeps 8..=64 step 8; scale the sweep to the machine by default.
+    let step = (params.max_cores / 8).max(1);
+    let mut cores = step;
+    while cores <= params.max_cores {
+        let mut cfg = params.search_config(Some(cores));
+        cfg.max_depth = depth;
+        let outcome = ParallelSearch::new(cfg).run(&graphs).expect("parallel search");
+        report.push("parallel", cores as f64, outcome.total_elapsed_seconds);
+        eprintln!(
+            "[fig5] cores={cores}: {:.3}s (serial reference {:.3}s)",
+            outcome.total_elapsed_seconds, serial_time
+        );
+        cores += step;
+    }
+
+    emit(&report);
+}

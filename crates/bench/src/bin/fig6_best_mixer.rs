@@ -1,0 +1,49 @@
+//! Fig. 6: the best-performing searched mixer circuit for Max-Cut QAOA.
+//!
+//! The paper reports that the search discovers the mixer `RX(2β)·RY(2β)`
+//! applied to every qubit. This binary runs the search on the ER training
+//! dataset and prints the winning mixer as an ASCII circuit over ten qubits,
+//! mirroring the figure.
+//!
+//! ```text
+//! cargo run --release -p qarchsearch-bench --bin fig6_best_mixer
+//! ```
+
+use qarchsearch_bench::HarnessParams;
+use qarchsearch::search::{ParallelSearch, SearchOutcome};
+use qcircuit::{draw_ascii, Circuit, Parameter};
+
+fn mixer_circuit(outcome: &SearchOutcome, num_qubits: usize) -> Circuit {
+    let mut c = Circuit::new(num_qubits);
+    for &gate in &outcome.best.gates {
+        for q in 0..num_qubits {
+            let param = if gate.is_parameterized() {
+                Parameter::free("beta", 2.0)
+            } else {
+                Parameter::None
+            };
+            c.push(gate, &[q], param);
+        }
+    }
+    c
+}
+
+fn main() {
+    let params = HarnessParams::from_env();
+    let graphs = params.er_dataset();
+    let config = params.search_config(None);
+
+    let outcome = ParallelSearch::new(config).run(&graphs).expect("search run");
+
+    println!("# fig6 — best performing searched mixer circuit");
+    println!(
+        "winner: {}  (depth {}, mean energy {:.4}, mean approximation ratio {:.4})",
+        outcome.best.mixer_label, outcome.best.depth, outcome.best.energy, outcome.best.approx_ratio
+    );
+    println!();
+    let circuit = mixer_circuit(&outcome, params.num_nodes);
+    println!("{}", draw_ascii(&circuit));
+    println!(
+        "paper reference: RX(2*beta) followed by RY(2*beta) on each of the 10 qubits — label ('rx', 'ry')"
+    );
+}

@@ -1,0 +1,48 @@
+//! Error types for graph construction and generation.
+
+use thiserror::Error;
+
+/// Errors arising from graph construction or random generation.
+#[derive(Debug, Error, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge references a node outside `0..num_nodes`.
+    #[error("node index {index} out of range for graph with {num_nodes} nodes")]
+    NodeOutOfRange {
+        /// Offending node index.
+        index: usize,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+
+    /// Self-loops are not allowed in Max-Cut instances.
+    #[error("self-loop on node {node} is not allowed")]
+    SelfLoop {
+        /// The node with the self-loop.
+        node: usize,
+    },
+
+    /// A `d`-regular graph with these parameters cannot exist.
+    #[error("no {degree}-regular graph exists on {nodes} nodes (n*d must be even and d < n)")]
+    InfeasibleRegularGraph {
+        /// Requested node count.
+        nodes: usize,
+        /// Requested degree.
+        degree: usize,
+    },
+
+    /// Random regular generation failed after the retry budget.
+    #[error("random regular graph generation failed after {attempts} attempts")]
+    RegularGenerationFailed {
+        /// Number of attempts made.
+        attempts: usize,
+    },
+
+    /// Brute-force Max-Cut was asked for a graph that is too large.
+    #[error("graph with {nodes} nodes is too large for exact enumeration (max {max})")]
+    TooLargeForExact {
+        /// Number of nodes in the graph.
+        nodes: usize,
+        /// Enumeration limit.
+        max: usize,
+    },
+}

@@ -1,0 +1,205 @@
+//! Random and deterministic graph generators.
+//!
+//! The paper's two datasets are Erdős–Rényi and random 4-regular graphs on 10
+//! nodes. Generation is fully seeded (ChaCha8) so every experiment harness run
+//! sees the same instances.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphKind};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+impl Graph {
+    /// Erdős–Rényi `G(n, p)` with a fixed seed.
+    ///
+    /// Each of the `n·(n-1)/2` possible edges is present independently with
+    /// probability `p` (clamped into `[0, 1]`).
+    pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+        let p = p.clamp(0.0, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut g = Graph::empty(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen::<f64>() < p {
+                    g.add_edge(u, v, 1.0).expect("generated edge is valid");
+                }
+            }
+        }
+        g.with_kind(GraphKind::ErdosRenyi)
+    }
+
+    /// Erdős–Rényi `G(n, p)` that is retried until connected (up to
+    /// `max_attempts`); falls back to the last sample when none is connected.
+    ///
+    /// The paper's profiling dataset uses "varying degrees of connectivity";
+    /// for the quality experiments connected instances avoid degenerate cuts.
+    pub fn connected_erdos_renyi(n: usize, p: f64, seed: u64, max_attempts: usize) -> Graph {
+        let mut last = Graph::erdos_renyi(n, p, seed);
+        for attempt in 0..max_attempts {
+            if last.is_connected() {
+                return last;
+            }
+            last = Graph::erdos_renyi(n, p, seed.wrapping_add(1 + attempt as u64));
+        }
+        last
+    }
+
+    /// Random `d`-regular graph via the configuration (pairing) model with
+    /// rejection of self-loops and parallel edges.
+    ///
+    /// Requires `n·d` even and `d < n`. Retries the pairing until a simple
+    /// graph is produced or the attempt budget is exhausted.
+    pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError> {
+        if d >= n || (n * d) % 2 != 0 {
+            return Err(GraphError::InfeasibleRegularGraph { nodes: n, degree: d });
+        }
+        if d == 0 {
+            return Ok(Graph::empty(n).with_kind(GraphKind::RandomRegular));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        const MAX_ATTEMPTS: usize = 2000;
+        for _ in 0..MAX_ATTEMPTS {
+            if let Some(g) = try_configuration_model(n, d, &mut rng) {
+                return Ok(g.with_kind(GraphKind::RandomRegular));
+            }
+        }
+        Err(GraphError::RegularGenerationFailed { attempts: MAX_ATTEMPTS })
+    }
+
+    /// The cycle graph `C_n`.
+    pub fn cycle(n: usize) -> Graph {
+        let mut g = Graph::empty(n);
+        if n >= 3 {
+            for v in 0..n {
+                g.add_edge(v, (v + 1) % n, 1.0).expect("cycle edge valid");
+            }
+        } else if n == 2 {
+            g.add_edge(0, 1, 1.0).expect("cycle edge valid");
+        }
+        g.with_kind(GraphKind::Cycle)
+    }
+
+    /// The complete graph `K_n`.
+    pub fn complete(n: usize) -> Graph {
+        let mut g = Graph::empty(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v, 1.0).expect("complete edge valid");
+            }
+        }
+        g.with_kind(GraphKind::Complete)
+    }
+
+    /// The star graph with `n` nodes (node 0 is the center).
+    pub fn star(n: usize) -> Graph {
+        let mut g = Graph::empty(n);
+        for v in 1..n {
+            g.add_edge(0, v, 1.0).expect("star edge valid");
+        }
+        g.with_kind(GraphKind::Star)
+    }
+}
+
+/// One attempt of the configuration model: create `d` stubs per node, shuffle,
+/// pair consecutive stubs, reject if any self-loop or duplicate edge appears.
+fn try_configuration_model(n: usize, d: usize, rng: &mut ChaCha8Rng) -> Option<Graph> {
+    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    stubs.shuffle(rng);
+    let mut g = Graph::empty(n);
+    for pair in stubs.chunks(2) {
+        let (u, v) = (pair[0], pair[1]);
+        if u == v || g.has_edge(u, v) {
+            return None;
+        }
+        g.add_edge(u, v, 1.0).expect("validated edge");
+    }
+    Some(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_is_seeded_deterministic() {
+        let a = Graph::erdos_renyi(10, 0.5, 123);
+        let b = Graph::erdos_renyi(10, 0.5, 123);
+        assert_eq!(a, b);
+        let c = Graph::erdos_renyi(10, 0.5, 124);
+        // Different seeds almost surely differ for n=10, p=0.5.
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let empty = Graph::erdos_renyi(8, 0.0, 1);
+        assert_eq!(empty.num_edges(), 0);
+        let full = Graph::erdos_renyi(8, 1.0, 1);
+        assert_eq!(full.num_edges(), 8 * 7 / 2);
+    }
+
+    #[test]
+    fn erdos_renyi_density_tracks_p() {
+        // With n=30 and p=0.3 the density should be near 0.3.
+        let g = Graph::erdos_renyi(30, 0.3, 7);
+        assert!((g.density() - 0.3).abs() < 0.12, "density {} too far from p", g.density());
+    }
+
+    #[test]
+    fn random_regular_has_correct_degrees() {
+        for seed in 0..5 {
+            let g = Graph::random_regular(10, 4, seed).unwrap();
+            assert!(g.is_regular(4), "seed {seed} produced a non-4-regular graph");
+            assert_eq!(g.num_edges(), 10 * 4 / 2);
+        }
+    }
+
+    #[test]
+    fn random_regular_rejects_infeasible() {
+        assert!(matches!(
+            Graph::random_regular(5, 3, 0),
+            Err(GraphError::InfeasibleRegularGraph { .. })
+        ));
+        assert!(matches!(
+            Graph::random_regular(4, 4, 0),
+            Err(GraphError::InfeasibleRegularGraph { .. })
+        ));
+    }
+
+    #[test]
+    fn random_regular_zero_degree() {
+        let g = Graph::random_regular(6, 0, 3).unwrap();
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn connected_erdos_renyi_usually_connected() {
+        let g = Graph::connected_erdos_renyi(10, 0.4, 99, 50);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn cycle_complete_star_shapes() {
+        let c = Graph::cycle(6);
+        assert!(c.is_regular(2));
+        assert_eq!(c.num_edges(), 6);
+
+        let k = Graph::complete(5);
+        assert!(k.is_regular(4));
+        assert_eq!(k.num_edges(), 10);
+
+        let s = Graph::star(5);
+        assert_eq!(s.degree(0), 4);
+        assert_eq!(s.degree(1), 1);
+        assert_eq!(s.num_edges(), 4);
+    }
+
+    #[test]
+    fn small_cycles() {
+        assert_eq!(Graph::cycle(0).num_edges(), 0);
+        assert_eq!(Graph::cycle(1).num_edges(), 0);
+        assert_eq!(Graph::cycle(2).num_edges(), 1);
+        assert_eq!(Graph::cycle(3).num_edges(), 3);
+    }
+}

@@ -1,0 +1,315 @@
+//! A COBYLA-style linear-approximation trust-region minimizer.
+//!
+//! Powell's COBYLA (Constrained Optimization BY Linear Approximations)
+//! maintains a simplex of `n + 1` points, fits a linear model of the
+//! objective over that simplex, and minimizes the model inside a trust
+//! region whose radius shrinks as the optimization progresses. QArchSearch
+//! uses SciPy's COBYLA with a 200-iteration budget to train each candidate
+//! circuit; the reproduction only needs the unconstrained variant (QAOA
+//! angles are periodic, so box constraints are unnecessary), which is what
+//! this implementation provides.
+//!
+//! The implementation follows the classical structure:
+//!
+//! 1. build an initial simplex around the start point with edge length
+//!    `rho_begin`,
+//! 2. fit the linear interpolant through the simplex vertices (solved here by
+//!    Gaussian elimination on the simplex edge matrix),
+//! 3. step from the best vertex along the negated model gradient, clipped to
+//!    the trust-region radius,
+//! 4. replace the worst vertex when the step improves the objective,
+//!    otherwise shrink the trust region, and
+//! 5. stop when the radius reaches `rho_end` or the evaluation budget is
+//!    exhausted.
+
+use crate::result::{OptimizationResult, OptimizationTrace};
+use crate::Optimizer;
+
+/// COBYLA-style linear trust-region optimizer.
+#[derive(Debug, Clone)]
+pub struct CobylaOptimizer {
+    /// Initial trust-region radius (also the initial simplex edge length).
+    pub rho_begin: f64,
+    /// Final trust-region radius; reaching it counts as convergence.
+    pub rho_end: f64,
+    /// Trust-region shrink factor applied when a step fails to improve.
+    pub shrink: f64,
+}
+
+impl Default for CobylaOptimizer {
+    fn default() -> Self {
+        CobylaOptimizer { rho_begin: 0.5, rho_end: 1e-6, shrink: 0.5 }
+    }
+}
+
+impl CobylaOptimizer {
+    /// Optimizer with explicit initial/final trust-region radii.
+    pub fn new(rho_begin: f64, rho_end: f64) -> Self {
+        CobylaOptimizer { rho_begin, rho_end, shrink: 0.5 }
+    }
+}
+
+/// Solve the linear system `A x = b` with partial pivoting. Returns `None`
+/// for (numerically) singular systems.
+fn solve_linear(a: &mut Vec<Vec<f64>>, b: &mut Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot selection.
+        let mut pivot = col;
+        for row in (col + 1)..n {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col].abs() < 1e-14 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Elimination.
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for k in (row + 1)..n {
+            sum -= a[row][k] * x[k];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Some(x)
+}
+
+impl Optimizer for CobylaOptimizer {
+    fn minimize(
+        &self,
+        objective: &(dyn Fn(&[f64]) -> f64 + Sync),
+        initial: &[f64],
+        max_evaluations: usize,
+    ) -> OptimizationResult {
+        let n = initial.len();
+        let budget = max_evaluations.max(1);
+        let mut trace = OptimizationTrace::new();
+        let eval = |x: &[f64], trace: &mut OptimizationTrace| {
+            let v = objective(x);
+            trace.record(v);
+            v
+        };
+
+        if n == 0 {
+            let v = eval(initial, &mut trace);
+            return OptimizationResult::from_trace(initial.to_vec(), v, true, trace);
+        }
+
+        // Simplex vertices and values; vertex 0 starts as the initial point.
+        let mut vertices: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+        let mut values: Vec<f64> = Vec::with_capacity(n + 1);
+        vertices.push(initial.to_vec());
+        values.push(eval(initial, &mut trace));
+        for i in 0..n {
+            if trace.len() >= budget {
+                break;
+            }
+            let mut x = initial.to_vec();
+            x[i] += self.rho_begin;
+            values.push(eval(&x, &mut trace));
+            vertices.push(x);
+        }
+
+        let best_index = |values: &[f64]| {
+            values
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        };
+
+        if vertices.len() < n + 1 {
+            let bi = best_index(&values);
+            return OptimizationResult::from_trace(vertices[bi].clone(), values[bi], false, trace);
+        }
+
+        let mut rho = self.rho_begin;
+        let mut converged = false;
+
+        while trace.len() < budget {
+            if rho <= self.rho_end {
+                converged = true;
+                break;
+            }
+            let bi = best_index(&values);
+            let best_point = vertices[bi].clone();
+            let best_value = values[bi];
+
+            // Linear model: f(x) ≈ f(x_best) + g·(x - x_best), where g solves
+            // the interpolation conditions on the other n vertices.
+            let mut a: Vec<Vec<f64>> = Vec::with_capacity(n);
+            let mut b: Vec<f64> = Vec::with_capacity(n);
+            for (j, (vertex, &value)) in vertices.iter().zip(values.iter()).enumerate() {
+                if j == bi {
+                    continue;
+                }
+                let row: Vec<f64> = vertex.iter().zip(&best_point).map(|(x, y)| x - y).collect();
+                a.push(row);
+                b.push(value - best_value);
+            }
+
+            let gradient = match solve_linear(&mut a, &mut b) {
+                Some(g) => g,
+                None => {
+                    // Degenerate simplex: rebuild it around the best point
+                    // with the current radius.
+                    let mut rebuilt_any = false;
+                    for i in 0..n {
+                        if trace.len() >= budget {
+                            break;
+                        }
+                        let mut x = best_point.clone();
+                        x[i] += rho;
+                        let v = eval(&x, &mut trace);
+                        // Replace the i-th non-best vertex.
+                        let target = if i < bi { i } else { i + 1 };
+                        vertices[target] = x;
+                        values[target] = v;
+                        rebuilt_any = true;
+                    }
+                    if !rebuilt_any {
+                        break;
+                    }
+                    continue;
+                }
+            };
+
+            let grad_norm = gradient.iter().map(|g| g * g).sum::<f64>().sqrt();
+            if grad_norm < 1e-14 {
+                // Flat model: shrink and retry.
+                rho *= self.shrink;
+                continue;
+            }
+
+            // Candidate step: steepest descent on the model, trust-region length.
+            let candidate: Vec<f64> = best_point
+                .iter()
+                .zip(&gradient)
+                .map(|(x, g)| x - rho * g / grad_norm)
+                .collect();
+            if trace.len() >= budget {
+                break;
+            }
+            let candidate_value = eval(&candidate, &mut trace);
+
+            if candidate_value < best_value - 1e-14 {
+                // Accept: replace the worst vertex.
+                let wi = values
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                vertices[wi] = candidate;
+                values[wi] = candidate_value;
+            } else {
+                // Reject: shrink the trust region and refresh the simplex
+                // around the best point at the new scale.
+                rho *= self.shrink;
+                for i in 0..n {
+                    if trace.len() >= budget {
+                        break;
+                    }
+                    let target = if i < bi { i } else { i + 1 };
+                    let mut x = best_point.clone();
+                    x[i] += rho;
+                    let v = eval(&x, &mut trace);
+                    vertices[target] = x;
+                    values[target] = v;
+                }
+            }
+        }
+
+        let bi = best_index(&values);
+        OptimizationResult::from_trace(vertices[bi].clone(), values[bi], converged, trace)
+    }
+
+    fn name(&self) -> &'static str {
+        "cobyla"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_linear_simple_system() {
+        let mut a = vec![vec![2.0, 0.0], vec![0.0, 4.0]];
+        let mut b = vec![2.0, 8.0];
+        let x = solve_linear(&mut a, &mut b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_linear_detects_singular() {
+        let mut a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let mut b = vec![1.0, 2.0];
+        assert!(solve_linear(&mut a, &mut b).is_none());
+    }
+
+    #[test]
+    fn minimizes_quadratic() {
+        let c = CobylaOptimizer::default();
+        let r = c.minimize(&|x| (x[0] - 1.5).powi(2) + (x[1] + 0.5).powi(2), &[0.0, 0.0], 300);
+        assert!(r.best_value < 1e-3, "best value {}", r.best_value);
+        assert!((r.best_point[0] - 1.5).abs() < 0.05);
+        assert!((r.best_point[1] + 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn minimizes_periodic_qaoa_like_landscape() {
+        let c = CobylaOptimizer::default();
+        // Global minimum of this landscape is -0.75 (at sin(x0) = 1/2, x1 = 0).
+        let f = |x: &[f64]| -(x[0].sin() * x[1].cos() + 0.5 * (2.0 * x[0]).cos());
+        let r = c.minimize(&f, &[0.3, 0.2], 200);
+        assert!(r.best_value < -0.74, "best value {}", r.best_value);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let c = CobylaOptimizer::default();
+        let r = c.minimize(&|x| x.iter().map(|v| v * v).sum(), &[1.0, 1.0, 1.0], 25);
+        assert!(r.evaluations <= 25 + 3, "used {}", r.evaluations);
+    }
+
+    #[test]
+    fn improves_over_initial_point() {
+        let c = CobylaOptimizer::default();
+        let f = |x: &[f64]| (x[0] + 2.0).powi(2);
+        let initial_value = f(&[1.0]);
+        let r = c.minimize(&f, &[1.0], 100);
+        assert!(r.best_value < initial_value);
+    }
+
+    #[test]
+    fn zero_dimensional_input() {
+        let c = CobylaOptimizer::default();
+        let r = c.minimize(&|_| 3.5, &[], 10);
+        assert_eq!(r.best_value, 3.5);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn converges_before_budget_on_easy_problem() {
+        let c = CobylaOptimizer { rho_begin: 0.5, rho_end: 1e-3, shrink: 0.5 };
+        let r = c.minimize(&|x| x[0] * x[0], &[0.2], 5000);
+        assert!(r.converged);
+        assert!(r.evaluations < 5000);
+    }
+}

@@ -1,0 +1,107 @@
+//! Uniform grid search within a box around the start point.
+
+use crate::result::{OptimizationResult, OptimizationTrace};
+use crate::Optimizer;
+
+/// Evaluate the objective on a uniform grid in `initial ± half_width` and
+/// return the best grid point. The number of points per dimension is chosen
+/// to (approximately) fill the evaluation budget.
+#[derive(Debug, Clone)]
+pub struct GridSearch {
+    /// Half-width of the search box along every coordinate.
+    pub half_width: f64,
+}
+
+impl Default for GridSearch {
+    fn default() -> Self {
+        GridSearch { half_width: std::f64::consts::PI }
+    }
+}
+
+impl Optimizer for GridSearch {
+    fn minimize(
+        &self,
+        objective: &(dyn Fn(&[f64]) -> f64 + Sync),
+        initial: &[f64],
+        max_evaluations: usize,
+    ) -> OptimizationResult {
+        let n = initial.len();
+        let budget = max_evaluations.max(1);
+        let mut trace = OptimizationTrace::new();
+
+        if n == 0 {
+            let v = objective(initial);
+            trace.record(v);
+            return OptimizationResult::from_trace(initial.to_vec(), v, true, trace);
+        }
+
+        // points_per_dim^n <= budget, at least 2 per dimension.
+        let mut points_per_dim = (budget as f64).powf(1.0 / n as f64).floor() as usize;
+        points_per_dim = points_per_dim.max(2);
+        while points_per_dim > 2 && points_per_dim.pow(n as u32) > budget {
+            points_per_dim -= 1;
+        }
+
+        let mut best_point = initial.to_vec();
+        let mut best_value = f64::INFINITY;
+
+        let total = points_per_dim.pow(n as u32).min(budget);
+        for flat in 0..total {
+            // Decode the flat index into per-dimension grid coordinates.
+            let mut rest = flat;
+            let mut point = Vec::with_capacity(n);
+            for &x0 in initial {
+                let idx = rest % points_per_dim;
+                rest /= points_per_dim;
+                let frac = idx as f64 / (points_per_dim - 1) as f64; // in [0, 1]
+                point.push(x0 - self.half_width + 2.0 * self.half_width * frac);
+            }
+            let value = objective(&point);
+            trace.record(value);
+            if value < best_value {
+                best_value = value;
+                best_point = point;
+            }
+        }
+        OptimizationResult::from_trace(best_point, best_value, true, trace)
+    }
+
+    fn name(&self) -> &'static str {
+        "grid-search"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_the_box_in_1d() {
+        let gs = GridSearch { half_width: 1.0 };
+        let r = gs.minimize(&|x| (x[0] - 1.0).powi(2), &[0.0], 21);
+        // The grid includes the right edge x = 1.0 exactly.
+        assert!(r.best_value < 1e-12);
+    }
+
+    #[test]
+    fn respects_budget_in_2d() {
+        let gs = GridSearch::default();
+        let r = gs.minimize(&|x| x[0] + x[1], &[0.0, 0.0], 50);
+        assert!(r.evaluations <= 50);
+        assert!(r.evaluations >= 4); // at least 2 per dimension
+    }
+
+    #[test]
+    fn zero_dimensional_input() {
+        let gs = GridSearch::default();
+        let r = gs.minimize(&|_| 1.0, &[], 5);
+        assert_eq!(r.best_value, 1.0);
+    }
+
+    #[test]
+    fn finds_center_minimum() {
+        let gs = GridSearch { half_width: 2.0 };
+        let r = gs.minimize(&|x| x[0] * x[0] + x[1] * x[1], &[0.0, 0.0], 81);
+        assert!(r.best_value < 1e-12);
+    }
+}

@@ -1,0 +1,119 @@
+//! # optim — classical optimizers for variational quantum circuits
+//!
+//! The QArchSearch **Evaluator** trains each candidate QAOA circuit "for 200
+//! steps with the COBYLA optimizer" (§2.1). This crate provides that
+//! optimizer along with several alternatives behind one [`Optimizer`] trait:
+//!
+//! * [`CobylaOptimizer`] — a linear-approximation trust-region method in the
+//!   spirit of Powell's COBYLA, restricted to the unconstrained case the
+//!   paper needs (bound constraints on the angles are handled by clamping).
+//! * [`NelderMead`] — the classic derivative-free simplex method.
+//! * [`Spsa`] — simultaneous-perturbation stochastic approximation, a common
+//!   choice for noisy quantum objective functions.
+//! * [`RandomSearch`] and [`GridSearch`] — trivial baselines that are useful
+//!   in ablations and tests.
+//!
+//! All optimizers **minimize**; QAOA energy maximization is expressed by
+//! minimizing the negated expectation.
+//!
+//! ```
+//! use optim::{NelderMead, Optimizer};
+//!
+//! // Minimize a shifted quadratic.
+//! let nm = NelderMead::default();
+//! let result = nm.minimize(&|x: &[f64]| (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2),
+//!                          &[0.0, 0.0], 200);
+//! assert!((result.best_point[0] - 1.0).abs() < 1e-3);
+//! assert!((result.best_point[1] + 2.0).abs() < 1e-3);
+//! ```
+
+pub mod cobyla;
+pub mod grid;
+pub mod nelder_mead;
+pub mod random_search;
+pub mod result;
+pub mod spsa;
+
+pub use cobyla::CobylaOptimizer;
+pub use grid::GridSearch;
+pub use nelder_mead::NelderMead;
+pub use random_search::RandomSearch;
+pub use result::{OptimizationResult, OptimizationTrace};
+pub use spsa::Spsa;
+
+use serde::{Deserialize, Serialize};
+
+/// A derivative-free minimizer of `f: R^n -> R`.
+pub trait Optimizer: Send + Sync {
+    /// Minimize `objective` starting from `initial`, with a budget of
+    /// `max_evaluations` objective calls. Implementations may use fewer
+    /// evaluations but must not exceed the budget by more than the cost of
+    /// finishing their current iteration.
+    fn minimize(
+        &self,
+        objective: &(dyn Fn(&[f64]) -> f64 + Sync),
+        initial: &[f64],
+        max_evaluations: usize,
+    ) -> OptimizationResult;
+
+    /// Human-readable name used in reports and benches.
+    fn name(&self) -> &'static str;
+}
+
+/// Enumeration of the bundled optimizers, convenient for configuration files
+/// and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// COBYLA-style linear trust-region method (the paper's default).
+    Cobyla,
+    /// Nelder–Mead simplex.
+    NelderMead,
+    /// SPSA.
+    Spsa,
+    /// Uniform random search within a box.
+    RandomSearch,
+    /// Uniform grid search within a box.
+    GridSearch,
+}
+
+impl OptimizerKind {
+    /// Instantiate the optimizer with default hyper-parameters.
+    pub fn build(self) -> Box<dyn Optimizer> {
+        match self {
+            OptimizerKind::Cobyla => Box::new(CobylaOptimizer::default()),
+            OptimizerKind::NelderMead => Box::new(NelderMead::default()),
+            OptimizerKind::Spsa => Box::new(Spsa::default()),
+            OptimizerKind::RandomSearch => Box::new(RandomSearch::default()),
+            OptimizerKind::GridSearch => Box::new(GridSearch::default()),
+        }
+    }
+
+    /// All bundled optimizer kinds.
+    pub fn all() -> &'static [OptimizerKind] {
+        &[
+            OptimizerKind::Cobyla,
+            OptimizerKind::NelderMead,
+            OptimizerKind::Spsa,
+            OptimizerKind::RandomSearch,
+            OptimizerKind::GridSearch,
+        ]
+    }
+}
+
+impl std::fmt::Display for OptimizerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OptimizerKind::Cobyla => "cobyla",
+            OptimizerKind::NelderMead => "nelder-mead",
+            OptimizerKind::Spsa => "spsa",
+            OptimizerKind::RandomSearch => "random-search",
+            OptimizerKind::GridSearch => "grid-search",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod test_functions;
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,224 @@
+//! Nelder–Mead downhill simplex minimizer.
+
+use crate::result::{OptimizationResult, OptimizationTrace};
+use crate::Optimizer;
+
+/// The Nelder–Mead simplex method with standard reflection / expansion /
+/// contraction / shrink coefficients.
+#[derive(Debug, Clone)]
+pub struct NelderMead {
+    /// Reflection coefficient (α > 0).
+    pub alpha: f64,
+    /// Expansion coefficient (γ > 1).
+    pub gamma: f64,
+    /// Contraction coefficient (0 < ρ ≤ 0.5).
+    pub rho: f64,
+    /// Shrink coefficient (0 < σ < 1).
+    pub sigma: f64,
+    /// Initial simplex step along each coordinate.
+    pub initial_step: f64,
+    /// Convergence tolerance on the simplex value spread.
+    pub tolerance: f64,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        NelderMead {
+            alpha: 1.0,
+            gamma: 2.0,
+            rho: 0.5,
+            sigma: 0.5,
+            initial_step: 0.25,
+            tolerance: 1e-8,
+        }
+    }
+}
+
+struct Evaluator<'a> {
+    objective: &'a (dyn Fn(&[f64]) -> f64 + Sync),
+    trace: OptimizationTrace,
+    budget: usize,
+}
+
+impl<'a> Evaluator<'a> {
+    fn eval(&mut self, x: &[f64]) -> f64 {
+        let v = (self.objective)(x);
+        self.trace.record(v);
+        v
+    }
+
+    fn exhausted(&self) -> bool {
+        self.trace.len() >= self.budget
+    }
+}
+
+impl Optimizer for NelderMead {
+    fn minimize(
+        &self,
+        objective: &(dyn Fn(&[f64]) -> f64 + Sync),
+        initial: &[f64],
+        max_evaluations: usize,
+    ) -> OptimizationResult {
+        let n = initial.len();
+        let mut ev = Evaluator { objective, trace: OptimizationTrace::new(), budget: max_evaluations.max(1) };
+
+        if n == 0 {
+            let value = ev.eval(initial);
+            return OptimizationResult::from_trace(initial.to_vec(), value, true, ev.trace);
+        }
+
+        // Initial simplex: the start point plus a step along each axis.
+        let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+        let v0 = ev.eval(initial);
+        simplex.push((initial.to_vec(), v0));
+        for i in 0..n {
+            if ev.exhausted() {
+                break;
+            }
+            let mut x = initial.to_vec();
+            x[i] += if x[i].abs() > 1e-12 { self.initial_step * x[i].abs() } else { self.initial_step };
+            let v = ev.eval(&x);
+            simplex.push((x, v));
+        }
+        // If the budget died during initialization, return the best vertex.
+        if simplex.len() < n + 1 {
+            simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            let (bp, bv) = simplex[0].clone();
+            return OptimizationResult::from_trace(bp, bv, false, ev.trace);
+        }
+
+        let mut converged = false;
+        while !ev.exhausted() {
+            simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            let best = simplex[0].1;
+            let worst = simplex[n].1;
+            if (worst - best).abs() < self.tolerance {
+                converged = true;
+                break;
+            }
+
+            // Centroid of all but the worst vertex.
+            let mut centroid = vec![0.0; n];
+            for (x, _) in simplex.iter().take(n) {
+                for (c, xi) in centroid.iter_mut().zip(x) {
+                    *c += xi / n as f64;
+                }
+            }
+
+            let worst_point = simplex[n].0.clone();
+            let reflect: Vec<f64> = centroid
+                .iter()
+                .zip(&worst_point)
+                .map(|(c, w)| c + self.alpha * (c - w))
+                .collect();
+            let f_reflect = ev.eval(&reflect);
+
+            if f_reflect < simplex[0].1 {
+                // Try to expand.
+                if ev.exhausted() {
+                    simplex[n] = (reflect, f_reflect);
+                    break;
+                }
+                let expand: Vec<f64> = centroid
+                    .iter()
+                    .zip(&reflect)
+                    .map(|(c, r)| c + self.gamma * (r - c))
+                    .collect();
+                let f_expand = ev.eval(&expand);
+                simplex[n] = if f_expand < f_reflect { (expand, f_expand) } else { (reflect, f_reflect) };
+            } else if f_reflect < simplex[n - 1].1 {
+                simplex[n] = (reflect, f_reflect);
+            } else {
+                // Contraction.
+                if ev.exhausted() {
+                    break;
+                }
+                let contract: Vec<f64> = centroid
+                    .iter()
+                    .zip(&worst_point)
+                    .map(|(c, w)| c + self.rho * (w - c))
+                    .collect();
+                let f_contract = ev.eval(&contract);
+                if f_contract < simplex[n].1 {
+                    simplex[n] = (contract, f_contract);
+                } else {
+                    // Shrink toward the best vertex.
+                    let best_point = simplex[0].0.clone();
+                    for vertex in simplex.iter_mut().skip(1) {
+                        if ev.exhausted() {
+                            break;
+                        }
+                        let new_x: Vec<f64> = best_point
+                            .iter()
+                            .zip(&vertex.0)
+                            .map(|(b, x)| b + self.sigma * (x - b))
+                            .collect();
+                        let new_v = ev.eval(&new_x);
+                        *vertex = (new_x, new_v);
+                    }
+                }
+            }
+        }
+
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let (best_point, best_value) = simplex[0].clone();
+        OptimizationResult::from_trace(best_point, best_value, converged, ev.trace)
+    }
+
+    fn name(&self) -> &'static str {
+        "nelder-mead"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let nm = NelderMead::default();
+        let r = nm.minimize(&|x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2), &[0.0, 0.0], 400);
+        assert!((r.best_point[0] - 3.0).abs() < 1e-3, "{:?}", r.best_point);
+        assert!((r.best_point[1] + 1.0).abs() < 1e-3, "{:?}", r.best_point);
+        assert!(r.best_value < 1e-5);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        let nm = NelderMead::default();
+        let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let r = nm.minimize(&rosen, &[-1.2, 1.0], 2000);
+        assert!(r.best_value < 1e-4, "rosenbrock value {}", r.best_value);
+    }
+
+    #[test]
+    fn respects_evaluation_budget() {
+        let nm = NelderMead::default();
+        let r = nm.minimize(&|x| x[0] * x[0], &[5.0], 10);
+        assert!(r.evaluations <= 12, "used {} evaluations", r.evaluations);
+    }
+
+    #[test]
+    fn handles_zero_dimensional_input() {
+        let nm = NelderMead::default();
+        let r = nm.minimize(&|_| 7.0, &[], 10);
+        assert_eq!(r.best_value, 7.0);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn converges_flag_set_on_flat_function() {
+        let nm = NelderMead::default();
+        let r = nm.minimize(&|_| 1.0, &[0.5, 0.5], 500);
+        assert!(r.converged);
+        assert!(r.evaluations < 500);
+    }
+
+    #[test]
+    fn minimizes_periodic_objective() {
+        // QAOA-like periodic landscape: global minimum of -cos(x)cos(y) at (0, 0).
+        let nm = NelderMead::default();
+        let r = nm.minimize(&|x| -(x[0].cos() * x[1].cos()), &[0.4, -0.3], 500);
+        assert!(r.best_value < -0.999, "value {}", r.best_value);
+    }
+}

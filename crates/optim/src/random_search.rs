@@ -1,0 +1,96 @@
+//! Uniform random search within a box around the start point.
+//!
+//! Random search is both a baseline optimizer for the ablation benches and a
+//! nod to the paper's observation that random search is "a strong baseline in
+//! neural architecture search" (Li & Talwalkar, 2020).
+
+use crate::result::{OptimizationResult, OptimizationTrace};
+use crate::Optimizer;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Uniform random sampling of points inside `initial ± half_width`.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    /// Half-width of the sampling box along every coordinate.
+    pub half_width: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomSearch {
+    fn default() -> Self {
+        RandomSearch { half_width: std::f64::consts::PI, seed: 0xAB5 }
+    }
+}
+
+impl Optimizer for RandomSearch {
+    fn minimize(
+        &self,
+        objective: &(dyn Fn(&[f64]) -> f64 + Sync),
+        initial: &[f64],
+        max_evaluations: usize,
+    ) -> OptimizationResult {
+        let budget = max_evaluations.max(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut trace = OptimizationTrace::new();
+
+        let mut best_point = initial.to_vec();
+        let mut best_value = objective(initial);
+        trace.record(best_value);
+
+        for _ in 1..budget {
+            let candidate: Vec<f64> = initial
+                .iter()
+                .map(|&x| x + rng.gen_range(-self.half_width..=self.half_width))
+                .collect();
+            let value = objective(&candidate);
+            trace.record(value);
+            if value < best_value {
+                best_value = value;
+                best_point = candidate;
+            }
+        }
+        OptimizationResult::from_trace(best_point, best_value, false, trace)
+    }
+
+    fn name(&self) -> &'static str {
+        "random-search"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_reasonable_minimum_of_1d_quadratic() {
+        let rs = RandomSearch { half_width: 2.0, seed: 3 };
+        let r = rs.minimize(&|x| x[0] * x[0], &[0.0], 500);
+        assert!(r.best_value < 0.01);
+    }
+
+    #[test]
+    fn uses_exactly_the_budget() {
+        let rs = RandomSearch::default();
+        let r = rs.minimize(&|x| x[0], &[0.0], 37);
+        assert_eq!(r.evaluations, 37);
+    }
+
+    #[test]
+    fn never_returns_worse_than_initial() {
+        let rs = RandomSearch::default();
+        let f = |x: &[f64]| (x[0] - 10.0).powi(2);
+        let initial_value = f(&[0.0]);
+        let r = rs.minimize(&f, &[0.0], 20);
+        assert!(r.best_value <= initial_value);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let f = |x: &[f64]| x[0].cos() + x[1].sin();
+        let a = RandomSearch { half_width: 1.0, seed: 9 }.minimize(&f, &[0.0, 0.0], 50);
+        let b = RandomSearch { half_width: 1.0, seed: 9 }.minimize(&f, &[0.0, 0.0], 50);
+        assert_eq!(a.best_point, b.best_point);
+    }
+}

@@ -1,0 +1,136 @@
+//! Optimization results and evaluation traces.
+
+use serde::{Deserialize, Serialize};
+
+/// One recorded objective evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Evaluation index (0-based).
+    pub evaluation: usize,
+    /// Objective value at this evaluation.
+    pub value: f64,
+    /// Best objective value seen so far (monotone non-increasing).
+    pub best_so_far: f64,
+}
+
+/// The sequence of objective evaluations produced during a minimization run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationTrace {
+    points: Vec<TracePoint>,
+}
+
+impl OptimizationTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an evaluation.
+    pub fn record(&mut self, value: f64) {
+        let best_so_far = match self.points.last() {
+            Some(last) => last.best_so_far.min(value),
+            None => value,
+        };
+        self.points.push(TracePoint { evaluation: self.points.len(), value, best_so_far });
+    }
+
+    /// Number of recorded evaluations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All recorded points.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// Best value observed so far (None when empty).
+    pub fn best(&self) -> Option<f64> {
+        self.points.last().map(|p| p.best_so_far)
+    }
+
+    /// The best-so-far curve as a plain vector (useful for convergence plots).
+    pub fn best_curve(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.best_so_far).collect()
+    }
+}
+
+/// Outcome of a minimization run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationResult {
+    /// The best point found.
+    pub best_point: Vec<f64>,
+    /// Objective value at `best_point`.
+    pub best_value: f64,
+    /// Number of objective evaluations consumed.
+    pub evaluations: usize,
+    /// Whether the optimizer terminated because it converged (rather than
+    /// exhausting its budget).
+    pub converged: bool,
+    /// The evaluation trace.
+    pub trace: OptimizationTrace,
+}
+
+impl OptimizationResult {
+    /// Construct a result from its parts, deriving `evaluations` from the
+    /// trace length.
+    pub fn from_trace(
+        best_point: Vec<f64>,
+        best_value: f64,
+        converged: bool,
+        trace: OptimizationTrace,
+    ) -> Self {
+        OptimizationResult { best_point, best_value, evaluations: trace.len(), converged, trace }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_tracks_best_so_far() {
+        let mut t = OptimizationTrace::new();
+        t.record(5.0);
+        t.record(3.0);
+        t.record(4.0);
+        t.record(1.0);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.best(), Some(1.0));
+        assert_eq!(t.best_curve(), vec![5.0, 3.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn best_curve_is_monotone() {
+        let mut t = OptimizationTrace::new();
+        for v in [9.0, 7.5, 8.0, 2.0, 2.5, 1.0] {
+            t.record(v);
+        }
+        let curve = t.best_curve();
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn empty_trace_has_no_best() {
+        let t = OptimizationTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.best(), None);
+    }
+
+    #[test]
+    fn result_from_trace_counts_evaluations() {
+        let mut t = OptimizationTrace::new();
+        t.record(1.0);
+        t.record(0.5);
+        let r = OptimizationResult::from_trace(vec![0.0], 0.5, true, t);
+        assert_eq!(r.evaluations, 2);
+        assert!(r.converged);
+    }
+}

@@ -1,0 +1,179 @@
+//! Simultaneous Perturbation Stochastic Approximation (SPSA).
+//!
+//! SPSA estimates the gradient with two objective evaluations per iteration
+//! regardless of dimension, which makes it a common choice for noisy
+//! variational-quantum objectives. It is included here as an alternative
+//! evaluator optimizer and as a subject of the optimizer-comparison ablation
+//! bench.
+
+use crate::result::{OptimizationResult, OptimizationTrace};
+use crate::Optimizer;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// SPSA with the standard gain sequences `a_k = a / (k + 1 + A)^alpha` and
+/// `c_k = c / (k + 1)^gamma`.
+#[derive(Debug, Clone)]
+pub struct Spsa {
+    /// Step-size numerator `a`.
+    pub a: f64,
+    /// Perturbation-size numerator `c`.
+    pub c: f64,
+    /// Stability constant `A`.
+    pub stability: f64,
+    /// Step-size decay exponent `alpha`.
+    pub alpha: f64,
+    /// Perturbation decay exponent `gamma`.
+    pub gamma: f64,
+    /// RNG seed (SPSA is stochastic; fixing the seed keeps runs reproducible).
+    pub seed: u64,
+}
+
+impl Default for Spsa {
+    fn default() -> Self {
+        Spsa { a: 0.2, c: 0.15, stability: 10.0, alpha: 0.602, gamma: 0.101, seed: 0x5B5A }
+    }
+}
+
+impl Spsa {
+    /// SPSA with an explicit seed and otherwise default hyper-parameters.
+    pub fn with_seed(seed: u64) -> Self {
+        Spsa { seed, ..Spsa::default() }
+    }
+}
+
+impl Optimizer for Spsa {
+    fn minimize(
+        &self,
+        objective: &(dyn Fn(&[f64]) -> f64 + Sync),
+        initial: &[f64],
+        max_evaluations: usize,
+    ) -> OptimizationResult {
+        let n = initial.len();
+        let budget = max_evaluations.max(1);
+        let mut trace = OptimizationTrace::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+
+        let mut x = initial.to_vec();
+        let mut best_point = x.clone();
+        let mut best_value = objective(&x);
+        trace.record(best_value);
+
+        if n == 0 {
+            return OptimizationResult::from_trace(best_point, best_value, true, trace);
+        }
+
+        let mut k = 0usize;
+        // Each iteration consumes two evaluations (plus occasionally one to
+        // track the current iterate).
+        while trace.len() + 2 <= budget {
+            let ak = self.a / ((k as f64) + 1.0 + self.stability).powf(self.alpha);
+            let ck = self.c / ((k as f64) + 1.0).powf(self.gamma);
+
+            // Rademacher perturbation.
+            let delta: Vec<f64> =
+                (0..n).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+
+            let x_plus: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi + ck * d).collect();
+            let x_minus: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi - ck * d).collect();
+
+            let f_plus = objective(&x_plus);
+            trace.record(f_plus);
+            let f_minus = objective(&x_minus);
+            trace.record(f_minus);
+
+            // Gradient estimate and update.
+            for i in 0..n {
+                let g = (f_plus - f_minus) / (2.0 * ck * delta[i]);
+                x[i] -= ak * g;
+            }
+
+            // Track the best of the probe points and (periodically) the iterate.
+            if f_plus < best_value {
+                best_value = f_plus;
+                best_point = x_plus;
+            }
+            if f_minus < best_value {
+                best_value = f_minus;
+                best_point = x_minus;
+            }
+            if trace.len() < budget && k % 10 == 9 {
+                let f_x = objective(&x);
+                trace.record(f_x);
+                if f_x < best_value {
+                    best_value = f_x;
+                    best_point = x.clone();
+                }
+            }
+            k += 1;
+        }
+
+        // Final check of the last iterate if the budget allows.
+        if trace.len() < budget {
+            let f_x = objective(&x);
+            trace.record(f_x);
+            if f_x < best_value {
+                best_value = f_x;
+                best_point = x;
+            }
+        }
+
+        OptimizationResult::from_trace(best_point, best_value, false, trace)
+    }
+
+    fn name(&self) -> &'static str {
+        "spsa"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let spsa = Spsa::default();
+        let r = spsa.minimize(&|x| (x[0] - 1.0).powi(2) + (x[1] - 2.0).powi(2), &[0.0, 0.0], 2000);
+        assert!(r.best_value < 0.05, "best value {}", r.best_value);
+    }
+
+    #[test]
+    fn is_deterministic_for_fixed_seed() {
+        let f = |x: &[f64]| x[0].sin() + x[0] * x[0];
+        let a = Spsa::with_seed(7).minimize(&f, &[1.0], 200);
+        let b = Spsa::with_seed(7).minimize(&f, &[1.0], 200);
+        assert_eq!(a.best_value, b.best_value);
+        assert_eq!(a.best_point, b.best_point);
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let f = |x: &[f64]| x[0].sin() * x[1].cos() + 0.1 * (x[0] * x[0] + x[1] * x[1]);
+        let a = Spsa::with_seed(1).minimize(&f, &[0.5, 0.5], 300);
+        let b = Spsa::with_seed(2).minimize(&f, &[0.5, 0.5], 300);
+        assert_ne!(a.trace.points(), b.trace.points());
+    }
+
+    #[test]
+    fn respects_budget() {
+        let spsa = Spsa::default();
+        let r = spsa.minimize(&|x| x[0] * x[0], &[2.0], 50);
+        assert!(r.evaluations <= 50);
+    }
+
+    #[test]
+    fn improves_over_initial_value_on_smooth_problem() {
+        let spsa = Spsa::default();
+        let f = |x: &[f64]| (x[0] - 0.7).powi(2);
+        let initial = f(&[0.0]);
+        let r = spsa.minimize(&f, &[0.0], 500);
+        assert!(r.best_value < initial);
+    }
+
+    #[test]
+    fn zero_dimensional_input() {
+        let spsa = Spsa::default();
+        let r = spsa.minimize(&|_| -2.0, &[], 10);
+        assert_eq!(r.best_value, -2.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Assembly of the depth-`p` QAOA ansatz for a graph and a mixer.
+//!
+//! The ansatz is `|γ,β⟩ = e^{-iβ_p B} e^{-iγ_p C} … e^{-iβ_1 B} e^{-iγ_1 C} |s⟩`
+//! (Eq. 2 of the paper), with `|s⟩ = |+⟩^⊗n`, the cost layer
+//! `e^{-iγC} = Π_{(u,v)∈E} RZZ(2 w_uv γ)` and the mixer layer supplied by a
+//! [`Mixer`]. Parameters are named `gamma_k` / `beta_k` so a single circuit
+//! template can be rebound at every optimizer step.
+
+use crate::error::QaoaError;
+use crate::mixer::Mixer;
+use graphs::Graph;
+use qcircuit::{Circuit, Gate, Parameter};
+
+/// A depth-`p` QAOA ansatz template for one graph and one mixer choice.
+#[derive(Debug, Clone)]
+pub struct QaoaAnsatz {
+    template: Circuit,
+    depth: usize,
+    mixer: Mixer,
+    num_qubits: usize,
+}
+
+impl QaoaAnsatz {
+    /// Build the parameterized template circuit.
+    pub fn new(graph: &Graph, depth: usize, mixer: Mixer) -> QaoaAnsatz {
+        let n = graph.num_nodes();
+        let mut c = Circuit::new(n);
+        c.h_layer();
+        for k in 0..depth {
+            // Cost layer: RZZ(2 w γ_k) on every edge.
+            let gamma_name = format!("gamma_{k}");
+            for e in graph.edges() {
+                c.push(Gate::RZZ, &[e.u, e.v], Parameter::free(&gamma_name, 2.0 * e.weight));
+            }
+            // Mixer layer: shared β_k.
+            let beta_name = format!("beta_{k}");
+            mixer.append_layer(&mut c, &beta_name);
+        }
+        QaoaAnsatz { template: c, depth, mixer, num_qubits: n }
+    }
+
+    /// The unbound template circuit.
+    pub fn template(&self) -> &Circuit {
+        &self.template
+    }
+
+    /// Ansatz depth `p`.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The mixer used by this ansatz.
+    pub fn mixer(&self) -> &Mixer {
+        &self.mixer
+    }
+
+    /// Register width.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Total number of variational parameters (`2p`: one γ and one β per layer).
+    pub fn num_parameters(&self) -> usize {
+        2 * self.depth
+    }
+
+    /// Bind explicit angle vectors (`gammas.len() == betas.len() == p`).
+    pub fn bind(&self, gammas: &[f64], betas: &[f64]) -> Result<Circuit, QaoaError> {
+        if gammas.len() != self.depth {
+            return Err(QaoaError::WrongParameterCount {
+                kind: "gamma".to_string(),
+                depth: self.depth,
+                expected: self.depth,
+                got: gammas.len(),
+            });
+        }
+        if betas.len() != self.depth {
+            return Err(QaoaError::WrongParameterCount {
+                kind: "beta".to_string(),
+                depth: self.depth,
+                expected: self.depth,
+                got: betas.len(),
+            });
+        }
+        let mut assignments: Vec<(String, f64)> = Vec::with_capacity(2 * self.depth);
+        for (k, &g) in gammas.iter().enumerate() {
+            assignments.push((format!("gamma_{k}"), g));
+        }
+        for (k, &b) in betas.iter().enumerate() {
+            assignments.push((format!("beta_{k}"), b));
+        }
+        let refs: Vec<(&str, f64)> = assignments.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        self.template
+            .bind(&refs)
+            .map_err(|e| QaoaError::Backend { message: e.to_string() })
+    }
+
+    /// Bind a flat parameter vector laid out as `[γ_0..γ_{p-1}, β_0..β_{p-1}]`
+    /// — the layout the classical optimizers work with.
+    pub fn bind_flat(&self, params: &[f64]) -> Result<Circuit, QaoaError> {
+        if params.len() != self.num_parameters() {
+            return Err(QaoaError::WrongParameterCount {
+                kind: "flat".to_string(),
+                depth: self.depth,
+                expected: self.num_parameters(),
+                got: params.len(),
+            });
+        }
+        let (gammas, betas) = params.split_at(self.depth);
+        self.bind(gammas, betas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_has_expected_structure() {
+        let g = Graph::cycle(4); // 4 nodes, 4 edges
+        let ansatz = QaoaAnsatz::new(&g, 2, Mixer::baseline());
+        // H layer (4) + per layer: 4 RZZ + 4 RX = 8; two layers -> 16; total 20.
+        assert_eq!(ansatz.template().len(), 20);
+        assert_eq!(ansatz.num_parameters(), 4);
+        assert_eq!(
+            ansatz.template().free_parameters(),
+            vec!["beta_0", "beta_1", "gamma_0", "gamma_1"]
+        );
+    }
+
+    #[test]
+    fn bind_produces_fully_bound_circuit() {
+        let g = Graph::cycle(3);
+        let ansatz = QaoaAnsatz::new(&g, 1, Mixer::qnas());
+        let bound = ansatz.bind(&[0.4], &[0.2]).unwrap();
+        assert!(bound.free_parameters().is_empty());
+        assert_eq!(bound.num_qubits(), 3);
+    }
+
+    #[test]
+    fn bind_checks_lengths() {
+        let g = Graph::cycle(3);
+        let ansatz = QaoaAnsatz::new(&g, 2, Mixer::baseline());
+        assert!(matches!(
+            ansatz.bind(&[0.1], &[0.1, 0.2]),
+            Err(QaoaError::WrongParameterCount { .. })
+        ));
+        assert!(matches!(
+            ansatz.bind_flat(&[0.1, 0.2, 0.3]),
+            Err(QaoaError::WrongParameterCount { .. })
+        ));
+        assert!(ansatz.bind_flat(&[0.1, 0.2, 0.3, 0.4]).is_ok());
+    }
+
+    #[test]
+    fn cost_layer_scales_with_edge_weight() {
+        let g = Graph::from_weighted_edges(2, &[(0, 1, 2.5)]).unwrap();
+        let ansatz = QaoaAnsatz::new(&g, 1, Mixer::baseline());
+        let bound = ansatz.bind(&[1.0], &[0.0]).unwrap();
+        // Find the RZZ instruction: its bound angle must be 2 * w * γ = 5.0.
+        let rzz = bound
+            .instructions()
+            .iter()
+            .find(|i| i.gate == Gate::RZZ)
+            .expect("cost layer present");
+        assert_eq!(rzz.parameter, Parameter::Bound(5.0));
+    }
+
+    #[test]
+    fn depth_zero_is_just_the_plus_state() {
+        let g = Graph::cycle(4);
+        let ansatz = QaoaAnsatz::new(&g, 0, Mixer::baseline());
+        assert_eq!(ansatz.template().len(), 4); // only the H layer
+        assert_eq!(ansatz.num_parameters(), 0);
+        assert!(ansatz.bind(&[], &[]).is_ok());
+    }
+
+    #[test]
+    fn mixer_beta_shared_within_layer_but_not_across_layers() {
+        let g = Graph::cycle(3);
+        let ansatz = QaoaAnsatz::new(&g, 3, Mixer::baseline());
+        let params = ansatz.template().free_parameters();
+        assert!(params.contains(&"beta_0".to_string()));
+        assert!(params.contains(&"beta_2".to_string()));
+        assert_eq!(params.len(), 6);
+    }
+}

@@ -1,0 +1,103 @@
+//! Simulator backend selection.
+//!
+//! QArchSearch evaluates candidate circuits with the QTensor tensor-network
+//! simulator; the paper lists GPU statevector simulation as future work. This
+//! crate keeps both options behind one enum so the evaluator, the search
+//! schedulers and the benches can switch freely (and so the
+//! `backend_compare` ablation bench can quantify the difference).
+
+use crate::error::QaoaError;
+use graphs::Graph;
+use qcircuit::Circuit;
+use serde::{Deserialize, Serialize};
+
+/// Which simulator evaluates circuit expectation values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Backend {
+    /// Dense state-vector simulation (exact, memory ∝ 2^n).
+    StateVector,
+    /// Tensor-network contraction with per-edge light cones (QTensor analog).
+    /// Edges are contracted in parallel — the inner level of the paper's
+    /// two-level parallelization.
+    #[default]
+    TensorNetwork,
+    /// Tensor-network contraction with sequential edge evaluation (used by
+    /// the two-level parallelization ablation).
+    TensorNetworkSequential,
+}
+
+impl Backend {
+    /// All backends, for benches and tests.
+    pub fn all() -> &'static [Backend] {
+        &[Backend::StateVector, Backend::TensorNetwork, Backend::TensorNetworkSequential]
+    }
+
+    /// Max-Cut energy ⟨C⟩ of a fully-bound circuit on `graph`.
+    pub fn maxcut_expectation(&self, circuit: &Circuit, graph: &Graph) -> Result<f64, QaoaError> {
+        let edges: Vec<(usize, usize, f64)> =
+            graph.edges().iter().map(|e| (e.u, e.v, e.weight)).collect();
+        match self {
+            Backend::StateVector => {
+                let state = statevec::StateVector::from_circuit(circuit)
+                    .map_err(|e| QaoaError::Backend { message: e.to_string() })?;
+                Ok(statevec::expectation::maxcut_expectation(&state, &edges))
+            }
+            Backend::TensorNetwork => tensornet::lightcone::maxcut_expectation(circuit, &edges)
+                .map_err(|e| QaoaError::Backend { message: e.to_string() }),
+            Backend::TensorNetworkSequential => {
+                tensornet::lightcone::maxcut_expectation_sequential(circuit, &edges)
+                    .map_err(|e| QaoaError::Backend { message: e.to_string() })
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Backend::StateVector => "statevector",
+            Backend::TensorNetwork => "tensor-network",
+            Backend::TensorNetworkSequential => "tensor-network-sequential",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::QaoaAnsatz;
+    use crate::mixer::Mixer;
+
+    #[test]
+    fn backends_agree_on_qaoa_energy() {
+        let graph = Graph::erdos_renyi(6, 0.5, 11);
+        let ansatz = QaoaAnsatz::new(&graph, 2, Mixer::qnas());
+        let circuit = ansatz.bind(&[0.4, 0.7], &[0.3, 0.1]).unwrap();
+        let sv = Backend::StateVector.maxcut_expectation(&circuit, &graph).unwrap();
+        let tn = Backend::TensorNetwork.maxcut_expectation(&circuit, &graph).unwrap();
+        let tns = Backend::TensorNetworkSequential.maxcut_expectation(&circuit, &graph).unwrap();
+        assert!((sv - tn).abs() < 1e-8, "sv {sv} vs tn {tn}");
+        assert!((tn - tns).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_backend_is_tensor_network() {
+        assert_eq!(Backend::default(), Backend::TensorNetwork);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Backend::StateVector.to_string(), "statevector");
+        assert_eq!(Backend::TensorNetwork.to_string(), "tensor-network");
+    }
+
+    #[test]
+    fn unbound_circuit_is_a_backend_error() {
+        let graph = Graph::cycle(3);
+        let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::baseline());
+        // Template still has free parameters.
+        let err = Backend::StateVector.maxcut_expectation(ansatz.template(), &graph);
+        assert!(matches!(err, Err(QaoaError::Backend { .. })));
+    }
+}

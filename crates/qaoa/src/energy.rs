@@ -1,0 +1,392 @@
+//! Energy evaluation, variational training and approximation ratios.
+//!
+//! This is the computational heart of the QArchSearch **Evaluator** module:
+//! given a graph and a candidate ansatz, maximize ⟨γ,β|C|γ,β⟩ with a
+//! classical optimizer (COBYLA with 200 iterations in the paper) and report
+//! the resulting energy and approximation ratio `r = ⟨C⟩ / C_classical`
+//! (Eq. 3).
+
+use crate::ansatz::QaoaAnsatz;
+use crate::backend::Backend;
+use crate::error::QaoaError;
+use graphs::{Graph, MaxCut};
+use optim::{OptimizationTrace, Optimizer};
+use serde::{Deserialize, Serialize};
+
+/// Result of training one ansatz on one graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainedCircuit {
+    /// Best (maximal) Max-Cut expectation found.
+    pub energy: f64,
+    /// Optimal γ angles, one per layer.
+    pub gammas: Vec<f64>,
+    /// Optimal β angles, one per layer.
+    pub betas: Vec<f64>,
+    /// Number of objective evaluations used.
+    pub evaluations: usize,
+    /// Approximation ratio r = energy / C_classical.
+    pub approx_ratio: f64,
+    /// Classical reference cut value used in the ratio.
+    pub classical_optimum: f64,
+}
+
+/// Evaluates and trains QAOA ansätze on one graph with a chosen backend.
+#[derive(Debug, Clone)]
+pub struct EnergyEvaluator {
+    graph: Graph,
+    backend: Backend,
+    classical_optimum: f64,
+}
+
+impl EnergyEvaluator {
+    /// Build an evaluator; the classical Max-Cut reference is computed once
+    /// (exactly for the paper-scale instances).
+    pub fn new(graph: &Graph, backend: Backend) -> EnergyEvaluator {
+        let classical_optimum = MaxCut::classical_reference(graph);
+        EnergyEvaluator { graph: graph.clone(), backend, classical_optimum }
+    }
+
+    /// The graph this evaluator targets.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The classical reference cut `C_classical` of Eq. 3.
+    pub fn classical_optimum(&self) -> f64 {
+        self.classical_optimum
+    }
+
+    /// The backend used for expectation values.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// ⟨C⟩ for explicit angles.
+    pub fn energy(
+        &self,
+        ansatz: &QaoaAnsatz,
+        gammas: &[f64],
+        betas: &[f64],
+    ) -> Result<f64, QaoaError> {
+        let circuit = ansatz.bind(gammas, betas)?;
+        self.backend.maxcut_expectation(&circuit, &self.graph)
+    }
+
+    /// ⟨C⟩ for a flat parameter vector `[γ…, β…]`.
+    pub fn energy_flat(&self, ansatz: &QaoaAnsatz, params: &[f64]) -> Result<f64, QaoaError> {
+        let circuit = ansatz.bind_flat(params)?;
+        self.backend.maxcut_expectation(&circuit, &self.graph)
+    }
+
+    /// Approximation ratio of a given energy (Eq. 3). Zero when the graph has
+    /// no edges.
+    pub fn approx_ratio(&self, energy: f64) -> f64 {
+        if self.classical_optimum <= 0.0 {
+            0.0
+        } else {
+            energy / self.classical_optimum
+        }
+    }
+
+    /// Train the ansatz: maximize ⟨C⟩ over the `2p` angles using `optimizer`
+    /// with `budget` objective evaluations (the paper uses COBYLA with 200
+    /// steps), starting from the paper-style small-angle initial point.
+    pub fn train(
+        &self,
+        ansatz: &QaoaAnsatz,
+        optimizer: &dyn Optimizer,
+        budget: usize,
+    ) -> Result<TrainedCircuit, QaoaError> {
+        if self.graph.num_edges() == 0 {
+            return Err(QaoaError::EmptyGraph);
+        }
+        let p = ansatz.depth();
+        // Small non-zero initial angles; γ and β start on different scales,
+        // a common heuristic for QAOA warm starts.
+        let mut initial = vec![0.1; 2 * p];
+        for b in initial.iter_mut().skip(p) {
+            *b = 0.2;
+        }
+
+        if p == 0 {
+            // Nothing to optimize: the plus state cuts half the weight.
+            let energy = self.energy(ansatz, &[], &[])?;
+            return Ok(TrainedCircuit {
+                energy,
+                gammas: vec![],
+                betas: vec![],
+                evaluations: 1,
+                approx_ratio: self.approx_ratio(energy),
+                classical_optimum: self.classical_optimum,
+            });
+        }
+
+        // The optimizer minimizes, so negate the energy. Errors inside the
+        // objective cannot propagate through the closure; they are mapped to
+        // +inf so the optimizer avoids that region, and re-checked afterwards.
+        let objective = |params: &[f64]| -> f64 {
+            match self.energy_flat(ansatz, params) {
+                Ok(e) => -e,
+                Err(_) => f64::INFINITY,
+            }
+        };
+        let result = optimizer.minimize(&objective, &initial, budget);
+
+        let best_energy = -result.best_value;
+        if !best_energy.is_finite() {
+            return Err(QaoaError::Backend {
+                message: "optimizer failed to produce a finite energy".to_string(),
+            });
+        }
+        let (gammas, betas) = result.best_point.split_at(p);
+        Ok(TrainedCircuit {
+            energy: best_energy,
+            gammas: gammas.to_vec(),
+            betas: betas.to_vec(),
+            evaluations: result.evaluations,
+            approx_ratio: self.approx_ratio(best_energy),
+            classical_optimum: self.classical_optimum,
+        })
+    }
+
+    /// Multi-start training: run [`EnergyEvaluator::train`]-style optimization
+    /// from several deterministic starting points and keep the best result.
+    ///
+    /// The evaluation budget is split evenly across the starts. The starting
+    /// points are (1) the small-angle warm start used by [`train`](Self::train),
+    /// (2) the best p = 1 angles from the closed-form grid of
+    /// [`crate::analytic::best_p1_angles_by_grid`] replicated across layers,
+    /// and (3) a mid-range point — a cheap stand-in for the multi-start /
+    /// interpolation heuristics commonly used to train deeper QAOA.
+    pub fn train_multistart(
+        &self,
+        ansatz: &QaoaAnsatz,
+        optimizer: &dyn Optimizer,
+        budget: usize,
+        restarts: usize,
+    ) -> Result<TrainedCircuit, QaoaError> {
+        if self.graph.num_edges() == 0 {
+            return Err(QaoaError::EmptyGraph);
+        }
+        let p = ansatz.depth();
+        if p == 0 || restarts <= 1 {
+            return self.train(ansatz, optimizer, budget);
+        }
+        let per_start_budget = (budget / restarts).max(1);
+
+        // Candidate starting points, flat layout [γ…, β…].
+        let mut starts: Vec<Vec<f64>> = Vec::new();
+        let mut small = vec![0.1; 2 * p];
+        for b in small.iter_mut().skip(p) {
+            *b = 0.2;
+        }
+        starts.push(small);
+        let (g1, b1, _) = crate::analytic::best_p1_angles_by_grid(&self.graph, 16);
+        let mut analytic_start = vec![0.0; 2 * p];
+        for k in 0..p {
+            // Ramp the p = 1 optimum across layers (small early, larger late
+            // for γ; the reverse for β), a standard QAOA initialization.
+            let frac = (k as f64 + 1.0) / p as f64;
+            analytic_start[k] = g1 * frac;
+            analytic_start[p + k] = b1 * (1.0 - frac) + 0.1 * frac;
+        }
+        starts.push(analytic_start);
+        starts.push(vec![0.5; 2 * p]);
+        starts.truncate(restarts.max(1));
+
+        let objective = |params: &[f64]| -> f64 {
+            match self.energy_flat(ansatz, params) {
+                Ok(e) => -e,
+                Err(_) => f64::INFINITY,
+            }
+        };
+
+        let mut best: Option<TrainedCircuit> = None;
+        let mut total_evaluations = 0usize;
+        for start in &starts {
+            let result = optimizer.minimize(&objective, start, per_start_budget);
+            total_evaluations += result.evaluations;
+            let energy = -result.best_value;
+            if !energy.is_finite() {
+                continue;
+            }
+            let better = best.as_ref().map(|b| energy > b.energy).unwrap_or(true);
+            if better {
+                let (gammas, betas) = result.best_point.split_at(p);
+                best = Some(TrainedCircuit {
+                    energy,
+                    gammas: gammas.to_vec(),
+                    betas: betas.to_vec(),
+                    evaluations: 0, // filled below with the cumulative count
+                    approx_ratio: self.approx_ratio(energy),
+                    classical_optimum: self.classical_optimum,
+                });
+            }
+        }
+        let mut best = best.ok_or_else(|| QaoaError::Backend {
+            message: "no restart produced a finite energy".to_string(),
+        })?;
+        best.evaluations = total_evaluations;
+        Ok(best)
+    }
+
+    /// Train and also return the raw optimization trace (negated energies),
+    /// useful for convergence plots.
+    pub fn train_with_trace(
+        &self,
+        ansatz: &QaoaAnsatz,
+        optimizer: &dyn Optimizer,
+        budget: usize,
+    ) -> Result<(TrainedCircuit, OptimizationTrace), QaoaError> {
+        if self.graph.num_edges() == 0 {
+            return Err(QaoaError::EmptyGraph);
+        }
+        let p = ansatz.depth();
+        let mut initial = vec![0.1; 2 * p];
+        for b in initial.iter_mut().skip(p) {
+            *b = 0.2;
+        }
+        let objective = |params: &[f64]| -> f64 {
+            match self.energy_flat(ansatz, params) {
+                Ok(e) => -e,
+                Err(_) => f64::INFINITY,
+            }
+        };
+        let result = optimizer.minimize(&objective, &initial, budget);
+        let best_energy = -result.best_value;
+        let (gammas, betas) = result.best_point.split_at(p);
+        let trained = TrainedCircuit {
+            energy: best_energy,
+            gammas: gammas.to_vec(),
+            betas: betas.to_vec(),
+            evaluations: result.evaluations,
+            approx_ratio: self.approx_ratio(best_energy),
+            classical_optimum: self.classical_optimum,
+        };
+        Ok((trained, result.trace))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mixer::Mixer;
+    use optim::{CobylaOptimizer, NelderMead};
+
+    #[test]
+    fn zero_angles_give_half_total_weight() {
+        let graph = Graph::cycle(6);
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::baseline());
+        let e = eval.energy(&ansatz, &[0.0], &[0.0]).unwrap();
+        assert!((e - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn p1_training_beats_random_guessing_on_a_cycle() {
+        let graph = Graph::cycle(6); // max cut = 6
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::baseline());
+        let trained = eval.train(&ansatz, &CobylaOptimizer::default(), 150).unwrap();
+        // p=1 QAOA on an even cycle reaches r >= 0.69 (well above 0.5).
+        assert!(trained.energy > 3.6, "energy {}", trained.energy);
+        assert!(trained.approx_ratio > 0.6);
+        assert!(trained.approx_ratio <= 1.0 + 1e-9);
+        assert_eq!(trained.classical_optimum, 6.0);
+    }
+
+    #[test]
+    fn deeper_ansatz_does_not_do_worse() {
+        let graph = Graph::erdos_renyi(6, 0.5, 5);
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let opt = CobylaOptimizer::default();
+        let a1 = QaoaAnsatz::new(&graph, 1, Mixer::baseline());
+        let a2 = QaoaAnsatz::new(&graph, 2, Mixer::baseline());
+        let e1 = eval.train(&a1, &opt, 120).unwrap().energy;
+        let e2 = eval.train(&a2, &opt, 200).unwrap().energy;
+        // Depth-2 can represent depth-1 solutions; allow a small optimizer slack.
+        assert!(e2 >= e1 - 0.15, "p=2 energy {e2} much worse than p=1 {e1}");
+    }
+
+    #[test]
+    fn energy_never_exceeds_classical_optimum() {
+        let graph = Graph::erdos_renyi(7, 0.5, 9);
+        let eval = EnergyEvaluator::new(&graph, Backend::TensorNetwork);
+        let ansatz = QaoaAnsatz::new(&graph, 2, Mixer::qnas());
+        let trained = eval.train(&ansatz, &NelderMead::default(), 150).unwrap();
+        assert!(trained.energy <= eval.classical_optimum() + 1e-9);
+        assert!(trained.approx_ratio <= 1.0 + 1e-9);
+        assert!(trained.approx_ratio >= 0.0);
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        let graph = Graph::empty(4);
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::baseline());
+        assert!(matches!(
+            eval.train(&ansatz, &CobylaOptimizer::default(), 50),
+            Err(QaoaError::EmptyGraph)
+        ));
+    }
+
+    #[test]
+    fn train_with_trace_returns_monotone_best_curve() {
+        let graph = Graph::cycle(5);
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::baseline());
+        let (trained, trace) = eval
+            .train_with_trace(&ansatz, &CobylaOptimizer::default(), 80)
+            .unwrap();
+        assert!(!trace.is_empty());
+        assert!((trace.best().unwrap() + trained.energy).abs() < 1e-9);
+        for w in trace.best_curve().windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn depth_zero_training_returns_plus_state_energy() {
+        let graph = Graph::cycle(4);
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let ansatz = QaoaAnsatz::new(&graph, 0, Mixer::baseline());
+        let trained = eval.train(&ansatz, &CobylaOptimizer::default(), 10).unwrap();
+        assert!((trained.energy - 2.0).abs() < 1e-10);
+        assert_eq!(trained.evaluations, 1);
+    }
+
+    #[test]
+    fn multistart_training_is_at_least_as_good_as_single_start() {
+        let graph = Graph::erdos_renyi(7, 0.5, 31);
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let ansatz = QaoaAnsatz::new(&graph, 2, Mixer::baseline());
+        let opt = CobylaOptimizer::default();
+        let single = eval.train(&ansatz, &opt, 60).unwrap();
+        let multi = eval.train_multistart(&ansatz, &opt, 180, 3).unwrap();
+        assert!(multi.energy >= single.energy - 0.05,
+            "multi-start {} fell behind single start {}", multi.energy, single.energy);
+        assert!(multi.approx_ratio <= 1.0 + 1e-9);
+        assert!(multi.evaluations > 0);
+    }
+
+    #[test]
+    fn multistart_with_one_restart_equals_plain_training() {
+        let graph = Graph::cycle(5);
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::baseline());
+        let opt = CobylaOptimizer::default();
+        let a = eval.train(&ansatz, &opt, 50).unwrap();
+        let b = eval.train_multistart(&ansatz, &opt, 50, 1).unwrap();
+        assert!((a.energy - b.energy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tensor_network_backend_trains_too() {
+        let graph = Graph::erdos_renyi(6, 0.4, 21);
+        let eval = EnergyEvaluator::new(&graph, Backend::TensorNetwork);
+        let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::baseline());
+        let trained = eval.train(&ansatz, &CobylaOptimizer::default(), 100).unwrap();
+        let half = 0.5 * graph.total_weight();
+        assert!(trained.energy >= half - 1e-9, "training should beat the plus state");
+    }
+}

@@ -1,0 +1,35 @@
+//! Error types for QAOA construction and evaluation.
+
+use thiserror::Error;
+
+/// Errors raised while assembling or evaluating QAOA ansätze.
+#[derive(Debug, Error, Clone, PartialEq)]
+pub enum QaoaError {
+    /// The number of supplied angles does not match the ansatz depth.
+    #[error("expected {expected} {kind} angles for depth-{depth} QAOA but got {got}")]
+    WrongParameterCount {
+        /// "gamma" or "beta".
+        kind: String,
+        /// Ansatz depth.
+        depth: usize,
+        /// Expected number of angles.
+        expected: usize,
+        /// Supplied number of angles.
+        got: usize,
+    },
+
+    /// The mixer layer contains no gates.
+    #[error("mixer layer must contain at least one gate")]
+    EmptyMixer,
+
+    /// A simulator backend failed.
+    #[error("backend error: {message}")]
+    Backend {
+        /// Human-readable backend error.
+        message: String,
+    },
+
+    /// The graph has no edges, so the Max-Cut objective is degenerate.
+    #[error("graph has no edges; the Max-Cut objective is identically zero")]
+    EmptyGraph,
+}

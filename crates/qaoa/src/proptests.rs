@@ -1,0 +1,93 @@
+//! Property-based tests for the QAOA machinery.
+
+use crate::ansatz::QaoaAnsatz;
+use crate::backend::Backend;
+use crate::energy::EnergyEvaluator;
+use crate::mixer::Mixer;
+use graphs::Graph;
+use proptest::prelude::*;
+use qcircuit::Gate;
+
+fn arb_mixer() -> impl Strategy<Value = Mixer> {
+    let gate = prop_oneof![
+        Just(Gate::RX),
+        Just(Gate::RY),
+        Just(Gate::RZ),
+        Just(Gate::H),
+        Just(Gate::P),
+    ];
+    proptest::collection::vec(gate, 1..4).prop_map(|gates| Mixer::new(gates).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn energy_is_within_maxcut_bounds(
+        seed in 0u64..500,
+        p in 1usize..3,
+        mixer in arb_mixer(),
+        angles in proptest::collection::vec(-1.5f64..1.5, 6),
+    ) {
+        let graph = Graph::connected_erdos_renyi(6, 0.5, seed, 20);
+        prop_assume!(graph.num_edges() > 0);
+        let ansatz = QaoaAnsatz::new(&graph, p, mixer);
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let gammas = &angles[..p];
+        let betas = &angles[p..2 * p];
+        let e = eval.energy(&ansatz, gammas, betas).unwrap();
+        prop_assert!(e >= -1e-9, "energy {e} negative");
+        prop_assert!(e <= graph.total_weight() + 1e-9, "energy {e} above total weight");
+        // And never above the true optimum.
+        prop_assert!(e <= eval.classical_optimum() + 1e-9);
+    }
+
+    #[test]
+    fn backends_agree_on_random_mixers(
+        seed in 0u64..200,
+        mixer in arb_mixer(),
+        gamma in -1.5f64..1.5,
+        beta in -1.5f64..1.5,
+    ) {
+        let graph = Graph::connected_erdos_renyi(6, 0.4, seed, 20);
+        prop_assume!(graph.num_edges() > 0);
+        let ansatz = QaoaAnsatz::new(&graph, 1, mixer);
+        let sv = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let tn = EnergyEvaluator::new(&graph, Backend::TensorNetwork);
+        let e_sv = sv.energy(&ansatz, &[gamma], &[beta]).unwrap();
+        let e_tn = tn.energy(&ansatz, &[gamma], &[beta]).unwrap();
+        prop_assert!((e_sv - e_tn).abs() < 1e-8, "sv {e_sv} vs tn {e_tn}");
+    }
+
+    #[test]
+    fn diagonal_only_mixer_keeps_plus_state_energy(
+        seed in 0u64..200,
+        gamma in -1.5f64..1.5,
+        beta in -1.5f64..1.5,
+    ) {
+        // A non-mixing (diagonal) mixer cannot change the energy away from
+        // the |+>^n value of half the total weight.
+        let graph = Graph::connected_erdos_renyi(5, 0.5, seed, 20);
+        prop_assume!(graph.num_edges() > 0);
+        let mixer = Mixer::new(vec![Gate::RZ, Gate::P]).unwrap();
+        let ansatz = QaoaAnsatz::new(&graph, 1, mixer);
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let e = eval.energy(&ansatz, &[gamma], &[beta]).unwrap();
+        prop_assert!((e - 0.5 * graph.total_weight()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approx_ratio_is_in_unit_interval(
+        seed in 0u64..200,
+        gamma in -1.0f64..1.0,
+        beta in -1.0f64..1.0,
+    ) {
+        let graph = Graph::connected_erdos_renyi(6, 0.5, seed, 20);
+        prop_assume!(graph.num_edges() > 0);
+        let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::qnas());
+        let eval = EnergyEvaluator::new(&graph, Backend::TensorNetwork);
+        let e = eval.energy(&ansatz, &[gamma], &[beta]).unwrap();
+        let r = eval.approx_ratio(e);
+        prop_assert!(r >= -1e-9 && r <= 1.0 + 1e-9, "ratio {r}");
+    }
+}

@@ -1,0 +1,241 @@
+//! The rotation-gate alphabet `A_R` and enumeration of gate combinations.
+//!
+//! The paper searches mixer layers built from combinations of `k = 1..K_max`
+//! gates drawn from an alphabet with `|A_R| = 5`; together with depths
+//! `p = 1..4` this yields the "2500 possible circuit combinations" of §3.1
+//! (4 depths × 5⁴ ordered length-4 sequences = 2500). We enumerate **ordered
+//! sequences with repetition**, which is the convention that reproduces that
+//! count; the alphabet defaults to `{RX, RY, RZ, H, P}`, the set from which
+//! all the mixers shown in the paper's figures are drawn.
+
+use crate::error::SearchError;
+use qcircuit::Gate;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A single-qubit gate eligible for a mixer layer.
+///
+/// This is a thin, validated wrapper over [`qcircuit::Gate`] restricted to
+/// single-qubit gates, so alphabets can be (de)serialized and displayed with
+/// the paper's lower-case mnemonics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RotationGate(Gate);
+
+impl RotationGate {
+    /// Wrap a gate; only single-qubit gates are accepted.
+    pub fn new(gate: Gate) -> Result<RotationGate, SearchError> {
+        if gate.arity() != 1 {
+            return Err(SearchError::InvalidEncoding {
+                message: format!("{gate} is not a single-qubit gate"),
+            });
+        }
+        Ok(RotationGate(gate))
+    }
+
+    /// The underlying gate.
+    pub fn gate(&self) -> Gate {
+        self.0
+    }
+
+    /// Whether the gate carries a variational angle.
+    pub fn is_parameterized(&self) -> bool {
+        self.0.is_parameterized()
+    }
+}
+
+impl fmt::Display for RotationGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0.mnemonic())
+    }
+}
+
+impl FromStr for RotationGate {
+    type Err = SearchError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let gate: Gate = s
+            .parse()
+            .map_err(|e: String| SearchError::InvalidEncoding { message: e })?;
+        RotationGate::new(gate)
+    }
+}
+
+/// The gate alphabet `A_R` from which mixer layers are assembled.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GateAlphabet {
+    gates: Vec<RotationGate>,
+}
+
+impl GateAlphabet {
+    /// An alphabet from an explicit gate list.
+    pub fn new(gates: Vec<Gate>) -> Result<GateAlphabet, SearchError> {
+        if gates.is_empty() {
+            return Err(SearchError::EmptyAlphabet);
+        }
+        let gates = gates.into_iter().map(RotationGate::new).collect::<Result<Vec<_>, _>>()?;
+        Ok(GateAlphabet { gates })
+    }
+
+    /// The paper's alphabet: `{RX, RY, RZ, H, P}` (|A_R| = 5).
+    pub fn paper_default() -> GateAlphabet {
+        GateAlphabet::new(vec![Gate::RX, Gate::RY, Gate::RZ, Gate::H, Gate::P])
+            .expect("default alphabet is non-empty and single-qubit")
+    }
+
+    /// Parse an alphabet from lower-case mnemonics, e.g. `["rx", "h"]`.
+    pub fn from_mnemonics(names: &[&str]) -> Result<GateAlphabet, SearchError> {
+        if names.is_empty() {
+            return Err(SearchError::EmptyAlphabet);
+        }
+        let gates = names
+            .iter()
+            .map(|n| n.parse::<RotationGate>())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(GateAlphabet { gates })
+    }
+
+    /// Alphabet size |A_R|.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the alphabet is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The gates in the alphabet.
+    pub fn gates(&self) -> &[RotationGate] {
+        &self.gates
+    }
+
+    /// Gate at position `i` (used to decode encodings).
+    pub fn gate_at(&self, i: usize) -> Option<RotationGate> {
+        self.gates.get(i).copied()
+    }
+
+    /// Position of a gate in the alphabet, if present.
+    pub fn position(&self, gate: Gate) -> Option<usize> {
+        self.gates.iter().position(|g| g.gate() == gate)
+    }
+
+    /// All ordered gate sequences of exactly length `k` (with repetition):
+    /// `|A_R|^k` sequences, the paper's GET_COMBINATIONS(A_R, k).
+    pub fn combinations(&self, k: usize) -> Vec<Vec<Gate>> {
+        let mut out = Vec::with_capacity(self.len().pow(k as u32));
+        let mut current = Vec::with_capacity(k);
+        self.combinations_rec(k, &mut current, &mut out);
+        out
+    }
+
+    fn combinations_rec(&self, k: usize, current: &mut Vec<Gate>, out: &mut Vec<Vec<Gate>>) {
+        if current.len() == k {
+            out.push(current.clone());
+            return;
+        }
+        for g in &self.gates {
+            current.push(g.gate());
+            self.combinations_rec(k, current, out);
+            current.pop();
+        }
+    }
+
+    /// All sequences of length `1..=k_max`, concatenated in increasing
+    /// length order.
+    pub fn all_combinations_up_to(&self, k_max: usize) -> Vec<Vec<Gate>> {
+        let mut out = Vec::new();
+        for k in 1..=k_max {
+            out.extend(self.combinations(k));
+        }
+        out
+    }
+
+    /// Number of length-`k` sequences without materializing them.
+    pub fn combination_count(&self, k: usize) -> usize {
+        self.len().pow(k as u32)
+    }
+
+    /// Total number of candidate circuit evaluations for a full search over
+    /// depths `1..=p_max` with per-depth sequences of length exactly `k`
+    /// (the paper's accounting: 4 depths × 5⁴ = 2500).
+    pub fn search_space_size(&self, p_max: usize, k: usize) -> usize {
+        p_max * self.combination_count(k)
+    }
+}
+
+impl fmt::Display for GateAlphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<String> = self.gates.iter().map(|g| g.to_string()).collect();
+        write!(f, "{{{}}}", names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_alphabet_has_five_gates() {
+        let a = GateAlphabet::paper_default();
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.to_string(), "{rx, ry, rz, h, p}");
+    }
+
+    #[test]
+    fn paper_search_space_is_2500() {
+        // 4 depths × 5^4 ordered sequences = 2500, matching §3.1.
+        let a = GateAlphabet::paper_default();
+        assert_eq!(a.search_space_size(4, 4), 2500);
+    }
+
+    #[test]
+    fn combination_counts() {
+        let a = GateAlphabet::paper_default();
+        assert_eq!(a.combination_count(1), 5);
+        assert_eq!(a.combination_count(2), 25);
+        assert_eq!(a.combinations(1).len(), 5);
+        assert_eq!(a.combinations(2).len(), 25);
+        assert_eq!(a.all_combinations_up_to(3).len(), 5 + 25 + 125);
+    }
+
+    #[test]
+    fn combinations_are_ordered_sequences_with_repetition() {
+        let a = GateAlphabet::from_mnemonics(&["rx", "ry"]).unwrap();
+        let combos = a.combinations(2);
+        assert_eq!(combos.len(), 4);
+        assert!(combos.contains(&vec![Gate::RX, Gate::RX]));
+        assert!(combos.contains(&vec![Gate::RX, Gate::RY]));
+        assert!(combos.contains(&vec![Gate::RY, Gate::RX]));
+        assert!(combos.contains(&vec![Gate::RY, Gate::RY]));
+    }
+
+    #[test]
+    fn empty_alphabet_rejected() {
+        assert!(matches!(GateAlphabet::new(vec![]), Err(SearchError::EmptyAlphabet)));
+        assert!(matches!(GateAlphabet::from_mnemonics(&[]), Err(SearchError::EmptyAlphabet)));
+    }
+
+    #[test]
+    fn two_qubit_gates_rejected() {
+        assert!(GateAlphabet::new(vec![Gate::CX]).is_err());
+        assert!(RotationGate::new(Gate::RZZ).is_err());
+    }
+
+    #[test]
+    fn mnemonic_round_trip() {
+        let a = GateAlphabet::from_mnemonics(&["rx", "h", "p"]).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.position(Gate::H), Some(1));
+        assert_eq!(a.position(Gate::RY), None);
+        assert_eq!(a.gate_at(2).unwrap().gate(), Gate::P);
+        assert!(a.gate_at(7).is_none());
+    }
+
+    #[test]
+    fn rotation_gate_parse_errors() {
+        assert!("rzz".parse::<RotationGate>().is_err());
+        assert!("bogus".parse::<RotationGate>().is_err());
+        assert_eq!("ry".parse::<RotationGate>().unwrap().gate(), Gate::RY);
+    }
+}

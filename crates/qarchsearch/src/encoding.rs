@@ -1,0 +1,182 @@
+//! Tensor encodings of candidate circuits.
+//!
+//! The paper's Predictor module "accepts a tensor that represents the
+//! rotation gates and entanglement operators and generates a new circuit
+//! representation that is passed to the quantum builder module". This module
+//! defines that representation: a one-hot matrix of shape
+//! `(sequence length × |A_R|)`, one row per mixer-gate slot. The encoding is
+//! what predictors manipulate and what the QBuilder decodes back into a gate
+//! sequence.
+
+use crate::alphabet::GateAlphabet;
+use crate::error::SearchError;
+use qcircuit::Gate;
+use serde::{Deserialize, Serialize};
+
+/// A one-hot encoding of an ordered mixer gate sequence over an alphabet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitEncoding {
+    /// `rows[i][j] = 1.0` iff slot `i` holds alphabet gate `j`.
+    rows: Vec<Vec<f64>>,
+    /// Alphabet size (row width).
+    alphabet_size: usize,
+}
+
+impl CircuitEncoding {
+    /// Encode a gate sequence over `alphabet` as a one-hot matrix.
+    pub fn encode(alphabet: &GateAlphabet, gates: &[Gate]) -> Result<CircuitEncoding, SearchError> {
+        if gates.is_empty() {
+            return Err(SearchError::InvalidEncoding {
+                message: "cannot encode an empty gate sequence".to_string(),
+            });
+        }
+        let mut rows = Vec::with_capacity(gates.len());
+        for &g in gates {
+            let pos = alphabet.position(g).ok_or_else(|| SearchError::InvalidEncoding {
+                message: format!("gate {g} is not in the alphabet {alphabet}"),
+            })?;
+            let mut row = vec![0.0; alphabet.len()];
+            row[pos] = 1.0;
+            rows.push(row);
+        }
+        Ok(CircuitEncoding { rows, alphabet_size: alphabet.len() })
+    }
+
+    /// Build an encoding directly from alphabet positions.
+    pub fn from_positions(
+        alphabet: &GateAlphabet,
+        positions: &[usize],
+    ) -> Result<CircuitEncoding, SearchError> {
+        if positions.is_empty() {
+            return Err(SearchError::InvalidEncoding {
+                message: "cannot encode an empty position sequence".to_string(),
+            });
+        }
+        let mut rows = Vec::with_capacity(positions.len());
+        for &p in positions {
+            if p >= alphabet.len() {
+                return Err(SearchError::InvalidEncoding {
+                    message: format!("position {p} out of range for alphabet of size {}", alphabet.len()),
+                });
+            }
+            let mut row = vec![0.0; alphabet.len()];
+            row[p] = 1.0;
+            rows.push(row);
+        }
+        Ok(CircuitEncoding { rows, alphabet_size: alphabet.len() })
+    }
+
+    /// Decode back into a gate sequence (argmax per row).
+    pub fn decode(&self, alphabet: &GateAlphabet) -> Result<Vec<Gate>, SearchError> {
+        if alphabet.len() != self.alphabet_size {
+            return Err(SearchError::InvalidEncoding {
+                message: format!(
+                    "encoding width {} does not match alphabet size {}",
+                    self.alphabet_size,
+                    alphabet.len()
+                ),
+            });
+        }
+        self.rows
+            .iter()
+            .map(|row| {
+                let (best, _) = row
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .ok_or_else(|| SearchError::InvalidEncoding {
+                        message: "empty encoding row".to_string(),
+                    })?;
+                alphabet
+                    .gate_at(best)
+                    .map(|g| g.gate())
+                    .ok_or_else(|| SearchError::InvalidEncoding {
+                        message: format!("row argmax {best} outside alphabet"),
+                    })
+            })
+            .collect()
+    }
+
+    /// Number of gate slots (rows).
+    pub fn num_slots(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Alphabet size (row width).
+    pub fn alphabet_size(&self) -> usize {
+        self.alphabet_size
+    }
+
+    /// The raw one-hot matrix.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Flatten into a single feature vector (what a neural predictor would
+    /// consume).
+    pub fn flatten(&self) -> Vec<f64> {
+        self.rows.iter().flatten().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let alphabet = GateAlphabet::paper_default();
+        let gates = vec![Gate::RX, Gate::RY, Gate::H];
+        let enc = CircuitEncoding::encode(&alphabet, &gates).unwrap();
+        assert_eq!(enc.num_slots(), 3);
+        assert_eq!(enc.alphabet_size(), 5);
+        assert_eq!(enc.decode(&alphabet).unwrap(), gates);
+    }
+
+    #[test]
+    fn rows_are_one_hot() {
+        let alphabet = GateAlphabet::paper_default();
+        let enc = CircuitEncoding::encode(&alphabet, &[Gate::P, Gate::RZ]).unwrap();
+        for row in enc.rows() {
+            let ones = row.iter().filter(|&&v| v == 1.0).count();
+            let zeros = row.iter().filter(|&&v| v == 0.0).count();
+            assert_eq!(ones, 1);
+            assert_eq!(zeros, row.len() - 1);
+        }
+    }
+
+    #[test]
+    fn gate_outside_alphabet_is_rejected() {
+        let alphabet = GateAlphabet::from_mnemonics(&["rx", "ry"]).unwrap();
+        assert!(CircuitEncoding::encode(&alphabet, &[Gate::H]).is_err());
+    }
+
+    #[test]
+    fn empty_sequence_is_rejected() {
+        let alphabet = GateAlphabet::paper_default();
+        assert!(CircuitEncoding::encode(&alphabet, &[]).is_err());
+        assert!(CircuitEncoding::from_positions(&alphabet, &[]).is_err());
+    }
+
+    #[test]
+    fn from_positions_validates_range() {
+        let alphabet = GateAlphabet::paper_default();
+        assert!(CircuitEncoding::from_positions(&alphabet, &[0, 4]).is_ok());
+        assert!(CircuitEncoding::from_positions(&alphabet, &[5]).is_err());
+    }
+
+    #[test]
+    fn decode_checks_alphabet_width() {
+        let a5 = GateAlphabet::paper_default();
+        let a2 = GateAlphabet::from_mnemonics(&["rx", "ry"]).unwrap();
+        let enc = CircuitEncoding::encode(&a5, &[Gate::RX]).unwrap();
+        assert!(enc.decode(&a2).is_err());
+    }
+
+    #[test]
+    fn flatten_length() {
+        let alphabet = GateAlphabet::paper_default();
+        let enc = CircuitEncoding::encode(&alphabet, &[Gate::RX, Gate::RY]).unwrap();
+        assert_eq!(enc.flatten().len(), 10);
+    }
+}

@@ -1,0 +1,42 @@
+//! Error types for the architecture search.
+
+use thiserror::Error;
+
+/// Errors raised by the search package.
+#[derive(Debug, Error, Clone, PartialEq)]
+pub enum SearchError {
+    /// The gate alphabet is empty.
+    #[error("gate alphabet must contain at least one gate")]
+    EmptyAlphabet,
+
+    /// No graphs were supplied to the search.
+    #[error("the search requires at least one training graph")]
+    NoGraphs,
+
+    /// The search configuration is inconsistent.
+    #[error("invalid search configuration: {message}")]
+    InvalidConfig {
+        /// What is wrong.
+        message: String,
+    },
+
+    /// A candidate evaluation failed.
+    #[error("candidate evaluation failed: {message}")]
+    Evaluation {
+        /// Underlying error description.
+        message: String,
+    },
+
+    /// An encoding could not be decoded into a gate sequence.
+    #[error("invalid circuit encoding: {message}")]
+    InvalidEncoding {
+        /// What is wrong.
+        message: String,
+    },
+}
+
+impl From<qaoa::QaoaError> for SearchError {
+    fn from(e: qaoa::QaoaError) -> Self {
+        SearchError::Evaluation { message: e.to_string() }
+    }
+}

@@ -1,0 +1,59 @@
+//! # qarchsearch — scalable quantum architecture search for QAOA mixers
+//!
+//! This crate is the Rust reproduction of the paper's primary contribution:
+//! an automated, parallel search over candidate **mixer circuits** for the
+//! Max-Cut QAOA, mirroring the three-component architecture of Fig. 1:
+//!
+//! * [`predictor`] — proposes candidate circuit encodings. The released
+//!   QArchSearch uses random search (a strong NAS baseline); this crate also
+//!   ships an exhaustive enumerator, an ε-greedy bandit and a softmax
+//!   policy-gradient predictor as the "deep-learning-based search" extension
+//!   the paper lists as future work.
+//! * [`qbuilder`] — turns an encoding into a concrete parameterized circuit
+//!   (the paper's QBuilder emits Qiskit circuits; ours emits
+//!   [`qcircuit::Circuit`] values via the [`qaoa`] crate).
+//! * [`evaluator`] — trains the candidate ansatz on the Max-Cut objective
+//!   (COBYLA, 200 steps by default) and reports the energy, which is fed back
+//!   to the predictor as the reward.
+//!
+//! [`search`] wires the three together in either a serial loop (Algorithm 1)
+//! or the two-level parallel scheme of Figs. 2–3: the outer level fans the
+//!   candidate gate combinations out over a thread pool (the paper uses
+//!   Python `multiprocessing` over the CPUs of a Polaris node); the inner
+//!   level parallelizes each energy evaluation over graph edges inside the
+//!   tensor-network backend.
+//!
+//! ```
+//! use graphs::Graph;
+//! use qarchsearch::search::{SearchConfig, SerialSearch};
+//!
+//! let graph = Graph::erdos_renyi(6, 0.5, 1);
+//! let config = SearchConfig::builder()
+//!     .max_depth(1)
+//!     .max_gates_per_mixer(1)
+//!     .optimizer_budget(30)
+//!     .build();
+//! let outcome = SerialSearch::new(config).run(&[graph]).unwrap();
+//! assert!(outcome.best.energy > 0.0);
+//! ```
+
+pub mod alphabet;
+pub mod constraints;
+pub mod encoding;
+pub mod error;
+pub mod evaluator;
+pub mod predictor;
+pub mod qbuilder;
+pub mod report;
+pub mod search;
+
+pub use alphabet::{GateAlphabet, RotationGate};
+pub use constraints::{Constraint, ConstraintSet};
+pub use error::SearchError;
+pub use evaluator::Evaluator;
+pub use predictor::{Predictor, RandomPredictor};
+pub use qbuilder::QBuilder;
+pub use search::{ParallelSearch, SearchConfig, SearchOutcome, SerialSearch};
+
+#[cfg(test)]
+mod proptests;

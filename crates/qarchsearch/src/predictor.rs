@@ -1,0 +1,431 @@
+//! Predictors: the component that proposes candidate circuits.
+//!
+//! The released QArchSearch uses random search, "which has shown to be a
+//! strong baseline in neural architecture search" (§2.1, citing Li &
+//! Talwalkar). The paper lists learned search (RL / DNN controllers à la
+//! Zoph & Le) as the planned extension; this module ships both:
+//!
+//! * [`RandomPredictor`] — uniform random gate sequences (the paper's
+//!   released algorithm),
+//! * [`ExhaustivePredictor`] — enumerate the full space (what the profiling
+//!   experiments of §3.1 actually time),
+//! * [`EpsilonGreedyPredictor`] — a per-slot bandit that exploits observed
+//!   rewards,
+//! * [`PolicyGradientPredictor`] — a softmax policy over gates per slot
+//!   trained with REINFORCE, the lightweight stand-in for the "deep neural
+//!   network based search" future-work direction.
+//!
+//! Predictors propose gate sequences of a requested length and receive the
+//! evaluator's reward via [`Predictor::feedback`].
+
+use crate::alphabet::GateAlphabet;
+use qcircuit::Gate;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A strategy for proposing candidate mixer gate sequences.
+pub trait Predictor: Send {
+    /// Propose one gate sequence of exactly `k` gates.
+    fn propose(&mut self, k: usize) -> Vec<Gate>;
+
+    /// Receive the reward obtained by a previously proposed sequence.
+    fn feedback(&mut self, gates: &[Gate], reward: f64);
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+// --------------------------------------------------------------------------
+
+/// Uniform random search over gate sequences (the paper's algorithm).
+#[derive(Debug, Clone)]
+pub struct RandomPredictor {
+    alphabet: GateAlphabet,
+    rng: ChaCha8Rng,
+}
+
+impl RandomPredictor {
+    /// A random predictor over `alphabet` with a fixed seed.
+    pub fn new(alphabet: GateAlphabet, seed: u64) -> RandomPredictor {
+        RandomPredictor { alphabet, rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+}
+
+impl Predictor for RandomPredictor {
+    fn propose(&mut self, k: usize) -> Vec<Gate> {
+        (0..k.max(1))
+            .map(|_| {
+                let i = self.rng.gen_range(0..self.alphabet.len());
+                self.alphabet.gate_at(i).expect("index in range").gate()
+            })
+            .collect()
+    }
+
+    fn feedback(&mut self, _gates: &[Gate], _reward: f64) {
+        // Random search ignores rewards.
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+// --------------------------------------------------------------------------
+
+/// Exhaustive enumeration of every sequence of a given length, in
+/// lexicographic order, cycling back to the start when exhausted.
+#[derive(Debug, Clone)]
+pub struct ExhaustivePredictor {
+    alphabet: GateAlphabet,
+    cursor: usize,
+    current_k: usize,
+}
+
+impl ExhaustivePredictor {
+    /// An exhaustive predictor over `alphabet`.
+    pub fn new(alphabet: GateAlphabet) -> ExhaustivePredictor {
+        ExhaustivePredictor { alphabet, cursor: 0, current_k: 0 }
+    }
+
+    /// Total number of sequences of length `k`.
+    pub fn space_size(&self, k: usize) -> usize {
+        self.alphabet.combination_count(k)
+    }
+}
+
+impl Predictor for ExhaustivePredictor {
+    fn propose(&mut self, k: usize) -> Vec<Gate> {
+        let k = k.max(1);
+        if k != self.current_k {
+            self.current_k = k;
+            self.cursor = 0;
+        }
+        let total = self.space_size(k);
+        let mut idx = self.cursor % total;
+        self.cursor = (self.cursor + 1) % total;
+        // Decode idx in base |A_R|.
+        let base = self.alphabet.len();
+        let mut gates = vec![Gate::I; k];
+        for slot in (0..k).rev() {
+            let digit = idx % base;
+            idx /= base;
+            gates[slot] = self.alphabet.gate_at(digit).expect("digit in range").gate();
+        }
+        gates
+    }
+
+    fn feedback(&mut self, _gates: &[Gate], _reward: f64) {}
+
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+}
+
+// --------------------------------------------------------------------------
+
+/// An ε-greedy bandit with independent per-(slot, gate) value estimates.
+#[derive(Debug, Clone)]
+pub struct EpsilonGreedyPredictor {
+    alphabet: GateAlphabet,
+    epsilon: f64,
+    /// values[slot][gate] = running mean reward; counts track sample sizes.
+    values: Vec<Vec<f64>>,
+    counts: Vec<Vec<usize>>,
+    rng: ChaCha8Rng,
+}
+
+impl EpsilonGreedyPredictor {
+    /// A bandit predictor with exploration rate `epsilon` over `alphabet`.
+    pub fn new(alphabet: GateAlphabet, epsilon: f64, seed: u64) -> EpsilonGreedyPredictor {
+        EpsilonGreedyPredictor {
+            alphabet,
+            epsilon: epsilon.clamp(0.0, 1.0),
+            values: Vec::new(),
+            counts: Vec::new(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    fn ensure_slots(&mut self, k: usize) {
+        while self.values.len() < k {
+            self.values.push(vec![0.0; self.alphabet.len()]);
+            self.counts.push(vec![0; self.alphabet.len()]);
+        }
+    }
+
+    /// The current greedy sequence of length `k` (highest value per slot).
+    pub fn greedy_sequence(&self, k: usize) -> Vec<Gate> {
+        (0..k)
+            .map(|slot| {
+                let best = self
+                    .values
+                    .get(slot)
+                    .map(|vals| {
+                        vals.iter()
+                            .enumerate()
+                            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                            .map(|(i, _)| i)
+                            .unwrap_or(0)
+                    })
+                    .unwrap_or(0);
+                self.alphabet.gate_at(best).expect("index in range").gate()
+            })
+            .collect()
+    }
+}
+
+impl Predictor for EpsilonGreedyPredictor {
+    fn propose(&mut self, k: usize) -> Vec<Gate> {
+        let k = k.max(1);
+        self.ensure_slots(k);
+        (0..k)
+            .map(|slot| {
+                let explore = self.rng.gen::<f64>() < self.epsilon;
+                let idx = if explore {
+                    self.rng.gen_range(0..self.alphabet.len())
+                } else {
+                    self.values[slot]
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                        .map(|(i, _)| i)
+                        .unwrap_or(0)
+                };
+                self.alphabet.gate_at(idx).expect("index in range").gate()
+            })
+            .collect()
+    }
+
+    fn feedback(&mut self, gates: &[Gate], reward: f64) {
+        self.ensure_slots(gates.len());
+        for (slot, gate) in gates.iter().enumerate() {
+            if let Some(gi) = self.alphabet.position(*gate) {
+                let n = self.counts[slot][gi] + 1;
+                self.counts[slot][gi] = n;
+                let old = self.values[slot][gi];
+                self.values[slot][gi] = old + (reward - old) / n as f64;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "epsilon-greedy"
+    }
+}
+
+// --------------------------------------------------------------------------
+
+/// A softmax policy over gates per slot, trained with REINFORCE and a running
+/// baseline — the minimal "neural" controller in the spirit of Zoph & Le.
+#[derive(Debug, Clone)]
+pub struct PolicyGradientPredictor {
+    alphabet: GateAlphabet,
+    learning_rate: f64,
+    /// logits[slot][gate].
+    logits: Vec<Vec<f64>>,
+    baseline: f64,
+    baseline_count: usize,
+    rng: ChaCha8Rng,
+}
+
+impl PolicyGradientPredictor {
+    /// A policy-gradient predictor with the given learning rate and seed.
+    pub fn new(alphabet: GateAlphabet, learning_rate: f64, seed: u64) -> PolicyGradientPredictor {
+        PolicyGradientPredictor {
+            alphabet,
+            learning_rate,
+            logits: Vec::new(),
+            baseline: 0.0,
+            baseline_count: 0,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    fn ensure_slots(&mut self, k: usize) {
+        while self.logits.len() < k {
+            self.logits.push(vec![0.0; self.alphabet.len()]);
+        }
+    }
+
+    fn softmax(logits: &[f64]) -> Vec<f64> {
+        let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / sum).collect()
+    }
+
+    /// The policy's probability distribution over gates for a slot.
+    pub fn slot_distribution(&self, slot: usize) -> Vec<f64> {
+        match self.logits.get(slot) {
+            Some(l) => Self::softmax(l),
+            None => vec![1.0 / self.alphabet.len() as f64; self.alphabet.len()],
+        }
+    }
+}
+
+impl Predictor for PolicyGradientPredictor {
+    fn propose(&mut self, k: usize) -> Vec<Gate> {
+        let k = k.max(1);
+        self.ensure_slots(k);
+        (0..k)
+            .map(|slot| {
+                let probs = Self::softmax(&self.logits[slot]);
+                let r: f64 = self.rng.gen();
+                let mut acc = 0.0;
+                let mut chosen = probs.len() - 1;
+                for (i, p) in probs.iter().enumerate() {
+                    acc += p;
+                    if r < acc {
+                        chosen = i;
+                        break;
+                    }
+                }
+                self.alphabet.gate_at(chosen).expect("index in range").gate()
+            })
+            .collect()
+    }
+
+    fn feedback(&mut self, gates: &[Gate], reward: f64) {
+        self.ensure_slots(gates.len());
+        // Running-mean baseline reduces the variance of the REINFORCE update.
+        self.baseline_count += 1;
+        self.baseline += (reward - self.baseline) / self.baseline_count as f64;
+        let advantage = reward - self.baseline;
+
+        for (slot, gate) in gates.iter().enumerate() {
+            let Some(chosen) = self.alphabet.position(*gate) else { continue };
+            let probs = Self::softmax(&self.logits[slot]);
+            for (i, p) in probs.iter().enumerate() {
+                // ∂ log π(chosen) / ∂ logit_i = [i == chosen] − p_i.
+                let grad = if i == chosen { 1.0 - p } else { -p };
+                self.logits[slot][i] += self.learning_rate * advantage * grad;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "policy-gradient"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alphabet() -> GateAlphabet {
+        GateAlphabet::paper_default()
+    }
+
+    #[test]
+    fn random_predictor_respects_length_and_alphabet() {
+        let mut p = RandomPredictor::new(alphabet(), 3);
+        for k in 1..=4 {
+            let seq = p.propose(k);
+            assert_eq!(seq.len(), k);
+            for g in seq {
+                assert!(alphabet().position(g).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn random_predictor_is_seeded() {
+        let mut a = RandomPredictor::new(alphabet(), 9);
+        let mut b = RandomPredictor::new(alphabet(), 9);
+        assert_eq!(a.propose(3), b.propose(3));
+        assert_eq!(a.propose(2), b.propose(2));
+    }
+
+    #[test]
+    fn exhaustive_predictor_enumerates_whole_space() {
+        let small = GateAlphabet::from_mnemonics(&["rx", "ry"]).unwrap();
+        let mut p = ExhaustivePredictor::new(small.clone());
+        let total = p.space_size(2);
+        assert_eq!(total, 4);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..total {
+            let seq = p.propose(2);
+            seen.insert(format!("{seq:?}"));
+        }
+        assert_eq!(seen.len(), 4);
+        // Cycles back afterwards.
+        let again = p.propose(2);
+        assert!(seen.contains(&format!("{again:?}")));
+    }
+
+    #[test]
+    fn exhaustive_predictor_resets_on_length_change() {
+        let mut p = ExhaustivePredictor::new(alphabet());
+        let first_k1 = p.propose(1);
+        let _ = p.propose(1);
+        let first_k2 = p.propose(2);
+        assert_eq!(first_k2.len(), 2);
+        // Switching back restarts the k=1 enumeration.
+        let restart = p.propose(1);
+        assert_eq!(first_k1, restart);
+    }
+
+    #[test]
+    fn epsilon_greedy_learns_best_gate() {
+        // Reward RX highly and everything else poorly: the greedy sequence
+        // must converge to RX in every slot.
+        let mut p = EpsilonGreedyPredictor::new(alphabet(), 0.3, 4);
+        for _ in 0..200 {
+            let seq = p.propose(2);
+            let reward =
+                seq.iter().filter(|&&g| g == Gate::RX).count() as f64 / seq.len() as f64;
+            p.feedback(&seq, reward);
+        }
+        assert_eq!(p.greedy_sequence(2), vec![Gate::RX, Gate::RX]);
+    }
+
+    #[test]
+    fn epsilon_zero_is_pure_exploitation() {
+        let mut p = EpsilonGreedyPredictor::new(alphabet(), 0.0, 1);
+        p.feedback(&[Gate::RY], 10.0);
+        // With no exploration, every proposal picks the only rewarded gate.
+        for _ in 0..5 {
+            assert_eq!(p.propose(1), vec![Gate::RY]);
+        }
+    }
+
+    #[test]
+    fn policy_gradient_concentrates_on_rewarded_gate() {
+        let mut p = PolicyGradientPredictor::new(alphabet(), 0.5, 7);
+        for _ in 0..300 {
+            let seq = p.propose(1);
+            let reward = if seq[0] == Gate::RY { 1.0 } else { 0.0 };
+            p.feedback(&seq, reward);
+        }
+        let dist = p.slot_distribution(0);
+        let ry_idx = alphabet().position(Gate::RY).unwrap();
+        let max_idx = dist
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(max_idx, ry_idx, "distribution {dist:?}");
+        assert!(dist[ry_idx] > 0.5);
+    }
+
+    #[test]
+    fn policy_distribution_is_normalized() {
+        let p = PolicyGradientPredictor::new(alphabet(), 0.1, 2);
+        let d = p.slot_distribution(0);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn predictor_names_are_distinct() {
+        let names = [
+            RandomPredictor::new(alphabet(), 0).name(),
+            ExhaustivePredictor::new(alphabet()).name(),
+            EpsilonGreedyPredictor::new(alphabet(), 0.1, 0).name(),
+            PolicyGradientPredictor::new(alphabet(), 0.1, 0).name(),
+        ];
+        let unique: std::collections::BTreeSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+    }
+}

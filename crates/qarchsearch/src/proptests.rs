@@ -1,0 +1,86 @@
+//! Property-based tests for the search package.
+
+use crate::alphabet::GateAlphabet;
+use crate::encoding::CircuitEncoding;
+use crate::predictor::{ExhaustivePredictor, Predictor, RandomPredictor};
+use crate::search::{SearchConfig, SearchStrategy};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn combination_counts_match_enumeration(k in 1usize..4, size in 2usize..5) {
+        let mnemonics = ["rx", "ry", "rz", "h", "p"];
+        let alphabet = GateAlphabet::from_mnemonics(&mnemonics[..size]).unwrap();
+        let combos = alphabet.combinations(k);
+        prop_assert_eq!(combos.len(), alphabet.combination_count(k));
+        // Each combination has exactly k gates from the alphabet.
+        for c in &combos {
+            prop_assert_eq!(c.len(), k);
+            for g in c {
+                prop_assert!(alphabet.position(*g).is_some());
+            }
+        }
+        // All combinations are distinct.
+        let unique: std::collections::BTreeSet<String> =
+            combos.iter().map(|c| format!("{c:?}")).collect();
+        prop_assert_eq!(unique.len(), combos.len());
+    }
+
+    #[test]
+    fn encode_decode_is_identity(positions in proptest::collection::vec(0usize..5, 1..5)) {
+        let alphabet = GateAlphabet::paper_default();
+        let enc = CircuitEncoding::from_positions(&alphabet, &positions).unwrap();
+        let gates = enc.decode(&alphabet).unwrap();
+        let re_enc = CircuitEncoding::encode(&alphabet, &gates).unwrap();
+        prop_assert_eq!(enc, re_enc);
+    }
+
+    #[test]
+    fn random_predictor_only_uses_alphabet_gates(seed in any::<u64>(), k in 1usize..5) {
+        let alphabet = GateAlphabet::from_mnemonics(&["rx", "h", "p"]).unwrap();
+        let mut p = RandomPredictor::new(alphabet.clone(), seed);
+        let seq = p.propose(k);
+        prop_assert_eq!(seq.len(), k);
+        for g in seq {
+            prop_assert!(alphabet.position(g).is_some());
+        }
+    }
+
+    #[test]
+    fn exhaustive_predictor_covers_space_without_repeats(k in 1usize..3, size in 2usize..4) {
+        let mnemonics = ["rx", "ry", "rz", "h"];
+        let alphabet = GateAlphabet::from_mnemonics(&mnemonics[..size]).unwrap();
+        let mut p = ExhaustivePredictor::new(alphabet);
+        let total = p.space_size(k);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..total {
+            seen.insert(format!("{:?}", p.propose(k)));
+        }
+        prop_assert_eq!(seen.len(), total);
+    }
+
+    #[test]
+    fn candidate_space_size_formula(p_max in 1usize..5, k in 1usize..4) {
+        let alphabet = GateAlphabet::paper_default();
+        prop_assert_eq!(alphabet.search_space_size(p_max, k), p_max * 5usize.pow(k as u32));
+    }
+
+    #[test]
+    fn config_validation_accepts_sane_configs(
+        depth in 1usize..5,
+        k in 1usize..5,
+        budget in 1usize..300,
+        threads in 1usize..64,
+    ) {
+        let cfg = SearchConfig::builder()
+            .max_depth(depth)
+            .max_gates_per_mixer(k)
+            .optimizer_budget(budget)
+            .threads(threads)
+            .strategy(SearchStrategy::Random { samples_per_depth: 5 })
+            .build();
+        prop_assert!(cfg.validate().is_ok());
+    }
+}

@@ -1,0 +1,689 @@
+//! The search schedulers: Algorithm 1, serially and in parallel.
+//!
+//! [`SerialSearch`] is a faithful transcription of Algorithm 1: for every
+//! QAOA depth `p = 1..=p_max`, enumerate (or sample) candidate mixer gate
+//! combinations, build and train each candidate, and keep the best performer.
+//!
+//! [`ParallelSearch`] implements the paper's speedup: "our focus was to
+//! improve run time by searching multiple possible gate combinations in
+//! parallel" (§3.1), i.e. the **outer** level of the two-level scheme of
+//! Figs. 2–3. The original uses Python `multiprocessing.starmap_async` over
+//! the CPUs of a Polaris node; here the candidate evaluations are dispatched
+//! onto a dedicated Rayon thread pool whose size plays the role of "number of
+//! cores" in Fig. 5. The **inner** level (per-edge tensor contractions inside
+//! the evaluator) is controlled by the chosen [`qaoa::Backend`].
+
+use crate::alphabet::GateAlphabet;
+use crate::constraints::ConstraintSet;
+use crate::error::SearchError;
+use crate::evaluator::{CandidateResult, Evaluator, EvaluatorConfig};
+use crate::predictor::{
+    EpsilonGreedyPredictor, PolicyGradientPredictor, Predictor, RandomPredictor,
+};
+use crate::qbuilder::QBuilder;
+use graphs::Graph;
+use qcircuit::Gate;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// How candidate gate combinations are proposed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SearchStrategy {
+    /// Enumerate every ordered sequence of length `1..=k_max` (what the
+    /// paper's profiling experiments time).
+    Exhaustive,
+    /// Random search (the paper's released algorithm): sample
+    /// `samples_per_depth` sequences per depth, each of a random length in
+    /// `1..=k_max`.
+    Random {
+        /// Number of candidates sampled per depth.
+        samples_per_depth: usize,
+    },
+    /// ε-greedy bandit over per-slot gate choices.
+    EpsilonGreedy {
+        /// Number of candidates proposed per depth.
+        samples_per_depth: usize,
+        /// Exploration rate.
+        epsilon: f64,
+    },
+    /// Softmax policy-gradient controller (the "DNN-based search" extension).
+    PolicyGradient {
+        /// Number of candidates proposed per depth.
+        samples_per_depth: usize,
+        /// REINFORCE learning rate.
+        learning_rate: f64,
+    },
+}
+
+impl Default for SearchStrategy {
+    fn default() -> Self {
+        SearchStrategy::Exhaustive
+    }
+}
+
+/// Full configuration of a search run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchConfig {
+    /// The gate alphabet `A_R`.
+    pub alphabet: GateAlphabet,
+    /// Maximum QAOA depth `p_max` (depths `1..=p_max` are searched).
+    pub max_depth: usize,
+    /// Maximum number of gates per mixer (`K_max`).
+    pub max_gates_per_mixer: usize,
+    /// Candidate proposal strategy.
+    pub strategy: SearchStrategy,
+    /// Evaluator configuration (backend, optimizer, training budget).
+    pub evaluator: EvaluatorConfig,
+    /// Seed for every stochastic component.
+    pub seed: u64,
+    /// Size of the outer-level thread pool for [`ParallelSearch`]
+    /// (`None` = Rayon's default, typically the number of logical cores).
+    pub threads: Option<usize>,
+    /// Admissibility constraints applied to every proposed candidate ("our
+    /// software can also incorporate arbitrary constraints in the search
+    /// procedure", §6 of the paper).
+    pub constraints: ConstraintSet,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            alphabet: GateAlphabet::paper_default(),
+            max_depth: 4,
+            max_gates_per_mixer: 4,
+            strategy: SearchStrategy::Exhaustive,
+            evaluator: EvaluatorConfig::default(),
+            seed: 0,
+            threads: None,
+            constraints: ConstraintSet::none(),
+        }
+    }
+}
+
+impl SearchConfig {
+    /// Start building a configuration from the defaults.
+    pub fn builder() -> SearchConfigBuilder {
+        SearchConfigBuilder { config: SearchConfig::default() }
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), SearchError> {
+        if self.max_depth == 0 {
+            return Err(SearchError::InvalidConfig { message: "max_depth must be ≥ 1".into() });
+        }
+        if self.max_gates_per_mixer == 0 {
+            return Err(SearchError::InvalidConfig {
+                message: "max_gates_per_mixer must be ≥ 1".into(),
+            });
+        }
+        if self.evaluator.budget == 0 {
+            return Err(SearchError::InvalidConfig {
+                message: "optimizer budget must be ≥ 1".into(),
+            });
+        }
+        if let Some(0) = self.threads {
+            return Err(SearchError::InvalidConfig { message: "threads must be ≥ 1".into() });
+        }
+        Ok(())
+    }
+
+    /// The candidate gate sequences explored at one depth.
+    fn candidates_for_depth(&self, depth: usize) -> Vec<Vec<Gate>> {
+        let k_max = self.max_gates_per_mixer;
+        match &self.strategy {
+            SearchStrategy::Exhaustive => self.alphabet.all_combinations_up_to(k_max),
+            SearchStrategy::Random { samples_per_depth } => {
+                let mut predictor = RandomPredictor::new(
+                    self.alphabet.clone(),
+                    self.seed.wrapping_add(depth as u64),
+                );
+                let mut rng_len = RandomPredictor::new(
+                    self.alphabet.clone(),
+                    self.seed.wrapping_add(1000 + depth as u64),
+                );
+                (0..*samples_per_depth)
+                    .map(|i| {
+                        // Vary the sequence length deterministically from the
+                        // auxiliary predictor's proposal length behaviour.
+                        let len = 1 + (rng_len.propose(1)[0] as usize + i) % k_max;
+                        predictor.propose(len)
+                    })
+                    .collect()
+            }
+            SearchStrategy::EpsilonGreedy { samples_per_depth, .. }
+            | SearchStrategy::PolicyGradient { samples_per_depth, .. } => {
+                // Learned predictors propose online inside the search loop;
+                // here we only report the space size they will explore.
+                let _ = samples_per_depth;
+                Vec::new()
+            }
+        }
+    }
+}
+
+/// Builder for [`SearchConfig`].
+#[derive(Debug, Clone)]
+pub struct SearchConfigBuilder {
+    config: SearchConfig,
+}
+
+impl SearchConfigBuilder {
+    /// Set the gate alphabet.
+    pub fn alphabet(mut self, alphabet: GateAlphabet) -> Self {
+        self.config.alphabet = alphabet;
+        self
+    }
+
+    /// Set `p_max`.
+    pub fn max_depth(mut self, p_max: usize) -> Self {
+        self.config.max_depth = p_max;
+        self
+    }
+
+    /// Set `K_max`.
+    pub fn max_gates_per_mixer(mut self, k_max: usize) -> Self {
+        self.config.max_gates_per_mixer = k_max;
+        self
+    }
+
+    /// Set the proposal strategy.
+    pub fn strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// Set the evaluator's optimizer budget (paper default: 200).
+    pub fn optimizer_budget(mut self, budget: usize) -> Self {
+        self.config.evaluator.budget = budget;
+        self
+    }
+
+    /// Set the evaluator backend.
+    pub fn backend(mut self, backend: qaoa::Backend) -> Self {
+        self.config.evaluator.backend = backend;
+        self
+    }
+
+    /// Set the evaluator optimizer.
+    pub fn optimizer(mut self, optimizer: optim::OptimizerKind) -> Self {
+        self.config.evaluator.optimizer = optimizer;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Set the outer-level thread count for the parallel scheduler.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = Some(threads);
+        self
+    }
+
+    /// Set the candidate admissibility constraints.
+    pub fn constraints(mut self, constraints: ConstraintSet) -> Self {
+        self.config.constraints = constraints;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> SearchConfig {
+        self.config
+    }
+}
+
+/// The best mixer found by a search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BestCandidate {
+    /// The gate sequence of the winning mixer.
+    pub gates: Vec<Gate>,
+    /// The paper-style label, e.g. `('rx', 'ry')`.
+    pub mixer_label: String,
+    /// Depth at which the winner was found.
+    pub depth: usize,
+    /// Mean trained energy over the training graphs.
+    pub energy: f64,
+    /// Mean approximation ratio over the training graphs.
+    pub approx_ratio: f64,
+}
+
+/// Per-depth record of a search run (one point of Fig. 4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DepthResult {
+    /// The QAOA depth `p`.
+    pub depth: usize,
+    /// Every candidate evaluated at this depth.
+    pub candidates: Vec<CandidateResult>,
+    /// Wall-clock seconds spent on this depth.
+    pub elapsed_seconds: f64,
+    /// Best mean energy seen at this depth.
+    pub best_energy: f64,
+}
+
+/// The outcome of a full search run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// The overall best mixer (`U_B^best` of Algorithm 1).
+    pub best: BestCandidate,
+    /// Per-depth details and timings.
+    pub depth_results: Vec<DepthResult>,
+    /// Total wall-clock seconds.
+    pub total_elapsed_seconds: f64,
+    /// Total number of candidate evaluations.
+    pub num_candidates_evaluated: usize,
+    /// Whether the parallel scheduler was used, and with how many threads.
+    pub parallel_threads: Option<usize>,
+}
+
+impl SearchOutcome {
+    fn from_depth_results(
+        depth_results: Vec<DepthResult>,
+        total_elapsed_seconds: f64,
+        parallel_threads: Option<usize>,
+    ) -> Result<SearchOutcome, SearchError> {
+        let mut best: Option<BestCandidate> = None;
+        let mut num_candidates_evaluated = 0;
+        for dr in &depth_results {
+            for cand in &dr.candidates {
+                num_candidates_evaluated += 1;
+                let is_better = best.as_ref().map(|b| cand.mean_energy > b.energy).unwrap_or(true);
+                if is_better {
+                    best = Some(BestCandidate {
+                        gates: parse_label_gates(&cand.mixer_label),
+                        mixer_label: cand.mixer_label.clone(),
+                        depth: cand.depth,
+                        energy: cand.mean_energy,
+                        approx_ratio: cand.mean_approx_ratio,
+                    });
+                }
+            }
+        }
+        let best = best.ok_or(SearchError::Evaluation {
+            message: "search evaluated no candidates".to_string(),
+        })?;
+        Ok(SearchOutcome {
+            best,
+            depth_results,
+            total_elapsed_seconds,
+            num_candidates_evaluated,
+            parallel_threads,
+        })
+    }
+
+    /// Wall-clock seconds spent at a given depth, if that depth was searched.
+    pub fn elapsed_at_depth(&self, depth: usize) -> Option<f64> {
+        self.depth_results.iter().find(|d| d.depth == depth).map(|d| d.elapsed_seconds)
+    }
+}
+
+/// Recover the gate sequence from a mixer label like `('rx', 'ry')`.
+fn parse_label_gates(label: &str) -> Vec<Gate> {
+    label
+        .trim_matches(|c| c == '(' || c == ')')
+        .split(',')
+        .filter_map(|part| {
+            let name = part.trim().trim_matches('\'');
+            if name.is_empty() {
+                None
+            } else {
+                name.parse::<Gate>().ok()
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+
+/// Serial scheduler: Algorithm 1 exactly as written.
+#[derive(Debug, Clone)]
+pub struct SerialSearch {
+    config: SearchConfig,
+}
+
+impl SerialSearch {
+    /// A serial search with the given configuration.
+    pub fn new(config: SearchConfig) -> SerialSearch {
+        SerialSearch { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Run the search over the training graphs.
+    pub fn run(&self, graphs: &[Graph]) -> Result<SearchOutcome, SearchError> {
+        self.config.validate()?;
+        if graphs.is_empty() {
+            return Err(SearchError::NoGraphs);
+        }
+        let builder = QBuilder::new(self.config.alphabet.clone());
+        let evaluator = Evaluator::new(self.config.evaluator.clone());
+        let total_start = Instant::now();
+        let mut depth_results = Vec::with_capacity(self.config.max_depth);
+
+        for depth in 1..=self.config.max_depth {
+            let depth_start = Instant::now();
+            let candidates = self.propose_candidates(depth);
+            let mut results = Vec::with_capacity(candidates.len());
+            for gates in &candidates {
+                let mixer = builder.build_mixer(gates)?;
+                results.push(evaluator.evaluate(graphs, &mixer, depth)?);
+            }
+            let best_energy = results
+                .iter()
+                .map(|r| r.mean_energy)
+                .fold(f64::NEG_INFINITY, f64::max);
+            depth_results.push(DepthResult {
+                depth,
+                candidates: results,
+                elapsed_seconds: depth_start.elapsed().as_secs_f64(),
+                best_energy,
+            });
+        }
+        SearchOutcome::from_depth_results(
+            depth_results,
+            total_start.elapsed().as_secs_f64(),
+            None,
+        )
+    }
+
+    /// Candidate sequences for one depth (learned strategies propose online,
+    /// receiving feedback sequentially). Candidates that violate the
+    /// configured [`ConstraintSet`] are filtered out before evaluation.
+    fn propose_candidates(&self, depth: usize) -> Vec<Vec<Gate>> {
+        let mut candidates = match &self.config.strategy {
+            SearchStrategy::Exhaustive | SearchStrategy::Random { .. } => {
+                self.config.candidates_for_depth(depth)
+            }
+            SearchStrategy::EpsilonGreedy { samples_per_depth, epsilon } => {
+                let mut predictor = EpsilonGreedyPredictor::new(
+                    self.config.alphabet.clone(),
+                    *epsilon,
+                    self.config.seed.wrapping_add(depth as u64),
+                );
+                (0..*samples_per_depth)
+                    .map(|_| predictor.propose(self.config.max_gates_per_mixer))
+                    .collect()
+            }
+            SearchStrategy::PolicyGradient { samples_per_depth, learning_rate } => {
+                let mut predictor = PolicyGradientPredictor::new(
+                    self.config.alphabet.clone(),
+                    *learning_rate,
+                    self.config.seed.wrapping_add(depth as u64),
+                );
+                (0..*samples_per_depth)
+                    .map(|_| predictor.propose(self.config.max_gates_per_mixer))
+                    .collect()
+            }
+        };
+        self.config.constraints.filter(&mut candidates);
+        candidates
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Parallel scheduler: the outer level of the two-level parallelization.
+///
+/// Candidate evaluations at each depth are distributed over a dedicated Rayon
+/// thread pool; the pool size stands in for the "number of cores" axis of
+/// Fig. 5.
+#[derive(Debug, Clone)]
+pub struct ParallelSearch {
+    config: SearchConfig,
+}
+
+impl ParallelSearch {
+    /// A parallel search with the given configuration.
+    pub fn new(config: SearchConfig) -> ParallelSearch {
+        ParallelSearch { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Run the search over the training graphs.
+    pub fn run(&self, graphs: &[Graph]) -> Result<SearchOutcome, SearchError> {
+        self.config.validate()?;
+        if graphs.is_empty() {
+            return Err(SearchError::NoGraphs);
+        }
+        let builder = QBuilder::new(self.config.alphabet.clone());
+        let evaluator = Evaluator::new(self.config.evaluator.clone());
+
+        // Dedicated pool so the requested core count is honoured even when a
+        // global Rayon pool already exists (important for Fig. 5's sweep).
+        let pool = match self.config.threads {
+            Some(n) => Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(n)
+                    .build()
+                    .map_err(|e| SearchError::InvalidConfig { message: e.to_string() })?,
+            ),
+            None => None,
+        };
+
+        let total_start = Instant::now();
+        let mut depth_results = Vec::with_capacity(self.config.max_depth);
+
+        for depth in 1..=self.config.max_depth {
+            let depth_start = Instant::now();
+            let serial_helper = SerialSearch { config: self.config.clone() };
+            let candidates = serial_helper.propose_candidates(depth);
+
+            let evaluate_all = || -> Result<Vec<CandidateResult>, SearchError> {
+                candidates
+                    .par_iter()
+                    .map(|gates| {
+                        let mixer = builder.build_mixer(gates)?;
+                        evaluator.evaluate(graphs, &mixer, depth)
+                    })
+                    .collect()
+            };
+            let results = match &pool {
+                Some(p) => p.install(evaluate_all)?,
+                None => evaluate_all()?,
+            };
+
+            let best_energy = results
+                .iter()
+                .map(|r| r.mean_energy)
+                .fold(f64::NEG_INFINITY, f64::max);
+            depth_results.push(DepthResult {
+                depth,
+                candidates: results,
+                elapsed_seconds: depth_start.elapsed().as_secs_f64(),
+                best_energy,
+            });
+        }
+        SearchOutcome::from_depth_results(
+            depth_results,
+            total_start.elapsed().as_secs_f64(),
+            Some(self.config.threads.unwrap_or_else(rayon::current_num_threads)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaoa::Backend;
+
+    fn tiny_config(strategy: SearchStrategy) -> SearchConfig {
+        SearchConfig::builder()
+            .alphabet(GateAlphabet::from_mnemonics(&["rx", "ry"]).unwrap())
+            .max_depth(1)
+            .max_gates_per_mixer(2)
+            .optimizer_budget(25)
+            .backend(Backend::StateVector)
+            .strategy(strategy)
+            .seed(3)
+            .build()
+    }
+
+    fn tiny_graphs() -> Vec<Graph> {
+        vec![Graph::cycle(4), Graph::erdos_renyi(5, 0.6, 8)]
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let cfg = SearchConfig::builder()
+            .max_depth(3)
+            .max_gates_per_mixer(2)
+            .optimizer_budget(50)
+            .seed(9)
+            .threads(4)
+            .optimizer(optim::OptimizerKind::NelderMead)
+            .backend(Backend::StateVector)
+            .strategy(SearchStrategy::Random { samples_per_depth: 7 })
+            .build();
+        assert_eq!(cfg.max_depth, 3);
+        assert_eq!(cfg.max_gates_per_mixer, 2);
+        assert_eq!(cfg.evaluator.budget, 50);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.threads, Some(4));
+        assert_eq!(cfg.evaluator.optimizer, optim::OptimizerKind::NelderMead);
+        assert_eq!(cfg.evaluator.backend, Backend::StateVector);
+    }
+
+    #[test]
+    fn validation_catches_degenerate_configs() {
+        let mut cfg = SearchConfig::default();
+        cfg.max_depth = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SearchConfig::default();
+        cfg.max_gates_per_mixer = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SearchConfig::default();
+        cfg.evaluator.budget = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SearchConfig::default();
+        cfg.threads = Some(0);
+        assert!(cfg.validate().is_err());
+        assert!(SearchConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn serial_exhaustive_search_finds_a_mixing_winner() {
+        let outcome =
+            SerialSearch::new(tiny_config(SearchStrategy::Exhaustive)).run(&tiny_graphs()).unwrap();
+        // Space: 2 + 4 = 6 candidates at depth 1.
+        assert_eq!(outcome.num_candidates_evaluated, 6);
+        assert_eq!(outcome.depth_results.len(), 1);
+        assert!(outcome.best.energy > 0.0);
+        assert!(outcome.best.approx_ratio <= 1.0 + 1e-9);
+        assert!(!outcome.best.gates.is_empty());
+        assert!(outcome.total_elapsed_seconds > 0.0);
+    }
+
+    #[test]
+    fn parallel_and_serial_exhaustive_find_the_same_best_energy() {
+        let graphs = tiny_graphs();
+        let serial =
+            SerialSearch::new(tiny_config(SearchStrategy::Exhaustive)).run(&graphs).unwrap();
+        let parallel = ParallelSearch::new(SearchConfig {
+            threads: Some(2),
+            ..tiny_config(SearchStrategy::Exhaustive)
+        })
+        .run(&graphs)
+        .unwrap();
+        assert_eq!(serial.num_candidates_evaluated, parallel.num_candidates_evaluated);
+        assert!((serial.best.energy - parallel.best.energy).abs() < 1e-9);
+        assert_eq!(serial.best.mixer_label, parallel.best.mixer_label);
+        assert_eq!(parallel.parallel_threads, Some(2));
+    }
+
+    #[test]
+    fn random_strategy_respects_sample_budget() {
+        let cfg = tiny_config(SearchStrategy::Random { samples_per_depth: 4 });
+        let outcome = SerialSearch::new(cfg).run(&tiny_graphs()).unwrap();
+        assert_eq!(outcome.num_candidates_evaluated, 4);
+    }
+
+    #[test]
+    fn no_graphs_is_rejected() {
+        let s = SerialSearch::new(tiny_config(SearchStrategy::Exhaustive));
+        assert!(matches!(s.run(&[]), Err(SearchError::NoGraphs)));
+        let p = ParallelSearch::new(tiny_config(SearchStrategy::Exhaustive));
+        assert!(matches!(p.run(&[]), Err(SearchError::NoGraphs)));
+    }
+
+    #[test]
+    fn best_candidate_gates_match_label() {
+        let outcome =
+            SerialSearch::new(tiny_config(SearchStrategy::Exhaustive)).run(&tiny_graphs()).unwrap();
+        let from_label = parse_label_gates(&outcome.best.mixer_label);
+        assert_eq!(from_label, outcome.best.gates);
+    }
+
+    #[test]
+    fn elapsed_at_depth_reports_only_searched_depths() {
+        let outcome =
+            SerialSearch::new(tiny_config(SearchStrategy::Exhaustive)).run(&tiny_graphs()).unwrap();
+        assert!(outcome.elapsed_at_depth(1).is_some());
+        assert!(outcome.elapsed_at_depth(2).is_none());
+    }
+
+    #[test]
+    fn parse_label_round_trip() {
+        assert_eq!(parse_label_gates("('rx', 'ry')"), vec![Gate::RX, Gate::RY]);
+        assert_eq!(parse_label_gates("('h')"), vec![Gate::H]);
+        assert!(parse_label_gates("()").is_empty());
+    }
+
+    #[test]
+    fn constraints_prune_the_candidate_space() {
+        use crate::constraints::{Constraint, ConstraintSet};
+        let graphs = tiny_graphs();
+        let unconstrained =
+            SerialSearch::new(tiny_config(SearchStrategy::Exhaustive)).run(&graphs).unwrap();
+        let mut constrained_cfg = tiny_config(SearchStrategy::Exhaustive);
+        constrained_cfg.constraints =
+            ConstraintSet::new(vec![Constraint::NoAdjacentDuplicates]);
+        let constrained = SerialSearch::new(constrained_cfg).run(&graphs).unwrap();
+        // {rx, ry} alphabet, k ≤ 2: 6 unconstrained candidates, the two
+        // duplicated pairs (rx,rx) and (ry,ry) are pruned.
+        assert_eq!(unconstrained.num_candidates_evaluated, 6);
+        assert_eq!(constrained.num_candidates_evaluated, 4);
+        // The winner still exists and respects the constraint.
+        assert!(constrained
+            .best
+            .gates
+            .windows(2)
+            .all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn constraints_that_reject_everything_surface_as_an_error() {
+        use crate::constraints::{Constraint, ConstraintSet};
+        let mut cfg = tiny_config(SearchStrategy::Exhaustive);
+        // The {rx, ry} alphabet cannot satisfy a "require H" constraint.
+        cfg.constraints =
+            ConstraintSet::new(vec![Constraint::RequireAnyOf(vec![Gate::H])]);
+        let result = SerialSearch::new(cfg).run(&tiny_graphs());
+        assert!(matches!(result, Err(SearchError::Evaluation { .. })));
+    }
+
+    #[test]
+    fn epsilon_greedy_strategy_runs() {
+        let cfg = tiny_config(SearchStrategy::EpsilonGreedy { samples_per_depth: 3, epsilon: 0.5 });
+        let outcome = SerialSearch::new(cfg).run(&tiny_graphs()).unwrap();
+        assert_eq!(outcome.num_candidates_evaluated, 3);
+    }
+
+    #[test]
+    fn policy_gradient_strategy_runs() {
+        let cfg = tiny_config(SearchStrategy::PolicyGradient {
+            samples_per_depth: 3,
+            learning_rate: 0.2,
+        });
+        let outcome = SerialSearch::new(cfg).run(&tiny_graphs()).unwrap();
+        assert_eq!(outcome.num_candidates_evaluated, 3);
+    }
+}

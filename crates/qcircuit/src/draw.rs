@@ -1,0 +1,138 @@
+//! ASCII circuit drawing, used to render the discovered mixer circuit the way
+//! the paper presents it in Fig. 6.
+
+use crate::circuit::Circuit;
+use crate::parameter::Parameter;
+
+/// Render a circuit as ASCII art, one line per qubit.
+///
+/// Single-qubit gates are drawn as boxed labels on their wire; two-qubit gates
+/// are drawn with a control dot `*` and the gate label on the target wire, in
+/// their own column.
+///
+/// ```
+/// use qcircuit::{Circuit, Parameter, Gate, draw_ascii};
+/// let mut c = Circuit::new(2);
+/// c.h(0);
+/// c.push(Gate::RX, &[1], Parameter::free("beta", 2.0));
+/// let art = draw_ascii(&c);
+/// assert!(art.contains("H"));
+/// assert!(art.contains("RX(2*beta)"));
+/// ```
+pub fn draw_ascii(circuit: &Circuit) -> String {
+    let n = circuit.num_qubits();
+    if n == 0 {
+        return String::new();
+    }
+    // Column-by-column greedy packing: place each instruction in the first
+    // column where all of its qubits are free.
+    let mut columns: Vec<Vec<Option<String>>> = Vec::new();
+    let mut qubit_frontier = vec![0usize; n];
+
+    for inst in circuit.instructions() {
+        let col_idx = inst.qubits.iter().map(|&q| qubit_frontier[q]).max().unwrap_or(0);
+        while columns.len() <= col_idx {
+            columns.push(vec![None; n]);
+        }
+        let label = instruction_label(inst.gate.mnemonic(), &inst.parameter);
+        if inst.qubits.len() == 1 {
+            columns[col_idx][inst.qubits[0]] = Some(label);
+        } else {
+            // Control dot on the first operand, label on the second.
+            columns[col_idx][inst.qubits[0]] = Some("*".to_string());
+            columns[col_idx][inst.qubits[1]] = Some(label);
+        }
+        for &q in &inst.qubits {
+            qubit_frontier[q] = col_idx + 1;
+        }
+    }
+
+    // Pad every column to a uniform width.
+    let col_widths: Vec<usize> = columns
+        .iter()
+        .map(|col| col.iter().filter_map(|c| c.as_ref().map(|s| s.len())).max().unwrap_or(1))
+        .collect();
+
+    let mut out = String::new();
+    for q in 0..n {
+        out.push_str(&format!("q{q:<2}: "));
+        for (ci, col) in columns.iter().enumerate() {
+            let w = col_widths[ci];
+            match &col[q] {
+                Some(label) => {
+                    out.push_str(&format!("-[{label:^w$}]-", w = w));
+                }
+                None => {
+                    out.push_str(&"-".repeat(w + 4));
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn instruction_label(mnemonic: &str, parameter: &Parameter) -> String {
+    match parameter {
+        Parameter::None => mnemonic.to_uppercase(),
+        p => format!("{}({})", mnemonic.to_uppercase(), p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    #[test]
+    fn empty_circuit_draws_nothing() {
+        let c = Circuit::new(0);
+        assert_eq!(draw_ascii(&c), "");
+    }
+
+    #[test]
+    fn every_qubit_gets_a_line() {
+        let mut c = Circuit::new(4);
+        c.h_layer();
+        let art = draw_ascii(&c);
+        assert_eq!(art.lines().count(), 4);
+        for q in 0..4 {
+            assert!(art.contains(&format!("q{q}")), "missing wire for qubit {q}");
+        }
+    }
+
+    #[test]
+    fn shared_beta_renders_like_fig6() {
+        // Reproduce the structure of Fig. 6: RX(2β) then RY(2β) on each qubit.
+        let mut c = Circuit::new(3);
+        for q in 0..3 {
+            c.push(Gate::RX, &[q], Parameter::free("beta", 2.0));
+        }
+        for q in 0..3 {
+            c.push(Gate::RY, &[q], Parameter::free("beta", 2.0));
+        }
+        let art = draw_ascii(&c);
+        assert!(art.contains("RX(2*beta)"));
+        assert!(art.contains("RY(2*beta)"));
+    }
+
+    #[test]
+    fn two_qubit_gate_draws_control_dot() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let art = draw_ascii(&c);
+        assert!(art.contains('*'));
+        assert!(art.contains("CX"));
+    }
+
+    #[test]
+    fn columns_pack_parallel_gates() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(1);
+        let art = draw_ascii(&c);
+        // Both H gates share a column, so each line has exactly one box.
+        for line in art.lines() {
+            assert_eq!(line.matches('[').count(), 1);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for circuit construction and manipulation.
+
+use thiserror::Error;
+
+/// Errors produced while building, binding or composing circuits.
+#[derive(Debug, Error, Clone, PartialEq)]
+pub enum CircuitError {
+    /// A qubit index was out of range for the circuit width.
+    #[error("qubit index {index} out of range for circuit with {width} qubits")]
+    QubitOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The circuit width.
+        width: usize,
+    },
+
+    /// A gate was applied to the wrong number of qubits.
+    #[error("gate {gate} expects {expected} qubit(s) but {got} were supplied")]
+    WrongArity {
+        /// Gate name.
+        gate: String,
+        /// Expected operand count.
+        expected: usize,
+        /// Supplied operand count.
+        got: usize,
+    },
+
+    /// The same qubit was used twice in one instruction.
+    #[error("duplicate qubit {qubit} in multi-qubit instruction")]
+    DuplicateQubit {
+        /// The duplicated qubit index.
+        qubit: usize,
+    },
+
+    /// A parameter required for binding was not supplied.
+    #[error("unbound parameter '{name}'")]
+    UnboundParameter {
+        /// Name of the missing parameter.
+        name: String,
+    },
+
+    /// A parameterless gate was given a parameter expression (or vice versa).
+    #[error("gate {gate} does not take a parameter")]
+    UnexpectedParameter {
+        /// Gate name.
+        gate: String,
+    },
+
+    /// A parameterized gate is missing its parameter.
+    #[error("gate {gate} requires a parameter")]
+    MissingParameter {
+        /// Gate name.
+        gate: String,
+    },
+
+    /// Circuits of mismatched width were composed.
+    #[error("cannot compose circuits of width {left} and {right}")]
+    WidthMismatch {
+        /// Width of the left-hand circuit.
+        left: usize,
+        /// Width of the right-hand circuit.
+        right: usize,
+    },
+}

@@ -1,0 +1,291 @@
+//! The gate set used by QArchSearch and its QAOA driver application.
+//!
+//! The rotation-gate alphabet `A_R` of the paper (|A_R| = 5) is drawn from the
+//! single-qubit gates defined here; the two-qubit gates are what the QAOA cost
+//! layer (`RZZ`/`CX`+`RZ`) and generic entangling mixers need.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A quantum gate kind.
+///
+/// Gates are split into three families:
+///
+/// * parameterless single-qubit gates (`H`, `X`, `Y`, `Z`, `S`, `Sdg`, `T`,
+///   `Tdg`, `I`),
+/// * parameterized single-qubit rotations (`RX`, `RY`, `RZ`, `P`),
+/// * two-qubit gates (`CX`, `CZ`, `SWAP`) and the parameterized `RZZ`
+///   interaction used by the Max-Cut cost operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Gate {
+    /// Identity.
+    I,
+    /// Hadamard.
+    H,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Phase gate S = diag(1, i).
+    S,
+    /// Inverse phase gate.
+    Sdg,
+    /// T gate = diag(1, e^{iπ/4}).
+    T,
+    /// Inverse T gate.
+    Tdg,
+    /// Rotation about X: RX(θ) = exp(-i θ X / 2).
+    RX,
+    /// Rotation about Y: RY(θ) = exp(-i θ Y / 2).
+    RY,
+    /// Rotation about Z: RZ(θ) = exp(-i θ Z / 2).
+    RZ,
+    /// Phase rotation P(θ) = diag(1, e^{iθ}).
+    P,
+    /// Controlled-X (CNOT).
+    CX,
+    /// Controlled-Z.
+    CZ,
+    /// SWAP.
+    SWAP,
+    /// Two-qubit ZZ interaction: RZZ(θ) = exp(-i θ Z⊗Z / 2).
+    RZZ,
+    /// Controlled phase rotation CP(θ) = diag(1,1,1,e^{iθ}).
+    CP,
+    /// Two-qubit XX interaction: RXX(θ) = exp(-i θ X⊗X / 2).
+    RXX,
+    /// Two-qubit YY interaction: RYY(θ) = exp(-i θ Y⊗Y / 2).
+    RYY,
+}
+
+impl Gate {
+    /// Number of qubit operands the gate acts on.
+    pub fn arity(self) -> usize {
+        match self {
+            Gate::I
+            | Gate::H
+            | Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::S
+            | Gate::Sdg
+            | Gate::T
+            | Gate::Tdg
+            | Gate::RX
+            | Gate::RY
+            | Gate::RZ
+            | Gate::P => 1,
+            Gate::CX | Gate::CZ | Gate::SWAP | Gate::RZZ | Gate::CP | Gate::RXX | Gate::RYY => 2,
+        }
+    }
+
+    /// Whether the gate carries a rotation angle.
+    pub fn is_parameterized(self) -> bool {
+        matches!(
+            self,
+            Gate::RX | Gate::RY | Gate::RZ | Gate::P | Gate::RZZ | Gate::CP | Gate::RXX | Gate::RYY
+        )
+    }
+
+    /// Whether the gate's matrix is diagonal in the computational basis.
+    ///
+    /// Diagonal gates are important for the tensor-network backend: they can
+    /// be represented as rank-1 (per-qubit) or rank-2 diagonal tensors rather
+    /// than full matrices, which significantly reduces contraction width
+    /// (cf. Lykov & Alexeev, "Importance of Diagonal Gates in Tensor Network
+    /// Simulations").
+    pub fn is_diagonal(self) -> bool {
+        matches!(
+            self,
+            Gate::I
+                | Gate::Z
+                | Gate::S
+                | Gate::Sdg
+                | Gate::T
+                | Gate::Tdg
+                | Gate::RZ
+                | Gate::P
+                | Gate::CZ
+                | Gate::RZZ
+                | Gate::CP
+        )
+    }
+
+    /// Whether the gate is Hermitian (its own inverse up to global phase for
+    /// the parameterless ones listed here).
+    pub fn is_self_inverse(self) -> bool {
+        matches!(
+            self,
+            Gate::I | Gate::H | Gate::X | Gate::Y | Gate::Z | Gate::CX | Gate::CZ | Gate::SWAP
+        )
+    }
+
+    /// The canonical lower-case mnemonic, matching the names used in the
+    /// paper's figures (`'rx'`, `'ry'`, `'h'`, `'p'`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Gate::I => "i",
+            Gate::H => "h",
+            Gate::X => "x",
+            Gate::Y => "y",
+            Gate::Z => "z",
+            Gate::S => "s",
+            Gate::Sdg => "sdg",
+            Gate::T => "t",
+            Gate::Tdg => "tdg",
+            Gate::RX => "rx",
+            Gate::RY => "ry",
+            Gate::RZ => "rz",
+            Gate::P => "p",
+            Gate::CX => "cx",
+            Gate::CZ => "cz",
+            Gate::SWAP => "swap",
+            Gate::RZZ => "rzz",
+            Gate::CP => "cp",
+            Gate::RXX => "rxx",
+            Gate::RYY => "ryy",
+        }
+    }
+
+    /// All single-qubit gates that may appear in a mixer alphabet.
+    pub fn single_qubit_gates() -> &'static [Gate] {
+        &[
+            Gate::I,
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::RX,
+            Gate::RY,
+            Gate::RZ,
+            Gate::P,
+        ]
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+impl FromStr for Gate {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "i" | "id" => Ok(Gate::I),
+            "h" => Ok(Gate::H),
+            "x" => Ok(Gate::X),
+            "y" => Ok(Gate::Y),
+            "z" => Ok(Gate::Z),
+            "s" => Ok(Gate::S),
+            "sdg" => Ok(Gate::Sdg),
+            "t" => Ok(Gate::T),
+            "tdg" => Ok(Gate::Tdg),
+            "rx" => Ok(Gate::RX),
+            "ry" => Ok(Gate::RY),
+            "rz" => Ok(Gate::RZ),
+            "p" | "phase" | "u1" => Ok(Gate::P),
+            "cx" | "cnot" => Ok(Gate::CX),
+            "cz" => Ok(Gate::CZ),
+            "swap" => Ok(Gate::SWAP),
+            "rzz" => Ok(Gate::RZZ),
+            "cp" | "cphase" => Ok(Gate::CP),
+            "rxx" => Ok(Gate::RXX),
+            "ryy" => Ok(Gate::RYY),
+            other => Err(format!("unknown gate mnemonic '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_family() {
+        for g in Gate::single_qubit_gates() {
+            assert_eq!(g.arity(), 1, "{g} should be single-qubit");
+        }
+        for g in [Gate::CX, Gate::CZ, Gate::SWAP, Gate::RZZ, Gate::CP, Gate::RXX, Gate::RYY] {
+            assert_eq!(g.arity(), 2, "{g} should be two-qubit");
+        }
+    }
+
+    #[test]
+    fn parameterized_gates_are_rotations() {
+        assert!(Gate::RX.is_parameterized());
+        assert!(Gate::RY.is_parameterized());
+        assert!(Gate::RZ.is_parameterized());
+        assert!(Gate::P.is_parameterized());
+        assert!(Gate::RZZ.is_parameterized());
+        assert!(!Gate::H.is_parameterized());
+        assert!(!Gate::CX.is_parameterized());
+    }
+
+    #[test]
+    fn diagonal_classification() {
+        assert!(Gate::RZ.is_diagonal());
+        assert!(Gate::P.is_diagonal());
+        assert!(Gate::CZ.is_diagonal());
+        assert!(Gate::RZZ.is_diagonal());
+        assert!(!Gate::RX.is_diagonal());
+        assert!(!Gate::H.is_diagonal());
+        assert!(!Gate::CX.is_diagonal());
+    }
+
+    #[test]
+    fn mnemonic_round_trips() {
+        let all = [
+            Gate::I,
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::RX,
+            Gate::RY,
+            Gate::RZ,
+            Gate::P,
+            Gate::CX,
+            Gate::CZ,
+            Gate::SWAP,
+            Gate::RZZ,
+            Gate::CP,
+            Gate::RXX,
+            Gate::RYY,
+        ];
+        for g in all {
+            let parsed: Gate = g.mnemonic().parse().unwrap();
+            assert_eq!(parsed, g);
+        }
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!("cnot".parse::<Gate>().unwrap(), Gate::CX);
+        assert_eq!("phase".parse::<Gate>().unwrap(), Gate::P);
+        assert_eq!("ID".parse::<Gate>().unwrap(), Gate::I);
+        assert!("frob".parse::<Gate>().is_err());
+    }
+
+    #[test]
+    fn self_inverse_gates() {
+        assert!(Gate::H.is_self_inverse());
+        assert!(Gate::X.is_self_inverse());
+        assert!(Gate::CX.is_self_inverse());
+        assert!(!Gate::S.is_self_inverse());
+        assert!(!Gate::RX.is_self_inverse());
+    }
+}

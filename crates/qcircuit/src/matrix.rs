@@ -1,0 +1,358 @@
+//! Numeric gate matrices.
+//!
+//! Both simulator backends need the concrete `2×2` / `4×4` unitary of each
+//! gate. [`GateMatrix`] returns them as small fixed-size arrays of
+//! `Complex<f64>`; the diagonal-only accessors let the tensor-network backend
+//! exploit diagonal gates (see [`crate::Gate::is_diagonal`]).
+
+use crate::gate::Gate;
+use num_complex::Complex64;
+
+/// Convenience constructor for a `Complex64`.
+#[inline]
+pub fn c64(re: f64, im: f64) -> Complex64 {
+    Complex64::new(re, im)
+}
+
+/// A concrete gate matrix: either a 2×2 single-qubit matrix or a 4×4
+/// two-qubit matrix, stored row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateMatrix {
+    /// Single-qubit 2×2 unitary, row-major.
+    One([Complex64; 4]),
+    /// Two-qubit 4×4 unitary, row-major, ordering |q1 q0⟩ with the first
+    /// operand being the *control* / first tensor factor.
+    Two([Complex64; 16]),
+}
+
+impl GateMatrix {
+    /// Build the matrix of `gate` with rotation angle `theta` (ignored for
+    /// parameterless gates).
+    pub fn of(gate: Gate, theta: f64) -> GateMatrix {
+        let z = c64(0.0, 0.0);
+        let o = c64(1.0, 0.0);
+        match gate {
+            Gate::I => GateMatrix::One([o, z, z, o]),
+            Gate::H => {
+                let s = 1.0 / 2.0_f64.sqrt();
+                GateMatrix::One([c64(s, 0.0), c64(s, 0.0), c64(s, 0.0), c64(-s, 0.0)])
+            }
+            Gate::X => GateMatrix::One([z, o, o, z]),
+            Gate::Y => GateMatrix::One([z, c64(0.0, -1.0), c64(0.0, 1.0), z]),
+            Gate::Z => GateMatrix::One([o, z, z, c64(-1.0, 0.0)]),
+            Gate::S => GateMatrix::One([o, z, z, c64(0.0, 1.0)]),
+            Gate::Sdg => GateMatrix::One([o, z, z, c64(0.0, -1.0)]),
+            Gate::T => {
+                let p = Complex64::from_polar(1.0, std::f64::consts::FRAC_PI_4);
+                GateMatrix::One([o, z, z, p])
+            }
+            Gate::Tdg => {
+                let p = Complex64::from_polar(1.0, -std::f64::consts::FRAC_PI_4);
+                GateMatrix::One([o, z, z, p])
+            }
+            Gate::RX => {
+                let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+                GateMatrix::One([c64(c, 0.0), c64(0.0, -s), c64(0.0, -s), c64(c, 0.0)])
+            }
+            Gate::RY => {
+                let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+                GateMatrix::One([c64(c, 0.0), c64(-s, 0.0), c64(s, 0.0), c64(c, 0.0)])
+            }
+            Gate::RZ => {
+                let m = Complex64::from_polar(1.0, -theta / 2.0);
+                let p = Complex64::from_polar(1.0, theta / 2.0);
+                GateMatrix::One([m, z, z, p])
+            }
+            Gate::P => {
+                let p = Complex64::from_polar(1.0, theta);
+                GateMatrix::One([o, z, z, p])
+            }
+            Gate::CX => GateMatrix::Two([
+                o, z, z, z, //
+                z, o, z, z, //
+                z, z, z, o, //
+                z, z, o, z,
+            ]),
+            Gate::CZ => GateMatrix::Two([
+                o, z, z, z, //
+                z, o, z, z, //
+                z, z, o, z, //
+                z, z, z, c64(-1.0, 0.0),
+            ]),
+            Gate::SWAP => GateMatrix::Two([
+                o, z, z, z, //
+                z, z, o, z, //
+                z, o, z, z, //
+                z, z, z, o,
+            ]),
+            Gate::RZZ => {
+                let m = Complex64::from_polar(1.0, -theta / 2.0);
+                let p = Complex64::from_polar(1.0, theta / 2.0);
+                GateMatrix::Two([
+                    m, z, z, z, //
+                    z, p, z, z, //
+                    z, z, p, z, //
+                    z, z, z, m,
+                ])
+            }
+            Gate::CP => {
+                let p = Complex64::from_polar(1.0, theta);
+                GateMatrix::Two([
+                    o, z, z, z, //
+                    z, o, z, z, //
+                    z, z, o, z, //
+                    z, z, z, p,
+                ])
+            }
+            Gate::RXX => {
+                let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+                let cc = c64(c, 0.0);
+                let is = c64(0.0, -s);
+                GateMatrix::Two([
+                    cc, z, z, is, //
+                    z, cc, is, z, //
+                    z, is, cc, z, //
+                    is, z, z, cc,
+                ])
+            }
+            Gate::RYY => {
+                let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+                let cc = c64(c, 0.0);
+                let is = c64(0.0, -s);
+                let nis = c64(0.0, s);
+                GateMatrix::Two([
+                    cc, z, z, nis, //
+                    z, cc, is, z, //
+                    z, is, cc, z, //
+                    nis, z, z, cc,
+                ])
+            }
+        }
+    }
+
+    /// The diagonal entries, if the matrix is diagonal.
+    pub fn diagonal(&self) -> Option<Vec<Complex64>> {
+        let (dim, data): (usize, &[Complex64]) = match self {
+            GateMatrix::One(m) => (2, m),
+            GateMatrix::Two(m) => (4, m),
+        };
+        let mut diag = Vec::with_capacity(dim);
+        for r in 0..dim {
+            for c in 0..dim {
+                let v = data[r * dim + c];
+                if r == c {
+                    diag.push(v);
+                } else if v.norm() > 1e-12 {
+                    return None;
+                }
+            }
+        }
+        Some(diag)
+    }
+
+    /// Matrix dimension (2 or 4).
+    pub fn dim(&self) -> usize {
+        match self {
+            GateMatrix::One(_) => 2,
+            GateMatrix::Two(_) => 4,
+        }
+    }
+
+    /// Row-major data slice.
+    pub fn data(&self) -> &[Complex64] {
+        match self {
+            GateMatrix::One(m) => m,
+            GateMatrix::Two(m) => m,
+        }
+    }
+
+    /// Conjugate transpose of the matrix.
+    pub fn dagger(&self) -> GateMatrix {
+        match self {
+            GateMatrix::One(m) => {
+                let mut out = [c64(0.0, 0.0); 4];
+                for r in 0..2 {
+                    for c in 0..2 {
+                        out[c * 2 + r] = m[r * 2 + c].conj();
+                    }
+                }
+                GateMatrix::One(out)
+            }
+            GateMatrix::Two(m) => {
+                let mut out = [c64(0.0, 0.0); 16];
+                for r in 0..4 {
+                    for c in 0..4 {
+                        out[c * 4 + r] = m[r * 4 + c].conj();
+                    }
+                }
+                GateMatrix::Two(out)
+            }
+        }
+    }
+
+    /// Multiply `self * other` (both must have the same dimension).
+    pub fn matmul(&self, other: &GateMatrix) -> GateMatrix {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch in matmul");
+        let n = self.dim();
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![c64(0.0, 0.0); n * n];
+        for r in 0..n {
+            for k in 0..n {
+                let av = a[r * n + k];
+                if av.norm() == 0.0 {
+                    continue;
+                }
+                for c in 0..n {
+                    out[r * n + c] += av * b[k * n + c];
+                }
+            }
+        }
+        if n == 2 {
+            let mut arr = [c64(0.0, 0.0); 4];
+            arr.copy_from_slice(&out);
+            GateMatrix::One(arr)
+        } else {
+            let mut arr = [c64(0.0, 0.0); 16];
+            arr.copy_from_slice(&out);
+            GateMatrix::Two(arr)
+        }
+    }
+
+    /// Maximum absolute difference to another matrix of the same dimension.
+    pub fn max_abs_diff(&self, other: &GateMatrix) -> f64 {
+        assert_eq!(self.dim(), other.dim());
+        self.data()
+            .iter()
+            .zip(other.data())
+            .map(|(a, b)| (a - b).norm())
+            .fold(0.0, f64::max)
+    }
+
+    /// Check unitarity: `U† U = I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        let prod = self.dagger().matmul(self);
+        let n = self.dim();
+        let mut ok = true;
+        for r in 0..n {
+            for c in 0..n {
+                let expected = if r == c { c64(1.0, 0.0) } else { c64(0.0, 0.0) };
+                if (prod.data()[r * n + c] - expected).norm() > tol {
+                    ok = false;
+                }
+            }
+        }
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn all_gates() -> Vec<Gate> {
+        vec![
+            Gate::I,
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::RX,
+            Gate::RY,
+            Gate::RZ,
+            Gate::P,
+            Gate::CX,
+            Gate::CZ,
+            Gate::SWAP,
+            Gate::RZZ,
+            Gate::CP,
+            Gate::RXX,
+            Gate::RYY,
+        ]
+    }
+
+    #[test]
+    fn every_gate_matrix_is_unitary() {
+        for g in all_gates() {
+            for theta in [0.0, 0.3, 1.0, PI, 2.5 * PI] {
+                let m = GateMatrix::of(g, theta);
+                assert!(m.is_unitary(1e-10), "{g} with theta={theta} not unitary");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_flag_matches_matrix() {
+        for g in all_gates() {
+            let m = GateMatrix::of(g, 0.7);
+            assert_eq!(
+                m.diagonal().is_some(),
+                g.is_diagonal(),
+                "diagonal mismatch for {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn rx_at_pi_is_minus_i_x() {
+        let rx = GateMatrix::of(Gate::RX, PI);
+        let x = GateMatrix::of(Gate::X, 0.0);
+        // RX(π) = -i X, so RX(π) * (i) == X elementwise.
+        let scaled: Vec<_> = rx.data().iter().map(|v| v * c64(0.0, 1.0)).collect();
+        for (a, b) in scaled.iter().zip(x.data()) {
+            assert!((a - b).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rz_is_diagonal_with_expected_phases() {
+        let theta = 0.42;
+        let m = GateMatrix::of(Gate::RZ, theta);
+        let d = m.diagonal().unwrap();
+        assert!((d[0] - Complex64::from_polar(1.0, -theta / 2.0)).norm() < 1e-12);
+        assert!((d[1] - Complex64::from_polar(1.0, theta / 2.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn rzz_diagonal_signs() {
+        let theta = 1.1;
+        let m = GateMatrix::of(Gate::RZZ, theta);
+        let d = m.diagonal().unwrap();
+        let minus = Complex64::from_polar(1.0, -theta / 2.0);
+        let plus = Complex64::from_polar(1.0, theta / 2.0);
+        assert!((d[0] - minus).norm() < 1e-12); // |00>
+        assert!((d[1] - plus).norm() < 1e-12); // |01>
+        assert!((d[2] - plus).norm() < 1e-12); // |10>
+        assert!((d[3] - minus).norm() < 1e-12); // |11>
+    }
+
+    #[test]
+    fn cx_permutes_basis() {
+        let m = GateMatrix::of(Gate::CX, 0.0);
+        let d = m.data();
+        // |10> -> |11>, |11> -> |10>  (first operand = control = most significant)
+        assert!((d[2 * 4 + 3] - c64(1.0, 0.0)).norm() < 1e-12);
+        assert!((d[3 * 4 + 2] - c64(1.0, 0.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn dagger_of_s_is_sdg() {
+        let s = GateMatrix::of(Gate::S, 0.0);
+        let sdg = GateMatrix::of(Gate::Sdg, 0.0);
+        assert!(s.dagger().max_abs_diff(&sdg) < 1e-12);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let h = GateMatrix::of(Gate::H, 0.0);
+        let id = GateMatrix::of(Gate::I, 0.0);
+        assert!(h.matmul(&id).max_abs_diff(&h) < 1e-12);
+        // H * H = I
+        assert!(h.matmul(&h).max_abs_diff(&id) < 1e-12);
+    }
+}

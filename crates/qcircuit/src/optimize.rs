@@ -1,0 +1,221 @@
+//! Lightweight peephole circuit optimization.
+//!
+//! The architecture search produces many near-duplicate candidates (e.g.
+//! `H·H` or `RX·RX` patterns from the exhaustive enumeration). These passes
+//! normalize such circuits before simulation: they cancel adjacent
+//! self-inverse gates, merge adjacent rotations about the same axis, and drop
+//! identity gates. They are semantics-preserving up to global phase, which the
+//! Max-Cut expectation value cannot observe.
+
+use crate::circuit::{Circuit, Instruction};
+use crate::gate::Gate;
+use crate::parameter::Parameter;
+
+/// Result of an optimization pass: the rewritten circuit and how many gates
+/// were removed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeReport {
+    /// The optimized circuit.
+    pub circuit: Circuit,
+    /// Gates removed across all passes.
+    pub removed: usize,
+}
+
+/// Apply all passes repeatedly until a fixed point is reached.
+pub fn optimize(circuit: &Circuit) -> OptimizeReport {
+    let mut current = circuit.clone();
+    let mut removed_total = 0;
+    loop {
+        let before = current.len();
+        current = drop_identities(&current);
+        current = cancel_adjacent_self_inverse(&current);
+        current = merge_adjacent_rotations(&current);
+        let after = current.len();
+        removed_total += before - after;
+        if after == before {
+            return OptimizeReport { circuit: current, removed: removed_total };
+        }
+    }
+}
+
+/// Remove explicit identity gates.
+pub fn drop_identities(circuit: &Circuit) -> Circuit {
+    rebuild(circuit, |insts| {
+        insts.iter().filter(|i| i.gate != Gate::I).cloned().collect()
+    })
+}
+
+/// Cancel adjacent pairs of the same self-inverse gate acting on the same
+/// qubits (e.g. `H q0; H q0` or `CX q0,q1; CX q0,q1`), provided no other gate
+/// on those qubits sits between them.
+pub fn cancel_adjacent_self_inverse(circuit: &Circuit) -> Circuit {
+    rebuild(circuit, |insts| {
+        let mut out: Vec<Instruction> = Vec::with_capacity(insts.len());
+        for inst in insts {
+            let cancels = out
+                .last()
+                .map(|prev| {
+                    prev.gate == inst.gate
+                        && prev.qubits == inst.qubits
+                        && inst.gate.is_self_inverse()
+                        && inst.parameter.is_none()
+                })
+                .unwrap_or(false);
+            if cancels {
+                out.pop();
+            } else {
+                out.push(inst.clone());
+            }
+        }
+        out
+    })
+}
+
+/// Merge adjacent rotations of the same kind on the same qubits when both
+/// angles are bound (`RX(a); RX(b)` → `RX(a + b)`); a merged rotation whose
+/// total angle is (numerically) zero is dropped.
+pub fn merge_adjacent_rotations(circuit: &Circuit) -> Circuit {
+    rebuild(circuit, |insts| {
+        let mut out: Vec<Instruction> = Vec::with_capacity(insts.len());
+        for inst in insts {
+            let mergeable = matches!(
+                inst.gate,
+                Gate::RX | Gate::RY | Gate::RZ | Gate::P | Gate::RZZ | Gate::CP | Gate::RXX | Gate::RYY
+            );
+            let merged = match (out.last(), mergeable) {
+                (Some(prev), true)
+                    if prev.gate == inst.gate && prev.qubits == inst.qubits =>
+                {
+                    match (prev.parameter.value(), inst.parameter.value()) {
+                        (Some(a), Some(b)) => Some(a + b),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+            match merged {
+                Some(total) => {
+                    out.pop();
+                    if total.abs() > 1e-12 {
+                        out.push(Instruction {
+                            gate: inst.gate,
+                            qubits: inst.qubits.clone(),
+                            parameter: Parameter::Bound(total),
+                        });
+                    }
+                }
+                None => out.push(inst.clone()),
+            }
+        }
+        out
+    })
+}
+
+/// Rebuild a circuit from a transformed instruction list.
+fn rebuild(circuit: &Circuit, transform: impl Fn(&[Instruction]) -> Vec<Instruction>) -> Circuit {
+    let mut out = Circuit::new(circuit.num_qubits());
+    for inst in transform(circuit.instructions()) {
+        out.push(inst.gate, &inst.qubits, inst.parameter);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities_are_dropped() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::I, &[0], Parameter::None);
+        c.h(1);
+        c.push(Gate::I, &[1], Parameter::None);
+        let r = optimize(&c);
+        assert_eq!(r.circuit.len(), 1);
+        assert_eq!(r.removed, 2);
+    }
+
+    #[test]
+    fn adjacent_hadamards_cancel() {
+        let mut c = Circuit::new(1);
+        c.h(0).h(0);
+        let r = optimize(&c);
+        assert!(r.circuit.is_empty());
+        assert_eq!(r.removed, 2);
+    }
+
+    #[test]
+    fn adjacent_cx_pairs_cancel() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(0, 1).h(0);
+        let r = optimize(&c);
+        assert_eq!(r.circuit.len(), 1);
+        assert_eq!(r.circuit.instructions()[0].gate, Gate::H);
+    }
+
+    #[test]
+    fn cx_with_different_operands_does_not_cancel() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 0).cx(1, 2);
+        let r = optimize(&c);
+        assert_eq!(r.circuit.len(), 3);
+    }
+
+    #[test]
+    fn adjacent_rotations_merge() {
+        let mut c = Circuit::new(1);
+        c.rx(0, 0.3).rx(0, 0.5);
+        let r = optimize(&c);
+        assert_eq!(r.circuit.len(), 1);
+        assert_eq!(r.circuit.instructions()[0].parameter, Parameter::Bound(0.8));
+    }
+
+    #[test]
+    fn rotations_summing_to_zero_disappear() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.7).rz(0, -0.7).h(0);
+        let r = optimize(&c);
+        assert_eq!(r.circuit.len(), 1);
+        assert_eq!(r.circuit.instructions()[0].gate, Gate::H);
+    }
+
+    #[test]
+    fn free_parameters_are_left_untouched() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::RX, &[0], Parameter::free("beta", 2.0));
+        c.push(Gate::RX, &[0], Parameter::free("beta", 2.0));
+        let r = optimize(&c);
+        // Symbolic rotations are not merged (the pass only handles bound angles).
+        assert_eq!(r.circuit.len(), 2);
+        assert_eq!(r.removed, 0);
+    }
+
+    #[test]
+    fn cascading_cancellations_reach_a_fixed_point() {
+        // X RX(0.4) RX(-0.4) X  → X X → (empty)
+        let mut c = Circuit::new(1);
+        c.x(0).rx(0, 0.4).rx(0, -0.4).x(0);
+        let r = optimize(&c);
+        assert!(r.circuit.is_empty(), "left {:?}", r.circuit.instructions());
+        assert_eq!(r.removed, 4);
+    }
+
+    #[test]
+    fn optimization_preserves_rzz_semantics() {
+        let mut c = Circuit::new(2);
+        c.rzz(0, 1, 0.25).rzz(0, 1, 0.5);
+        let r = optimize(&c);
+        assert_eq!(r.circuit.len(), 1);
+        assert_eq!(r.circuit.instructions()[0].parameter, Parameter::Bound(0.75));
+    }
+
+    #[test]
+    fn unrelated_gates_are_not_reordered() {
+        let mut c = Circuit::new(2);
+        c.h(0).rx(1, 0.2).h(0);
+        // The two H gates are *not* adjacent in instruction order w.r.t. the
+        // intervening RX on another qubit; the simple peephole keeps them.
+        let r = cancel_adjacent_self_inverse(&c);
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the circuit IR.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::matrix::GateMatrix;
+use crate::parameter::Parameter;
+use proptest::prelude::*;
+
+fn arb_single_qubit_gate() -> impl Strategy<Value = Gate> {
+    prop_oneof![
+        Just(Gate::I),
+        Just(Gate::H),
+        Just(Gate::X),
+        Just(Gate::Y),
+        Just(Gate::Z),
+        Just(Gate::S),
+        Just(Gate::T),
+        Just(Gate::RX),
+        Just(Gate::RY),
+        Just(Gate::RZ),
+        Just(Gate::P),
+    ]
+}
+
+fn arb_two_qubit_gate() -> impl Strategy<Value = Gate> {
+    prop_oneof![
+        Just(Gate::CX),
+        Just(Gate::CZ),
+        Just(Gate::SWAP),
+        Just(Gate::RZZ),
+        Just(Gate::CP),
+        Just(Gate::RXX),
+        Just(Gate::RYY),
+    ]
+}
+
+/// A random circuit over `n` qubits with `len` instructions and bound angles.
+pub fn arb_bound_circuit(n: usize, len: usize) -> impl Strategy<Value = Circuit> {
+    let inst = (
+        prop_oneof![arb_single_qubit_gate().boxed(), arb_two_qubit_gate().boxed()],
+        0..n,
+        0..n,
+        -3.2_f64..3.2,
+    );
+    proptest::collection::vec(inst, 0..=len).prop_map(move |instrs| {
+        let mut c = Circuit::new(n);
+        for (gate, q0, q1, theta) in instrs {
+            let param = if gate.is_parameterized() {
+                Parameter::bound(theta)
+            } else {
+                Parameter::None
+            };
+            if gate.arity() == 1 {
+                c.push(gate, &[q0], param);
+            } else if q0 != q1 {
+                c.push(gate, &[q0, q1], param);
+            }
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_gate_matrices_are_unitary(gate in prop_oneof![arb_single_qubit_gate(), arb_two_qubit_gate()], theta in -10.0_f64..10.0) {
+        let m = GateMatrix::of(gate, theta);
+        prop_assert!(m.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn diagonal_flag_is_consistent_with_matrix(gate in prop_oneof![arb_single_qubit_gate(), arb_two_qubit_gate()], theta in -10.0_f64..10.0) {
+        let m = GateMatrix::of(gate, theta);
+        prop_assert_eq!(m.diagonal().is_some(), gate.is_diagonal());
+    }
+
+    #[test]
+    fn depth_never_exceeds_gate_count(c in arb_bound_circuit(5, 30)) {
+        prop_assert!(c.depth() <= c.gate_count());
+    }
+
+    #[test]
+    fn inverse_has_same_length_and_width(c in arb_bound_circuit(4, 20)) {
+        let inv = c.inverse().unwrap();
+        prop_assert_eq!(inv.len(), c.len());
+        prop_assert_eq!(inv.num_qubits(), c.num_qubits());
+    }
+
+    #[test]
+    fn bind_is_idempotent_on_bound_circuits(c in arb_bound_circuit(4, 20)) {
+        // Circuits without free parameters are unchanged by bind().
+        let bound = c.bind(&[]).unwrap();
+        prop_assert_eq!(bound, c);
+    }
+
+    #[test]
+    fn dagger_dagger_is_identity_map(gate in prop_oneof![arb_single_qubit_gate(), arb_two_qubit_gate()], theta in -6.3_f64..6.3) {
+        let m = GateMatrix::of(gate, theta);
+        prop_assert!(m.dagger().dagger().max_abs_diff(&m) < 1e-12);
+    }
+}

@@ -1,0 +1,90 @@
+//! Minimal OpenQASM-2-style text export.
+//!
+//! QArchSearch's original QBuilder emits Qiskit circuits; the closest portable
+//! artifact is an OpenQASM dump. Only the gate set of this crate is supported,
+//! which is enough to inspect or export searched mixers and full QAOA ansätze.
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+use crate::gate::Gate;
+use crate::parameter::Parameter;
+
+/// Serialize a fully-bound circuit to an OpenQASM-2-like string.
+///
+/// Free parameters are rejected (bind them first) because QASM 2 has no
+/// symbolic parameters.
+pub fn to_qasm(circuit: &Circuit) -> Result<String, CircuitError> {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    out.push_str(&format!("qreg q[{}];\n", circuit.num_qubits()));
+    for inst in circuit.instructions() {
+        let args: Vec<String> = inst.qubits.iter().map(|q| format!("q[{q}]")).collect();
+        let args = args.join(",");
+        let line = match (&inst.gate, &inst.parameter) {
+            (g, Parameter::None) => format!("{} {};", qasm_name(*g), args),
+            (g, Parameter::Bound(v)) => format!("{}({}) {};", qasm_name(*g), v, args),
+            (_, Parameter::Free { name, .. }) => {
+                return Err(CircuitError::UnboundParameter { name: name.clone() })
+            }
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn qasm_name(gate: Gate) -> &'static str {
+    match gate {
+        Gate::I => "id",
+        Gate::H => "h",
+        Gate::X => "x",
+        Gate::Y => "y",
+        Gate::Z => "z",
+        Gate::S => "s",
+        Gate::Sdg => "sdg",
+        Gate::T => "t",
+        Gate::Tdg => "tdg",
+        Gate::RX => "rx",
+        Gate::RY => "ry",
+        Gate::RZ => "rz",
+        Gate::P => "u1",
+        Gate::CX => "cx",
+        Gate::CZ => "cz",
+        Gate::SWAP => "swap",
+        Gate::RZZ => "rzz",
+        Gate::CP => "cu1",
+        Gate::RXX => "rxx",
+        Gate::RYY => "ryy",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qasm_header_and_register() {
+        let c = Circuit::new(3);
+        let q = to_qasm(&c).unwrap();
+        assert!(q.starts_with("OPENQASM 2.0;"));
+        assert!(q.contains("qreg q[3];"));
+    }
+
+    #[test]
+    fn bound_gates_serialize() {
+        let mut c = Circuit::new(2);
+        c.h(0).rx(1, 0.5).cx(0, 1).rzz(0, 1, 1.5);
+        let q = to_qasm(&c).unwrap();
+        assert!(q.contains("h q[0];"));
+        assert!(q.contains("rx(0.5) q[1];"));
+        assert!(q.contains("cx q[0],q[1];"));
+        assert!(q.contains("rzz(1.5) q[0],q[1];"));
+    }
+
+    #[test]
+    fn free_parameters_are_rejected() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::RX, &[0], Parameter::free("beta", 1.0));
+        assert!(matches!(to_qasm(&c), Err(CircuitError::UnboundParameter { .. })));
+    }
+}

@@ -1,0 +1,32 @@
+//! Error types for the state-vector simulator.
+
+use thiserror::Error;
+
+/// Errors produced while simulating a circuit on the dense backend.
+#[derive(Debug, Error, Clone, PartialEq)]
+pub enum SimulatorError {
+    /// The circuit contains unbound parameters.
+    #[error("cannot simulate circuit with unbound parameter '{name}'")]
+    UnboundParameter {
+        /// Name of the unbound parameter.
+        name: String,
+    },
+
+    /// The register is too large to allocate.
+    #[error("{num_qubits} qubits exceed the dense-simulation limit of {max} qubits")]
+    TooManyQubits {
+        /// Requested register width.
+        num_qubits: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+
+    /// An observable was supplied with the wrong dimension.
+    #[error("observable has {observable} entries but the state has {state} amplitudes")]
+    DimensionMismatch {
+        /// Observable length.
+        observable: usize,
+        /// State length.
+        state: usize,
+    },
+}

@@ -1,0 +1,141 @@
+//! Expectation values of Max-Cut style diagonal cost operators.
+//!
+//! The QAOA cost function (Eq. 1 of the paper) is diagonal in the
+//! computational basis, so its expectation over a state is a weighted sum of
+//! measurement probabilities. The helpers here evaluate it directly from the
+//! state's probability distribution without materializing the full `2^n`
+//! diagonal when given a graph.
+
+use crate::state::StateVector;
+use rayon::prelude::*;
+
+/// The Max-Cut cost of a basis state `z` (bitmask) for the given edge list:
+/// `C(z) = Σ w_uv · [z_u ≠ z_v]`.
+pub fn maxcut_value_of_basis_state(edges: &[(usize, usize, f64)], z: usize) -> f64 {
+    edges
+        .iter()
+        .map(|&(u, v, w)| {
+            let bu = (z >> u) & 1;
+            let bv = (z >> v) & 1;
+            if bu != bv {
+                w
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// `⟨ψ| C_MC |ψ⟩` for the Max-Cut Hamiltonian of the given edge list.
+///
+/// For registers at or above the Rayon threshold the sum over basis states is
+/// parallelized; below it a sequential loop is faster.
+pub fn maxcut_expectation(state: &StateVector, edges: &[(usize, usize, f64)]) -> f64 {
+    let probs = state.probabilities();
+    if state.num_qubits() >= crate::PARALLEL_THRESHOLD_QUBITS {
+        probs
+            .par_iter()
+            .enumerate()
+            .map(|(z, p)| p * maxcut_value_of_basis_state(edges, z))
+            .sum()
+    } else {
+        probs
+            .iter()
+            .enumerate()
+            .map(|(z, p)| p * maxcut_value_of_basis_state(edges, z))
+            .sum()
+    }
+}
+
+/// Expectation of a single `Z_u Z_v` correlator.
+pub fn zz_expectation(state: &StateVector, u: usize, v: usize) -> f64 {
+    let bu = 1usize << u;
+    let bv = 1usize << v;
+    state
+        .amplitudes()
+        .iter()
+        .enumerate()
+        .map(|(z, a)| {
+            let sign = if ((z & bu != 0) as u8) ^ ((z & bv != 0) as u8) == 1 { -1.0 } else { 1.0 };
+            sign * a.norm_sqr()
+        })
+        .sum()
+}
+
+/// Expectation of a single `Z_u` operator.
+pub fn z_expectation(state: &StateVector, u: usize) -> f64 {
+    let bu = 1usize << u;
+    state
+        .amplitudes()
+        .iter()
+        .enumerate()
+        .map(|(z, a)| if z & bu != 0 { -a.norm_sqr() } else { a.norm_sqr() })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::Circuit;
+
+    #[test]
+    fn maxcut_value_counts_cut_edges() {
+        let edges = vec![(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)];
+        // z = 0b001: node 0 on one side, nodes 1,2 on the other -> edges (0,1),(0,2) cut.
+        assert_eq!(maxcut_value_of_basis_state(&edges, 0b001), 2.0);
+        // All same side: nothing cut.
+        assert_eq!(maxcut_value_of_basis_state(&edges, 0b000), 0.0);
+        assert_eq!(maxcut_value_of_basis_state(&edges, 0b111), 0.0);
+    }
+
+    #[test]
+    fn expectation_on_plus_state_is_half_total_weight() {
+        // Each edge is cut with probability 1/2 in the uniform superposition.
+        let edges = vec![(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0)];
+        let state = StateVector::plus_state(4).unwrap();
+        let expected = 0.5 * (1.0 + 2.0 + 1.0);
+        assert!((maxcut_expectation(&state, &edges) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_on_basis_state_is_exact_cut() {
+        let edges = vec![(0, 1, 1.0), (1, 2, 1.0)];
+        let mut c = Circuit::new(3);
+        c.x(1); // |010>: node 1 separated from 0 and 2 -> both edges cut
+        let state = StateVector::from_circuit(&c).unwrap();
+        assert!((maxcut_expectation(&state, &edges) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zz_expectation_signs() {
+        let s0 = StateVector::zero_state(2).unwrap();
+        assert!((zz_expectation(&s0, 0, 1) - 1.0).abs() < 1e-12);
+        let mut c = Circuit::new(2);
+        c.x(0);
+        let s = StateVector::from_circuit(&c).unwrap();
+        assert!((zz_expectation(&s, 0, 1) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_expectation_on_plus_is_zero() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let s = StateVector::from_circuit(&c).unwrap();
+        assert!(z_expectation(&s, 0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maxcut_expectation_relates_to_zz() {
+        // <C> = sum_e w_e (1 - <Z_u Z_v>) / 2
+        let edges = vec![(0, 1, 1.0), (1, 2, 1.5)];
+        let mut c = Circuit::new(3);
+        c.h_layer();
+        c.rzz(0, 1, 0.7).rx(0, 0.4).ry(2, 1.2);
+        let s = StateVector::from_circuit(&c).unwrap();
+        let via_zz: f64 = edges
+            .iter()
+            .map(|&(u, v, w)| 0.5 * w * (1.0 - zz_expectation(&s, u, v)))
+            .sum();
+        assert!((maxcut_expectation(&s, &edges) - via_zz).abs() < 1e-10);
+    }
+}

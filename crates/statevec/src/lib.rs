@@ -1,0 +1,42 @@
+//! # statevec — dense state-vector simulator
+//!
+//! A straightforward, exact quantum-circuit simulator that stores all `2^n`
+//! complex amplitudes. It plays the role of Qiskit's statevector simulator in
+//! the original QArchSearch stack and doubles as the ground-truth oracle that
+//! the tensor-network backend (`tensornet`) is validated against.
+//!
+//! * Qubit `0` is the least-significant bit of the basis-state index.
+//! * Single-qubit and two-qubit gate kernels are cache-friendly strided loops;
+//!   for larger registers the amplitude updates are parallelized with Rayon
+//!   (this is the *inner* level of the paper's two-level parallelization
+//!   scheme — the outer level parallelizes over candidate circuits).
+//! * Expectation values of diagonal cost operators (the Max-Cut Hamiltonian)
+//!   are computed directly from the probability distribution.
+//!
+//! ```
+//! use qcircuit::Circuit;
+//! use statevec::StateVector;
+//!
+//! let mut c = Circuit::new(2);
+//! c.h(0).cx(0, 1);
+//! let state = StateVector::from_circuit(&c).unwrap();
+//! let probs = state.probabilities();
+//! assert!((probs[0b00] - 0.5).abs() < 1e-12);
+//! assert!((probs[0b11] - 0.5).abs() < 1e-12);
+//! ```
+
+pub mod error;
+pub mod expectation;
+pub mod sampling;
+pub mod state;
+
+pub use error::SimulatorError;
+pub use state::StateVector;
+
+/// Number of qubits above which gate kernels switch to Rayon-parallel
+/// iteration. Small registers are faster single-threaded because the
+/// per-task overhead dominates.
+pub const PARALLEL_THRESHOLD_QUBITS: usize = 14;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,100 @@
+//! Property-based tests for the dense simulator.
+
+use crate::expectation::{maxcut_expectation, zz_expectation};
+use crate::state::StateVector;
+use proptest::prelude::*;
+use qcircuit::{Circuit, Gate, Parameter};
+
+/// A random bound circuit over `n` qubits (subset of the gate alphabet that
+/// exercises every kernel: single-qubit rotations, Cliffords, two-qubit
+/// diagonal and non-diagonal gates).
+fn arb_circuit(n: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
+    let gate = prop_oneof![
+        Just(Gate::H),
+        Just(Gate::X),
+        Just(Gate::Y),
+        Just(Gate::Z),
+        Just(Gate::S),
+        Just(Gate::T),
+        Just(Gate::RX),
+        Just(Gate::RY),
+        Just(Gate::RZ),
+        Just(Gate::P),
+        Just(Gate::CX),
+        Just(Gate::CZ),
+        Just(Gate::SWAP),
+        Just(Gate::RZZ),
+    ];
+    proptest::collection::vec((gate, 0..n, 0..n, -3.2f64..3.2), 0..max_len).prop_map(
+        move |instrs| {
+            let mut c = Circuit::new(n);
+            for (g, q0, q1, theta) in instrs {
+                let param =
+                    if g.is_parameterized() { Parameter::bound(theta) } else { Parameter::None };
+                if g.arity() == 1 {
+                    c.push(g, &[q0], param);
+                } else if q0 != q1 {
+                    c.push(g, &[q0, q1], param);
+                }
+            }
+            c
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn norm_is_preserved(c in arb_circuit(5, 25)) {
+        let s = StateVector::from_circuit(&c).unwrap();
+        prop_assert!((s.norm_squared() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one(c in arb_circuit(4, 20)) {
+        let s = StateVector::from_circuit(&c).unwrap();
+        let total: f64 = s.probabilities().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circuit_then_inverse_restores_zero_state(c in arb_circuit(4, 15)) {
+        let mut s = StateVector::zero_state(4).unwrap();
+        s.apply_circuit(&c).unwrap();
+        s.apply_circuit(&c.inverse().unwrap()).unwrap();
+        let zero = StateVector::zero_state(4).unwrap();
+        prop_assert!((s.fidelity(&zero) - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn diagonal_circuit_preserves_computational_probabilities(
+        thetas in proptest::collection::vec(-3.0f64..3.0, 4),
+    ) {
+        // Diagonal gates (RZ, P, CZ, RZZ) leave measurement probabilities of a
+        // basis state unchanged.
+        let mut c = Circuit::new(3);
+        c.x(1);
+        c.rz(0, thetas[0]).p(1, thetas[1]).rzz(0, 2, thetas[2]).rz(2, thetas[3]);
+        c.cz(0, 1);
+        let s = StateVector::from_circuit(&c).unwrap();
+        let p = s.probabilities();
+        prop_assert!((p[0b010] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maxcut_expectation_is_bounded(c in arb_circuit(4, 20)) {
+        let edges = vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)];
+        let s = StateVector::from_circuit(&c).unwrap();
+        let e = maxcut_expectation(&s, &edges);
+        prop_assert!(e >= -1e-9);
+        prop_assert!(e <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn zz_expectation_within_unit_interval(c in arb_circuit(3, 15)) {
+        let s = StateVector::from_circuit(&c).unwrap();
+        let zz = zz_expectation(&s, 0, 2);
+        prop_assert!(zz >= -1.0 - 1e-9 && zz <= 1.0 + 1e-9);
+    }
+}

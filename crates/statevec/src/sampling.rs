@@ -1,0 +1,117 @@
+//! Measurement sampling from a state vector.
+//!
+//! QArchSearch's evaluator works with exact expectation values, but sampling
+//! is needed for shot-based estimates (and for the sampling-frequency analyses
+//! that the QTensor line of work explores). Sampling is seeded and
+//! reproducible.
+
+use crate::state::StateVector;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Draw `shots` basis-state samples from the measurement distribution of
+/// `state`, returning a map from basis state to observed count.
+pub fn sample_counts(state: &StateVector, shots: usize, seed: u64) -> HashMap<usize, usize> {
+    let probs = state.probabilities();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut counts: HashMap<usize, usize> = HashMap::new();
+
+    // Cumulative distribution for inverse-transform sampling.
+    let mut cdf = Vec::with_capacity(probs.len());
+    let mut acc = 0.0;
+    for p in &probs {
+        acc += p;
+        cdf.push(acc);
+    }
+    let total = acc.max(f64::MIN_POSITIVE);
+
+    for _ in 0..shots {
+        let r: f64 = rng.gen::<f64>() * total;
+        let idx = match cdf.binary_search_by(|x| x.partial_cmp(&r).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(probs.len() - 1),
+        };
+        *counts.entry(idx).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Estimate the expectation of a diagonal cost function from sampled counts.
+pub fn estimate_expectation_from_counts(
+    counts: &HashMap<usize, usize>,
+    cost: &dyn Fn(usize) -> f64,
+) -> f64 {
+    let total: usize = counts.values().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    counts
+        .iter()
+        .map(|(&z, &n)| cost(z) * n as f64)
+        .sum::<f64>()
+        / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expectation::maxcut_value_of_basis_state;
+    use qcircuit::Circuit;
+
+    #[test]
+    fn sampling_basis_state_is_deterministic() {
+        let mut c = Circuit::new(3);
+        c.x(1);
+        let s = StateVector::from_circuit(&c).unwrap();
+        let counts = sample_counts(&s, 100, 1);
+        assert_eq!(counts.len(), 1);
+        assert_eq!(counts[&0b010], 100);
+    }
+
+    #[test]
+    fn sampling_is_seeded_reproducible() {
+        let s = StateVector::plus_state(3).unwrap();
+        let a = sample_counts(&s, 500, 42);
+        let b = sample_counts(&s, 500, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bell_state_samples_only_correlated_outcomes() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let s = StateVector::from_circuit(&c).unwrap();
+        let counts = sample_counts(&s, 1000, 7);
+        for (&z, _) in &counts {
+            assert!(z == 0b00 || z == 0b11, "unexpected outcome {z:02b}");
+        }
+        // Both outcomes should appear for 1000 shots.
+        assert!(counts.len() == 2);
+    }
+
+    #[test]
+    fn sampled_expectation_approaches_exact() {
+        let edges = vec![(0usize, 1usize, 1.0f64), (1, 2, 1.0), (0, 2, 1.0)];
+        let mut c = Circuit::new(3);
+        c.h_layer();
+        c.rzz(0, 1, 0.6).rzz(1, 2, 0.6).rzz(0, 2, 0.6);
+        c.rx(0, 1.0).rx(1, 1.0).rx(2, 1.0);
+        let s = StateVector::from_circuit(&c).unwrap();
+        let exact = crate::expectation::maxcut_expectation(
+            &s,
+            &edges.iter().map(|&(u, v, w)| (u, v, w)).collect::<Vec<_>>(),
+        );
+        let counts = sample_counts(&s, 20_000, 3);
+        let est = estimate_expectation_from_counts(&counts, &|z| {
+            maxcut_value_of_basis_state(&edges, z)
+        });
+        assert!((est - exact).abs() < 0.05, "estimate {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn empty_counts_give_zero() {
+        let counts = HashMap::new();
+        assert_eq!(estimate_expectation_from_counts(&counts, &|_| 1.0), 0.0);
+    }
+}

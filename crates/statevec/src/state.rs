@@ -1,0 +1,407 @@
+//! The dense state vector and its gate-application kernels.
+
+use crate::error::SimulatorError;
+use crate::PARALLEL_THRESHOLD_QUBITS;
+use num_complex::Complex64;
+use qcircuit::{Circuit, GateMatrix};
+use rayon::prelude::*;
+
+/// Hard cap on dense-simulation width (2^30 amplitudes = 16 GiB of
+/// `Complex64`; well above anything the paper's experiments need).
+pub const MAX_DENSE_QUBITS: usize = 30;
+
+/// A dense `2^n`-amplitude quantum state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    num_qubits: usize,
+    amplitudes: Vec<Complex64>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state `|0...0⟩`.
+    pub fn zero_state(num_qubits: usize) -> Result<Self, SimulatorError> {
+        if num_qubits > MAX_DENSE_QUBITS {
+            return Err(SimulatorError::TooManyQubits { num_qubits, max: MAX_DENSE_QUBITS });
+        }
+        let mut amplitudes = vec![Complex64::new(0.0, 0.0); 1usize << num_qubits];
+        amplitudes[0] = Complex64::new(1.0, 0.0);
+        Ok(StateVector { num_qubits, amplitudes })
+    }
+
+    /// The uniform superposition `|+⟩^{⊗n}` (the QAOA initial state).
+    pub fn plus_state(num_qubits: usize) -> Result<Self, SimulatorError> {
+        if num_qubits > MAX_DENSE_QUBITS {
+            return Err(SimulatorError::TooManyQubits { num_qubits, max: MAX_DENSE_QUBITS });
+        }
+        let dim = 1usize << num_qubits;
+        let amp = Complex64::new(1.0 / (dim as f64).sqrt(), 0.0);
+        Ok(StateVector { num_qubits, amplitudes: vec![amp; dim] })
+    }
+
+    /// Build a state from raw amplitudes (length must be a power of two).
+    pub fn from_amplitudes(amplitudes: Vec<Complex64>) -> Self {
+        assert!(amplitudes.len().is_power_of_two(), "amplitude count must be a power of two");
+        let num_qubits = amplitudes.len().trailing_zeros() as usize;
+        StateVector { num_qubits, amplitudes }
+    }
+
+    /// Simulate `circuit` starting from `|0...0⟩`.
+    pub fn from_circuit(circuit: &Circuit) -> Result<Self, SimulatorError> {
+        let mut state = StateVector::zero_state(circuit.num_qubits())?;
+        state.apply_circuit(circuit)?;
+        Ok(state)
+    }
+
+    /// Register width.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The raw amplitude slice (index = basis state, qubit 0 least
+    /// significant).
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amplitudes
+    }
+
+    /// `⟨ψ|ψ⟩` — should remain 1 under unitary evolution.
+    pub fn norm_squared(&self) -> f64 {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Measurement probabilities for every basis state.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    pub fn inner_product(&self, other: &StateVector) -> Complex64 {
+        assert_eq!(self.num_qubits, other.num_qubits, "state width mismatch");
+        self.amplitudes
+            .iter()
+            .zip(&other.amplitudes)
+            .map(|(a, b)| a.conj() * b)
+            .sum()
+    }
+
+    /// Fidelity `|⟨self|other⟩|^2`.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner_product(other).norm_sqr()
+    }
+
+    /// Apply every instruction of a (fully bound) circuit in order.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) -> Result<(), SimulatorError> {
+        for inst in circuit.instructions() {
+            let matrix = inst.matrix(&|name| {
+                // No external assignments: free parameters are an error.
+                let _ = name;
+                None
+            });
+            match matrix {
+                Some(m) => self.apply_matrix(&m, &inst.qubits),
+                None => {
+                    let name = inst.parameter.name().unwrap_or("<unknown>").to_string();
+                    return Err(SimulatorError::UnboundParameter { name });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply a gate matrix to the given qubit operands.
+    pub fn apply_matrix(&mut self, matrix: &GateMatrix, qubits: &[usize]) {
+        match matrix {
+            GateMatrix::One(m) => self.apply_single_qubit(m, qubits[0]),
+            GateMatrix::Two(m) => self.apply_two_qubit(m, qubits[0], qubits[1]),
+        }
+    }
+
+    /// Apply a 2×2 matrix to qubit `target`.
+    pub fn apply_single_qubit(&mut self, m: &[Complex64; 4], target: usize) {
+        debug_assert!(target < self.num_qubits);
+        let stride = 1usize << target;
+        let (m00, m01, m10, m11) = (m[0], m[1], m[2], m[3]);
+
+        let work = |chunk: &mut [Complex64], base: usize| {
+            // chunk covers indices [base, base + chunk.len())
+            for offset in 0..chunk.len() {
+                let idx = base + offset;
+                if idx & stride == 0 {
+                    // paired index idx | stride must live in the same chunk
+                    let a = chunk[offset];
+                    let b = chunk[offset + stride];
+                    chunk[offset] = m00 * a + m01 * b;
+                    chunk[offset + stride] = m10 * a + m11 * b;
+                }
+            }
+        };
+
+        if self.num_qubits >= PARALLEL_THRESHOLD_QUBITS {
+            // Chunks of size 2*stride keep index pairs within one chunk,
+            // so parallel mutation is safe.
+            let chunk_size = (2 * stride).max(1);
+            self.amplitudes
+                .par_chunks_mut(chunk_size)
+                .enumerate()
+                .for_each(|(i, chunk)| work(chunk, i * chunk_size));
+        } else {
+            let chunk_size = (2 * stride).max(1);
+            for (i, chunk) in self.amplitudes.chunks_mut(chunk_size).enumerate() {
+                work(chunk, i * chunk_size);
+            }
+        }
+    }
+
+    /// Apply a 4×4 matrix to the ordered pair `(q1, q0)`; the matrix basis is
+    /// `|q1 q0⟩` with `q1` the most-significant bit (matching
+    /// [`qcircuit::GateMatrix`]'s convention where the first operand is the
+    /// control / first tensor factor).
+    pub fn apply_two_qubit(&mut self, m: &[Complex64; 16], q1: usize, q0: usize) {
+        debug_assert!(q1 != q0);
+        debug_assert!(q1 < self.num_qubits && q0 < self.num_qubits);
+        let bit1 = 1usize << q1;
+        let bit0 = 1usize << q0;
+        let dim = self.amplitudes.len();
+
+        let apply_at = |amps: &mut Vec<Complex64>, idx: usize| {
+            // idx has both operand bits clear.
+            let i00 = idx;
+            let i01 = idx | bit0;
+            let i10 = idx | bit1;
+            let i11 = idx | bit1 | bit0;
+            let a00 = amps[i00];
+            let a01 = amps[i01];
+            let a10 = amps[i10];
+            let a11 = amps[i11];
+            // Matrix basis order: |00>, |01>, |10>, |11> with q1 as MSB.
+            amps[i00] = m[0] * a00 + m[1] * a01 + m[2] * a10 + m[3] * a11;
+            amps[i01] = m[4] * a00 + m[5] * a01 + m[6] * a10 + m[7] * a11;
+            amps[i10] = m[8] * a00 + m[9] * a01 + m[10] * a10 + m[11] * a11;
+            amps[i11] = m[12] * a00 + m[13] * a01 + m[14] * a10 + m[15] * a11;
+        };
+
+        if self.num_qubits >= PARALLEL_THRESHOLD_QUBITS {
+            // Parallel version: collect the base indices first, then process
+            // disjoint groups. Basis indices with both bits clear are disjoint
+            // across groups, so we chunk the full range and let each task
+            // handle its own quarter of the work via unsafe-free copy.
+            let indices: Vec<usize> = (0..dim)
+                .into_par_iter()
+                .filter(|idx| idx & bit1 == 0 && idx & bit0 == 0)
+                .collect();
+            // The groups touch disjoint amplitude quadruples, but Rayon can't
+            // prove that, so fall back to sequential application over the
+            // precomputed index list (the filter above was the parallel part).
+            for idx in indices {
+                apply_at(&mut self.amplitudes, idx);
+            }
+        } else {
+            for idx in 0..dim {
+                if idx & bit1 == 0 && idx & bit0 == 0 {
+                    apply_at(&mut self.amplitudes, idx);
+                }
+            }
+        }
+    }
+
+    /// Expectation value `⟨ψ| D |ψ⟩` of a diagonal observable given as its
+    /// diagonal entries (length `2^n`).
+    pub fn expectation_diagonal(&self, diagonal: &[f64]) -> Result<f64, SimulatorError> {
+        if diagonal.len() != self.amplitudes.len() {
+            return Err(SimulatorError::DimensionMismatch {
+                observable: diagonal.len(),
+                state: self.amplitudes.len(),
+            });
+        }
+        Ok(self
+            .amplitudes
+            .iter()
+            .zip(diagonal)
+            .map(|(a, d)| a.norm_sqr() * d)
+            .sum())
+    }
+
+    /// Probability of measuring qubit `q` in state `|1⟩`.
+    pub fn probability_of_one(&self, q: usize) -> f64 {
+        let bit = 1usize << q;
+        self.amplitudes
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| idx & bit != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::{Gate, Parameter};
+    use std::f64::consts::{FRAC_1_SQRT_2, PI};
+
+    #[test]
+    fn zero_state_is_normalized() {
+        let s = StateVector::zero_state(3).unwrap();
+        assert_eq!(s.amplitudes().len(), 8);
+        assert!((s.norm_squared() - 1.0).abs() < 1e-12);
+        assert!((s.amplitudes()[0].re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plus_state_is_uniform() {
+        let s = StateVector::plus_state(4).unwrap();
+        for p in s.probabilities() {
+            assert!((p - 1.0 / 16.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn too_many_qubits_is_rejected() {
+        assert!(matches!(
+            StateVector::zero_state(31),
+            Err(SimulatorError::TooManyQubits { .. })
+        ));
+    }
+
+    #[test]
+    fn hadamard_creates_superposition() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let s = StateVector::from_circuit(&c).unwrap();
+        assert!((s.amplitudes()[0].re - FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((s.amplitudes()[1].re - FRAC_1_SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_flips_the_qubit() {
+        let mut c = Circuit::new(2);
+        c.x(1);
+        let s = StateVector::from_circuit(&c).unwrap();
+        assert!((s.probabilities()[0b10] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_via_h_cx() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let s = StateVector::from_circuit(&c).unwrap();
+        let p = s.probabilities();
+        assert!((p[0b00] - 0.5).abs() < 1e-12);
+        assert!((p[0b11] - 0.5).abs() < 1e-12);
+        assert!(p[0b01] < 1e-12 && p[0b10] < 1e-12);
+    }
+
+    #[test]
+    fn cx_control_qubit_convention() {
+        // Control = qubit 1 (first operand), target = qubit 0.
+        let mut c = Circuit::new(2);
+        c.x(1); // set control
+        c.cx(1, 0);
+        let s = StateVector::from_circuit(&c).unwrap();
+        assert!((s.probabilities()[0b11] - 1.0).abs() < 1e-12);
+
+        // Control not set: nothing happens.
+        let mut c2 = Circuit::new(2);
+        c2.cx(1, 0);
+        let s2 = StateVector::from_circuit(&c2).unwrap();
+        assert!((s2.probabilities()[0b00] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rx_pi_acts_like_x() {
+        let mut c = Circuit::new(1);
+        c.rx(0, PI);
+        let s = StateVector::from_circuit(&c).unwrap();
+        assert!((s.probabilities()[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rz_only_changes_phase() {
+        let mut c = Circuit::new(1);
+        c.h(0).rz(0, 1.234);
+        let s = StateVector::from_circuit(&c).unwrap();
+        let p = s.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rzz_introduces_correlated_phase() {
+        // On |++>, RZZ followed by the inverse rotation must return to |++>.
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).rzz(0, 1, 0.8).rzz(0, 1, -0.8);
+        let s = StateVector::from_circuit(&c).unwrap();
+        let plus = StateVector::plus_state(2).unwrap();
+        assert!((s.fidelity(&plus) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn norm_is_preserved_by_random_circuit() {
+        let mut c = Circuit::new(4);
+        c.h_layer();
+        c.rx(0, 0.3).ry(1, 1.1).rz(2, -0.4);
+        c.cx(0, 1).cz(2, 3).rzz(1, 2, 0.9);
+        c.push(Gate::SWAP, &[0, 3], Parameter::None);
+        let s = StateVector::from_circuit(&c).unwrap();
+        assert!((s.norm_squared() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn unbound_parameter_is_an_error() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::RX, &[0], Parameter::free("beta", 1.0));
+        assert!(matches!(
+            StateVector::from_circuit(&c),
+            Err(SimulatorError::UnboundParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn expectation_of_diagonal_observable() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let s = StateVector::from_circuit(&c).unwrap();
+        // Observable Z has diagonal (+1, -1): expectation on |+> is 0.
+        let z = s.expectation_diagonal(&[1.0, -1.0]).unwrap();
+        assert!(z.abs() < 1e-12);
+        // On |0> it is +1.
+        let s0 = StateVector::zero_state(1).unwrap();
+        assert!((s0.expectation_diagonal(&[1.0, -1.0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_dimension_mismatch() {
+        let s = StateVector::zero_state(2).unwrap();
+        assert!(matches!(
+            s.expectation_diagonal(&[1.0, 2.0]),
+            Err(SimulatorError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn probability_of_one_tracks_x() {
+        let mut c = Circuit::new(3);
+        c.x(2);
+        let s = StateVector::from_circuit(&c).unwrap();
+        assert!(s.probability_of_one(2) > 0.999);
+        assert!(s.probability_of_one(0) < 1e-12);
+    }
+
+    #[test]
+    fn swap_exchanges_qubits() {
+        let mut c = Circuit::new(2);
+        c.x(0);
+        c.push(Gate::SWAP, &[0, 1], Parameter::None);
+        let s = StateVector::from_circuit(&c).unwrap();
+        assert!((s.probabilities()[0b10] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inner_product_of_orthogonal_states_is_zero() {
+        let s0 = StateVector::zero_state(2).unwrap();
+        let mut c = Circuit::new(2);
+        c.x(0);
+        let s1 = StateVector::from_circuit(&c).unwrap();
+        assert!(s0.inner_product(&s1).norm() < 1e-12);
+        assert!((s0.inner_product(&s0).re - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,48 @@
+//! Error types for the tensor-network backend.
+
+use thiserror::Error;
+
+/// Errors raised while building or contracting tensor networks.
+#[derive(Debug, Error, Clone, PartialEq)]
+pub enum TensorNetError {
+    /// The circuit contains unbound parameters.
+    #[error("cannot build a tensor network from a circuit with unbound parameter '{name}'")]
+    UnboundParameter {
+        /// Name of the unbound parameter.
+        name: String,
+    },
+
+    /// Tensor construction was given inconsistent data.
+    #[error("tensor with {indices} binary indices requires {expected} entries but {got} were given")]
+    InvalidTensorData {
+        /// Number of indices.
+        indices: usize,
+        /// Expected entry count (2^indices).
+        expected: usize,
+        /// Supplied entry count.
+        got: usize,
+    },
+
+    /// An index appears more than once in a single tensor.
+    #[error("index {index} appears more than once in one tensor")]
+    DuplicateIndex {
+        /// The repeated index id.
+        index: usize,
+    },
+
+    /// The requested contraction would exceed the width limit.
+    #[error("contraction width {width} exceeds the limit of {limit} indices")]
+    WidthLimitExceeded {
+        /// Width of the offending intermediate tensor.
+        width: usize,
+        /// Configured limit.
+        limit: usize,
+    },
+
+    /// The network still has open indices where a scalar was expected.
+    #[error("expected a closed network but {count} open indices remain")]
+    OpenIndicesRemain {
+        /// Number of dangling indices.
+        count: usize,
+    },
+}

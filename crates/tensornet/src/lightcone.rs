@@ -1,0 +1,215 @@
+//! Light-cone reduction for per-edge QAOA expectation values.
+//!
+//! The expectation ⟨ψ|Z_u Z_v|ψ⟩ with |ψ⟩ = U|0…0⟩ only depends on the gates
+//! inside the *reverse causal cone* of qubits `u` and `v`: every gate that
+//! touches no cone qubit cancels between U and U†. QTensor exploits this to
+//! evaluate the QAOA energy edge by edge on sub-circuits that are much
+//! narrower than the full register; this module implements the same
+//! reduction for our backend.
+
+use crate::error::TensorNetError;
+use crate::network::TensorNetwork;
+use qcircuit::Circuit;
+use rayon::prelude::*;
+use std::collections::BTreeSet;
+
+/// The light-cone restriction of `circuit` with respect to `targets`:
+/// the sub-circuit containing exactly the gates in the reverse causal cone,
+/// relabelled onto the cone qubits, plus the mapping from old qubit id to new.
+#[derive(Debug, Clone)]
+pub struct LightCone {
+    /// The reduced circuit over `cone_qubits.len()` qubits.
+    pub circuit: Circuit,
+    /// Original qubit ids of the cone, in relabelling order (new id = position).
+    pub cone_qubits: Vec<usize>,
+}
+
+impl LightCone {
+    /// Compute the reverse causal cone of `targets` in `circuit`.
+    ///
+    /// Walk the instructions backwards keeping a growing set of *active*
+    /// qubits (initialized to `targets`); an instruction is kept iff it acts
+    /// on at least one active qubit, and keeping it activates all of its
+    /// qubits.
+    pub fn of(circuit: &Circuit, targets: &[usize]) -> LightCone {
+        let mut active: BTreeSet<usize> = targets.iter().copied().collect();
+        let mut keep = vec![false; circuit.instructions().len()];
+
+        for (i, inst) in circuit.instructions().iter().enumerate().rev() {
+            if inst.qubits.iter().any(|q| active.contains(q)) {
+                keep[i] = true;
+                for &q in &inst.qubits {
+                    active.insert(q);
+                }
+            }
+        }
+
+        let cone_qubits: Vec<usize> = active.into_iter().collect();
+        let relabel = |q: usize| cone_qubits.iter().position(|&x| x == q).expect("qubit in cone");
+
+        let mut reduced = Circuit::new(cone_qubits.len());
+        for (i, inst) in circuit.instructions().iter().enumerate() {
+            if keep[i] {
+                let qubits: Vec<usize> = inst.qubits.iter().map(|&q| relabel(q)).collect();
+                reduced
+                    .try_push(inst.gate, &qubits, inst.parameter.clone())
+                    .expect("relabelled instruction is valid");
+            }
+        }
+        LightCone { circuit: reduced, cone_qubits }
+    }
+
+    /// New (relabelled) id of an original qubit, if it is inside the cone.
+    pub fn relabelled(&self, original: usize) -> Option<usize> {
+        self.cone_qubits.iter().position(|&q| q == original)
+    }
+
+    /// Width of the cone.
+    pub fn width(&self) -> usize {
+        self.cone_qubits.len()
+    }
+}
+
+/// ⟨Z_u Z_v⟩ on the output of `circuit`, evaluated on the light-cone-reduced
+/// sub-circuit via the tensor-network backend.
+pub fn zz_expectation_lightcone(
+    circuit: &Circuit,
+    u: usize,
+    v: usize,
+) -> Result<f64, TensorNetError> {
+    let cone = LightCone::of(circuit, &[u, v]);
+    let cu = cone.relabelled(u).expect("u is a target of its own cone");
+    let cv = cone.relabelled(v).expect("v is a target of its own cone");
+    TensorNetwork::zz_expectation(&cone.circuit, cu, cv)
+}
+
+/// The Max-Cut QAOA energy ⟨C⟩ = Σ_e w_e (1 − ⟨Z_u Z_v⟩)/2 computed edge by
+/// edge with light-cone reduction. Edges are processed in parallel with
+/// Rayon — this is the *inner* level of the two-level parallelization
+/// described in the paper (the outer level parallelizes over candidate
+/// circuits).
+pub fn maxcut_expectation(
+    circuit: &Circuit,
+    edges: &[(usize, usize, f64)],
+) -> Result<f64, TensorNetError> {
+    let contributions: Result<Vec<f64>, TensorNetError> = edges
+        .par_iter()
+        .map(|&(u, v, w)| {
+            let zz = zz_expectation_lightcone(circuit, u, v)?;
+            Ok(0.5 * w * (1.0 - zz))
+        })
+        .collect();
+    Ok(contributions?.into_iter().sum())
+}
+
+/// Sequential variant of [`maxcut_expectation`], used by the two-level
+/// parallelization ablation.
+pub fn maxcut_expectation_sequential(
+    circuit: &Circuit,
+    edges: &[(usize, usize, f64)],
+) -> Result<f64, TensorNetError> {
+    let mut total = 0.0;
+    for &(u, v, w) in edges {
+        let zz = zz_expectation_lightcone(circuit, u, v)?;
+        total += 0.5 * w * (1.0 - zz);
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::{Gate, Parameter};
+
+    /// A p=1 QAOA circuit on a path graph 0-1-2-3 with the standard RX mixer.
+    fn qaoa_path_circuit(gamma: f64, beta: f64) -> Circuit {
+        let mut c = Circuit::new(4);
+        c.h_layer();
+        for &(u, v) in &[(0usize, 1usize), (1, 2), (2, 3)] {
+            c.rzz(u, v, 2.0 * gamma);
+        }
+        for q in 0..4 {
+            c.rx(q, 2.0 * beta);
+        }
+        c
+    }
+
+    #[test]
+    fn cone_of_isolated_qubit_is_narrow() {
+        let c = qaoa_path_circuit(0.5, 0.3);
+        // Qubits 0 and 1 interact only with each other and qubit 2.
+        let cone = LightCone::of(&c, &[0, 1]);
+        assert!(cone.width() <= 3, "cone width {} should exclude qubit 3", cone.width());
+        assert!(cone.relabelled(0).is_some());
+        assert!(cone.relabelled(1).is_some());
+        assert!(cone.relabelled(3).is_none());
+    }
+
+    #[test]
+    fn cone_keeps_all_gates_when_everything_interacts() {
+        let mut c = Circuit::new(3);
+        c.h_layer();
+        c.cx(0, 1).cx(1, 2);
+        let cone = LightCone::of(&c, &[0]);
+        // CX(1,2) precedes nothing acting on 0, but CX(0,1) activates 1,
+        // whose earlier gate H(1) must be kept; qubit 2's H is dropped only if
+        // CX(1,2) is outside the cone — it is *inside* because it acts on
+        // qubit 1 after activation? No: walking backwards from {0}, CX(1,2)
+        // is seen before CX(0,1), at which point only 0 is active, so it is
+        // dropped.
+        assert_eq!(cone.width(), 2);
+        assert_eq!(cone.circuit.num_qubits(), 2);
+    }
+
+    #[test]
+    fn cone_of_empty_targets_is_empty() {
+        let c = qaoa_path_circuit(0.1, 0.2);
+        let cone = LightCone::of(&c, &[]);
+        assert_eq!(cone.width(), 0);
+        assert_eq!(cone.circuit.len(), 0);
+    }
+
+    #[test]
+    fn lightcone_zz_matches_full_network() {
+        let c = qaoa_path_circuit(0.7, 0.4);
+        for &(u, v) in &[(0usize, 1usize), (1, 2), (2, 3)] {
+            let full = TensorNetwork::zz_expectation(&c, u, v).unwrap();
+            let cone = zz_expectation_lightcone(&c, u, v).unwrap();
+            assert!(
+                (full - cone).abs() < 1e-10,
+                "edge ({u},{v}): full {full} vs cone {cone}"
+            );
+        }
+    }
+
+    #[test]
+    fn maxcut_expectation_parallel_equals_sequential() {
+        let c = qaoa_path_circuit(0.6, 0.3);
+        let edges = vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)];
+        let par = maxcut_expectation(&c, &edges).unwrap();
+        let seq = maxcut_expectation_sequential(&c, &edges).unwrap();
+        assert!((par - seq).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maxcut_expectation_at_zero_angles_is_half_weight() {
+        // With γ = β = 0 the state stays |+…+⟩ and every edge is cut with
+        // probability 1/2.
+        let c = qaoa_path_circuit(0.0, 0.0);
+        let edges = vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)];
+        let e = maxcut_expectation(&c, &edges).unwrap();
+        assert!((e - 1.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cone_handles_free_parameters() {
+        // Light-cone reduction is purely structural, so free parameters
+        // survive into the reduced circuit.
+        let mut c = Circuit::new(3);
+        c.h_layer();
+        c.push(Gate::RZZ, &[0, 1], Parameter::free("gamma", 2.0));
+        c.push(Gate::RX, &[0], Parameter::free("beta", 2.0));
+        let cone = LightCone::of(&c, &[0, 1]);
+        assert_eq!(cone.circuit.free_parameters(), vec!["beta".to_string(), "gamma".to_string()]);
+    }
+}

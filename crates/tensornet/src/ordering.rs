@@ -1,0 +1,232 @@
+//! Contraction-order heuristics.
+//!
+//! Bucket elimination contracts the network one *index* at a time; the cost is
+//! exponential in the **contraction width** — the rank of the largest
+//! intermediate tensor. QTensor's key ingredient is a good elimination order;
+//! this module provides the two standard greedy heuristics (min-degree and
+//! min-fill) over the index interaction graph (the "line graph" of the tensor
+//! network) plus width estimation, so the backend can pick the cheaper order
+//! before contracting.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which greedy heuristic to use when ordering indices for elimination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OrderingHeuristic {
+    /// Eliminate the index with the fewest neighbours first.
+    MinDegree,
+    /// Eliminate the index whose elimination adds the fewest new edges
+    /// (fill-in) to the interaction graph.
+    MinFill,
+    /// Keep the indices in their natural (creation) order.
+    Natural,
+}
+
+/// An elimination order together with its estimated contraction width.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContractionOrder {
+    /// Indices in elimination order.
+    pub order: Vec<usize>,
+    /// Estimated contraction width: the largest clique formed during
+    /// elimination (equals the largest intermediate tensor rank + 1 bucket
+    /// index, an upper bound on what the contractor will see).
+    pub width: usize,
+    /// The heuristic that produced this order.
+    pub heuristic: OrderingHeuristic,
+}
+
+/// The index interaction graph: vertices are index ids, with an edge between
+/// two indices whenever some tensor carries both.
+#[derive(Debug, Clone, Default)]
+pub struct InteractionGraph {
+    adjacency: BTreeMap<usize, BTreeSet<usize>>,
+}
+
+impl InteractionGraph {
+    /// Build the interaction graph from the index lists of all tensors.
+    pub fn from_tensor_indices<'a, I>(tensors: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [usize]>,
+    {
+        let mut g = InteractionGraph::default();
+        for indices in tensors {
+            for &i in indices {
+                g.adjacency.entry(i).or_default();
+            }
+            for (a, &i) in indices.iter().enumerate() {
+                for &j in indices.iter().skip(a + 1) {
+                    g.adjacency.entry(i).or_default().insert(j);
+                    g.adjacency.entry(j).or_default().insert(i);
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of index vertices.
+    pub fn num_indices(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// All index ids in the graph.
+    pub fn indices(&self) -> Vec<usize> {
+        self.adjacency.keys().copied().collect()
+    }
+
+    /// Compute an elimination order with the requested heuristic.
+    ///
+    /// Elimination simulates the contraction: removing an index connects all
+    /// of its remaining neighbours into a clique (they end up in the same
+    /// intermediate tensor). The returned width is `1 +` the largest
+    /// neighbourhood encountered, i.e. the rank of the largest bucket tensor
+    /// before summation.
+    pub fn elimination_order(&self, heuristic: OrderingHeuristic) -> ContractionOrder {
+        let mut adjacency = self.adjacency.clone();
+        let mut order = Vec::with_capacity(adjacency.len());
+        let mut width = 0usize;
+
+        while !adjacency.is_empty() {
+            let chosen = match heuristic {
+                OrderingHeuristic::Natural => *adjacency.keys().next().expect("non-empty"),
+                OrderingHeuristic::MinDegree => *adjacency
+                    .iter()
+                    .min_by_key(|(idx, neigh)| (neigh.len(), **idx))
+                    .map(|(idx, _)| idx)
+                    .expect("non-empty"),
+                OrderingHeuristic::MinFill => *adjacency
+                    .iter()
+                    .min_by_key(|(idx, neigh)| {
+                        let fill = Self::fill_in(&adjacency, neigh);
+                        (fill, neigh.len(), **idx)
+                    })
+                    .map(|(idx, _)| idx)
+                    .expect("non-empty"),
+            };
+
+            let neighbours = adjacency.remove(&chosen).unwrap_or_default();
+            width = width.max(neighbours.len() + 1);
+
+            // Connect the neighbours into a clique and drop the eliminated index.
+            for &n in &neighbours {
+                if let Some(adj) = adjacency.get_mut(&n) {
+                    adj.remove(&chosen);
+                    for &m in &neighbours {
+                        if m != n {
+                            adj.insert(m);
+                        }
+                    }
+                }
+            }
+            order.push(chosen);
+        }
+        ContractionOrder { order, width, heuristic }
+    }
+
+    /// Number of edges that eliminating a vertex with this neighbourhood
+    /// would add.
+    fn fill_in(adjacency: &BTreeMap<usize, BTreeSet<usize>>, neighbours: &BTreeSet<usize>) -> usize {
+        let mut fill = 0;
+        let neigh: Vec<usize> = neighbours.iter().copied().collect();
+        for (i, &a) in neigh.iter().enumerate() {
+            for &b in neigh.iter().skip(i + 1) {
+                let connected =
+                    adjacency.get(&a).map(|s| s.contains(&b)).unwrap_or(false);
+                if !connected {
+                    fill += 1;
+                }
+            }
+        }
+        fill
+    }
+
+    /// Pick the better (smaller-width) of the min-degree and min-fill orders.
+    pub fn best_order(&self) -> ContractionOrder {
+        let a = self.elimination_order(OrderingHeuristic::MinDegree);
+        let b = self.elimination_order(OrderingHeuristic::MinFill);
+        if b.width < a.width {
+            b
+        } else {
+            a
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interaction_graph_from_tensors() {
+        // Tensors: {0,1}, {1,2}, {2,3}
+        let lists: Vec<Vec<usize>> = vec![vec![0, 1], vec![1, 2], vec![2, 3]];
+        let g = InteractionGraph::from_tensor_indices(lists.iter().map(|v| v.as_slice()));
+        assert_eq!(g.num_indices(), 4);
+        assert_eq!(g.indices(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn chain_has_width_two() {
+        // A path interaction graph eliminates with width 2 (rank-2 buckets).
+        let lists: Vec<Vec<usize>> = vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4]];
+        let g = InteractionGraph::from_tensor_indices(lists.iter().map(|v| v.as_slice()));
+        for h in [OrderingHeuristic::MinDegree, OrderingHeuristic::MinFill] {
+            let o = g.elimination_order(h);
+            assert_eq!(o.order.len(), 5);
+            assert_eq!(o.width, 2, "heuristic {h:?}");
+        }
+    }
+
+    #[test]
+    fn clique_width_equals_size() {
+        // One tensor over 4 indices: the interaction graph is K4.
+        let lists: Vec<Vec<usize>> = vec![vec![0, 1, 2, 3]];
+        let g = InteractionGraph::from_tensor_indices(lists.iter().map(|v| v.as_slice()));
+        let o = g.elimination_order(OrderingHeuristic::MinDegree);
+        assert_eq!(o.width, 4);
+    }
+
+    #[test]
+    fn orders_are_permutations_of_indices() {
+        let lists: Vec<Vec<usize>> =
+            vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![5, 0]];
+        let g = InteractionGraph::from_tensor_indices(lists.iter().map(|v| v.as_slice()));
+        for h in [OrderingHeuristic::MinDegree, OrderingHeuristic::MinFill, OrderingHeuristic::Natural] {
+            let o = g.elimination_order(h);
+            let mut sorted = o.order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5], "heuristic {h:?}");
+        }
+    }
+
+    #[test]
+    fn min_fill_is_no_worse_than_natural_on_a_cycle() {
+        // A 6-cycle of rank-2 tensors.
+        let lists: Vec<Vec<usize>> = (0..6).map(|i| vec![i, (i + 1) % 6]).collect();
+        let g = InteractionGraph::from_tensor_indices(lists.iter().map(|v| v.as_slice()));
+        let fill = g.elimination_order(OrderingHeuristic::MinFill);
+        let natural = g.elimination_order(OrderingHeuristic::Natural);
+        assert!(fill.width <= natural.width);
+        assert!(fill.width <= 3);
+    }
+
+    #[test]
+    fn best_order_picks_smaller_width() {
+        let lists: Vec<Vec<usize>> =
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 0], vec![1, 3]];
+        let g = InteractionGraph::from_tensor_indices(lists.iter().map(|v| v.as_slice()));
+        let best = g.best_order();
+        let md = g.elimination_order(OrderingHeuristic::MinDegree);
+        let mf = g.elimination_order(OrderingHeuristic::MinFill);
+        assert!(best.width <= md.width);
+        assert!(best.width <= mf.width || best.width <= md.width);
+    }
+
+    #[test]
+    fn empty_graph_gives_empty_order() {
+        let g = InteractionGraph::from_tensor_indices(std::iter::empty::<&[usize]>());
+        let o = g.elimination_order(OrderingHeuristic::MinDegree);
+        assert!(o.order.is_empty());
+        assert_eq!(o.width, 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests: the tensor-network backend must agree with the dense
+//! state-vector backend on random circuits.
+
+use crate::lightcone::{maxcut_expectation, zz_expectation_lightcone};
+use crate::network::TensorNetwork;
+use proptest::prelude::*;
+use qcircuit::{Circuit, Gate, Parameter};
+use statevec::expectation::{maxcut_expectation as sv_maxcut, zz_expectation as sv_zz};
+use statevec::StateVector;
+
+fn arb_circuit(n: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
+    let gate = prop_oneof![
+        Just(Gate::H),
+        Just(Gate::X),
+        Just(Gate::Y),
+        Just(Gate::Z),
+        Just(Gate::S),
+        Just(Gate::T),
+        Just(Gate::RX),
+        Just(Gate::RY),
+        Just(Gate::RZ),
+        Just(Gate::P),
+        Just(Gate::CX),
+        Just(Gate::CZ),
+        Just(Gate::RZZ),
+        Just(Gate::CP),
+    ];
+    proptest::collection::vec((gate, 0..n, 0..n, -3.2f64..3.2), 1..max_len).prop_map(
+        move |instrs| {
+            let mut c = Circuit::new(n);
+            for (g, q0, q1, theta) in instrs {
+                let param =
+                    if g.is_parameterized() { Parameter::bound(theta) } else { Parameter::None };
+                if g.arity() == 1 {
+                    c.push(g, &[q0], param);
+                } else if q0 != q1 {
+                    c.push(g, &[q0, q1], param);
+                }
+            }
+            c
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn amplitude_matches_statevector(c in arb_circuit(4, 14)) {
+        let amp_tn = TensorNetwork::amplitude(&c).unwrap();
+        let sv = StateVector::from_circuit(&c).unwrap();
+        let amp_sv = sv.amplitudes()[0];
+        prop_assert!((amp_tn - amp_sv).norm() < 1e-9,
+            "tn {amp_tn} vs sv {amp_sv}");
+    }
+
+    #[test]
+    fn zz_expectation_matches_statevector(c in arb_circuit(4, 12), u in 0usize..4, v in 0usize..4) {
+        prop_assume!(u != v);
+        let tn = TensorNetwork::zz_expectation(&c, u, v).unwrap();
+        let sv = StateVector::from_circuit(&c).unwrap();
+        let dense = sv_zz(&sv, u, v);
+        prop_assert!((tn - dense).abs() < 1e-9, "tn {tn} vs dense {dense}");
+    }
+
+    #[test]
+    fn lightcone_zz_matches_full_network(c in arb_circuit(5, 12), u in 0usize..5, v in 0usize..5) {
+        prop_assume!(u != v);
+        let full = TensorNetwork::zz_expectation(&c, u, v).unwrap();
+        let cone = zz_expectation_lightcone(&c, u, v).unwrap();
+        prop_assert!((full - cone).abs() < 1e-9, "full {full} vs cone {cone}");
+    }
+
+    #[test]
+    fn maxcut_expectation_matches_statevector(c in arb_circuit(4, 12)) {
+        let edges = vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 2.0)];
+        let tn = maxcut_expectation(&c, &edges).unwrap();
+        let sv = StateVector::from_circuit(&c).unwrap();
+        let dense = sv_maxcut(&sv, &edges);
+        prop_assert!((tn - dense).abs() < 1e-8, "tn {tn} vs dense {dense}");
+    }
+
+    #[test]
+    fn z_expectation_is_real_and_bounded(c in arb_circuit(3, 10), q in 0usize..3) {
+        let z = TensorNetwork::z_expectation(&c, q).unwrap();
+        prop_assert!(z >= -1.0 - 1e-9 && z <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: search for a QAOA mixer on a single Erdős–Rényi graph.
+//!
+//! This is the smallest end-to-end use of the QArchSearch reproduction:
+//! generate a graph, configure a search, run the parallel scheduler, and
+//! inspect the discovered mixer.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use qarchsearch_suite::prelude::*;
+
+fn main() {
+    // 1. A 10-node Erdős–Rényi instance, the same family the paper profiles.
+    let graph = Graph::connected_erdos_renyi(10, 0.5, 42, 50);
+    println!("training graph: {graph}");
+
+    // 2. Configure the search: depths 1..=2, mixers of up to 2 gates from the
+    //    paper's alphabet {rx, ry, rz, h, p}, COBYLA with a modest budget.
+    let config = SearchConfig::builder()
+        .max_depth(2)
+        .max_gates_per_mixer(2)
+        .optimizer_budget(60)
+        .seed(7)
+        .build();
+    println!(
+        "search space: {} candidate mixers per depth × {} depths",
+        config.alphabet.all_combinations_up_to(config.max_gates_per_mixer).len(),
+        config.max_depth
+    );
+
+    // 3. Run the two-level parallel search (outer: candidates, inner: edges).
+    let outcome = ParallelSearch::new(config).run(&[graph]).expect("search run");
+
+    // 4. Report.
+    println!();
+    println!("best mixer        : {}", outcome.best.mixer_label);
+    println!("found at depth    : {}", outcome.best.depth);
+    println!("mean energy <C>   : {:.4}", outcome.best.energy);
+    println!("approximation r   : {:.4}", outcome.best.approx_ratio);
+    println!("candidates tried  : {}", outcome.num_candidates_evaluated);
+    println!("wall-clock        : {:.2}s", outcome.total_elapsed_seconds);
+    for d in &outcome.depth_results {
+        println!("  depth {}: best energy {:.4} in {:.2}s", d.depth, d.best_energy, d.elapsed_seconds);
+    }
+}

@@ -1,0 +1,262 @@
+//! `qas` — command-line front end for the QArchSearch reproduction.
+//!
+//! Subcommands:
+//!
+//! * `qas search`   — run a mixer search over a generated graph dataset
+//! * `qas evaluate` — train a named mixer (baseline / qnas / custom) on a dataset
+//! * `qas info`     — print the search-space accounting for a configuration
+//!
+//! Arguments use simple `--key value` pairs (no external CLI dependency).
+//! Run `qas help` for the full list.
+
+use qarchsearch_suite::prelude::*;
+use qarchsearch_suite::qarchsearch::constraints::ConstraintSet;
+use qarchsearch_suite::qarchsearch::evaluator::{Evaluator, EvaluatorConfig};
+use qarchsearch_suite::qarchsearch::report::SearchReport;
+use qarchsearch_suite::qarchsearch::search::SearchStrategy;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const HELP: &str = "qas — QArchSearch (Rust reproduction) command line
+
+USAGE:
+    qas <search|evaluate|info|help> [--key value ...]
+
+COMMON OPTIONS:
+    --graphs N        number of graphs in the dataset        (default 4)
+    --nodes N         nodes per graph                        (default 10)
+    --dataset KIND    er | regular                           (default er)
+    --seed N          RNG seed                               (default 2023)
+
+SEARCH OPTIONS (qas search):
+    --pmax N          maximum QAOA depth                     (default 2)
+    --kmax N          maximum gates per mixer                (default 2)
+    --budget N        optimizer evaluations per candidate    (default 60)
+    --alphabet LIST   comma-separated mnemonics, e.g. rx,ry,h (default rx,ry,rz,h,p)
+    --strategy S      exhaustive | random:N | egreedy:N | policy:N (default exhaustive)
+    --threads N       outer-level thread count (parallel scheduler); omit for serial
+    --restarts N      optimizer restarts per candidate       (default 1)
+    --hardware-aware  apply the hardware-aware constraint preset
+    --json            print the machine-readable report as JSON
+
+EVALUATE OPTIONS (qas evaluate):
+    --mixer M         baseline | qnas | comma-separated gates (default qnas)
+    --depth N         QAOA depth p                           (default 1)
+    --budget N        optimizer evaluations                  (default 60)
+
+EXAMPLES:
+    qas search --pmax 2 --kmax 2 --threads 8
+    qas evaluate --mixer rx,ry --dataset regular --depth 2
+    qas info --pmax 4 --kmax 4
+";
+
+fn parse_args(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
+    let mut options = HashMap::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if let Some(key) = arg.strip_prefix("--") {
+            // Flag-style options have no value; key-value options consume the
+            // next argument.
+            let takes_value = i + 1 < args.len() && !args[i + 1].starts_with("--");
+            if takes_value {
+                options.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.push(key.to_string());
+                i += 1;
+            }
+        } else {
+            flags.push(arg.clone());
+            i += 1;
+        }
+    }
+    (options, flags)
+}
+
+fn opt_usize(options: &HashMap<String, String>, key: &str, default: usize) -> usize {
+    options.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn opt_u64(options: &HashMap<String, String>, key: &str, default: u64) -> u64 {
+    options.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn build_dataset(options: &HashMap<String, String>) -> Vec<Graph> {
+    let count = opt_usize(options, "graphs", 4);
+    let nodes = opt_usize(options, "nodes", 10);
+    let seed = opt_u64(options, "seed", 2023);
+    match options.get("dataset").map(|s| s.as_str()).unwrap_or("er") {
+        "regular" => graphs::datasets::random_regular_dataset(count, nodes, 4, seed),
+        _ => graphs::datasets::erdos_renyi_dataset(count, nodes, seed),
+    }
+}
+
+fn build_alphabet(options: &HashMap<String, String>) -> Result<GateAlphabet, String> {
+    match options.get("alphabet") {
+        None => Ok(GateAlphabet::paper_default()),
+        Some(spec) => {
+            let names: Vec<&str> = spec.split(',').map(|s| s.trim()).collect();
+            GateAlphabet::from_mnemonics(&names).map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn build_strategy(options: &HashMap<String, String>) -> Result<SearchStrategy, String> {
+    let spec = options.get("strategy").map(|s| s.as_str()).unwrap_or("exhaustive");
+    let parse_count = |s: &str| -> Result<usize, String> {
+        s.split(':')
+            .nth(1)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("strategy '{s}' needs a sample count, e.g. random:20"))
+    };
+    match spec {
+        "exhaustive" => Ok(SearchStrategy::Exhaustive),
+        s if s.starts_with("random") => {
+            Ok(SearchStrategy::Random { samples_per_depth: parse_count(s)? })
+        }
+        s if s.starts_with("egreedy") => Ok(SearchStrategy::EpsilonGreedy {
+            samples_per_depth: parse_count(s)?,
+            epsilon: 0.3,
+        }),
+        s if s.starts_with("policy") => Ok(SearchStrategy::PolicyGradient {
+            samples_per_depth: parse_count(s)?,
+            learning_rate: 0.2,
+        }),
+        other => Err(format!("unknown strategy '{other}'")),
+    }
+}
+
+fn build_mixer(options: &HashMap<String, String>) -> Result<Mixer, String> {
+    match options.get("mixer").map(|s| s.as_str()).unwrap_or("qnas") {
+        "baseline" | "rx" => Ok(Mixer::baseline()),
+        "qnas" => Ok(Mixer::qnas()),
+        spec => {
+            let gates: Result<Vec<qcircuit::Gate>, String> =
+                spec.split(',').map(|s| s.trim().parse::<qcircuit::Gate>()).collect();
+            Mixer::new(gates?).map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn cmd_search(options: &HashMap<String, String>, flags: &[String]) -> Result<(), String> {
+    let dataset = build_dataset(options);
+    let alphabet = build_alphabet(options)?;
+    let strategy = build_strategy(options)?;
+    let k_max = opt_usize(options, "kmax", 2);
+
+    let mut builder = SearchConfig::builder()
+        .alphabet(alphabet)
+        .max_depth(opt_usize(options, "pmax", 2))
+        .max_gates_per_mixer(k_max)
+        .optimizer_budget(opt_usize(options, "budget", 60))
+        .strategy(strategy)
+        .seed(opt_u64(options, "seed", 2023));
+    if flags.iter().any(|f| f == "hardware-aware") {
+        builder = builder.constraints(ConstraintSet::hardware_aware(k_max));
+    }
+    let threads = options.get("threads").and_then(|v| v.parse().ok());
+    if let Some(t) = threads {
+        builder = builder.threads(t);
+    }
+    let mut config = builder.build();
+    config.evaluator.restarts = opt_usize(options, "restarts", 1);
+
+    let outcome = if threads.is_some() {
+        ParallelSearch::new(config).run(&dataset).map_err(|e| e.to_string())?
+    } else {
+        SerialSearch::new(config).run(&dataset).map_err(|e| e.to_string())?
+    };
+
+    if flags.iter().any(|f| f == "json") {
+        println!("{}", SearchReport::from(&outcome).to_json());
+    } else {
+        println!("best mixer       : {}", outcome.best.mixer_label);
+        println!("found at depth   : {}", outcome.best.depth);
+        println!("mean energy <C>  : {:.4}", outcome.best.energy);
+        println!("approximation r  : {:.4}", outcome.best.approx_ratio);
+        println!("candidates tried : {}", outcome.num_candidates_evaluated);
+        println!("wall-clock       : {:.2}s", outcome.total_elapsed_seconds);
+        for d in &outcome.depth_results {
+            println!(
+                "  depth {}: best energy {:.4} in {:.2}s ({} candidates)",
+                d.depth,
+                d.best_energy,
+                d.elapsed_seconds,
+                d.candidates.len()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(options: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = build_dataset(options);
+    let mixer = build_mixer(options)?;
+    let depth = opt_usize(options, "depth", 1);
+    let evaluator = Evaluator::new(EvaluatorConfig {
+        budget: opt_usize(options, "budget", 60),
+        restarts: opt_usize(options, "restarts", 1),
+        ..EvaluatorConfig::default()
+    });
+    let result = evaluator.evaluate(&dataset, &mixer, depth).map_err(|e| e.to_string())?;
+    println!("mixer            : {}", result.mixer_label);
+    println!("depth p          : {}", result.depth);
+    println!("mean energy <C>  : {:.4}", result.mean_energy);
+    println!("mean approx r    : {:.4}", result.mean_approx_ratio);
+    println!("graphs evaluated : {}", result.per_graph.len());
+    for (i, trained) in result.per_graph.iter().enumerate() {
+        println!(
+            "  graph {i}: <C> = {:.4}, r = {:.4}, C* = {:.1}",
+            trained.energy, trained.approx_ratio, trained.classical_optimum
+        );
+    }
+    Ok(())
+}
+
+fn cmd_info(options: &HashMap<String, String>) -> Result<(), String> {
+    let alphabet = build_alphabet(options)?;
+    let p_max = opt_usize(options, "pmax", 4);
+    let k_max = opt_usize(options, "kmax", 4);
+    println!("alphabet          : {alphabet} (|A_R| = {})", alphabet.len());
+    println!("depths searched   : 1..={p_max}");
+    println!("gates per mixer   : 1..={k_max}");
+    for k in 1..=k_max {
+        println!("  length-{k} sequences: {}", alphabet.combination_count(k));
+    }
+    println!(
+        "per-depth candidates (all lengths): {}",
+        alphabet.all_combinations_up_to(k_max).len()
+    );
+    println!(
+        "paper-style accounting (p_max × |A_R|^k_max): {}",
+        alphabet.search_space_size(p_max, k_max)
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(|s| s.as_str()).unwrap_or("help");
+    let (options, flags) = parse_args(&args[1.min(args.len())..]);
+
+    let result = match command {
+        "search" => cmd_search(&options, &flags),
+        "evaluate" => cmd_evaluate(&options),
+        "info" => cmd_info(&options),
+        "help" | "--help" | "-h" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'; run `qas help`")),
+    };
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! # QArchSearch suite (facade crate)
+//!
+//! This crate re-exports the public APIs of every crate in the QArchSearch
+//! reproduction workspace so that examples and downstream users can depend on
+//! a single crate.
+//!
+//! The individual crates are:
+//!
+//! * [`qcircuit`] — quantum circuit IR, gate library, parameter binding and
+//!   ASCII circuit drawing (the "QBuilder" substrate).
+//! * [`statevec`] — dense state-vector simulator backend.
+//! * [`tensornet`] — tensor-network simulator backend (QTensor analog).
+//! * [`graphs`] — graph generation (Erdős–Rényi, random regular) and Max-Cut.
+//! * [`optim`] — classical optimizers (COBYLA-style, Nelder–Mead, SPSA, …).
+//! * [`qaoa`] — QAOA ansatz assembly and energy evaluation.
+//! * [`qarchsearch`] — the architecture-search package itself (predictor,
+//!   builder, evaluator, serial and parallel schedulers).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qarchsearch_suite::prelude::*;
+//!
+//! // A small Erdős–Rényi instance.
+//! let graph = Graph::erdos_renyi(8, 0.5, 42);
+//! // Search mixers of up to 2 gates at QAOA depth 1.
+//! let config = SearchConfig::builder()
+//!     .max_depth(1)
+//!     .max_gates_per_mixer(2)
+//!     .optimizer_budget(40)
+//!     .seed(7)
+//!     .build();
+//! let outcome = SerialSearch::new(config).run(&[graph]).unwrap();
+//! assert!(outcome.best.energy.is_finite());
+//! ```
+
+pub use graphs;
+pub use optim;
+pub use qaoa;
+pub use qarchsearch;
+pub use qcircuit;
+pub use statevec;
+pub use tensornet;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use graphs::{Graph, GraphKind, MaxCut};
+    pub use optim::{CobylaOptimizer, NelderMead, Optimizer, OptimizerKind, Spsa};
+    pub use qaoa::{ansatz::QaoaAnsatz, energy::EnergyEvaluator, mixer::Mixer, Backend};
+    pub use qarchsearch::{
+        alphabet::{GateAlphabet, RotationGate},
+        evaluator::Evaluator,
+        predictor::{Predictor, RandomPredictor},
+        qbuilder::QBuilder,
+        search::{ParallelSearch, SearchConfig, SearchOutcome, SerialSearch},
+    };
+    pub use qcircuit::{Circuit, Gate, Parameter};
+    pub use statevec::StateVector;
+    pub use tensornet::TensorNetwork;
+}

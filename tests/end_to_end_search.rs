@@ -1,0 +1,95 @@
+//! Integration tests: full searches through the public API of the facade
+//! crate, spanning every layer (graphs → qaoa → simulators → search).
+
+use qarchsearch_suite::prelude::*;
+use qarchsearch_suite::qarchsearch::search::SearchStrategy;
+
+fn small_config() -> SearchConfig {
+    SearchConfig::builder()
+        .alphabet(GateAlphabet::from_mnemonics(&["rx", "ry", "h"]).unwrap())
+        .max_depth(2)
+        .max_gates_per_mixer(2)
+        .optimizer_budget(30)
+        .backend(qarchsearch_suite::qaoa::Backend::StateVector)
+        .seed(5)
+        .build()
+}
+
+fn training_graphs() -> Vec<Graph> {
+    vec![
+        Graph::connected_erdos_renyi(8, 0.5, 1, 50),
+        Graph::connected_erdos_renyi(8, 0.4, 2, 50),
+    ]
+}
+
+#[test]
+fn serial_search_end_to_end() {
+    let outcome = SerialSearch::new(small_config()).run(&training_graphs()).unwrap();
+    // Space per depth: 3 + 9 = 12 candidates, 2 depths.
+    assert_eq!(outcome.num_candidates_evaluated, 24);
+    assert_eq!(outcome.depth_results.len(), 2);
+    // The winner must beat the plus-state baseline of every graph (i.e. have
+    // learned something) and stay below the optimum.
+    assert!(outcome.best.approx_ratio > 0.5);
+    assert!(outcome.best.approx_ratio <= 1.0 + 1e-9);
+    assert!(outcome.best.energy.is_finite());
+    // Timings are recorded for every depth.
+    for d in &outcome.depth_results {
+        assert!(d.elapsed_seconds > 0.0);
+        assert!(d.best_energy <= outcome.best.energy + 1e-9);
+    }
+}
+
+#[test]
+fn parallel_search_matches_serial_winner() {
+    let graphs = training_graphs();
+    let serial = SerialSearch::new(small_config()).run(&graphs).unwrap();
+    let mut cfg = small_config();
+    cfg.threads = Some(2);
+    let parallel = ParallelSearch::new(cfg).run(&graphs).unwrap();
+
+    assert_eq!(serial.num_candidates_evaluated, parallel.num_candidates_evaluated);
+    assert_eq!(serial.best.mixer_label, parallel.best.mixer_label);
+    assert!((serial.best.energy - parallel.best.energy).abs() < 1e-9);
+}
+
+#[test]
+fn winner_is_a_mixing_circuit() {
+    // A purely diagonal mixer cannot beat a mixing one, so the winner must
+    // contain at least one non-diagonal gate.
+    let outcome = SerialSearch::new(small_config()).run(&training_graphs()).unwrap();
+    let mixing = outcome.best.gates.iter().any(|g| !g.is_diagonal());
+    assert!(mixing, "winner {:?} contains only diagonal gates", outcome.best.gates);
+}
+
+#[test]
+fn deeper_search_does_not_lose_energy() {
+    // The best over depths 1..=2 is at least as good as the best at depth 1
+    // (same candidate space per depth, more depths searched).
+    let graphs = training_graphs();
+    let mut shallow_cfg = small_config();
+    shallow_cfg.max_depth = 1;
+    let shallow = SerialSearch::new(shallow_cfg).run(&graphs).unwrap();
+    let deep = SerialSearch::new(small_config()).run(&graphs).unwrap();
+    assert!(deep.best.energy >= shallow.best.energy - 0.1);
+}
+
+#[test]
+fn random_strategy_search_runs_through_facade() {
+    let mut cfg = small_config();
+    cfg.strategy = SearchStrategy::Random { samples_per_depth: 5 };
+    let outcome = ParallelSearch::new(cfg).run(&training_graphs()).unwrap();
+    assert_eq!(outcome.num_candidates_evaluated, 10);
+    assert!(outcome.best.energy > 0.0);
+}
+
+#[test]
+fn search_report_serializes() {
+    let outcome = SerialSearch::new(small_config()).run(&training_graphs()).unwrap();
+    let report = qarchsearch_suite::qarchsearch::report::SearchReport::from(&outcome);
+    let json = report.to_json();
+    assert!(json.contains("best_mixer"));
+    assert!(json.contains("per_depth_seconds"));
+    let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(parsed["candidates"], serde_json::json!(outcome.num_candidates_evaluated));
+}
