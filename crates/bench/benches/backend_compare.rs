@@ -16,13 +16,9 @@ fn bench_backend_compare(c: &mut Criterion) {
         let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::qnas());
         for backend in [Backend::StateVector, Backend::TensorNetwork] {
             let eval = EnergyEvaluator::new(&graph, backend);
-            group.bench_with_input(
-                BenchmarkId::new(backend.to_string(), n),
-                &n,
-                |b, _| {
-                    b.iter(|| eval.energy(&ansatz, &[0.4], &[0.3]).unwrap());
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(backend.to_string(), n), &n, |b, _| {
+                b.iter(|| eval.energy(&ansatz, &[0.4], &[0.3]).unwrap());
+            });
         }
     }
     group.finish();

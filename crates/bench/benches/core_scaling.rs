@@ -16,7 +16,11 @@ fn bench_core_scaling(c: &mut Criterion) {
     let mut serial_config = params.search_config(None);
     serial_config.max_depth = 2;
     group.bench_function("serial_reference", |b| {
-        b.iter(|| SerialSearch::new(serial_config.clone()).run(&graphs).unwrap());
+        b.iter(|| {
+            SerialSearch::new(serial_config.clone())
+                .run(&graphs)
+                .unwrap()
+        });
     });
 
     for threads in [1usize, 2, 4] {

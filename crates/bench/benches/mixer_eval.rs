@@ -20,9 +20,13 @@ fn bench_mixer_eval(c: &mut Criterion) {
     let mut mixers = Mixer::fig7_candidates();
     mixers.push(Mixer::baseline());
     for mixer in mixers {
-        group.bench_with_input(BenchmarkId::new("train_p1", mixer.label()), &mixer, |b, m| {
-            b.iter(|| evaluator.evaluate_on_graph(&graph, m, 1).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("train_p1", mixer.label()),
+            &mixer,
+            |b, m| {
+                b.iter(|| evaluator.evaluate_on_graph(&graph, m, 1).unwrap());
+            },
+        );
     }
     group.finish();
 }

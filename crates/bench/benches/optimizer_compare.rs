@@ -25,9 +25,17 @@ fn bench_optimizer_compare(c: &mut Criterion) {
             budget: 25,
             ..EvaluatorConfig::default()
         });
-        group.bench_with_input(BenchmarkId::new("train_p1", kind.to_string()), &kind, |b, _| {
-            b.iter(|| evaluator.evaluate_on_graph(&graph, &Mixer::baseline(), 1).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("train_p1", kind.to_string()),
+            &kind,
+            |b, _| {
+                b.iter(|| {
+                    evaluator
+                        .evaluate_on_graph(&graph, &Mixer::baseline(), 1)
+                        .unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -10,8 +10,8 @@
 //! QAS_PAPER_SCALE=1 cargo run --release -p qarchsearch-bench --bin fig4_serial_vs_parallel
 //! ```
 
-use qarchsearch_bench::{emit, FigureReport, HarnessParams};
 use qarchsearch::search::{ParallelSearch, SerialSearch};
+use qarchsearch_bench::{emit, FigureReport, HarnessParams};
 
 fn main() {
     let params = HarnessParams::from_env();
@@ -22,23 +22,23 @@ fn main() {
         // ("averaged over five separate runs ... on different Erdős-Renyi
         // graphs").
         let seed = params.seed + run as u64 * 1000;
-        let graphs = graphs::datasets::erdos_renyi_dataset(
-            params.num_graphs,
-            params.num_nodes,
-            seed,
-        );
+        let graphs =
+            graphs::datasets::erdos_renyi_dataset(params.num_graphs, params.num_nodes, seed);
 
         for p in 1..=params.p_max {
             let mut config = params.search_config(None);
             config.max_depth = p;
 
-            let serial_outcome = SerialSearch::new(config.clone()).run(&graphs).expect("serial search");
+            let serial_outcome = SerialSearch::new(config.clone())
+                .run(&graphs)
+                .expect("serial search");
             // The per-depth time of the deepest level is the cost of adding
             // that depth; Fig. 4 plots the time to search at depth p.
             let serial_time = serial_outcome.elapsed_at_depth(p).unwrap_or(0.0);
 
-            let parallel_outcome =
-                ParallelSearch::new(config).run(&graphs).expect("parallel search");
+            let parallel_outcome = ParallelSearch::new(config)
+                .run(&graphs)
+                .expect("parallel search");
             let parallel_time = parallel_outcome.elapsed_at_depth(p).unwrap_or(0.0);
 
             report.push("serial", p as f64, serial_time);

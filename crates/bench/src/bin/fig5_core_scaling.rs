@@ -10,8 +10,8 @@
 //! QAS_MAX_CORES=64 QAS_PAPER_SCALE=1 cargo run --release -p qarchsearch-bench --bin fig5_core_scaling
 //! ```
 
-use qarchsearch_bench::{emit, FigureReport, HarnessParams};
 use qarchsearch::search::{ParallelSearch, SerialSearch};
+use qarchsearch_bench::{emit, FigureReport, HarnessParams};
 
 fn main() {
     let params = HarnessParams::from_env();
@@ -23,7 +23,9 @@ fn main() {
     let mut config = params.search_config(None);
     config.max_depth = depth;
 
-    let serial_outcome = SerialSearch::new(config.clone()).run(&graphs).expect("serial search");
+    let serial_outcome = SerialSearch::new(config.clone())
+        .run(&graphs)
+        .expect("serial search");
     let serial_time = serial_outcome.total_elapsed_seconds;
 
     let mut report = FigureReport::new("fig5", "cores", "time_to_simulate_seconds");
@@ -35,7 +37,9 @@ fn main() {
     while cores <= params.max_cores {
         let mut cfg = params.search_config(Some(cores));
         cfg.max_depth = depth;
-        let outcome = ParallelSearch::new(cfg).run(&graphs).expect("parallel search");
+        let outcome = ParallelSearch::new(cfg)
+            .run(&graphs)
+            .expect("parallel search");
         report.push("parallel", cores as f64, outcome.total_elapsed_seconds);
         eprintln!(
             "[fig5] cores={cores}: {:.3}s (serial reference {:.3}s)",

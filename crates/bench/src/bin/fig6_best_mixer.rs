@@ -9,8 +9,8 @@
 //! cargo run --release -p qarchsearch-bench --bin fig6_best_mixer
 //! ```
 
-use qarchsearch_bench::HarnessParams;
 use qarchsearch::search::{ParallelSearch, SearchOutcome};
+use qarchsearch_bench::HarnessParams;
 use qcircuit::{draw_ascii, Circuit, Parameter};
 
 fn mixer_circuit(outcome: &SearchOutcome, num_qubits: usize) -> Circuit {
@@ -33,12 +33,17 @@ fn main() {
     let graphs = params.er_dataset();
     let config = params.search_config(None);
 
-    let outcome = ParallelSearch::new(config).run(&graphs).expect("search run");
+    let outcome = ParallelSearch::new(config)
+        .run(&graphs)
+        .expect("search run");
 
     println!("# fig6 — best performing searched mixer circuit");
     println!(
         "winner: {}  (depth {}, mean energy {:.4}, mean approximation ratio {:.4})",
-        outcome.best.mixer_label, outcome.best.depth, outcome.best.energy, outcome.best.approx_ratio
+        outcome.best.mixer_label,
+        outcome.best.depth,
+        outcome.best.energy,
+        outcome.best.approx_ratio
     );
     println!();
     let circuit = mixer_circuit(&outcome, params.num_nodes);

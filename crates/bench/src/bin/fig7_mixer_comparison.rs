@@ -29,7 +29,9 @@ fn main() {
     let mut report = FigureReport::new("fig7", "mixer_index", "approx_ratio_p1");
 
     for (i, mixer) in Mixer::fig7_candidates().into_iter().enumerate() {
-        let result = evaluator.evaluate(&graphs, &mixer, 1).expect("candidate evaluation");
+        let result = evaluator
+            .evaluate(&graphs, &mixer, 1)
+            .expect("candidate evaluation");
         report.push(&mixer.label(), i as f64, result.mean_approx_ratio);
         eprintln!(
             "[fig7] {}: mean r = {:.4} (mean energy {:.4} over {} graphs)",

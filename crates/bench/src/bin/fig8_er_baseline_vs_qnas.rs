@@ -28,8 +28,9 @@ fn main() {
     let mut report = FigureReport::new("fig8", "graph_index", "approx_ratio_mean_p1_3");
     let mut summary = FigureReport::new("fig8-summary", "series_index", "mean_approx_ratio");
 
-    for (series_idx, (label, mixer)) in
-        [("baseline", Mixer::baseline()), ("qnas", Mixer::qnas())].into_iter().enumerate()
+    for (series_idx, (label, mixer)) in [("baseline", Mixer::baseline()), ("qnas", Mixer::qnas())]
+        .into_iter()
+        .enumerate()
     {
         let mut overall = Vec::new();
         for (gi, graph) in graphs.iter().enumerate() {
@@ -47,7 +48,10 @@ fn main() {
         }
         let grand_mean = overall.iter().sum::<f64>() / overall.len() as f64;
         summary.push(label, series_idx as f64, grand_mean);
-        eprintln!("[fig8] {label}: mean r over {} ER graphs = {grand_mean:.4}", graphs.len());
+        eprintln!(
+            "[fig8] {label}: mean r over {} ER graphs = {grand_mean:.4}",
+            graphs.len()
+        );
     }
 
     emit(&report);

@@ -27,7 +27,9 @@ fn main() {
 
     for (label, mixer) in [("baseline", Mixer::baseline()), ("qnas", Mixer::qnas())] {
         for &p in &depths {
-            let result = evaluator.evaluate(&graphs, &mixer, p).expect("candidate evaluation");
+            let result = evaluator
+                .evaluate(&graphs, &mixer, p)
+                .expect("candidate evaluation");
             report.push(label, p as f64, result.mean_approx_ratio);
             eprintln!(
                 "[fig9] {label} p={p}: mean r = {:.4} over {} regular graphs",

@@ -52,15 +52,22 @@ pub struct HarnessParams {
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 impl HarnessParams {
     /// Parameters from the environment, falling back to quick defaults (or to
     /// the paper's full sizes when `QAS_PAPER_SCALE=1`).
     pub fn from_env() -> HarnessParams {
-        let paper = std::env::var("QAS_PAPER_SCALE").map(|v| v == "1").unwrap_or(false);
-        let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+        let paper = std::env::var("QAS_PAPER_SCALE")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(8);
         if paper {
             HarnessParams {
                 num_graphs: env_usize("QAS_GRAPHS", 20),

@@ -58,7 +58,12 @@ pub fn paper_profiling_dataset(base_seed: u64) -> Vec<Graph> {
 /// The paper's §3.2 dataset with default sizes (20 random 4-regular graphs,
 /// 10 nodes).
 pub fn paper_evaluation_dataset(base_seed: u64) -> Vec<Graph> {
-    random_regular_dataset(PAPER_DATASET_SIZE, PAPER_NUM_NODES, PAPER_REGULAR_DEGREE, base_seed)
+    random_regular_dataset(
+        PAPER_DATASET_SIZE,
+        PAPER_NUM_NODES,
+        PAPER_REGULAR_DEGREE,
+        base_seed,
+    )
 }
 
 #[cfg(test)]
@@ -85,7 +90,10 @@ mod tests {
 
     #[test]
     fn er_dataset_is_reproducible() {
-        assert_eq!(erdos_renyi_dataset(5, 10, 99), erdos_renyi_dataset(5, 10, 99));
+        assert_eq!(
+            erdos_renyi_dataset(5, 10, 99),
+            erdos_renyi_dataset(5, 10, 99)
+        );
     }
 
     #[test]

@@ -51,8 +51,11 @@ impl Graph {
     /// Requires `n·d` even and `d < n`. Retries the pairing until a simple
     /// graph is produced or the attempt budget is exhausted.
     pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError> {
-        if d >= n || (n * d) % 2 != 0 {
-            return Err(GraphError::InfeasibleRegularGraph { nodes: n, degree: d });
+        if d >= n || !(n * d).is_multiple_of(2) {
+            return Err(GraphError::InfeasibleRegularGraph {
+                nodes: n,
+                degree: d,
+            });
         }
         if d == 0 {
             return Ok(Graph::empty(n).with_kind(GraphKind::RandomRegular));
@@ -64,7 +67,9 @@ impl Graph {
                 return Ok(g.with_kind(GraphKind::RandomRegular));
             }
         }
-        Err(GraphError::RegularGenerationFailed { attempts: MAX_ATTEMPTS })
+        Err(GraphError::RegularGenerationFailed {
+            attempts: MAX_ATTEMPTS,
+        })
     }
 
     /// The cycle graph `C_n`.
@@ -104,7 +109,7 @@ impl Graph {
 /// One attempt of the configuration model: create `d` stubs per node, shuffle,
 /// pair consecutive stubs, reject if any self-loop or duplicate edge appears.
 fn try_configuration_model(n: usize, d: usize, rng: &mut ChaCha8Rng) -> Option<Graph> {
-    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
     stubs.shuffle(rng);
     let mut g = Graph::empty(n);
     for pair in stubs.chunks(2) {
@@ -143,14 +148,21 @@ mod tests {
     fn erdos_renyi_density_tracks_p() {
         // With n=30 and p=0.3 the density should be near 0.3.
         let g = Graph::erdos_renyi(30, 0.3, 7);
-        assert!((g.density() - 0.3).abs() < 0.12, "density {} too far from p", g.density());
+        assert!(
+            (g.density() - 0.3).abs() < 0.12,
+            "density {} too far from p",
+            g.density()
+        );
     }
 
     #[test]
     fn random_regular_has_correct_degrees() {
         for seed in 0..5 {
             let g = Graph::random_regular(10, 4, seed).unwrap();
-            assert!(g.is_regular(4), "seed {seed} produced a non-4-regular graph");
+            assert!(
+                g.is_regular(4),
+                "seed {seed} produced a non-4-regular graph"
+            );
             assert_eq!(g.num_edges(), 10 * 4 / 2);
         }
     }

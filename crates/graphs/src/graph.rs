@@ -81,8 +81,7 @@ impl Graph {
 
     /// Build a graph from an unweighted edge list.
     pub fn from_edges(num_nodes: usize, edges: &[(usize, usize)]) -> Result<Self, GraphError> {
-        let weighted: Vec<(usize, usize, f64)> =
-            edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
+        let weighted: Vec<(usize, usize, f64)> = edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
         Self::from_weighted_edges(num_nodes, &weighted)
     }
 
@@ -102,17 +101,25 @@ impl Graph {
     /// Add (or merge) an edge.
     pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) -> Result<(), GraphError> {
         if u >= self.num_nodes {
-            return Err(GraphError::NodeOutOfRange { index: u, num_nodes: self.num_nodes });
+            return Err(GraphError::NodeOutOfRange {
+                index: u,
+                num_nodes: self.num_nodes,
+            });
         }
         if v >= self.num_nodes {
-            return Err(GraphError::NodeOutOfRange { index: v, num_nodes: self.num_nodes });
+            return Err(GraphError::NodeOutOfRange {
+                index: v,
+                num_nodes: self.num_nodes,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { node: u });
         }
         let edge = Edge::new(u, v, weight);
-        if let Some(existing) =
-            self.edges.iter_mut().find(|e| e.u == edge.u && e.v == edge.v)
+        if let Some(existing) = self
+            .edges
+            .iter_mut()
+            .find(|e| e.u == edge.u && e.v == edge.v)
         {
             existing.weight += weight;
             for &(a, b) in &[(edge.u, edge.v), (edge.v, edge.u)] {
@@ -171,7 +178,10 @@ impl Graph {
 
     /// Maximum degree over all nodes.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_nodes)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average degree (0 for the empty graph).
@@ -266,7 +276,10 @@ mod tests {
         assert!(g.add_edge(0, 1, 1.0).is_ok());
         assert_eq!(
             g.add_edge(0, 5, 1.0),
-            Err(GraphError::NodeOutOfRange { index: 5, num_nodes: 3 })
+            Err(GraphError::NodeOutOfRange {
+                index: 5,
+                num_nodes: 3
+            })
         );
         assert_eq!(g.add_edge(1, 1, 1.0), Err(GraphError::SelfLoop { node: 1 }));
     }

@@ -77,10 +77,17 @@ impl MaxCut {
     pub fn brute_force(graph: &Graph) -> Result<BruteForceResult, GraphError> {
         let n = graph.num_nodes();
         if n > Self::EXACT_NODE_LIMIT {
-            return Err(GraphError::TooLargeForExact { nodes: n, max: Self::EXACT_NODE_LIMIT });
+            return Err(GraphError::TooLargeForExact {
+                nodes: n,
+                max: Self::EXACT_NODE_LIMIT,
+            });
         }
         if n == 0 {
-            return Ok(BruteForceResult { value: 0.0, assignment: 0, num_optima: 1 });
+            return Ok(BruteForceResult {
+                value: 0.0,
+                assignment: 0,
+                num_optima: 1,
+            });
         }
         let mut best = f64::NEG_INFINITY;
         let mut best_mask = 0u64;
@@ -96,7 +103,11 @@ impl MaxCut {
                 num_optima += 2;
             }
         }
-        Ok(BruteForceResult { value: best.max(0.0), assignment: best_mask, num_optima })
+        Ok(BruteForceResult {
+            value: best.max(0.0),
+            assignment: best_mask,
+            num_optima,
+        })
     }
 
     /// Greedy constructive heuristic: place nodes one at a time on the side
@@ -163,8 +174,9 @@ impl MaxCut {
         let mut best_value = f64::NEG_INFINITY;
         let mut best_spins = vec![1i8; n];
         for _ in 0..restarts.max(1) {
-            let start: Vec<i8> =
-                (0..n).map(|_| if rng.gen::<bool>() { 1 } else { -1 }).collect();
+            let start: Vec<i8> = (0..n)
+                .map(|_| if rng.gen::<bool>() { 1 } else { -1 })
+                .collect();
             let (value, spins) = Self::local_search(graph, Some(start));
             if value > best_value {
                 best_value = value;
@@ -299,7 +311,10 @@ mod tests {
             let g = Graph::erdos_renyi(8, 0.5, seed + 7);
             let exact = MaxCut::brute_force(&g).unwrap().value;
             let (found, _) = MaxCut::randomized_local_search(&g, 30, seed);
-            assert!((found - exact).abs() < 1e-9, "seed {seed}: {found} vs exact {exact}");
+            assert!(
+                (found - exact).abs() < 1e-9,
+                "seed {seed}: {found} vs exact {exact}"
+            );
         }
     }
 

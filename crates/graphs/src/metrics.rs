@@ -39,7 +39,11 @@ impl Graph {
             // Triangles through edge (u, v): common neighbours of u and v.
             let neigh_u: std::collections::BTreeSet<usize> =
                 self.neighbors(e.u).iter().map(|&(w, _)| w).collect();
-            count += self.neighbors(e.v).iter().filter(|&&(w, _)| neigh_u.contains(&w)).count();
+            count += self
+                .neighbors(e.v)
+                .iter()
+                .filter(|&&(w, _)| neigh_u.contains(&w))
+                .count();
         }
         // Each triangle is counted once per edge, i.e. three times.
         count / 3

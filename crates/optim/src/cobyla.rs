@@ -38,20 +38,28 @@ pub struct CobylaOptimizer {
 
 impl Default for CobylaOptimizer {
     fn default() -> Self {
-        CobylaOptimizer { rho_begin: 0.5, rho_end: 1e-6, shrink: 0.5 }
+        CobylaOptimizer {
+            rho_begin: 0.5,
+            rho_end: 1e-6,
+            shrink: 0.5,
+        }
     }
 }
 
 impl CobylaOptimizer {
     /// Optimizer with explicit initial/final trust-region radii.
     pub fn new(rho_begin: f64, rho_end: f64) -> Self {
-        CobylaOptimizer { rho_begin, rho_end, shrink: 0.5 }
+        CobylaOptimizer {
+            rho_begin,
+            rho_end,
+            shrink: 0.5,
+        }
     }
 }
 
 /// Solve the linear system `A x = b` with partial pivoting. Returns `None`
 /// for (numerically) singular systems.
-fn solve_linear(a: &mut Vec<Vec<f64>>, b: &mut Vec<f64>) -> Option<Vec<f64>> {
+fn solve_linear(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
     let n = b.len();
     for col in 0..n {
         // Pivot selection.
@@ -69,8 +77,10 @@ fn solve_linear(a: &mut Vec<Vec<f64>>, b: &mut Vec<f64>) -> Option<Vec<f64>> {
         // Elimination.
         for row in (col + 1)..n {
             let factor = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            let (upper, lower) = a.split_at_mut(row);
+            let (pivot_row, this_row) = (&upper[col], &mut lower[0]);
+            for (x, p) in this_row[col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *x -= factor * p;
             }
             b[row] -= factor * b[col];
         }
@@ -266,7 +276,11 @@ mod tests {
     #[test]
     fn minimizes_quadratic() {
         let c = CobylaOptimizer::default();
-        let r = c.minimize(&|x| (x[0] - 1.5).powi(2) + (x[1] + 0.5).powi(2), &[0.0, 0.0], 300);
+        let r = c.minimize(
+            &|x| (x[0] - 1.5).powi(2) + (x[1] + 0.5).powi(2),
+            &[0.0, 0.0],
+            300,
+        );
         assert!(r.best_value < 1e-3, "best value {}", r.best_value);
         assert!((r.best_point[0] - 1.5).abs() < 0.05);
         assert!((r.best_point[1] + 0.5).abs() < 0.05);
@@ -307,7 +321,11 @@ mod tests {
 
     #[test]
     fn converges_before_budget_on_easy_problem() {
-        let c = CobylaOptimizer { rho_begin: 0.5, rho_end: 1e-3, shrink: 0.5 };
+        let c = CobylaOptimizer {
+            rho_begin: 0.5,
+            rho_end: 1e-3,
+            shrink: 0.5,
+        };
         let r = c.minimize(&|x| x[0] * x[0], &[0.2], 5000);
         assert!(r.converged);
         assert!(r.evaluations < 5000);

@@ -14,7 +14,9 @@ pub struct GridSearch {
 
 impl Default for GridSearch {
     fn default() -> Self {
-        GridSearch { half_width: std::f64::consts::PI }
+        GridSearch {
+            half_width: std::f64::consts::PI,
+        }
     }
 }
 

@@ -114,6 +114,6 @@ impl std::fmt::Display for OptimizerKind {
 }
 
 #[cfg(test)]
-mod test_functions;
-#[cfg(test)]
 mod proptests;
+#[cfg(test)]
+mod test_functions;

@@ -60,7 +60,11 @@ impl Optimizer for NelderMead {
         max_evaluations: usize,
     ) -> OptimizationResult {
         let n = initial.len();
-        let mut ev = Evaluator { objective, trace: OptimizationTrace::new(), budget: max_evaluations.max(1) };
+        let mut ev = Evaluator {
+            objective,
+            trace: OptimizationTrace::new(),
+            budget: max_evaluations.max(1),
+        };
 
         if n == 0 {
             let value = ev.eval(initial);
@@ -76,7 +80,11 @@ impl Optimizer for NelderMead {
                 break;
             }
             let mut x = initial.to_vec();
-            x[i] += if x[i].abs() > 1e-12 { self.initial_step * x[i].abs() } else { self.initial_step };
+            x[i] += if x[i].abs() > 1e-12 {
+                self.initial_step * x[i].abs()
+            } else {
+                self.initial_step
+            };
             let v = ev.eval(&x);
             simplex.push((x, v));
         }
@@ -125,7 +133,11 @@ impl Optimizer for NelderMead {
                     .map(|(c, r)| c + self.gamma * (r - c))
                     .collect();
                 let f_expand = ev.eval(&expand);
-                simplex[n] = if f_expand < f_reflect { (expand, f_expand) } else { (reflect, f_reflect) };
+                simplex[n] = if f_expand < f_reflect {
+                    (expand, f_expand)
+                } else {
+                    (reflect, f_reflect)
+                };
             } else if f_reflect < simplex[n - 1].1 {
                 simplex[n] = (reflect, f_reflect);
             } else {
@@ -177,7 +189,11 @@ mod tests {
     #[test]
     fn minimizes_quadratic() {
         let nm = NelderMead::default();
-        let r = nm.minimize(&|x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2), &[0.0, 0.0], 400);
+        let r = nm.minimize(
+            &|x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+            400,
+        );
         assert!((r.best_point[0] - 3.0).abs() < 1e-3, "{:?}", r.best_point);
         assert!((r.best_point[1] + 1.0).abs() < 1e-3, "{:?}", r.best_point);
         assert!(r.best_value < 1e-5);

@@ -20,7 +20,10 @@ pub struct RandomSearch {
 
 impl Default for RandomSearch {
     fn default() -> Self {
-        RandomSearch { half_width: std::f64::consts::PI, seed: 0xAB5 }
+        RandomSearch {
+            half_width: std::f64::consts::PI,
+            seed: 0xAB5,
+        }
     }
 }
 
@@ -65,7 +68,10 @@ mod tests {
 
     #[test]
     fn finds_reasonable_minimum_of_1d_quadratic() {
-        let rs = RandomSearch { half_width: 2.0, seed: 3 };
+        let rs = RandomSearch {
+            half_width: 2.0,
+            seed: 3,
+        };
         let r = rs.minimize(&|x| x[0] * x[0], &[0.0], 500);
         assert!(r.best_value < 0.01);
     }
@@ -89,8 +95,16 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let f = |x: &[f64]| x[0].cos() + x[1].sin();
-        let a = RandomSearch { half_width: 1.0, seed: 9 }.minimize(&f, &[0.0, 0.0], 50);
-        let b = RandomSearch { half_width: 1.0, seed: 9 }.minimize(&f, &[0.0, 0.0], 50);
+        let a = RandomSearch {
+            half_width: 1.0,
+            seed: 9,
+        }
+        .minimize(&f, &[0.0, 0.0], 50);
+        let b = RandomSearch {
+            half_width: 1.0,
+            seed: 9,
+        }
+        .minimize(&f, &[0.0, 0.0], 50);
         assert_eq!(a.best_point, b.best_point);
     }
 }

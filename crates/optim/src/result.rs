@@ -31,7 +31,11 @@ impl OptimizationTrace {
             Some(last) => last.best_so_far.min(value),
             None => value,
         };
-        self.points.push(TracePoint { evaluation: self.points.len(), value, best_so_far });
+        self.points.push(TracePoint {
+            evaluation: self.points.len(),
+            value,
+            best_so_far,
+        });
     }
 
     /// Number of recorded evaluations.
@@ -85,7 +89,13 @@ impl OptimizationResult {
         converged: bool,
         trace: OptimizationTrace,
     ) -> Self {
-        OptimizationResult { best_point, best_value, evaluations: trace.len(), converged, trace }
+        OptimizationResult {
+            best_point,
+            best_value,
+            evaluations: trace.len(),
+            converged,
+            trace,
+        }
     }
 }
 

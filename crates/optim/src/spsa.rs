@@ -31,14 +31,24 @@ pub struct Spsa {
 
 impl Default for Spsa {
     fn default() -> Self {
-        Spsa { a: 0.2, c: 0.15, stability: 10.0, alpha: 0.602, gamma: 0.101, seed: 0x5B5A }
+        Spsa {
+            a: 0.2,
+            c: 0.15,
+            stability: 10.0,
+            alpha: 0.602,
+            gamma: 0.101,
+            seed: 0x5B5A,
+        }
     }
 }
 
 impl Spsa {
     /// SPSA with an explicit seed and otherwise default hyper-parameters.
     pub fn with_seed(seed: u64) -> Self {
-        Spsa { seed, ..Spsa::default() }
+        Spsa {
+            seed,
+            ..Spsa::default()
+        }
     }
 }
 
@@ -71,8 +81,9 @@ impl Optimizer for Spsa {
             let ck = self.c / ((k as f64) + 1.0).powf(self.gamma);
 
             // Rademacher perturbation.
-            let delta: Vec<f64> =
-                (0..n).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+            let delta: Vec<f64> = (0..n)
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
 
             let x_plus: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi + ck * d).collect();
             let x_minus: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi - ck * d).collect();
@@ -133,7 +144,11 @@ mod tests {
     #[test]
     fn minimizes_quadratic() {
         let spsa = Spsa::default();
-        let r = spsa.minimize(&|x| (x[0] - 1.0).powi(2) + (x[1] - 2.0).powi(2), &[0.0, 0.0], 2000);
+        let r = spsa.minimize(
+            &|x| (x[0] - 1.0).powi(2) + (x[1] - 2.0).powi(2),
+            &[0.0, 0.0],
+            2000,
+        );
         assert!(r.best_value < 0.05, "best value {}", r.best_value);
     }
 

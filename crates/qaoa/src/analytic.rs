@@ -45,7 +45,8 @@ pub fn edge_expectation_p1(
     // Matching the two gives γ_std = −2γ and β_std = β (verified against the
     // single-edge case, where ⟨C⟩ = 1/2 − sin(4β) sin(2γ)/2).
     let gamma = -2.0 * gamma;
-    let term1 = 0.25 * (4.0 * beta).sin() * gamma.sin() * (gamma.cos().powi(d) + gamma.cos().powi(e));
+    let term1 =
+        0.25 * (4.0 * beta).sin() * gamma.sin() * (gamma.cos().powi(d) + gamma.cos().powi(e));
     let term2 = 0.25
         * (2.0 * beta).sin().powi(2)
         * gamma.cos().powi(d + e - 2 * f)
@@ -57,7 +58,11 @@ pub fn edge_expectation_p1(
 pub fn common_neighbors(graph: &Graph, u: usize, v: usize) -> usize {
     let neigh_u: std::collections::BTreeSet<usize> =
         graph.neighbors(u).iter().map(|&(w, _)| w).collect();
-    graph.neighbors(v).iter().filter(|&&(w, _)| neigh_u.contains(&w)).count()
+    graph
+        .neighbors(v)
+        .iter()
+        .filter(|&&(w, _)| neigh_u.contains(&w))
+        .count()
 }
 
 /// Closed-form p = 1 Max-Cut energy for the whole (unweighted) graph with the
@@ -163,7 +168,10 @@ mod tests {
     fn grid_warm_start_beats_plus_state() {
         let g = Graph::random_regular(10, 4, 3).unwrap();
         let (gamma, beta, energy) = best_p1_angles_by_grid(&g, 24);
-        assert!(energy > 0.5 * g.total_weight() + 0.5, "grid energy {energy}");
+        assert!(
+            energy > 0.5 * g.total_weight() + 0.5,
+            "grid energy {energy}"
+        );
         // And the simulator agrees that those angles are good.
         let eval = EnergyEvaluator::new(&g, Backend::StateVector);
         let ansatz = QaoaAnsatz::new(&g, 1, Mixer::baseline());

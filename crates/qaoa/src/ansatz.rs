@@ -30,13 +30,22 @@ impl QaoaAnsatz {
             // Cost layer: RZZ(2 w γ_k) on every edge.
             let gamma_name = format!("gamma_{k}");
             for e in graph.edges() {
-                c.push(Gate::RZZ, &[e.u, e.v], Parameter::free(&gamma_name, 2.0 * e.weight));
+                c.push(
+                    Gate::RZZ,
+                    &[e.u, e.v],
+                    Parameter::free(&gamma_name, 2.0 * e.weight),
+                );
             }
             // Mixer layer: shared β_k.
             let beta_name = format!("beta_{k}");
             mixer.append_layer(&mut c, &beta_name);
         }
-        QaoaAnsatz { template: c, depth, mixer, num_qubits: n }
+        QaoaAnsatz {
+            template: c,
+            depth,
+            mixer,
+            num_qubits: n,
+        }
     }
 
     /// The unbound template circuit.
@@ -90,9 +99,9 @@ impl QaoaAnsatz {
             assignments.push((format!("beta_{k}"), b));
         }
         let refs: Vec<(&str, f64)> = assignments.iter().map(|(n, v)| (n.as_str(), *v)).collect();
-        self.template
-            .bind(&refs)
-            .map_err(|e| QaoaError::Backend { message: e.to_string() })
+        self.template.bind(&refs).map_err(|e| QaoaError::Backend {
+            message: e.to_string(),
+        })
     }
 
     /// Bind a flat parameter vector laid out as `[γ_0..γ_{p-1}, β_0..β_{p-1}]`

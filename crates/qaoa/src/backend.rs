@@ -29,7 +29,11 @@ pub enum Backend {
 impl Backend {
     /// All backends, for benches and tests.
     pub fn all() -> &'static [Backend] {
-        &[Backend::StateVector, Backend::TensorNetwork, Backend::TensorNetworkSequential]
+        &[
+            Backend::StateVector,
+            Backend::TensorNetwork,
+            Backend::TensorNetworkSequential,
+        ]
     }
 
     /// Max-Cut energy ⟨C⟩ of a fully-bound circuit on `graph`.
@@ -38,15 +42,23 @@ impl Backend {
             graph.edges().iter().map(|e| (e.u, e.v, e.weight)).collect();
         match self {
             Backend::StateVector => {
-                let state = statevec::StateVector::from_circuit(circuit)
-                    .map_err(|e| QaoaError::Backend { message: e.to_string() })?;
+                let state = statevec::StateVector::from_circuit(circuit).map_err(|e| {
+                    QaoaError::Backend {
+                        message: e.to_string(),
+                    }
+                })?;
                 Ok(statevec::expectation::maxcut_expectation(&state, &edges))
             }
             Backend::TensorNetwork => tensornet::lightcone::maxcut_expectation(circuit, &edges)
-                .map_err(|e| QaoaError::Backend { message: e.to_string() }),
+                .map_err(|e| QaoaError::Backend {
+                    message: e.to_string(),
+                }),
             Backend::TensorNetworkSequential => {
-                tensornet::lightcone::maxcut_expectation_sequential(circuit, &edges)
-                    .map_err(|e| QaoaError::Backend { message: e.to_string() })
+                tensornet::lightcone::maxcut_expectation_sequential(circuit, &edges).map_err(|e| {
+                    QaoaError::Backend {
+                        message: e.to_string(),
+                    }
+                })
             }
         }
     }
@@ -74,9 +86,15 @@ mod tests {
         let graph = Graph::erdos_renyi(6, 0.5, 11);
         let ansatz = QaoaAnsatz::new(&graph, 2, Mixer::qnas());
         let circuit = ansatz.bind(&[0.4, 0.7], &[0.3, 0.1]).unwrap();
-        let sv = Backend::StateVector.maxcut_expectation(&circuit, &graph).unwrap();
-        let tn = Backend::TensorNetwork.maxcut_expectation(&circuit, &graph).unwrap();
-        let tns = Backend::TensorNetworkSequential.maxcut_expectation(&circuit, &graph).unwrap();
+        let sv = Backend::StateVector
+            .maxcut_expectation(&circuit, &graph)
+            .unwrap();
+        let tn = Backend::TensorNetwork
+            .maxcut_expectation(&circuit, &graph)
+            .unwrap();
+        let tns = Backend::TensorNetworkSequential
+            .maxcut_expectation(&circuit, &graph)
+            .unwrap();
         assert!((sv - tn).abs() < 1e-8, "sv {sv} vs tn {tn}");
         assert!((tn - tns).abs() < 1e-12);
     }

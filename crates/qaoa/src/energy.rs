@@ -43,7 +43,11 @@ impl EnergyEvaluator {
     /// (exactly for the paper-scale instances).
     pub fn new(graph: &Graph, backend: Backend) -> EnergyEvaluator {
         let classical_optimum = MaxCut::classical_reference(graph);
-        EnergyEvaluator { graph: graph.clone(), backend, classical_optimum }
+        EnergyEvaluator {
+            graph: graph.clone(),
+            backend,
+            classical_optimum,
+        }
     }
 
     /// The graph this evaluator targets.
@@ -287,7 +291,9 @@ mod tests {
         let graph = Graph::cycle(6); // max cut = 6
         let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
         let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::baseline());
-        let trained = eval.train(&ansatz, &CobylaOptimizer::default(), 150).unwrap();
+        let trained = eval
+            .train(&ansatz, &CobylaOptimizer::default(), 150)
+            .unwrap();
         // p=1 QAOA on an even cycle reaches r >= 0.69 (well above 0.5).
         assert!(trained.energy > 3.6, "energy {}", trained.energy);
         assert!(trained.approx_ratio > 0.6);
@@ -350,7 +356,9 @@ mod tests {
         let graph = Graph::cycle(4);
         let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
         let ansatz = QaoaAnsatz::new(&graph, 0, Mixer::baseline());
-        let trained = eval.train(&ansatz, &CobylaOptimizer::default(), 10).unwrap();
+        let trained = eval
+            .train(&ansatz, &CobylaOptimizer::default(), 10)
+            .unwrap();
         assert!((trained.energy - 2.0).abs() < 1e-10);
         assert_eq!(trained.evaluations, 1);
     }
@@ -363,8 +371,12 @@ mod tests {
         let opt = CobylaOptimizer::default();
         let single = eval.train(&ansatz, &opt, 60).unwrap();
         let multi = eval.train_multistart(&ansatz, &opt, 180, 3).unwrap();
-        assert!(multi.energy >= single.energy - 0.05,
-            "multi-start {} fell behind single start {}", multi.energy, single.energy);
+        assert!(
+            multi.energy >= single.energy - 0.05,
+            "multi-start {} fell behind single start {}",
+            multi.energy,
+            single.energy
+        );
         assert!(multi.approx_ratio <= 1.0 + 1e-9);
         assert!(multi.evaluations > 0);
     }
@@ -385,8 +397,13 @@ mod tests {
         let graph = Graph::erdos_renyi(6, 0.4, 21);
         let eval = EnergyEvaluator::new(&graph, Backend::TensorNetwork);
         let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::baseline());
-        let trained = eval.train(&ansatz, &CobylaOptimizer::default(), 100).unwrap();
+        let trained = eval
+            .train(&ansatz, &CobylaOptimizer::default(), 100)
+            .unwrap();
         let half = 0.5 * graph.total_weight();
-        assert!(trained.energy >= half - 1e-9, "training should beat the plus state");
+        assert!(
+            trained.energy >= half - 1e-9,
+            "training should beat the plus state"
+        );
     }
 }

@@ -38,23 +38,35 @@ impl Mixer {
     /// The standard QAOA transverse-field mixer `RX(2β)` — the baseline of
     /// Figs. 8 and 9.
     pub fn baseline() -> Mixer {
-        Mixer { gates: vec![Gate::RX] }
+        Mixer {
+            gates: vec![Gate::RX],
+        }
     }
 
     /// The mixer discovered by the paper's search: `RX(2β)` followed by
     /// `RY(2β)` on every qubit (Fig. 6), labelled "qnas" in Figs. 8–9.
     pub fn qnas() -> Mixer {
-        Mixer { gates: vec![Gate::RX, Gate::RY] }
+        Mixer {
+            gates: vec![Gate::RX, Gate::RY],
+        }
     }
 
     /// The candidate mixers plotted in Fig. 7, in the paper's order:
     /// `('ry','p')`, `('rx','h')`, `('h','p')`, `('rx','ry')`.
     pub fn fig7_candidates() -> Vec<Mixer> {
         vec![
-            Mixer { gates: vec![Gate::RY, Gate::P] },
-            Mixer { gates: vec![Gate::RX, Gate::H] },
-            Mixer { gates: vec![Gate::H, Gate::P] },
-            Mixer { gates: vec![Gate::RX, Gate::RY] },
+            Mixer {
+                gates: vec![Gate::RY, Gate::P],
+            },
+            Mixer {
+                gates: vec![Gate::RX, Gate::H],
+            },
+            Mixer {
+                gates: vec![Gate::H, Gate::P],
+            },
+            Mixer {
+                gates: vec![Gate::RX, Gate::RY],
+            },
         ]
     }
 
@@ -104,7 +116,11 @@ impl Mixer {
 
     /// The label used in the paper's figures, e.g. `('rx', 'ry')`.
     pub fn label(&self) -> String {
-        let names: Vec<String> = self.gates.iter().map(|g| format!("'{}'", g.mnemonic())).collect();
+        let names: Vec<String> = self
+            .gates
+            .iter()
+            .map(|g| format!("'{}'", g.mnemonic()))
+            .collect();
         format!("({})", names.join(", "))
     }
 }
@@ -187,8 +203,14 @@ mod tests {
     #[test]
     fn append_layer_with_clifford_gates_has_no_parameter() {
         let mut c = Circuit::new(2);
-        Mixer::new(vec![Gate::H, Gate::RX]).unwrap().append_layer(&mut c, "b");
-        let unparameterized = c.instructions().iter().filter(|i| i.parameter.is_none()).count();
+        Mixer::new(vec![Gate::H, Gate::RX])
+            .unwrap()
+            .append_layer(&mut c, "b");
+        let unparameterized = c
+            .instructions()
+            .iter()
+            .filter(|i| i.parameter.is_none())
+            .count();
         assert_eq!(unparameterized, 2); // the two H gates
     }
 }

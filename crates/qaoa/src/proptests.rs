@@ -88,6 +88,6 @@ proptest! {
         let eval = EnergyEvaluator::new(&graph, Backend::TensorNetwork);
         let e = eval.energy(&ansatz, &[gamma], &[beta]).unwrap();
         let r = eval.approx_ratio(e);
-        prop_assert!(r >= -1e-9 && r <= 1.0 + 1e-9, "ratio {r}");
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&r), "ratio {r}");
     }
 }

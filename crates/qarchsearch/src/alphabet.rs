@@ -73,7 +73,10 @@ impl GateAlphabet {
         if gates.is_empty() {
             return Err(SearchError::EmptyAlphabet);
         }
-        let gates = gates.into_iter().map(RotationGate::new).collect::<Result<Vec<_>, _>>()?;
+        let gates = gates
+            .into_iter()
+            .map(RotationGate::new)
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(GateAlphabet { gates })
     }
 
@@ -212,8 +215,14 @@ mod tests {
 
     #[test]
     fn empty_alphabet_rejected() {
-        assert!(matches!(GateAlphabet::new(vec![]), Err(SearchError::EmptyAlphabet)));
-        assert!(matches!(GateAlphabet::from_mnemonics(&[]), Err(SearchError::EmptyAlphabet)));
+        assert!(matches!(
+            GateAlphabet::new(vec![]),
+            Err(SearchError::EmptyAlphabet)
+        ));
+        assert!(matches!(
+            GateAlphabet::from_mnemonics(&[]),
+            Err(SearchError::EmptyAlphabet)
+        ));
     }
 
     #[test]

@@ -197,10 +197,7 @@ mod tests {
 
     #[test]
     fn constraint_set_is_a_conjunction() {
-        let set = ConstraintSet::new(vec![
-            Constraint::MaxGates(2),
-            Constraint::RequireMixing,
-        ]);
+        let set = ConstraintSet::new(vec![Constraint::MaxGates(2), Constraint::RequireMixing]);
         assert!(set.admits(&[Gate::RX, Gate::RZ]));
         assert!(!set.admits(&[Gate::RZ, Gate::P])); // no mixing
         assert!(!set.admits(&[Gate::RX, Gate::RY, Gate::H])); // too long

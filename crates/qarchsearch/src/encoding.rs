@@ -32,14 +32,19 @@ impl CircuitEncoding {
         }
         let mut rows = Vec::with_capacity(gates.len());
         for &g in gates {
-            let pos = alphabet.position(g).ok_or_else(|| SearchError::InvalidEncoding {
-                message: format!("gate {g} is not in the alphabet {alphabet}"),
-            })?;
+            let pos = alphabet
+                .position(g)
+                .ok_or_else(|| SearchError::InvalidEncoding {
+                    message: format!("gate {g} is not in the alphabet {alphabet}"),
+                })?;
             let mut row = vec![0.0; alphabet.len()];
             row[pos] = 1.0;
             rows.push(row);
         }
-        Ok(CircuitEncoding { rows, alphabet_size: alphabet.len() })
+        Ok(CircuitEncoding {
+            rows,
+            alphabet_size: alphabet.len(),
+        })
     }
 
     /// Build an encoding directly from alphabet positions.
@@ -56,14 +61,20 @@ impl CircuitEncoding {
         for &p in positions {
             if p >= alphabet.len() {
                 return Err(SearchError::InvalidEncoding {
-                    message: format!("position {p} out of range for alphabet of size {}", alphabet.len()),
+                    message: format!(
+                        "position {p} out of range for alphabet of size {}",
+                        alphabet.len()
+                    ),
                 });
             }
             let mut row = vec![0.0; alphabet.len()];
             row[p] = 1.0;
             rows.push(row);
         }
-        Ok(CircuitEncoding { rows, alphabet_size: alphabet.len() })
+        Ok(CircuitEncoding {
+            rows,
+            alphabet_size: alphabet.len(),
+        })
     }
 
     /// Decode back into a gate sequence (argmax per row).
@@ -87,12 +98,11 @@ impl CircuitEncoding {
                     .ok_or_else(|| SearchError::InvalidEncoding {
                         message: "empty encoding row".to_string(),
                     })?;
-                alphabet
-                    .gate_at(best)
-                    .map(|g| g.gate())
-                    .ok_or_else(|| SearchError::InvalidEncoding {
+                alphabet.gate_at(best).map(|g| g.gate()).ok_or_else(|| {
+                    SearchError::InvalidEncoding {
                         message: format!("row argmax {best} outside alphabet"),
-                    })
+                    }
+                })
             })
             .collect()
     }

@@ -37,6 +37,8 @@ pub enum SearchError {
 
 impl From<qaoa::QaoaError> for SearchError {
     fn from(e: qaoa::QaoaError) -> Self {
-        SearchError::Evaluation { message: e.to_string() }
+        SearchError::Evaluation {
+            message: e.to_string(),
+        }
     }
 }

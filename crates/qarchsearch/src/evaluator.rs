@@ -82,7 +82,9 @@ impl Evaluator {
     /// An evaluator with the paper's defaults (tensor network, COBYLA, 200
     /// steps).
     pub fn paper_default() -> Evaluator {
-        Evaluator { config: EvaluatorConfig::default() }
+        Evaluator {
+            config: EvaluatorConfig::default(),
+        }
     }
 
     /// An evaluator with an explicit configuration.
@@ -135,8 +137,7 @@ impl Evaluator {
         for graph in graphs {
             per_graph.push(self.evaluate_on_graph(graph, mixer, depth)?);
         }
-        let mean_energy =
-            per_graph.iter().map(|t| t.energy).sum::<f64>() / per_graph.len() as f64;
+        let mean_energy = per_graph.iter().map(|t| t.energy).sum::<f64>() / per_graph.len() as f64;
         let mean_approx_ratio =
             per_graph.iter().map(|t| t.approx_ratio).sum::<f64>() / per_graph.len() as f64;
         let total_evaluations = per_graph.iter().map(|t| t.evaluations).sum();
@@ -178,17 +179,32 @@ mod tests {
     fn multistart_evaluator_does_not_regress() {
         let graph = Graph::cycle(6);
         let single = Evaluator::new(small_config());
-        let multi = Evaluator::new(EvaluatorConfig { restarts: 3, budget: 120, ..small_config() });
-        let e1 = single.evaluate_on_graph(&graph, &Mixer::baseline(), 2).unwrap();
-        let e3 = multi.evaluate_on_graph(&graph, &Mixer::baseline(), 2).unwrap();
-        assert!(e3.energy >= e1.energy - 0.1, "multi {} vs single {}", e3.energy, e1.energy);
+        let multi = Evaluator::new(EvaluatorConfig {
+            restarts: 3,
+            budget: 120,
+            ..small_config()
+        });
+        let e1 = single
+            .evaluate_on_graph(&graph, &Mixer::baseline(), 2)
+            .unwrap();
+        let e3 = multi
+            .evaluate_on_graph(&graph, &Mixer::baseline(), 2)
+            .unwrap();
+        assert!(
+            e3.energy >= e1.energy - 0.1,
+            "multi {} vs single {}",
+            e3.energy,
+            e1.energy
+        );
     }
 
     #[test]
     fn evaluate_on_graph_produces_sane_reward() {
         let evaluator = Evaluator::new(small_config());
         let graph = Graph::cycle(6);
-        let trained = evaluator.evaluate_on_graph(&graph, &Mixer::baseline(), 1).unwrap();
+        let trained = evaluator
+            .evaluate_on_graph(&graph, &Mixer::baseline(), 1)
+            .unwrap();
         assert!(trained.energy >= 3.0 - 1e-9); // at least the plus-state value
         assert!(trained.energy <= 6.0 + 1e-9); // at most the optimum
         assert!(trained.approx_ratio <= 1.0 + 1e-9);
@@ -202,8 +218,7 @@ mod tests {
         assert_eq!(result.per_graph.len(), 2);
         assert_eq!(result.depth, 1);
         assert_eq!(result.mixer_label, "('rx', 'ry')");
-        let manual_mean =
-            result.per_graph.iter().map(|t| t.energy).sum::<f64>() / 2.0;
+        let manual_mean = result.per_graph.iter().map(|t| t.energy).sum::<f64>() / 2.0;
         assert!((result.mean_energy - manual_mean).abs() < 1e-12);
         assert!(result.total_evaluations > 0);
     }
@@ -234,7 +249,14 @@ mod tests {
         let diag = evaluator
             .evaluate_on_graph(&graph, &Mixer::new(vec![Gate::RZ]).unwrap(), 1)
             .unwrap();
-        let rx = evaluator.evaluate_on_graph(&graph, &Mixer::baseline(), 1).unwrap();
-        assert!(rx.energy > diag.energy + 0.1, "rx {} vs diag {}", rx.energy, diag.energy);
+        let rx = evaluator
+            .evaluate_on_graph(&graph, &Mixer::baseline(), 1)
+            .unwrap();
+        assert!(
+            rx.energy > diag.energy + 0.1,
+            "rx {} vs diag {}",
+            rx.energy,
+            diag.energy
+        );
     }
 }

@@ -47,7 +47,10 @@ pub struct RandomPredictor {
 impl RandomPredictor {
     /// A random predictor over `alphabet` with a fixed seed.
     pub fn new(alphabet: GateAlphabet, seed: u64) -> RandomPredictor {
-        RandomPredictor { alphabet, rng: ChaCha8Rng::seed_from_u64(seed) }
+        RandomPredictor {
+            alphabet,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -84,7 +87,11 @@ pub struct ExhaustivePredictor {
 impl ExhaustivePredictor {
     /// An exhaustive predictor over `alphabet`.
     pub fn new(alphabet: GateAlphabet) -> ExhaustivePredictor {
-        ExhaustivePredictor { alphabet, cursor: 0, current_k: 0 }
+        ExhaustivePredictor {
+            alphabet,
+            cursor: 0,
+            current_k: 0,
+        }
     }
 
     /// Total number of sequences of length `k`.
@@ -163,7 +170,9 @@ impl EpsilonGreedyPredictor {
                     .map(|vals| {
                         vals.iter()
                             .enumerate()
-                            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                            .max_by(|a, b| {
+                                a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal)
+                            })
                             .map(|(i, _)| i)
                             .unwrap_or(0)
                     })
@@ -280,7 +289,10 @@ impl Predictor for PolicyGradientPredictor {
                         break;
                     }
                 }
-                self.alphabet.gate_at(chosen).expect("index in range").gate()
+                self.alphabet
+                    .gate_at(chosen)
+                    .expect("index in range")
+                    .gate()
             })
             .collect()
     }
@@ -293,7 +305,9 @@ impl Predictor for PolicyGradientPredictor {
         let advantage = reward - self.baseline;
 
         for (slot, gate) in gates.iter().enumerate() {
-            let Some(chosen) = self.alphabet.position(*gate) else { continue };
+            let Some(chosen) = self.alphabet.position(*gate) else {
+                continue;
+            };
             let probs = Self::softmax(&self.logits[slot]);
             for (i, p) in probs.iter().enumerate() {
                 // ∂ log π(chosen) / ∂ logit_i = [i == chosen] − p_i.
@@ -372,8 +386,7 @@ mod tests {
         let mut p = EpsilonGreedyPredictor::new(alphabet(), 0.3, 4);
         for _ in 0..200 {
             let seq = p.propose(2);
-            let reward =
-                seq.iter().filter(|&&g| g == Gate::RX).count() as f64 / seq.len() as f64;
+            let reward = seq.iter().filter(|&&g| g == Gate::RX).count() as f64 / seq.len() as f64;
             p.feedback(&seq, reward);
         }
         assert_eq!(p.greedy_sequence(2), vec![Gate::RX, Gate::RX]);

@@ -29,7 +29,9 @@ impl QBuilder {
 
     /// A builder over the paper's default alphabet.
     pub fn paper_default() -> QBuilder {
-        QBuilder { alphabet: GateAlphabet::paper_default() }
+        QBuilder {
+            alphabet: GateAlphabet::paper_default(),
+        }
     }
 
     /// The alphabet used for decoding encodings.
@@ -39,7 +41,9 @@ impl QBuilder {
 
     /// BUILD_MIXER_CKT of Algorithm 1: a [`Mixer`] from a raw gate sequence.
     pub fn build_mixer(&self, gates: &[Gate]) -> Result<Mixer, SearchError> {
-        Mixer::new(gates.to_vec()).map_err(|e| SearchError::Evaluation { message: e.to_string() })
+        Mixer::new(gates.to_vec()).map_err(|e| SearchError::Evaluation {
+            message: e.to_string(),
+        })
     }
 
     /// Decode an encoding and build its mixer.

@@ -44,12 +44,20 @@ impl FigureReport {
 
     /// Append one point.
     pub fn push(&mut self, series: &str, x: f64, y: f64) {
-        self.points.push(SeriesPoint { x, y, series: series.to_string() });
+        self.points.push(SeriesPoint {
+            x,
+            y,
+            series: series.to_string(),
+        });
     }
 
     /// All points belonging to one series, in insertion order.
     pub fn series(&self, name: &str) -> Vec<(f64, f64)> {
-        self.points.iter().filter(|p| p.series == name).map(|p| (p.x, p.y)).collect()
+        self.points
+            .iter()
+            .filter(|p| p.series == name)
+            .map(|p| (p.x, p.y))
+            .collect()
     }
 
     /// Distinct series names, in first-appearance order.
@@ -66,8 +74,14 @@ impl FigureReport {
     /// Render as an aligned plain-text table (one row per point).
     pub fn to_table(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("# {} — {} vs {}\n", self.figure, self.y_label, self.x_label));
-        out.push_str(&format!("{:<14} {:>12} {:>14}\n", "series", self.x_label, self.y_label));
+        out.push_str(&format!(
+            "# {} — {} vs {}\n",
+            self.figure, self.y_label, self.x_label
+        ));
+        out.push_str(&format!(
+            "{:<14} {:>12} {:>14}\n",
+            "series", self.x_label, self.y_label
+        ));
         for p in &self.points {
             out.push_str(&format!("{:<14} {:>12.4} {:>14.6}\n", p.series, p.x, p.y));
         }
@@ -139,7 +153,10 @@ mod tests {
         r.push("serial", 2.0, 20.0);
         assert_eq!(r.series("serial"), vec![(1.0, 10.0), (2.0, 20.0)]);
         assert_eq!(r.series("parallel"), vec![(1.0, 4.0)]);
-        assert_eq!(r.series_names(), vec!["serial".to_string(), "parallel".to_string()]);
+        assert_eq!(
+            r.series_names(),
+            vec!["serial".to_string(), "parallel".to_string()]
+        );
     }
 
     #[test]

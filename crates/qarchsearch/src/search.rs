@@ -28,10 +28,11 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// How candidate gate combinations are proposed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum SearchStrategy {
     /// Enumerate every ordered sequence of length `1..=k_max` (what the
     /// paper's profiling experiments time).
+    #[default]
     Exhaustive,
     /// Random search (the paper's released algorithm): sample
     /// `samples_per_depth` sequences per depth, each of a random length in
@@ -54,12 +55,6 @@ pub enum SearchStrategy {
         /// REINFORCE learning rate.
         learning_rate: f64,
     },
-}
-
-impl Default for SearchStrategy {
-    fn default() -> Self {
-        SearchStrategy::Exhaustive
-    }
 }
 
 /// Full configuration of a search run.
@@ -104,13 +99,17 @@ impl Default for SearchConfig {
 impl SearchConfig {
     /// Start building a configuration from the defaults.
     pub fn builder() -> SearchConfigBuilder {
-        SearchConfigBuilder { config: SearchConfig::default() }
+        SearchConfigBuilder {
+            config: SearchConfig::default(),
+        }
     }
 
     /// Validate the configuration.
     pub fn validate(&self) -> Result<(), SearchError> {
         if self.max_depth == 0 {
-            return Err(SearchError::InvalidConfig { message: "max_depth must be ≥ 1".into() });
+            return Err(SearchError::InvalidConfig {
+                message: "max_depth must be ≥ 1".into(),
+            });
         }
         if self.max_gates_per_mixer == 0 {
             return Err(SearchError::InvalidConfig {
@@ -123,7 +122,9 @@ impl SearchConfig {
             });
         }
         if let Some(0) = self.threads {
-            return Err(SearchError::InvalidConfig { message: "threads must be ≥ 1".into() });
+            return Err(SearchError::InvalidConfig {
+                message: "threads must be ≥ 1".into(),
+            });
         }
         Ok(())
     }
@@ -151,8 +152,12 @@ impl SearchConfig {
                     })
                     .collect()
             }
-            SearchStrategy::EpsilonGreedy { samples_per_depth, .. }
-            | SearchStrategy::PolicyGradient { samples_per_depth, .. } => {
+            SearchStrategy::EpsilonGreedy {
+                samples_per_depth, ..
+            }
+            | SearchStrategy::PolicyGradient {
+                samples_per_depth, ..
+            } => {
                 // Learned predictors propose online inside the search loop;
                 // here we only report the space size they will explore.
                 let _ = samples_per_depth;
@@ -289,7 +294,10 @@ impl SearchOutcome {
         for dr in &depth_results {
             for cand in &dr.candidates {
                 num_candidates_evaluated += 1;
-                let is_better = best.as_ref().map(|b| cand.mean_energy > b.energy).unwrap_or(true);
+                let is_better = best
+                    .as_ref()
+                    .map(|b| cand.mean_energy > b.energy)
+                    .unwrap_or(true);
                 if is_better {
                     best = Some(BestCandidate {
                         gates: parse_label_gates(&cand.mixer_label),
@@ -315,7 +323,10 @@ impl SearchOutcome {
 
     /// Wall-clock seconds spent at a given depth, if that depth was searched.
     pub fn elapsed_at_depth(&self, depth: usize) -> Option<f64> {
-        self.depth_results.iter().find(|d| d.depth == depth).map(|d| d.elapsed_seconds)
+        self.depth_results
+            .iter()
+            .find(|d| d.depth == depth)
+            .map(|d| d.elapsed_seconds)
     }
 }
 
@@ -384,11 +395,7 @@ impl SerialSearch {
                 best_energy,
             });
         }
-        SearchOutcome::from_depth_results(
-            depth_results,
-            total_start.elapsed().as_secs_f64(),
-            None,
-        )
+        SearchOutcome::from_depth_results(depth_results, total_start.elapsed().as_secs_f64(), None)
     }
 
     /// Candidate sequences for one depth (learned strategies propose online,
@@ -399,7 +406,10 @@ impl SerialSearch {
             SearchStrategy::Exhaustive | SearchStrategy::Random { .. } => {
                 self.config.candidates_for_depth(depth)
             }
-            SearchStrategy::EpsilonGreedy { samples_per_depth, epsilon } => {
+            SearchStrategy::EpsilonGreedy {
+                samples_per_depth,
+                epsilon,
+            } => {
                 let mut predictor = EpsilonGreedyPredictor::new(
                     self.config.alphabet.clone(),
                     *epsilon,
@@ -409,7 +419,10 @@ impl SerialSearch {
                     .map(|_| predictor.propose(self.config.max_gates_per_mixer))
                     .collect()
             }
-            SearchStrategy::PolicyGradient { samples_per_depth, learning_rate } => {
+            SearchStrategy::PolicyGradient {
+                samples_per_depth,
+                learning_rate,
+            } => {
                 let mut predictor = PolicyGradientPredictor::new(
                     self.config.alphabet.clone(),
                     *learning_rate,
@@ -464,7 +477,9 @@ impl ParallelSearch {
                 rayon::ThreadPoolBuilder::new()
                     .num_threads(n)
                     .build()
-                    .map_err(|e| SearchError::InvalidConfig { message: e.to_string() })?,
+                    .map_err(|e| SearchError::InvalidConfig {
+                        message: e.to_string(),
+                    })?,
             ),
             None => None,
         };
@@ -474,7 +489,9 @@ impl ParallelSearch {
 
         for depth in 1..=self.config.max_depth {
             let depth_start = Instant::now();
-            let serial_helper = SerialSearch { config: self.config.clone() };
+            let serial_helper = SerialSearch {
+                config: self.config.clone(),
+            };
             let candidates = serial_helper.propose_candidates(depth);
 
             let evaluate_all = || -> Result<Vec<CandidateResult>, SearchError> {
@@ -505,7 +522,11 @@ impl ParallelSearch {
         SearchOutcome::from_depth_results(
             depth_results,
             total_start.elapsed().as_secs_f64(),
-            Some(self.config.threads.unwrap_or_else(rayon::current_num_threads)),
+            Some(
+                self.config
+                    .threads
+                    .unwrap_or_else(rayon::current_num_threads),
+            ),
         )
     }
 }
@@ -541,7 +562,9 @@ mod tests {
             .threads(4)
             .optimizer(optim::OptimizerKind::NelderMead)
             .backend(Backend::StateVector)
-            .strategy(SearchStrategy::Random { samples_per_depth: 7 })
+            .strategy(SearchStrategy::Random {
+                samples_per_depth: 7,
+            })
             .build();
         assert_eq!(cfg.max_depth, 3);
         assert_eq!(cfg.max_gates_per_mixer, 2);
@@ -553,6 +576,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::field_reassign_with_default)]
     fn validation_catches_degenerate_configs() {
         let mut cfg = SearchConfig::default();
         cfg.max_depth = 0;
@@ -571,8 +595,9 @@ mod tests {
 
     #[test]
     fn serial_exhaustive_search_finds_a_mixing_winner() {
-        let outcome =
-            SerialSearch::new(tiny_config(SearchStrategy::Exhaustive)).run(&tiny_graphs()).unwrap();
+        let outcome = SerialSearch::new(tiny_config(SearchStrategy::Exhaustive))
+            .run(&tiny_graphs())
+            .unwrap();
         // Space: 2 + 4 = 6 candidates at depth 1.
         assert_eq!(outcome.num_candidates_evaluated, 6);
         assert_eq!(outcome.depth_results.len(), 1);
@@ -585,15 +610,19 @@ mod tests {
     #[test]
     fn parallel_and_serial_exhaustive_find_the_same_best_energy() {
         let graphs = tiny_graphs();
-        let serial =
-            SerialSearch::new(tiny_config(SearchStrategy::Exhaustive)).run(&graphs).unwrap();
+        let serial = SerialSearch::new(tiny_config(SearchStrategy::Exhaustive))
+            .run(&graphs)
+            .unwrap();
         let parallel = ParallelSearch::new(SearchConfig {
             threads: Some(2),
             ..tiny_config(SearchStrategy::Exhaustive)
         })
         .run(&graphs)
         .unwrap();
-        assert_eq!(serial.num_candidates_evaluated, parallel.num_candidates_evaluated);
+        assert_eq!(
+            serial.num_candidates_evaluated,
+            parallel.num_candidates_evaluated
+        );
         assert!((serial.best.energy - parallel.best.energy).abs() < 1e-9);
         assert_eq!(serial.best.mixer_label, parallel.best.mixer_label);
         assert_eq!(parallel.parallel_threads, Some(2));
@@ -601,7 +630,9 @@ mod tests {
 
     #[test]
     fn random_strategy_respects_sample_budget() {
-        let cfg = tiny_config(SearchStrategy::Random { samples_per_depth: 4 });
+        let cfg = tiny_config(SearchStrategy::Random {
+            samples_per_depth: 4,
+        });
         let outcome = SerialSearch::new(cfg).run(&tiny_graphs()).unwrap();
         assert_eq!(outcome.num_candidates_evaluated, 4);
     }
@@ -616,16 +647,18 @@ mod tests {
 
     #[test]
     fn best_candidate_gates_match_label() {
-        let outcome =
-            SerialSearch::new(tiny_config(SearchStrategy::Exhaustive)).run(&tiny_graphs()).unwrap();
+        let outcome = SerialSearch::new(tiny_config(SearchStrategy::Exhaustive))
+            .run(&tiny_graphs())
+            .unwrap();
         let from_label = parse_label_gates(&outcome.best.mixer_label);
         assert_eq!(from_label, outcome.best.gates);
     }
 
     #[test]
     fn elapsed_at_depth_reports_only_searched_depths() {
-        let outcome =
-            SerialSearch::new(tiny_config(SearchStrategy::Exhaustive)).run(&tiny_graphs()).unwrap();
+        let outcome = SerialSearch::new(tiny_config(SearchStrategy::Exhaustive))
+            .run(&tiny_graphs())
+            .unwrap();
         assert!(outcome.elapsed_at_depth(1).is_some());
         assert!(outcome.elapsed_at_depth(2).is_none());
     }
@@ -641,22 +674,18 @@ mod tests {
     fn constraints_prune_the_candidate_space() {
         use crate::constraints::{Constraint, ConstraintSet};
         let graphs = tiny_graphs();
-        let unconstrained =
-            SerialSearch::new(tiny_config(SearchStrategy::Exhaustive)).run(&graphs).unwrap();
+        let unconstrained = SerialSearch::new(tiny_config(SearchStrategy::Exhaustive))
+            .run(&graphs)
+            .unwrap();
         let mut constrained_cfg = tiny_config(SearchStrategy::Exhaustive);
-        constrained_cfg.constraints =
-            ConstraintSet::new(vec![Constraint::NoAdjacentDuplicates]);
+        constrained_cfg.constraints = ConstraintSet::new(vec![Constraint::NoAdjacentDuplicates]);
         let constrained = SerialSearch::new(constrained_cfg).run(&graphs).unwrap();
         // {rx, ry} alphabet, k ≤ 2: 6 unconstrained candidates, the two
         // duplicated pairs (rx,rx) and (ry,ry) are pruned.
         assert_eq!(unconstrained.num_candidates_evaluated, 6);
         assert_eq!(constrained.num_candidates_evaluated, 4);
         // The winner still exists and respects the constraint.
-        assert!(constrained
-            .best
-            .gates
-            .windows(2)
-            .all(|w| w[0] != w[1]));
+        assert!(constrained.best.gates.windows(2).all(|w| w[0] != w[1]));
     }
 
     #[test]
@@ -664,15 +693,17 @@ mod tests {
         use crate::constraints::{Constraint, ConstraintSet};
         let mut cfg = tiny_config(SearchStrategy::Exhaustive);
         // The {rx, ry} alphabet cannot satisfy a "require H" constraint.
-        cfg.constraints =
-            ConstraintSet::new(vec![Constraint::RequireAnyOf(vec![Gate::H])]);
+        cfg.constraints = ConstraintSet::new(vec![Constraint::RequireAnyOf(vec![Gate::H])]);
         let result = SerialSearch::new(cfg).run(&tiny_graphs());
         assert!(matches!(result, Err(SearchError::Evaluation { .. })));
     }
 
     #[test]
     fn epsilon_greedy_strategy_runs() {
-        let cfg = tiny_config(SearchStrategy::EpsilonGreedy { samples_per_depth: 3, epsilon: 0.5 });
+        let cfg = tiny_config(SearchStrategy::EpsilonGreedy {
+            samples_per_depth: 3,
+            epsilon: 0.5,
+        });
         let outcome = SerialSearch::new(cfg).run(&tiny_graphs()).unwrap();
         assert_eq!(outcome.num_candidates_evaluated, 3);
     }

@@ -43,12 +43,20 @@ impl Instruction {
             return Err(CircuitError::DuplicateQubit { qubit: qubits[0] });
         }
         if gate.is_parameterized() && parameter.is_none() {
-            return Err(CircuitError::MissingParameter { gate: gate.to_string() });
+            return Err(CircuitError::MissingParameter {
+                gate: gate.to_string(),
+            });
         }
         if !gate.is_parameterized() && !parameter.is_none() {
-            return Err(CircuitError::UnexpectedParameter { gate: gate.to_string() });
+            return Err(CircuitError::UnexpectedParameter {
+                gate: gate.to_string(),
+            });
         }
-        Ok(Instruction { gate, qubits: qubits.to_vec(), parameter })
+        Ok(Instruction {
+            gate,
+            qubits: qubits.to_vec(),
+            parameter,
+        })
     }
 
     /// The concrete matrix of this instruction, if its parameter is resolved
@@ -83,7 +91,10 @@ pub struct Circuit {
 impl Circuit {
     /// An empty circuit over `num_qubits` qubits.
     pub fn new(num_qubits: usize) -> Self {
-        Circuit { num_qubits, instructions: Vec::new() }
+        Circuit {
+            num_qubits,
+            instructions: Vec::new(),
+        }
     }
 
     /// Circuit width.
@@ -109,7 +120,8 @@ impl Circuit {
     /// Append a gate; panics on invalid operands (use [`Circuit::try_push`]
     /// for a fallible version).
     pub fn push(&mut self, gate: Gate, qubits: &[usize], parameter: Parameter) -> &mut Self {
-        self.try_push(gate, qubits, parameter).expect("invalid instruction");
+        self.try_push(gate, qubits, parameter)
+            .expect("invalid instruction");
         self
     }
 
@@ -210,7 +222,10 @@ impl Circuit {
 
     /// Number of two-qubit gates (a common hardware-cost proxy).
     pub fn two_qubit_gate_count(&self) -> usize {
-        self.instructions.iter().filter(|i| i.gate.arity() == 2).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.gate.arity() == 2)
+            .count()
     }
 
     /// Circuit depth: the length of the longest chain of instructions that
@@ -218,7 +233,13 @@ impl Circuit {
     pub fn depth(&self) -> usize {
         let mut qubit_depth = vec![0usize; self.num_qubits];
         for inst in &self.instructions {
-            let level = inst.qubits.iter().map(|&q| qubit_depth[q]).max().unwrap_or(0) + 1;
+            let level = inst
+                .qubits
+                .iter()
+                .map(|&q| qubit_depth[q])
+                .max()
+                .unwrap_or(0)
+                + 1;
             for &q in &inst.qubits {
                 qubit_depth[q] = level;
             }
@@ -228,7 +249,10 @@ impl Circuit {
 
     /// Count of parameterized gates.
     pub fn parameterized_gate_count(&self) -> usize {
-        self.instructions.iter().filter(|i| i.gate.is_parameterized()).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.gate.is_parameterized())
+            .count()
     }
 
     // --- transformation -------------------------------------------------------
@@ -313,7 +337,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Circuit[{} qubits, {} gates]", self.num_qubits, self.len())?;
+        writeln!(
+            f,
+            "Circuit[{} qubits, {} gates]",
+            self.num_qubits,
+            self.len()
+        )?;
         for inst in &self.instructions {
             writeln!(f, "  {inst}")?;
         }
@@ -352,7 +381,9 @@ mod tests {
         let mut c = Circuit::new(1);
         let err = c.try_push(Gate::RX, &[0], Parameter::None).unwrap_err();
         assert!(matches!(err, CircuitError::MissingParameter { .. }));
-        let err = c.try_push(Gate::H, &[0], Parameter::bound(0.1)).unwrap_err();
+        let err = c
+            .try_push(Gate::H, &[0], Parameter::bound(0.1))
+            .unwrap_err();
         assert!(matches!(err, CircuitError::UnexpectedParameter { .. }));
     }
 
@@ -362,7 +393,10 @@ mod tests {
         c.push(Gate::RX, &[0], Parameter::free("beta", 2.0));
         c.push(Gate::RX, &[1], Parameter::free("beta", 2.0));
         c.push(Gate::RZZ, &[0, 1], Parameter::free("gamma", 1.0));
-        assert_eq!(c.free_parameters(), vec!["beta".to_string(), "gamma".to_string()]);
+        assert_eq!(
+            c.free_parameters(),
+            vec!["beta".to_string(), "gamma".to_string()]
+        );
     }
 
     #[test]
@@ -400,7 +434,10 @@ mod tests {
     fn compose_requires_same_width() {
         let mut a = Circuit::new(2);
         let b = Circuit::new(3);
-        assert!(matches!(a.compose(&b), Err(CircuitError::WidthMismatch { .. })));
+        assert!(matches!(
+            a.compose(&b),
+            Err(CircuitError::WidthMismatch { .. })
+        ));
         let mut c = Circuit::new(2);
         c.h(0);
         a.compose(&c).unwrap();

@@ -30,7 +30,12 @@ pub fn draw_ascii(circuit: &Circuit) -> String {
     let mut qubit_frontier = vec![0usize; n];
 
     for inst in circuit.instructions() {
-        let col_idx = inst.qubits.iter().map(|&q| qubit_frontier[q]).max().unwrap_or(0);
+        let col_idx = inst
+            .qubits
+            .iter()
+            .map(|&q| qubit_frontier[q])
+            .max()
+            .unwrap_or(0);
         while columns.len() <= col_idx {
             columns.push(vec![None; n]);
         }
@@ -50,7 +55,12 @@ pub fn draw_ascii(circuit: &Circuit) -> String {
     // Pad every column to a uniform width.
     let col_widths: Vec<usize> = columns
         .iter()
-        .map(|col| col.iter().filter_map(|c| c.as_ref().map(|s| s.len())).max().unwrap_or(1))
+        .map(|col| {
+            col.iter()
+                .filter_map(|c| c.as_ref().map(|s| s.len()))
+                .max()
+                .unwrap_or(1)
+        })
         .collect();
 
     let mut out = String::new();

@@ -215,7 +215,15 @@ mod tests {
         for g in Gate::single_qubit_gates() {
             assert_eq!(g.arity(), 1, "{g} should be single-qubit");
         }
-        for g in [Gate::CX, Gate::CZ, Gate::SWAP, Gate::RZZ, Gate::CP, Gate::RXX, Gate::RYY] {
+        for g in [
+            Gate::CX,
+            Gate::CZ,
+            Gate::SWAP,
+            Gate::RZZ,
+            Gate::CP,
+            Gate::RXX,
+            Gate::RYY,
+        ] {
             assert_eq!(g.arity(), 2, "{g} should be two-qubit");
         }
     }

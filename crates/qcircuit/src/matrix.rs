@@ -74,10 +74,22 @@ impl GateMatrix {
                 z, z, o, z,
             ]),
             Gate::CZ => GateMatrix::Two([
-                o, z, z, z, //
-                z, o, z, z, //
-                z, z, o, z, //
-                z, z, z, c64(-1.0, 0.0),
+                o,
+                z,
+                z,
+                z, //
+                z,
+                o,
+                z,
+                z, //
+                z,
+                z,
+                o,
+                z, //
+                z,
+                z,
+                z,
+                c64(-1.0, 0.0),
             ]),
             Gate::SWAP => GateMatrix::Two([
                 o, z, z, z, //

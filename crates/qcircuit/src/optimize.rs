@@ -33,7 +33,10 @@ pub fn optimize(circuit: &Circuit) -> OptimizeReport {
         let after = current.len();
         removed_total += before - after;
         if after == before {
-            return OptimizeReport { circuit: current, removed: removed_total };
+            return OptimizeReport {
+                circuit: current,
+                removed: removed_total,
+            };
         }
     }
 }
@@ -41,7 +44,11 @@ pub fn optimize(circuit: &Circuit) -> OptimizeReport {
 /// Remove explicit identity gates.
 pub fn drop_identities(circuit: &Circuit) -> Circuit {
     rebuild(circuit, |insts| {
-        insts.iter().filter(|i| i.gate != Gate::I).cloned().collect()
+        insts
+            .iter()
+            .filter(|i| i.gate != Gate::I)
+            .cloned()
+            .collect()
     })
 }
 
@@ -80,12 +87,17 @@ pub fn merge_adjacent_rotations(circuit: &Circuit) -> Circuit {
         for inst in insts {
             let mergeable = matches!(
                 inst.gate,
-                Gate::RX | Gate::RY | Gate::RZ | Gate::P | Gate::RZZ | Gate::CP | Gate::RXX | Gate::RYY
+                Gate::RX
+                    | Gate::RY
+                    | Gate::RZ
+                    | Gate::P
+                    | Gate::RZZ
+                    | Gate::CP
+                    | Gate::RXX
+                    | Gate::RYY
             );
             let merged = match (out.last(), mergeable) {
-                (Some(prev), true)
-                    if prev.gate == inst.gate && prev.qubits == inst.qubits =>
-                {
+                (Some(prev), true) if prev.gate == inst.gate && prev.qubits == inst.qubits => {
                     match (prev.parameter.value(), inst.parameter.value()) {
                         (Some(a), Some(b)) => Some(a + b),
                         _ => None,
@@ -206,7 +218,10 @@ mod tests {
         c.rzz(0, 1, 0.25).rzz(0, 1, 0.5);
         let r = optimize(&c);
         assert_eq!(r.circuit.len(), 1);
-        assert_eq!(r.circuit.instructions()[0].parameter, Parameter::Bound(0.75));
+        assert_eq!(
+            r.circuit.instructions()[0].parameter,
+            Parameter::Bound(0.75)
+        );
     }
 
     #[test]

@@ -10,9 +10,10 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A gate angle: either a bound constant or `multiplier × named-parameter`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum Parameter {
     /// No parameter (for parameterless gates).
+    #[default]
     None,
     /// A fixed numeric angle in radians.
     Bound(f64),
@@ -33,7 +34,10 @@ impl Parameter {
 
     /// A free parameter `multiplier × name`.
     pub fn free(name: impl Into<String>, multiplier: f64) -> Self {
-        Parameter::Free { name: name.into(), multiplier }
+        Parameter::Free {
+            name: name.into(),
+            multiplier,
+        }
     }
 
     /// Whether this is a free (unbound) parameter.
@@ -70,9 +74,10 @@ impl Parameter {
     /// none parameters untouched.
     pub fn bind_value(&self, name: &str, value: f64) -> Parameter {
         match self {
-            Parameter::Free { name: n, multiplier } if n == name => {
-                Parameter::Bound(multiplier * value)
-            }
+            Parameter::Free {
+                name: n,
+                multiplier,
+            } if n == name => Parameter::Bound(multiplier * value),
             other => other.clone(),
         }
     }
@@ -83,12 +88,6 @@ impl Parameter {
             Parameter::Bound(v) => Some(*v),
             _ => None,
         }
-    }
-}
-
-impl Default for Parameter {
-    fn default() -> Self {
-        Parameter::None
     }
 }
 

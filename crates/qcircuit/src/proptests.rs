@@ -37,7 +37,10 @@ fn arb_two_qubit_gate() -> impl Strategy<Value = Gate> {
 /// A random circuit over `n` qubits with `len` instructions and bound angles.
 pub fn arb_bound_circuit(n: usize, len: usize) -> impl Strategy<Value = Circuit> {
     let inst = (
-        prop_oneof![arb_single_qubit_gate().boxed(), arb_two_qubit_gate().boxed()],
+        prop_oneof![
+            arb_single_qubit_gate().boxed(),
+            arb_two_qubit_gate().boxed()
+        ],
         0..n,
         0..n,
         -3.2_f64..3.2,

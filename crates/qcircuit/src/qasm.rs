@@ -85,6 +85,9 @@ mod tests {
     fn free_parameters_are_rejected() {
         let mut c = Circuit::new(1);
         c.push(Gate::RX, &[0], Parameter::free("beta", 1.0));
-        assert!(matches!(to_qasm(&c), Err(CircuitError::UnboundParameter { .. })));
+        assert!(matches!(
+            to_qasm(&c),
+            Err(CircuitError::UnboundParameter { .. })
+        ));
     }
 }

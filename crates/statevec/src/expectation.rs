@@ -56,7 +56,11 @@ pub fn zz_expectation(state: &StateVector, u: usize, v: usize) -> f64 {
         .iter()
         .enumerate()
         .map(|(z, a)| {
-            let sign = if ((z & bu != 0) as u8) ^ ((z & bv != 0) as u8) == 1 { -1.0 } else { 1.0 };
+            let sign = if ((z & bu != 0) as u8) ^ ((z & bv != 0) as u8) == 1 {
+                -1.0
+            } else {
+                1.0
+            };
             sign * a.norm_sqr()
         })
         .sum()
@@ -69,7 +73,13 @@ pub fn z_expectation(state: &StateVector, u: usize) -> f64 {
         .amplitudes()
         .iter()
         .enumerate()
-        .map(|(z, a)| if z & bu != 0 { -a.norm_sqr() } else { a.norm_sqr() })
+        .map(|(z, a)| {
+            if z & bu != 0 {
+                -a.norm_sqr()
+            } else {
+                a.norm_sqr()
+            }
+        })
         .sum()
 }
 

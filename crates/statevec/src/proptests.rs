@@ -29,8 +29,11 @@ fn arb_circuit(n: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
         move |instrs| {
             let mut c = Circuit::new(n);
             for (g, q0, q1, theta) in instrs {
-                let param =
-                    if g.is_parameterized() { Parameter::bound(theta) } else { Parameter::None };
+                let param = if g.is_parameterized() {
+                    Parameter::bound(theta)
+                } else {
+                    Parameter::None
+                };
                 if g.arity() == 1 {
                     c.push(g, &[q0], param);
                 } else if q0 != q1 {
@@ -95,6 +98,6 @@ proptest! {
     fn zz_expectation_within_unit_interval(c in arb_circuit(3, 15)) {
         let s = StateVector::from_circuit(&c).unwrap();
         let zz = zz_expectation(&s, 0, 2);
-        prop_assert!(zz >= -1.0 - 1e-9 && zz <= 1.0 + 1e-9);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&zz));
     }
 }

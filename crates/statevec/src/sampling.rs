@@ -83,7 +83,7 @@ mod tests {
         c.h(0).cx(0, 1);
         let s = StateVector::from_circuit(&c).unwrap();
         let counts = sample_counts(&s, 1000, 7);
-        for (&z, _) in &counts {
+        for &z in counts.keys() {
             assert!(z == 0b00 || z == 0b11, "unexpected outcome {z:02b}");
         }
         // Both outcomes should appear for 1000 shots.
@@ -103,10 +103,12 @@ mod tests {
             &edges.iter().map(|&(u, v, w)| (u, v, w)).collect::<Vec<_>>(),
         );
         let counts = sample_counts(&s, 20_000, 3);
-        let est = estimate_expectation_from_counts(&counts, &|z| {
-            maxcut_value_of_basis_state(&edges, z)
-        });
-        assert!((est - exact).abs() < 0.05, "estimate {est} vs exact {exact}");
+        let est =
+            estimate_expectation_from_counts(&counts, &|z| maxcut_value_of_basis_state(&edges, z));
+        assert!(
+            (est - exact).abs() < 0.05,
+            "estimate {est} vs exact {exact}"
+        );
     }
 
     #[test]

@@ -21,28 +21,46 @@ impl StateVector {
     /// The all-zeros computational basis state `|0...0⟩`.
     pub fn zero_state(num_qubits: usize) -> Result<Self, SimulatorError> {
         if num_qubits > MAX_DENSE_QUBITS {
-            return Err(SimulatorError::TooManyQubits { num_qubits, max: MAX_DENSE_QUBITS });
+            return Err(SimulatorError::TooManyQubits {
+                num_qubits,
+                max: MAX_DENSE_QUBITS,
+            });
         }
         let mut amplitudes = vec![Complex64::new(0.0, 0.0); 1usize << num_qubits];
         amplitudes[0] = Complex64::new(1.0, 0.0);
-        Ok(StateVector { num_qubits, amplitudes })
+        Ok(StateVector {
+            num_qubits,
+            amplitudes,
+        })
     }
 
     /// The uniform superposition `|+⟩^{⊗n}` (the QAOA initial state).
     pub fn plus_state(num_qubits: usize) -> Result<Self, SimulatorError> {
         if num_qubits > MAX_DENSE_QUBITS {
-            return Err(SimulatorError::TooManyQubits { num_qubits, max: MAX_DENSE_QUBITS });
+            return Err(SimulatorError::TooManyQubits {
+                num_qubits,
+                max: MAX_DENSE_QUBITS,
+            });
         }
         let dim = 1usize << num_qubits;
         let amp = Complex64::new(1.0 / (dim as f64).sqrt(), 0.0);
-        Ok(StateVector { num_qubits, amplitudes: vec![amp; dim] })
+        Ok(StateVector {
+            num_qubits,
+            amplitudes: vec![amp; dim],
+        })
     }
 
     /// Build a state from raw amplitudes (length must be a power of two).
     pub fn from_amplitudes(amplitudes: Vec<Complex64>) -> Self {
-        assert!(amplitudes.len().is_power_of_two(), "amplitude count must be a power of two");
+        assert!(
+            amplitudes.len().is_power_of_two(),
+            "amplitude count must be a power of two"
+        );
         let num_qubits = amplitudes.len().trailing_zeros() as usize;
-        StateVector { num_qubits, amplitudes }
+        StateVector {
+            num_qubits,
+            amplitudes,
+        }
     }
 
     /// Simulate `circuit` starting from `|0...0⟩`.

@@ -138,7 +138,8 @@ mod tests {
         let t23 = Tensor::new(vec![2, 3], vec![c(2.0), c(0.0), c(1.0), c(1.0)]).unwrap();
         let t30 = Tensor::new(vec![3, 0], vec![c(1.0), c(1.0), c(0.5), c(0.5)]).unwrap();
         let tensors = vec![t01, t12, t23, t30];
-        let (v1, _) = contract_with_heuristic(tensors.clone(), OrderingHeuristic::MinDegree).unwrap();
+        let (v1, _) =
+            contract_with_heuristic(tensors.clone(), OrderingHeuristic::MinDegree).unwrap();
         let (v2, _) = contract_with_heuristic(tensors.clone(), OrderingHeuristic::MinFill).unwrap();
         let (v3, _) = contract_with_heuristic(tensors, OrderingHeuristic::Natural).unwrap();
         assert!((v1 - v2).norm() < 1e-12);
@@ -168,7 +169,10 @@ mod tests {
         let graph = InteractionGraph::from_tensor_indices(tensors.iter().map(|t| t.indices()));
         let order = graph.elimination_order(OrderingHeuristic::Natural);
         let result = contract_with_order(tensors, &order, 5);
-        assert!(matches!(result, Err(TensorNetError::WidthLimitExceeded { .. })));
+        assert!(matches!(
+            result,
+            Err(TensorNetError::WidthLimitExceeded { .. })
+        ));
     }
 
     #[test]
@@ -180,7 +184,10 @@ mod tests {
             heuristic: OrderingHeuristic::Natural,
         };
         let result = contract_with_order(vec![a], &order, DEFAULT_WIDTH_LIMIT);
-        assert!(matches!(result, Err(TensorNetError::OpenIndicesRemain { .. })));
+        assert!(matches!(
+            result,
+            Err(TensorNetError::OpenIndicesRemain { .. })
+        ));
     }
 
     #[test]

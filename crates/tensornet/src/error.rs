@@ -13,7 +13,9 @@ pub enum TensorNetError {
     },
 
     /// Tensor construction was given inconsistent data.
-    #[error("tensor with {indices} binary indices requires {expected} entries but {got} were given")]
+    #[error(
+        "tensor with {indices} binary indices requires {expected} entries but {got} were given"
+    )]
     InvalidTensorData {
         /// Number of indices.
         indices: usize,

@@ -21,7 +21,7 @@
 //!   survive the U†…U cancellation, which is what lets QTensor simulate very
 //!   large QAOA circuits edge by edge.
 //!
-//! The crate is validated against the dense [`statevec`] backend in the
+//! The crate is validated against the dense `statevec` backend in the
 //! integration tests and in property-based tests.
 //!
 //! ```

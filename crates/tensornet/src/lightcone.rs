@@ -45,7 +45,12 @@ impl LightCone {
         }
 
         let cone_qubits: Vec<usize> = active.into_iter().collect();
-        let relabel = |q: usize| cone_qubits.iter().position(|&x| x == q).expect("qubit in cone");
+        let relabel = |q: usize| {
+            cone_qubits
+                .iter()
+                .position(|&x| x == q)
+                .expect("qubit in cone")
+        };
 
         let mut reduced = Circuit::new(cone_qubits.len());
         for (i, inst) in circuit.instructions().iter().enumerate() {
@@ -56,7 +61,10 @@ impl LightCone {
                     .expect("relabelled instruction is valid");
             }
         }
-        LightCone { circuit: reduced, cone_qubits }
+        LightCone {
+            circuit: reduced,
+            cone_qubits,
+        }
     }
 
     /// New (relabelled) id of an original qubit, if it is inside the cone.
@@ -139,7 +147,11 @@ mod tests {
         let c = qaoa_path_circuit(0.5, 0.3);
         // Qubits 0 and 1 interact only with each other and qubit 2.
         let cone = LightCone::of(&c, &[0, 1]);
-        assert!(cone.width() <= 3, "cone width {} should exclude qubit 3", cone.width());
+        assert!(
+            cone.width() <= 3,
+            "cone width {} should exclude qubit 3",
+            cone.width()
+        );
         assert!(cone.relabelled(0).is_some());
         assert!(cone.relabelled(1).is_some());
         assert!(cone.relabelled(3).is_none());
@@ -210,6 +222,9 @@ mod tests {
         c.push(Gate::RZZ, &[0, 1], Parameter::free("gamma", 2.0));
         c.push(Gate::RX, &[0], Parameter::free("beta", 2.0));
         let cone = LightCone::of(&c, &[0, 1]);
-        assert_eq!(cone.circuit.free_parameters(), vec!["beta".to_string(), "gamma".to_string()]);
+        assert_eq!(
+            cone.circuit.free_parameters(),
+            vec!["beta".to_string(), "gamma".to_string()]
+        );
     }
 }

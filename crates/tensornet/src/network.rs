@@ -51,9 +51,10 @@ fn resolved_matrices(circuit: &Circuit) -> Result<Vec<GateMatrix>, TensorNetErro
         .instructions()
         .iter()
         .map(|inst| {
-            inst.matrix(&|_| None).ok_or_else(|| TensorNetError::UnboundParameter {
-                name: inst.parameter.name().unwrap_or("<unknown>").to_string(),
-            })
+            inst.matrix(&|_| None)
+                .ok_or_else(|| TensorNetError::UnboundParameter {
+                    name: inst.parameter.name().unwrap_or("<unknown>").to_string(),
+                })
         })
         .collect()
 }
@@ -96,7 +97,10 @@ impl TensorNetwork {
             tensors.push(ket_zero(idx));
         }
 
-        Ok(TensorNetwork { tensors, num_indices: alloc.next })
+        Ok(TensorNetwork {
+            tensors,
+            num_indices: alloc.next,
+        })
     }
 
     /// Build the closed network for ⟨0…0|U† D U|0…0⟩ where `D` is a product of
@@ -131,8 +135,11 @@ impl TensorNetwork {
         for &(qubit, diag) in observables {
             let idx = current[qubit];
             tensors.push(
-                Tensor::new(vec![idx], vec![Complex64::new(diag[0], 0.0), Complex64::new(diag[1], 0.0)])
-                    .expect("observable tensor is well-formed"),
+                Tensor::new(
+                    vec![idx],
+                    vec![Complex64::new(diag[0], 0.0), Complex64::new(diag[1], 0.0)],
+                )
+                .expect("observable tensor is well-formed"),
             );
         }
 
@@ -151,7 +158,10 @@ impl TensorNetwork {
             tensors.push(ket_zero(idx));
         }
 
-        Ok(TensorNetwork { tensors, num_indices: alloc.next })
+        Ok(TensorNetwork {
+            tensors,
+            num_indices: alloc.next,
+        })
     }
 
     /// Contract the network with the better of the min-degree / min-fill
@@ -211,8 +221,11 @@ impl TensorNetwork {
 
 /// The |0⟩ cap tensor on one index.
 fn ket_zero(index: usize) -> Tensor {
-    Tensor::new(vec![index], vec![Complex64::new(1.0, 0.0), Complex64::new(0.0, 0.0)])
-        .expect("cap tensor is well-formed")
+    Tensor::new(
+        vec![index],
+        vec![Complex64::new(1.0, 0.0), Complex64::new(0.0, 0.0)],
+    )
+    .expect("cap tensor is well-formed")
 }
 
 /// Append the tensors of `circuit` to `tensors`, threading per-qubit index

@@ -120,18 +120,24 @@ impl InteractionGraph {
             }
             order.push(chosen);
         }
-        ContractionOrder { order, width, heuristic }
+        ContractionOrder {
+            order,
+            width,
+            heuristic,
+        }
     }
 
     /// Number of edges that eliminating a vertex with this neighbourhood
     /// would add.
-    fn fill_in(adjacency: &BTreeMap<usize, BTreeSet<usize>>, neighbours: &BTreeSet<usize>) -> usize {
+    fn fill_in(
+        adjacency: &BTreeMap<usize, BTreeSet<usize>>,
+        neighbours: &BTreeSet<usize>,
+    ) -> usize {
         let mut fill = 0;
         let neigh: Vec<usize> = neighbours.iter().copied().collect();
         for (i, &a) in neigh.iter().enumerate() {
             for &b in neigh.iter().skip(i + 1) {
-                let connected =
-                    adjacency.get(&a).map(|s| s.contains(&b)).unwrap_or(false);
+                let connected = adjacency.get(&a).map(|s| s.contains(&b)).unwrap_or(false);
                 if !connected {
                     fill += 1;
                 }
@@ -188,10 +194,13 @@ mod tests {
 
     #[test]
     fn orders_are_permutations_of_indices() {
-        let lists: Vec<Vec<usize>> =
-            vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![5, 0]];
+        let lists: Vec<Vec<usize>> = vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![5, 0]];
         let g = InteractionGraph::from_tensor_indices(lists.iter().map(|v| v.as_slice()));
-        for h in [OrderingHeuristic::MinDegree, OrderingHeuristic::MinFill, OrderingHeuristic::Natural] {
+        for h in [
+            OrderingHeuristic::MinDegree,
+            OrderingHeuristic::MinFill,
+            OrderingHeuristic::Natural,
+        ] {
             let o = g.elimination_order(h);
             let mut sorted = o.order.clone();
             sorted.sort_unstable();

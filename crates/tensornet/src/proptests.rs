@@ -29,8 +29,11 @@ fn arb_circuit(n: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
         move |instrs| {
             let mut c = Circuit::new(n);
             for (g, q0, q1, theta) in instrs {
-                let param =
-                    if g.is_parameterized() { Parameter::bound(theta) } else { Parameter::None };
+                let param = if g.is_parameterized() {
+                    Parameter::bound(theta)
+                } else {
+                    Parameter::None
+                };
                 if g.arity() == 1 {
                     c.push(g, &[q0], param);
                 } else if q0 != q1 {
@@ -83,6 +86,6 @@ proptest! {
     #[test]
     fn z_expectation_is_real_and_bounded(c in arb_circuit(3, 10), q in 0usize..3) {
         let z = TensorNetwork::z_expectation(&c, q).unwrap();
-        prop_assert!(z >= -1.0 - 1e-9 && z <= 1.0 + 1e-9);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&z));
     }
 }

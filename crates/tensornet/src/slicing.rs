@@ -46,11 +46,7 @@ impl SlicingPlan {
 /// Greedily choose indices to slice until the estimated width of the residual
 /// network is at most `target_width` (or `max_sliced` indices have been
 /// sliced).
-pub fn plan_slicing(
-    tensors: &[Tensor],
-    target_width: usize,
-    max_sliced: usize,
-) -> SlicingPlan {
+pub fn plan_slicing(tensors: &[Tensor], target_width: usize, max_sliced: usize) -> SlicingPlan {
     let mut sliced: Vec<usize> = Vec::new();
 
     loop {
@@ -59,7 +55,11 @@ pub fn plan_slicing(
         let remaining: Vec<Vec<usize>> = tensors
             .iter()
             .map(|t| {
-                t.indices().iter().copied().filter(|i| !sliced.contains(i)).collect::<Vec<usize>>()
+                t.indices()
+                    .iter()
+                    .copied()
+                    .filter(|i| !sliced.contains(i))
+                    .collect::<Vec<usize>>()
             })
             .collect();
         let graph = InteractionGraph::from_tensor_indices(remaining.iter().map(|v| v.as_slice()));
@@ -67,7 +67,11 @@ pub fn plan_slicing(
 
         if order.width <= target_width || sliced.len() >= max_sliced || graph.num_indices() == 0 {
             let sliced_width = order.width;
-            return SlicingPlan { sliced_indices: sliced, order, sliced_width };
+            return SlicingPlan {
+                sliced_indices: sliced,
+                order,
+                sliced_width,
+            };
         }
 
         // Slice the index with the largest degree in the current interaction
@@ -78,10 +82,16 @@ pub fn plan_slicing(
                 *degree.entry(i).or_insert(0) += indices.len() - 1;
             }
         }
-        let Some((&best_index, _)) = degree.iter().max_by_key(|(idx, d)| (**d, usize::MAX - **idx))
+        let Some((&best_index, _)) = degree
+            .iter()
+            .max_by_key(|(idx, d)| (**d, usize::MAX - **idx))
         else {
             let sliced_width = order.width;
-            return SlicingPlan { sliced_indices: sliced, order, sliced_width };
+            return SlicingPlan {
+                sliced_indices: sliced,
+                order,
+                sliced_width,
+            };
         };
         sliced.push(best_index);
     }
@@ -98,8 +108,12 @@ fn project_index(tensors: &[Tensor], index: usize, value: u8) -> Vec<Tensor> {
             }
             // Select the hyperplane index = value: enumerate the remaining
             // indices and read the matching entries.
-            let remaining: Vec<usize> =
-                t.indices().iter().copied().filter(|&i| i != index).collect();
+            let remaining: Vec<usize> = t
+                .indices()
+                .iter()
+                .copied()
+                .filter(|&i| i != index)
+                .collect();
             let size = 1usize << remaining.len();
             let mut data = Vec::with_capacity(size);
             for pos in 0..size {
@@ -107,7 +121,10 @@ fn project_index(tensors: &[Tensor], index: usize, value: u8) -> Vec<Tensor> {
                     if idx == index {
                         value
                     } else {
-                        let j = remaining.iter().position(|&r| r == idx).expect("remaining index");
+                        let j = remaining
+                            .iter()
+                            .position(|&r| r == idx)
+                            .expect("remaining index");
                         ((pos >> (remaining.len() - 1 - j)) & 1) as u8
                     }
                 };
@@ -178,7 +195,7 @@ mod tests {
     fn project_index_selects_hyperplane() {
         // T[i, j] with entries t_ij = 2i + j.
         let t = Tensor::new(vec![5, 9], vec![c(0.0), c(1.0), c(2.0), c(3.0)]).unwrap();
-        let fixed0 = project_index(&[t.clone()], 5, 0);
+        let fixed0 = project_index(std::slice::from_ref(&t), 5, 0);
         assert_eq!(fixed0[0].indices(), &[9]);
         assert_eq!(fixed0[0].data(), &[c(0.0), c(1.0)]);
         let fixed1 = project_index(&[t], 5, 1);
@@ -188,7 +205,7 @@ mod tests {
     #[test]
     fn project_leaves_unrelated_tensors_alone() {
         let a = Tensor::new(vec![1], vec![c(1.0), c(2.0)]).unwrap();
-        let projected = project_index(&[a.clone()], 7, 1);
+        let projected = project_index(std::slice::from_ref(&a), 7, 1);
         assert_eq!(projected[0], a);
     }
 
@@ -197,14 +214,21 @@ mod tests {
         // Use a real circuit network: a 4-qubit QAOA-like amplitude.
         let mut circuit = Circuit::new(4);
         circuit.h_layer();
-        circuit.rzz(0, 1, 0.7).rzz(1, 2, 0.9).rzz(2, 3, 0.4).rzz(0, 3, 1.1);
+        circuit
+            .rzz(0, 1, 0.7)
+            .rzz(1, 2, 0.9)
+            .rzz(2, 3, 0.4)
+            .rzz(0, 3, 1.1);
         circuit.rx(0, 0.5).rx(1, 0.5).rx(2, 0.5).rx(3, 0.5);
         let net = TensorNetwork::for_amplitude(&circuit).unwrap();
         let unsliced = net.contract().unwrap();
 
         // Force slicing by setting an artificially small target width.
         let plan = plan_slicing(net.tensors(), 2, 4);
-        assert!(!plan.sliced_indices.is_empty(), "expected at least one sliced index");
+        assert!(
+            !plan.sliced_indices.is_empty(),
+            "expected at least one sliced index"
+        );
         let (sliced_value, _) = contract_sliced(net.tensors(), &plan).unwrap();
         assert!(
             (sliced_value - unsliced).norm() < 1e-10,
@@ -218,8 +242,11 @@ mod tests {
         circuit.h_layer();
         circuit.rzz(0, 1, 0.3).rzz(1, 2, 0.8);
         circuit.ry(0, 0.4).ry(1, 0.2).ry(2, 0.9);
-        let net = TensorNetwork::for_diagonal_expectation(&circuit, &[(0, [1.0, -1.0]), (2, [1.0, -1.0])])
-            .unwrap();
+        let net = TensorNetwork::for_diagonal_expectation(
+            &circuit,
+            &[(0, [1.0, -1.0]), (2, [1.0, -1.0])],
+        )
+        .unwrap();
         let plain = net.contract().unwrap();
         let sliced = net.contract_sliced(2, 6).unwrap();
         assert!((plain - sliced).norm() < 1e-10);
@@ -259,7 +286,12 @@ mod tests {
                 circuit.rzz(u, v, 0.2);
             }
         }
-        circuit.rx(0, 0.3).rx(1, 0.3).rx(2, 0.3).rx(3, 0.3).rx(4, 0.3);
+        circuit
+            .rx(0, 0.3)
+            .rx(1, 0.3)
+            .rx(2, 0.3)
+            .rx(3, 0.3)
+            .rx(4, 0.3);
         let net = TensorNetwork::for_amplitude(&circuit).unwrap();
         let unsliced_width = net.best_order().width;
         let plan = plan_slicing(net.tensors(), unsliced_width.saturating_sub(1).max(1), 3);

@@ -22,7 +22,10 @@ pub struct Tensor {
 impl Tensor {
     /// A scalar tensor (no indices).
     pub fn scalar(value: Complex64) -> Tensor {
-        Tensor { indices: Vec::new(), data: vec![value] }
+        Tensor {
+            indices: Vec::new(),
+            data: vec![value],
+        }
     }
 
     /// Build a tensor from indices and data; `data.len()` must equal
@@ -103,12 +106,22 @@ impl Tensor {
         let self_positions: Vec<usize> = self
             .indices
             .iter()
-            .map(|idx| result_indices.iter().position(|r| r == idx).expect("index present"))
+            .map(|idx| {
+                result_indices
+                    .iter()
+                    .position(|r| r == idx)
+                    .expect("index present")
+            })
             .collect();
         let other_positions: Vec<usize> = other
             .indices
             .iter()
-            .map(|idx| result_indices.iter().position(|r| r == idx).expect("index present"))
+            .map(|idx| {
+                result_indices
+                    .iter()
+                    .position(|r| r == idx)
+                    .expect("index present")
+            })
             .collect();
 
         for (pos, entry) in data.iter_mut().enumerate() {
@@ -126,7 +139,10 @@ impl Tensor {
             }
             *entry = self.data[self_pos] * other.data[other_pos];
         }
-        Tensor { indices: result_indices, data }
+        Tensor {
+            indices: result_indices,
+            data,
+        }
     }
 
     /// Sum the tensor over one of its indices, reducing the rank by one.
@@ -136,8 +152,12 @@ impl Tensor {
             return self.clone();
         };
         let rank = self.indices.len();
-        let new_indices: Vec<usize> =
-            self.indices.iter().copied().filter(|&i| i != index).collect();
+        let new_indices: Vec<usize> = self
+            .indices
+            .iter()
+            .copied()
+            .filter(|&i| i != index)
+            .collect();
         let new_rank = rank - 1;
         let mut data = vec![Complex64::new(0.0, 0.0); 1usize << new_rank];
 
@@ -149,7 +169,10 @@ impl Tensor {
             let new_pos = (high << bit_index) | low;
             data[new_pos] += value;
         }
-        Tensor { indices: new_indices, data }
+        Tensor {
+            indices: new_indices,
+            data,
+        }
     }
 
     /// Sum over every index, producing the scalar total.
@@ -171,7 +194,12 @@ impl Tensor {
 
 impl fmt::Display for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Tensor(rank {}, indices {:?})", self.rank(), self.indices)
+        write!(
+            f,
+            "Tensor(rank {}, indices {:?})",
+            self.rank(),
+            self.indices
+        )
     }
 }
 

@@ -30,17 +30,25 @@ fn main() {
         .max_depth(1)
         .max_gates_per_mixer(2)
         .optimizer_budget(40)
-        .strategy(SearchStrategy::EpsilonGreedy { samples_per_depth: 8, epsilon: 0.4 })
+        .strategy(SearchStrategy::EpsilonGreedy {
+            samples_per_depth: 8,
+            epsilon: 0.4,
+        })
         .seed(11)
         .build();
-    let outcome = SerialSearch::new(config).run(std::slice::from_ref(&graph)).expect("search");
+    let outcome = SerialSearch::new(config)
+        .run(std::slice::from_ref(&graph))
+        .expect("search");
     println!(
         "epsilon-greedy search: best {} with <C> = {:.4}",
         outcome.best.mixer_label, outcome.best.energy
     );
 
     // Option 2: drive the predictor loop manually (Fig. 1's reward loop).
-    let evaluator = Evaluator::new(EvaluatorConfig { budget: 40, ..EvaluatorConfig::default() });
+    let evaluator = Evaluator::new(EvaluatorConfig {
+        budget: 40,
+        ..EvaluatorConfig::default()
+    });
     let builder = QBuilder::new(alphabet);
     let mut predictor = PolicyGradientPredictor::new(builder.alphabet().clone(), 0.3, 13);
 
@@ -48,13 +56,22 @@ fn main() {
     for step in 0..10 {
         let gates = predictor.propose(2);
         let mixer = builder.build_mixer(&gates).expect("mixer");
-        let result = evaluator.evaluate_on_graph(&graph, &mixer, 1).expect("evaluation");
+        let result = evaluator
+            .evaluate_on_graph(&graph, &mixer, 1)
+            .expect("evaluation");
         predictor.feedback(&gates, result.approx_ratio);
-        let better = best.as_ref().map(|(_, e)| result.energy > *e).unwrap_or(true);
+        let better = best
+            .as_ref()
+            .map(|(_, e)| result.energy > *e)
+            .unwrap_or(true);
         if better {
             best = Some((mixer.label(), result.energy));
         }
-        println!("  step {step}: {} -> <C> = {:.4}", mixer.label(), result.energy);
+        println!(
+            "  step {step}: {} -> <C> = {:.4}",
+            mixer.label(),
+            result.energy
+        );
     }
     let (label, energy) = best.expect("at least one candidate");
     println!("policy-gradient loop: best {label} with <C> = {energy:.4}");

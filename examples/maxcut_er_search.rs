@@ -14,7 +14,11 @@ fn main() {
     let dataset = graphs::datasets::erdos_renyi_dataset(4, 10, 2023);
     println!("dataset: {} Erdős–Rényi graphs on 10 nodes", dataset.len());
     for (i, g) in dataset.iter().enumerate() {
-        println!("  graph {i}: {} edges (density {:.2})", g.num_edges(), g.density());
+        println!(
+            "  graph {i}: {} edges (density {:.2})",
+            g.num_edges(),
+            g.density()
+        );
     }
 
     let config = SearchConfig::builder()
@@ -26,23 +30,36 @@ fn main() {
 
     // Serial search (Algorithm 1 as written).
     let serial_start = Instant::now();
-    let serial = SerialSearch::new(config.clone()).run(&dataset).expect("serial search");
+    let serial = SerialSearch::new(config.clone())
+        .run(&dataset)
+        .expect("serial search");
     let serial_elapsed = serial_start.elapsed().as_secs_f64();
 
     // Parallel search (outer level over candidates).
     let parallel_start = Instant::now();
-    let parallel = ParallelSearch::new(config).run(&dataset).expect("parallel search");
+    let parallel = ParallelSearch::new(config)
+        .run(&dataset)
+        .expect("parallel search");
     let parallel_elapsed = parallel_start.elapsed().as_secs_f64();
 
     println!();
-    println!("serial   : best {} with <C> = {:.4} in {:.2}s", serial.best.mixer_label, serial.best.energy, serial_elapsed);
-    println!("parallel : best {} with <C> = {:.4} in {:.2}s", parallel.best.mixer_label, parallel.best.energy, parallel_elapsed);
+    println!(
+        "serial   : best {} with <C> = {:.4} in {:.2}s",
+        serial.best.mixer_label, serial.best.energy, serial_elapsed
+    );
+    println!(
+        "parallel : best {} with <C> = {:.4} in {:.2}s",
+        parallel.best.mixer_label, parallel.best.energy, parallel_elapsed
+    );
     if parallel_elapsed > 0.0 {
         println!("speedup  : {:.2}x", serial_elapsed / parallel_elapsed);
     }
 
     // Both schedulers explore the same space, so the winners agree.
-    assert_eq!(serial.num_candidates_evaluated, parallel.num_candidates_evaluated);
+    assert_eq!(
+        serial.num_candidates_evaluated,
+        parallel.num_candidates_evaluated
+    );
     println!(
         "\nper-depth serial timings (the series Fig. 4 plots): {:?}",
         serial

@@ -25,12 +25,17 @@ fn main() {
         .build();
     println!(
         "search space: {} candidate mixers per depth × {} depths",
-        config.alphabet.all_combinations_up_to(config.max_gates_per_mixer).len(),
+        config
+            .alphabet
+            .all_combinations_up_to(config.max_gates_per_mixer)
+            .len(),
         config.max_depth
     );
 
     // 3. Run the two-level parallel search (outer: candidates, inner: edges).
-    let outcome = ParallelSearch::new(config).run(&[graph]).expect("search run");
+    let outcome = ParallelSearch::new(config)
+        .run(&[graph])
+        .expect("search run");
 
     // 4. Report.
     println!();
@@ -41,6 +46,9 @@ fn main() {
     println!("candidates tried  : {}", outcome.num_candidates_evaluated);
     println!("wall-clock        : {:.2}s", outcome.total_elapsed_seconds);
     for d in &outcome.depth_results {
-        println!("  depth {}: best energy {:.4} in {:.2}s", d.depth, d.best_energy, d.elapsed_seconds);
+        println!(
+            "  depth {}: best energy {:.4} in {:.2}s",
+            d.depth, d.best_energy, d.elapsed_seconds
+        );
     }
 }

@@ -12,26 +12,42 @@ use qarchsearch_suite::qarchsearch::evaluator::{Evaluator, EvaluatorConfig};
 fn main() {
     // The evaluation dataset: random 4-regular graphs on 10 nodes.
     let dataset = graphs::datasets::random_regular_dataset(4, 10, 4, 99);
-    println!("dataset: {} random 4-regular graphs on 10 nodes", dataset.len());
+    println!(
+        "dataset: {} random 4-regular graphs on 10 nodes",
+        dataset.len()
+    );
 
-    let evaluator = Evaluator::new(EvaluatorConfig { budget: 60, ..EvaluatorConfig::default() });
+    let evaluator = Evaluator::new(EvaluatorConfig {
+        budget: 60,
+        ..EvaluatorConfig::default()
+    });
 
     // Fig. 7: candidate mixers at p = 1.
     println!("\napproximation ratios at p = 1 (Fig. 7):");
     for mixer in Mixer::fig7_candidates() {
         let result = evaluator.evaluate(&dataset, &mixer, 1).expect("evaluation");
-        println!("  {:<14} r = {:.4}", mixer.label(), result.mean_approx_ratio);
+        println!(
+            "  {:<14} r = {:.4}",
+            mixer.label(),
+            result.mean_approx_ratio
+        );
     }
 
     // Figs. 8–9: baseline vs searched mixer across depths.
     println!("\nbaseline vs qnas across depths (Figs. 8–9):");
     for p in 1..=3usize {
-        let baseline = evaluator.evaluate(&dataset, &Mixer::baseline(), p).expect("evaluation");
-        let qnas = evaluator.evaluate(&dataset, &Mixer::qnas(), p).expect("evaluation");
+        let baseline = evaluator
+            .evaluate(&dataset, &Mixer::baseline(), p)
+            .expect("evaluation");
+        let qnas = evaluator
+            .evaluate(&dataset, &Mixer::qnas(), p)
+            .expect("evaluation");
         println!(
             "  p = {p}: baseline r = {:.4}   qnas r = {:.4}",
             baseline.mean_approx_ratio, qnas.mean_approx_ratio
         );
     }
-    println!("\n(The paper finds the two comparable on regular graphs, with qnas ahead on ER graphs.)");
+    println!(
+        "\n(The paper finds the two comparable on regular graphs, with qnas ahead on ER graphs.)"
+    );
 }

@@ -76,11 +76,17 @@ fn parse_args(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
 }
 
 fn opt_usize(options: &HashMap<String, String>, key: &str, default: usize) -> usize {
-    options.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    options
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn opt_u64(options: &HashMap<String, String>, key: &str, default: u64) -> u64 {
-    options.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    options
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn build_dataset(options: &HashMap<String, String>) -> Vec<Graph> {
@@ -104,7 +110,10 @@ fn build_alphabet(options: &HashMap<String, String>) -> Result<GateAlphabet, Str
 }
 
 fn build_strategy(options: &HashMap<String, String>) -> Result<SearchStrategy, String> {
-    let spec = options.get("strategy").map(|s| s.as_str()).unwrap_or("exhaustive");
+    let spec = options
+        .get("strategy")
+        .map(|s| s.as_str())
+        .unwrap_or("exhaustive");
     let parse_count = |s: &str| -> Result<usize, String> {
         s.split(':')
             .nth(1)
@@ -113,9 +122,9 @@ fn build_strategy(options: &HashMap<String, String>) -> Result<SearchStrategy, S
     };
     match spec {
         "exhaustive" => Ok(SearchStrategy::Exhaustive),
-        s if s.starts_with("random") => {
-            Ok(SearchStrategy::Random { samples_per_depth: parse_count(s)? })
-        }
+        s if s.starts_with("random") => Ok(SearchStrategy::Random {
+            samples_per_depth: parse_count(s)?,
+        }),
         s if s.starts_with("egreedy") => Ok(SearchStrategy::EpsilonGreedy {
             samples_per_depth: parse_count(s)?,
             epsilon: 0.3,
@@ -133,8 +142,10 @@ fn build_mixer(options: &HashMap<String, String>) -> Result<Mixer, String> {
         "baseline" | "rx" => Ok(Mixer::baseline()),
         "qnas" => Ok(Mixer::qnas()),
         spec => {
-            let gates: Result<Vec<qcircuit::Gate>, String> =
-                spec.split(',').map(|s| s.trim().parse::<qcircuit::Gate>()).collect();
+            let gates: Result<Vec<qcircuit::Gate>, String> = spec
+                .split(',')
+                .map(|s| s.trim().parse::<qcircuit::Gate>())
+                .collect();
             Mixer::new(gates?).map_err(|e| e.to_string())
         }
     }
@@ -164,9 +175,13 @@ fn cmd_search(options: &HashMap<String, String>, flags: &[String]) -> Result<(),
     config.evaluator.restarts = opt_usize(options, "restarts", 1);
 
     let outcome = if threads.is_some() {
-        ParallelSearch::new(config).run(&dataset).map_err(|e| e.to_string())?
+        ParallelSearch::new(config)
+            .run(&dataset)
+            .map_err(|e| e.to_string())?
     } else {
-        SerialSearch::new(config).run(&dataset).map_err(|e| e.to_string())?
+        SerialSearch::new(config)
+            .run(&dataset)
+            .map_err(|e| e.to_string())?
     };
 
     if flags.iter().any(|f| f == "json") {
@@ -200,7 +215,9 @@ fn cmd_evaluate(options: &HashMap<String, String>) -> Result<(), String> {
         restarts: opt_usize(options, "restarts", 1),
         ..EvaluatorConfig::default()
     });
-    let result = evaluator.evaluate(&dataset, &mixer, depth).map_err(|e| e.to_string())?;
+    let result = evaluator
+        .evaluate(&dataset, &mixer, depth)
+        .map_err(|e| e.to_string())?;
     println!("mixer            : {}", result.mixer_label);
     println!("depth p          : {}", result.depth);
     println!("mean energy <C>  : {:.4}", result.mean_energy);
@@ -219,7 +236,10 @@ fn cmd_info(options: &HashMap<String, String>) -> Result<(), String> {
     let alphabet = build_alphabet(options)?;
     let p_max = opt_usize(options, "pmax", 4);
     let k_max = opt_usize(options, "kmax", 4);
-    println!("alphabet          : {alphabet} (|A_R| = {})", alphabet.len());
+    println!(
+        "alphabet          : {alphabet} (|A_R| = {})",
+        alphabet.len()
+    );
     println!("depths searched   : 1..={p_max}");
     println!("gates per mixer   : 1..={k_max}");
     for k in 1..=k_max {

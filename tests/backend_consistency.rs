@@ -16,7 +16,10 @@ fn backends_agree_on_er_dataset() {
         let angles = ([0.35, 0.6], [0.25, 0.15]);
         let e_sv = sv.energy(&ansatz, &angles.0, &angles.1).unwrap();
         let e_tn = tn.energy(&ansatz, &angles.0, &angles.1).unwrap();
-        assert!((e_sv - e_tn).abs() < 1e-8, "graph {i}: sv {e_sv} vs tn {e_tn}");
+        assert!(
+            (e_sv - e_tn).abs() < 1e-8,
+            "graph {i}: sv {e_sv} vs tn {e_tn}"
+        );
     }
 }
 
@@ -63,14 +66,19 @@ fn energies_respect_maxcut_bounds_on_both_backends() {
         for angles in [([0.1, 0.2], [0.3, 0.4]), ([1.0, 0.5], [0.7, 0.9])] {
             let e = eval.energy(&ansatz, &angles.0, &angles.1).unwrap();
             assert!(e >= -1e-9);
-            assert!(e <= exact + 1e-9, "{backend}: energy {e} above optimum {exact}");
+            assert!(
+                e <= exact + 1e-9,
+                "{backend}: energy {e} above optimum {exact}"
+            );
         }
     }
 }
 
 #[test]
 fn statevector_sampling_agrees_with_exact_expectation() {
-    use qarchsearch_suite::statevec::expectation::{maxcut_expectation, maxcut_value_of_basis_state};
+    use qarchsearch_suite::statevec::expectation::{
+        maxcut_expectation, maxcut_value_of_basis_state,
+    };
     use qarchsearch_suite::statevec::sampling::{estimate_expectation_from_counts, sample_counts};
 
     let graph = Graph::cycle(8);
@@ -84,5 +92,8 @@ fn statevector_sampling_agrees_with_exact_expectation() {
     let counts = sample_counts(&state, 50_000, 17);
     let estimate =
         estimate_expectation_from_counts(&counts, &|z| maxcut_value_of_basis_state(&edges, z));
-    assert!((exact - estimate).abs() < 0.1, "exact {exact} vs sampled {estimate}");
+    assert!(
+        (exact - estimate).abs() < 0.1,
+        "exact {exact} vs sampled {estimate}"
+    );
 }

@@ -24,7 +24,9 @@ fn training_graphs() -> Vec<Graph> {
 
 #[test]
 fn serial_search_end_to_end() {
-    let outcome = SerialSearch::new(small_config()).run(&training_graphs()).unwrap();
+    let outcome = SerialSearch::new(small_config())
+        .run(&training_graphs())
+        .unwrap();
     // Space per depth: 3 + 9 = 12 candidates, 2 depths.
     assert_eq!(outcome.num_candidates_evaluated, 24);
     assert_eq!(outcome.depth_results.len(), 2);
@@ -48,7 +50,10 @@ fn parallel_search_matches_serial_winner() {
     cfg.threads = Some(2);
     let parallel = ParallelSearch::new(cfg).run(&graphs).unwrap();
 
-    assert_eq!(serial.num_candidates_evaluated, parallel.num_candidates_evaluated);
+    assert_eq!(
+        serial.num_candidates_evaluated,
+        parallel.num_candidates_evaluated
+    );
     assert_eq!(serial.best.mixer_label, parallel.best.mixer_label);
     assert!((serial.best.energy - parallel.best.energy).abs() < 1e-9);
 }
@@ -57,9 +62,15 @@ fn parallel_search_matches_serial_winner() {
 fn winner_is_a_mixing_circuit() {
     // A purely diagonal mixer cannot beat a mixing one, so the winner must
     // contain at least one non-diagonal gate.
-    let outcome = SerialSearch::new(small_config()).run(&training_graphs()).unwrap();
+    let outcome = SerialSearch::new(small_config())
+        .run(&training_graphs())
+        .unwrap();
     let mixing = outcome.best.gates.iter().any(|g| !g.is_diagonal());
-    assert!(mixing, "winner {:?} contains only diagonal gates", outcome.best.gates);
+    assert!(
+        mixing,
+        "winner {:?} contains only diagonal gates",
+        outcome.best.gates
+    );
 }
 
 #[test]
@@ -77,7 +88,9 @@ fn deeper_search_does_not_lose_energy() {
 #[test]
 fn random_strategy_search_runs_through_facade() {
     let mut cfg = small_config();
-    cfg.strategy = SearchStrategy::Random { samples_per_depth: 5 };
+    cfg.strategy = SearchStrategy::Random {
+        samples_per_depth: 5,
+    };
     let outcome = ParallelSearch::new(cfg).run(&training_graphs()).unwrap();
     assert_eq!(outcome.num_candidates_evaluated, 10);
     assert!(outcome.best.energy > 0.0);
@@ -85,11 +98,16 @@ fn random_strategy_search_runs_through_facade() {
 
 #[test]
 fn search_report_serializes() {
-    let outcome = SerialSearch::new(small_config()).run(&training_graphs()).unwrap();
+    let outcome = SerialSearch::new(small_config())
+        .run(&training_graphs())
+        .unwrap();
     let report = qarchsearch_suite::qarchsearch::report::SearchReport::from(&outcome);
     let json = report.to_json();
     assert!(json.contains("best_mixer"));
     assert!(json.contains("per_depth_seconds"));
     let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
-    assert_eq!(parsed["candidates"], serde_json::json!(outcome.num_candidates_evaluated));
+    assert_eq!(
+        parsed["candidates"],
+        serde_json::json!(outcome.num_candidates_evaluated)
+    );
 }

@@ -54,12 +54,21 @@ fn fig8_qnas_is_competitive_with_baseline_on_er_graphs() {
     let mut baseline_mean = 0.0;
     let mut qnas_mean = 0.0;
     for p in 1..=2usize {
-        baseline_mean += eval.evaluate(&dataset, &Mixer::baseline(), p).unwrap().mean_approx_ratio;
-        qnas_mean += eval.evaluate(&dataset, &Mixer::qnas(), p).unwrap().mean_approx_ratio;
+        baseline_mean += eval
+            .evaluate(&dataset, &Mixer::baseline(), p)
+            .unwrap()
+            .mean_approx_ratio;
+        qnas_mean += eval
+            .evaluate(&dataset, &Mixer::qnas(), p)
+            .unwrap()
+            .mean_approx_ratio;
     }
     baseline_mean /= 2.0;
     qnas_mean /= 2.0;
-    assert!(baseline_mean > 0.6, "baseline ratio {baseline_mean} suspiciously low");
+    assert!(
+        baseline_mean > 0.6,
+        "baseline ratio {baseline_mean} suspiciously low"
+    );
     assert!(qnas_mean > 0.6, "qnas ratio {qnas_mean} suspiciously low");
     assert!(
         (baseline_mean - qnas_mean).abs() < 0.12,
@@ -73,8 +82,14 @@ fn fig9_both_mixers_are_comparable_on_regular_graphs() {
     let dataset = graphs::datasets::random_regular_dataset(3, 8, 4, 71);
     let eval = evaluator();
     for p in 1..=2usize {
-        let baseline = eval.evaluate(&dataset, &Mixer::baseline(), p).unwrap().mean_approx_ratio;
-        let qnas = eval.evaluate(&dataset, &Mixer::qnas(), p).unwrap().mean_approx_ratio;
+        let baseline = eval
+            .evaluate(&dataset, &Mixer::baseline(), p)
+            .unwrap()
+            .mean_approx_ratio;
+        let qnas = eval
+            .evaluate(&dataset, &Mixer::qnas(), p)
+            .unwrap()
+            .mean_approx_ratio;
         assert!(
             (baseline - qnas).abs() < 0.15,
             "p={p}: baseline {baseline} and qnas {qnas} diverge"
@@ -88,8 +103,14 @@ fn deeper_qaoa_improves_the_approximation_ratio() {
     // least do not hurt) the trained approximation ratio.
     let graph = Graph::random_regular(8, 4, 19).unwrap();
     let eval = evaluator();
-    let r1 = eval.evaluate_on_graph(&graph, &Mixer::baseline(), 1).unwrap().approx_ratio;
-    let r2 = eval.evaluate_on_graph(&graph, &Mixer::baseline(), 2).unwrap().approx_ratio;
+    let r1 = eval
+        .evaluate_on_graph(&graph, &Mixer::baseline(), 1)
+        .unwrap()
+        .approx_ratio;
+    let r2 = eval
+        .evaluate_on_graph(&graph, &Mixer::baseline(), 2)
+        .unwrap()
+        .approx_ratio;
     assert!(r2 >= r1 - 0.05, "p=2 ratio {r2} much worse than p=1 {r1}");
 }
 
@@ -109,13 +130,16 @@ fn fig6_winner_emerges_from_a_restricted_search() {
         .build();
     let outcome = SerialSearch::new(config).run(&graphs).unwrap();
     assert!(
-        outcome.best.gates.len() >= 1,
+        !outcome.best.gates.is_empty(),
         "winner should exist, got {:?}",
         outcome.best.gates
     );
     // The winner is at least as good as the plain RX baseline evaluated the
     // same way.
     let eval = evaluator();
-    let baseline = eval.evaluate(&graphs, &Mixer::baseline(), 1).unwrap().mean_energy;
+    let baseline = eval
+        .evaluate(&graphs, &Mixer::baseline(), 1)
+        .unwrap()
+        .mean_energy;
     assert!(outcome.best.energy >= baseline - 0.05);
 }

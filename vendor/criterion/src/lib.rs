@@ -1,0 +1,231 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock harness with criterion's API shape: benchmark
+//! groups, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark runs one warm-up iteration and
+//! then `sample_size` timed iterations (default 10), reporting min / mean /
+//! max per-iteration times to stdout. No statistical analysis, baselines,
+//! or HTML reports — this exists so `cargo bench` compiles and produces
+//! usable numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark: `name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A new id from a function name and a parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its output alive via [`black_box`].
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // One warm-up iteration outside the measurement.
+        black_box(routine());
+        self.timings.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.timings.push(start.elapsed());
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+fn run_one(label: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        timings: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.timings.is_empty() {
+        println!("bench {label:<40} (no iterations recorded)");
+        return;
+    }
+    let total: Duration = bencher.timings.iter().sum();
+    let mean = total / bencher.timings.len() as u32;
+    let min = *bencher.timings.iter().min().unwrap();
+    let max = *bencher.timings.iter().max().unwrap();
+    println!(
+        "bench {label:<40} mean {:>10}   min {:>10}   max {:>10}   ({} samples)",
+        format_duration(mean),
+        format_duration(min),
+        format_duration(max),
+        bencher.timings.len()
+    );
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be ≥ 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), self.sample_size, f);
+        self
+    }
+
+    /// Run a parameterized benchmark in this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (separator line, for parity with criterion).
+    pub fn finish(&self) {
+        println!();
+    }
+}
+
+/// The benchmark context handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Run an ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&id.id, 10, f);
+        self
+    }
+}
+
+/// Define a benchmark group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher {
+            samples: 5,
+            timings: Vec::new(),
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert_eq!(b.timings.len(), 5);
+        // 5 samples + 1 warm-up.
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,427 @@
+//! Vendored stand-in for the `num-complex` crate.
+//!
+//! The container this workspace builds in has no access to crates.io, so the
+//! subset of the `num_complex` API the workspace actually uses is implemented
+//! here: the [`Complex`] number type over `f64` with the usual arithmetic
+//! operators and the handful of methods the simulators call (`norm`,
+//! `norm_sqr`, `conj`, `exp`, `sqrt`, `arg`, `scale`).
+//!
+//! The layout and method semantics match the real crate so that swapping the
+//! genuine dependency back in is a one-line `Cargo.toml` change.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + im·i`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex<T> {
+    /// Real part.
+    pub re: T,
+    /// Imaginary part.
+    pub im: T,
+}
+
+/// `Complex<f64>`, the only instantiation the workspace uses.
+pub type Complex64 = Complex<f64>;
+
+impl Complex<f64> {
+    /// A new complex number from rectangular components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// The imaginary unit `i`.
+    #[inline]
+    pub const fn i() -> Self {
+        Complex { re: 0.0, im: 1.0 }
+    }
+
+    /// Zero.
+    #[inline]
+    pub const fn zero() -> Self {
+        Complex { re: 0.0, im: 0.0 }
+    }
+
+    /// One.
+    #[inline]
+    pub const fn one() -> Self {
+        Complex { re: 1.0, im: 0.0 }
+    }
+
+    /// Complex number from polar form `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// `e^{iθ}` (unit modulus, phase θ).
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Squared modulus `re² + im²`.
+    #[inline]
+    pub fn norm_sqr(&self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|` (uses `hypot` for numerical robustness).
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) of `z`.
+    #[inline]
+    pub fn arg(&self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(&self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(&self) -> Self {
+        let r = self.re.exp();
+        Complex {
+            re: r * self.im.cos(),
+            im: r * self.im.sin(),
+        }
+    }
+
+    /// Principal square root.
+    pub fn sqrt(&self) -> Self {
+        let (r, theta) = (self.norm(), self.arg());
+        Complex::from_polar(r.sqrt(), theta / 2.0)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    #[inline]
+    pub fn inv(&self) -> Self {
+        let d = self.norm_sqr();
+        Complex {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Multiply by a real scalar.
+    #[inline]
+    pub fn scale(&self, t: f64) -> Self {
+        Complex {
+            re: self.re * t,
+            im: self.im * t,
+        }
+    }
+
+    /// Divide by a real scalar.
+    #[inline]
+    pub fn unscale(&self, t: f64) -> Self {
+        Complex {
+            re: self.re / t,
+            im: self.im / t,
+        }
+    }
+
+    /// Integer power by repeated squaring.
+    pub fn powi(&self, mut n: i32) -> Self {
+        if n < 0 {
+            return self.inv().powi(-n);
+        }
+        let mut base = *self;
+        let mut acc = Complex::one();
+        while n > 0 {
+            if n & 1 == 1 {
+                acc *= base;
+            }
+            base = base * base;
+            n >>= 1;
+        }
+        acc
+    }
+
+    /// True when either component is NaN.
+    #[inline]
+    pub fn is_nan(&self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Display for Complex<f64> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Add for Complex<f64> {
+    type Output = Complex<f64>;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl Sub for Complex<f64> {
+    type Output = Complex<f64>;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for Complex<f64> {
+    type Output = Complex<f64>;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Div for Complex<f64> {
+    type Output = Complex<f64>;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w computed as z * w⁻¹
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex<f64> {
+    type Output = Complex<f64>;
+    #[inline]
+    fn neg(self) -> Self {
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl Add<f64> for Complex<f64> {
+    type Output = Complex<f64>;
+    #[inline]
+    fn add(self, rhs: f64) -> Self {
+        Complex {
+            re: self.re + rhs,
+            im: self.im,
+        }
+    }
+}
+
+impl Sub<f64> for Complex<f64> {
+    type Output = Complex<f64>;
+    #[inline]
+    fn sub(self, rhs: f64) -> Self {
+        Complex {
+            re: self.re - rhs,
+            im: self.im,
+        }
+    }
+}
+
+impl Mul<f64> for Complex<f64> {
+    type Output = Complex<f64>;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for Complex<f64> {
+    type Output = Complex<f64>;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        self.unscale(rhs)
+    }
+}
+
+impl Add<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    #[inline]
+    fn add(self, rhs: Complex<f64>) -> Complex<f64> {
+        rhs + self
+    }
+}
+
+impl Sub<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    #[inline]
+    fn sub(self, rhs: Complex<f64>) -> Complex<f64> {
+        Complex {
+            re: self - rhs.re,
+            im: -rhs.im,
+        }
+    }
+}
+
+impl Mul<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    #[inline]
+    fn mul(self, rhs: Complex<f64>) -> Complex<f64> {
+        rhs.scale(self)
+    }
+}
+
+impl Div<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    #[inline]
+    fn div(self, rhs: Complex<f64>) -> Complex<f64> {
+        rhs.inv().scale(self)
+    }
+}
+
+macro_rules! forward_ref_binop {
+    ($($trait:ident :: $method:ident),*) => {$(
+        impl $trait<&Complex<f64>> for &Complex<f64> {
+            type Output = Complex<f64>;
+            #[inline]
+            fn $method(self, rhs: &Complex<f64>) -> Complex<f64> {
+                $trait::$method(*self, *rhs)
+            }
+        }
+        impl $trait<Complex<f64>> for &Complex<f64> {
+            type Output = Complex<f64>;
+            #[inline]
+            fn $method(self, rhs: Complex<f64>) -> Complex<f64> {
+                $trait::$method(*self, rhs)
+            }
+        }
+        impl $trait<&Complex<f64>> for Complex<f64> {
+            type Output = Complex<f64>;
+            #[inline]
+            fn $method(self, rhs: &Complex<f64>) -> Complex<f64> {
+                $trait::$method(self, *rhs)
+            }
+        }
+    )*};
+}
+
+forward_ref_binop!(Add::add, Sub::sub, Mul::mul, Div::div);
+
+impl Neg for &Complex<f64> {
+    type Output = Complex<f64>;
+    #[inline]
+    fn neg(self) -> Complex<f64> {
+        -*self
+    }
+}
+
+impl AddAssign for Complex<f64> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex<f64> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex<f64> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex<f64> {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl MulAssign<f64> for Complex<f64> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = self.scale(rhs);
+    }
+}
+
+impl Sum for Complex<f64> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Complex::zero(), |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Complex<f64>> for Complex<f64> {
+    fn sum<I: Iterator<Item = &'a Complex<f64>>>(iter: I) -> Self {
+        iter.fold(Complex::zero(), |a, b| a + *b)
+    }
+}
+
+impl From<f64> for Complex<f64> {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_matches_hand_results() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        assert_eq!(a + b, Complex64::new(4.0, 1.0));
+        assert_eq!(a * b, Complex64::new(5.0, 5.0));
+        assert!(((a / b) * b - a).norm() < 1e-12);
+        assert_eq!(-a, Complex64::new(-1.0, -2.0));
+        assert_eq!(a.conj(), Complex64::new(1.0, -2.0));
+        assert!((a.norm_sqr() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_of_i_pi_is_minus_one() {
+        let z = Complex64::new(0.0, std::f64::consts::PI).exp();
+        assert!((z - Complex64::new(-1.0, 0.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex64::from_polar(2.0, 0.7);
+        assert!((z.norm() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - 0.7).abs() < 1e-12);
+        assert!((z.sqrt() * z.sqrt() - z).norm() < 1e-12);
+    }
+}

@@ -1,0 +1,403 @@
+//! Vendored stand-in for the `rayon` crate.
+//!
+//! The API subset the workspace uses (`par_iter`, `into_par_iter`,
+//! `par_chunks_mut`, `map`, `filter`, `enumerate`, `for_each`, `collect`,
+//! `sum`, plus [`ThreadPoolBuilder`] / [`ThreadPool::install`]) is
+//! implemented on top of `std::thread::scope`, so the parallelism is real —
+//! work is split into one chunk per worker and executed on OS threads — but
+//! the implementation is eager rather than work-stealing: each adapter
+//! (`map`, `filter`) runs its closure in parallel immediately and
+//! materializes the results.
+//!
+//! Semantics match rayon for the pure closures this workspace passes. The
+//! difference from real rayon (no lazy fusion, no work stealing) costs
+//! intermediate allocations, not correctness.
+//!
+//! Thread-count control: [`ThreadPool::install`] sets a thread-local
+//! override read by every parallel driver called from inside the closure,
+//! which is exactly how the search scheduler uses dedicated pools (the
+//! "number of cores" axis of the paper's Fig. 5).
+
+use std::cell::Cell;
+use std::fmt;
+
+thread_local! {
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads parallel drivers will use.
+pub fn current_num_threads() -> usize {
+    POOL_OVERRIDE.with(|c| c.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Run `f(index, &item)` for every item in parallel, returning results in
+/// input order.
+fn drive_map_ref<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
+    let threads = current_num_threads().clamp(1, items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(ci, chunk)| {
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(ci * chunk_len + i, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon worker panicked"))
+            .collect()
+    })
+}
+
+/// Run `f(item)` for every owned item in parallel, returning results in
+/// input order.
+fn drive_map_owned<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let threads = current_num_threads().clamp(1, items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let f = &f;
+    // Split the Vec into owned chunks, one per worker.
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    while rest.len() > chunk_len {
+        let tail = rest.split_off(chunk_len);
+        chunks.push(rest);
+        rest = tail;
+    }
+    chunks.push(rest);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon worker panicked"))
+            .collect()
+    })
+}
+
+/// An eager "parallel iterator": a materialized sequence whose combinators
+/// execute in parallel.
+pub struct ParSeq<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParSeq<T> {
+    /// Parallel map, preserving order.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParSeq<R> {
+        ParSeq {
+            items: drive_map_owned(self.items, f),
+        }
+    }
+
+    /// Parallel filter (predicate sees `&T`, like rayon's `filter`).
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, pred: F) -> ParSeq<T>
+    where
+        T: Sync,
+    {
+        let keep = drive_map_ref(&self.items, |_, t| pred(t));
+        ParSeq {
+            items: self
+                .items
+                .into_iter()
+                .zip(keep)
+                .filter_map(|(t, k)| k.then_some(t))
+                .collect(),
+        }
+    }
+
+    /// Pair every item with its index.
+    pub fn enumerate(self) -> ParSeq<(usize, T)> {
+        ParSeq {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Parallel for-each.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        drive_map_owned(self.items, f);
+    }
+
+    /// Collect into any `FromIterator` container (`Vec<T>`,
+    /// `Result<Vec<_>, E>`, …). Upstream adapters have already run in
+    /// parallel; this is the ordered reduction.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Reduce with an identity, mirroring rayon's signature.
+    pub fn reduce<ID: Fn() -> T + Sync, OP: Fn(T, T) -> T + Sync>(self, identity: ID, op: OP) -> T {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// `.par_iter()` on slices and `Vec`s: yields `&T` items.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: 'a;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParSeq<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParSeq<&'a T> {
+        ParSeq {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParSeq<&'a T> {
+        ParSeq {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `.into_par_iter()` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// Owned item type.
+    type Item: Send;
+    /// Owning parallel iterator.
+    fn into_par_iter(self) -> ParSeq<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParSeq<T> {
+        ParSeq { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParSeq<usize> {
+        ParSeq {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParSeq<u64> {
+        ParSeq {
+            items: self.collect(),
+        }
+    }
+}
+
+/// `.par_chunks_mut()` on slices: yields disjoint `&mut [T]` chunks.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into mutable chunks of `chunk_size` (last may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParSeq<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParSeq<&mut [T]> {
+        ParSeq {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for Vec<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParSeq<&mut [T]> {
+        ParSeq {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Everything call sites need in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by this
+/// implementation, present for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A handle fixing the worker count for parallel work run via
+/// [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count governing every parallel driver
+    /// invoked (transitively, on this thread) inside it.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let previous = POOL_OVERRIDE.with(|c| c.replace(Some(self.num_threads)));
+        let result = f();
+        POOL_OVERRIDE.with(|c| c.set(previous));
+        result
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Builder for [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder using the global default thread count.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Fix the worker count.
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let default = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let n = self.num_threads.unwrap_or(default);
+        if n == 0 {
+            return Err(ThreadPoolBuildError);
+        }
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_value() {
+        let v: Vec<usize> = (0..100).collect();
+        let ok: Result<Vec<usize>, String> = v.par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<usize>, String> = v
+            .par_iter()
+            .map(|&x| {
+                if x == 50 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn filter_and_sum_agree_with_sequential() {
+        let total: usize = (0..10_000usize)
+            .into_par_iter()
+            .filter(|x| x % 3 == 0)
+            .sum();
+        let expected: usize = (0..10_000).filter(|x| x % 3 == 0).sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn par_chunks_mut_sees_disjoint_chunks() {
+        let mut v = vec![1u64; 64];
+        v.par_chunks_mut(16).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x += i as u64;
+            }
+        });
+        assert_eq!(v[0], 1);
+        assert_eq!(v[63], 4);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn zero_threads_is_a_build_error() {
+        assert!(ThreadPoolBuilder::new().num_threads(0).build().is_err());
+    }
+
+    #[test]
+    fn work_actually_spans_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let v: Vec<usize> = (0..64).collect();
+        v.par_iter()
+            .map(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            })
+            .collect::<Vec<_>>();
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            > 1
+        {
+            assert!(
+                ids.lock().unwrap().len() > 1,
+                "expected work on multiple threads"
+            );
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable offline, so the input item is parsed
+//! directly from the `proc_macro` token stream and the generated impls are
+//! rendered as source strings. Supported item shapes — which cover every
+//! derive in this workspace — are:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialize transparently, wider tuples
+//!   as arrays),
+//! * enums whose variants are unit, newtype, tuple, or struct-like
+//!   (externally tagged, like real serde's default representation).
+//!
+//! Generics are intentionally unsupported; deriving on a generic type is a
+//! compile error naming this limitation.
+
+use proc_macro::TokenStream;
+
+mod parse;
+
+use parse::{Fields, Item, ItemKind};
+
+/// Derive `serde::Serialize` (value-tree flavour; see the vendored `serde`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive `serde::Deserialize` (value-tree flavour; see the vendored
+/// `serde`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse::parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Object(fields)"
+            )
+        }
+        ItemKind::Struct(Fields::Unnamed(arity)) => match arity {
+            1 => "::serde::Serialize::to_value(&self.0)".to_string(),
+            n => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+        },
+        ItemKind::Struct(Fields::Unit) => "::serde::Value::Object(Vec::new())".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::String({vname:?}.to_string()),\n"
+                        ));
+                    }
+                    Fields::Unnamed(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![({vname:?}.to_string(), {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "fields.push(({f:?}.to_string(), ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                             let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Object(fields))])\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(value.get({f:?}).unwrap_or(&::serde::Value::Null)).map_err(|e| ::serde::Error::custom(format!(\"{name}.{f}: {{e}}\")))?,\n"
+                ));
+            }
+            format!(
+                "if value.as_object().is_none() {{\n\
+                 return Err(::serde::Error::custom(format!(\"expected object for {name} but found {{}}\", value.kind())));\n\
+                 }}\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        ItemKind::Struct(Fields::Unnamed(arity)) => match arity {
+            1 => format!("Ok({name}(::serde::Deserialize::from_value(value)?))"),
+            n => {
+                let gets: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "match value {{\n\
+                     ::serde::Value::Array(items) if items.len() == {n} => Ok({name}({gets})),\n\
+                     other => Err(::serde::Error::custom(format!(\"expected {n}-element array for {name} but found {{}}\", other.kind()))),\n\
+                     }}",
+                    gets = gets.join(", ")
+                )
+            }
+        },
+        ItemKind::Struct(Fields::Unit) => format!("Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("{vname:?} => return Ok({name}::{vname}),\n"));
+                        // Also accept {"Variant": null} for symmetry.
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => {{ let _ = payload; Ok({name}::{vname}) }},\n"
+                        ));
+                    }
+                    Fields::Unnamed(arity) => {
+                        if *arity == 1 {
+                            tagged_arms.push_str(&format!(
+                                "{vname:?} => Ok({name}::{vname}(::serde::Deserialize::from_value(payload)?)),\n"
+                            ));
+                        } else {
+                            let gets: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            tagged_arms.push_str(&format!(
+                                "{vname:?} => match payload {{\n\
+                                 ::serde::Value::Array(items) if items.len() == {arity} => Ok({name}::{vname}({gets})),\n\
+                                 other => Err(::serde::Error::custom(format!(\"expected {arity}-element array for {name}::{vname} but found {{}}\", other.kind()))),\n\
+                                 }},\n",
+                                gets = gets.join(", ")
+                            ));
+                        }
+                    }
+                    Fields::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(payload.get({f:?}).unwrap_or(&::serde::Value::Null)).map_err(|e| ::serde::Error::custom(format!(\"{name}::{vname}.{f}: {{e}}\")))?,\n"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => Ok({name}::{vname} {{\n{inits}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::serde::Value::String(tag) = value {{\n\
+                 match tag.as_str() {{\n{unit_arms}\
+                 other => return Err(::serde::Error::custom(format!(\"unknown {name} variant '{{other}}'\"))),\n\
+                 }}\n\
+                 }}\n\
+                 let entries = value.as_object().ok_or_else(|| ::serde::Error::custom(format!(\"expected string or object for {name} but found {{}}\", value.kind())))?;\n\
+                 if entries.len() != 1 {{\n\
+                 return Err(::serde::Error::custom(format!(\"expected single-key object for {name} but found {{}} keys\", entries.len())));\n\
+                 }}\n\
+                 let (tag, payload) = (&entries[0].0, &entries[0].1);\n\
+                 match tag.as_str() {{\n{tagged_arms}\
+                 other => Err(::serde::Error::custom(format!(\"unknown {name} variant '{{other}}'\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}

@@ -1,0 +1,256 @@
+//! A small hand-rolled parser for derive input items.
+//!
+//! Parses exactly the shapes the derives support: non-generic `struct` /
+//! `enum` items. Attributes are recognized structurally (`#` followed by a
+//! bracket group), and the `#[error("...")]` attribute payload is preserved
+//! verbatim for the `thiserror` stand-in, which reuses this module via
+//! source inclusion.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or enum variant.
+pub enum Fields {
+    /// `{ a: T, b: U }` — the field names, in declaration order.
+    Named(Vec<String>),
+    /// `(T, U, …)` — the arity.
+    Unnamed(usize),
+    /// No fields.
+    Unit,
+}
+
+/// One enum variant.
+pub struct Variant {
+    /// Variant name.
+    pub name: String,
+    /// Variant fields.
+    pub fields: Fields,
+    /// The raw contents of a `#[error(...)]` attribute on this variant, if
+    /// any (used by the thiserror stand-in; serde ignores it).
+    #[allow(dead_code)]
+    pub error_attr: Option<String>,
+}
+
+/// Struct vs enum.
+pub enum ItemKind {
+    /// A struct with the given fields (unused when included into
+    /// `thiserror_impl`, which only derives on enums).
+    Struct(#[allow(dead_code)] Fields),
+    /// An enum with the given variants.
+    Enum(Vec<Variant>),
+}
+
+/// A parsed derive input.
+pub struct Item {
+    /// Type name.
+    pub name: String,
+    /// Struct or enum body.
+    pub kind: ItemKind,
+}
+
+/// Parse a derive input stream into an [`Item`].
+pub fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    pos += 1;
+
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    pos += 1;
+
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the vendored serde/thiserror derives do not support generic types (deriving on `{name}`)"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_field_names(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Unnamed(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unsupported struct body: {other:?}")),
+            };
+            Ok(Item {
+                name,
+                kind: ItemKind::Struct(fields),
+            })
+        }
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            Ok(Item {
+                name,
+                kind: ItemKind::Enum(parse_variants(body)?),
+            })
+        }
+        other => Err(format!("expected `struct` or `enum`, found `{other}`")),
+    }
+}
+
+/// Skip attributes at `pos`, returning the raw contents of any
+/// `#[error(...)]` attribute encountered.
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) -> Option<String> {
+    let mut error_attr = None;
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                (inner.first(), inner.get(1))
+            {
+                if id.to_string() == "error" {
+                    error_attr = Some(args.stream().to_string());
+                }
+            }
+            *pos += 2;
+        } else {
+            *pos += 1;
+        }
+    }
+    error_attr
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        // `pub(crate)`, `pub(super)`, …
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+/// Field names of a named-field body `{ a: T, b: U }`.
+fn parse_named_field_names(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut names = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_type(&tokens, &mut pos);
+        names.push(name);
+        // Skip the separating comma, if present.
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    Ok(names)
+}
+
+/// Advance past a type, stopping at a top-level `,` (angle-bracket depth
+/// tracked; bracketed/parenthesized sub-streams arrive as single groups).
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*pos) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *pos += 1;
+    }
+}
+
+/// Arity of a tuple body `(T, U)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut pos);
+        count += 1;
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    count
+}
+
+/// Variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        let error_attr = skip_attributes(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_field_names(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Unnamed(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            pos += 1;
+            while let Some(tok) = tokens.get(pos) {
+                if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                pos += 1;
+            }
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant {
+            name,
+            fields,
+            error_attr,
+        });
+    }
+    Ok(variants)
+}

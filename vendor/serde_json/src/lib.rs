@@ -1,0 +1,438 @@
+//! Vendored stand-in for the `serde_json` crate.
+//!
+//! Provides the functions the workspace calls — [`to_string`],
+//! [`to_string_pretty`], [`from_str`], the [`json!`] macro and the
+//! re-exported [`Value`] type — on top of the value-tree model of the
+//! vendored `serde`. The emitted JSON is standard (RFC 8259): strings are
+//! escaped, objects preserve insertion order, pretty output uses two-space
+//! indentation like real serde_json.
+
+pub use serde::value::{Error, Number, Value};
+
+#[doc(hidden)]
+pub use serde as __serde;
+
+use std::fmt::Write as _;
+
+/// Serialize a value to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize a value to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Rebuild a `T` from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value)
+}
+
+/// Parse JSON text into any deserializable type (including [`Value`]).
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse::parse(text)?;
+    T::from_value(&value)
+}
+
+/// Build a [`Value`] from a JSON-like literal or any serializable
+/// expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($item) ),* ])
+    };
+    ({ $($key:literal : $val:tt),* $(,)? }) => {
+        $crate::Value::Object(vec![ $( ($key.to_string(), $crate::json!($val)) ),* ])
+    };
+    ($other:expr) => { $crate::__serde::Serialize::to_value(&$other) };
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+mod parse {
+    use super::{Error, Number, Value};
+
+    pub fn parse(text: &str) -> Result<Value, Error> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(Error::custom(format!("trailing characters at byte {pos}")));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while let Some(&b) = bytes.get(*pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                *pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), Error> {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected '{}' at byte {pos} but found {:?}",
+                b as char,
+                bytes.get(*pos).map(|&c| c as char),
+                pos = *pos
+            )))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            None => Err(Error::custom("unexpected end of input")),
+            Some(b'n') => keyword(bytes, pos, "null", Value::Null),
+            Some(b't') => keyword(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => keyword(bytes, pos, "false", Value::Bool(false)),
+            Some(b'"') => parse_string(bytes, pos).map(Value::String),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(parse_value(bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "expected ',' or ']' but found {other:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut entries = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let key = parse_string(bytes, pos)?;
+                    expect(bytes, pos, b':')?;
+                    let value = parse_value(bytes, pos)?;
+                    entries.push((key, value));
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Object(entries));
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "expected ',' or '}}' but found {other:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(_) => parse_number(bytes, pos),
+        }
+    }
+
+    fn keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Value) -> Result<Value, Error> {
+        if bytes[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::custom(format!(
+                "invalid literal at byte {pos}",
+                pos = *pos
+            )))
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(Error::custom(format!(
+                "expected string at byte {pos}",
+                pos = *pos
+            )));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err(Error::custom("unterminated string")),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hi = parse_hex4(bytes, pos)?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                if bytes.get(*pos + 1) == Some(&b'\\')
+                                    && bytes.get(*pos + 2) == Some(&b'u')
+                                {
+                                    *pos += 2;
+                                    let lo = parse_hex4(bytes, pos)?;
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(Error::custom("unpaired surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("invalid \\u escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::custom(format!("invalid escape {other:?}")));
+                        }
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so this is
+                    // always valid).
+                    let rest = std::str::from_utf8(&bytes[*pos..])
+                        .map_err(|_| Error::custom("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, Error> {
+        // `*pos` points at the 'u'; the four hex digits follow.
+        let start = *pos + 1;
+        let chunk = bytes
+            .get(start..start + 4)
+            .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+        let text = std::str::from_utf8(chunk).map_err(|_| Error::custom("invalid \\u escape"))?;
+        let code = u32::from_str_radix(text, 16)
+            .map_err(|_| Error::custom(format!("invalid \\u escape '{text}'")))?;
+        *pos += 4;
+        Ok(code)
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        let start = *pos;
+        if bytes.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = bytes.get(*pos) {
+            match b {
+                b'0'..=b'9' => *pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    *pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&bytes[start..*pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(Error::custom(format!("invalid number at byte {start}")));
+        }
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U64(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I64(i)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::F64(f)))
+            .map_err(|_| Error::custom(format!("invalid number '{text}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_containers() {
+        let v = json!({
+            "name": "qas",
+            "count": 3,
+            "ratio": 0.5,
+            "flags": [true, false, null]
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparses() {
+        let v = json!({"a": [1, 2], "b": {"c": "x"}});
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\n  \"a\": ["));
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = Value::String("line\nbreak \"quoted\" back\\slash \u{1F600}".to_string());
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn numbers_keep_integer_identity() {
+        let big = u64::MAX - 1;
+        let text = to_string(&big).unwrap();
+        let back: u64 = from_str(&text).unwrap();
+        assert_eq!(big, back);
+        assert_eq!(json!(5usize), from_str::<Value>("5").unwrap());
+        assert_eq!(
+            from_str::<Value>("5").unwrap(),
+            from_str::<Value>("5.0").unwrap()
+        );
+    }
+
+    #[test]
+    fn float_formatting_keeps_decimal_point() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&0.25f64).unwrap(), "0.25");
+    }
+
+    #[test]
+    fn indexing_missing_keys_yields_null() {
+        let v = json!({"a": 1});
+        assert_eq!(v["a"], json!(1));
+        assert!(v["missing"].is_null());
+        assert!(v["a"]["deeper"].is_null());
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}

@@ -1,0 +1,9 @@
+//! Vendored stand-in for the `thiserror` crate.
+//!
+//! Re-exports the [`Error`] derive implemented in `thiserror_impl`. The
+//! derive supports the subset this workspace uses: enums whose variants
+//! carry a `#[error("…")]` attribute with inline named-field interpolation
+//! (`{field}`) or positional interpolation (`{0}`) for tuple variants. It
+//! generates `std::fmt::Display` and `std::error::Error` impls.
+
+pub use thiserror_impl::Error;

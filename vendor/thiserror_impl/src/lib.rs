@@ -1,0 +1,77 @@
+//! The `Error` derive behind the vendored `thiserror` stand-in.
+//!
+//! Shares the hand-rolled item parser with `serde_derive` (via `#[path]`
+//! inclusion — proc-macro crates cannot export library items). For each
+//! enum variant the `#[error("…")]` attribute payload is re-emitted as the
+//! `write!` format argument; named fields are brought into scope by
+//! destructuring so Rust 2021 inline format captures (`{field}`) resolve,
+//! and tuple fields are passed positionally (`{0}`, `{1}`, …).
+
+use proc_macro::TokenStream;
+
+#[path = "../../serde_derive/src/parse.rs"]
+mod parse;
+
+use parse::{Fields, Item, ItemKind};
+
+/// Derive `Display` + `std::error::Error` from `#[error("…")]` attributes.
+#[proc_macro_derive(Error, attributes(error, source, from))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    match parse::parse_item(input) {
+        Ok(item) => match gen_error(&item) {
+            Ok(code) => code
+                .parse()
+                .expect("thiserror derive generated invalid Rust"),
+            Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+        },
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn gen_error(item: &Item) -> Result<String, String> {
+    let name = &item.name;
+    let variants = match &item.kind {
+        ItemKind::Enum(variants) => variants,
+        ItemKind::Struct(_) => {
+            return Err(format!(
+                "the vendored thiserror derive only supports enums (deriving on `{name}`)"
+            ))
+        }
+    };
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let fmt = v.error_attr.as_ref().ok_or_else(|| {
+            format!("variant `{name}::{vname}` is missing its #[error(\"…\")] attribute")
+        })?;
+        match &v.fields {
+            Fields::Unit => {
+                arms.push_str(&format!("{name}::{vname} => write!(f, {fmt}),\n"));
+            }
+            Fields::Named(fields) => {
+                let binds = fields.join(", ");
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {binds} }} => write!(f, {fmt}),\n"
+                ));
+            }
+            Fields::Unnamed(arity) => {
+                let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                arms.push_str(&format!(
+                    "{name}::{vname}({binds}) => write!(f, {fmt}, {binds}),\n",
+                    binds = binds.join(", ")
+                ));
+            }
+        }
+    }
+    Ok(format!(
+        "#[automatically_derived]\n\
+         impl ::std::fmt::Display for {name} {{\n\
+         #[allow(unused_variables)]\n\
+         fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+         match self {{\n{arms}}}\n\
+         }}\n\
+         }}\n\
+         #[automatically_derived]\n\
+         impl ::std::error::Error for {name} {{}}\n"
+    ))
+}
