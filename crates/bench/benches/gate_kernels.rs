@@ -1,0 +1,87 @@
+//! Microbenchmarks for the state-vector gate kernels and the compiled
+//! simulation pipeline (the hot loop of every candidate evaluation).
+//!
+//! The JSON-emitting counterpart `bench_gate_kernels` (a regular binary)
+//! produces the committed `BENCH_gate_kernels.json` numbers; this Criterion
+//! harness is the interactive/per-commit view of the same kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qaoa::ansatz::QaoaAnsatz;
+use qaoa::energy::EnergyEvaluator;
+use qaoa::mixer::Mixer;
+use qaoa::Backend;
+use qcircuit::{Gate, GateMatrix};
+use statevec::StateVector;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_kernels");
+    group.sample_size(10);
+
+    for n in [12usize, 16] {
+        let plus = StateVector::plus_state(n).unwrap();
+
+        let rx = match GateMatrix::of(Gate::RX, 0.3) {
+            GateMatrix::One(m) => m,
+            _ => unreachable!(),
+        };
+        group.bench_with_input(BenchmarkId::new("single_qubit", n), &n, |b, _| {
+            let mut s = plus.clone();
+            b.iter(|| s.apply_single_qubit(&rx, n / 2));
+        });
+
+        let rxx = match GateMatrix::of(Gate::RXX, 0.7) {
+            GateMatrix::Two(m) => m,
+            _ => unreachable!(),
+        };
+        group.bench_with_input(BenchmarkId::new("two_qubit", n), &n, |b, _| {
+            let mut s = plus.clone();
+            b.iter(|| s.apply_two_qubit(&rxx, n - 1, 0));
+        });
+
+        // A full Max-Cut cost layer: one fused phase pass vs one RZZ kernel
+        // per edge.
+        let graph = graphs::Graph::connected_erdos_renyi(n, 0.5, 7, 50);
+        let edges = Backend::edge_list(&graph);
+        let table = statevec::expectation::maxcut_diagonal(n, &edges);
+        group.bench_with_input(BenchmarkId::new("cost_layer_fused", n), &n, |b, _| {
+            let mut s = plus.clone();
+            b.iter(|| s.apply_phase_table(&table, 0.8).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("cost_layer_per_edge", n), &n, |b, _| {
+            let mut s = plus.clone();
+            b.iter(|| {
+                for &(u, v, w) in &edges {
+                    let m = match GateMatrix::of(Gate::RZZ, 2.0 * w * 0.8) {
+                        GateMatrix::Two(m) => m,
+                        _ => unreachable!(),
+                    };
+                    s.apply_two_qubit(&m, u, v);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_energy_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qaoa_energy_eval");
+    group.sample_size(10);
+
+    let n = 12;
+    let graph = graphs::Graph::connected_erdos_renyi(n, 0.5, 7, 50);
+    let ansatz = QaoaAnsatz::new(&graph, 2, Mixer::qnas());
+    let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+    let params = [0.4, 0.7, 0.3, 0.1];
+
+    group.bench_function(BenchmarkId::new("legacy_bind_per_call", n), |b| {
+        b.iter(|| eval.energy_flat(&ansatz, &params).unwrap());
+    });
+    let compiled = eval.compile(&ansatz).unwrap();
+    group.bench_function(BenchmarkId::new("compiled", n), |b| {
+        b.iter(|| compiled.energy_flat(&params).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_energy_eval);
+criterion_main!(benches);

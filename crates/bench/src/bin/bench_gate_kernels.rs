@@ -1,0 +1,172 @@
+//! JSON-emitting benchmark for the compiled simulation pipeline.
+//!
+//! Times the *legacy* energy-evaluation path (rebind the ansatz, re-derive
+//! every gate matrix, allocate a fresh state vector, recompute the cut value
+//! of every basis state) against the *compiled* fast path
+//! ([`qaoa::energy::CompiledEnergy`]: circuit lowered once, fused cost
+//! layers, cached Max-Cut diagonal, reused scratch buffer), plus the
+//! individual gate kernels. Both paths still exist in the codebase, so one
+//! run produces the before/after pair.
+//!
+//! Prints a single JSON document to stdout — redirect it to refresh the
+//! committed trajectory file:
+//!
+//! ```text
+//! cargo run --release -p qarchsearch_bench --bin bench_gate_kernels > BENCH_gate_kernels.json
+//! ```
+//!
+//! Environment variables: `QAS_BENCH_N` (qubits, default 16),
+//! `QAS_BENCH_DEPTH` (QAOA depth, default 2), `QAS_BENCH_REPS`
+//! (timed repetitions, default 10).
+
+use qaoa::ansatz::QaoaAnsatz;
+use qaoa::energy::EnergyEvaluator;
+use qaoa::mixer::Mixer;
+use qaoa::Backend;
+use qcircuit::{Gate, GateMatrix};
+use serde_json::json;
+use statevec::StateVector;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Mean and best wall time of `reps` runs of `f`, in milliseconds.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> (f64, f64) {
+    // One untimed warm-up run.
+    f();
+    let mut total = 0.0;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        total += elapsed;
+        best = best.min(elapsed);
+    }
+    (total / reps as f64, best)
+}
+
+fn main() {
+    let n = env_usize("QAS_BENCH_N", 16);
+    let depth = env_usize("QAS_BENCH_DEPTH", 2);
+    let reps = env_usize("QAS_BENCH_REPS", 10);
+
+    let graph = graphs::Graph::connected_erdos_renyi(n, 0.5, 7, 50);
+    let edges = Backend::edge_list(&graph);
+    let ansatz = QaoaAnsatz::new(&graph, depth, Mixer::qnas());
+    let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+    let params: Vec<f64> = (0..2 * depth).map(|i| 0.1 + 0.15 * i as f64).collect();
+
+    let mut results = Vec::new();
+
+    // --- end-to-end QAOA energy evaluation: before vs after ---------------
+    let (legacy_mean, legacy_best) = time_ms(reps, || {
+        eval.energy_flat(&ansatz, &params).unwrap();
+    });
+    results.push(json!({
+        "name": "energy_eval_legacy",
+        "description": "bind template + per-instruction simulation + per-state cut recomputation",
+        "mean_ms": legacy_mean,
+        "best_ms": legacy_best,
+    }));
+
+    let compiled = eval.compile(&ansatz).unwrap();
+    let (compiled_mean, compiled_best) = time_ms(reps, || {
+        compiled.energy_flat(&params).unwrap();
+    });
+    results.push(json!({
+        "name": "energy_eval_compiled",
+        "description": "CompiledEnergy fast path (fused cost layers, cached diagonal, scratch reuse)",
+        "mean_ms": compiled_mean,
+        "best_ms": compiled_best,
+    }));
+
+    let legacy_energy = eval.energy_flat(&ansatz, &params).unwrap();
+    let compiled_energy = compiled.energy_flat(&params).unwrap();
+    assert!(
+        (legacy_energy - compiled_energy).abs() < 1e-9,
+        "paths disagree: {legacy_energy} vs {compiled_energy}"
+    );
+
+    // --- individual kernels ----------------------------------------------
+    let plus = StateVector::plus_state(n).unwrap();
+
+    let rx = match GateMatrix::of(Gate::RX, 0.3) {
+        GateMatrix::One(m) => m,
+        _ => unreachable!(),
+    };
+    let mut s = plus.clone();
+    let (mean, best) = time_ms(reps, || s.apply_single_qubit(&rx, n / 2));
+    results.push(json!({
+        "name": "single_qubit_kernel",
+        "description": "stride-free RX pass over 2^n amplitudes",
+        "mean_ms": mean,
+        "best_ms": best,
+    }));
+
+    let rxx = match GateMatrix::of(Gate::RXX, 0.7) {
+        GateMatrix::Two(m) => m,
+        _ => unreachable!(),
+    };
+    let mut s = plus.clone();
+    let (mean, best) = time_ms(reps, || s.apply_two_qubit(&rxx, n - 1, 0));
+    results.push(json!({
+        "name": "two_qubit_kernel",
+        "description": "bit-interleaved RXX pass spanning the full register",
+        "mean_ms": mean,
+        "best_ms": best,
+    }));
+
+    let table = statevec::expectation::maxcut_diagonal(n, &edges);
+    let mut s = plus.clone();
+    let (fused_mean, fused_best) = time_ms(reps, || s.apply_phase_table(&table, 0.8).unwrap());
+    results.push(json!({
+        "name": "cost_layer_fused",
+        "description": "whole Max-Cut cost layer as one phase pass",
+        "mean_ms": fused_mean,
+        "best_ms": fused_best,
+    }));
+
+    let mut s = plus.clone();
+    let (per_edge_mean, per_edge_best) = time_ms(reps, || {
+        for &(u, v, w) in &edges {
+            let m = match GateMatrix::of(Gate::RZZ, 2.0 * w * 0.8) {
+                GateMatrix::Two(m) => m,
+                _ => unreachable!(),
+            };
+            s.apply_two_qubit(&m, u, v);
+        }
+    });
+    results.push(json!({
+        "name": "cost_layer_per_edge",
+        "description": "same cost layer as one RZZ kernel per edge",
+        "mean_ms": per_edge_mean,
+        "best_ms": per_edge_best,
+    }));
+
+    let doc = json!({
+        "benchmark": "gate_kernels",
+        "config": {
+            "num_qubits": n,
+            "depth": depth,
+            "num_edges": (edges.len()),
+            "reps": reps,
+            "threads": (rayon::current_num_threads()),
+            "parallel_threshold_qubits": (statevec::parallel_threshold_qubits()),
+            "mixer": "('rx', 'ry')",
+            "optimizer_note": "single energy evaluation; a training run multiplies the gap by the optimizer budget",
+        },
+        "results": results,
+        "speedup": {
+            "energy_eval_mean": (legacy_mean / compiled_mean),
+            "energy_eval_best": (legacy_best / compiled_best),
+            "cost_layer_mean": (per_edge_mean / fused_mean),
+        },
+    });
+    println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+}

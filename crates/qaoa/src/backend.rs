@@ -36,10 +36,28 @@ impl Backend {
         ]
     }
 
+    /// The `(u, v, w)` edge list the simulator backends consume. Callers
+    /// that evaluate many circuits on one graph should build this once and
+    /// use [`Backend::maxcut_expectation_with_edges`].
+    pub fn edge_list(graph: &Graph) -> Vec<(usize, usize, f64)> {
+        graph.edges().iter().map(|e| (e.u, e.v, e.weight)).collect()
+    }
+
     /// Max-Cut energy ⟨C⟩ of a fully-bound circuit on `graph`.
+    ///
+    /// Convenience wrapper that rebuilds the edge list on every call; hot
+    /// loops should prefer [`Backend::maxcut_expectation_with_edges`] with a
+    /// cached list (as [`crate::energy::EnergyEvaluator`] does).
     pub fn maxcut_expectation(&self, circuit: &Circuit, graph: &Graph) -> Result<f64, QaoaError> {
-        let edges: Vec<(usize, usize, f64)> =
-            graph.edges().iter().map(|e| (e.u, e.v, e.weight)).collect();
+        self.maxcut_expectation_with_edges(circuit, &Self::edge_list(graph))
+    }
+
+    /// Max-Cut energy ⟨C⟩ of a fully-bound circuit for a prebuilt edge list.
+    pub fn maxcut_expectation_with_edges(
+        &self,
+        circuit: &Circuit,
+        edges: &[(usize, usize, f64)],
+    ) -> Result<f64, QaoaError> {
         match self {
             Backend::StateVector => {
                 let state = statevec::StateVector::from_circuit(circuit).map_err(|e| {
@@ -47,14 +65,14 @@ impl Backend {
                         message: e.to_string(),
                     }
                 })?;
-                Ok(statevec::expectation::maxcut_expectation(&state, &edges))
+                Ok(statevec::expectation::maxcut_expectation(&state, edges))
             }
-            Backend::TensorNetwork => tensornet::lightcone::maxcut_expectation(circuit, &edges)
+            Backend::TensorNetwork => tensornet::lightcone::maxcut_expectation(circuit, edges)
                 .map_err(|e| QaoaError::Backend {
                     message: e.to_string(),
                 }),
             Backend::TensorNetworkSequential => {
-                tensornet::lightcone::maxcut_expectation_sequential(circuit, &edges).map_err(|e| {
+                tensornet::lightcone::maxcut_expectation_sequential(circuit, edges).map_err(|e| {
                     QaoaError::Backend {
                         message: e.to_string(),
                     }

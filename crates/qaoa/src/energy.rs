@@ -12,6 +12,8 @@ use crate::error::QaoaError;
 use graphs::{Graph, MaxCut};
 use optim::{OptimizationTrace, Optimizer};
 use serde::{Deserialize, Serialize};
+use statevec::{CompiledProgram, StateVector};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Result of training one ansatz on one graph.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -36,6 +38,12 @@ pub struct EnergyEvaluator {
     graph: Graph,
     backend: Backend,
     classical_optimum: f64,
+    /// The `(u, v, w)` edge list, built once and reused by every expectation
+    /// evaluation (previously rebuilt per optimizer iteration).
+    edges: Vec<(usize, usize, f64)>,
+    /// The full `2^n` Max-Cut diagonal, built lazily on the first compiled
+    /// fast-path use and shared by every candidate ansatz on this graph.
+    maxcut_diag: OnceLock<Arc<Vec<f64>>>,
 }
 
 impl EnergyEvaluator {
@@ -43,11 +51,25 @@ impl EnergyEvaluator {
     /// (exactly for the paper-scale instances).
     pub fn new(graph: &Graph, backend: Backend) -> EnergyEvaluator {
         let classical_optimum = MaxCut::classical_reference(graph);
+        let edges = Backend::edge_list(graph);
         EnergyEvaluator {
             graph: graph.clone(),
             backend,
             classical_optimum,
+            edges,
+            maxcut_diag: OnceLock::new(),
         }
+    }
+
+    /// The cached Max-Cut diagonal `C(z)` for every basis state, built on
+    /// first use (only the compiled state-vector fast path needs it).
+    fn maxcut_diag(&self) -> Arc<Vec<f64>> {
+        Arc::clone(self.maxcut_diag.get_or_init(|| {
+            Arc::new(statevec::expectation::maxcut_diagonal(
+                self.graph.num_nodes(),
+                &self.edges,
+            ))
+        }))
     }
 
     /// The graph this evaluator targets.
@@ -65,6 +87,11 @@ impl EnergyEvaluator {
         self.backend
     }
 
+    /// The cached `(u, v, w)` edge list of the target graph.
+    pub fn edges(&self) -> &[(usize, usize, f64)] {
+        &self.edges
+    }
+
     /// ⟨C⟩ for explicit angles.
     pub fn energy(
         &self,
@@ -73,13 +100,46 @@ impl EnergyEvaluator {
         betas: &[f64],
     ) -> Result<f64, QaoaError> {
         let circuit = ansatz.bind(gammas, betas)?;
-        self.backend.maxcut_expectation(&circuit, &self.graph)
+        self.backend
+            .maxcut_expectation_with_edges(&circuit, &self.edges)
     }
 
     /// ⟨C⟩ for a flat parameter vector `[γ…, β…]`.
     pub fn energy_flat(&self, ansatz: &QaoaAnsatz, params: &[f64]) -> Result<f64, QaoaError> {
         let circuit = ansatz.bind_flat(params)?;
-        self.backend.maxcut_expectation(&circuit, &self.graph)
+        self.backend
+            .maxcut_expectation_with_edges(&circuit, &self.edges)
+    }
+
+    /// Compile `ansatz` into the allocation-free fast path for this
+    /// evaluator's graph (state-vector backend only).
+    ///
+    /// The returned [`CompiledEnergy`] holds the lowered circuit, the cached
+    /// Max-Cut diagonal and a reusable scratch state, so each
+    /// [`CompiledEnergy::energy_flat`] call performs zero heap allocation.
+    /// [`EnergyEvaluator::train`] and its variants build this automatically;
+    /// it is public so benches and external drivers can time the fast path
+    /// directly.
+    pub fn compile(&self, ansatz: &QaoaAnsatz) -> Result<CompiledEnergy, QaoaError> {
+        if self.backend != Backend::StateVector {
+            return Err(QaoaError::Backend {
+                message: format!(
+                    "compiled fast path requires the state-vector backend, got {}",
+                    self.backend
+                ),
+            });
+        }
+        CompiledEnergy::build(self, ansatz)
+    }
+
+    /// The compiled objective when it applies to this backend, `None`
+    /// otherwise (callers then fall back to the bind-per-call path).
+    fn fast_path(&self, ansatz: &QaoaAnsatz) -> Option<CompiledEnergy> {
+        if self.backend == Backend::StateVector {
+            CompiledEnergy::build(self, ansatz).ok()
+        } else {
+            None
+        }
     }
 
     /// Approximation ratio of a given energy (Eq. 3). Zero when the graph has
@@ -125,11 +185,19 @@ impl EnergyEvaluator {
             });
         }
 
+        // Compile the ansatz once: all optimizer iterations then run through
+        // the allocation-free fast path (state-vector backend only; other
+        // backends keep the bind-per-call route).
+        let fast = self.fast_path(ansatz);
         // The optimizer minimizes, so negate the energy. Errors inside the
         // objective cannot propagate through the closure; they are mapped to
         // +inf so the optimizer avoids that region, and re-checked afterwards.
         let objective = |params: &[f64]| -> f64 {
-            match self.energy_flat(ansatz, params) {
+            let energy = match &fast {
+                Some(compiled) => compiled.energy_flat(params),
+                None => self.energy_flat(ansatz, params),
+            };
+            match energy {
                 Ok(e) => -e,
                 Err(_) => f64::INFINITY,
             }
@@ -198,8 +266,13 @@ impl EnergyEvaluator {
         starts.push(vec![0.5; 2 * p]);
         starts.truncate(restarts.max(1));
 
+        let fast = self.fast_path(ansatz);
         let objective = |params: &[f64]| -> f64 {
-            match self.energy_flat(ansatz, params) {
+            let energy = match &fast {
+                Some(compiled) => compiled.energy_flat(params),
+                None => self.energy_flat(ansatz, params),
+            };
+            match energy {
                 Ok(e) => -e,
                 Err(_) => f64::INFINITY,
             }
@@ -250,8 +323,13 @@ impl EnergyEvaluator {
         for b in initial.iter_mut().skip(p) {
             *b = 0.2;
         }
+        let fast = self.fast_path(ansatz);
         let objective = |params: &[f64]| -> f64 {
-            match self.energy_flat(ansatz, params) {
+            let energy = match &fast {
+                Some(compiled) => compiled.energy_flat(params),
+                None => self.energy_flat(ansatz, params),
+            };
+            match energy {
                 Ok(e) => -e,
                 Err(_) => f64::INFINITY,
             }
@@ -268,6 +346,98 @@ impl EnergyEvaluator {
             classical_optimum: self.classical_optimum,
         };
         Ok((trained, result.trace))
+    }
+}
+
+/// The compiled QAOA objective: ansatz lowered once, Max-Cut diagonal cached
+/// per graph, scratch state reused across evaluations.
+///
+/// Build via [`EnergyEvaluator::compile`]. One [`CompiledEnergy::energy_flat`]
+/// call is a full circuit simulation plus diagonal expectation with zero heap
+/// allocation — the entire QAOA training hot loop.
+#[derive(Debug)]
+pub struct CompiledEnergy {
+    program: CompiledProgram,
+    /// Program slot for each flat parameter position (`[γ…, β…]`); `None`
+    /// when the ansatz never uses that angle (e.g. a parameterless mixer).
+    slot_for_flat: Vec<Option<usize>>,
+    /// Max-Cut diagonal `C(z)` for every basis state, shared with (and
+    /// cached by) the graph's [`EnergyEvaluator`].
+    diag: Arc<Vec<f64>>,
+    /// Scratch buffers, reused across calls. The lock is uncontended in
+    /// sequential optimizers and negligible next to the `2^n` kernel work.
+    scratch: Mutex<Scratch>,
+}
+
+#[derive(Debug)]
+struct Scratch {
+    state: StateVector,
+    slots: Vec<f64>,
+}
+
+impl CompiledEnergy {
+    fn build(eval: &EnergyEvaluator, ansatz: &QaoaAnsatz) -> Result<CompiledEnergy, QaoaError> {
+        let map_err = |e: statevec::SimulatorError| QaoaError::Backend {
+            message: e.to_string(),
+        };
+        let program = CompiledProgram::compile(ansatz.template()).map_err(map_err)?;
+        let p = ansatz.depth();
+        let mut slot_for_flat = vec![None; 2 * p];
+        for k in 0..p {
+            slot_for_flat[k] = program.param_index(&format!("gamma_{k}"));
+            slot_for_flat[p + k] = program.param_index(&format!("beta_{k}"));
+        }
+        let covered = slot_for_flat.iter().flatten().count();
+        if covered != program.num_params() {
+            return Err(QaoaError::Backend {
+                message: format!(
+                    "ansatz template has {} parameters but only {covered} match \
+                     the gamma_k/beta_k layout",
+                    program.num_params()
+                ),
+            });
+        }
+        let n = ansatz.num_qubits();
+        // After the compile above succeeded, n is within the dense limit, so
+        // materializing the 2^n diagonal (cached per graph) is safe.
+        let diag = eval.maxcut_diag();
+        let state = StateVector::zero_state(n).map_err(map_err)?;
+        let slots = vec![0.0; program.num_params()];
+        Ok(CompiledEnergy {
+            program,
+            slot_for_flat,
+            diag,
+            scratch: Mutex::new(Scratch { state, slots }),
+        })
+    }
+
+    /// The lowered program (op/table counts are useful for diagnostics).
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// ⟨C⟩ for a flat parameter vector `[γ…, β…]`, allocation-free.
+    pub fn energy_flat(&self, params: &[f64]) -> Result<f64, QaoaError> {
+        if params.len() != self.slot_for_flat.len() {
+            return Err(QaoaError::WrongParameterCount {
+                kind: "flat".to_string(),
+                depth: self.slot_for_flat.len() / 2,
+                expected: self.slot_for_flat.len(),
+                got: params.len(),
+            });
+        }
+        let mut guard = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        let Scratch { state, slots } = &mut *guard;
+        for (value, slot) in params.iter().zip(&self.slot_for_flat) {
+            if let Some(s) = *slot {
+                slots[s] = *value;
+            }
+        }
+        let map_err = |e: statevec::SimulatorError| QaoaError::Backend {
+            message: e.to_string(),
+        };
+        self.program.execute_into(slots, state).map_err(map_err)?;
+        state.expectation_diagonal(&self.diag).map_err(map_err)
     }
 }
 

@@ -77,6 +77,49 @@ proptest! {
     }
 
     #[test]
+    fn compiled_fast_path_matches_bind_path_and_tensornet(
+        seed in 0u64..200,
+        p in 1usize..3,
+        mixer in arb_mixer(),
+        angles in proptest::collection::vec(-1.5f64..1.5, 4),
+    ) {
+        // The compiled objective (fused cost layers, scratch reuse) must be
+        // numerically indistinguishable from binding the template and
+        // simulating instruction by instruction — and from the independent
+        // tensor-network backend.
+        let graph = Graph::connected_erdos_renyi(6, 0.5, seed, 20);
+        prop_assume!(graph.num_edges() > 0);
+        let ansatz = QaoaAnsatz::new(&graph, p, mixer);
+        let sv = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let params = &angles[..2 * p];
+        let compiled = sv.compile(&ansatz).unwrap();
+        let fast = compiled.energy_flat(params).unwrap();
+        let slow = sv.energy_flat(&ansatz, params).unwrap();
+        prop_assert!((fast - slow).abs() < 1e-10, "fast {fast} vs slow {slow}");
+        let tn = EnergyEvaluator::new(&graph, Backend::TensorNetwork);
+        let e_tn = tn.energy_flat(&ansatz, params).unwrap();
+        prop_assert!((fast - e_tn).abs() < 1e-8, "fast {fast} vs tn {e_tn}");
+    }
+
+    #[test]
+    fn compiled_fast_path_is_reusable_across_calls(
+        seed in 0u64..100,
+        angle_sets in proptest::collection::vec((-1.5f64..1.5, -1.5f64..1.5), 1..5),
+    ) {
+        // Scratch-state reuse must not leak state between evaluations.
+        let graph = Graph::connected_erdos_renyi(5, 0.5, seed, 20);
+        prop_assume!(graph.num_edges() > 0);
+        let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::qnas());
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let compiled = eval.compile(&ansatz).unwrap();
+        for &(gamma, beta) in &angle_sets {
+            let fast = compiled.energy_flat(&[gamma, beta]).unwrap();
+            let slow = eval.energy(&ansatz, &[gamma], &[beta]).unwrap();
+            prop_assert!((fast - slow).abs() < 1e-10);
+        }
+    }
+
+    #[test]
     fn approx_ratio_is_in_unit_interval(
         seed in 0u64..200,
         gamma in -1.0f64..1.0,

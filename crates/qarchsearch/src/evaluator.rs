@@ -15,6 +15,9 @@ use qaoa::energy::{EnergyEvaluator, TrainedCircuit};
 use qaoa::mixer::Mixer;
 use qaoa::Backend;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
 
 /// The reward of one candidate mixer on one or more graphs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -73,28 +76,85 @@ impl EvaluatorConfig {
 }
 
 /// Trains candidate mixers on a set of graphs (SIMULATE_QAOA of Algorithm 1).
+///
+/// Per-graph [`EnergyEvaluator`]s (classical reference cut, cached edge
+/// list) are memoized across candidates: a search trains hundreds of mixers
+/// on the same handful of graphs, and the classical Max-Cut reference is far
+/// too expensive to recompute per candidate. The cache is shared between
+/// clones, so the parallel scheduler's workers all reuse one entry per graph.
 #[derive(Debug, Clone)]
 pub struct Evaluator {
     config: EvaluatorConfig,
+    cache: Arc<Mutex<HashMap<u64, Arc<EnergyEvaluator>>>>,
+}
+
+/// Structural fingerprint of a graph (nodes + exact weighted edge list),
+/// used as the evaluator-cache key. Collisions are guarded by a full graph
+/// equality check on lookup.
+fn graph_fingerprint(graph: &Graph) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    graph.num_nodes().hash(&mut h);
+    for e in graph.edges() {
+        e.u.hash(&mut h);
+        e.v.hash(&mut h);
+        e.weight.to_bits().hash(&mut h);
+    }
+    h.finish()
 }
 
 impl Evaluator {
     /// An evaluator with the paper's defaults (tensor network, COBYLA, 200
     /// steps).
     pub fn paper_default() -> Evaluator {
-        Evaluator {
-            config: EvaluatorConfig::default(),
-        }
+        Evaluator::new(EvaluatorConfig::default())
     }
 
     /// An evaluator with an explicit configuration.
     pub fn new(config: EvaluatorConfig) -> Evaluator {
-        Evaluator { config }
+        Evaluator {
+            config,
+            cache: Arc::new(Mutex::new(HashMap::new())),
+        }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &EvaluatorConfig {
         &self.config
+    }
+
+    /// The memoized per-graph energy evaluator.
+    fn energy_evaluator_for(&self, graph: &Graph) -> Arc<EnergyEvaluator> {
+        let key = graph_fingerprint(graph);
+        {
+            let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(hit) = cache.get(&key) {
+                if hit.graph() == graph {
+                    return Arc::clone(hit);
+                }
+            }
+        }
+        // Built outside the lock: the classical reference is expensive and
+        // must not serialize the parallel scheduler's workers. Two workers
+        // may race to build the same entry; the loser's work is discarded.
+        let built = Arc::new(EnergyEvaluator::new(graph, self.config.backend));
+        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        match cache.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                if slot.get().graph() == graph {
+                    // Another worker built the same entry first — reuse it.
+                    Arc::clone(slot.get())
+                } else {
+                    // Fingerprint collision: evict the other graph's entry so
+                    // this graph never trains against the wrong edge list.
+                    slot.insert(Arc::clone(&built));
+                    built
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Arc::clone(&built));
+                built
+            }
+        }
     }
 
     /// Train `mixer` at `depth` on a single graph.
@@ -105,7 +165,7 @@ impl Evaluator {
         depth: usize,
     ) -> Result<TrainedCircuit, SearchError> {
         let ansatz = QaoaAnsatz::new(graph, depth, mixer.clone());
-        let energy_eval = EnergyEvaluator::new(graph, self.config.backend);
+        let energy_eval = self.energy_evaluator_for(graph);
         let optimizer = self.config.build_optimizer();
         if self.config.restarts > 1 {
             energy_eval
@@ -221,6 +281,23 @@ mod tests {
         let manual_mean = result.per_graph.iter().map(|t| t.energy).sum::<f64>() / 2.0;
         assert!((result.mean_energy - manual_mean).abs() < 1e-12);
         assert!(result.total_evaluations > 0);
+    }
+
+    #[test]
+    fn energy_evaluators_are_memoized_per_graph() {
+        let evaluator = Evaluator::new(small_config());
+        let g1 = Graph::cycle(5);
+        let g1_again = Graph::cycle(5);
+        let g2 = Graph::cycle(6);
+        let a = evaluator.energy_evaluator_for(&g1);
+        let b = evaluator.energy_evaluator_for(&g1_again);
+        let c = evaluator.energy_evaluator_for(&g2);
+        assert!(Arc::ptr_eq(&a, &b), "equal graphs must share one entry");
+        assert!(!Arc::ptr_eq(&a, &c), "different graphs must not collide");
+        // Clones share the cache.
+        let clone = evaluator.clone();
+        let d = clone.energy_evaluator_for(&g1);
+        assert!(Arc::ptr_eq(&a, &d));
     }
 
     #[test]

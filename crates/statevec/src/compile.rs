@@ -1,0 +1,813 @@
+//! One-time lowering of a [`Circuit`] into a flat, allocation-free op list.
+//!
+//! Rebinding an ansatz template and re-deriving every gate matrix on every
+//! optimizer iteration dominates QAOA training time. [`CompiledProgram`]
+//! does that work once:
+//!
+//! * free parameters become **slots** — executing the program takes a flat
+//!   `&[f64]` of slot values, no `Circuit` clone, no string lookups;
+//! * gates with fixed angles are lowered to their concrete matrices at
+//!   compile time;
+//! * maximal runs of *diagonal* gates (the entire QAOA cost layer: one
+//!   `RZZ` per edge, plus any diagonal mixer gates) are fused into
+//!   precomputed per-basis-state **angle tables**, applied as a single
+//!   multiply pass over the amplitudes regardless of how many gates the run
+//!   contained. Tables are deduplicated, so the `p` cost layers of a QAOA
+//!   circuit share one table and only differ in the `γ_k` scale.
+//!
+//! ```
+//! use qcircuit::{Circuit, Gate, Parameter};
+//! use statevec::{CompiledProgram, StateVector};
+//!
+//! let mut c = Circuit::new(2);
+//! c.h(0).h(1);
+//! c.push(Gate::RZZ, &[0, 1], Parameter::free("gamma", 2.0));
+//! c.push(Gate::RX, &[0], Parameter::free("beta", 2.0));
+//! c.push(Gate::RX, &[1], Parameter::free("beta", 2.0));
+//! let program = CompiledProgram::compile(&c).unwrap();
+//! assert_eq!(program.param_names(), ["gamma", "beta"]);
+//!
+//! // Reuse one scratch state across evaluations — no allocation per run.
+//! let mut scratch = StateVector::zero_state(2).unwrap();
+//! program.execute_into(&[0.4, 0.3], &mut scratch).unwrap();
+//! assert!((scratch.norm_squared() - 1.0).abs() < 1e-12);
+//! ```
+
+use crate::error::SimulatorError;
+use crate::state::StateVector;
+use num_complex::Complex64;
+use qcircuit::{Circuit, Gate, GateMatrix, Parameter};
+use std::collections::HashMap;
+
+/// One factor of a fused per-qubit single-qubit chain.
+#[derive(Debug, Clone)]
+enum OneQFactor {
+    /// A fixed 2×2 matrix.
+    Fixed([Complex64; 4]),
+    /// A rotation whose matrix is `gate` at angle `multiplier · params[slot]`.
+    Rot {
+        gate: Gate,
+        slot: usize,
+        multiplier: f64,
+    },
+}
+
+/// `a · b` for row-major 2×2 complex matrices.
+fn mul2(a: &[Complex64; 4], b: &[Complex64; 4]) -> [Complex64; 4] {
+    [
+        a[0] * b[0] + a[1] * b[2],
+        a[0] * b[1] + a[1] * b[3],
+        a[2] * b[0] + a[3] * b[2],
+        a[2] * b[1] + a[3] * b[3],
+    ]
+}
+
+/// One lowered operation of a compiled program.
+#[derive(Debug, Clone)]
+enum CompiledOp {
+    /// Initialize the uniform superposition directly (recognized leading
+    /// `H`-on-every-qubit layer — the QAOA `|s⟩ = |+⟩^{⊗n}` preparation).
+    InitPlus,
+    /// Fixed 2×2 matrix on `target`.
+    OneQ { target: usize, m: [Complex64; 4] },
+    /// A fused chain of single-qubit gates on one qubit: the 2×2 factors are
+    /// multiplied at execution (a handful of flops) and applied as a single
+    /// pass over the amplitudes. Single-qubit gates on *different* qubits
+    /// commute, so a whole mixer layer collapses to one pass per qubit
+    /// regardless of how many gates the mixer applies.
+    OneQChain {
+        target: usize,
+        factors: Vec<OneQFactor>,
+    },
+    /// Parameterized non-diagonal single-qubit rotation: the matrix is
+    /// rebuilt from `gate` with angle `multiplier · params[slot]` at
+    /// execution (one sincos per gate per run).
+    OneQRot {
+        gate: Gate,
+        target: usize,
+        slot: usize,
+        multiplier: f64,
+    },
+    /// Fixed 4×4 matrix on `(q1, q0)`.
+    TwoQ {
+        q1: usize,
+        q0: usize,
+        m: [Complex64; 16],
+    },
+    /// Parameterized non-diagonal two-qubit rotation (`RXX` / `RYY`).
+    TwoQRot {
+        gate: Gate,
+        q1: usize,
+        q0: usize,
+        slot: usize,
+        multiplier: f64,
+    },
+    /// Fixed diagonal phase pass: `amp[z] *= e^{i·tables[table][z]}`.
+    Phase { table: usize },
+    /// Parameter-scaled diagonal phase pass:
+    /// `amp[z] *= e^{i·params[slot]·tables[table][z]}` — the fused cost
+    /// layer, one pass per layer independent of the edge count.
+    PhaseScaled { table: usize, slot: usize },
+}
+
+/// The per-basis-state phase contribution of one diagonal gate, with angles
+/// expressed *per unit of the driving value* (the slot value for free
+/// parameters, 1.0 for fixed gates).
+#[derive(Debug, Clone)]
+enum DiagTerm {
+    /// Single-qubit diagonal: angle `a0` when the bit is clear, `a1` set.
+    One { q: usize, a0: f64, a1: f64 },
+    /// Two-qubit diagonal: angles indexed by `(bit_{q1} << 1) | bit_{q0}`.
+    Two { q1: usize, q0: usize, a: [f64; 4] },
+}
+
+impl DiagTerm {
+    /// Stable hash key (exact bit patterns; compile-time only).
+    fn key(&self, out: &mut Vec<u64>) {
+        match self {
+            DiagTerm::One { q, a0, a1 } => {
+                out.push(1);
+                out.push(*q as u64);
+                out.push(a0.to_bits());
+                out.push(a1.to_bits());
+            }
+            DiagTerm::Two { q1, q0, a } => {
+                out.push(2);
+                out.push(*q1 as u64);
+                out.push(*q0 as u64);
+                out.extend(a.iter().map(|x| x.to_bits()));
+            }
+        }
+    }
+}
+
+/// A circuit lowered once into specialized kernels with parameter slots.
+///
+/// Compile with [`CompiledProgram::compile`], then run many times with
+/// different parameter values via [`CompiledProgram::execute_into`] (scratch
+/// reuse) or [`CompiledProgram::run`] (fresh allocation).
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    num_qubits: usize,
+    param_names: Vec<String>,
+    ops: Vec<CompiledOp>,
+    tables: Vec<Vec<f64>>,
+    source_instructions: usize,
+}
+
+/// Compile-time accumulator for a run of consecutive diagonal gates.
+#[derive(Default)]
+struct PendingDiag {
+    /// Terms with fixed angles (bound or parameterless diagonal gates).
+    fixed: Vec<DiagTerm>,
+    /// Terms linear in one parameter slot, keyed by slot (insertion order).
+    scaled: Vec<(usize, Vec<DiagTerm>)>,
+}
+
+impl PendingDiag {
+    fn is_empty(&self) -> bool {
+        self.fixed.is_empty() && self.scaled.is_empty()
+    }
+
+    fn scaled_terms_mut(&mut self, slot: usize) -> &mut Vec<DiagTerm> {
+        if let Some(pos) = self.scaled.iter().position(|(s, _)| *s == slot) {
+            return &mut self.scaled[pos].1;
+        }
+        self.scaled.push((slot, Vec::new()));
+        &mut self.scaled.last_mut().expect("just pushed").1
+    }
+}
+
+impl CompiledProgram {
+    /// Lower `circuit` into a compiled program. Free parameters are assigned
+    /// slots in order of first appearance (see
+    /// [`CompiledProgram::param_names`]).
+    pub fn compile(circuit: &Circuit) -> Result<CompiledProgram, SimulatorError> {
+        let num_qubits = circuit.num_qubits();
+        if num_qubits > crate::state::MAX_DENSE_QUBITS {
+            return Err(SimulatorError::TooManyQubits {
+                num_qubits,
+                max: crate::state::MAX_DENSE_QUBITS,
+            });
+        }
+        let mut builder = ProgramBuilder {
+            num_qubits,
+            param_names: Vec::new(),
+            ops: Vec::new(),
+            tables: Vec::new(),
+            table_index: HashMap::new(),
+            pending: PendingDiag::default(),
+            pending_chains: Vec::new(),
+        };
+
+        for inst in circuit.instructions() {
+            builder.lower(inst)?;
+        }
+        builder.flush_chains();
+        builder.flush_pending();
+        let mut ops = builder.ops;
+        Self::recognize_plus_prefix(&mut ops, num_qubits);
+
+        Ok(CompiledProgram {
+            num_qubits: builder.num_qubits,
+            param_names: builder.param_names,
+            ops,
+            tables: builder.tables,
+            source_instructions: circuit.len(),
+        })
+    }
+
+    /// Replace a leading `H`-on-every-qubit layer with a direct `|+⟩^{⊗n}`
+    /// initialization (one fill instead of `n` kernel passes) — the standard
+    /// opening of every QAOA circuit.
+    fn recognize_plus_prefix(ops: &mut Vec<CompiledOp>, num_qubits: usize) {
+        if num_qubits == 0 || ops.len() < num_qubits {
+            return;
+        }
+        let h = match GateMatrix::of(Gate::H, 0.0) {
+            GateMatrix::One(m) => m,
+            GateMatrix::Two(_) => unreachable!("H is single-qubit"),
+        };
+        let mut seen = vec![false; num_qubits];
+        for op in ops.iter().take(num_qubits) {
+            match op {
+                CompiledOp::OneQ { target, m } if *m == h && !seen[*target] => {
+                    seen[*target] = true;
+                }
+                _ => return,
+            }
+        }
+        ops.splice(0..num_qubits, [CompiledOp::InitPlus]);
+    }
+
+    /// Register width.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Parameter names in slot order.
+    pub fn param_names(&self) -> &[String] {
+        &self.param_names
+    }
+
+    /// Number of parameter slots.
+    pub fn num_params(&self) -> usize {
+        self.param_names.len()
+    }
+
+    /// Slot index of a named parameter, if present.
+    pub fn param_index(&self, name: &str) -> Option<usize> {
+        self.param_names.iter().position(|n| n == name)
+    }
+
+    /// Number of lowered operations (after diagonal fusion).
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of instructions in the source circuit.
+    pub fn source_instructions(&self) -> usize {
+        self.source_instructions
+    }
+
+    /// Number of distinct fused angle tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Execute the program from `|0...0⟩` into a caller-provided scratch
+    /// state (reset in place — no allocation). `params` supplies one value
+    /// per slot, in [`CompiledProgram::param_names`] order.
+    pub fn execute_into(
+        &self,
+        params: &[f64],
+        state: &mut StateVector,
+    ) -> Result<(), SimulatorError> {
+        if params.len() != self.param_names.len() {
+            return Err(SimulatorError::WrongParameterCount {
+                expected: self.param_names.len(),
+                got: params.len(),
+            });
+        }
+        if state.num_qubits() != self.num_qubits {
+            return Err(SimulatorError::WidthMismatch {
+                program: self.num_qubits,
+                state: state.num_qubits(),
+            });
+        }
+        let mut ops = self.ops.as_slice();
+        if matches!(ops.first(), Some(CompiledOp::InitPlus)) {
+            state.reset_plus();
+            ops = &ops[1..];
+        } else {
+            state.reset_zero();
+        }
+        for op in ops {
+            match op {
+                // Only ever spliced in at index 0, which the prologue above
+                // consumed; a mid-program occurrence would be a compiler bug
+                // (reset_plus here would discard all prior gates).
+                CompiledOp::InitPlus => unreachable!("InitPlus past the program start"),
+                CompiledOp::OneQ { target, m } => state.apply_single_qubit(m, *target),
+                CompiledOp::OneQChain { target, factors } => {
+                    let one = Complex64::new(1.0, 0.0);
+                    let zero = Complex64::new(0.0, 0.0);
+                    let mut m = [one, zero, zero, one];
+                    for f in factors {
+                        let fm = match f {
+                            OneQFactor::Fixed(fm) => *fm,
+                            OneQFactor::Rot {
+                                gate,
+                                slot,
+                                multiplier,
+                            } => match GateMatrix::of(*gate, multiplier * params[*slot]) {
+                                GateMatrix::One(fm) => fm,
+                                GateMatrix::Two(_) => unreachable!("single-qubit rotation"),
+                            },
+                        };
+                        // Applying f after the accumulated chain means
+                        // left-multiplying its matrix.
+                        m = mul2(&fm, &m);
+                    }
+                    state.apply_single_qubit(&m, *target);
+                }
+                CompiledOp::OneQRot {
+                    gate,
+                    target,
+                    slot,
+                    multiplier,
+                } => {
+                    let theta = multiplier * params[*slot];
+                    match GateMatrix::of(*gate, theta) {
+                        GateMatrix::One(m) => state.apply_single_qubit(&m, *target),
+                        GateMatrix::Two(_) => unreachable!("single-qubit rotation"),
+                    }
+                }
+                CompiledOp::TwoQ { q1, q0, m } => state.apply_two_qubit(m, *q1, *q0),
+                CompiledOp::TwoQRot {
+                    gate,
+                    q1,
+                    q0,
+                    slot,
+                    multiplier,
+                } => {
+                    let theta = multiplier * params[*slot];
+                    match GateMatrix::of(*gate, theta) {
+                        GateMatrix::Two(m) => state.apply_two_qubit(&m, *q1, *q0),
+                        GateMatrix::One(_) => unreachable!("two-qubit rotation"),
+                    }
+                }
+                CompiledOp::Phase { table } => {
+                    state.apply_phase_table(&self.tables[*table], 1.0)?;
+                }
+                CompiledOp::PhaseScaled { table, slot } => {
+                    state.apply_phase_table(&self.tables[*table], params[*slot])?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute into a freshly allocated state (convenience wrapper around
+    /// [`CompiledProgram::execute_into`]).
+    pub fn run(&self, params: &[f64]) -> Result<StateVector, SimulatorError> {
+        let mut state = StateVector::zero_state(self.num_qubits)?;
+        self.execute_into(params, &mut state)?;
+        Ok(state)
+    }
+}
+
+struct ProgramBuilder {
+    num_qubits: usize,
+    param_names: Vec<String>,
+    ops: Vec<CompiledOp>,
+    tables: Vec<Vec<f64>>,
+    table_index: HashMap<Vec<u64>, usize>,
+    pending: PendingDiag,
+    /// Per-qubit chains of consecutive single-qubit gates (first-touch
+    /// order). At most one of `pending` / `pending_chains` is non-empty:
+    /// accumulating into one flushes the other, which preserves gate order
+    /// on every qubit.
+    pending_chains: Vec<(usize, Vec<OneQFactor>)>,
+}
+
+impl ProgramBuilder {
+    fn slot_of(&mut self, name: &str) -> usize {
+        if let Some(i) = self.param_names.iter().position(|n| n == name) {
+            return i;
+        }
+        self.param_names.push(name.to_string());
+        self.param_names.len() - 1
+    }
+
+    fn lower(&mut self, inst: &qcircuit::Instruction) -> Result<(), SimulatorError> {
+        let gate = inst.gate;
+        if gate.is_diagonal() {
+            // Diagonal gates do not commute with pending chains on their
+            // operands, so close the chains before accumulating.
+            self.flush_chains();
+            return self.lower_diagonal(inst);
+        }
+        // Non-diagonal gate: close the current diagonal run first.
+        self.flush_pending();
+        if gate.arity() == 1 {
+            let factor = match &inst.parameter {
+                Parameter::Free { name, multiplier } => {
+                    let slot = self.slot_of(name);
+                    OneQFactor::Rot {
+                        gate,
+                        slot,
+                        multiplier: *multiplier,
+                    }
+                }
+                _ => {
+                    let matrix = inst
+                        .matrix(&|_| None)
+                        .expect("bound/parameterless instruction has a matrix");
+                    match matrix {
+                        GateMatrix::One(m) => OneQFactor::Fixed(m),
+                        GateMatrix::Two(_) => unreachable!("single-qubit gate"),
+                    }
+                }
+            };
+            self.push_chain_factor(inst.qubits[0], factor);
+            return Ok(());
+        }
+        // Two-qubit non-diagonal gate: a hard barrier for chains too.
+        self.flush_chains();
+        match &inst.parameter {
+            Parameter::Free { name, multiplier } => {
+                let slot = self.slot_of(name);
+                self.ops.push(CompiledOp::TwoQRot {
+                    gate,
+                    q1: inst.qubits[0],
+                    q0: inst.qubits[1],
+                    slot,
+                    multiplier: *multiplier,
+                });
+            }
+            _ => {
+                let matrix = inst
+                    .matrix(&|_| None)
+                    .expect("bound/parameterless instruction has a matrix");
+                match matrix {
+                    GateMatrix::Two(m) => self.ops.push(CompiledOp::TwoQ {
+                        q1: inst.qubits[0],
+                        q0: inst.qubits[1],
+                        m,
+                    }),
+                    GateMatrix::One(_) => unreachable!("two-qubit gate"),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn push_chain_factor(&mut self, target: usize, factor: OneQFactor) {
+        if let Some((_, factors)) = self.pending_chains.iter_mut().find(|(q, _)| *q == target) {
+            factors.push(factor);
+        } else {
+            self.pending_chains.push((target, vec![factor]));
+        }
+    }
+
+    /// Emit the accumulated per-qubit chains: a single-factor chain becomes
+    /// a plain op, an all-fixed chain is premultiplied at compile time, and
+    /// anything else becomes a [`CompiledOp::OneQChain`] whose 2×2 product
+    /// is formed at execution.
+    fn flush_chains(&mut self) {
+        let chains = std::mem::take(&mut self.pending_chains);
+        for (target, mut factors) in chains {
+            if factors.len() == 1 {
+                match factors.pop().expect("one factor") {
+                    OneQFactor::Fixed(m) => self.ops.push(CompiledOp::OneQ { target, m }),
+                    OneQFactor::Rot {
+                        gate,
+                        slot,
+                        multiplier,
+                    } => self.ops.push(CompiledOp::OneQRot {
+                        gate,
+                        target,
+                        slot,
+                        multiplier,
+                    }),
+                }
+                continue;
+            }
+            if factors.iter().all(|f| matches!(f, OneQFactor::Fixed(_))) {
+                let one = Complex64::new(1.0, 0.0);
+                let zero = Complex64::new(0.0, 0.0);
+                let mut m = [one, zero, zero, one];
+                for f in &factors {
+                    if let OneQFactor::Fixed(fm) = f {
+                        m = mul2(fm, &m);
+                    }
+                }
+                self.ops.push(CompiledOp::OneQ { target, m });
+                continue;
+            }
+            self.ops.push(CompiledOp::OneQChain { target, factors });
+        }
+    }
+
+    fn lower_diagonal(&mut self, inst: &qcircuit::Instruction) -> Result<(), SimulatorError> {
+        let gate = inst.gate;
+        if gate == Gate::I {
+            return Ok(());
+        }
+        match &inst.parameter {
+            Parameter::Free { name, multiplier } => {
+                // The parameterized diagonal gates all have phases linear in
+                // the angle θ = multiplier · value, so the per-unit-value
+                // angles are the θ-coefficients times the multiplier.
+                let m = *multiplier;
+                let term = match gate {
+                    Gate::RZ => DiagTerm::One {
+                        q: inst.qubits[0],
+                        a0: -m / 2.0,
+                        a1: m / 2.0,
+                    },
+                    Gate::P => DiagTerm::One {
+                        q: inst.qubits[0],
+                        a0: 0.0,
+                        a1: m,
+                    },
+                    Gate::RZZ => DiagTerm::Two {
+                        q1: inst.qubits[0],
+                        q0: inst.qubits[1],
+                        a: [-m / 2.0, m / 2.0, m / 2.0, -m / 2.0],
+                    },
+                    Gate::CP => DiagTerm::Two {
+                        q1: inst.qubits[0],
+                        q0: inst.qubits[1],
+                        a: [0.0, 0.0, 0.0, m],
+                    },
+                    other => {
+                        // `Instruction::new` rejects free parameters on
+                        // non-parameterized gates, so this cannot happen.
+                        unreachable!("free parameter on non-parameterized diagonal gate {other}")
+                    }
+                };
+                let name = name.clone();
+                let slot = self.slot_of(&name);
+                self.pending.scaled_terms_mut(slot).push(term);
+            }
+            _ => {
+                let matrix = inst
+                    .matrix(&|_| None)
+                    .expect("bound/parameterless instruction has a matrix");
+                let diag = matrix
+                    .diagonal()
+                    .expect("diagonal gate has a diagonal matrix");
+                let term = match diag.len() {
+                    2 => DiagTerm::One {
+                        q: inst.qubits[0],
+                        a0: diag[0].arg(),
+                        a1: diag[1].arg(),
+                    },
+                    _ => DiagTerm::Two {
+                        q1: inst.qubits[0],
+                        q0: inst.qubits[1],
+                        a: [diag[0].arg(), diag[1].arg(), diag[2].arg(), diag[3].arg()],
+                    },
+                };
+                self.pending.fixed.push(term);
+            }
+        }
+        Ok(())
+    }
+
+    /// Emit the accumulated diagonal run as phase ops (one per slot plus one
+    /// for the fixed part), building or reusing angle tables.
+    fn flush_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        if !pending.fixed.is_empty() {
+            let table = self.intern_table(&pending.fixed);
+            self.ops.push(CompiledOp::Phase { table });
+        }
+        for (slot, terms) in pending.scaled {
+            let table = self.intern_table(&terms);
+            self.ops.push(CompiledOp::PhaseScaled { table, slot });
+        }
+    }
+
+    /// Build the per-basis-state angle table for `terms`, reusing an
+    /// existing table when an identical term list was compiled before (the
+    /// `p` cost layers of a QAOA circuit all share one table).
+    fn intern_table(&mut self, terms: &[DiagTerm]) -> usize {
+        let mut key = Vec::with_capacity(terms.len() * 5);
+        for t in terms {
+            t.key(&mut key);
+        }
+        if let Some(&idx) = self.table_index.get(&key) {
+            return idx;
+        }
+        let dim = 1usize << self.num_qubits;
+        let mut table = vec![0.0f64; dim];
+        let fill = |out: &mut [f64], base: usize| {
+            for (off, angle) in out.iter_mut().enumerate() {
+                let z = base + off;
+                let mut sum = 0.0;
+                for t in terms {
+                    sum += match t {
+                        DiagTerm::One { q, a0, a1 } => {
+                            if (z >> q) & 1 == 0 {
+                                *a0
+                            } else {
+                                *a1
+                            }
+                        }
+                        DiagTerm::Two { q1, q0, a } => a[(((z >> q1) & 1) << 1) | ((z >> q0) & 1)],
+                    };
+                }
+                *angle = sum;
+            }
+        };
+        if self.num_qubits >= crate::parallel_threshold_qubits() {
+            crate::state::par_chunks_with_base(&mut table, fill);
+        } else {
+            fill(&mut table, 0);
+        }
+        self.tables.push(table);
+        self.table_index.insert(key, self.tables.len() - 1);
+        self.tables.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_states_close(a: &StateVector, b: &StateVector, tol: f64) {
+        assert_eq!(a.num_qubits(), b.num_qubits());
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            assert!((x - y).norm() < tol, "amplitudes differ: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn fully_bound_circuit_matches_apply_circuit() {
+        let mut c = Circuit::new(4);
+        c.h_layer();
+        c.rzz(0, 1, 0.7).rzz(1, 2, -0.3).rzz(2, 3, 1.1);
+        c.rx(0, 0.4).ry(1, 0.9).rz(2, -0.8);
+        c.cx(0, 2).cz(1, 3);
+        c.push(Gate::SWAP, &[0, 3], Parameter::None);
+        c.push(Gate::S, &[1], Parameter::None);
+        c.push(Gate::T, &[2], Parameter::None);
+        let reference = StateVector::from_circuit(&c).unwrap();
+        let program = CompiledProgram::compile(&c).unwrap();
+        let compiled = program.run(&[]).unwrap();
+        assert_states_close(&reference, &compiled, 1e-10);
+    }
+
+    #[test]
+    fn parameterized_circuit_matches_bound_simulation() {
+        let mut c = Circuit::new(3);
+        c.h_layer();
+        c.push(Gate::RZZ, &[0, 1], Parameter::free("gamma", 2.0));
+        c.push(Gate::RZZ, &[1, 2], Parameter::free("gamma", 3.0));
+        c.push(Gate::RX, &[0], Parameter::free("beta", 2.0));
+        c.push(Gate::RX, &[1], Parameter::free("beta", 2.0));
+        c.push(Gate::RX, &[2], Parameter::free("beta", 2.0));
+        let program = CompiledProgram::compile(&c).unwrap();
+        assert_eq!(program.param_names(), ["gamma", "beta"]);
+
+        let bound = c.bind(&[("gamma", 0.55), ("beta", -0.2)]).unwrap();
+        let reference = StateVector::from_circuit(&bound).unwrap();
+        let compiled = program.run(&[0.55, -0.2]).unwrap();
+        assert_states_close(&reference, &compiled, 1e-10);
+    }
+
+    #[test]
+    fn cost_layers_share_one_table() {
+        // Two QAOA layers over the same three edges: the γ_0 and γ_1 cost
+        // layers have identical structure, so one angle table serves both.
+        let mut c = Circuit::new(3);
+        c.h_layer();
+        for k in 0..2 {
+            let gamma = format!("gamma_{k}");
+            c.push(Gate::RZZ, &[0, 1], Parameter::free(&gamma, 2.0));
+            c.push(Gate::RZZ, &[1, 2], Parameter::free(&gamma, 2.0));
+            c.push(Gate::RZZ, &[0, 2], Parameter::free(&gamma, 2.0));
+            let beta = format!("beta_{k}");
+            for q in 0..3 {
+                c.push(Gate::RX, &[q], Parameter::free(&beta, 2.0));
+            }
+        }
+        let program = CompiledProgram::compile(&c).unwrap();
+        assert_eq!(program.num_tables(), 1);
+        // |+⟩ init + 2 × (fused cost pass + 3 mixer rotations) = 9 ops from
+        // 15 instructions.
+        assert_eq!(program.num_ops(), 9);
+        assert_eq!(program.source_instructions(), 15);
+    }
+
+    #[test]
+    fn fixed_diagonal_gates_fuse_into_phase_pass() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(1);
+        c.push(Gate::S, &[0], Parameter::None);
+        c.push(Gate::Z, &[1], Parameter::None);
+        c.push(Gate::CZ, &[0, 1], Parameter::None);
+        c.rz(0, 0.4);
+        let program = CompiledProgram::compile(&c).unwrap();
+        // |+⟩ init + one fused phase pass.
+        assert_eq!(program.num_ops(), 2);
+        let reference = StateVector::from_circuit(&c).unwrap();
+        let compiled = program.run(&[]).unwrap();
+        assert_states_close(&reference, &compiled, 1e-10);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let mut c = Circuit::new(3);
+        c.h_layer();
+        c.push(Gate::RZZ, &[0, 1], Parameter::free("g", 2.0));
+        c.push(Gate::RY, &[2], Parameter::free("b", 2.0));
+        let program = CompiledProgram::compile(&c).unwrap();
+        let mut scratch = StateVector::zero_state(3).unwrap();
+        for &(g, b) in &[(0.3, 0.1), (-1.2, 0.8), (2.0, -0.5)] {
+            program.execute_into(&[g, b], &mut scratch).unwrap();
+            let fresh = program.run(&[g, b]).unwrap();
+            assert_states_close(&scratch, &fresh, 1e-12);
+            assert!((scratch.norm_squared() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn wrong_parameter_count_is_rejected() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::RX, &[0], Parameter::free("a", 1.0));
+        let program = CompiledProgram::compile(&c).unwrap();
+        assert!(matches!(
+            program.run(&[]),
+            Err(SimulatorError::WrongParameterCount {
+                expected: 1,
+                got: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn width_mismatch_is_rejected() {
+        let c = Circuit::new(3);
+        let program = CompiledProgram::compile(&c).unwrap();
+        let mut wrong = StateVector::zero_state(2).unwrap();
+        assert!(matches!(
+            program.execute_into(&[], &mut wrong),
+            Err(SimulatorError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mixer_layers_fuse_into_one_pass_per_qubit() {
+        // RX then RY on every qubit (the paper's winning mixer): each
+        // qubit's two rotations share one kernel pass.
+        let mut c = Circuit::new(3);
+        c.h_layer();
+        c.push(Gate::RZZ, &[0, 1], Parameter::free("gamma_0", 2.0));
+        for q in 0..3 {
+            c.push(Gate::RX, &[q], Parameter::free("beta_0", 2.0));
+        }
+        for q in 0..3 {
+            c.push(Gate::RY, &[q], Parameter::free("beta_0", 2.0));
+        }
+        let program = CompiledProgram::compile(&c).unwrap();
+        // |+⟩ init + fused cost pass + 3 fused chains.
+        assert_eq!(program.num_ops(), 5);
+
+        let bound = c.bind(&[("gamma_0", 0.7), ("beta_0", -0.4)]).unwrap();
+        let reference = StateVector::from_circuit(&bound).unwrap();
+        let compiled = program.run(&[0.7, -0.4]).unwrap();
+        assert_states_close(&reference, &compiled, 1e-10);
+    }
+
+    #[test]
+    fn interleaved_diagonal_gates_preserve_per_qubit_order() {
+        // RX, RZ, RX on one qubit: the diagonal RZ must break the chain,
+        // not commute past the rotations.
+        let mut c = Circuit::new(2);
+        c.rx(0, 0.5).rz(0, 0.9).rx(0, -0.3);
+        c.push(Gate::H, &[1], Parameter::None);
+        let program = CompiledProgram::compile(&c).unwrap();
+        let reference = StateVector::from_circuit(&c).unwrap();
+        let compiled = program.run(&[]).unwrap();
+        assert_states_close(&reference, &compiled, 1e-10);
+    }
+
+    #[test]
+    fn non_diagonal_rotations_track_parameters() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::RXX, &[0, 1], Parameter::free("t", 1.0));
+        c.push(Gate::RYY, &[1, 0], Parameter::free("t", 0.5));
+        let program = CompiledProgram::compile(&c).unwrap();
+        let bound = c.bind(&[("t", 1.3)]).unwrap();
+        let reference = StateVector::from_circuit(&bound).unwrap();
+        let compiled = program.run(&[1.3]).unwrap();
+        assert_states_close(&reference, &compiled, 1e-10);
+    }
+}

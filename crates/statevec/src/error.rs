@@ -29,4 +29,30 @@ pub enum SimulatorError {
         /// State length.
         state: usize,
     },
+
+    /// A raw amplitude vector was supplied whose length is not a power of two.
+    #[error("amplitude count {count} is not a power of two")]
+    InvalidAmplitudeCount {
+        /// Supplied amplitude count.
+        count: usize,
+    },
+
+    /// A compiled program was executed with the wrong number of parameter
+    /// values.
+    #[error("compiled program expects {expected} parameter values, got {got}")]
+    WrongParameterCount {
+        /// Slots declared by the program.
+        expected: usize,
+        /// Values supplied at execution.
+        got: usize,
+    },
+
+    /// A compiled program was executed on a state of the wrong width.
+    #[error("compiled program is for {program} qubits but the state has {state}")]
+    WidthMismatch {
+        /// Program width.
+        program: usize,
+        /// State width.
+        state: usize,
+    },
 }

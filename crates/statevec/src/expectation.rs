@@ -32,7 +32,7 @@ pub fn maxcut_value_of_basis_state(edges: &[(usize, usize, f64)], z: usize) -> f
 /// parallelized; below it a sequential loop is faster.
 pub fn maxcut_expectation(state: &StateVector, edges: &[(usize, usize, f64)]) -> f64 {
     let probs = state.probabilities();
-    if state.num_qubits() >= crate::PARALLEL_THRESHOLD_QUBITS {
+    if state.num_qubits() >= crate::parallel_threshold_qubits() {
         probs
             .par_iter()
             .enumerate()
@@ -45,6 +45,30 @@ pub fn maxcut_expectation(state: &StateVector, edges: &[(usize, usize, f64)]) ->
             .map(|(z, p)| p * maxcut_value_of_basis_state(edges, z))
             .sum()
     }
+}
+
+/// The full `2^n` diagonal of the Max-Cut Hamiltonian for an edge list:
+/// `diag[z] = C(z)`.
+///
+/// Building this once per graph and reusing it across optimizer iterations
+/// (via [`StateVector::expectation_diagonal`]) replaces the per-evaluation
+/// `O(2^n · |E|)` cut recomputation of [`maxcut_expectation`] with an
+/// `O(2^n)` dot product. The build itself is parallelized above the
+/// [`crate::parallel_threshold_qubits`] crossover.
+pub fn maxcut_diagonal(num_qubits: usize, edges: &[(usize, usize, f64)]) -> Vec<f64> {
+    let dim = 1usize << num_qubits;
+    let mut diag = vec![0.0f64; dim];
+    let fill = |out: &mut [f64], base: usize| {
+        for (off, d) in out.iter_mut().enumerate() {
+            *d = maxcut_value_of_basis_state(edges, base + off);
+        }
+    };
+    if num_qubits >= crate::parallel_threshold_qubits() {
+        crate::state::par_chunks_with_base(&mut diag, fill);
+    } else {
+        fill(&mut diag, 0);
+    }
+    diag
 }
 
 /// Expectation of a single `Z_u Z_v` correlator.

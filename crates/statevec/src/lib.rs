@@ -6,12 +6,18 @@
 //! the tensor-network backend (`tensornet`) is validated against.
 //!
 //! * Qubit `0` is the least-significant bit of the basis-state index.
-//! * Single-qubit and two-qubit gate kernels are cache-friendly strided loops;
-//!   for larger registers the amplitude updates are parallelized with Rayon
-//!   (this is the *inner* level of the paper's two-level parallelization
-//!   scheme — the outer level parallelizes over candidate circuits).
+//! * Single-qubit and two-qubit gate kernels are cache-friendly, bit-test-free
+//!   loops; for registers at or above [`parallel_threshold_qubits`] the
+//!   amplitude updates are split across threads (this is the *inner* level of
+//!   the paper's two-level parallelization scheme — the outer level
+//!   parallelizes over candidate circuits).
+//! * [`CompiledProgram`] lowers a circuit once into specialized kernels with
+//!   parameter slots — fused diagonal cost layers, per-qubit gate chains, a
+//!   recognized `|+⟩^{⊗n}` preparation — for allocation-free re-evaluation
+//!   inside variational training loops.
 //! * Expectation values of diagonal cost operators (the Max-Cut Hamiltonian)
-//!   are computed directly from the probability distribution.
+//!   are computed directly from the probability distribution, or from a
+//!   cached diagonal via [`expectation::maxcut_diagonal`].
 //!
 //! ```
 //! use qcircuit::Circuit;
@@ -25,18 +31,42 @@
 //! assert!((probs[0b11] - 0.5).abs() < 1e-12);
 //! ```
 
+pub mod compile;
 pub mod error;
 pub mod expectation;
 pub mod sampling;
 pub mod state;
 
+pub use compile::CompiledProgram;
 pub use error::SimulatorError;
 pub use state::StateVector;
 
-/// Number of qubits above which gate kernels switch to Rayon-parallel
-/// iteration. Small registers are faster single-threaded because the
-/// per-task overhead dominates.
+/// Default number of qubits above which gate kernels switch to
+/// thread-parallel iteration. Small registers are faster single-threaded
+/// because the per-task overhead dominates; 14 qubits (16384 amplitudes,
+/// 256 KiB) is where the kernels start winning from extra cores on typical
+/// desktop and server CPUs. Override per machine with the
+/// `QAS_PARALLEL_THRESHOLD` environment variable (see
+/// [`parallel_threshold_qubits`]).
 pub const PARALLEL_THRESHOLD_QUBITS: usize = 14;
+
+/// The active parallelization crossover, in qubits.
+///
+/// Reads the `QAS_PARALLEL_THRESHOLD` environment variable once (on first
+/// call, via [`std::sync::OnceLock`]) so the crossover can be tuned per
+/// machine without recompiling; unset, empty or unparsable values fall back
+/// to [`PARALLEL_THRESHOLD_QUBITS`]. Setting a large value (e.g. `99`)
+/// effectively disables kernel-level parallelism, which is useful for the
+/// single-core baselines of the paper's scaling experiments.
+pub fn parallel_threshold_qubits() -> usize {
+    static THRESHOLD: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var("QAS_PARALLEL_THRESHOLD")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(PARALLEL_THRESHOLD_QUBITS)
+    })
+}
 
 #[cfg(test)]
 mod proptests;

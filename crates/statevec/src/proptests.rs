@@ -1,6 +1,7 @@
 //! Property-based tests for the dense simulator.
 
-use crate::expectation::{maxcut_expectation, zz_expectation};
+use crate::compile::CompiledProgram;
+use crate::expectation::{maxcut_diagonal, maxcut_expectation, zz_expectation};
 use crate::state::StateVector;
 use proptest::prelude::*;
 use qcircuit::{Circuit, Gate, Parameter};
@@ -99,5 +100,71 @@ proptest! {
         let s = StateVector::from_circuit(&c).unwrap();
         let zz = zz_expectation(&s, 0, 2);
         prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&zz));
+    }
+
+    #[test]
+    fn compiled_program_matches_apply_circuit(c in arb_circuit(5, 30)) {
+        let reference = StateVector::from_circuit(&c).unwrap();
+        let compiled = CompiledProgram::compile(&c).unwrap().run(&[]).unwrap();
+        for (a, b) in reference.amplitudes().iter().zip(compiled.amplitudes()) {
+            prop_assert!((a - b).norm() < 1e-10, "amplitude {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn compiled_qaoa_template_matches_bound_simulation(
+        edges in proptest::collection::vec((0usize..5, 0usize..5), 1..8),
+        depth in 1usize..3,
+        gammas in proptest::collection::vec(-2.0f64..2.0, 2),
+        betas in proptest::collection::vec(-2.0f64..2.0, 2),
+    ) {
+        // A QAOA-shaped template: H layer, then per layer an RZZ cost pass
+        // over the edges (shared gamma_k) and an RX mixer pass (shared
+        // beta_k) — the exact shape the fused diagonal kernel targets.
+        let mut c = Circuit::new(5);
+        c.h_layer();
+        for k in 0..depth {
+            let gamma = format!("gamma_{k}");
+            for &(u, v) in &edges {
+                if u != v {
+                    c.push(Gate::RZZ, &[u, v], Parameter::free(&gamma, 2.0));
+                }
+            }
+            let beta = format!("beta_{k}");
+            for q in 0..5 {
+                c.push(Gate::RX, &[q], Parameter::free(&beta, 2.0));
+            }
+        }
+        let program = CompiledProgram::compile(&c).unwrap();
+        let mut assignments: Vec<(String, f64)> = Vec::new();
+        let mut values = Vec::new();
+        for name in program.param_names() {
+            let (kind, idx) = name.split_once('_').unwrap();
+            let k: usize = idx.parse().unwrap();
+            let v = if kind == "gamma" { gammas[k] } else { betas[k] };
+            assignments.push((name.clone(), v));
+            values.push(v);
+        }
+        let refs: Vec<(&str, f64)> =
+            assignments.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        let bound = c.bind(&refs).unwrap();
+        let reference = StateVector::from_circuit(&bound).unwrap();
+        let compiled = program.run(&values).unwrap();
+        for (a, b) in reference.amplitudes().iter().zip(compiled.amplitudes()) {
+            prop_assert!((a - b).norm() < 1e-10, "amplitude {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn maxcut_diagonal_matches_per_state_values(
+        edges in proptest::collection::vec((0usize..4, 0usize..4, 0.1f64..2.0), 1..6),
+    ) {
+        let edges: Vec<(usize, usize, f64)> =
+            edges.into_iter().filter(|(u, v, _)| u != v).collect();
+        let diag = maxcut_diagonal(4, &edges);
+        for (z, d) in diag.iter().enumerate() {
+            let direct = crate::expectation::maxcut_value_of_basis_state(&edges, z);
+            prop_assert!((d - direct).abs() < 1e-12);
+        }
     }
 }
