@@ -1,0 +1,222 @@
+//! JSON-emitting benchmark for the budget-aware search pipeline.
+//!
+//! Times a full `qas search`-equivalent run twice on the same graphs and
+//! seed:
+//!
+//! * **baseline** — the paper-faithful full-budget evaluation
+//!   (`PipelineConfig::full_budget()`: every candidate trains for the whole
+//!   optimizer budget, no pruning, no warm starts), and
+//! * **pipeline** — the successive-halving pipeline (candidates pruned at
+//!   escalating budget rungs via resumable optimizers, survivors warm-started
+//!   across depths, work-stealing execution).
+//!
+//! It also re-runs the pipeline with 1, 2 and 4 workers and checks the
+//! outcomes are bit-identical — the determinism guarantee of the
+//! work-stealing scheduler.
+//!
+//! Prints a single JSON document to stdout — redirect it to refresh the
+//! committed trajectory file:
+//!
+//! ```text
+//! cargo run --release -p qarchsearch_bench --bin bench_search_pipeline > BENCH_search_pipeline.json
+//! ```
+//!
+//! Environment variables: `QAS_PIPE_NODES` (default 10), `QAS_PIPE_GRAPHS`
+//! (default 3), `QAS_PIPE_PMAX` (default 2), `QAS_PIPE_KMAX` (default 2),
+//! `QAS_PIPE_BUDGET` (default 200), `QAS_PIPE_THREADS` (default 4).
+
+use qarchsearch::search::{ParallelSearch, PipelineConfig, SearchConfig, SearchOutcome};
+use qarchsearch::GateAlphabet;
+use serde_json::{json, Value};
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn run(config: SearchConfig, graphs: &[graphs::Graph]) -> (SearchOutcome, f64) {
+    let start = Instant::now();
+    let outcome = ParallelSearch::new(config)
+        .run(graphs)
+        .expect("search completes");
+    (outcome, start.elapsed().as_secs_f64())
+}
+
+fn outcome_json(outcome: &SearchOutcome, seconds: f64) -> Value {
+    let best_mixer = outcome.best.mixer_label.clone();
+    let best_depth = outcome.best.depth;
+    let best_energy = outcome.best.energy;
+    let best_approx_ratio = outcome.best.approx_ratio;
+    let candidates = outcome.num_candidates_evaluated;
+    let optimizer_evaluations = outcome.total_optimizer_evaluations;
+    let full_budget_evaluations = outcome.full_budget_evaluations;
+    json!({
+        "seconds": seconds,
+        "best_mixer": best_mixer,
+        "best_depth": best_depth,
+        "best_energy": best_energy,
+        "best_approx_ratio": best_approx_ratio,
+        "candidates": candidates,
+        "optimizer_evaluations": optimizer_evaluations,
+        "full_budget_evaluations": full_budget_evaluations,
+    })
+}
+
+fn main() {
+    let nodes = env_usize("QAS_PIPE_NODES", 10);
+    let num_graphs = env_usize("QAS_PIPE_GRAPHS", 3);
+    let p_max = env_usize("QAS_PIPE_PMAX", 2);
+    let k_max = env_usize("QAS_PIPE_KMAX", 2);
+    let budget = env_usize("QAS_PIPE_BUDGET", 200);
+    let threads = env_usize("QAS_PIPE_THREADS", 4);
+    let seed = 2023u64;
+
+    let graphs = graphs::datasets::erdos_renyi_dataset(num_graphs, nodes, seed);
+
+    let base = SearchConfig::builder()
+        .alphabet(GateAlphabet::paper_default())
+        .max_depth(p_max)
+        .max_gates_per_mixer(k_max)
+        .optimizer_budget(budget)
+        .backend(qaoa::Backend::StateVector)
+        .seed(seed)
+        .threads(threads)
+        .build();
+
+    // Paper-faithful full budget: every candidate, the whole budget.
+    let full_cfg = SearchConfig {
+        pipeline: PipelineConfig::full_budget(),
+        ..base.clone()
+    };
+    let (full, full_seconds) = run(full_cfg, &graphs);
+
+    // The budget-aware pipeline: halving at eta = 4 from rung
+    // min(20, budget), warm starts on, and the predictor gate admitting the
+    // top 16 candidates from depth 2 on (`qas search --gate 16`).
+    let mut pipe_cfg = base.clone();
+    pipe_cfg.pipeline.first_rung = pipe_cfg.pipeline.first_rung.min(budget);
+    pipe_cfg.pipeline.predictor_gate = Some(16);
+    let (pipe, pipe_seconds) = run(pipe_cfg.clone(), &graphs);
+
+    // Determinism across worker counts: 1, 2 and 4 workers must produce
+    // bit-identical winners, energies and budget accounting.
+    let mut determinism_runs = Vec::new();
+    let mut identical = true;
+    for t in [1usize, 2, 4] {
+        let (o, _) = run(
+            SearchConfig {
+                threads: Some(t),
+                ..pipe_cfg.clone()
+            },
+            &graphs,
+        );
+        identical &= o.best.mixer_label == pipe.best.mixer_label
+            && o.best.energy == pipe.best.energy
+            && o.total_optimizer_evaluations == pipe.total_optimizer_evaluations;
+        let best_mixer = o.best.mixer_label.clone();
+        let best_energy = o.best.energy;
+        let optimizer_evaluations = o.total_optimizer_evaluations;
+        determinism_runs.push(json!({
+            "threads": t,
+            "best_mixer": best_mixer,
+            "best_energy": best_energy,
+            "optimizer_evaluations": optimizer_evaluations,
+        }));
+    }
+    assert!(identical, "pipeline outcomes diverged across thread counts");
+
+    let depths: Vec<Value> = pipe
+        .depth_results
+        .iter()
+        .map(|d| {
+            let depth = d.depth;
+            let candidates = d.candidates.len();
+            let pruned = d
+                .candidates
+                .iter()
+                .filter(|c| c.pruned_at_rung.is_some())
+                .count();
+            let rungs: Vec<Value> = d
+                .rungs
+                .iter()
+                .map(|r| {
+                    let target_budget = r.target_budget;
+                    let entrants = r.entrants;
+                    let survivors = r.survivors;
+                    let evaluations = r.evaluations;
+                    json!({
+                        "target_budget": target_budget,
+                        "entrants": entrants,
+                        "survivors": survivors,
+                        "evaluations": evaluations,
+                    })
+                })
+                .collect();
+            json!({
+                "depth": depth,
+                "candidates": candidates,
+                "pruned": pruned,
+                "rungs": rungs,
+            })
+        })
+        .collect();
+
+    let first_rung = pipe_cfg.pipeline.first_rung;
+    let eta = pipe_cfg.pipeline.eta;
+    let config = json!({
+        "nodes": nodes,
+        "graphs": num_graphs,
+        "p_max": p_max,
+        "k_max": k_max,
+        "budget": budget,
+        "threads": threads,
+        "alphabet": "rx,ry,rz,h,p",
+        "optimizer": "cobyla",
+        "backend": "state-vector",
+        "seed": seed,
+        "pipeline_first_rung": first_rung,
+        "pipeline_eta": eta,
+        "pipeline_warm_start": true,
+        "pipeline_predictor_gate": 16,
+    });
+    let full_json = outcome_json(&full, full_seconds);
+    let pipe_json = outcome_json(&pipe, pipe_seconds);
+    let wall_clock_speedup = full_seconds / pipe_seconds;
+    let evaluation_speedup =
+        full.total_optimizer_evaluations as f64 / pipe.total_optimizer_evaluations as f64;
+    let speedup = json!({
+        "wall_clock": wall_clock_speedup,
+        "optimizer_evaluations": evaluation_speedup,
+    });
+    let baseline_best_energy = full.best.energy;
+    let pipeline_best_energy = pipe.best.energy;
+    let equal_or_better = pipe.best.energy >= full.best.energy - 1e-9;
+    let energy_delta = pipe.best.energy - full.best.energy;
+    let quality = json!({
+        "baseline_best_energy": baseline_best_energy,
+        "pipeline_best_energy": pipeline_best_energy,
+        "equal_or_better": equal_or_better,
+        "energy_delta": energy_delta,
+    });
+    let determinism = json!({
+        "identical_across_thread_counts": identical,
+        "runs": determinism_runs,
+    });
+    let doc = json!({
+        "benchmark": "search_pipeline",
+        "config": config,
+        "full_budget_baseline": full_json,
+        "pipeline": pipe_json,
+        "pipeline_depths": depths,
+        "speedup": speedup,
+        "quality": quality,
+        "determinism": determinism,
+    });
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&doc).expect("serializes")
+    );
+}

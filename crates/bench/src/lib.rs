@@ -118,6 +118,11 @@ impl HarnessParams {
     }
 
     /// A search configuration with this harness's sizes.
+    ///
+    /// Figure reproductions compare the *paper's* serial and parallel
+    /// algorithms, so the budget-aware pipeline (pruning, warm starts) is
+    /// disabled: serial vs. parallel must differ only in scheduling, never
+    /// in how much budget each candidate receives.
     pub fn search_config(&self, threads: Option<usize>) -> SearchConfig {
         let mut builder = SearchConfig::builder()
             .max_depth(self.p_max)
@@ -125,7 +130,8 @@ impl HarnessParams {
             .optimizer_budget(self.budget)
             .backend(Backend::TensorNetwork)
             .strategy(SearchStrategy::Exhaustive)
-            .seed(self.seed);
+            .seed(self.seed)
+            .no_prune();
         if let Some(t) = threads {
             builder = builder.threads(t);
         }

@@ -21,8 +21,14 @@
 //!    otherwise shrink the trust region, and
 //! 5. stop when the radius reaches `rho_end` or the evaluation budget is
 //!    exhausted.
+//!
+//! The run is organized as a sequence of **atomic steps** (simplex
+//! initialization, one trust-region iteration, one degenerate-simplex
+//! rebuild) over an explicit [`CobylaState`], which is what makes the
+//! optimizer [`Resumable`]: a paused run continues exactly where it stopped.
 
 use crate::result::{OptimizationResult, OptimizationTrace};
+use crate::resumable::{OptimizerState, Resumable};
 use crate::Optimizer;
 
 /// COBYLA-style linear trust-region optimizer.
@@ -54,6 +60,46 @@ impl CobylaOptimizer {
             rho_end,
             shrink: 0.5,
         }
+    }
+}
+
+/// Checkpointed state of a COBYLA run (see [`Resumable`]).
+#[derive(Debug, Clone)]
+pub struct CobylaState {
+    pub(crate) initial: Vec<f64>,
+    pub(crate) vertices: Vec<Vec<f64>>,
+    pub(crate) values: Vec<f64>,
+    pub(crate) rho: f64,
+    pub(crate) converged: bool,
+    pub(crate) trace: OptimizationTrace,
+}
+
+impl CobylaState {
+    fn best_index(&self) -> usize {
+        self.values
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    pub(crate) fn snapshot(&self) -> OptimizationResult {
+        if self.values.is_empty() {
+            return OptimizationResult::from_trace(
+                self.initial.clone(),
+                f64::INFINITY,
+                self.converged,
+                self.trace.clone(),
+            );
+        }
+        let bi = self.best_index();
+        OptimizationResult::from_trace(
+            self.vertices[bi].clone(),
+            self.values[bi],
+            self.converged,
+            self.trace.clone(),
+        )
     }
 }
 
@@ -97,16 +143,12 @@ fn solve_linear(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
     Some(x)
 }
 
-impl Optimizer for CobylaOptimizer {
-    fn minimize(
-        &self,
-        objective: &(dyn Fn(&[f64]) -> f64 + Sync),
-        initial: &[f64],
-        max_evaluations: usize,
-    ) -> OptimizationResult {
-        let n = initial.len();
-        let budget = max_evaluations.max(1);
-        let mut trace = OptimizationTrace::new();
+impl CobylaOptimizer {
+    /// One atomic step: simplex init, a degenerate rebuild, or a full
+    /// trust-region iteration. Runs to completion regardless of the budget
+    /// (the caller only decides whether to *begin* a step).
+    fn step(&self, s: &mut CobylaState, objective: &(dyn Fn(&[f64]) -> f64 + Sync)) {
+        let n = s.initial.len();
         let eval = |x: &[f64], trace: &mut OptimizationTrace| {
             let v = objective(x);
             trace.record(v);
@@ -114,138 +156,152 @@ impl Optimizer for CobylaOptimizer {
         };
 
         if n == 0 {
-            let v = eval(initial, &mut trace);
-            return OptimizationResult::from_trace(initial.to_vec(), v, true, trace);
+            let v = eval(&s.initial, &mut s.trace);
+            s.vertices.push(s.initial.clone());
+            s.values.push(v);
+            s.converged = true;
+            return;
         }
 
-        // Simplex vertices and values; vertex 0 starts as the initial point.
-        let mut vertices: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
-        let mut values: Vec<f64> = Vec::with_capacity(n + 1);
-        vertices.push(initial.to_vec());
-        values.push(eval(initial, &mut trace));
-        for i in 0..n {
-            if trace.len() >= budget {
-                break;
+        // Initialization: the whole simplex is one atomic step.
+        if s.vertices.len() < n + 1 {
+            if s.vertices.is_empty() {
+                let v = eval(&s.initial.clone(), &mut s.trace);
+                s.vertices.push(s.initial.clone());
+                s.values.push(v);
             }
-            let mut x = initial.to_vec();
-            x[i] += self.rho_begin;
-            values.push(eval(&x, &mut trace));
-            vertices.push(x);
+            for i in s.vertices.len() - 1..n {
+                let mut x = s.initial.clone();
+                x[i] += self.rho_begin;
+                let v = eval(&x, &mut s.trace);
+                s.vertices.push(x);
+                s.values.push(v);
+            }
+            return;
         }
 
-        let best_index = |values: &[f64]| {
-            values
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                .map(|(i, _)| i)
-                .unwrap_or(0)
-        };
-
-        if vertices.len() < n + 1 {
-            let bi = best_index(&values);
-            return OptimizationResult::from_trace(vertices[bi].clone(), values[bi], false, trace);
+        if s.rho <= self.rho_end {
+            s.converged = true;
+            return;
         }
 
-        let mut rho = self.rho_begin;
-        let mut converged = false;
+        let bi = s.best_index();
+        let best_point = s.vertices[bi].clone();
+        let best_value = s.values[bi];
 
-        while trace.len() < budget {
-            if rho <= self.rho_end {
-                converged = true;
-                break;
-            }
-            let bi = best_index(&values);
-            let best_point = vertices[bi].clone();
-            let best_value = values[bi];
-
-            // Linear model: f(x) ≈ f(x_best) + g·(x - x_best), where g solves
-            // the interpolation conditions on the other n vertices.
-            let mut a: Vec<Vec<f64>> = Vec::with_capacity(n);
-            let mut b: Vec<f64> = Vec::with_capacity(n);
-            for (j, (vertex, &value)) in vertices.iter().zip(values.iter()).enumerate() {
-                if j == bi {
-                    continue;
-                }
-                let row: Vec<f64> = vertex.iter().zip(&best_point).map(|(x, y)| x - y).collect();
-                a.push(row);
-                b.push(value - best_value);
-            }
-
-            let gradient = match solve_linear(&mut a, &mut b) {
-                Some(g) => g,
-                None => {
-                    // Degenerate simplex: rebuild it around the best point
-                    // with the current radius.
-                    let mut rebuilt_any = false;
-                    for i in 0..n {
-                        if trace.len() >= budget {
-                            break;
-                        }
-                        let mut x = best_point.clone();
-                        x[i] += rho;
-                        let v = eval(&x, &mut trace);
-                        // Replace the i-th non-best vertex.
-                        let target = if i < bi { i } else { i + 1 };
-                        vertices[target] = x;
-                        values[target] = v;
-                        rebuilt_any = true;
-                    }
-                    if !rebuilt_any {
-                        break;
-                    }
-                    continue;
-                }
-            };
-
-            let grad_norm = gradient.iter().map(|g| g * g).sum::<f64>().sqrt();
-            if grad_norm < 1e-14 {
-                // Flat model: shrink and retry.
-                rho *= self.shrink;
+        // Linear model: f(x) ≈ f(x_best) + g·(x - x_best), where g solves
+        // the interpolation conditions on the other n vertices.
+        let mut a: Vec<Vec<f64>> = Vec::with_capacity(n);
+        let mut b: Vec<f64> = Vec::with_capacity(n);
+        for (j, (vertex, &value)) in s.vertices.iter().zip(s.values.iter()).enumerate() {
+            if j == bi {
                 continue;
             }
-
-            // Candidate step: steepest descent on the model, trust-region length.
-            let candidate: Vec<f64> = best_point
-                .iter()
-                .zip(&gradient)
-                .map(|(x, g)| x - rho * g / grad_norm)
-                .collect();
-            if trace.len() >= budget {
-                break;
-            }
-            let candidate_value = eval(&candidate, &mut trace);
-
-            if candidate_value < best_value - 1e-14 {
-                // Accept: replace the worst vertex.
-                let wi = values
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                    .map(|(i, _)| i)
-                    .unwrap_or(0);
-                vertices[wi] = candidate;
-                values[wi] = candidate_value;
-            } else {
-                // Reject: shrink the trust region and refresh the simplex
-                // around the best point at the new scale.
-                rho *= self.shrink;
-                for i in 0..n {
-                    if trace.len() >= budget {
-                        break;
-                    }
-                    let target = if i < bi { i } else { i + 1 };
-                    let mut x = best_point.clone();
-                    x[i] += rho;
-                    let v = eval(&x, &mut trace);
-                    vertices[target] = x;
-                    values[target] = v;
-                }
-            }
+            let row: Vec<f64> = vertex.iter().zip(&best_point).map(|(x, y)| x - y).collect();
+            a.push(row);
+            b.push(value - best_value);
         }
 
-        let bi = best_index(&values);
-        OptimizationResult::from_trace(vertices[bi].clone(), values[bi], converged, trace)
+        let gradient = match solve_linear(&mut a, &mut b) {
+            Some(g) => g,
+            None => {
+                // Degenerate simplex: rebuild it around the best point with
+                // the current radius (one atomic step).
+                for i in 0..n {
+                    let mut x = best_point.clone();
+                    x[i] += s.rho;
+                    let v = eval(&x, &mut s.trace);
+                    let target = if i < bi { i } else { i + 1 };
+                    s.vertices[target] = x;
+                    s.values[target] = v;
+                }
+                return;
+            }
+        };
+
+        let grad_norm = gradient.iter().map(|g| g * g).sum::<f64>().sqrt();
+        if grad_norm < 1e-14 {
+            // Flat model: shrink and retry (costs no evaluations; the rho
+            // decay reaches rho_end after finitely many steps).
+            s.rho *= self.shrink;
+            return;
+        }
+
+        // Candidate step: steepest descent on the model, trust-region length.
+        let candidate: Vec<f64> = best_point
+            .iter()
+            .zip(&gradient)
+            .map(|(x, g)| x - s.rho * g / grad_norm)
+            .collect();
+        let candidate_value = eval(&candidate, &mut s.trace);
+
+        if candidate_value < best_value - 1e-14 {
+            // Accept: replace the worst vertex.
+            let wi = s
+                .values
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            s.vertices[wi] = candidate;
+            s.values[wi] = candidate_value;
+        } else {
+            // Reject: shrink the trust region and refresh the simplex
+            // around the best point at the new scale.
+            s.rho *= self.shrink;
+            for i in 0..n {
+                let target = if i < bi { i } else { i + 1 };
+                let mut x = best_point.clone();
+                x[i] += s.rho;
+                let v = eval(&x, &mut s.trace);
+                s.vertices[target] = x;
+                s.values[target] = v;
+            }
+        }
+    }
+}
+
+impl Resumable for CobylaOptimizer {
+    fn start(&self, initial: &[f64], _budget_hint: usize) -> OptimizerState {
+        OptimizerState::Cobyla(CobylaState {
+            initial: initial.to_vec(),
+            vertices: Vec::new(),
+            values: Vec::new(),
+            rho: self.rho_begin,
+            converged: false,
+            trace: OptimizationTrace::new(),
+        })
+    }
+
+    fn resume_until(
+        &self,
+        state: &mut OptimizerState,
+        objective: &(dyn Fn(&[f64]) -> f64 + Sync),
+        target_evaluations: usize,
+    ) -> OptimizationResult {
+        let OptimizerState::Cobyla(s) = state else {
+            panic!(
+                "CobylaOptimizer::resume_until given a {} state",
+                state.kind_name()
+            );
+        };
+        while !s.converged && s.trace.len() < target_evaluations {
+            self.step(s, objective);
+        }
+        s.snapshot()
+    }
+}
+
+impl Optimizer for CobylaOptimizer {
+    fn minimize(
+        &self,
+        objective: &(dyn Fn(&[f64]) -> f64 + Sync),
+        initial: &[f64],
+        max_evaluations: usize,
+    ) -> OptimizationResult {
+        let mut state = self.start(initial, max_evaluations);
+        self.resume_until(&mut state, objective, max_evaluations.max(1))
     }
 
     fn name(&self) -> &'static str {

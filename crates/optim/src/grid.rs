@@ -1,6 +1,11 @@
 //! Uniform grid search within a box around the start point.
+//!
+//! The grid is laid out once from the run's total budget (the `budget_hint`
+//! of [`Resumable::start`]) and walked cursor-by-cursor, so a paused run
+//! [resumes](crate::Resumable) at the exact next grid point.
 
 use crate::result::{OptimizationResult, OptimizationTrace};
+use crate::resumable::{OptimizerState, Resumable};
 use crate::Optimizer;
 
 /// Evaluate the objective on a uniform grid in `initial ± half_width` and
@@ -20,6 +25,106 @@ impl Default for GridSearch {
     }
 }
 
+/// Checkpointed state of a grid-search run (see [`Resumable`]).
+#[derive(Debug, Clone)]
+pub struct GridState {
+    pub(crate) initial: Vec<f64>,
+    pub(crate) points_per_dim: usize,
+    /// Total grid points this run will visit.
+    pub(crate) total: usize,
+    pub(crate) cursor: usize,
+    pub(crate) best_point: Vec<f64>,
+    pub(crate) best_value: f64,
+    pub(crate) converged: bool,
+    pub(crate) trace: OptimizationTrace,
+}
+
+impl GridState {
+    pub(crate) fn snapshot(&self) -> OptimizationResult {
+        OptimizationResult::from_trace(
+            self.best_point.clone(),
+            self.best_value,
+            self.converged,
+            self.trace.clone(),
+        )
+    }
+}
+
+impl Resumable for GridSearch {
+    fn start(&self, initial: &[f64], budget_hint: usize) -> OptimizerState {
+        let n = initial.len();
+        let budget = budget_hint.max(1);
+        let (points_per_dim, total) = if n == 0 {
+            (0, 1)
+        } else {
+            // points_per_dim^n <= budget, at least 2 per dimension.
+            let mut points_per_dim = (budget as f64).powf(1.0 / n as f64).floor() as usize;
+            points_per_dim = points_per_dim.max(2);
+            while points_per_dim > 2 && points_per_dim.pow(n as u32) > budget {
+                points_per_dim -= 1;
+            }
+            (points_per_dim, points_per_dim.pow(n as u32).min(budget))
+        };
+        OptimizerState::GridSearch(GridState {
+            initial: initial.to_vec(),
+            points_per_dim,
+            total,
+            cursor: 0,
+            best_point: initial.to_vec(),
+            best_value: f64::INFINITY,
+            converged: false,
+            trace: OptimizationTrace::new(),
+        })
+    }
+
+    fn resume_until(
+        &self,
+        state: &mut OptimizerState,
+        objective: &(dyn Fn(&[f64]) -> f64 + Sync),
+        target_evaluations: usize,
+    ) -> OptimizationResult {
+        let OptimizerState::GridSearch(s) = state else {
+            panic!(
+                "GridSearch::resume_until given a {} state",
+                state.kind_name()
+            );
+        };
+        let n = s.initial.len();
+        if n == 0 {
+            if s.cursor == 0 && target_evaluations > 0 {
+                let v = objective(&s.initial);
+                s.trace.record(v);
+                s.best_value = v;
+                s.cursor = 1;
+                s.converged = true;
+            }
+            return s.snapshot();
+        }
+        while s.cursor < s.total && s.trace.len() < target_evaluations {
+            // Decode the cursor into per-dimension grid coordinates.
+            let mut rest = s.cursor;
+            let mut point = Vec::with_capacity(n);
+            for &x0 in &s.initial {
+                let idx = rest % s.points_per_dim;
+                rest /= s.points_per_dim;
+                let frac = idx as f64 / (s.points_per_dim - 1) as f64; // in [0, 1]
+                point.push(x0 - self.half_width + 2.0 * self.half_width * frac);
+            }
+            let value = objective(&point);
+            s.trace.record(value);
+            if value < s.best_value {
+                s.best_value = value;
+                s.best_point = point;
+            }
+            s.cursor += 1;
+        }
+        if s.cursor >= s.total {
+            s.converged = true;
+        }
+        s.snapshot()
+    }
+}
+
 impl Optimizer for GridSearch {
     fn minimize(
         &self,
@@ -27,45 +132,8 @@ impl Optimizer for GridSearch {
         initial: &[f64],
         max_evaluations: usize,
     ) -> OptimizationResult {
-        let n = initial.len();
-        let budget = max_evaluations.max(1);
-        let mut trace = OptimizationTrace::new();
-
-        if n == 0 {
-            let v = objective(initial);
-            trace.record(v);
-            return OptimizationResult::from_trace(initial.to_vec(), v, true, trace);
-        }
-
-        // points_per_dim^n <= budget, at least 2 per dimension.
-        let mut points_per_dim = (budget as f64).powf(1.0 / n as f64).floor() as usize;
-        points_per_dim = points_per_dim.max(2);
-        while points_per_dim > 2 && points_per_dim.pow(n as u32) > budget {
-            points_per_dim -= 1;
-        }
-
-        let mut best_point = initial.to_vec();
-        let mut best_value = f64::INFINITY;
-
-        let total = points_per_dim.pow(n as u32).min(budget);
-        for flat in 0..total {
-            // Decode the flat index into per-dimension grid coordinates.
-            let mut rest = flat;
-            let mut point = Vec::with_capacity(n);
-            for &x0 in initial {
-                let idx = rest % points_per_dim;
-                rest /= points_per_dim;
-                let frac = idx as f64 / (points_per_dim - 1) as f64; // in [0, 1]
-                point.push(x0 - self.half_width + 2.0 * self.half_width * frac);
-            }
-            let value = objective(&point);
-            trace.record(value);
-            if value < best_value {
-                best_value = value;
-                best_point = point;
-            }
-        }
-        OptimizationResult::from_trace(best_point, best_value, true, trace)
+        let mut state = self.start(initial, max_evaluations);
+        self.resume_until(&mut state, objective, max_evaluations.max(1))
     }
 
     fn name(&self) -> &'static str {

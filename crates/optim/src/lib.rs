@@ -16,6 +16,11 @@
 //! All optimizers **minimize**; QAOA energy maximization is expressed by
 //! minimizing the negated expectation.
 //!
+//! Every bundled optimizer is also [`Resumable`]: a run can be checkpointed
+//! as an [`OptimizerState`] and continued later with a larger budget, which
+//! is what the search package's successive-halving pruner builds on. See
+//! [`resumable`] for the contract and a worked example.
+//!
 //! ```
 //! use optim::{NelderMead, Optimizer};
 //!
@@ -32,6 +37,7 @@ pub mod grid;
 pub mod nelder_mead;
 pub mod random_search;
 pub mod result;
+pub mod resumable;
 pub mod spsa;
 
 pub use cobyla::CobylaOptimizer;
@@ -39,6 +45,7 @@ pub use grid::GridSearch;
 pub use nelder_mead::NelderMead;
 pub use random_search::RandomSearch;
 pub use result::{OptimizationResult, OptimizationTrace};
+pub use resumable::{OptimizerState, Resumable};
 pub use spsa::Spsa;
 
 use serde::{Deserialize, Serialize};
@@ -79,6 +86,18 @@ pub enum OptimizerKind {
 impl OptimizerKind {
     /// Instantiate the optimizer with default hyper-parameters.
     pub fn build(self) -> Box<dyn Optimizer> {
+        match self {
+            OptimizerKind::Cobyla => Box::new(CobylaOptimizer::default()),
+            OptimizerKind::NelderMead => Box::new(NelderMead::default()),
+            OptimizerKind::Spsa => Box::new(Spsa::default()),
+            OptimizerKind::RandomSearch => Box::new(RandomSearch::default()),
+            OptimizerKind::GridSearch => Box::new(GridSearch::default()),
+        }
+    }
+
+    /// Instantiate the optimizer behind the [`Resumable`] interface (every
+    /// bundled optimizer supports checkpoint/resume).
+    pub fn build_resumable(self) -> Box<dyn Resumable> {
         match self {
             OptimizerKind::Cobyla => Box::new(CobylaOptimizer::default()),
             OptimizerKind::NelderMead => Box::new(NelderMead::default()),

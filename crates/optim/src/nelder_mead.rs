@@ -1,6 +1,10 @@
 //! Nelder–Mead downhill simplex minimizer.
+//!
+//! Organized as atomic iterations over an explicit [`NelderMeadState`] so a
+//! paused run can be [resumed](crate::Resumable) exactly where it stopped.
 
 use crate::result::{OptimizationResult, OptimizationTrace};
+use crate::resumable::{OptimizerState, Resumable};
 use crate::Optimizer;
 
 /// The Nelder–Mead simplex method with standard reflection / expansion /
@@ -34,21 +38,166 @@ impl Default for NelderMead {
     }
 }
 
-struct Evaluator<'a> {
-    objective: &'a (dyn Fn(&[f64]) -> f64 + Sync),
-    trace: OptimizationTrace,
-    budget: usize,
+/// Checkpointed state of a Nelder–Mead run (see [`Resumable`]).
+#[derive(Debug, Clone)]
+pub struct NelderMeadState {
+    pub(crate) initial: Vec<f64>,
+    /// Simplex vertices with their values, kept sorted best-first at
+    /// iteration boundaries.
+    pub(crate) simplex: Vec<(Vec<f64>, f64)>,
+    pub(crate) converged: bool,
+    pub(crate) trace: OptimizationTrace,
 }
 
-impl<'a> Evaluator<'a> {
-    fn eval(&mut self, x: &[f64]) -> f64 {
-        let v = (self.objective)(x);
-        self.trace.record(v);
-        v
+impl NelderMeadState {
+    pub(crate) fn snapshot(&self) -> OptimizationResult {
+        let best = self
+            .simplex
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        match best {
+            Some((bp, bv)) => {
+                OptimizationResult::from_trace(bp.clone(), *bv, self.converged, self.trace.clone())
+            }
+            None => OptimizationResult::from_trace(
+                self.initial.clone(),
+                f64::INFINITY,
+                self.converged,
+                self.trace.clone(),
+            ),
+        }
+    }
+}
+
+impl NelderMead {
+    /// One atomic step: full simplex initialization, or one complete
+    /// reflect/expand/contract/shrink iteration.
+    fn step(&self, s: &mut NelderMeadState, objective: &(dyn Fn(&[f64]) -> f64 + Sync)) {
+        let n = s.initial.len();
+        let eval = |x: &[f64], trace: &mut OptimizationTrace| {
+            let v = objective(x);
+            trace.record(v);
+            v
+        };
+
+        if n == 0 {
+            let v = eval(&s.initial, &mut s.trace);
+            s.simplex.push((s.initial.clone(), v));
+            s.converged = true;
+            return;
+        }
+
+        // Initial simplex: the start point plus a step along each axis, as
+        // one atomic block.
+        if s.simplex.len() < n + 1 {
+            let v0 = eval(&s.initial, &mut s.trace);
+            s.simplex.push((s.initial.clone(), v0));
+            for i in 0..n {
+                let mut x = s.initial.clone();
+                x[i] += if x[i].abs() > 1e-12 {
+                    self.initial_step * x[i].abs()
+                } else {
+                    self.initial_step
+                };
+                let v = eval(&x, &mut s.trace);
+                s.simplex.push((x, v));
+            }
+            return;
+        }
+
+        s.simplex
+            .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let best = s.simplex[0].1;
+        let worst = s.simplex[n].1;
+        if (worst - best).abs() < self.tolerance {
+            s.converged = true;
+            return;
+        }
+
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; n];
+        for (x, _) in s.simplex.iter().take(n) {
+            for (c, xi) in centroid.iter_mut().zip(x) {
+                *c += xi / n as f64;
+            }
+        }
+
+        let worst_point = s.simplex[n].0.clone();
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(&worst_point)
+            .map(|(c, w)| c + self.alpha * (c - w))
+            .collect();
+        let f_reflect = eval(&reflect, &mut s.trace);
+
+        if f_reflect < s.simplex[0].1 {
+            // Try to expand.
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(&reflect)
+                .map(|(c, r)| c + self.gamma * (r - c))
+                .collect();
+            let f_expand = eval(&expand, &mut s.trace);
+            s.simplex[n] = if f_expand < f_reflect {
+                (expand, f_expand)
+            } else {
+                (reflect, f_reflect)
+            };
+        } else if f_reflect < s.simplex[n - 1].1 {
+            s.simplex[n] = (reflect, f_reflect);
+        } else {
+            // Contraction.
+            let contract: Vec<f64> = centroid
+                .iter()
+                .zip(&worst_point)
+                .map(|(c, w)| c + self.rho * (w - c))
+                .collect();
+            let f_contract = eval(&contract, &mut s.trace);
+            if f_contract < s.simplex[n].1 {
+                s.simplex[n] = (contract, f_contract);
+            } else {
+                // Shrink toward the best vertex.
+                let best_point = s.simplex[0].0.clone();
+                for vertex in s.simplex.iter_mut().skip(1) {
+                    let new_x: Vec<f64> = best_point
+                        .iter()
+                        .zip(&vertex.0)
+                        .map(|(b, x)| b + self.sigma * (x - b))
+                        .collect();
+                    let new_v = eval(&new_x, &mut s.trace);
+                    *vertex = (new_x, new_v);
+                }
+            }
+        }
+    }
+}
+
+impl Resumable for NelderMead {
+    fn start(&self, initial: &[f64], _budget_hint: usize) -> OptimizerState {
+        OptimizerState::NelderMead(NelderMeadState {
+            initial: initial.to_vec(),
+            simplex: Vec::new(),
+            converged: false,
+            trace: OptimizationTrace::new(),
+        })
     }
 
-    fn exhausted(&self) -> bool {
-        self.trace.len() >= self.budget
+    fn resume_until(
+        &self,
+        state: &mut OptimizerState,
+        objective: &(dyn Fn(&[f64]) -> f64 + Sync),
+        target_evaluations: usize,
+    ) -> OptimizationResult {
+        let OptimizerState::NelderMead(s) = state else {
+            panic!(
+                "NelderMead::resume_until given a {} state",
+                state.kind_name()
+            );
+        };
+        while !s.converged && s.trace.len() < target_evaluations {
+            self.step(s, objective);
+        }
+        s.snapshot()
     }
 }
 
@@ -59,122 +208,8 @@ impl Optimizer for NelderMead {
         initial: &[f64],
         max_evaluations: usize,
     ) -> OptimizationResult {
-        let n = initial.len();
-        let mut ev = Evaluator {
-            objective,
-            trace: OptimizationTrace::new(),
-            budget: max_evaluations.max(1),
-        };
-
-        if n == 0 {
-            let value = ev.eval(initial);
-            return OptimizationResult::from_trace(initial.to_vec(), value, true, ev.trace);
-        }
-
-        // Initial simplex: the start point plus a step along each axis.
-        let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
-        let v0 = ev.eval(initial);
-        simplex.push((initial.to_vec(), v0));
-        for i in 0..n {
-            if ev.exhausted() {
-                break;
-            }
-            let mut x = initial.to_vec();
-            x[i] += if x[i].abs() > 1e-12 {
-                self.initial_step * x[i].abs()
-            } else {
-                self.initial_step
-            };
-            let v = ev.eval(&x);
-            simplex.push((x, v));
-        }
-        // If the budget died during initialization, return the best vertex.
-        if simplex.len() < n + 1 {
-            simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-            let (bp, bv) = simplex[0].clone();
-            return OptimizationResult::from_trace(bp, bv, false, ev.trace);
-        }
-
-        let mut converged = false;
-        while !ev.exhausted() {
-            simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-            let best = simplex[0].1;
-            let worst = simplex[n].1;
-            if (worst - best).abs() < self.tolerance {
-                converged = true;
-                break;
-            }
-
-            // Centroid of all but the worst vertex.
-            let mut centroid = vec![0.0; n];
-            for (x, _) in simplex.iter().take(n) {
-                for (c, xi) in centroid.iter_mut().zip(x) {
-                    *c += xi / n as f64;
-                }
-            }
-
-            let worst_point = simplex[n].0.clone();
-            let reflect: Vec<f64> = centroid
-                .iter()
-                .zip(&worst_point)
-                .map(|(c, w)| c + self.alpha * (c - w))
-                .collect();
-            let f_reflect = ev.eval(&reflect);
-
-            if f_reflect < simplex[0].1 {
-                // Try to expand.
-                if ev.exhausted() {
-                    simplex[n] = (reflect, f_reflect);
-                    break;
-                }
-                let expand: Vec<f64> = centroid
-                    .iter()
-                    .zip(&reflect)
-                    .map(|(c, r)| c + self.gamma * (r - c))
-                    .collect();
-                let f_expand = ev.eval(&expand);
-                simplex[n] = if f_expand < f_reflect {
-                    (expand, f_expand)
-                } else {
-                    (reflect, f_reflect)
-                };
-            } else if f_reflect < simplex[n - 1].1 {
-                simplex[n] = (reflect, f_reflect);
-            } else {
-                // Contraction.
-                if ev.exhausted() {
-                    break;
-                }
-                let contract: Vec<f64> = centroid
-                    .iter()
-                    .zip(&worst_point)
-                    .map(|(c, w)| c + self.rho * (w - c))
-                    .collect();
-                let f_contract = ev.eval(&contract);
-                if f_contract < simplex[n].1 {
-                    simplex[n] = (contract, f_contract);
-                } else {
-                    // Shrink toward the best vertex.
-                    let best_point = simplex[0].0.clone();
-                    for vertex in simplex.iter_mut().skip(1) {
-                        if ev.exhausted() {
-                            break;
-                        }
-                        let new_x: Vec<f64> = best_point
-                            .iter()
-                            .zip(&vertex.0)
-                            .map(|(b, x)| b + self.sigma * (x - b))
-                            .collect();
-                        let new_v = ev.eval(&new_x);
-                        *vertex = (new_x, new_v);
-                    }
-                }
-            }
-        }
-
-        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-        let (best_point, best_value) = simplex[0].clone();
-        OptimizationResult::from_trace(best_point, best_value, converged, ev.trace)
+        let mut state = self.start(initial, max_evaluations);
+        self.resume_until(&mut state, objective, max_evaluations.max(1))
     }
 
     fn name(&self) -> &'static str {

@@ -3,8 +3,13 @@
 //! Random search is both a baseline optimizer for the ablation benches and a
 //! nod to the paper's observation that random search is "a strong baseline in
 //! neural architecture search" (Li & Talwalkar, 2020).
+//!
+//! The run is a sequence of one-evaluation steps over an explicit
+//! [`RandomSearchState`] (RNG stream plus incumbent), so it is trivially
+//! [resumable](crate::Resumable).
 
 use crate::result::{OptimizationResult, OptimizationTrace};
+use crate::resumable::{OptimizerState, Resumable};
 use crate::Optimizer;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -27,6 +32,82 @@ impl Default for RandomSearch {
     }
 }
 
+/// Checkpointed state of a random-search run (see [`Resumable`]).
+#[derive(Debug, Clone)]
+pub struct RandomSearchState {
+    /// Center of the sampling box.
+    pub(crate) center: Vec<f64>,
+    pub(crate) best_point: Vec<f64>,
+    pub(crate) best_value: f64,
+    pub(crate) started: bool,
+    pub(crate) converged: bool,
+    pub(crate) rng: ChaCha8Rng,
+    pub(crate) trace: OptimizationTrace,
+}
+
+impl RandomSearchState {
+    pub(crate) fn snapshot(&self) -> OptimizationResult {
+        OptimizationResult::from_trace(
+            self.best_point.clone(),
+            self.best_value,
+            self.converged,
+            self.trace.clone(),
+        )
+    }
+}
+
+impl Resumable for RandomSearch {
+    fn start(&self, initial: &[f64], _budget_hint: usize) -> OptimizerState {
+        OptimizerState::RandomSearch(RandomSearchState {
+            center: initial.to_vec(),
+            best_point: initial.to_vec(),
+            best_value: f64::INFINITY,
+            started: false,
+            converged: false,
+            rng: ChaCha8Rng::seed_from_u64(self.seed),
+            trace: OptimizationTrace::new(),
+        })
+    }
+
+    fn resume_until(
+        &self,
+        state: &mut OptimizerState,
+        objective: &(dyn Fn(&[f64]) -> f64 + Sync),
+        target_evaluations: usize,
+    ) -> OptimizationResult {
+        let OptimizerState::RandomSearch(s) = state else {
+            panic!(
+                "RandomSearch::resume_until given a {} state",
+                state.kind_name()
+            );
+        };
+        if !s.started && target_evaluations > 0 {
+            let v = objective(&s.center);
+            s.trace.record(v);
+            s.best_value = v;
+            s.best_point = s.center.clone();
+            s.started = true;
+            if s.center.is_empty() {
+                s.converged = true;
+            }
+        }
+        while !s.converged && s.trace.len() < target_evaluations {
+            let candidate: Vec<f64> = s
+                .center
+                .iter()
+                .map(|&x| x + s.rng.gen_range(-self.half_width..=self.half_width))
+                .collect();
+            let value = objective(&candidate);
+            s.trace.record(value);
+            if value < s.best_value {
+                s.best_value = value;
+                s.best_point = candidate;
+            }
+        }
+        s.snapshot()
+    }
+}
+
 impl Optimizer for RandomSearch {
     fn minimize(
         &self,
@@ -34,27 +115,8 @@ impl Optimizer for RandomSearch {
         initial: &[f64],
         max_evaluations: usize,
     ) -> OptimizationResult {
-        let budget = max_evaluations.max(1);
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
-        let mut trace = OptimizationTrace::new();
-
-        let mut best_point = initial.to_vec();
-        let mut best_value = objective(initial);
-        trace.record(best_value);
-
-        for _ in 1..budget {
-            let candidate: Vec<f64> = initial
-                .iter()
-                .map(|&x| x + rng.gen_range(-self.half_width..=self.half_width))
-                .collect();
-            let value = objective(&candidate);
-            trace.record(value);
-            if value < best_value {
-                best_value = value;
-                best_point = candidate;
-            }
-        }
-        OptimizationResult::from_trace(best_point, best_value, false, trace)
+        let mut state = self.start(initial, max_evaluations);
+        self.resume_until(&mut state, objective, max_evaluations.max(1))
     }
 
     fn name(&self) -> &'static str {

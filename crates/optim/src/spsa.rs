@@ -5,8 +5,20 @@
 //! variational-quantum objectives. It is included here as an alternative
 //! evaluator optimizer and as a subject of the optimizer-comparison ablation
 //! bench.
+//!
+//! The run is a sequence of atomic perturbation-pair iterations over an
+//! explicit [`SpsaState`] (iterate, gain counter, RNG stream), so a paused
+//! run [resumes](crate::Resumable) on the exact same stochastic trajectory.
+//! Each iteration's evaluation cost is known up front (2, plus 1 every tenth
+//! iteration for the iterate check), and an iteration only begins when it
+//! fits the remaining budget — SPSA never overshoots. (The pre-resumable
+//! implementation spent one extra evaluation on the final iterate when the
+//! budget allowed; that check depended on knowing which call was the last
+//! one, which a resumable run cannot, so seeded results differ slightly
+//! from releases before the checkpoint API.)
 
 use crate::result::{OptimizationResult, OptimizationTrace};
+use crate::resumable::{OptimizerState, Resumable};
 use crate::Optimizer;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -52,6 +64,127 @@ impl Spsa {
     }
 }
 
+/// Checkpointed state of an SPSA run (see [`Resumable`]).
+#[derive(Debug, Clone)]
+pub struct SpsaState {
+    pub(crate) x: Vec<f64>,
+    pub(crate) best_point: Vec<f64>,
+    pub(crate) best_value: f64,
+    pub(crate) k: usize,
+    pub(crate) started: bool,
+    pub(crate) converged: bool,
+    pub(crate) rng: ChaCha8Rng,
+    pub(crate) trace: OptimizationTrace,
+}
+
+impl SpsaState {
+    pub(crate) fn snapshot(&self) -> OptimizationResult {
+        OptimizationResult::from_trace(
+            self.best_point.clone(),
+            self.best_value,
+            self.converged,
+            self.trace.clone(),
+        )
+    }
+}
+
+impl Spsa {
+    /// Evaluation cost of iteration `k` (a perturbation pair, plus the
+    /// periodic iterate check every tenth iteration).
+    fn iteration_cost(k: usize) -> usize {
+        if k % 10 == 9 {
+            3
+        } else {
+            2
+        }
+    }
+
+    /// One atomic SPSA iteration.
+    fn step(&self, s: &mut SpsaState, objective: &(dyn Fn(&[f64]) -> f64 + Sync)) {
+        let n = s.x.len();
+        let ak = self.a / ((s.k as f64) + 1.0 + self.stability).powf(self.alpha);
+        let ck = self.c / ((s.k as f64) + 1.0).powf(self.gamma);
+
+        // Rademacher perturbation.
+        let delta: Vec<f64> = (0..n)
+            .map(|_| if s.rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect();
+
+        let x_plus: Vec<f64> = s.x.iter().zip(&delta).map(|(xi, d)| xi + ck * d).collect();
+        let x_minus: Vec<f64> = s.x.iter().zip(&delta).map(|(xi, d)| xi - ck * d).collect();
+
+        let f_plus = objective(&x_plus);
+        s.trace.record(f_plus);
+        let f_minus = objective(&x_minus);
+        s.trace.record(f_minus);
+
+        // Gradient estimate and update.
+        for (xi, d) in s.x.iter_mut().zip(&delta) {
+            let g = (f_plus - f_minus) / (2.0 * ck * d);
+            *xi -= ak * g;
+        }
+
+        // Track the best of the probe points and (periodically) the iterate.
+        if f_plus < s.best_value {
+            s.best_value = f_plus;
+            s.best_point = x_plus;
+        }
+        if f_minus < s.best_value {
+            s.best_value = f_minus;
+            s.best_point = x_minus;
+        }
+        if s.k % 10 == 9 {
+            let f_x = objective(&s.x);
+            s.trace.record(f_x);
+            if f_x < s.best_value {
+                s.best_value = f_x;
+                s.best_point = s.x.clone();
+            }
+        }
+        s.k += 1;
+    }
+}
+
+impl Resumable for Spsa {
+    fn start(&self, initial: &[f64], _budget_hint: usize) -> OptimizerState {
+        OptimizerState::Spsa(SpsaState {
+            x: initial.to_vec(),
+            best_point: initial.to_vec(),
+            best_value: f64::INFINITY,
+            k: 0,
+            started: false,
+            converged: false,
+            rng: ChaCha8Rng::seed_from_u64(self.seed),
+            trace: OptimizationTrace::new(),
+        })
+    }
+
+    fn resume_until(
+        &self,
+        state: &mut OptimizerState,
+        objective: &(dyn Fn(&[f64]) -> f64 + Sync),
+        target_evaluations: usize,
+    ) -> OptimizationResult {
+        let OptimizerState::Spsa(s) = state else {
+            panic!("Spsa::resume_until given a {} state", state.kind_name());
+        };
+        if !s.started && target_evaluations > 0 {
+            let v = objective(&s.x);
+            s.trace.record(v);
+            s.best_value = v;
+            s.best_point = s.x.clone();
+            s.started = true;
+            if s.x.is_empty() {
+                s.converged = true;
+            }
+        }
+        while !s.converged && s.trace.len() + Spsa::iteration_cost(s.k) <= target_evaluations {
+            self.step(s, objective);
+        }
+        s.snapshot()
+    }
+}
+
 impl Optimizer for Spsa {
     fn minimize(
         &self,
@@ -59,77 +192,8 @@ impl Optimizer for Spsa {
         initial: &[f64],
         max_evaluations: usize,
     ) -> OptimizationResult {
-        let n = initial.len();
-        let budget = max_evaluations.max(1);
-        let mut trace = OptimizationTrace::new();
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
-
-        let mut x = initial.to_vec();
-        let mut best_point = x.clone();
-        let mut best_value = objective(&x);
-        trace.record(best_value);
-
-        if n == 0 {
-            return OptimizationResult::from_trace(best_point, best_value, true, trace);
-        }
-
-        let mut k = 0usize;
-        // Each iteration consumes two evaluations (plus occasionally one to
-        // track the current iterate).
-        while trace.len() + 2 <= budget {
-            let ak = self.a / ((k as f64) + 1.0 + self.stability).powf(self.alpha);
-            let ck = self.c / ((k as f64) + 1.0).powf(self.gamma);
-
-            // Rademacher perturbation.
-            let delta: Vec<f64> = (0..n)
-                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
-                .collect();
-
-            let x_plus: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi + ck * d).collect();
-            let x_minus: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi - ck * d).collect();
-
-            let f_plus = objective(&x_plus);
-            trace.record(f_plus);
-            let f_minus = objective(&x_minus);
-            trace.record(f_minus);
-
-            // Gradient estimate and update.
-            for i in 0..n {
-                let g = (f_plus - f_minus) / (2.0 * ck * delta[i]);
-                x[i] -= ak * g;
-            }
-
-            // Track the best of the probe points and (periodically) the iterate.
-            if f_plus < best_value {
-                best_value = f_plus;
-                best_point = x_plus;
-            }
-            if f_minus < best_value {
-                best_value = f_minus;
-                best_point = x_minus;
-            }
-            if trace.len() < budget && k % 10 == 9 {
-                let f_x = objective(&x);
-                trace.record(f_x);
-                if f_x < best_value {
-                    best_value = f_x;
-                    best_point = x.clone();
-                }
-            }
-            k += 1;
-        }
-
-        // Final check of the last iterate if the budget allows.
-        if trace.len() < budget {
-            let f_x = objective(&x);
-            trace.record(f_x);
-            if f_x < best_value {
-                best_value = f_x;
-                best_point = x;
-            }
-        }
-
-        OptimizationResult::from_trace(best_point, best_value, false, trace)
+        let mut state = self.start(initial, max_evaluations);
+        self.resume_until(&mut state, objective, max_evaluations.max(1))
     }
 
     fn name(&self) -> &'static str {

@@ -73,6 +73,39 @@ impl QaoaAnsatz {
         2 * self.depth
     }
 
+    /// The paper-style small-angle initial point in flat layout
+    /// `[γ_0..γ_{p-1}, β_0..β_{p-1}]`: every γ starts at 0.1 and every β at
+    /// 0.2 (γ and β on different scales is a common QAOA warm-start
+    /// heuristic).
+    pub fn default_initial_flat(&self) -> Vec<f64> {
+        let p = self.depth;
+        let mut initial = vec![0.1; 2 * p];
+        for b in initial.iter_mut().skip(p) {
+            *b = 0.2;
+        }
+        initial
+    }
+
+    /// A warm-started flat initial point that transfers trained angles from
+    /// a shallower (typically depth `p − 1`) result: layers `0..m` reuse the
+    /// given angles (`m = min(prev depth, p)`), and any remaining layers
+    /// start at the small-angle default of
+    /// [`default_initial_flat`](Self::default_initial_flat).
+    ///
+    /// This is the per-layer parameter reuse the search pipeline applies
+    /// when it moves from depth `p − 1` to depth `p`: a depth-`p` ansatz can
+    /// represent every depth-`p − 1` state by zeroing its last layer, so
+    /// starting from the shallower optimum cuts iterations-to-convergence
+    /// substantially compared to restarting from scratch.
+    pub fn warm_start_flat(&self, prev_gammas: &[f64], prev_betas: &[f64]) -> Vec<f64> {
+        let p = self.depth;
+        let mut initial = self.default_initial_flat();
+        let m = prev_gammas.len().min(prev_betas.len()).min(p);
+        initial[..m].copy_from_slice(&prev_gammas[..m]);
+        initial[p..p + m].copy_from_slice(&prev_betas[..m]);
+        initial
+    }
+
     /// Bind explicit angle vectors (`gammas.len() == betas.len() == p`).
     pub fn bind(&self, gammas: &[f64], betas: &[f64]) -> Result<Circuit, QaoaError> {
         if gammas.len() != self.depth {
@@ -182,6 +215,42 @@ mod tests {
         assert_eq!(ansatz.template().len(), 4); // only the H layer
         assert_eq!(ansatz.num_parameters(), 0);
         assert!(ansatz.bind(&[], &[]).is_ok());
+    }
+
+    #[test]
+    fn default_initial_flat_uses_two_scales() {
+        let g = Graph::cycle(4);
+        let ansatz = QaoaAnsatz::new(&g, 3, Mixer::baseline());
+        let init = ansatz.default_initial_flat();
+        assert_eq!(init.len(), 6);
+        assert_eq!(&init[..3], &[0.1, 0.1, 0.1]);
+        assert_eq!(&init[3..], &[0.2, 0.2, 0.2]);
+    }
+
+    #[test]
+    fn warm_start_reuses_shallower_layers_and_pads_the_rest() {
+        let g = Graph::cycle(4);
+        let ansatz = QaoaAnsatz::new(&g, 3, Mixer::baseline());
+        let init = ansatz.warm_start_flat(&[0.7, -0.3], &[0.5, 0.9]);
+        assert_eq!(init, vec![0.7, -0.3, 0.1, 0.5, 0.9, 0.2]);
+    }
+
+    #[test]
+    fn warm_start_truncates_deeper_sources() {
+        let g = Graph::cycle(4);
+        let ansatz = QaoaAnsatz::new(&g, 1, Mixer::baseline());
+        let init = ansatz.warm_start_flat(&[0.7, -0.3, 0.2], &[0.5, 0.9, 0.4]);
+        assert_eq!(init, vec![0.7, 0.5]);
+    }
+
+    #[test]
+    fn warm_start_with_empty_source_is_the_default() {
+        let g = Graph::cycle(4);
+        let ansatz = QaoaAnsatz::new(&g, 2, Mixer::baseline());
+        assert_eq!(
+            ansatz.warm_start_flat(&[], &[]),
+            ansatz.default_initial_flat()
+        );
     }
 
     #[test]

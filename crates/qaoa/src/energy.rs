@@ -10,7 +10,7 @@ use crate::ansatz::QaoaAnsatz;
 use crate::backend::Backend;
 use crate::error::QaoaError;
 use graphs::{Graph, MaxCut};
-use optim::{OptimizationTrace, Optimizer};
+use optim::{OptimizationResult, OptimizationTrace, Optimizer, OptimizerState, Resumable};
 use serde::{Deserialize, Serialize};
 use statevec::{CompiledProgram, StateVector};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -167,10 +167,7 @@ impl EnergyEvaluator {
         let p = ansatz.depth();
         // Small non-zero initial angles; γ and β start on different scales,
         // a common heuristic for QAOA warm starts.
-        let mut initial = vec![0.1; 2 * p];
-        for b in initial.iter_mut().skip(p) {
-            *b = 0.2;
-        }
+        let initial = ansatz.default_initial_flat();
 
         if p == 0 {
             // Nothing to optimize: the plus state cuts half the weight.
@@ -248,11 +245,7 @@ impl EnergyEvaluator {
 
         // Candidate starting points, flat layout [γ…, β…].
         let mut starts: Vec<Vec<f64>> = Vec::new();
-        let mut small = vec![0.1; 2 * p];
-        for b in small.iter_mut().skip(p) {
-            *b = 0.2;
-        }
-        starts.push(small);
+        starts.push(ansatz.default_initial_flat());
         let (g1, b1, _) = crate::analytic::best_p1_angles_by_grid(&self.graph, 16);
         let mut analytic_start = vec![0.0; 2 * p];
         for k in 0..p {
@@ -319,10 +312,7 @@ impl EnergyEvaluator {
             return Err(QaoaError::EmptyGraph);
         }
         let p = ansatz.depth();
-        let mut initial = vec![0.1; 2 * p];
-        for b in initial.iter_mut().skip(p) {
-            *b = 0.2;
-        }
+        let initial = ansatz.default_initial_flat();
         let fast = self.fast_path(ansatz);
         let objective = |params: &[f64]| -> f64 {
             let energy = match &fast {
@@ -347,6 +337,206 @@ impl EnergyEvaluator {
         };
         Ok((trained, result.trace))
     }
+
+    /// Begin a **resumable** training run: the returned [`TrainingSession`]
+    /// can be advanced in budget rungs (successive halving) and always
+    /// continues from its checkpointed optimizer state instead of
+    /// restarting.
+    ///
+    /// `initial` is the flat `[γ…, β…]` starting point (`None` = the
+    /// paper-style small-angle default; the search pipeline passes a
+    /// [warm start](QaoaAnsatz::warm_start_flat) transferred from depth
+    /// `p − 1`). `budget_hint` is the total evaluation budget the run will
+    /// receive if it survives every pruning rung (forwarded to
+    /// [`Resumable::start`]). No objective evaluations are consumed here.
+    pub fn begin_training(
+        &self,
+        ansatz: &QaoaAnsatz,
+        optimizer: &dyn Resumable,
+        initial: Option<&[f64]>,
+        budget_hint: usize,
+    ) -> Result<TrainingSession, QaoaError> {
+        if self.graph.num_edges() == 0 {
+            return Err(QaoaError::EmptyGraph);
+        }
+        let p = ansatz.depth();
+        let initial_vec = match initial {
+            Some(x) => {
+                if x.len() != 2 * p {
+                    return Err(QaoaError::WrongParameterCount {
+                        kind: "flat".to_string(),
+                        depth: p,
+                        expected: 2 * p,
+                        got: x.len(),
+                    });
+                }
+                x.to_vec()
+            }
+            None => ansatz.default_initial_flat(),
+        };
+        let fast = self.fast_path(ansatz);
+        let state = (p > 0).then(|| optimizer.start(&initial_vec, budget_hint));
+        Ok(TrainingSession {
+            evaluator: self.clone(),
+            ansatz: ansatz.clone(),
+            fast,
+            state,
+            zero_depth: None,
+        })
+    }
+}
+
+/// A checkpointable training run of one ansatz on one graph.
+///
+/// Created by [`EnergyEvaluator::begin_training`]. Each
+/// [`advance_in`](Self::advance_in) call continues the underlying
+/// [`Resumable`] optimizer until its cumulative evaluation count reaches a
+/// target — the successive-halving pipeline promotes a candidate simply by
+/// calling `advance_in` again with the next rung's larger target.
+#[derive(Debug)]
+pub struct TrainingSession {
+    evaluator: EnergyEvaluator,
+    ansatz: QaoaAnsatz,
+    fast: Option<CompiledEnergy>,
+    /// `None` only for depth-0 ansätze, which have nothing to optimize.
+    state: Option<OptimizerState>,
+    /// Cached depth-0 result (a single plus-state evaluation).
+    zero_depth: Option<TrainedCircuit>,
+}
+
+impl TrainingSession {
+    /// Register width of the trained ansatz (the size a scratch state passed
+    /// to [`advance_in`](Self::advance_in) must have).
+    pub fn num_qubits(&self) -> usize {
+        self.ansatz.num_qubits()
+    }
+
+    /// Whether this session runs on the compiled state-vector fast path and
+    /// therefore profits from an external scratch state.
+    pub fn uses_compiled_scratch(&self) -> bool {
+        self.fast.is_some()
+    }
+
+    /// Cumulative objective evaluations consumed so far.
+    pub fn evaluations(&self) -> usize {
+        match &self.state {
+            Some(s) => s.evaluations(),
+            None => usize::from(self.zero_depth.is_some()),
+        }
+    }
+
+    /// Advance training until the optimizer has consumed `target_evaluations`
+    /// cumulative objective evaluations (a target at or below the current
+    /// count is a snapshot no-op).
+    pub fn advance(
+        &mut self,
+        optimizer: &dyn Resumable,
+        target_evaluations: usize,
+    ) -> Result<TrainedCircuit, QaoaError> {
+        self.advance_in(optimizer, target_evaluations, None)
+    }
+
+    /// [`advance`](Self::advance) with an optional caller-provided scratch
+    /// state for the compiled fast path (per-worker buffer reuse in the
+    /// search pipeline). The scratch must have [`num_qubits`](Self::num_qubits)
+    /// qubits; it is ignored when the session does not use the compiled path.
+    pub fn advance_in(
+        &mut self,
+        optimizer: &dyn Resumable,
+        target_evaluations: usize,
+        scratch: Option<&mut StateVector>,
+    ) -> Result<TrainedCircuit, QaoaError> {
+        let TrainingSession {
+            evaluator,
+            ansatz,
+            fast,
+            state,
+            zero_depth,
+        } = self;
+
+        let Some(state) = state.as_mut() else {
+            // Depth 0: a single evaluation of the plus state, cached.
+            if zero_depth.is_none() {
+                let energy = evaluator.energy(ansatz, &[], &[])?;
+                *zero_depth = Some(TrainedCircuit {
+                    energy,
+                    gammas: vec![],
+                    betas: vec![],
+                    evaluations: 1,
+                    approx_ratio: evaluator.approx_ratio(energy),
+                    classical_optimum: evaluator.classical_optimum,
+                });
+            }
+            return Ok(zero_depth.clone().expect("just cached"));
+        };
+
+        if let (Some(compiled), Some(buf)) = (&*fast, scratch.as_deref()) {
+            if buf.num_qubits() != compiled.num_qubits() {
+                return Err(QaoaError::Backend {
+                    message: format!(
+                        "scratch state has {} qubits, ansatz needs {}",
+                        buf.num_qubits(),
+                        compiled.num_qubits()
+                    ),
+                });
+            }
+        }
+
+        // The optimizer needs a `Fn + Sync` objective, so a mutable external
+        // scratch goes behind an (uncontended, worker-local) mutex.
+        let scratch_cell = scratch.map(Mutex::new);
+        let objective = |params: &[f64]| -> f64 {
+            let energy = match (&*fast, &scratch_cell) {
+                (Some(compiled), Some(cell)) => {
+                    let mut buf = cell.lock().unwrap_or_else(|e| e.into_inner());
+                    compiled.energy_flat_in(params, &mut buf)
+                }
+                (Some(compiled), None) => compiled.energy_flat(params),
+                (None, _) => evaluator.energy_flat(ansatz, params),
+            };
+            match energy {
+                Ok(e) => -e,
+                Err(_) => f64::INFINITY,
+            }
+        };
+        let result = optimizer.resume_until(state, &objective, target_evaluations);
+        Self::trained_from(evaluator, ansatz.depth(), result)
+    }
+
+    /// Snapshot the best result found so far without advancing the run.
+    pub fn best(&self) -> Result<TrainedCircuit, QaoaError> {
+        match (&self.state, &self.zero_depth) {
+            (Some(state), _) => {
+                Self::trained_from(&self.evaluator, self.ansatz.depth(), state.result())
+            }
+            (None, Some(t)) => Ok(t.clone()),
+            (None, None) => Err(QaoaError::Backend {
+                message: "depth-0 session has not been advanced yet".to_string(),
+            }),
+        }
+    }
+
+    fn trained_from(
+        evaluator: &EnergyEvaluator,
+        p: usize,
+        result: OptimizationResult,
+    ) -> Result<TrainedCircuit, QaoaError> {
+        let best_energy = -result.best_value;
+        if !best_energy.is_finite() {
+            return Err(QaoaError::Backend {
+                message: "optimizer failed to produce a finite energy".to_string(),
+            });
+        }
+        let (gammas, betas) = result.best_point.split_at(p);
+        Ok(TrainedCircuit {
+            energy: best_energy,
+            gammas: gammas.to_vec(),
+            betas: betas.to_vec(),
+            evaluations: result.evaluations,
+            approx_ratio: evaluator.approx_ratio(best_energy),
+            classical_optimum: evaluator.classical_optimum,
+        })
+    }
 }
 
 /// The compiled QAOA objective: ansatz lowered once, Max-Cut diagonal cached
@@ -358,6 +548,7 @@ impl EnergyEvaluator {
 #[derive(Debug)]
 pub struct CompiledEnergy {
     program: CompiledProgram,
+    num_qubits: usize,
     /// Program slot for each flat parameter position (`[γ…, β…]`); `None`
     /// when the ansatz never uses that angle (e.g. a parameterless mixer).
     slot_for_flat: Vec<Option<usize>>,
@@ -366,12 +557,16 @@ pub struct CompiledEnergy {
     diag: Arc<Vec<f64>>,
     /// Scratch buffers, reused across calls. The lock is uncontended in
     /// sequential optimizers and negligible next to the `2^n` kernel work.
+    /// The `2^n` state is allocated lazily on the first
+    /// [`CompiledEnergy::energy_flat`] call: callers that always supply an
+    /// external scratch via [`CompiledEnergy::energy_flat_in`] (the search
+    /// pipeline's per-worker buffers) never pay for it.
     scratch: Mutex<Scratch>,
 }
 
 #[derive(Debug)]
 struct Scratch {
-    state: StateVector,
+    state: Option<StateVector>,
     slots: Vec<f64>,
 }
 
@@ -401,14 +596,19 @@ impl CompiledEnergy {
         // After the compile above succeeded, n is within the dense limit, so
         // materializing the 2^n diagonal (cached per graph) is safe.
         let diag = eval.maxcut_diag();
-        let state = StateVector::zero_state(n).map_err(map_err)?;
         let slots = vec![0.0; program.num_params()];
         Ok(CompiledEnergy {
             program,
+            num_qubits: n,
             slot_for_flat,
             diag,
-            scratch: Mutex::new(Scratch { state, slots }),
+            scratch: Mutex::new(Scratch { state: None, slots }),
         })
+    }
+
+    /// Register width of the compiled program.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
     }
 
     /// The lowered program (op/table counts are useful for diagnostics).
@@ -416,8 +616,48 @@ impl CompiledEnergy {
         &self.program
     }
 
-    /// ⟨C⟩ for a flat parameter vector `[γ…, β…]`, allocation-free.
+    /// ⟨C⟩ for a flat parameter vector `[γ…, β…]`, allocation-free (after
+    /// the internal scratch state is built on first use).
     pub fn energy_flat(&self, params: &[f64]) -> Result<f64, QaoaError> {
+        self.check_params(params)?;
+        let map_err = |e: statevec::SimulatorError| QaoaError::Backend {
+            message: e.to_string(),
+        };
+        let mut guard = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        let Scratch { state, slots } = &mut *guard;
+        let state = match state {
+            Some(s) => s,
+            None => state.insert(StateVector::zero_state(self.num_qubits).map_err(map_err)?),
+        };
+        Self::fill_slots(&self.slot_for_flat, params, slots);
+        self.program.execute_into(slots, state).map_err(map_err)?;
+        state.expectation_diagonal(&self.diag).map_err(map_err)
+    }
+
+    /// ⟨C⟩ for a flat parameter vector, simulated into a caller-provided
+    /// scratch state (must have this program's register width).
+    ///
+    /// This is the zero-allocation path the search pipeline's work-stealing
+    /// workers use: one `2^n` buffer per worker, shared across every
+    /// candidate trained on the same graph size, instead of one buffer per
+    /// compiled objective.
+    pub fn energy_flat_in(
+        &self,
+        params: &[f64],
+        state: &mut StateVector,
+    ) -> Result<f64, QaoaError> {
+        self.check_params(params)?;
+        let map_err = |e: statevec::SimulatorError| QaoaError::Backend {
+            message: e.to_string(),
+        };
+        let mut guard = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        let slots = &mut guard.slots;
+        Self::fill_slots(&self.slot_for_flat, params, slots);
+        self.program.execute_into(slots, state).map_err(map_err)?;
+        state.expectation_diagonal(&self.diag).map_err(map_err)
+    }
+
+    fn check_params(&self, params: &[f64]) -> Result<(), QaoaError> {
         if params.len() != self.slot_for_flat.len() {
             return Err(QaoaError::WrongParameterCount {
                 kind: "flat".to_string(),
@@ -426,18 +666,15 @@ impl CompiledEnergy {
                 got: params.len(),
             });
         }
-        let mut guard = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
-        let Scratch { state, slots } = &mut *guard;
-        for (value, slot) in params.iter().zip(&self.slot_for_flat) {
+        Ok(())
+    }
+
+    fn fill_slots(slot_for_flat: &[Option<usize>], params: &[f64], slots: &mut [f64]) {
+        for (value, slot) in params.iter().zip(slot_for_flat) {
             if let Some(s) = *slot {
                 slots[s] = *value;
             }
         }
-        let map_err = |e: statevec::SimulatorError| QaoaError::Backend {
-            message: e.to_string(),
-        };
-        self.program.execute_into(slots, state).map_err(map_err)?;
-        state.expectation_diagonal(&self.diag).map_err(map_err)
     }
 }
 
@@ -560,6 +797,149 @@ mod tests {
         let a = eval.train(&ansatz, &opt, 50).unwrap();
         let b = eval.train_multistart(&ansatz, &opt, 50, 1).unwrap();
         assert!((a.energy - b.energy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn session_advanced_in_rungs_equals_one_shot_training() {
+        let graph = Graph::erdos_renyi(7, 0.5, 11);
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let ansatz = QaoaAnsatz::new(&graph, 2, Mixer::qnas());
+        let opt = CobylaOptimizer::default();
+
+        let one_shot = eval.train(&ansatz, &opt, 120).unwrap();
+
+        let mut session = eval.begin_training(&ansatz, &opt, None, 120).unwrap();
+        session.advance(&opt, 30).unwrap();
+        session.advance(&opt, 70).unwrap();
+        let resumed = session.advance(&opt, 120).unwrap();
+
+        assert_eq!(one_shot.energy, resumed.energy, "bitwise equality expected");
+        assert_eq!(one_shot.gammas, resumed.gammas);
+        assert_eq!(one_shot.betas, resumed.betas);
+        assert_eq!(one_shot.evaluations, resumed.evaluations);
+    }
+
+    #[test]
+    fn session_external_scratch_matches_internal_scratch() {
+        let graph = Graph::cycle(6);
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::baseline());
+        let opt = CobylaOptimizer::default();
+
+        let mut internal = eval.begin_training(&ansatz, &opt, None, 60).unwrap();
+        let a = internal.advance(&opt, 60).unwrap();
+
+        let mut external = eval.begin_training(&ansatz, &opt, None, 60).unwrap();
+        assert!(external.uses_compiled_scratch());
+        let mut buf = StateVector::zero_state(6).unwrap();
+        let b = external.advance_in(&opt, 60, Some(&mut buf)).unwrap();
+
+        assert_eq!(a.energy, b.energy);
+        assert_eq!(a.gammas, b.gammas);
+        assert_eq!(a.betas, b.betas);
+    }
+
+    #[test]
+    fn session_rejects_mis_sized_scratch() {
+        let graph = Graph::cycle(5);
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::baseline());
+        let opt = CobylaOptimizer::default();
+        let mut session = eval.begin_training(&ansatz, &opt, None, 40).unwrap();
+        let mut wrong = StateVector::zero_state(3).unwrap();
+        assert!(session.advance_in(&opt, 40, Some(&mut wrong)).is_err());
+    }
+
+    #[test]
+    fn session_with_warm_start_initial_point() {
+        let graph = Graph::erdos_renyi(6, 0.5, 3);
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let opt = CobylaOptimizer::default();
+        let shallow = eval
+            .train(&QaoaAnsatz::new(&graph, 1, Mixer::baseline()), &opt, 80)
+            .unwrap();
+        let deeper = QaoaAnsatz::new(&graph, 2, Mixer::baseline());
+        let warm = deeper.warm_start_flat(&shallow.gammas, &shallow.betas);
+        let mut session = eval.begin_training(&deeper, &opt, Some(&warm), 80).unwrap();
+        let trained = session.advance(&opt, 80).unwrap();
+        // Warm-started depth-2 must not fall behind the depth-1 optimum by
+        // more than optimizer noise.
+        assert!(
+            trained.energy >= shallow.energy - 0.05,
+            "warm-started {} vs shallow {}",
+            trained.energy,
+            shallow.energy
+        );
+    }
+
+    #[test]
+    fn session_wrong_initial_length_is_rejected() {
+        let graph = Graph::cycle(5);
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let ansatz = QaoaAnsatz::new(&graph, 2, Mixer::baseline());
+        let opt = CobylaOptimizer::default();
+        assert!(matches!(
+            eval.begin_training(&ansatz, &opt, Some(&[0.1]), 40),
+            Err(QaoaError::WrongParameterCount { .. })
+        ));
+    }
+
+    #[test]
+    fn session_depth_zero_is_one_evaluation() {
+        let graph = Graph::cycle(4);
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let ansatz = QaoaAnsatz::new(&graph, 0, Mixer::baseline());
+        let opt = CobylaOptimizer::default();
+        let mut session = eval.begin_training(&ansatz, &opt, None, 10).unwrap();
+        let t = session.advance(&opt, 10).unwrap();
+        assert!((t.energy - 2.0).abs() < 1e-10);
+        assert_eq!(session.evaluations(), 1);
+        // Advancing again does not re-evaluate.
+        session.advance(&opt, 50).unwrap();
+        assert_eq!(session.evaluations(), 1);
+    }
+
+    #[test]
+    fn session_best_snapshot_matches_last_advance() {
+        let graph = Graph::cycle(6);
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::baseline());
+        let opt = CobylaOptimizer::default();
+        let mut session = eval.begin_training(&ansatz, &opt, None, 50).unwrap();
+        let advanced = session.advance(&opt, 50).unwrap();
+        let snapshot = session.best().unwrap();
+        assert_eq!(advanced.energy, snapshot.energy);
+        assert_eq!(advanced.evaluations, snapshot.evaluations);
+    }
+
+    #[test]
+    fn session_works_on_tensor_network_backend() {
+        let graph = Graph::erdos_renyi(6, 0.4, 21);
+        let eval = EnergyEvaluator::new(&graph, Backend::TensorNetwork);
+        let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::baseline());
+        let opt = CobylaOptimizer::default();
+        let mut session = eval.begin_training(&ansatz, &opt, None, 60).unwrap();
+        assert!(!session.uses_compiled_scratch());
+        let trained = session.advance(&opt, 60).unwrap();
+        let one_shot = eval.train(&ansatz, &opt, 60).unwrap();
+        assert_eq!(trained.energy, one_shot.energy);
+    }
+
+    #[test]
+    fn compiled_energy_flat_in_matches_energy_flat() {
+        let graph = Graph::erdos_renyi(7, 0.5, 13);
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let ansatz = QaoaAnsatz::new(&graph, 2, Mixer::qnas());
+        let compiled = eval.compile(&ansatz).unwrap();
+        let params = [0.3, -0.2, 0.5, 0.1];
+        let a = compiled.energy_flat(&params).unwrap();
+        let mut buf = StateVector::zero_state(7).unwrap();
+        let b = compiled.energy_flat_in(&params, &mut buf).unwrap();
+        assert_eq!(
+            a, b,
+            "external and internal scratch paths must agree bitwise"
+        );
+        assert_eq!(compiled.num_qubits(), 7);
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //!   tensor-network (QTensor-analog) backend for energy evaluation.
 //! * [`energy::EnergyEvaluator`] — the expectation ⟨γ,β|C|γ,β⟩, its
 //!   maximization with a classical optimizer, and approximation-ratio
-//!   computation (Eq. 3 of the paper).
+//!   computation (Eq. 3 of the paper). Training can run in one shot
+//!   ([`energy::EnergyEvaluator::train`]) or as a checkpointable
+//!   [`energy::TrainingSession`] that the search pipeline advances in
+//!   successive-halving rungs, optionally warm-started from a shallower
+//!   depth via [`ansatz::QaoaAnsatz::warm_start_flat`].
 //!
 //! ```
 //! use graphs::Graph;
@@ -38,6 +42,7 @@ pub mod error;
 pub mod mixer;
 
 pub use backend::Backend;
+pub use energy::{EnergyEvaluator, TrainingSession};
 pub use error::QaoaError;
 
 #[cfg(test)]

@@ -9,9 +9,9 @@
 
 use crate::error::SearchError;
 use graphs::Graph;
-use optim::{CobylaOptimizer, NelderMead, Optimizer, OptimizerKind, RandomSearch, Spsa};
+use optim::{CobylaOptimizer, NelderMead, Optimizer, OptimizerKind, RandomSearch, Resumable, Spsa};
 use qaoa::ansatz::QaoaAnsatz;
-use qaoa::energy::{EnergyEvaluator, TrainedCircuit};
+use qaoa::energy::{EnergyEvaluator, TrainedCircuit, TrainingSession};
 use qaoa::mixer::Mixer;
 use qaoa::Backend;
 use serde::{Deserialize, Serialize};
@@ -32,8 +32,44 @@ pub struct CandidateResult {
     pub mean_approx_ratio: f64,
     /// Per-graph trained results.
     pub per_graph: Vec<TrainedCircuit>,
-    /// Total optimizer evaluations spent.
+    /// Total optimizer evaluations spent — under successive halving this is
+    /// the budget *actually* consumed, which for pruned candidates is far
+    /// below the configured full budget.
     pub total_evaluations: usize,
+    /// The successive-halving rung (0-based) after which this candidate was
+    /// pruned; `None` for candidates that survived to the full budget (or
+    /// when pruning was disabled).
+    pub pruned_at_rung: Option<usize>,
+}
+
+impl CandidateResult {
+    /// Aggregate per-graph trained results into a candidate reward (mean
+    /// energy / approximation ratio over the graphs, summed evaluations).
+    /// Used by the successive-halving pipeline, which trains the per-graph
+    /// sessions itself.
+    pub fn from_per_graph(
+        mixer_label: String,
+        depth: usize,
+        per_graph: Vec<TrainedCircuit>,
+        pruned_at_rung: Option<usize>,
+    ) -> Result<CandidateResult, SearchError> {
+        if per_graph.is_empty() {
+            return Err(SearchError::NoGraphs);
+        }
+        let count = per_graph.len() as f64;
+        let mean_energy = per_graph.iter().map(|t| t.energy).sum::<f64>() / count;
+        let mean_approx_ratio = per_graph.iter().map(|t| t.approx_ratio).sum::<f64>() / count;
+        let total_evaluations = per_graph.iter().map(|t| t.evaluations).sum();
+        Ok(CandidateResult {
+            mixer_label,
+            depth,
+            mean_energy,
+            mean_approx_ratio,
+            per_graph,
+            total_evaluations,
+            pruned_at_rung,
+        })
+    }
 }
 
 /// Evaluator configuration: which backend, optimizer, and training budget
@@ -72,6 +108,12 @@ impl EvaluatorConfig {
             OptimizerKind::RandomSearch => Box::new(RandomSearch::default()),
             OptimizerKind::GridSearch => Box::new(optim::GridSearch::default()),
         }
+    }
+
+    /// The configured optimizer behind the checkpoint/resume interface the
+    /// successive-halving pipeline drives.
+    pub fn build_resumable(&self) -> Box<dyn Resumable> {
+        self.optimizer.build_resumable()
     }
 }
 
@@ -183,6 +225,38 @@ impl Evaluator {
         }
     }
 
+    /// Begin a resumable training session for `mixer` at `depth` on one
+    /// graph. `warm_from` optionally supplies trained `(γ, β)` angles from a
+    /// shallower depth; the session then starts from
+    /// [`QaoaAnsatz::warm_start_flat`] instead of the small-angle default.
+    /// The session is advanced rung by rung by the successive-halving
+    /// pipeline; `budget_hint` is the full budget it will receive if never
+    /// pruned.
+    ///
+    /// `optimizer` must be the same instance (or an identically configured
+    /// one) later passed to every
+    /// [`TrainingSession::advance_in`](qaoa::energy::TrainingSession::advance_in)
+    /// call — checkpoint layout and resume behaviour belong to one
+    /// optimizer configuration. The pipeline builds it once via
+    /// [`EvaluatorConfig::build_resumable`] and shares it across all
+    /// sessions and rungs.
+    pub fn begin_session(
+        &self,
+        graph: &Graph,
+        mixer: &Mixer,
+        depth: usize,
+        warm_from: Option<(&[f64], &[f64])>,
+        budget_hint: usize,
+        optimizer: &dyn Resumable,
+    ) -> Result<TrainingSession, SearchError> {
+        let ansatz = QaoaAnsatz::new(graph, depth, mixer.clone());
+        let initial = warm_from.map(|(gammas, betas)| ansatz.warm_start_flat(gammas, betas));
+        let energy_eval = self.energy_evaluator_for(graph);
+        energy_eval
+            .begin_training(&ansatz, optimizer, initial.as_deref(), budget_hint)
+            .map_err(SearchError::from)
+    }
+
     /// Train `mixer` at `depth` on every graph and aggregate the reward.
     pub fn evaluate(
         &self,
@@ -208,6 +282,7 @@ impl Evaluator {
             mean_approx_ratio,
             per_graph,
             total_evaluations,
+            pruned_at_rung: None,
         })
     }
 }

@@ -23,6 +23,15 @@
 //!   level parallelizes each energy evaluation over graph edges inside the
 //!   tensor-network backend.
 //!
+//! [`search::ParallelSearch`] goes beyond the paper with a **budget-aware
+//! pipeline** (the `pipeline` module): successive-halving pruning over resumable
+//! optimizer sessions, warm starts transferred from the previous depth, an
+//! optional learned predictor gate, and a work-stealing executor
+//! ([`worksteal`]) with per-worker scratch states. Results are
+//! deterministic for a fixed seed regardless of the thread count, and
+//! `SearchConfig::builder().no_prune()` restores the paper-faithful
+//! full-budget behaviour.
+//!
 //! ```
 //! use graphs::Graph;
 //! use qarchsearch::search::{SearchConfig, SerialSearch};
@@ -42,10 +51,12 @@ pub mod constraints;
 pub mod encoding;
 pub mod error;
 pub mod evaluator;
+mod pipeline;
 pub mod predictor;
 pub mod qbuilder;
 pub mod report;
 pub mod search;
+pub mod worksteal;
 
 pub use alphabet::{GateAlphabet, RotationGate};
 pub use constraints::{Constraint, ConstraintSet};
@@ -53,7 +64,9 @@ pub use error::SearchError;
 pub use evaluator::Evaluator;
 pub use predictor::{Predictor, RandomPredictor};
 pub use qbuilder::QBuilder;
-pub use search::{ParallelSearch, SearchConfig, SearchOutcome, SerialSearch};
+pub use search::{
+    ParallelSearch, PipelineConfig, RungStat, SearchConfig, SearchOutcome, SerialSearch,
+};
 
 #[cfg(test)]
 mod proptests;

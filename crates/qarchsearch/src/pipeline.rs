@@ -1,0 +1,401 @@
+//! The budget-aware evaluation pipeline: successive halving, warm starts,
+//! and a predictor gate over the work-stealing executor.
+//!
+//! The paper's released search spends the full optimizer budget (200 COBYLA
+//! steps per graph) on **every** candidate, including obvious losers.
+//! Surrogate-assisted QAS benchmarks show most candidates can be rejected
+//! after a fraction of that budget, which is the lever this module pulls.
+//! One depth is evaluated as follows:
+//!
+//! 1. **Predictor gate** (optional): candidates are ranked by
+//!    [`Predictor::score`] under a bandit trained on earlier depths'
+//!    rewards, and only the top `predictor_gate` sequences are admitted.
+//! 2. **Warm start** (optional): every admitted candidate's per-graph
+//!    [`TrainingSession`] starts from the best fully-trained angles of
+//!    depth `p − 1` ([`qaoa::ansatz::QaoaAnsatz::warm_start_flat`]) instead
+//!    of the small-angle default.
+//! 3. **Successive halving**: all sessions are advanced to the first rung's
+//!    cumulative budget, candidates are ranked by mean energy, the top
+//!    `1/eta` fraction is promoted, and promoted sessions *continue* (via
+//!    the [`optim::Resumable`] checkpoint API — no restart) at the next
+//!    rung's budget, until the final rung equals the configured full budget.
+//! 4. Each rung's session advances run on the work-stealing executor
+//!    ([`crate::worksteal`]) with per-worker scratch states; outcomes are
+//!    deterministic for a fixed seed regardless of thread count.
+//!
+//! Pruned candidates keep their partial results (and record the rung they
+//! were pruned at) so reports can show exactly where the budget went.
+
+use crate::error::SearchError;
+use crate::evaluator::{CandidateResult, Evaluator};
+use crate::predictor::{EpsilonGreedyPredictor, Predictor};
+use crate::qbuilder::QBuilder;
+use crate::search::{RungStat, SearchConfig};
+use crate::worksteal::run_tasks;
+use graphs::Graph;
+use qaoa::energy::{TrainedCircuit, TrainingSession};
+use qaoa::mixer::Mixer;
+use qcircuit::Gate;
+
+/// The cumulative budget targets of the halving schedule: starting at
+/// `first`, multiplying by `eta`, capped at (and always finishing with)
+/// `full`.
+pub(crate) fn rung_targets(first: usize, eta: usize, full: usize) -> Vec<usize> {
+    let mut targets = Vec::new();
+    let mut b = first.max(1).min(full);
+    loop {
+        targets.push(b);
+        if b >= full {
+            break;
+        }
+        b = b.saturating_mul(eta.max(2)).min(full);
+    }
+    targets
+}
+
+/// One depth's evaluated cohort plus the equal-budget bandit rewards.
+struct EvaluatedCohort {
+    results: Vec<CandidateResult>,
+    rungs: Vec<RungStat>,
+    /// Per-candidate mean energy at the first (equal-budget) rung.
+    rewards: Vec<f64>,
+}
+
+/// Everything `evaluate_depth` reports back to the scheduler.
+pub(crate) struct DepthEvaluation {
+    /// One result per admitted candidate, in proposal order.
+    pub results: Vec<CandidateResult>,
+    /// Per-rung accounting (empty when pruning was disabled or the legacy
+    /// multi-start path ran).
+    pub rungs: Vec<RungStat>,
+    /// Candidates rejected by the predictor gate before any evaluation.
+    pub gated_out: usize,
+}
+
+/// The stateful scheduler driving one search run's depth loop.
+///
+/// Holds the memoized [`Evaluator`], the bandit that powers the predictor
+/// gate, and the warm-start source (best fully-trained candidate of the
+/// previous depth).
+pub(crate) struct BudgetedScheduler {
+    config: SearchConfig,
+    evaluator: Evaluator,
+    builder: QBuilder,
+    ranker: EpsilonGreedyPredictor,
+    ranker_trained: bool,
+    warm_source: Option<CandidateResult>,
+}
+
+impl BudgetedScheduler {
+    pub(crate) fn new(config: &SearchConfig) -> BudgetedScheduler {
+        BudgetedScheduler {
+            evaluator: Evaluator::new(config.evaluator.clone()),
+            builder: QBuilder::new(config.alphabet.clone()),
+            // Exploration rate 0: the ranker only scores, it never proposes.
+            ranker: EpsilonGreedyPredictor::new(config.alphabet.clone(), 0.0, config.seed),
+            ranker_trained: false,
+            warm_source: None,
+            config: config.clone(),
+        }
+    }
+
+    /// Rank-and-truncate candidates through the predictor gate. Returns the
+    /// admitted candidates (in original proposal order) and the number
+    /// rejected. The gate only engages once the ranker has seen feedback
+    /// (i.e. from depth 2 on), so depth 1 always evaluates everything.
+    fn apply_gate(&self, candidates: Vec<Vec<Gate>>) -> (Vec<Vec<Gate>>, usize) {
+        let Some(cap) = self.config.pipeline.predictor_gate else {
+            return (candidates, 0);
+        };
+        if !self.ranker_trained || candidates.len() <= cap {
+            return (candidates, 0);
+        }
+        let scores: Vec<f64> = candidates.iter().map(|c| self.ranker.score(c)).collect();
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        // Deterministic: higher score first, proposal order breaks ties.
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+        order.truncate(cap);
+        order.sort_unstable();
+        let gated_out = candidates.len() - order.len();
+        let mut keep = vec![false; candidates.len()];
+        for &i in &order {
+            keep[i] = true;
+        }
+        let admitted = candidates
+            .into_iter()
+            .zip(keep)
+            .filter_map(|(c, k)| k.then_some(c))
+            .collect();
+        (admitted, gated_out)
+    }
+
+    /// Evaluate one depth's candidates and update the scheduler state
+    /// (ranker feedback, warm-start source).
+    pub(crate) fn evaluate_depth(
+        &mut self,
+        depth: usize,
+        candidates: Vec<Vec<Gate>>,
+        graphs: &[Graph],
+        threads: usize,
+    ) -> Result<DepthEvaluation, SearchError> {
+        let (candidates, gated_out) = self.apply_gate(candidates);
+        if candidates.is_empty() {
+            return Ok(DepthEvaluation {
+                results: Vec::new(),
+                rungs: Vec::new(),
+                gated_out,
+            });
+        }
+        let mixers: Vec<Mixer> = candidates
+            .iter()
+            .map(|gates| self.builder.build_mixer(gates))
+            .collect::<Result<_, _>>()?;
+
+        let EvaluatedCohort {
+            results,
+            rungs,
+            rewards,
+        } = if self.config.evaluator.restarts > 1 {
+            // Multi-start training restarts by design, so it cannot resume;
+            // it still benefits from the work-stealing executor at candidate
+            // granularity.
+            self.evaluate_legacy(depth, &mixers, graphs, threads)?
+        } else {
+            self.evaluate_halving(depth, &mixers, graphs, threads)?
+        };
+
+        // The gate bandit must compare like with like: under halving,
+        // survivors end up far better trained than pruned losers, so the
+        // reward is each candidate's mean energy at the *first* rung, where
+        // every candidate received the same budget.
+        for (gates, reward) in candidates.iter().zip(rewards.iter()) {
+            self.ranker.feedback(gates, *reward);
+        }
+        self.ranker_trained = true;
+
+        // Warm-start source for depth + 1: the best candidate that received
+        // the full budget (partial results would transfer half-trained
+        // angles). First maximum wins, so ties are deterministic.
+        self.warm_source = results
+            .iter()
+            .filter(|r| r.pruned_at_rung.is_none())
+            .fold(None::<&CandidateResult>, |best, r| match best {
+                Some(b) if b.mean_energy >= r.mean_energy => Some(b),
+                _ => Some(r),
+            })
+            .cloned();
+
+        Ok(DepthEvaluation {
+            results,
+            rungs,
+            gated_out,
+        })
+    }
+
+    /// The successive-halving session pipeline. The third return value is
+    /// the per-candidate mean energy after the first rung — the
+    /// equal-budget reward the gate bandit trains on.
+    fn evaluate_halving(
+        &self,
+        depth: usize,
+        mixers: &[Mixer],
+        graphs: &[Graph],
+        threads: usize,
+    ) -> Result<EvaluatedCohort, SearchError> {
+        let pc = &self.config.pipeline;
+        let full_budget = self.config.evaluator.budget;
+        let num_graphs = graphs.len();
+        let num_candidates = mixers.len();
+        let targets = if pc.prune {
+            rung_targets(pc.first_rung, pc.eta, full_budget)
+        } else {
+            vec![full_budget]
+        };
+
+        let warm = if pc.warm_start {
+            self.warm_source.as_ref()
+        } else {
+            None
+        };
+
+        // One optimizer instance drives every session's start *and* every
+        // resume: checkpoints are only meaningful under the configuration
+        // that created them.
+        let optimizer = self.config.evaluator.build_resumable();
+        let optimizer = optimizer.as_ref();
+
+        // One session per (candidate, graph), laid out candidate-major.
+        let mut sessions: Vec<Option<TrainingSession>> =
+            Vec::with_capacity(num_candidates * num_graphs);
+        for mixer in mixers {
+            for (gi, graph) in graphs.iter().enumerate() {
+                let warm_from = warm.map(|w| {
+                    let prev = &w.per_graph[gi];
+                    (prev.gammas.as_slice(), prev.betas.as_slice())
+                });
+                sessions.push(Some(self.evaluator.begin_session(
+                    graph,
+                    mixer,
+                    depth,
+                    warm_from,
+                    full_budget,
+                    optimizer,
+                )?));
+            }
+        }
+        let mut snapshots: Vec<Option<TrainedCircuit>> = vec![None; num_candidates * num_graphs];
+        let mut spent: Vec<usize> = vec![0; num_candidates * num_graphs];
+        let mut pruned_at: Vec<Option<usize>> = vec![None; num_candidates];
+        let mut active: Vec<usize> = (0..num_candidates).collect();
+        let mut rung_stats = Vec::with_capacity(targets.len());
+        let mut first_rung_means: Vec<f64> = Vec::new();
+
+        for (ri, &target) in targets.iter().enumerate() {
+            let entrants = active.len();
+            let mut tasks: Vec<(usize, TrainingSession)> =
+                Vec::with_capacity(entrants * num_graphs);
+            for &ci in &active {
+                for gi in 0..num_graphs {
+                    let slot = ci * num_graphs + gi;
+                    tasks.push((slot, sessions[slot].take().expect("active session present")));
+                }
+            }
+
+            let outcomes = run_tasks(tasks, threads, |scratch, (slot, mut session)| {
+                let buf = if session.uses_compiled_scratch() {
+                    scratch.state(session.num_qubits())
+                } else {
+                    None
+                };
+                let trained = session.advance_in(optimizer, target, buf);
+                (slot, session, trained)
+            });
+
+            let mut rung_evaluations = 0usize;
+            for (slot, session, trained) in outcomes {
+                let trained = trained.map_err(SearchError::from)?;
+                rung_evaluations += trained.evaluations - spent[slot];
+                spent[slot] = trained.evaluations;
+                snapshots[slot] = Some(trained);
+                sessions[slot] = Some(session);
+            }
+
+            let mean_energy = |ci: usize| -> f64 {
+                (0..num_graphs)
+                    .map(|gi| {
+                        snapshots[ci * num_graphs + gi]
+                            .as_ref()
+                            .expect("advanced this rung")
+                            .energy
+                    })
+                    .sum::<f64>()
+                    / num_graphs as f64
+            };
+            if ri == 0 {
+                // Every candidate is active at rung 0 with the same budget:
+                // the one point where rewards are comparable across the
+                // whole cohort.
+                first_rung_means = (0..num_candidates).map(mean_energy).collect();
+            }
+
+            // Promote the top 1/eta (by mean energy over the graphs); the
+            // last rung keeps everyone it received.
+            if ri + 1 < targets.len() {
+                let keep = entrants.div_ceil(pc.eta).max(1);
+                let mut order = active.clone();
+                order.sort_by(|&a, &b| mean_energy(b).total_cmp(&mean_energy(a)).then(a.cmp(&b)));
+                for &ci in &order[keep.min(order.len())..] {
+                    pruned_at[ci] = Some(ri);
+                }
+                order.truncate(keep);
+                order.sort_unstable();
+                active = order;
+            }
+
+            rung_stats.push(RungStat {
+                target_budget: target,
+                entrants,
+                survivors: active.len(),
+                evaluations: rung_evaluations,
+            });
+        }
+
+        let mut results = Vec::with_capacity(num_candidates);
+        for (ci, mixer) in mixers.iter().enumerate() {
+            let per_graph: Vec<TrainedCircuit> = (0..num_graphs)
+                .map(|gi| {
+                    snapshots[ci * num_graphs + gi]
+                        .clone()
+                        .expect("every candidate ran rung 0")
+                })
+                .collect();
+            results.push(CandidateResult::from_per_graph(
+                mixer.label(),
+                depth,
+                per_graph,
+                pruned_at[ci],
+            )?);
+        }
+        Ok(EvaluatedCohort {
+            results,
+            rungs: if pc.prune { rung_stats } else { Vec::new() },
+            rewards: first_rung_means,
+        })
+    }
+
+    /// Candidate-granularity fallback for configurations the resumable
+    /// pipeline cannot serve (multi-start training). All candidates receive
+    /// the full budget, so their final mean energies are the bandit reward.
+    fn evaluate_legacy(
+        &self,
+        depth: usize,
+        mixers: &[Mixer],
+        graphs: &[Graph],
+        threads: usize,
+    ) -> Result<EvaluatedCohort, SearchError> {
+        let tasks: Vec<Mixer> = mixers.to_vec();
+        let evaluator = &self.evaluator;
+        let outcomes = run_tasks(tasks, threads, |_scratch, mixer| {
+            evaluator.evaluate(graphs, &mixer, depth)
+        });
+        let results: Vec<CandidateResult> = outcomes.into_iter().collect::<Result<_, _>>()?;
+        let rewards = results.iter().map(|r| r.mean_energy).collect();
+        Ok(EvaluatedCohort {
+            results,
+            rungs: Vec::new(),
+            rewards,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rung_targets_escalate_to_the_full_budget() {
+        assert_eq!(rung_targets(20, 4, 200), vec![20, 80, 200]);
+        assert_eq!(rung_targets(25, 2, 200), vec![25, 50, 100, 200]);
+        assert_eq!(rung_targets(50, 4, 200), vec![50, 200]);
+    }
+
+    #[test]
+    fn rung_targets_handle_degenerate_inputs() {
+        // First rung at or above the budget: a single full-budget rung.
+        assert_eq!(rung_targets(200, 4, 200), vec![200]);
+        assert_eq!(rung_targets(500, 4, 200), vec![200]);
+        // Zero first rung is clamped to 1; eta below 2 is clamped to 2.
+        assert_eq!(rung_targets(0, 1, 4), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn rung_targets_are_strictly_increasing() {
+        for first in [1usize, 7, 20, 100] {
+            for eta in [2usize, 3, 4, 10] {
+                let t = rung_targets(first, eta, 200);
+                assert!(t.windows(2).all(|w| w[0] < w[1]), "{t:?}");
+                assert_eq!(*t.last().unwrap(), 200);
+            }
+        }
+    }
+}

@@ -31,6 +31,17 @@ pub trait Predictor: Send {
     /// Receive the reward obtained by a previously proposed sequence.
     fn feedback(&mut self, gates: &[Gate], reward: f64);
 
+    /// Score a candidate sequence under the predictor's current knowledge
+    /// (higher = more promising). The search pipeline uses this as an
+    /// optional **gate**: before the first successive-halving rung it ranks
+    /// the proposed candidates by score and only admits the top fraction,
+    /// so evaluation budget concentrates on sequences resembling past
+    /// winners. Predictors without a learned model return 0 for every
+    /// sequence (the gate then keeps proposal order).
+    fn score(&self, _gates: &[Gate]) -> f64 {
+        0.0
+    }
+
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
 }
@@ -217,6 +228,46 @@ impl Predictor for EpsilonGreedyPredictor {
         }
     }
 
+    /// Mean learned value of the candidate's per-slot gate choices. A
+    /// (slot, gate) pair the bandit has never observed scores the *mean of
+    /// that slot's seen values* — rewards are Max-Cut energies (strictly
+    /// positive), so a literal 0 would rank every unexplored sequence dead
+    /// last instead of neutrally.
+    fn score(&self, gates: &[Gate]) -> f64 {
+        if gates.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = gates
+            .iter()
+            .enumerate()
+            .map(|(slot, gate)| {
+                let (Some(gi), Some(vals), Some(counts)) = (
+                    self.alphabet.position(*gate),
+                    self.values.get(slot),
+                    self.counts.get(slot),
+                ) else {
+                    return 0.0;
+                };
+                if counts[gi] > 0 {
+                    return vals[gi];
+                }
+                // Unseen pair: neutral prior = mean of the slot's seen values.
+                let seen: Vec<f64> = vals
+                    .iter()
+                    .zip(counts)
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(&v, _)| v)
+                    .collect();
+                if seen.is_empty() {
+                    0.0
+                } else {
+                    seen.iter().sum::<f64>() / seen.len() as f64
+                }
+            })
+            .sum();
+        total / gates.len() as f64
+    }
+
     fn name(&self) -> &'static str {
         "epsilon-greedy"
     }
@@ -317,6 +368,25 @@ impl Predictor for PolicyGradientPredictor {
         }
     }
 
+    /// Mean log-probability of the sequence under the current policy.
+    fn score(&self, gates: &[Gate]) -> f64 {
+        if gates.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = gates
+            .iter()
+            .enumerate()
+            .map(|(slot, gate)| {
+                let probs = self.slot_distribution(slot);
+                self.alphabet
+                    .position(*gate)
+                    .map(|gi| probs[gi].max(1e-12).ln())
+                    .unwrap_or(f64::MIN)
+            })
+            .sum();
+        total / gates.len() as f64
+    }
+
     fn name(&self) -> &'static str {
         "policy-gradient"
     }
@@ -390,6 +460,22 @@ mod tests {
             p.feedback(&seq, reward);
         }
         assert_eq!(p.greedy_sequence(2), vec![Gate::RX, Gate::RX]);
+    }
+
+    #[test]
+    fn unseen_gates_score_the_slot_mean_not_zero() {
+        let mut p = EpsilonGreedyPredictor::new(alphabet(), 0.0, 1);
+        // Rewards are energy-scale (strictly positive).
+        p.feedback(&[Gate::RX], 10.0);
+        p.feedback(&[Gate::RY], 6.0);
+        // RZ was never proposed: it must rank at the seen mean (8.0), i.e.
+        // between RX and RY, not at 0 below everything.
+        let rz = p.score(&[Gate::RZ]);
+        assert!((rz - 8.0).abs() < 1e-12, "rz scored {rz}");
+        assert!(p.score(&[Gate::RX]) > rz);
+        assert!(p.score(&[Gate::RY]) < rz);
+        // A completely untrained slot stays at 0 for everyone.
+        assert_eq!(p.score(&[Gate::RX, Gate::RX]), 5.0); // slot 1 unseen -> 0
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::alphabet::GateAlphabet;
 use crate::encoding::CircuitEncoding;
 use crate::predictor::{ExhaustivePredictor, Predictor, RandomPredictor};
-use crate::search::{SearchConfig, SearchStrategy};
+use crate::search::{ParallelSearch, SearchConfig, SearchStrategy};
 use proptest::prelude::*;
 
 proptest! {
@@ -74,13 +74,75 @@ proptest! {
         budget in 1usize..300,
         threads in 1usize..64,
     ) {
-        let cfg = SearchConfig::builder()
+        let builder = || SearchConfig::builder()
             .max_depth(depth)
             .max_gates_per_mixer(k)
             .optimizer_budget(budget)
             .threads(threads)
-            .strategy(SearchStrategy::Random { samples_per_depth: 5 })
+            .strategy(SearchStrategy::Random { samples_per_depth: 5 });
+        let cfg = builder().build();
+        if budget >= cfg.pipeline.first_rung {
+            prop_assert!(cfg.validate().is_ok());
+        } else {
+            // A budget below the halving schedule's first rung is rejected
+            // while pruning is on, and accepted in full-budget mode.
+            prop_assert!(cfg.validate().is_err());
+            prop_assert!(builder().no_prune().build().validate().is_ok());
+            prop_assert!(builder().halving(budget, 4).build().validate().is_ok());
+        }
+    }
+}
+
+proptest! {
+    // Full pipeline runs are comparatively expensive; a handful of random
+    // seeds exercises the determinism claim without dominating `cargo test`.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The work-stealing pipeline (halving + warm starts + seeded SPSA) must
+    /// return bit-identical winners and energies with 1, 2 and 4 threads,
+    /// whatever the seed.
+    #[test]
+    fn parallel_search_is_thread_count_independent(seed in any::<u64>()) {
+        let graphs = vec![
+            graphs::Graph::cycle(5),
+            graphs::Graph::erdos_renyi(6, 0.5, seed.wrapping_add(1)),
+        ];
+        let base = SearchConfig::builder()
+            .alphabet(GateAlphabet::from_mnemonics(&["rx", "ry"]).unwrap())
+            .max_depth(2)
+            .max_gates_per_mixer(2)
+            .optimizer_budget(24)
+            .halving(8, 2)
+            .optimizer(optim::OptimizerKind::Spsa)
+            .backend(qaoa::Backend::StateVector)
+            .seed(seed)
             .build();
-        prop_assert!(cfg.validate().is_ok());
+        let reference = ParallelSearch::new(SearchConfig {
+            threads: Some(1),
+            ..base.clone()
+        })
+        .run(&graphs)
+        .unwrap();
+        for threads in [2usize, 4] {
+            let other = ParallelSearch::new(SearchConfig {
+                threads: Some(threads),
+                ..base.clone()
+            })
+            .run(&graphs)
+            .unwrap();
+            prop_assert_eq!(reference.best.mixer_label.clone(), other.best.mixer_label);
+            prop_assert_eq!(reference.best.energy, other.best.energy);
+            prop_assert_eq!(
+                reference.total_optimizer_evaluations,
+                other.total_optimizer_evaluations
+            );
+            for (dr, do_) in reference.depth_results.iter().zip(&other.depth_results) {
+                prop_assert_eq!(&dr.rungs, &do_.rungs);
+                for (cr, co) in dr.candidates.iter().zip(&do_.candidates) {
+                    prop_assert_eq!(cr.mean_energy, co.mean_energy);
+                    prop_assert_eq!(&cr.per_graph, &co.per_graph);
+                }
+            }
+        }
     }
 }

@@ -111,6 +111,17 @@ pub struct SearchReport {
     pub total_seconds: f64,
     /// Candidates evaluated.
     pub candidates: usize,
+    /// Candidates rejected by the predictor gate before evaluation.
+    pub candidates_gated: usize,
+    /// Candidates pruned before reaching the full budget.
+    pub candidates_pruned: usize,
+    /// Objective evaluations actually spent across all candidates/graphs.
+    pub optimizer_evaluations: usize,
+    /// What a full-budget evaluation of the same proposals would have spent.
+    pub full_budget_evaluations: usize,
+    /// `full_budget_evaluations / optimizer_evaluations` — the pipeline's
+    /// budget saving (1.0 when nothing was pruned or gated).
+    pub budget_savings_factor: f64,
     /// Threads used by the parallel scheduler (None = serial).
     pub threads: Option<usize>,
 }
@@ -129,6 +140,16 @@ impl From<&SearchOutcome> for SearchReport {
                 .collect(),
             total_seconds: o.total_elapsed_seconds,
             candidates: o.num_candidates_evaluated,
+            candidates_gated: o.depth_results.iter().map(|d| d.gated_out).sum(),
+            candidates_pruned: o
+                .depth_results
+                .iter()
+                .flat_map(|d| &d.candidates)
+                .filter(|c| c.pruned_at_rung.is_some())
+                .count(),
+            optimizer_evaluations: o.total_optimizer_evaluations,
+            full_budget_evaluations: o.full_budget_evaluations,
+            budget_savings_factor: o.budget_savings_factor(),
             threads: o.parallel_threads,
         }
     }

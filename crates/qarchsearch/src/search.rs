@@ -7,23 +7,27 @@
 //! [`ParallelSearch`] implements the paper's speedup: "our focus was to
 //! improve run time by searching multiple possible gate combinations in
 //! parallel" (§3.1), i.e. the **outer** level of the two-level scheme of
-//! Figs. 2–3. The original uses Python `multiprocessing.starmap_async` over
-//! the CPUs of a Polaris node; here the candidate evaluations are dispatched
-//! onto a dedicated Rayon thread pool whose size plays the role of "number of
-//! cores" in Fig. 5. The **inner** level (per-edge tensor contractions inside
-//! the evaluator) is controlled by the chosen [`qaoa::Backend`].
+//! Figs. 2–3 — and goes beyond it with the **budget-aware pipeline** of
+//! the `pipeline` module: candidates are trained in successive-halving rungs
+//! (losers pruned early, survivors *resumed*, not restarted), warm-started
+//! from the previous depth's winner, optionally pre-filtered by a learned
+//! predictor gate, and dispatched onto a work-stealing executor
+//! ([`crate::worksteal`]) whose worker count plays the role of "number of
+//! cores" in Fig. 5. Outcomes are deterministic for a fixed seed regardless
+//! of the thread count. [`SearchConfigBuilder::no_prune`] switches all of it
+//! off for the paper-faithful full-budget mode.
 
 use crate::alphabet::GateAlphabet;
 use crate::constraints::ConstraintSet;
 use crate::error::SearchError;
 use crate::evaluator::{CandidateResult, Evaluator, EvaluatorConfig};
+use crate::pipeline::BudgetedScheduler;
 use crate::predictor::{
     EpsilonGreedyPredictor, PolicyGradientPredictor, Predictor, RandomPredictor,
 };
 use crate::qbuilder::QBuilder;
 use graphs::Graph;
 use qcircuit::Gate;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -57,6 +61,67 @@ pub enum SearchStrategy {
     },
 }
 
+/// Configuration of the budget-aware evaluation pipeline (successive
+/// halving, warm starts, predictor gate) used by [`ParallelSearch`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Enable successive-halving pruning. When `false`, every candidate
+    /// trains at the full budget in a single rung.
+    pub prune: bool,
+    /// Halving rate: each rung keeps the top `⌈entrants / eta⌉` candidates
+    /// and multiplies the budget target by `eta` (must be ≥ 2).
+    pub eta: usize,
+    /// Cumulative optimizer-evaluation target of the first (cheapest) rung.
+    pub first_rung: usize,
+    /// Seed each depth-`p` candidate's initial angles from the best
+    /// fully-trained depth-`p − 1` result (per-layer parameter reuse).
+    pub warm_start: bool,
+    /// Optional predictor gate: admit at most this many candidates into the
+    /// first rung, ranked by a bandit trained on earlier depths' rewards.
+    /// `None` disables the gate; it never engages at depth 1 (no feedback
+    /// yet).
+    pub predictor_gate: Option<usize>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            prune: true,
+            eta: 4,
+            first_rung: 20,
+            warm_start: true,
+            predictor_gate: None,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The paper-faithful configuration: no pruning, no warm starts, no
+    /// gate — every candidate trains at the full budget from the default
+    /// initial point, exactly like [`SerialSearch`].
+    pub fn full_budget() -> PipelineConfig {
+        PipelineConfig {
+            prune: false,
+            warm_start: false,
+            predictor_gate: None,
+            ..PipelineConfig::default()
+        }
+    }
+}
+
+/// Accounting for one successive-halving rung of one depth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RungStat {
+    /// Cumulative per-session optimizer-evaluation target of this rung.
+    pub target_budget: usize,
+    /// Candidates that entered the rung.
+    pub entrants: usize,
+    /// Candidates promoted out of the rung.
+    pub survivors: usize,
+    /// Objective evaluations actually spent in this rung (all sessions).
+    pub evaluations: usize,
+}
+
 /// Full configuration of a search run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SearchConfig {
@@ -79,6 +144,10 @@ pub struct SearchConfig {
     /// software can also incorporate arbitrary constraints in the search
     /// procedure", §6 of the paper).
     pub constraints: ConstraintSet,
+    /// Budget-aware pipeline settings (pruning, warm starts, predictor
+    /// gate) for [`ParallelSearch`]. [`SerialSearch`] ignores this and
+    /// always runs the paper-faithful full-budget loop.
+    pub pipeline: PipelineConfig,
 }
 
 impl Default for SearchConfig {
@@ -92,6 +161,7 @@ impl Default for SearchConfig {
             seed: 0,
             threads: None,
             constraints: ConstraintSet::none(),
+            pipeline: PipelineConfig::default(),
         }
     }
 }
@@ -104,8 +174,19 @@ impl SearchConfig {
         }
     }
 
-    /// Validate the configuration.
+    /// Validate the configuration for the budget-aware [`ParallelSearch`]
+    /// pipeline: the scheduler-independent base checks plus the pipeline
+    /// settings (halving schedule, predictor gate). [`SerialSearch`] only
+    /// applies the base checks, since it never prunes.
     pub fn validate(&self) -> Result<(), SearchError> {
+        self.validate_base()?;
+        self.validate_pipeline()
+    }
+
+    /// The scheduler-independent checks. [`SerialSearch`] validates only
+    /// these — it never prunes, so a budget below the halving schedule's
+    /// first rung is fine there.
+    fn validate_base(&self) -> Result<(), SearchError> {
         if self.max_depth == 0 {
             return Err(SearchError::InvalidConfig {
                 message: "max_depth must be ≥ 1".into(),
@@ -118,12 +199,47 @@ impl SearchConfig {
         }
         if self.evaluator.budget == 0 {
             return Err(SearchError::InvalidConfig {
-                message: "optimizer budget must be ≥ 1".into(),
+                message: "optimizer budget must be ≥ 1 (use --budget to raise it)".into(),
             });
         }
         if let Some(0) = self.threads {
             return Err(SearchError::InvalidConfig {
                 message: "threads must be ≥ 1".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The pipeline-only checks ([`ParallelSearch`]).
+    fn validate_pipeline(&self) -> Result<(), SearchError> {
+        if self.pipeline.prune {
+            if self.pipeline.eta < 2 {
+                return Err(SearchError::InvalidConfig {
+                    message: format!(
+                        "halving rate eta must be ≥ 2 (got {}); eta = 1 would never prune",
+                        self.pipeline.eta
+                    ),
+                });
+            }
+            if self.pipeline.first_rung == 0 {
+                return Err(SearchError::InvalidConfig {
+                    message: "the halving schedule's first rung must be ≥ 1".into(),
+                });
+            }
+            if self.evaluator.budget < self.pipeline.first_rung {
+                return Err(SearchError::InvalidConfig {
+                    message: format!(
+                        "optimizer budget ({}) is smaller than the halving schedule's first \
+                         rung ({}); raise the budget, lower first_rung, or disable pruning \
+                         with no_prune / --no-prune",
+                        self.evaluator.budget, self.pipeline.first_rung
+                    ),
+                });
+            }
+        }
+        if let Some(0) = self.pipeline.predictor_gate {
+            return Err(SearchError::InvalidConfig {
+                message: "predictor gate must admit at least one candidate".into(),
             });
         }
         Ok(())
@@ -234,6 +350,48 @@ impl SearchConfigBuilder {
         self
     }
 
+    /// Enable or disable successive-halving pruning.
+    pub fn prune(mut self, prune: bool) -> Self {
+        self.config.pipeline.prune = prune;
+        self
+    }
+
+    /// The paper-faithful escape hatch: disable pruning, warm starts and the
+    /// predictor gate so every candidate trains at the full budget from the
+    /// default initial point — one flag away from the exhaustive search the
+    /// paper released, and bit-identical to [`SerialSearch`] results for
+    /// registers below the kernel-parallel threshold
+    /// (`QAS_PARALLEL_THRESHOLD`, default 14 qubits). At or above it,
+    /// [`SerialSearch`]'s kernels may split float reductions across threads
+    /// while pipeline workers pin them to one, so energies can differ in
+    /// the last bits.
+    pub fn no_prune(mut self) -> Self {
+        self.config.pipeline = PipelineConfig::full_budget();
+        self
+    }
+
+    /// Set the halving schedule: the first rung's budget and the rate `eta`
+    /// (budget × eta per rung, top `1/eta` promoted).
+    pub fn halving(mut self, first_rung: usize, eta: usize) -> Self {
+        self.config.pipeline.first_rung = first_rung;
+        self.config.pipeline.eta = eta;
+        self
+    }
+
+    /// Enable or disable warm-starting depth `p` from the best depth-`p − 1`
+    /// angles.
+    pub fn warm_start(mut self, warm_start: bool) -> Self {
+        self.config.pipeline.warm_start = warm_start;
+        self
+    }
+
+    /// Admit at most `cap` candidates into the first rung, ranked by the
+    /// learned predictor (engages from depth 2 on).
+    pub fn predictor_gate(mut self, cap: usize) -> Self {
+        self.config.pipeline.predictor_gate = Some(cap);
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> SearchConfig {
         self.config
@@ -266,6 +424,11 @@ pub struct DepthResult {
     pub elapsed_seconds: f64,
     /// Best mean energy seen at this depth.
     pub best_energy: f64,
+    /// Successive-halving rung accounting (empty when pruning was off or
+    /// the serial scheduler ran).
+    pub rungs: Vec<RungStat>,
+    /// Candidates rejected by the predictor gate before any evaluation.
+    pub gated_out: usize,
 }
 
 /// The outcome of a full search run.
@@ -279,6 +442,18 @@ pub struct SearchOutcome {
     pub total_elapsed_seconds: f64,
     /// Total number of candidate evaluations.
     pub num_candidates_evaluated: usize,
+    /// Objective evaluations actually spent across every candidate, graph
+    /// and rung.
+    pub total_optimizer_evaluations: usize,
+    /// What a full-budget (no pruning, no gate) evaluation of the same
+    /// proposals would *nominally* have spent:
+    /// `(evaluated + gated) × budget × graphs`, summed over depths. The
+    /// ratio against
+    /// [`total_optimizer_evaluations`](Self::total_optimizer_evaluations)
+    /// is the pipeline's budget saving. Nominal because optimizers may
+    /// converge below the budget or overshoot it by one atomic step, so
+    /// the ratio can drift slightly around 1.0 even with pruning off.
+    pub full_budget_evaluations: usize,
     /// Whether the parallel scheduler was used, and with how many threads.
     pub parallel_threads: Option<usize>,
 }
@@ -288,12 +463,18 @@ impl SearchOutcome {
         depth_results: Vec<DepthResult>,
         total_elapsed_seconds: f64,
         parallel_threads: Option<usize>,
+        budget: usize,
+        num_graphs: usize,
     ) -> Result<SearchOutcome, SearchError> {
         let mut best: Option<BestCandidate> = None;
         let mut num_candidates_evaluated = 0;
+        let mut total_optimizer_evaluations = 0;
+        let mut full_budget_evaluations = 0;
         for dr in &depth_results {
+            full_budget_evaluations += (dr.candidates.len() + dr.gated_out) * budget * num_graphs;
             for cand in &dr.candidates {
                 num_candidates_evaluated += 1;
+                total_optimizer_evaluations += cand.total_evaluations;
                 let is_better = best
                     .as_ref()
                     .map(|b| cand.mean_energy > b.energy)
@@ -317,8 +498,22 @@ impl SearchOutcome {
             depth_results,
             total_elapsed_seconds,
             num_candidates_evaluated,
+            total_optimizer_evaluations,
+            full_budget_evaluations,
             parallel_threads,
         })
+    }
+
+    /// The factor by which the pipeline undercut the nominal full-budget
+    /// evaluation cost (≈ 1.0 when nothing was pruned or gated; early
+    /// optimizer convergence or atomic-step overshoot moves it slightly
+    /// either side).
+    pub fn budget_savings_factor(&self) -> f64 {
+        if self.total_optimizer_evaluations == 0 {
+            1.0
+        } else {
+            self.full_budget_evaluations as f64 / self.total_optimizer_evaluations as f64
+        }
     }
 
     /// Wall-clock seconds spent at a given depth, if that depth was searched.
@@ -367,7 +562,7 @@ impl SerialSearch {
 
     /// Run the search over the training graphs.
     pub fn run(&self, graphs: &[Graph]) -> Result<SearchOutcome, SearchError> {
-        self.config.validate()?;
+        self.config.validate_base()?;
         if graphs.is_empty() {
             return Err(SearchError::NoGraphs);
         }
@@ -393,9 +588,17 @@ impl SerialSearch {
                 candidates: results,
                 elapsed_seconds: depth_start.elapsed().as_secs_f64(),
                 best_energy,
+                rungs: Vec::new(),
+                gated_out: 0,
             });
         }
-        SearchOutcome::from_depth_results(depth_results, total_start.elapsed().as_secs_f64(), None)
+        SearchOutcome::from_depth_results(
+            depth_results,
+            total_start.elapsed().as_secs_f64(),
+            None,
+            self.config.evaluator.budget,
+            graphs.len(),
+        )
     }
 
     /// Candidate sequences for one depth (learned strategies propose online,
@@ -440,11 +643,16 @@ impl SerialSearch {
 
 // ---------------------------------------------------------------------------
 
-/// Parallel scheduler: the outer level of the two-level parallelization.
+/// Parallel scheduler: the outer level of the two-level parallelization,
+/// rebuilt as a budget-aware pipeline.
 ///
-/// Candidate evaluations at each depth are distributed over a dedicated Rayon
-/// thread pool; the pool size stands in for the "number of cores" axis of
-/// Fig. 5.
+/// Each depth's candidates run through the budget-aware pipeline: an optional
+/// predictor gate, warm-started resumable training sessions, and
+/// successive-halving rungs dispatched onto the work-stealing executor of
+/// [`crate::worksteal`]. The worker count stands in for the "number of
+/// cores" axis of Fig. 5, and for a fixed seed the outcome is bit-identical
+/// whatever that count is (workers pin the inner parallelism level, so no
+/// floating-point reduction ever depends on the thread configuration).
 #[derive(Debug, Clone)]
 pub struct ParallelSearch {
     config: SearchConfig,
@@ -467,22 +675,12 @@ impl ParallelSearch {
         if graphs.is_empty() {
             return Err(SearchError::NoGraphs);
         }
-        let builder = QBuilder::new(self.config.alphabet.clone());
-        let evaluator = Evaluator::new(self.config.evaluator.clone());
-
-        // Dedicated pool so the requested core count is honoured even when a
-        // global Rayon pool already exists (important for Fig. 5's sweep).
-        let pool = match self.config.threads {
-            Some(n) => Some(
-                rayon::ThreadPoolBuilder::new()
-                    .num_threads(n)
-                    .build()
-                    .map_err(|e| SearchError::InvalidConfig {
-                        message: e.to_string(),
-                    })?,
-            ),
-            None => None,
-        };
+        let threads = self
+            .config
+            .threads
+            .unwrap_or_else(rayon::current_num_threads)
+            .max(1);
+        let mut scheduler = BudgetedScheduler::new(&self.config);
 
         let total_start = Instant::now();
         let mut depth_results = Vec::with_capacity(self.config.max_depth);
@@ -493,40 +691,28 @@ impl ParallelSearch {
                 config: self.config.clone(),
             };
             let candidates = serial_helper.propose_candidates(depth);
+            let evaluated = scheduler.evaluate_depth(depth, candidates, graphs, threads)?;
 
-            let evaluate_all = || -> Result<Vec<CandidateResult>, SearchError> {
-                candidates
-                    .par_iter()
-                    .map(|gates| {
-                        let mixer = builder.build_mixer(gates)?;
-                        evaluator.evaluate(graphs, &mixer, depth)
-                    })
-                    .collect()
-            };
-            let results = match &pool {
-                Some(p) => p.install(evaluate_all)?,
-                None => evaluate_all()?,
-            };
-
-            let best_energy = results
+            let best_energy = evaluated
+                .results
                 .iter()
                 .map(|r| r.mean_energy)
                 .fold(f64::NEG_INFINITY, f64::max);
             depth_results.push(DepthResult {
                 depth,
-                candidates: results,
+                candidates: evaluated.results,
                 elapsed_seconds: depth_start.elapsed().as_secs_f64(),
                 best_energy,
+                rungs: evaluated.rungs,
+                gated_out: evaluated.gated_out,
             });
         }
         SearchOutcome::from_depth_results(
             depth_results,
             total_start.elapsed().as_secs_f64(),
-            Some(
-                self.config
-                    .threads
-                    .unwrap_or_else(rayon::current_num_threads),
-            ),
+            Some(threads),
+            self.config.evaluator.budget,
+            graphs.len(),
         )
     }
 }
@@ -594,6 +780,67 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn validation_rejects_degenerate_pipeline_configs() {
+        // Budget smaller than the first rung (with pruning on).
+        let mut cfg = SearchConfig::default();
+        cfg.evaluator.budget = 10;
+        cfg.pipeline.first_rung = 20;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("first"), "{err}");
+        // ...but fine once pruning is off.
+        cfg.pipeline.prune = false;
+        assert!(cfg.validate().is_ok());
+
+        let mut cfg = SearchConfig::default();
+        cfg.pipeline.eta = 1;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SearchConfig::default();
+        cfg.pipeline.first_rung = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SearchConfig::default();
+        cfg.pipeline.predictor_gate = Some(0);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn serial_search_ignores_pipeline_only_validation() {
+        // SerialSearch never prunes, so a budget below the halving
+        // schedule's first rung must not block a cheap serial run.
+        let mut cfg = tiny_config(SearchStrategy::Exhaustive);
+        cfg.evaluator.budget = 10;
+        assert!(cfg.evaluator.budget < cfg.pipeline.first_rung);
+        assert!(cfg.validate().is_err(), "pipeline validation still rejects");
+        let outcome = SerialSearch::new(cfg.clone()).run(&tiny_graphs()).unwrap();
+        assert_eq!(outcome.num_candidates_evaluated, 6);
+        // The parallel pipeline keeps rejecting it with a clear message.
+        assert!(ParallelSearch::new(cfg).run(&tiny_graphs()).is_err());
+    }
+
+    #[test]
+    fn builder_pipeline_methods_set_every_field() {
+        let cfg = SearchConfig::builder()
+            .prune(true)
+            .halving(12, 3)
+            .warm_start(false)
+            .predictor_gate(9)
+            .build();
+        assert!(cfg.pipeline.prune);
+        assert_eq!(cfg.pipeline.first_rung, 12);
+        assert_eq!(cfg.pipeline.eta, 3);
+        assert!(!cfg.pipeline.warm_start);
+        assert_eq!(cfg.pipeline.predictor_gate, Some(9));
+
+        let faithful = SearchConfig::builder().no_prune().build();
+        assert_eq!(faithful.pipeline, PipelineConfig::full_budget());
+        assert!(!faithful.pipeline.prune);
+        assert!(!faithful.pipeline.warm_start);
+        assert_eq!(faithful.pipeline.predictor_gate, None);
+    }
+
+    #[test]
     fn serial_exhaustive_search_finds_a_mixing_winner() {
         let outcome = SerialSearch::new(tiny_config(SearchStrategy::Exhaustive))
             .run(&tiny_graphs())
@@ -608,13 +855,17 @@ mod tests {
     }
 
     #[test]
-    fn parallel_and_serial_exhaustive_find_the_same_best_energy() {
+    fn no_prune_parallel_matches_serial_bitwise() {
+        // The paper-faithful escape hatch: with pruning, warm starts and the
+        // gate disabled, the pipeline must reproduce the serial full-budget
+        // search exactly — same winner, bit-identical energies, same budget.
         let graphs = tiny_graphs();
         let serial = SerialSearch::new(tiny_config(SearchStrategy::Exhaustive))
             .run(&graphs)
             .unwrap();
         let parallel = ParallelSearch::new(SearchConfig {
             threads: Some(2),
+            pipeline: PipelineConfig::full_budget(),
             ..tiny_config(SearchStrategy::Exhaustive)
         })
         .run(&graphs)
@@ -623,9 +874,178 @@ mod tests {
             serial.num_candidates_evaluated,
             parallel.num_candidates_evaluated
         );
-        assert!((serial.best.energy - parallel.best.energy).abs() < 1e-9);
+        assert_eq!(serial.best.energy, parallel.best.energy);
         assert_eq!(serial.best.mixer_label, parallel.best.mixer_label);
+        assert_eq!(
+            serial.total_optimizer_evaluations,
+            parallel.total_optimizer_evaluations
+        );
+        for (ds, dp) in serial.depth_results.iter().zip(&parallel.depth_results) {
+            for (cs, cp) in ds.candidates.iter().zip(&dp.candidates) {
+                assert_eq!(cs.mean_energy, cp.mean_energy, "{}", cs.mixer_label);
+                assert_eq!(cs.per_graph, cp.per_graph, "{}", cs.mixer_label);
+            }
+        }
         assert_eq!(parallel.parallel_threads, Some(2));
+    }
+
+    #[test]
+    fn pruning_spends_less_budget_without_losing_the_winner() {
+        let graphs = tiny_graphs();
+        let mut cfg = tiny_config(SearchStrategy::Exhaustive);
+        cfg.evaluator.budget = 60;
+        cfg.pipeline = PipelineConfig {
+            prune: true,
+            eta: 2,
+            first_rung: 15,
+            warm_start: false,
+            predictor_gate: None,
+        };
+        let full = ParallelSearch::new(SearchConfig {
+            pipeline: PipelineConfig::full_budget(),
+            ..cfg.clone()
+        })
+        .run(&graphs)
+        .unwrap();
+        let pruned = ParallelSearch::new(cfg).run(&graphs).unwrap();
+
+        assert!(
+            pruned.total_optimizer_evaluations < full.total_optimizer_evaluations,
+            "pruned {} vs full {}",
+            pruned.total_optimizer_evaluations,
+            full.total_optimizer_evaluations
+        );
+        assert!(pruned.budget_savings_factor() > 1.0);
+        // The winner must stay competitive with the exhaustive result.
+        assert!(
+            pruned.best.energy >= full.best.energy - 0.05,
+            "pruned best {} vs full best {}",
+            pruned.best.energy,
+            full.best.energy
+        );
+        // Some candidate was actually pruned, and its recorded rung exists.
+        let pruned_candidates: Vec<_> = pruned
+            .depth_results
+            .iter()
+            .flat_map(|d| &d.candidates)
+            .filter(|c| c.pruned_at_rung.is_some())
+            .collect();
+        assert!(!pruned_candidates.is_empty());
+        // Rung accounting is present and consistent.
+        for d in &pruned.depth_results {
+            assert!(!d.rungs.is_empty());
+            assert!(d
+                .rungs
+                .windows(2)
+                .all(|w| w[0].target_budget < w[1].target_budget));
+            assert_eq!(d.rungs[0].entrants, d.candidates.len());
+            let rung_total: usize = d.rungs.iter().map(|r| r.evaluations).sum();
+            let cand_total: usize = d.candidates.iter().map(|c| c.total_evaluations).sum();
+            assert_eq!(rung_total, cand_total);
+        }
+    }
+
+    #[test]
+    fn parallel_results_are_thread_count_independent() {
+        // Work-stealing + per-worker scratch must not leak into results:
+        // 1, 2 and 4 workers return bit-identical outcomes for a fixed seed.
+        let graphs = tiny_graphs();
+        let mut cfg = tiny_config(SearchStrategy::Exhaustive);
+        cfg.max_depth = 2;
+        cfg.pipeline = PipelineConfig {
+            prune: true,
+            eta: 2,
+            first_rung: 10,
+            warm_start: true,
+            predictor_gate: Some(4),
+        };
+        let reference = ParallelSearch::new(SearchConfig {
+            threads: Some(1),
+            ..cfg.clone()
+        })
+        .run(&graphs)
+        .unwrap();
+        for threads in [2usize, 4] {
+            let other = ParallelSearch::new(SearchConfig {
+                threads: Some(threads),
+                ..cfg.clone()
+            })
+            .run(&graphs)
+            .unwrap();
+            assert_eq!(
+                reference.best.energy, other.best.energy,
+                "{threads} threads"
+            );
+            assert_eq!(reference.best.mixer_label, other.best.mixer_label);
+            assert_eq!(
+                reference.total_optimizer_evaluations,
+                other.total_optimizer_evaluations
+            );
+            for (dr, do_) in reference.depth_results.iter().zip(&other.depth_results) {
+                assert_eq!(dr.gated_out, do_.gated_out);
+                assert_eq!(dr.rungs, do_.rungs);
+                for (cr, co) in dr.candidates.iter().zip(&do_.candidates) {
+                    assert_eq!(cr.mean_energy, co.mean_energy, "{}", cr.mixer_label);
+                    assert_eq!(cr.per_graph, co.per_graph);
+                    assert_eq!(cr.pruned_at_rung, co.pruned_at_rung);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_does_not_hurt_deeper_depths() {
+        let graphs = tiny_graphs();
+        let mut cfg = tiny_config(SearchStrategy::Exhaustive);
+        cfg.max_depth = 2;
+        cfg.evaluator.budget = 40;
+        cfg.pipeline = PipelineConfig {
+            prune: false,
+            warm_start: true,
+            ..PipelineConfig::default()
+        };
+        let warm = ParallelSearch::new(cfg.clone()).run(&graphs).unwrap();
+        cfg.pipeline.warm_start = false;
+        let cold = ParallelSearch::new(cfg).run(&graphs).unwrap();
+        assert!(
+            warm.best.energy >= cold.best.energy - 0.1,
+            "warm {} vs cold {}",
+            warm.best.energy,
+            cold.best.energy
+        );
+    }
+
+    #[test]
+    fn predictor_gate_limits_entrants_from_depth_two() {
+        let graphs = tiny_graphs();
+        let mut cfg = tiny_config(SearchStrategy::Exhaustive);
+        cfg.max_depth = 2;
+        cfg.evaluator.budget = 30;
+        cfg.pipeline = PipelineConfig {
+            prune: false,
+            warm_start: false,
+            predictor_gate: Some(3),
+            ..PipelineConfig::default()
+        };
+        let outcome = ParallelSearch::new(cfg).run(&graphs).unwrap();
+        // Depth 1: no feedback yet, the gate stays open (6 candidates).
+        assert_eq!(outcome.depth_results[0].candidates.len(), 6);
+        assert_eq!(outcome.depth_results[0].gated_out, 0);
+        // Depth 2: only the top 3 by learned score are admitted.
+        assert_eq!(outcome.depth_results[1].candidates.len(), 3);
+        assert_eq!(outcome.depth_results[1].gated_out, 3);
+    }
+
+    #[test]
+    fn multistart_configs_fall_back_to_legacy_evaluation() {
+        let graphs = tiny_graphs();
+        let mut cfg = tiny_config(SearchStrategy::Exhaustive);
+        cfg.evaluator.restarts = 3;
+        cfg.evaluator.budget = 45;
+        let outcome = ParallelSearch::new(cfg).run(&graphs).unwrap();
+        assert_eq!(outcome.num_candidates_evaluated, 6);
+        // The legacy path reports no rung accounting.
+        assert!(outcome.depth_results.iter().all(|d| d.rungs.is_empty()));
     }
 
     #[test]

@@ -26,6 +26,10 @@ fn main() {
         .max_gates_per_mixer(2)
         .optimizer_budget(40)
         .seed(1)
+        // Paper-faithful full-budget mode, so serial vs. parallel differ only
+        // in scheduling (drop this line to let ParallelSearch's default
+        // budget-aware pipeline prune losers early and warm-start depth 2).
+        .no_prune()
         .build();
 
     // Serial search (Algorithm 1 as written).

@@ -34,10 +34,21 @@ SEARCH OPTIONS (qas search):
     --budget N        optimizer evaluations per candidate    (default 60)
     --alphabet LIST   comma-separated mnemonics, e.g. rx,ry,h (default rx,ry,rz,h,p)
     --strategy S      exhaustive | random:N | egreedy:N | policy:N (default exhaustive)
-    --threads N       outer-level thread count (parallel scheduler); omit for serial
+    --threads N       worker count of the evaluation pipeline (default: all cores)
     --restarts N      optimizer restarts per candidate       (default 1)
     --hardware-aware  apply the hardware-aware constraint preset
     --json            print the machine-readable report as JSON
+
+SEARCH PIPELINE OPTIONS (qas search):
+    --no-prune        paper-faithful mode: full budget for every candidate,
+                      no successive halving, no warm starts, no gate
+    --serial          run the serial Algorithm-1 scheduler (implies the
+                      paper-faithful full-budget behaviour)
+    --first-rung N    budget of the first halving rung       (default 20)
+    --eta N           halving rate: keep top 1/eta per rung, budget x eta (default 4)
+    --no-warm-start   do not seed depth p from the best depth p-1 angles
+    --gate N          admit at most N candidates per depth, ranked by the
+                      learned predictor (engages from depth 2 on)
 
 EVALUATE OPTIONS (qas evaluate):
     --mixer M         baseline | qnas | comma-separated gates (default qnas)
@@ -46,6 +57,7 @@ EVALUATE OPTIONS (qas evaluate):
 
 EXAMPLES:
     qas search --pmax 2 --kmax 2 --threads 8
+    qas search --pmax 3 --kmax 2 --no-prune --serial    # paper-faithful
     qas evaluate --mixer rx,ry --dataset regular --depth 2
     qas info --pmax 4 --kmax 4
 ";
@@ -157,6 +169,8 @@ fn cmd_search(options: &HashMap<String, String>, flags: &[String]) -> Result<(),
     let strategy = build_strategy(options)?;
     let k_max = opt_usize(options, "kmax", 2);
 
+    let has_flag = |name: &str| flags.iter().any(|f| f == name);
+
     let mut builder = SearchConfig::builder()
         .alphabet(alphabet)
         .max_depth(opt_usize(options, "pmax", 2))
@@ -164,27 +178,43 @@ fn cmd_search(options: &HashMap<String, String>, flags: &[String]) -> Result<(),
         .optimizer_budget(opt_usize(options, "budget", 60))
         .strategy(strategy)
         .seed(opt_u64(options, "seed", 2023));
-    if flags.iter().any(|f| f == "hardware-aware") {
+    if has_flag("hardware-aware") {
         builder = builder.constraints(ConstraintSet::hardware_aware(k_max));
     }
     let threads = options.get("threads").and_then(|v| v.parse().ok());
     if let Some(t) = threads {
         builder = builder.threads(t);
     }
+    // Pipeline flags: --no-prune is the paper-faithful escape hatch.
+    if has_flag("no-prune") {
+        builder = builder.no_prune();
+    } else {
+        builder = builder.halving(
+            opt_usize(options, "first-rung", 20),
+            opt_usize(options, "eta", 4),
+        );
+        if has_flag("no-warm-start") {
+            builder = builder.warm_start(false);
+        }
+        if let Some(cap) = options.get("gate").and_then(|v| v.parse().ok()) {
+            builder = builder.predictor_gate(cap);
+        }
+    }
     let mut config = builder.build();
     config.evaluator.restarts = opt_usize(options, "restarts", 1);
 
-    let outcome = if threads.is_some() {
-        ParallelSearch::new(config)
+    let outcome = if has_flag("serial") {
+        config.pipeline = qarchsearch_suite::qarchsearch::PipelineConfig::full_budget();
+        SerialSearch::new(config)
             .run(&dataset)
             .map_err(|e| e.to_string())?
     } else {
-        SerialSearch::new(config)
+        ParallelSearch::new(config)
             .run(&dataset)
             .map_err(|e| e.to_string())?
     };
 
-    if flags.iter().any(|f| f == "json") {
+    if has_flag("json") {
         println!("{}", SearchReport::from(&outcome).to_json());
     } else {
         println!("best mixer       : {}", outcome.best.mixer_label);
@@ -192,15 +222,39 @@ fn cmd_search(options: &HashMap<String, String>, flags: &[String]) -> Result<(),
         println!("mean energy <C>  : {:.4}", outcome.best.energy);
         println!("approximation r  : {:.4}", outcome.best.approx_ratio);
         println!("candidates tried : {}", outcome.num_candidates_evaluated);
+        println!(
+            "optimizer evals  : {} (full-budget baseline: {}, {:.1}x saved)",
+            outcome.total_optimizer_evaluations,
+            outcome.full_budget_evaluations,
+            outcome.budget_savings_factor()
+        );
         println!("wall-clock       : {:.2}s", outcome.total_elapsed_seconds);
         for d in &outcome.depth_results {
-            println!(
-                "  depth {}: best energy {:.4} in {:.2}s ({} candidates)",
+            let pruned = d
+                .candidates
+                .iter()
+                .filter(|c| c.pruned_at_rung.is_some())
+                .count();
+            print!(
+                "  depth {}: best energy {:.4} in {:.2}s ({} candidates",
                 d.depth,
                 d.best_energy,
                 d.elapsed_seconds,
                 d.candidates.len()
             );
+            if d.gated_out > 0 {
+                print!(", {} gated", d.gated_out);
+            }
+            if pruned > 0 {
+                print!(", {pruned} pruned");
+            }
+            println!(")");
+            for (ri, rung) in d.rungs.iter().enumerate() {
+                println!(
+                    "    rung {ri}: {} -> {} candidates at budget {} ({} evals)",
+                    rung.entrants, rung.survivors, rung.target_budget, rung.evaluations
+                );
+            }
         }
     }
     Ok(())

@@ -45,14 +45,19 @@ pub use tensornet;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use graphs::{Graph, GraphKind, MaxCut};
-    pub use optim::{CobylaOptimizer, NelderMead, Optimizer, OptimizerKind, Spsa};
-    pub use qaoa::{ansatz::QaoaAnsatz, energy::EnergyEvaluator, mixer::Mixer, Backend};
+    pub use optim::{CobylaOptimizer, NelderMead, Optimizer, OptimizerKind, Resumable, Spsa};
+    pub use qaoa::{
+        ansatz::QaoaAnsatz,
+        energy::{EnergyEvaluator, TrainingSession},
+        mixer::Mixer,
+        Backend,
+    };
     pub use qarchsearch::{
         alphabet::{GateAlphabet, RotationGate},
         evaluator::Evaluator,
         predictor::{Predictor, RandomPredictor},
         qbuilder::QBuilder,
-        search::{ParallelSearch, SearchConfig, SearchOutcome, SerialSearch},
+        search::{ParallelSearch, PipelineConfig, SearchConfig, SearchOutcome, SerialSearch},
     };
     pub use qcircuit::{Circuit, Gate, Parameter};
     pub use statevec::StateVector;

@@ -44,10 +44,13 @@ fn serial_search_end_to_end() {
 
 #[test]
 fn parallel_search_matches_serial_winner() {
+    // In paper-faithful mode (pruning/warm-start/gate off) the parallel
+    // pipeline reproduces the serial full-budget search bit for bit.
     let graphs = training_graphs();
     let serial = SerialSearch::new(small_config()).run(&graphs).unwrap();
     let mut cfg = small_config();
     cfg.threads = Some(2);
+    cfg.pipeline = qarchsearch_suite::qarchsearch::PipelineConfig::full_budget();
     let parallel = ParallelSearch::new(cfg).run(&graphs).unwrap();
 
     assert_eq!(
@@ -55,7 +58,39 @@ fn parallel_search_matches_serial_winner() {
         parallel.num_candidates_evaluated
     );
     assert_eq!(serial.best.mixer_label, parallel.best.mixer_label);
-    assert!((serial.best.energy - parallel.best.energy).abs() < 1e-9);
+    assert_eq!(serial.best.energy, parallel.best.energy);
+    assert_eq!(
+        serial.total_optimizer_evaluations,
+        parallel.total_optimizer_evaluations
+    );
+}
+
+#[test]
+fn budget_aware_pipeline_saves_budget_at_competitive_energy() {
+    // The default ParallelSearch pipeline (successive halving + warm
+    // starts) spends a fraction of the full budget and still lands within
+    // optimizer noise of the exhaustive winner.
+    let graphs = training_graphs();
+    let mut full_cfg = small_config();
+    full_cfg.threads = Some(2);
+    full_cfg.pipeline = qarchsearch_suite::qarchsearch::PipelineConfig::full_budget();
+    let full = ParallelSearch::new(full_cfg).run(&graphs).unwrap();
+
+    let mut pruned_cfg = small_config();
+    pruned_cfg.threads = Some(2);
+    pruned_cfg.pipeline.first_rung = 10;
+    let pruned = ParallelSearch::new(pruned_cfg).run(&graphs).unwrap();
+
+    assert!(pruned.total_optimizer_evaluations < full.total_optimizer_evaluations);
+    assert!(pruned.budget_savings_factor() > 1.0);
+    assert!(
+        pruned.best.energy >= full.best.energy - 0.1,
+        "pruned {} vs full {}",
+        pruned.best.energy,
+        full.best.energy
+    );
+    // Rung accounting is visible end to end.
+    assert!(pruned.depth_results.iter().all(|d| !d.rungs.is_empty()));
 }
 
 #[test]
