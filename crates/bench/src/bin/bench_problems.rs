@@ -1,0 +1,114 @@
+//! JSON-emitting benchmark for the pluggable problem layer.
+//!
+//! Times the compiled-energy fast path ([`qaoa::energy::CompiledEnergy`])
+//! across every shipped cost Hamiltonian at one register width, so the
+//! committed trajectory file shows what a problem's term structure costs:
+//! sparse 2-local problems (Max-Cut on an ER graph, MIS) versus dense
+//! all-to-all ones (Sherrington–Kirkpatrick, number partitioning). For each
+//! problem it also reports the one-time setup costs the evaluator amortizes
+//! (classical reference bracket, `2^n` diagonal build, ansatz compile).
+//!
+//! Prints a single JSON document to stdout — redirect it to refresh the
+//! committed trajectory file:
+//!
+//! ```text
+//! cargo run --release -p qarchsearch_bench --bin bench_problems > BENCH_problems.json
+//! ```
+//!
+//! Environment variables: `QAS_BENCH_N` (qubits, default 16),
+//! `QAS_BENCH_DEPTH` (QAOA depth, default 2), `QAS_BENCH_REPS`
+//! (timed repetitions, default 10).
+
+use graphs::ProblemKind;
+use qaoa::ansatz::QaoaAnsatz;
+use qaoa::energy::EnergyEvaluator;
+use qaoa::mixer::Mixer;
+use qaoa::Backend;
+use serde_json::json;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Mean and best wall time of `reps` runs of `f`, in milliseconds.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> (f64, f64) {
+    // One untimed warm-up run.
+    f();
+    let mut total = 0.0;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        total += elapsed;
+        best = best.min(elapsed);
+    }
+    (total / reps as f64, best)
+}
+
+fn main() {
+    let n = env_usize("QAS_BENCH_N", 16);
+    let depth = env_usize("QAS_BENCH_DEPTH", 2);
+    let reps = env_usize("QAS_BENCH_REPS", 10);
+
+    let graph = graphs::Graph::connected_erdos_renyi(n, 0.5, 7, 50);
+    let params: Vec<f64> = (0..2 * depth).map(|i| 0.1 + 0.15 * i as f64).collect();
+
+    let mut results = Vec::new();
+    for kind in ProblemKind::all(7) {
+        let setup_start = Instant::now();
+        let problem = kind.instantiate(&graph);
+        let eval = EnergyEvaluator::for_problem(&graph, problem.clone(), Backend::StateVector)
+            .expect("instantiated problem matches its graph");
+        let classical_ms = setup_start.elapsed().as_secs_f64() * 1e3;
+
+        let compile_start = Instant::now();
+        let ansatz = QaoaAnsatz::for_problem(&problem, depth, Mixer::qnas())
+            .expect("shipped problems are at most 2-local");
+        let compiled = eval
+            .compile(&ansatz)
+            .expect("state-vector backend compiles");
+        // The first evaluation also builds the cached 2^n diagonal.
+        let first_energy = compiled.energy_flat(&params).unwrap();
+        let compile_and_first_eval_ms = compile_start.elapsed().as_secs_f64() * 1e3;
+
+        let (mean_ms, best_ms) = time_ms(reps, || {
+            compiled.energy_flat(&params).unwrap();
+        });
+        results.push(json!({
+            "problem": (problem.name()),
+            "num_terms": (problem.terms().len()),
+            "max_locality": (problem.max_locality()),
+            "classical_reference": {
+                "best": (eval.classical_optimum()),
+                "quality": (format!("{}", eval.classical_solution().quality)),
+                "setup_ms": classical_ms,
+            },
+            "compile_and_first_eval_ms": compile_and_first_eval_ms,
+            "energy_eval_mean_ms": mean_ms,
+            "energy_eval_best_ms": best_ms,
+            "evals_per_second": (1e3 / mean_ms),
+            "first_energy": first_energy,
+        }));
+    }
+
+    let doc = json!({
+        "benchmark": "problems",
+        "config": {
+            "num_qubits": n,
+            "depth": depth,
+            "num_edges": (graph.num_edges()),
+            "reps": reps,
+            "threads": (rayon::current_num_threads()),
+            "parallel_threshold_qubits": (statevec::parallel_threshold_qubits()),
+            "mixer": "('rx', 'ry')",
+            "note": "compiled-energy throughput per problem; training multiplies the per-eval cost by the optimizer budget",
+        },
+        "results": results,
+    });
+    println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+}

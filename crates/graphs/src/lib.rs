@@ -19,6 +19,10 @@
 //!   n = 10 instances of the paper), and greedy + local-search heuristics used
 //!   as the classical reference `C_classical` in the approximation ratio
 //!   r = ⟨C⟩ / C_classical (Eq. 3),
+//! * [`problem`] — the pluggable diagonal-cost-Hamiltonian layer: [`Problem`]
+//!   generalizes Max-Cut to arbitrary diagonal objectives (weighted Max-Cut,
+//!   Max Independent Set, Sherrington–Kirkpatrick, number partitioning, …)
+//!   with generic exact/heuristic classical reference solvers,
 //! * [`datasets`] — the exact instance collections used by the experiment
 //!   harness (seeded, hence reproducible).
 
@@ -28,10 +32,15 @@ pub mod generators;
 pub mod graph;
 pub mod maxcut;
 pub mod metrics;
+pub mod problem;
 
 pub use error::GraphError;
 pub use graph::{Edge, Graph, GraphKind};
 pub use maxcut::{BruteForceResult, MaxCut};
+pub use problem::{
+    ClassicalSolution, CostTerm, ExactSolution, Problem, ProblemKind, RatioConvention,
+    SolutionQuality,
+};
 
 #[cfg(test)]
 mod proptests;

@@ -1,17 +1,20 @@
-//! Assembly of the depth-`p` QAOA ansatz for a graph and a mixer.
+//! Assembly of the depth-`p` QAOA ansatz for a cost problem and a mixer.
 //!
 //! The ansatz is `|γ,β⟩ = e^{-iβ_p B} e^{-iγ_p C} … e^{-iβ_1 B} e^{-iγ_1 C} |s⟩`
-//! (Eq. 2 of the paper), with `|s⟩ = |+⟩^⊗n`, the cost layer
-//! `e^{-iγC} = Π_{(u,v)∈E} RZZ(2 w_uv γ)` and the mixer layer supplied by a
-//! [`Mixer`]. Parameters are named `gamma_k` / `beta_k` so a single circuit
-//! template can be rebound at every optimizer step.
+//! (Eq. 2 of the paper), with `|s⟩ = |+⟩^⊗n`, the cost layer built from the
+//! diagonal terms of a [`Problem`] (one `RZZ` per 2-local term, one `RZ` per
+//! 1-local term — for Max-Cut exactly `Π_{(u,v)∈E} RZZ(2 w_uv γ)`) and the
+//! mixer layer supplied by a [`Mixer`]. Parameters are named `gamma_k` /
+//! `beta_k` so a single circuit template can be rebound at every optimizer
+//! step.
 
 use crate::error::QaoaError;
 use crate::mixer::Mixer;
-use graphs::Graph;
+use graphs::{Graph, Problem};
 use qcircuit::{Circuit, Gate, Parameter};
 
-/// A depth-`p` QAOA ansatz template for one graph and one mixer choice.
+/// A depth-`p` QAOA ansatz template for one cost problem and one mixer
+/// choice.
 #[derive(Debug, Clone)]
 pub struct QaoaAnsatz {
     template: Circuit,
@@ -21,31 +24,62 @@ pub struct QaoaAnsatz {
 }
 
 impl QaoaAnsatz {
-    /// Build the parameterized template circuit.
+    /// Build the parameterized template circuit for the Max-Cut problem of
+    /// `graph` (the paper's driver application). Shorthand for
+    /// [`QaoaAnsatz::for_problem`] with [`Problem::max_cut`].
     pub fn new(graph: &Graph, depth: usize, mixer: Mixer) -> QaoaAnsatz {
-        let n = graph.num_nodes();
+        Self::for_problem(&Problem::max_cut(graph), depth, mixer)
+            .expect("Max-Cut terms are 2-local")
+    }
+
+    /// Build the parameterized template circuit for an arbitrary diagonal
+    /// cost [`Problem`].
+    ///
+    /// Each cost layer lowers the problem's terms in order: a 2-local term
+    /// `c·z_u z_v` becomes `RZZ(−4c·γ_k)` on `(u, v)` and a 1-local term
+    /// `c·z_u` becomes `RZ(−4c·γ_k)` on `u` — one consistent γ scale across
+    /// localities, which for a Max-Cut edge (`c = −w/2`) reproduces the
+    /// paper's `RZZ(2wγ)` exactly. Constant terms are global phases and are
+    /// dropped. Terms of locality ≥ 3 cannot be realized by this gate set
+    /// and yield [`QaoaError::UnsupportedLocality`].
+    pub fn for_problem(
+        problem: &Problem,
+        depth: usize,
+        mixer: Mixer,
+    ) -> Result<QaoaAnsatz, QaoaError> {
+        let n = problem.num_spins();
         let mut c = Circuit::new(n);
         c.h_layer();
         for k in 0..depth {
-            // Cost layer: RZZ(2 w γ_k) on every edge.
+            // Cost layer: one diagonal rotation per term.
             let gamma_name = format!("gamma_{k}");
-            for e in graph.edges() {
-                c.push(
-                    Gate::RZZ,
-                    &[e.u, e.v],
-                    Parameter::free(&gamma_name, 2.0 * e.weight),
-                );
+            for t in problem.terms() {
+                let multiplier = -4.0 * t.coeff();
+                match *t.qubits() {
+                    [] => {}
+                    [q] => {
+                        c.push(Gate::RZ, &[q], Parameter::free(&gamma_name, multiplier));
+                    }
+                    [u, v] => {
+                        c.push(Gate::RZZ, &[u, v], Parameter::free(&gamma_name, multiplier));
+                    }
+                    _ => {
+                        return Err(QaoaError::UnsupportedLocality {
+                            locality: t.locality(),
+                        })
+                    }
+                }
             }
             // Mixer layer: shared β_k.
             let beta_name = format!("beta_{k}");
             mixer.append_layer(&mut c, &beta_name);
         }
-        QaoaAnsatz {
+        Ok(QaoaAnsatz {
             template: c,
             depth,
             mixer,
             num_qubits: n,
-        }
+        })
     }
 
     /// The unbound template circuit.
@@ -251,6 +285,67 @@ mod tests {
             ansatz.warm_start_flat(&[], &[]),
             ansatz.default_initial_flat()
         );
+    }
+
+    #[test]
+    fn for_problem_maxcut_reproduces_the_graph_ansatz_exactly() {
+        let g = Graph::from_weighted_edges(4, &[(0, 1, 1.0), (1, 2, 2.5), (0, 3, 0.75)]).unwrap();
+        let legacy = QaoaAnsatz::new(&g, 2, Mixer::qnas());
+        let generic = QaoaAnsatz::for_problem(&Problem::max_cut(&g), 2, Mixer::qnas()).unwrap();
+        assert_eq!(legacy.template().len(), generic.template().len());
+        for (a, b) in legacy
+            .template()
+            .instructions()
+            .iter()
+            .zip(generic.template().instructions())
+        {
+            assert_eq!(a.gate, b.gate);
+            assert_eq!(a.qubits, b.qubits);
+            assert_eq!(a.parameter, b.parameter);
+        }
+    }
+
+    #[test]
+    fn for_problem_lowers_fields_to_rz() {
+        let g = Graph::cycle(4);
+        let sk = Problem::sherrington_kirkpatrick(&g, 3);
+        let ansatz = QaoaAnsatz::for_problem(&sk, 1, Mixer::baseline()).unwrap();
+        let rz = ansatz
+            .template()
+            .instructions()
+            .iter()
+            .filter(|i| i.gate == Gate::RZ)
+            .count();
+        let rzz = ansatz
+            .template()
+            .instructions()
+            .iter()
+            .filter(|i| i.gate == Gate::RZZ)
+            .count();
+        assert_eq!(rzz, 6, "all-to-all couplings on 4 spins");
+        assert!(rz > 0, "fields must appear as RZ gates");
+        // All cost gates share one gamma parameter per layer.
+        assert_eq!(
+            ansatz.template().free_parameters(),
+            vec!["beta_0".to_string(), "gamma_0".to_string()]
+        );
+    }
+
+    #[test]
+    fn for_problem_rejects_high_locality_terms() {
+        use graphs::{CostTerm, RatioConvention};
+        let cubic = Problem::from_terms(
+            "3local",
+            3,
+            0.0,
+            vec![CostTerm::new(vec![0, 1, 2], 1.0)],
+            RatioConvention::RatioToOptimum,
+        )
+        .unwrap();
+        assert!(matches!(
+            QaoaAnsatz::for_problem(&cubic, 1, Mixer::baseline()),
+            Err(QaoaError::UnsupportedLocality { locality: 3 })
+        ));
     }
 
     #[test]

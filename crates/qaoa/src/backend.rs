@@ -7,7 +7,7 @@
 //! `backend_compare` ablation bench can quantify the difference).
 
 use crate::error::QaoaError;
-use graphs::Graph;
+use graphs::{Graph, Problem};
 use qcircuit::Circuit;
 use serde::{Deserialize, Serialize};
 
@@ -36,49 +36,71 @@ impl Backend {
         ]
     }
 
-    /// The `(u, v, w)` edge list the simulator backends consume. Callers
-    /// that evaluate many circuits on one graph should build this once and
-    /// use [`Backend::maxcut_expectation_with_edges`].
+    /// The `(u, v, w)` edge list of a graph. Legacy helper for the
+    /// deprecated edge-list entry points; new code should build a
+    /// [`Problem`] once and use [`Backend::expectation`].
     pub fn edge_list(graph: &Graph) -> Vec<(usize, usize, f64)> {
         graph.edges().iter().map(|e| (e.u, e.v, e.weight)).collect()
     }
 
+    /// Energy ⟨C⟩ of a fully-bound circuit for an arbitrary diagonal cost
+    /// [`Problem`] — the problem-generic entry point every layer routes
+    /// through.
+    ///
+    /// Callers that evaluate many circuits against one objective should
+    /// build the [`Problem`] once and reuse it (as
+    /// [`crate::energy::EnergyEvaluator`] does): the term list plays the
+    /// role the cached edge list used to, without the per-call rebuild
+    /// footgun of the deprecated [`Backend::maxcut_expectation`].
+    pub fn expectation(&self, circuit: &Circuit, problem: &Problem) -> Result<f64, QaoaError> {
+        let backend_err = |message: String| QaoaError::Backend { message };
+        match self {
+            Backend::StateVector => {
+                let state = statevec::StateVector::from_circuit(circuit)
+                    .map_err(|e| backend_err(e.to_string()))?;
+                Ok(statevec::expectation::problem_expectation(&state, problem))
+            }
+            Backend::TensorNetwork => tensornet::lightcone::problem_expectation(circuit, problem)
+                .map_err(|e| backend_err(e.to_string())),
+            Backend::TensorNetworkSequential => {
+                tensornet::lightcone::problem_expectation_sequential(circuit, problem)
+                    .map_err(|e| backend_err(e.to_string()))
+            }
+        }
+    }
+
     /// Max-Cut energy ⟨C⟩ of a fully-bound circuit on `graph`.
     ///
-    /// Convenience wrapper that rebuilds the edge list on every call; hot
-    /// loops should prefer [`Backend::maxcut_expectation_with_edges`] with a
-    /// cached list (as [`crate::energy::EnergyEvaluator`] does).
+    /// Deprecated convenience wrapper: it rebuilds the Max-Cut Hamiltonian
+    /// on every call. Build [`Problem::max_cut`] once and call
+    /// [`Backend::expectation`] instead.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `Problem` once (e.g. `Problem::max_cut`) and call `Backend::expectation`"
+    )]
     pub fn maxcut_expectation(&self, circuit: &Circuit, graph: &Graph) -> Result<f64, QaoaError> {
-        self.maxcut_expectation_with_edges(circuit, &Self::edge_list(graph))
+        self.expectation(circuit, &Problem::max_cut(graph))
     }
 
     /// Max-Cut energy ⟨C⟩ of a fully-bound circuit for a prebuilt edge list.
+    ///
+    /// Deprecated: the cached-edge-list pattern is superseded by caching a
+    /// [`Problem`] and calling [`Backend::expectation`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `Problem` once (e.g. `Problem::max_cut`) and call `Backend::expectation`"
+    )]
     pub fn maxcut_expectation_with_edges(
         &self,
         circuit: &Circuit,
         edges: &[(usize, usize, f64)],
     ) -> Result<f64, QaoaError> {
-        match self {
-            Backend::StateVector => {
-                let state = statevec::StateVector::from_circuit(circuit).map_err(|e| {
-                    QaoaError::Backend {
-                        message: e.to_string(),
-                    }
-                })?;
-                Ok(statevec::expectation::maxcut_expectation(&state, edges))
+        let problem = Problem::max_cut_from_edges(circuit.num_qubits(), edges).map_err(|e| {
+            QaoaError::Backend {
+                message: e.to_string(),
             }
-            Backend::TensorNetwork => tensornet::lightcone::maxcut_expectation(circuit, edges)
-                .map_err(|e| QaoaError::Backend {
-                    message: e.to_string(),
-                }),
-            Backend::TensorNetworkSequential => {
-                tensornet::lightcone::maxcut_expectation_sequential(circuit, edges).map_err(|e| {
-                    QaoaError::Backend {
-                        message: e.to_string(),
-                    }
-                })
-            }
-        }
+        })?;
+        self.expectation(circuit, &problem)
     }
 }
 
@@ -102,19 +124,60 @@ mod tests {
     #[test]
     fn backends_agree_on_qaoa_energy() {
         let graph = Graph::erdos_renyi(6, 0.5, 11);
+        let problem = Problem::max_cut(&graph);
         let ansatz = QaoaAnsatz::new(&graph, 2, Mixer::qnas());
         let circuit = ansatz.bind(&[0.4, 0.7], &[0.3, 0.1]).unwrap();
         let sv = Backend::StateVector
-            .maxcut_expectation(&circuit, &graph)
+            .expectation(&circuit, &problem)
             .unwrap();
         let tn = Backend::TensorNetwork
-            .maxcut_expectation(&circuit, &graph)
+            .expectation(&circuit, &problem)
             .unwrap();
         let tns = Backend::TensorNetworkSequential
-            .maxcut_expectation(&circuit, &graph)
+            .expectation(&circuit, &problem)
             .unwrap();
         assert!((sv - tn).abs() < 1e-8, "sv {sv} vs tn {tn}");
         assert!((tn - tns).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backends_agree_on_every_shipped_problem() {
+        let graph = Graph::erdos_renyi(6, 0.5, 4);
+        for kind in graphs::ProblemKind::all(13) {
+            let problem = kind.instantiate(&graph);
+            let ansatz = QaoaAnsatz::for_problem(&problem, 1, Mixer::qnas()).unwrap();
+            let circuit = ansatz.bind(&[0.35], &[0.2]).unwrap();
+            let sv = Backend::StateVector
+                .expectation(&circuit, &problem)
+                .unwrap();
+            let tn = Backend::TensorNetwork
+                .expectation(&circuit, &problem)
+                .unwrap();
+            assert!(
+                (sv - tn).abs() < 1e-8,
+                "{}: sv {sv} vs tn {tn}",
+                problem.name()
+            );
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_maxcut_wrappers_route_through_the_problem_path() {
+        let graph = Graph::erdos_renyi(5, 0.6, 2);
+        let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::baseline());
+        let circuit = ansatz.bind(&[0.4], &[0.3]).unwrap();
+        for backend in Backend::all() {
+            let generic = backend
+                .expectation(&circuit, &Problem::max_cut(&graph))
+                .unwrap();
+            let wrapped = backend.maxcut_expectation(&circuit, &graph).unwrap();
+            let with_edges = backend
+                .maxcut_expectation_with_edges(&circuit, &Backend::edge_list(&graph))
+                .unwrap();
+            assert_eq!(generic.to_bits(), wrapped.to_bits(), "{backend}");
+            assert_eq!(generic.to_bits(), with_edges.to_bits(), "{backend}");
+        }
     }
 
     #[test]
@@ -133,7 +196,7 @@ mod tests {
         let graph = Graph::cycle(3);
         let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::baseline());
         // Template still has free parameters.
-        let err = Backend::StateVector.maxcut_expectation(ansatz.template(), &graph);
+        let err = Backend::StateVector.expectation(ansatz.template(), &Problem::max_cut(&graph));
         assert!(matches!(err, Err(QaoaError::Backend { .. })));
     }
 }

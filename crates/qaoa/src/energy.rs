@@ -1,24 +1,24 @@
 //! Energy evaluation, variational training and approximation ratios.
 //!
 //! This is the computational heart of the QArchSearch **Evaluator** module:
-//! given a graph and a candidate ansatz, maximize ⟨γ,β|C|γ,β⟩ with a
-//! classical optimizer (COBYLA with 200 iterations in the paper) and report
-//! the resulting energy and approximation ratio `r = ⟨C⟩ / C_classical`
-//! (Eq. 3).
+//! given a cost [`Problem`] on a graph and a candidate ansatz, maximize
+//! ⟨γ,β|C|γ,β⟩ with a classical optimizer (COBYLA with 200 iterations in
+//! the paper) and report the resulting energy and approximation ratio
+//! (Eq. 3, formed per the problem's [`graphs::RatioConvention`]).
 
 use crate::ansatz::QaoaAnsatz;
 use crate::backend::Backend;
 use crate::error::QaoaError;
-use graphs::{Graph, MaxCut};
+use graphs::{ClassicalSolution, Graph, Problem, SolutionQuality};
 use optim::{OptimizationResult, OptimizationTrace, Optimizer, OptimizerState, Resumable};
 use serde::{Deserialize, Serialize};
 use statevec::{CompiledProgram, StateVector};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Result of training one ansatz on one graph.
+/// Result of training one ansatz on one problem instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainedCircuit {
-    /// Best (maximal) Max-Cut expectation found.
+    /// Best (maximal) cost expectation found.
     pub energy: f64,
     /// Optimal γ angles, one per layer.
     pub gammas: Vec<f64>,
@@ -26,50 +26,72 @@ pub struct TrainedCircuit {
     pub betas: Vec<f64>,
     /// Number of objective evaluations used.
     pub evaluations: usize,
-    /// Approximation ratio r = energy / C_classical.
+    /// Approximation ratio per the problem's convention (for Max-Cut:
+    /// r = energy / C_classical).
     pub approx_ratio: f64,
-    /// Classical reference cut value used in the ratio.
+    /// Classical reference value used in the ratio.
     pub classical_optimum: f64,
+    /// Whether the classical reference is exact or heuristic.
+    pub classical_quality: SolutionQuality,
 }
 
-/// Evaluates and trains QAOA ansätze on one graph with a chosen backend.
+/// Evaluates and trains QAOA ansätze on one problem instance with a chosen
+/// backend.
 #[derive(Debug, Clone)]
 pub struct EnergyEvaluator {
     graph: Graph,
+    problem: Problem,
     backend: Backend,
-    classical_optimum: f64,
-    /// The `(u, v, w)` edge list, built once and reused by every expectation
-    /// evaluation (previously rebuilt per optimizer iteration).
-    edges: Vec<(usize, usize, f64)>,
-    /// The full `2^n` Max-Cut diagonal, built lazily on the first compiled
-    /// fast-path use and shared by every candidate ansatz on this graph.
-    maxcut_diag: OnceLock<Arc<Vec<f64>>>,
+    /// Classical reference bracket (best/worst/quality), computed once.
+    classical: ClassicalSolution,
+    /// The full `2^n` problem diagonal, built lazily on the first compiled
+    /// fast-path use and shared by every candidate ansatz on this instance.
+    diag: OnceLock<Arc<Vec<f64>>>,
 }
 
 impl EnergyEvaluator {
-    /// Build an evaluator; the classical Max-Cut reference is computed once
-    /// (exactly for the paper-scale instances).
+    /// Build a Max-Cut evaluator for `graph` (the paper's configuration);
+    /// the classical reference is computed once (exactly for paper-scale
+    /// instances). Shorthand for [`EnergyEvaluator::for_problem`] with
+    /// [`Problem::max_cut`].
     pub fn new(graph: &Graph, backend: Backend) -> EnergyEvaluator {
-        let classical_optimum = MaxCut::classical_reference(graph);
-        let edges = Backend::edge_list(graph);
-        EnergyEvaluator {
-            graph: graph.clone(),
-            backend,
-            classical_optimum,
-            edges,
-            maxcut_diag: OnceLock::new(),
-        }
+        Self::for_problem(graph, Problem::max_cut(graph), backend)
+            .expect("Max-Cut problem matches its graph")
     }
 
-    /// The cached Max-Cut diagonal `C(z)` for every basis state, built on
+    /// Build an evaluator for an arbitrary diagonal cost [`Problem`] on
+    /// `graph`. The classical reference bracket is computed once (exact
+    /// enumeration when feasible, greedy + randomized local search beyond
+    /// it — see [`Problem::classical_solution`]).
+    pub fn for_problem(
+        graph: &Graph,
+        problem: Problem,
+        backend: Backend,
+    ) -> Result<EnergyEvaluator, QaoaError> {
+        if problem.num_spins() != graph.num_nodes() {
+            return Err(QaoaError::ProblemSizeMismatch {
+                name: problem.name().to_string(),
+                problem_spins: problem.num_spins(),
+                graph_nodes: graph.num_nodes(),
+            });
+        }
+        let classical = problem.classical_solution();
+        Ok(EnergyEvaluator {
+            graph: graph.clone(),
+            problem,
+            backend,
+            classical,
+            diag: OnceLock::new(),
+        })
+    }
+
+    /// The cached problem diagonal `C(z)` for every basis state, built on
     /// first use (only the compiled state-vector fast path needs it).
-    fn maxcut_diag(&self) -> Arc<Vec<f64>> {
-        Arc::clone(self.maxcut_diag.get_or_init(|| {
-            Arc::new(statevec::expectation::maxcut_diagonal(
-                self.graph.num_nodes(),
-                &self.edges,
-            ))
-        }))
+    fn problem_diag(&self) -> Arc<Vec<f64>> {
+        Arc::clone(
+            self.diag
+                .get_or_init(|| Arc::new(statevec::expectation::problem_diagonal(&self.problem))),
+        )
     }
 
     /// The graph this evaluator targets.
@@ -77,19 +99,25 @@ impl EnergyEvaluator {
         &self.graph
     }
 
-    /// The classical reference cut `C_classical` of Eq. 3.
+    /// The cost problem this evaluator trains against.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// The classical reference value `C_classical` of Eq. 3 (the best
+    /// classically-known cost).
     pub fn classical_optimum(&self) -> f64 {
-        self.classical_optimum
+        self.classical.best
+    }
+
+    /// The full classical reference bracket (best, worst, exact/heuristic).
+    pub fn classical_solution(&self) -> &ClassicalSolution {
+        &self.classical
     }
 
     /// The backend used for expectation values.
     pub fn backend(&self) -> Backend {
         self.backend
-    }
-
-    /// The cached `(u, v, w)` edge list of the target graph.
-    pub fn edges(&self) -> &[(usize, usize, f64)] {
-        &self.edges
     }
 
     /// ⟨C⟩ for explicit angles.
@@ -100,22 +128,20 @@ impl EnergyEvaluator {
         betas: &[f64],
     ) -> Result<f64, QaoaError> {
         let circuit = ansatz.bind(gammas, betas)?;
-        self.backend
-            .maxcut_expectation_with_edges(&circuit, &self.edges)
+        self.backend.expectation(&circuit, &self.problem)
     }
 
     /// ⟨C⟩ for a flat parameter vector `[γ…, β…]`.
     pub fn energy_flat(&self, ansatz: &QaoaAnsatz, params: &[f64]) -> Result<f64, QaoaError> {
         let circuit = ansatz.bind_flat(params)?;
-        self.backend
-            .maxcut_expectation_with_edges(&circuit, &self.edges)
+        self.backend.expectation(&circuit, &self.problem)
     }
 
     /// Compile `ansatz` into the allocation-free fast path for this
     /// evaluator's graph (state-vector backend only).
     ///
     /// The returned [`CompiledEnergy`] holds the lowered circuit, the cached
-    /// Max-Cut diagonal and a reusable scratch state, so each
+    /// problem diagonal and a reusable scratch state, so each
     /// [`CompiledEnergy::energy_flat`] call performs zero heap allocation.
     /// [`EnergyEvaluator::train`] and its variants build this automatically;
     /// it is public so benches and external drivers can time the fast path
@@ -142,14 +168,11 @@ impl EnergyEvaluator {
         }
     }
 
-    /// Approximation ratio of a given energy (Eq. 3). Zero when the graph has
-    /// no edges.
+    /// Approximation ratio of a given energy (Eq. 3), formed per the
+    /// problem's [`graphs::RatioConvention`]. Zero when the classical
+    /// bracket is degenerate.
     pub fn approx_ratio(&self, energy: f64) -> f64 {
-        if self.classical_optimum <= 0.0 {
-            0.0
-        } else {
-            energy / self.classical_optimum
-        }
+        self.problem.approx_ratio(energy, &self.classical)
     }
 
     /// Train the ansatz: maximize ⟨C⟩ over the `2p` angles using `optimizer`
@@ -161,7 +184,7 @@ impl EnergyEvaluator {
         optimizer: &dyn Optimizer,
         budget: usize,
     ) -> Result<TrainedCircuit, QaoaError> {
-        if self.graph.num_edges() == 0 {
+        if self.problem.terms().is_empty() {
             return Err(QaoaError::EmptyGraph);
         }
         let p = ansatz.depth();
@@ -178,7 +201,8 @@ impl EnergyEvaluator {
                 betas: vec![],
                 evaluations: 1,
                 approx_ratio: self.approx_ratio(energy),
-                classical_optimum: self.classical_optimum,
+                classical_optimum: self.classical.best,
+                classical_quality: self.classical.quality,
             });
         }
 
@@ -214,7 +238,8 @@ impl EnergyEvaluator {
             betas: betas.to_vec(),
             evaluations: result.evaluations,
             approx_ratio: self.approx_ratio(best_energy),
-            classical_optimum: self.classical_optimum,
+            classical_optimum: self.classical.best,
+            classical_quality: self.classical.quality,
         })
     }
 
@@ -234,7 +259,7 @@ impl EnergyEvaluator {
         budget: usize,
         restarts: usize,
     ) -> Result<TrainedCircuit, QaoaError> {
-        if self.graph.num_edges() == 0 {
+        if self.problem.terms().is_empty() {
             return Err(QaoaError::EmptyGraph);
         }
         let p = ansatz.depth();
@@ -289,7 +314,8 @@ impl EnergyEvaluator {
                     betas: betas.to_vec(),
                     evaluations: 0, // filled below with the cumulative count
                     approx_ratio: self.approx_ratio(energy),
-                    classical_optimum: self.classical_optimum,
+                    classical_optimum: self.classical.best,
+                    classical_quality: self.classical.quality,
                 });
             }
         }
@@ -308,7 +334,7 @@ impl EnergyEvaluator {
         optimizer: &dyn Optimizer,
         budget: usize,
     ) -> Result<(TrainedCircuit, OptimizationTrace), QaoaError> {
-        if self.graph.num_edges() == 0 {
+        if self.problem.terms().is_empty() {
             return Err(QaoaError::EmptyGraph);
         }
         let p = ansatz.depth();
@@ -333,7 +359,8 @@ impl EnergyEvaluator {
             betas: betas.to_vec(),
             evaluations: result.evaluations,
             approx_ratio: self.approx_ratio(best_energy),
-            classical_optimum: self.classical_optimum,
+            classical_optimum: self.classical.best,
+            classical_quality: self.classical.quality,
         };
         Ok((trained, result.trace))
     }
@@ -356,7 +383,7 @@ impl EnergyEvaluator {
         initial: Option<&[f64]>,
         budget_hint: usize,
     ) -> Result<TrainingSession, QaoaError> {
-        if self.graph.num_edges() == 0 {
+        if self.problem.terms().is_empty() {
             return Err(QaoaError::EmptyGraph);
         }
         let p = ansatz.depth();
@@ -464,7 +491,8 @@ impl TrainingSession {
                     betas: vec![],
                     evaluations: 1,
                     approx_ratio: evaluator.approx_ratio(energy),
-                    classical_optimum: evaluator.classical_optimum,
+                    classical_optimum: evaluator.classical.best,
+                    classical_quality: evaluator.classical.quality,
                 });
             }
             return Ok(zero_depth.clone().expect("just cached"));
@@ -534,12 +562,13 @@ impl TrainingSession {
             betas: betas.to_vec(),
             evaluations: result.evaluations,
             approx_ratio: evaluator.approx_ratio(best_energy),
-            classical_optimum: evaluator.classical_optimum,
+            classical_optimum: evaluator.classical.best,
+            classical_quality: evaluator.classical.quality,
         })
     }
 }
 
-/// The compiled QAOA objective: ansatz lowered once, Max-Cut diagonal cached
+/// The compiled QAOA objective: ansatz lowered once, problem diagonal cached
 /// per graph, scratch state reused across evaluations.
 ///
 /// Build via [`EnergyEvaluator::compile`]. One [`CompiledEnergy::energy_flat`]
@@ -552,7 +581,7 @@ pub struct CompiledEnergy {
     /// Program slot for each flat parameter position (`[γ…, β…]`); `None`
     /// when the ansatz never uses that angle (e.g. a parameterless mixer).
     slot_for_flat: Vec<Option<usize>>,
-    /// Max-Cut diagonal `C(z)` for every basis state, shared with (and
+    /// problem diagonal `C(z)` for every basis state, shared with (and
     /// cached by) the graph's [`EnergyEvaluator`].
     diag: Arc<Vec<f64>>,
     /// Scratch buffers, reused across calls. The lock is uncontended in
@@ -595,7 +624,7 @@ impl CompiledEnergy {
         let n = ansatz.num_qubits();
         // After the compile above succeeded, n is within the dense limit, so
         // materializing the 2^n diagonal (cached per graph) is safe.
-        let diag = eval.maxcut_diag();
+        let diag = eval.problem_diag();
         let slots = vec![0.0; program.num_params()];
         Ok(CompiledEnergy {
             program,
@@ -940,6 +969,87 @@ mod tests {
             "external and internal scratch paths must agree bitwise"
         );
         assert_eq!(compiled.num_qubits(), 7);
+    }
+
+    #[test]
+    fn every_shipped_problem_trains_end_to_end() {
+        let graph = Graph::erdos_renyi(6, 0.5, 19);
+        for kind in graphs::ProblemKind::all(19) {
+            for backend in [Backend::StateVector, Backend::TensorNetwork] {
+                let problem = kind.instantiate(&graph);
+                let eval = EnergyEvaluator::for_problem(&graph, problem.clone(), backend).unwrap();
+                let ansatz = QaoaAnsatz::for_problem(&problem, 1, Mixer::baseline()).unwrap();
+                let trained = eval
+                    .train(&ansatz, &CobylaOptimizer::default(), 40)
+                    .unwrap();
+                assert!(
+                    trained.energy <= eval.classical_optimum() + 1e-9,
+                    "{} on {backend}: energy {} above optimum {}",
+                    problem.name(),
+                    trained.energy,
+                    eval.classical_optimum()
+                );
+                assert!(
+                    trained.approx_ratio <= 1.0 + 1e-9,
+                    "{} on {backend}: ratio {}",
+                    problem.name(),
+                    trained.approx_ratio
+                );
+                assert!(trained.approx_ratio >= -1e-9);
+                assert_eq!(
+                    trained.classical_quality,
+                    graphs::SolutionQuality::Exact,
+                    "{}",
+                    problem.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_fast_path_matches_bind_per_call_for_problems() {
+        let graph = Graph::erdos_renyi(7, 0.5, 29);
+        for kind in graphs::ProblemKind::all(29) {
+            let problem = kind.instantiate(&graph);
+            let eval = EnergyEvaluator::for_problem(&graph, problem.clone(), Backend::StateVector)
+                .unwrap();
+            let ansatz = QaoaAnsatz::for_problem(&problem, 2, Mixer::qnas()).unwrap();
+            let compiled = eval.compile(&ansatz).unwrap();
+            let params = [0.3, -0.2, 0.5, 0.1];
+            let fast = compiled.energy_flat(&params).unwrap();
+            let slow = eval.energy_flat(&ansatz, &params).unwrap();
+            assert!(
+                (fast - slow).abs() < 1e-10,
+                "{}: compiled {fast} vs bind-per-call {slow}",
+                problem.name()
+            );
+        }
+    }
+
+    #[test]
+    fn for_problem_rejects_size_mismatch() {
+        let graph = Graph::cycle(5);
+        let other = Problem::max_cut(&Graph::cycle(6));
+        assert!(matches!(
+            EnergyEvaluator::for_problem(&graph, other, Backend::StateVector),
+            Err(QaoaError::ProblemSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sk_ratio_uses_the_shifted_convention() {
+        let graph = Graph::erdos_renyi(6, 0.5, 8);
+        let problem = Problem::sherrington_kirkpatrick(&graph, 8);
+        let eval =
+            EnergyEvaluator::for_problem(&graph, problem.clone(), Backend::StateVector).unwrap();
+        let sol = eval.classical_solution();
+        // The ratio of the optimum itself is 1, of the pessimum 0 — well
+        // defined even though the raw optimum may be negative.
+        assert!((eval.approx_ratio(sol.best) - 1.0).abs() < 1e-12);
+        assert!(eval.approx_ratio(sol.worst).abs() < 1e-12);
+        let mid = 0.5 * (sol.best + sol.worst);
+        let r = eval.approx_ratio(mid);
+        assert!((r - 0.5).abs() < 1e-9);
     }
 
     #[test]

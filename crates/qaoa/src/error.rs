@@ -29,7 +29,27 @@ pub enum QaoaError {
         message: String,
     },
 
-    /// The graph has no edges, so the Max-Cut objective is degenerate.
-    #[error("graph has no edges; the Max-Cut objective is identically zero")]
+    /// The cost Hamiltonian has no terms (for Max-Cut: the graph has no
+    /// edges), so the objective is a constant.
+    #[error("cost Hamiltonian has no terms; the objective is constant")]
     EmptyGraph,
+
+    /// A cost term acts on more spins than the RZ/RZZ cost layer can
+    /// realize.
+    #[error("cost term of locality {locality} cannot be lowered to the RZ/RZZ cost layer (max 2)")]
+    UnsupportedLocality {
+        /// Number of spins in the offending term.
+        locality: usize,
+    },
+
+    /// A problem's spin count does not match the graph it is evaluated with.
+    #[error("problem '{name}' has {problem_spins} spins but the graph has {graph_nodes} nodes")]
+    ProblemSizeMismatch {
+        /// Problem name.
+        name: String,
+        /// Spins in the problem Hamiltonian.
+        problem_spins: usize,
+        /// Nodes in the graph.
+        graph_nodes: usize,
+    },
 }

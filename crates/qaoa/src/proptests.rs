@@ -60,6 +60,33 @@ proptest! {
     }
 
     #[test]
+    fn backends_agree_on_random_problem_instances(
+        seed in 0u64..200,
+        kind_index in 0usize..5,
+        mixer in arb_mixer(),
+        gamma in -1.5f64..1.5,
+        beta in -1.5f64..1.5,
+    ) {
+        let graph = Graph::connected_erdos_renyi(6, 0.4, seed, 20);
+        prop_assume!(graph.num_edges() > 0);
+        let problem = graphs::ProblemKind::all(seed)[kind_index].instantiate(&graph);
+        let ansatz = QaoaAnsatz::for_problem(&problem, 1, mixer).unwrap();
+        let circuit = ansatz.bind(&[gamma], &[beta]).unwrap();
+        let e_sv = Backend::StateVector.expectation(&circuit, &problem).unwrap();
+        let e_tn = Backend::TensorNetwork.expectation(&circuit, &problem).unwrap();
+        // Relative tolerance: partition instances reach energies ~1e4.
+        let tol = 1e-8 * (1.0 + e_sv.abs());
+        prop_assert!(
+            (e_sv - e_tn).abs() < tol,
+            "{}: sv {e_sv} vs tn {e_tn}", problem.name()
+        );
+        // Expectations always sit inside the exact classical bracket.
+        let exact = problem.brute_force().unwrap();
+        prop_assert!(e_sv <= exact.best_value + tol, "{}", problem.name());
+        prop_assert!(e_sv >= exact.worst_value - tol, "{}", problem.name());
+    }
+
+    #[test]
     fn diagonal_only_mixer_keeps_plus_state_energy(
         seed in 0u64..200,
         gamma in -1.5f64..1.5,

@@ -8,7 +8,7 @@
 //! kept as well for the quality figures (Figs. 7–9).
 
 use crate::error::SearchError;
-use graphs::Graph;
+use graphs::{Graph, ProblemKind};
 use optim::{CobylaOptimizer, NelderMead, Optimizer, OptimizerKind, RandomSearch, Resumable, Spsa};
 use qaoa::ansatz::QaoaAnsatz;
 use qaoa::energy::{EnergyEvaluator, TrainedCircuit, TrainingSession};
@@ -86,6 +86,10 @@ pub struct EvaluatorConfig {
     /// split across restarts). `1` reproduces the paper's single COBYLA run;
     /// larger values trade evaluations for robustness at deeper `p`.
     pub restarts: usize,
+    /// The cost problem family candidates are trained on (each dataset
+    /// graph is mapped to a concrete instance via
+    /// [`ProblemKind::instantiate`]). Defaults to the paper's Max-Cut.
+    pub problem: ProblemKind,
 }
 
 impl Default for EvaluatorConfig {
@@ -95,6 +99,7 @@ impl Default for EvaluatorConfig {
             optimizer: OptimizerKind::Cobyla,
             budget: 200,
             restarts: 1,
+            problem: ProblemKind::MaxCut,
         }
     }
 }
@@ -130,11 +135,15 @@ pub struct Evaluator {
     cache: Arc<Mutex<HashMap<u64, Arc<EnergyEvaluator>>>>,
 }
 
-/// Structural fingerprint of a graph (nodes + exact weighted edge list),
-/// used as the evaluator-cache key. Collisions are guarded by a full graph
-/// equality check on lookup.
-fn graph_fingerprint(graph: &Graph) -> u64 {
+/// Structural fingerprint of a problem + graph pair (problem family and
+/// parameters, nodes, exact weighted edge list), used as the
+/// evaluator-cache key. Collisions are guarded by a full graph equality
+/// check on lookup (the problem side is fixed per [`Evaluator`] instance,
+/// but keying on it keeps entries distinct if a cache is ever shared).
+fn instance_fingerprint(problem: &ProblemKind, graph: &Graph) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
+    // ProblemKind carries f64 parameters, so hash its debug rendering.
+    format!("{problem:?}").hash(&mut h);
     graph.num_nodes().hash(&mut h);
     for e in graph.edges() {
         e.u.hash(&mut h);
@@ -164,9 +173,9 @@ impl Evaluator {
         &self.config
     }
 
-    /// The memoized per-graph energy evaluator.
+    /// The memoized per-problem-instance energy evaluator.
     fn energy_evaluator_for(&self, graph: &Graph) -> Arc<EnergyEvaluator> {
-        let key = graph_fingerprint(graph);
+        let key = instance_fingerprint(&self.config.problem, graph);
         {
             let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(hit) = cache.get(&key) {
@@ -178,7 +187,11 @@ impl Evaluator {
         // Built outside the lock: the classical reference is expensive and
         // must not serialize the parallel scheduler's workers. Two workers
         // may race to build the same entry; the loser's work is discarded.
-        let built = Arc::new(EnergyEvaluator::new(graph, self.config.backend));
+        let problem = self.config.problem.instantiate(graph);
+        let built = Arc::new(
+            EnergyEvaluator::for_problem(graph, problem, self.config.backend)
+                .expect("instantiated problem matches its graph"),
+        );
         let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
         match cache.entry(key) {
             std::collections::hash_map::Entry::Occupied(mut slot) => {
@@ -199,15 +212,16 @@ impl Evaluator {
         }
     }
 
-    /// Train `mixer` at `depth` on a single graph.
+    /// Train `mixer` at `depth` on a single graph (against the configured
+    /// problem family's instance for that graph).
     pub fn evaluate_on_graph(
         &self,
         graph: &Graph,
         mixer: &Mixer,
         depth: usize,
     ) -> Result<TrainedCircuit, SearchError> {
-        let ansatz = QaoaAnsatz::new(graph, depth, mixer.clone());
         let energy_eval = self.energy_evaluator_for(graph);
+        let ansatz = QaoaAnsatz::for_problem(energy_eval.problem(), depth, mixer.clone())?;
         let optimizer = self.config.build_optimizer();
         if self.config.restarts > 1 {
             energy_eval
@@ -249,9 +263,9 @@ impl Evaluator {
         budget_hint: usize,
         optimizer: &dyn Resumable,
     ) -> Result<TrainingSession, SearchError> {
-        let ansatz = QaoaAnsatz::new(graph, depth, mixer.clone());
-        let initial = warm_from.map(|(gammas, betas)| ansatz.warm_start_flat(gammas, betas));
         let energy_eval = self.energy_evaluator_for(graph);
+        let ansatz = QaoaAnsatz::for_problem(energy_eval.problem(), depth, mixer.clone())?;
+        let initial = warm_from.map(|(gammas, betas)| ansatz.warm_start_flat(gammas, betas));
         energy_eval
             .begin_training(&ansatz, optimizer, initial.as_deref(), budget_hint)
             .map_err(SearchError::from)
@@ -298,6 +312,7 @@ mod tests {
             optimizer: OptimizerKind::Cobyla,
             budget: 40,
             restarts: 1,
+            problem: ProblemKind::MaxCut,
         }
     }
 
@@ -373,6 +388,48 @@ mod tests {
         let clone = evaluator.clone();
         let d = clone.energy_evaluator_for(&g1);
         assert!(Arc::ptr_eq(&a, &d));
+    }
+
+    #[test]
+    fn default_config_problem_is_maxcut() {
+        assert_eq!(EvaluatorConfig::default().problem, ProblemKind::MaxCut);
+    }
+
+    #[test]
+    fn evaluator_trains_every_shipped_problem_family() {
+        let graph = Graph::erdos_renyi(6, 0.5, 12);
+        for kind in ProblemKind::all(12) {
+            let evaluator = Evaluator::new(EvaluatorConfig {
+                problem: kind.clone(),
+                ..small_config()
+            });
+            let trained = evaluator
+                .evaluate_on_graph(&graph, &Mixer::baseline(), 1)
+                .unwrap();
+            assert!(trained.energy.is_finite(), "{}", kind.name());
+            assert!(
+                trained.approx_ratio <= 1.0 + 1e-9,
+                "{}: ratio {}",
+                kind.name(),
+                trained.approx_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn evaluator_cache_distinguishes_problem_families() {
+        let graph = Graph::cycle(6);
+        let g_key_mc = instance_fingerprint(&ProblemKind::MaxCut, &graph);
+        let g_key_sk =
+            instance_fingerprint(&ProblemKind::SherringtonKirkpatrick { seed: 0 }, &graph);
+        assert_ne!(g_key_mc, g_key_sk);
+        let mc = Evaluator::new(small_config());
+        let sk = Evaluator::new(EvaluatorConfig {
+            problem: ProblemKind::SherringtonKirkpatrick { seed: 0 },
+            ..small_config()
+        });
+        assert_eq!(mc.energy_evaluator_for(&graph).problem().name(), "maxcut");
+        assert_eq!(sk.energy_evaluator_for(&graph).problem().name(), "sk");
     }
 
     #[test]

@@ -97,6 +97,8 @@ impl FigureReport {
 /// Summary of a search run suitable for JSON export.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SearchReport {
+    /// The cost problem family the search trained on.
+    pub problem: String,
     /// Winning mixer label.
     pub best_mixer: String,
     /// Winning depth.
@@ -129,6 +131,7 @@ pub struct SearchReport {
 impl From<&SearchOutcome> for SearchReport {
     fn from(o: &SearchOutcome) -> Self {
         SearchReport {
+            problem: o.problem.clone(),
             best_mixer: o.best.mixer_label.clone(),
             best_depth: o.best.depth,
             best_energy: o.best.energy,

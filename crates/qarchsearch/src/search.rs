@@ -332,6 +332,13 @@ impl SearchConfigBuilder {
         self
     }
 
+    /// Set the cost problem family candidates are trained on (default:
+    /// the paper's Max-Cut).
+    pub fn problem(mut self, problem: graphs::ProblemKind) -> Self {
+        self.config.evaluator.problem = problem;
+        self
+    }
+
     /// Set the RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
@@ -434,6 +441,8 @@ pub struct DepthResult {
 /// The outcome of a full search run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SearchOutcome {
+    /// The cost problem family the candidates were trained on.
+    pub problem: String,
     /// The overall best mixer (`U_B^best` of Algorithm 1).
     pub best: BestCandidate,
     /// Per-depth details and timings.
@@ -460,6 +469,7 @@ pub struct SearchOutcome {
 
 impl SearchOutcome {
     fn from_depth_results(
+        problem: String,
         depth_results: Vec<DepthResult>,
         total_elapsed_seconds: f64,
         parallel_threads: Option<usize>,
@@ -494,6 +504,7 @@ impl SearchOutcome {
             message: "search evaluated no candidates".to_string(),
         })?;
         Ok(SearchOutcome {
+            problem,
             best,
             depth_results,
             total_elapsed_seconds,
@@ -593,6 +604,7 @@ impl SerialSearch {
             });
         }
         SearchOutcome::from_depth_results(
+            self.config.evaluator.problem.name().to_string(),
             depth_results,
             total_start.elapsed().as_secs_f64(),
             None,
@@ -708,6 +720,7 @@ impl ParallelSearch {
             });
         }
         SearchOutcome::from_depth_results(
+            self.config.evaluator.problem.name().to_string(),
             depth_results,
             total_start.elapsed().as_secs_f64(),
             Some(threads),
@@ -1046,6 +1059,35 @@ mod tests {
         assert_eq!(outcome.num_candidates_evaluated, 6);
         // The legacy path reports no rung accounting.
         assert!(outcome.depth_results.iter().all(|d| d.rungs.is_empty()));
+    }
+
+    #[test]
+    fn search_runs_on_every_shipped_problem_family() {
+        let graphs = vec![Graph::erdos_renyi(6, 0.5, 8)];
+        for kind in graphs::ProblemKind::all(8) {
+            let mut cfg = tiny_config(SearchStrategy::Exhaustive);
+            cfg.evaluator.problem = kind.clone();
+            let outcome = ParallelSearch::new(cfg).run(&graphs).unwrap();
+            assert_eq!(outcome.problem, kind.name());
+            assert!(outcome.best.energy.is_finite(), "{}", kind.name());
+            assert!(
+                outcome.best.approx_ratio <= 1.0 + 1e-9,
+                "{}: ratio {}",
+                kind.name(),
+                outcome.best.approx_ratio
+            );
+            assert_eq!(outcome.num_candidates_evaluated, 6);
+        }
+    }
+
+    #[test]
+    fn outcome_reports_the_problem_name() {
+        let outcome = SerialSearch::new(tiny_config(SearchStrategy::Exhaustive))
+            .run(&tiny_graphs())
+            .unwrap();
+        assert_eq!(outcome.problem, "maxcut");
+        let report = crate::report::SearchReport::from(&outcome);
+        assert_eq!(report.problem, "maxcut");
     }
 
     #[test]

@@ -1,12 +1,19 @@
-//! Expectation values of Max-Cut style diagonal cost operators.
+//! Expectation values of diagonal cost operators.
 //!
 //! The QAOA cost function (Eq. 1 of the paper) is diagonal in the
 //! computational basis, so its expectation over a state is a weighted sum of
 //! measurement probabilities. The helpers here evaluate it directly from the
 //! state's probability distribution without materializing the full `2^n`
-//! diagonal when given a graph.
+//! diagonal when given a problem or an edge list.
+//!
+//! The problem-generic entry points ([`problem_expectation`],
+//! [`problem_diagonal`]) work for any [`Problem`] — an arbitrary diagonal
+//! cost Hamiltonian — and evaluate Max-Cut problems bit-identically to the
+//! historical edge-list helpers ([`maxcut_expectation`],
+//! [`maxcut_diagonal`]), which are kept for the paper-faithful call sites.
 
 use crate::state::StateVector;
+use graphs::Problem;
 use rayon::prelude::*;
 
 /// The Max-Cut cost of a basis state `z` (bitmask) for the given edge list:
@@ -61,6 +68,52 @@ pub fn maxcut_diagonal(num_qubits: usize, edges: &[(usize, usize, f64)]) -> Vec<
     let fill = |out: &mut [f64], base: usize| {
         for (off, d) in out.iter_mut().enumerate() {
             *d = maxcut_value_of_basis_state(edges, base + off);
+        }
+    };
+    if num_qubits >= crate::parallel_threshold_qubits() {
+        crate::state::par_chunks_with_base(&mut diag, fill);
+    } else {
+        fill(&mut diag, 0);
+    }
+    diag
+}
+
+/// `⟨ψ| C |ψ⟩` for an arbitrary diagonal cost [`Problem`].
+///
+/// The problem-generic twin of [`maxcut_expectation`]: the sum over basis
+/// states is parallelized at or above the Rayon threshold. Max-Cut problems
+/// evaluate bit-identically to the edge-list path.
+pub fn problem_expectation(state: &StateVector, problem: &Problem) -> f64 {
+    let probs = state.probabilities();
+    if state.num_qubits() >= crate::parallel_threshold_qubits() {
+        probs
+            .par_iter()
+            .enumerate()
+            .map(|(z, p)| p * problem.value_mask(z as u64))
+            .sum()
+    } else {
+        probs
+            .iter()
+            .enumerate()
+            .map(|(z, p)| p * problem.value_mask(z as u64))
+            .sum()
+    }
+}
+
+/// The full `2^n` diagonal of an arbitrary diagonal cost [`Problem`]:
+/// `diag[z] = C(z)`.
+///
+/// The problem-generic twin of [`maxcut_diagonal`]; this is what the
+/// compiled QAOA objective caches per problem + graph and reuses across all
+/// optimizer iterations via [`StateVector::expectation_diagonal`]. The build
+/// is parallelized above the [`crate::parallel_threshold_qubits`] crossover.
+pub fn problem_diagonal(problem: &Problem) -> Vec<f64> {
+    let num_qubits = problem.num_spins();
+    let dim = 1usize << num_qubits;
+    let mut diag = vec![0.0f64; dim];
+    let fill = |out: &mut [f64], base: usize| {
+        for (off, d) in out.iter_mut().enumerate() {
+            *d = problem.value_mask((base + off) as u64);
         }
     };
     if num_qubits >= crate::parallel_threshold_qubits() {
@@ -156,6 +209,71 @@ mod tests {
         c.h(0);
         let s = StateVector::from_circuit(&c).unwrap();
         assert!(z_expectation(&s, 0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn problem_expectation_matches_maxcut_path_bitwise() {
+        let g = graphs::Graph::erdos_renyi(6, 0.5, 17);
+        let problem = Problem::max_cut(&g);
+        let edges: Vec<(usize, usize, f64)> =
+            g.edges().iter().map(|e| (e.u, e.v, e.weight)).collect();
+        let mut c = Circuit::new(6);
+        c.h_layer();
+        c.rzz(0, 1, 0.7).rx(2, 0.4).ry(3, 1.2).rzz(4, 5, -0.3);
+        let state = StateVector::from_circuit(&c).unwrap();
+        let legacy = maxcut_expectation(&state, &edges);
+        let generic = problem_expectation(&state, &problem);
+        assert_eq!(legacy.to_bits(), generic.to_bits());
+    }
+
+    #[test]
+    fn problem_diagonal_matches_maxcut_diagonal_bitwise() {
+        let g = graphs::Graph::erdos_renyi(7, 0.5, 23);
+        let problem = Problem::max_cut(&g);
+        let edges: Vec<(usize, usize, f64)> =
+            g.edges().iter().map(|e| (e.u, e.v, e.weight)).collect();
+        let legacy = maxcut_diagonal(7, &edges);
+        let generic = problem_diagonal(&problem);
+        assert_eq!(legacy.len(), generic.len());
+        for (a, b) in legacy.iter().zip(&generic) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn problem_expectation_on_plus_state_is_the_diagonal_mean() {
+        // The uniform superposition weights every basis state equally, so
+        // ⟨C⟩ is the mean of the diagonal — for any problem.
+        let g = graphs::Graph::erdos_renyi(6, 0.5, 3);
+        for problem in [
+            Problem::max_cut(&g),
+            Problem::weighted_max_cut(&g, 5),
+            Problem::max_independent_set(&g, 2.0),
+            Problem::sherrington_kirkpatrick(&g, 5),
+            Problem::random_partition(&g, 5),
+        ] {
+            let state = StateVector::plus_state(6).unwrap();
+            let diag = problem_diagonal(&problem);
+            let mean = diag.iter().sum::<f64>() / diag.len() as f64;
+            let e = problem_expectation(&state, &problem);
+            assert!(
+                (e - mean).abs() < 1e-10,
+                "{}: {e} vs mean {mean}",
+                problem.name()
+            );
+        }
+    }
+
+    #[test]
+    fn problem_expectation_on_basis_state_is_the_problem_value() {
+        let g = graphs::Graph::cycle(4);
+        let problem = Problem::max_independent_set(&g, 2.0);
+        let mut c = Circuit::new(4);
+        c.x(0).x(2); // mask 0b0101: the independent set {0, 2} of C4.
+        let state = StateVector::from_circuit(&c).unwrap();
+        let e = problem_expectation(&state, &problem);
+        assert!((e - problem.value_mask(0b0101)).abs() < 1e-12);
+        assert!((e - 2.0).abs() < 1e-12, "alpha(C4) = 2, got {e}");
     }
 
     #[test]

@@ -217,6 +217,23 @@ impl TensorNetwork {
         let net = TensorNetwork::for_diagonal_expectation(circuit, &[(u, [1.0, -1.0])])?;
         Ok(net.contract()?.re)
     }
+
+    /// `⟨Π_{q ∈ qubits} Z_q⟩` on the output state of a (fully bound)
+    /// circuit — the arbitrary-arity generalization of
+    /// [`TensorNetwork::zz_expectation`] that the problem-generic light-cone
+    /// evaluation contracts per cost term. An empty product is `1`.
+    pub fn z_product_expectation(
+        circuit: &Circuit,
+        qubits: &[usize],
+    ) -> Result<f64, TensorNetError> {
+        if qubits.is_empty() {
+            return Ok(1.0);
+        }
+        let observables: Vec<(usize, [f64; 2])> =
+            qubits.iter().map(|&q| (q, [1.0, -1.0])).collect();
+        let net = TensorNetwork::for_diagonal_expectation(circuit, &observables)?;
+        Ok(net.contract()?.re)
+    }
 }
 
 /// The |0⟩ cap tensor on one index.

@@ -4,11 +4,13 @@
 //!
 //! * `qas search`   — run a mixer search over a generated graph dataset
 //! * `qas evaluate` — train a named mixer (baseline / qnas / custom) on a dataset
+//! * `qas problems` — list the shipped cost-Hamiltonian families
 //! * `qas info`     — print the search-space accounting for a configuration
 //!
 //! Arguments use simple `--key value` pairs (no external CLI dependency).
 //! Run `qas help` for the full list.
 
+use qarchsearch_suite::graphs::ProblemKind;
 use qarchsearch_suite::prelude::*;
 use qarchsearch_suite::qarchsearch::constraints::ConstraintSet;
 use qarchsearch_suite::qarchsearch::evaluator::{Evaluator, EvaluatorConfig};
@@ -20,13 +22,15 @@ use std::process::ExitCode;
 const HELP: &str = "qas — QArchSearch (Rust reproduction) command line
 
 USAGE:
-    qas <search|evaluate|info|help> [--key value ...]
+    qas <search|evaluate|problems|info|help> [--key value ...]
 
 COMMON OPTIONS:
     --graphs N        number of graphs in the dataset        (default 4)
     --nodes N         nodes per graph                        (default 10)
     --dataset KIND    er | regular                           (default er)
     --seed N          RNG seed                               (default 2023)
+    --problem NAME    cost Hamiltonian: maxcut | wmaxcut | mis | sk | partition
+                      (default maxcut; run `qas problems` for details)
 
 SEARCH OPTIONS (qas search):
     --pmax N          maximum QAOA depth                     (default 2)
@@ -58,7 +62,10 @@ EVALUATE OPTIONS (qas evaluate):
 EXAMPLES:
     qas search --pmax 2 --kmax 2 --threads 8
     qas search --pmax 3 --kmax 2 --no-prune --serial    # paper-faithful
+    qas search --problem sk --pmax 2 --kmax 2            # spin-glass search
     qas evaluate --mixer rx,ry --dataset regular --depth 2
+    qas evaluate --problem mis --mixer qnas
+    qas problems
     qas info --pmax 4 --kmax 4
 ";
 
@@ -149,6 +156,14 @@ fn build_strategy(options: &HashMap<String, String>) -> Result<SearchStrategy, S
     }
 }
 
+fn build_problem(options: &HashMap<String, String>) -> Result<ProblemKind, String> {
+    let seed = opt_u64(options, "seed", 2023);
+    match options.get("problem") {
+        None => Ok(ProblemKind::MaxCut),
+        Some(spec) => ProblemKind::parse(spec, seed),
+    }
+}
+
 fn build_mixer(options: &HashMap<String, String>) -> Result<Mixer, String> {
     match options.get("mixer").map(|s| s.as_str()).unwrap_or("qnas") {
         "baseline" | "rx" => Ok(Mixer::baseline()),
@@ -177,6 +192,7 @@ fn cmd_search(options: &HashMap<String, String>, flags: &[String]) -> Result<(),
         .max_gates_per_mixer(k_max)
         .optimizer_budget(opt_usize(options, "budget", 60))
         .strategy(strategy)
+        .problem(build_problem(options)?)
         .seed(opt_u64(options, "seed", 2023));
     if has_flag("hardware-aware") {
         builder = builder.constraints(ConstraintSet::hardware_aware(k_max));
@@ -217,6 +233,7 @@ fn cmd_search(options: &HashMap<String, String>, flags: &[String]) -> Result<(),
     if has_flag("json") {
         println!("{}", SearchReport::from(&outcome).to_json());
     } else {
+        println!("problem          : {}", outcome.problem);
         println!("best mixer       : {}", outcome.best.mixer_label);
         println!("found at depth   : {}", outcome.best.depth);
         println!("mean energy <C>  : {:.4}", outcome.best.energy);
@@ -263,15 +280,18 @@ fn cmd_search(options: &HashMap<String, String>, flags: &[String]) -> Result<(),
 fn cmd_evaluate(options: &HashMap<String, String>) -> Result<(), String> {
     let dataset = build_dataset(options);
     let mixer = build_mixer(options)?;
+    let problem = build_problem(options)?;
     let depth = opt_usize(options, "depth", 1);
     let evaluator = Evaluator::new(EvaluatorConfig {
         budget: opt_usize(options, "budget", 60),
         restarts: opt_usize(options, "restarts", 1),
+        problem: problem.clone(),
         ..EvaluatorConfig::default()
     });
     let result = evaluator
         .evaluate(&dataset, &mixer, depth)
         .map_err(|e| e.to_string())?;
+    println!("problem          : {}", problem.name());
     println!("mixer            : {}", result.mixer_label);
     println!("depth p          : {}", result.depth);
     println!("mean energy <C>  : {:.4}", result.mean_energy);
@@ -279,10 +299,27 @@ fn cmd_evaluate(options: &HashMap<String, String>) -> Result<(), String> {
     println!("graphs evaluated : {}", result.per_graph.len());
     for (i, trained) in result.per_graph.iter().enumerate() {
         println!(
-            "  graph {i}: <C> = {:.4}, r = {:.4}, C* = {:.1}",
-            trained.energy, trained.approx_ratio, trained.classical_optimum
+            "  graph {i}: <C> = {:.4}, r = {:.4}, C* = {:.4} ({})",
+            trained.energy,
+            trained.approx_ratio,
+            trained.classical_optimum,
+            trained.classical_quality
         );
     }
+    Ok(())
+}
+
+fn cmd_problems(options: &HashMap<String, String>) -> Result<(), String> {
+    let seed = opt_u64(options, "seed", 2023);
+    println!("shipped cost Hamiltonians (use with --problem NAME):\n");
+    for kind in ProblemKind::all(seed) {
+        println!("  {:<10} {}", kind.name(), kind.description());
+    }
+    println!(
+        "\nStochastic families (wmaxcut, sk, partition) draw their instances\n\
+         deterministically from --seed (default 2023). Custom Hamiltonians can\n\
+         be defined in code via graphs::Problem::from_terms."
+    );
     Ok(())
 }
 
@@ -318,6 +355,7 @@ fn main() -> ExitCode {
     let result = match command {
         "search" => cmd_search(&options, &flags),
         "evaluate" => cmd_evaluate(&options),
+        "problems" => cmd_problems(&options),
         "info" => cmd_info(&options),
         "help" | "--help" | "-h" => {
             println!("{HELP}");

@@ -10,7 +10,10 @@
 //!   ASCII circuit drawing (the "QBuilder" substrate).
 //! * [`statevec`] — dense state-vector simulator backend.
 //! * [`tensornet`] — tensor-network simulator backend (QTensor analog).
-//! * [`graphs`] — graph generation (Erdős–Rényi, random regular) and Max-Cut.
+//! * [`graphs`] — graph generation (Erdős–Rényi, random regular), Max-Cut,
+//!   and the pluggable [`graphs::Problem`] cost-Hamiltonian layer (weighted
+//!   Max-Cut, Max Independent Set, Sherrington–Kirkpatrick, number
+//!   partitioning, custom diagonal objectives).
 //! * [`optim`] — classical optimizers (COBYLA-style, Nelder–Mead, SPSA, …).
 //! * [`qaoa`] — QAOA ansatz assembly and energy evaluation.
 //! * [`qarchsearch`] — the architecture-search package itself (predictor,
@@ -44,7 +47,10 @@ pub use tensornet;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use graphs::{Graph, GraphKind, MaxCut};
+    pub use graphs::{
+        ClassicalSolution, CostTerm, Graph, GraphKind, MaxCut, Problem, ProblemKind,
+        RatioConvention, SolutionQuality,
+    };
     pub use optim::{CobylaOptimizer, NelderMead, Optimizer, OptimizerKind, Resumable, Spsa};
     pub use qaoa::{
         ansatz::QaoaAnsatz,
