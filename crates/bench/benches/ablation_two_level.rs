@@ -7,7 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qaoa::Backend;
-use qarchsearch::search::{ParallelSearch, SerialSearch};
+use qarchsearch::search::ExecutionMode;
+use qarchsearch::session::SearchDriver;
 use qarchsearch_bench::HarnessParams;
 
 fn bench_two_level(c: &mut Criterion) {
@@ -24,14 +25,22 @@ fn bench_two_level(c: &mut Criterion) {
     let mut serial_cfg = base.clone();
     serial_cfg.evaluator.backend = Backend::TensorNetworkSequential;
     group.bench_function("neither", |b| {
-        b.iter(|| SerialSearch::new(serial_cfg.clone()).run(&graphs).unwrap());
+        b.iter(|| {
+            SearchDriver::new(serial_cfg.clone().with_mode(ExecutionMode::Serial))
+                .run(&graphs)
+                .unwrap()
+        });
     });
 
     // Inner only: serial scheduler, parallel edges.
     let mut inner_cfg = base.clone();
     inner_cfg.evaluator.backend = Backend::TensorNetwork;
     group.bench_function("inner_only", |b| {
-        b.iter(|| SerialSearch::new(inner_cfg.clone()).run(&graphs).unwrap());
+        b.iter(|| {
+            SearchDriver::new(inner_cfg.clone().with_mode(ExecutionMode::Serial))
+                .run(&graphs)
+                .unwrap()
+        });
     });
 
     // Outer only: parallel scheduler, sequential edges.
@@ -39,7 +48,11 @@ fn bench_two_level(c: &mut Criterion) {
     outer_cfg.evaluator.backend = Backend::TensorNetworkSequential;
     outer_cfg.threads = Some(4);
     group.bench_function("outer_only", |b| {
-        b.iter(|| ParallelSearch::new(outer_cfg.clone()).run(&graphs).unwrap());
+        b.iter(|| {
+            SearchDriver::new(outer_cfg.clone().with_mode(ExecutionMode::Parallel))
+                .run(&graphs)
+                .unwrap()
+        });
     });
 
     // Both levels.
@@ -47,7 +60,11 @@ fn bench_two_level(c: &mut Criterion) {
     both_cfg.evaluator.backend = Backend::TensorNetwork;
     both_cfg.threads = Some(4);
     group.bench_function("both", |b| {
-        b.iter(|| ParallelSearch::new(both_cfg.clone()).run(&graphs).unwrap());
+        b.iter(|| {
+            SearchDriver::new(both_cfg.clone().with_mode(ExecutionMode::Parallel))
+                .run(&graphs)
+                .unwrap()
+        });
     });
 
     group.finish();

@@ -2,7 +2,8 @@
 //! thread-pool size grows, with the serial scheduler as the reference.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qarchsearch::search::{ParallelSearch, SerialSearch};
+use qarchsearch::search::ExecutionMode;
+use qarchsearch::session::SearchDriver;
 use qarchsearch_bench::HarnessParams;
 
 fn bench_core_scaling(c: &mut Criterion) {
@@ -17,7 +18,7 @@ fn bench_core_scaling(c: &mut Criterion) {
     serial_config.max_depth = 2;
     group.bench_function("serial_reference", |b| {
         b.iter(|| {
-            SerialSearch::new(serial_config.clone())
+            SearchDriver::new(serial_config.clone().with_mode(ExecutionMode::Serial))
                 .run(&graphs)
                 .unwrap()
         });
@@ -27,7 +28,11 @@ fn bench_core_scaling(c: &mut Criterion) {
         let mut config = params.search_config(Some(threads));
         config.max_depth = 2;
         group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, _| {
-            b.iter(|| ParallelSearch::new(config.clone()).run(&graphs).unwrap());
+            b.iter(|| {
+                SearchDriver::new(config.clone().with_mode(ExecutionMode::Parallel))
+                    .run(&graphs)
+                    .unwrap()
+            });
         });
     }
     group.finish();

@@ -41,7 +41,8 @@ fn bench_kernels(c: &mut Criterion) {
         // A full Max-Cut cost layer: one fused phase pass vs one RZZ kernel
         // per edge.
         let graph = graphs::Graph::connected_erdos_renyi(n, 0.5, 7, 50);
-        let edges = Backend::edge_list(&graph);
+        let edges: Vec<(usize, usize, f64)> =
+            graph.edges().iter().map(|e| (e.u, e.v, e.weight)).collect();
         let table = statevec::expectation::maxcut_diagonal(n, &edges);
         group.bench_with_input(BenchmarkId::new("cost_layer_fused", n), &n, |b, _| {
             let mut s = plus.clone();

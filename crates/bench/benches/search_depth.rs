@@ -2,7 +2,8 @@
 //! function of the QAOA depth `p`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qarchsearch::search::{ParallelSearch, SerialSearch};
+use qarchsearch::search::ExecutionMode;
+use qarchsearch::session::SearchDriver;
 use qarchsearch_bench::HarnessParams;
 
 fn bench_search_depth(c: &mut Criterion) {
@@ -17,10 +18,18 @@ fn bench_search_depth(c: &mut Criterion) {
         config.max_depth = p;
 
         group.bench_with_input(BenchmarkId::new("serial", p), &p, |b, _| {
-            b.iter(|| SerialSearch::new(config.clone()).run(&graphs).unwrap());
+            b.iter(|| {
+                SearchDriver::new(config.clone().with_mode(ExecutionMode::Serial))
+                    .run(&graphs)
+                    .unwrap()
+            });
         });
         group.bench_with_input(BenchmarkId::new("parallel", p), &p, |b, _| {
-            b.iter(|| ParallelSearch::new(config.clone()).run(&graphs).unwrap());
+            b.iter(|| {
+                SearchDriver::new(config.clone().with_mode(ExecutionMode::Parallel))
+                    .run(&graphs)
+                    .unwrap()
+            });
         });
     }
     group.finish();

@@ -57,7 +57,8 @@ fn main() {
     let reps = env_usize("QAS_BENCH_REPS", 10);
 
     let graph = graphs::Graph::connected_erdos_renyi(n, 0.5, 7, 50);
-    let edges = Backend::edge_list(&graph);
+    let edges: Vec<(usize, usize, f64)> =
+        graph.edges().iter().map(|e| (e.u, e.v, e.weight)).collect();
     let ansatz = QaoaAnsatz::new(&graph, depth, Mixer::qnas());
     let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
     let params: Vec<f64> = (0..2 * depth).map(|i| 0.1 + 0.15 * i as f64).collect();

@@ -25,7 +25,8 @@
 //! (default 3), `QAS_PIPE_PMAX` (default 2), `QAS_PIPE_KMAX` (default 2),
 //! `QAS_PIPE_BUDGET` (default 200), `QAS_PIPE_THREADS` (default 4).
 
-use qarchsearch::search::{ParallelSearch, PipelineConfig, SearchConfig, SearchOutcome};
+use qarchsearch::search::{ExecutionMode, PipelineConfig, SearchConfig, SearchOutcome};
+use qarchsearch::session::SearchDriver;
 use qarchsearch::GateAlphabet;
 use serde_json::{json, Value};
 use std::time::Instant;
@@ -39,7 +40,7 @@ fn env_usize(name: &str, default: usize) -> usize {
 
 fn run(config: SearchConfig, graphs: &[graphs::Graph]) -> (SearchOutcome, f64) {
     let start = Instant::now();
-    let outcome = ParallelSearch::new(config)
+    let outcome = SearchDriver::new(config.with_mode(ExecutionMode::Parallel))
         .run(graphs)
         .expect("search completes");
     (outcome, start.elapsed().as_secs_f64())

@@ -1,0 +1,134 @@
+//! JSON-emitting benchmark for the multi-job [`JobServer`] behind
+//! `qas serve`: job throughput and latency at 1, 2 and 4 workers.
+//!
+//! Each sweep submits the same batch of small searches and measures the
+//! wall-clock to drain them. Because every job pins its inner evaluation to
+//! one thread (`threads(1)`), the worker sweep isolates the *job-level*
+//! multiplexing win. The first job's outcome is also checked to be
+//! bit-identical across worker counts — serving concurrency must never
+//! leak into results.
+//!
+//! ```text
+//! cargo run --release -p qarchsearch_bench --bin bench_service
+//! QAS_SRV_JOBS=16 QAS_SRV_NODES=10 ./target/release/bench_service
+//! ```
+//!
+//! | variable         | meaning                              | default |
+//! |------------------|--------------------------------------|---------|
+//! | `QAS_SRV_JOBS`   | jobs submitted per sweep             | 8       |
+//! | `QAS_SRV_NODES`  | nodes per training graph             | 8       |
+//! | `QAS_SRV_PMAX`   | search depth per job                 | 1       |
+//! | `QAS_SRV_BUDGET` | optimizer budget per candidate       | 30      |
+
+use graphs::Graph;
+use qarchsearch::search::SearchConfig;
+use qarchsearch::server::{JobServer, JobServerConfig, JobSpec};
+use qarchsearch::GateAlphabet;
+use serde_json::json;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn job_spec(seed: u64, nodes: usize, p_max: usize, budget: usize) -> JobSpec {
+    let config = SearchConfig::builder()
+        .alphabet(GateAlphabet::from_mnemonics(&["rx", "ry"]).unwrap())
+        .max_depth(p_max)
+        .max_gates_per_mixer(2)
+        .optimizer_budget(budget)
+        .halving(budget.div_ceil(3).max(1), 2)
+        .backend(qaoa::Backend::StateVector)
+        .threads(1)
+        .seed(seed)
+        .build();
+    let graphs = vec![Graph::connected_erdos_renyi(nodes, 0.5, seed, 50)];
+    JobSpec::new(config, graphs).name(format!("bench-{seed}"))
+}
+
+fn main() {
+    let jobs = env_usize("QAS_SRV_JOBS", 8);
+    let nodes = env_usize("QAS_SRV_NODES", 8);
+    let p_max = env_usize("QAS_SRV_PMAX", 1);
+    let budget = env_usize("QAS_SRV_BUDGET", 30);
+
+    let mut results = Vec::new();
+    let mut reference_bits: Option<u64> = None;
+
+    for workers in [1usize, 2, 4] {
+        let server = JobServer::start(JobServerConfig {
+            workers,
+            queue_capacity: jobs.max(1),
+            ..JobServerConfig::default()
+        });
+        let sweep_start = Instant::now();
+        let submitted: Vec<_> = (0..jobs)
+            .map(|i| {
+                let spec = job_spec(i as u64, nodes, p_max, budget);
+                (
+                    Instant::now(),
+                    server.submit(spec).expect("queue sized to fit"),
+                )
+            })
+            .collect();
+        let mut latencies_ms = Vec::with_capacity(submitted.len());
+        let mut first_energy_bits = None;
+        for (i, (submitted_at, id)) in submitted.iter().enumerate() {
+            let outcome = server
+                .wait(*id)
+                .expect("job exists")
+                .expect("job completes");
+            // Observed through sequential waits, so later entries are an
+            // upper bound on the true completion latency.
+            latencies_ms.push(submitted_at.elapsed().as_secs_f64() * 1e3);
+            if i == 0 {
+                first_energy_bits = Some(outcome.best.energy.to_bits());
+            }
+        }
+        let total_seconds = sweep_start.elapsed().as_secs_f64();
+        server.shutdown();
+
+        let first_bits = first_energy_bits.expect("at least one job");
+        match reference_bits {
+            None => reference_bits = Some(first_bits),
+            Some(bits) => assert_eq!(
+                bits, first_bits,
+                "worker count leaked into job results ({workers} workers)"
+            ),
+        }
+
+        let mean_latency_ms = latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64;
+        let max_latency_ms = latencies_ms.iter().cloned().fold(0.0, f64::max);
+        eprintln!(
+            "[bench_service] workers={workers}: {jobs} jobs in {total_seconds:.3}s \
+             ({:.2} jobs/s, mean latency {mean_latency_ms:.1}ms)",
+            jobs as f64 / total_seconds
+        );
+        results.push(json!({
+            "name": "job_server_throughput",
+            "workers": workers,
+            "jobs": jobs,
+            "nodes": nodes,
+            "p_max": p_max,
+            "budget": budget,
+            "total_seconds": total_seconds,
+            "jobs_per_second": (jobs as f64 / total_seconds),
+            "mean_latency_ms": mean_latency_ms,
+            "max_latency_ms": max_latency_ms,
+        }));
+    }
+
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&json!({
+            "benchmark": "bench_service",
+            "description": "JobServer throughput/latency at 1/2/4 workers (inner threads pinned to 1)",
+            "available_cpus": (std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)),
+            "results": (serde_json::Value::Array(results)),
+        }))
+        .expect("report serializes")
+    );
+}

@@ -10,7 +10,8 @@
 //! QAS_PAPER_SCALE=1 cargo run --release -p qarchsearch-bench --bin fig4_serial_vs_parallel
 //! ```
 
-use qarchsearch::search::{ParallelSearch, SerialSearch};
+use qarchsearch::search::ExecutionMode;
+use qarchsearch::session::SearchDriver;
 use qarchsearch_bench::{emit, FigureReport, HarnessParams};
 
 fn main() {
@@ -29,14 +30,14 @@ fn main() {
             let mut config = params.search_config(None);
             config.max_depth = p;
 
-            let serial_outcome = SerialSearch::new(config.clone())
+            let serial_outcome = SearchDriver::new(config.clone().with_mode(ExecutionMode::Serial))
                 .run(&graphs)
                 .expect("serial search");
             // The per-depth time of the deepest level is the cost of adding
             // that depth; Fig. 4 plots the time to search at depth p.
             let serial_time = serial_outcome.elapsed_at_depth(p).unwrap_or(0.0);
 
-            let parallel_outcome = ParallelSearch::new(config)
+            let parallel_outcome = SearchDriver::new(config.with_mode(ExecutionMode::Parallel))
                 .run(&graphs)
                 .expect("parallel search");
             let parallel_time = parallel_outcome.elapsed_at_depth(p).unwrap_or(0.0);

@@ -10,7 +10,8 @@
 //! QAS_MAX_CORES=64 QAS_PAPER_SCALE=1 cargo run --release -p qarchsearch-bench --bin fig5_core_scaling
 //! ```
 
-use qarchsearch::search::{ParallelSearch, SerialSearch};
+use qarchsearch::search::ExecutionMode;
+use qarchsearch::session::SearchDriver;
 use qarchsearch_bench::{emit, FigureReport, HarnessParams};
 
 fn main() {
@@ -23,7 +24,7 @@ fn main() {
     let mut config = params.search_config(None);
     config.max_depth = depth;
 
-    let serial_outcome = SerialSearch::new(config.clone())
+    let serial_outcome = SearchDriver::new(config.clone().with_mode(ExecutionMode::Serial))
         .run(&graphs)
         .expect("serial search");
     let serial_time = serial_outcome.total_elapsed_seconds;
@@ -37,7 +38,7 @@ fn main() {
     while cores <= params.max_cores {
         let mut cfg = params.search_config(Some(cores));
         cfg.max_depth = depth;
-        let outcome = ParallelSearch::new(cfg)
+        let outcome = SearchDriver::new(cfg.with_mode(ExecutionMode::Parallel))
             .run(&graphs)
             .expect("parallel search");
         report.push("parallel", cores as f64, outcome.total_elapsed_seconds);

@@ -9,7 +9,8 @@
 //! cargo run --release -p qarchsearch-bench --bin fig6_best_mixer
 //! ```
 
-use qarchsearch::search::{ParallelSearch, SearchOutcome};
+use qarchsearch::search::{ExecutionMode, SearchOutcome};
+use qarchsearch::session::SearchDriver;
 use qarchsearch_bench::HarnessParams;
 use qcircuit::{draw_ascii, Circuit, Parameter};
 
@@ -33,7 +34,7 @@ fn main() {
     let graphs = params.er_dataset();
     let config = params.search_config(None);
 
-    let outcome = ParallelSearch::new(config)
+    let outcome = SearchDriver::new(config.with_mode(ExecutionMode::Parallel))
         .run(&graphs)
         .expect("search run");
 

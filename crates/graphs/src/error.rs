@@ -1,6 +1,47 @@
-//! Error types for graph construction and generation.
+//! Error types for graph construction and generation, plus the shared
+//! [`ParseKindError`] used by every `FromStr` kind-enum in the suite.
 
 use thiserror::Error;
+
+/// A CLI-facing enum name failed to parse.
+///
+/// Shared by every kind enum in the suite that implements `FromStr`
+/// ([`crate::ProblemKind`], `qaoa::Backend`, `optim::OptimizerKind`), so
+/// front ends handle exactly one parse error type. `expected` lists the
+/// accepted spellings verbatim for the error message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseKindError {
+    /// What was being parsed ("problem", "backend", "optimizer").
+    pub what: &'static str,
+    /// The rejected input.
+    pub given: String,
+    /// Comma-separated accepted spellings.
+    pub expected: &'static str,
+}
+
+impl ParseKindError {
+    /// A new parse error for `what` with the given input and the accepted
+    /// spellings.
+    pub fn new(what: &'static str, given: &str, expected: &'static str) -> ParseKindError {
+        ParseKindError {
+            what,
+            given: given.to_string(),
+            expected,
+        }
+    }
+}
+
+impl std::fmt::Display for ParseKindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown {} '{}' (expected one of: {})",
+            self.what, self.given, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ParseKindError {}
 
 /// Errors arising from graph construction or random generation.
 #[derive(Debug, Error, Clone, PartialEq)]

@@ -34,7 +34,7 @@ pub mod maxcut;
 pub mod metrics;
 pub mod problem;
 
-pub use error::GraphError;
+pub use error::{GraphError, ParseKindError};
 pub use graph::{Edge, Graph, GraphKind};
 pub use maxcut::{BruteForceResult, MaxCut};
 pub use problem::{

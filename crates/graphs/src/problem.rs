@@ -59,7 +59,7 @@
 //! maps a dataset graph to a concrete [`Problem`] (deterministically, so the
 //! evaluator can memoize per problem + graph).
 
-use crate::error::GraphError;
+use crate::error::{GraphError, ParseKindError};
 use crate::graph::Graph;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -746,17 +746,22 @@ impl ProblemKind {
     /// Parse a CLI problem name (`maxcut`, `wmaxcut`, `mis`, `sk`,
     /// `partition`; the long synonyms `weighted-maxcut`, `independent-set`
     /// and `number-partitioning` are also accepted), seeding the stochastic
-    /// families with `seed`.
-    pub fn parse(spec: &str, seed: u64) -> Result<ProblemKind, String> {
-        match spec {
-            "maxcut" => Ok(ProblemKind::MaxCut),
-            "wmaxcut" | "weighted-maxcut" => Ok(ProblemKind::WeightedMaxCut { seed }),
-            "mis" | "independent-set" => Ok(ProblemKind::MaxIndependentSet { penalty: 2.0 }),
-            "sk" => Ok(ProblemKind::SherringtonKirkpatrick { seed }),
-            "partition" | "number-partitioning" => Ok(ProblemKind::NumberPartitioning { seed }),
-            other => Err(format!(
-                "unknown problem '{other}' (expected one of: maxcut, wmaxcut, mis, sk, partition)"
-            )),
+    /// families with `seed`. Equivalent to the [`FromStr`](std::str::FromStr)
+    /// impl followed by [`ProblemKind::reseeded`].
+    pub fn parse(spec: &str, seed: u64) -> Result<ProblemKind, ParseKindError> {
+        spec.parse::<ProblemKind>().map(|kind| kind.reseeded(seed))
+    }
+
+    /// The same family with its stochastic instance seed replaced
+    /// (deterministic families are returned unchanged).
+    pub fn reseeded(self, seed: u64) -> ProblemKind {
+        match self {
+            ProblemKind::WeightedMaxCut { .. } => ProblemKind::WeightedMaxCut { seed },
+            ProblemKind::SherringtonKirkpatrick { .. } => {
+                ProblemKind::SherringtonKirkpatrick { seed }
+            }
+            ProblemKind::NumberPartitioning { .. } => ProblemKind::NumberPartitioning { seed },
+            deterministic => deterministic,
         }
     }
 
@@ -809,6 +814,29 @@ impl ProblemKind {
 impl std::fmt::Display for ProblemKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}", self.name())
+    }
+}
+
+impl std::str::FromStr for ProblemKind {
+    type Err = ParseKindError;
+
+    /// Parse a problem family name. Stochastic families come back with seed
+    /// 0; use [`ProblemKind::reseeded`] (or [`ProblemKind::parse`]) to pick
+    /// the instance seed. Round-trips with [`Display`](std::fmt::Display):
+    /// `kind.to_string().parse()` returns the same family.
+    fn from_str(spec: &str) -> Result<ProblemKind, ParseKindError> {
+        match spec {
+            "maxcut" => Ok(ProblemKind::MaxCut),
+            "wmaxcut" | "weighted-maxcut" => Ok(ProblemKind::WeightedMaxCut { seed: 0 }),
+            "mis" | "independent-set" => Ok(ProblemKind::MaxIndependentSet { penalty: 2.0 }),
+            "sk" => Ok(ProblemKind::SherringtonKirkpatrick { seed: 0 }),
+            "partition" | "number-partitioning" => Ok(ProblemKind::NumberPartitioning { seed: 0 }),
+            other => Err(ParseKindError::new(
+                "problem",
+                other,
+                "maxcut, wmaxcut, mis, sk, partition",
+            )),
+        }
     }
 }
 
@@ -1107,6 +1135,40 @@ mod tests {
             assert_eq!(kind.to_string(), kind.name());
         }
         assert!(ProblemKind::parse("nope", 0).is_err());
+    }
+
+    #[test]
+    fn problem_kind_from_str_round_trips_exhaustively() {
+        // Display → FromStr → reseeded reproduces every shipped family.
+        for kind in ProblemKind::all(23) {
+            let parsed: ProblemKind = kind.to_string().parse().unwrap();
+            assert_eq!(parsed.name(), kind.name());
+            assert_eq!(parsed.reseeded(23), kind);
+        }
+        // Long synonyms parse to the same families.
+        for (long, short) in [
+            ("weighted-maxcut", "wmaxcut"),
+            ("independent-set", "mis"),
+            ("number-partitioning", "partition"),
+        ] {
+            assert_eq!(long.parse::<ProblemKind>().unwrap().name(), short);
+        }
+        let err = "qubo".parse::<ProblemKind>().unwrap_err();
+        assert_eq!(err.what, "problem");
+        assert!(err.to_string().contains("maxcut"), "{err}");
+    }
+
+    #[test]
+    fn reseeding_only_touches_stochastic_families() {
+        assert_eq!(ProblemKind::MaxCut.reseeded(99), ProblemKind::MaxCut);
+        assert_eq!(
+            ProblemKind::MaxIndependentSet { penalty: 2.0 }.reseeded(99),
+            ProblemKind::MaxIndependentSet { penalty: 2.0 }
+        );
+        assert_eq!(
+            ProblemKind::SherringtonKirkpatrick { seed: 1 }.reseeded(99),
+            ProblemKind::SherringtonKirkpatrick { seed: 99 }
+        );
     }
 
     #[test]

@@ -132,6 +132,44 @@ impl std::fmt::Display for OptimizerKind {
     }
 }
 
+impl std::str::FromStr for OptimizerKind {
+    type Err = graphs::ParseKindError;
+
+    /// Parse an optimizer name. Round-trips with
+    /// [`Display`](std::fmt::Display); the short aliases `nm`, `random` and
+    /// `grid` are also accepted.
+    fn from_str(spec: &str) -> Result<OptimizerKind, Self::Err> {
+        match spec {
+            "cobyla" => Ok(OptimizerKind::Cobyla),
+            "nelder-mead" | "nm" => Ok(OptimizerKind::NelderMead),
+            "spsa" => Ok(OptimizerKind::Spsa),
+            "random-search" | "random" => Ok(OptimizerKind::RandomSearch),
+            "grid-search" | "grid" => Ok(OptimizerKind::GridSearch),
+            other => Err(graphs::ParseKindError::new(
+                "optimizer",
+                other,
+                "cobyla, nelder-mead, spsa, random-search, grid-search",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod kind_tests {
+    use super::OptimizerKind;
+
+    #[test]
+    fn optimizer_kind_display_from_str_round_trips_exhaustively() {
+        for &kind in OptimizerKind::all() {
+            let parsed: OptimizerKind = kind.to_string().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        let err = "adam".parse::<OptimizerKind>().unwrap_err();
+        assert_eq!(err.what, "optimizer");
+        assert!(err.to_string().contains("cobyla"), "{err}");
+    }
+}
+
 #[cfg(test)]
 mod proptests;
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! `backend_compare` ablation bench can quantify the difference).
 
 use crate::error::QaoaError;
-use graphs::{Graph, Problem};
+use graphs::Problem;
 use qcircuit::Circuit;
 use serde::{Deserialize, Serialize};
 
@@ -36,13 +36,6 @@ impl Backend {
         ]
     }
 
-    /// The `(u, v, w)` edge list of a graph. Legacy helper for the
-    /// deprecated edge-list entry points; new code should build a
-    /// [`Problem`] once and use [`Backend::expectation`].
-    pub fn edge_list(graph: &Graph) -> Vec<(usize, usize, f64)> {
-        graph.edges().iter().map(|e| (e.u, e.v, e.weight)).collect()
-    }
-
     /// Energy ⟨C⟩ of a fully-bound circuit for an arbitrary diagonal cost
     /// [`Problem`] — the problem-generic entry point every layer routes
     /// through.
@@ -50,8 +43,7 @@ impl Backend {
     /// Callers that evaluate many circuits against one objective should
     /// build the [`Problem`] once and reuse it (as
     /// [`crate::energy::EnergyEvaluator`] does): the term list plays the
-    /// role the cached edge list used to, without the per-call rebuild
-    /// footgun of the deprecated [`Backend::maxcut_expectation`].
+    /// role a cached edge list used to, without a per-call rebuild.
     pub fn expectation(&self, circuit: &Circuit, problem: &Problem) -> Result<f64, QaoaError> {
         let backend_err = |message: String| QaoaError::Backend { message };
         match self {
@@ -68,40 +60,6 @@ impl Backend {
             }
         }
     }
-
-    /// Max-Cut energy ⟨C⟩ of a fully-bound circuit on `graph`.
-    ///
-    /// Deprecated convenience wrapper: it rebuilds the Max-Cut Hamiltonian
-    /// on every call. Build [`Problem::max_cut`] once and call
-    /// [`Backend::expectation`] instead.
-    #[deprecated(
-        since = "0.1.0",
-        note = "build a `Problem` once (e.g. `Problem::max_cut`) and call `Backend::expectation`"
-    )]
-    pub fn maxcut_expectation(&self, circuit: &Circuit, graph: &Graph) -> Result<f64, QaoaError> {
-        self.expectation(circuit, &Problem::max_cut(graph))
-    }
-
-    /// Max-Cut energy ⟨C⟩ of a fully-bound circuit for a prebuilt edge list.
-    ///
-    /// Deprecated: the cached-edge-list pattern is superseded by caching a
-    /// [`Problem`] and calling [`Backend::expectation`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "build a `Problem` once (e.g. `Problem::max_cut`) and call `Backend::expectation`"
-    )]
-    pub fn maxcut_expectation_with_edges(
-        &self,
-        circuit: &Circuit,
-        edges: &[(usize, usize, f64)],
-    ) -> Result<f64, QaoaError> {
-        let problem = Problem::max_cut_from_edges(circuit.num_qubits(), edges).map_err(|e| {
-            QaoaError::Backend {
-                message: e.to_string(),
-            }
-        })?;
-        self.expectation(circuit, &problem)
-    }
 }
 
 impl std::fmt::Display for Backend {
@@ -115,11 +73,31 @@ impl std::fmt::Display for Backend {
     }
 }
 
+impl std::str::FromStr for Backend {
+    type Err = graphs::ParseKindError;
+
+    /// Parse a backend name. Round-trips with [`Display`](std::fmt::Display);
+    /// the short aliases `sv`, `tn` and `tns` are also accepted.
+    fn from_str(spec: &str) -> Result<Backend, Self::Err> {
+        match spec {
+            "statevector" | "sv" => Ok(Backend::StateVector),
+            "tensor-network" | "tn" => Ok(Backend::TensorNetwork),
+            "tensor-network-sequential" | "tns" => Ok(Backend::TensorNetworkSequential),
+            other => Err(graphs::ParseKindError::new(
+                "backend",
+                other,
+                "statevector, tensor-network, tensor-network-sequential",
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ansatz::QaoaAnsatz;
     use crate::mixer::Mixer;
+    use graphs::Graph;
 
     #[test]
     fn backends_agree_on_qaoa_energy() {
@@ -162,22 +140,37 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_maxcut_wrappers_route_through_the_problem_path() {
+    fn edge_list_problem_matches_graph_problem_bitwise() {
+        // The successor of the removed maxcut_expectation[_with_edges]
+        // wrappers: a Problem built from an explicit edge list routes
+        // through the same generic path as one built from the graph.
         let graph = Graph::erdos_renyi(5, 0.6, 2);
         let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::baseline());
         let circuit = ansatz.bind(&[0.4], &[0.3]).unwrap();
+        let edges: Vec<(usize, usize, f64)> =
+            graph.edges().iter().map(|e| (e.u, e.v, e.weight)).collect();
+        let from_edges = Problem::max_cut_from_edges(graph.num_nodes(), &edges).unwrap();
         for backend in Backend::all() {
             let generic = backend
                 .expectation(&circuit, &Problem::max_cut(&graph))
                 .unwrap();
-            let wrapped = backend.maxcut_expectation(&circuit, &graph).unwrap();
-            let with_edges = backend
-                .maxcut_expectation_with_edges(&circuit, &Backend::edge_list(&graph))
-                .unwrap();
-            assert_eq!(generic.to_bits(), wrapped.to_bits(), "{backend}");
+            let with_edges = backend.expectation(&circuit, &from_edges).unwrap();
             assert_eq!(generic.to_bits(), with_edges.to_bits(), "{backend}");
         }
+    }
+
+    #[test]
+    fn backend_display_from_str_round_trips_exhaustively() {
+        for &backend in Backend::all() {
+            let parsed: Backend = backend.to_string().parse().unwrap();
+            assert_eq!(parsed, backend);
+        }
+        // Short aliases.
+        assert_eq!("sv".parse::<Backend>().unwrap(), Backend::StateVector);
+        assert_eq!("tn".parse::<Backend>().unwrap(), Backend::TensorNetwork);
+        let err = "gpu".parse::<Backend>().unwrap_err();
+        assert_eq!(err.what, "backend");
+        assert!(err.to_string().contains("statevector"), "{err}");
     }
 
     #[test]

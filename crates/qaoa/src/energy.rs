@@ -409,7 +409,42 @@ impl EnergyEvaluator {
             fast,
             state,
             zero_depth: None,
+            hook: None,
         })
+    }
+}
+
+/// A telemetry snapshot emitted by a [`TrainingSession`] every time it is
+/// advanced — the per-session event hook the search session layer builds
+/// its `SessionAdvanced` stream on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingProgress {
+    /// Cumulative objective evaluations consumed so far.
+    pub evaluations: usize,
+    /// Best (maximal) energy found so far.
+    pub best_energy: f64,
+    /// Whether the underlying optimizer has converged (no further budget
+    /// will be spent even if the target grows).
+    pub converged: bool,
+}
+
+/// A boxed observer fired by [`TrainingSession::advance_in`] after every
+/// advance (including no-op snapshots and the depth-0 fast path).
+///
+/// Hooks travel with the session across threads (the search pipeline's
+/// work-stealing workers own their sessions), hence `Send`.
+pub struct ProgressHook(Box<dyn FnMut(&TrainingProgress) + Send>);
+
+impl ProgressHook {
+    /// Wrap a closure as a progress hook.
+    pub fn new(hook: impl FnMut(&TrainingProgress) + Send + 'static) -> ProgressHook {
+        ProgressHook(Box::new(hook))
+    }
+}
+
+impl std::fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgressHook(..)")
     }
 }
 
@@ -429,6 +464,8 @@ pub struct TrainingSession {
     state: Option<OptimizerState>,
     /// Cached depth-0 result (a single plus-state evaluation).
     zero_depth: Option<TrainedCircuit>,
+    /// Optional observer fired after every advance.
+    hook: Option<ProgressHook>,
 }
 
 impl TrainingSession {
@@ -449,6 +486,32 @@ impl TrainingSession {
         match &self.state {
             Some(s) => s.evaluations(),
             None => usize::from(self.zero_depth.is_some()),
+        }
+    }
+
+    /// Whether the underlying optimizer run has converged (depth-0 sessions
+    /// converge after their single evaluation).
+    pub fn converged(&self) -> bool {
+        match &self.state {
+            Some(s) => s.converged(),
+            None => self.zero_depth.is_some(),
+        }
+    }
+
+    /// Install (or clear) the observer fired after every advance. The search
+    /// session layer uses this to surface per-session telemetry events.
+    pub fn set_progress_hook(&mut self, hook: Option<ProgressHook>) {
+        self.hook = hook;
+    }
+
+    /// Fire the installed hook (if any) with the given trained snapshot.
+    fn emit_progress(hook: &mut Option<ProgressHook>, trained: &TrainedCircuit, converged: bool) {
+        if let Some(ProgressHook(observer)) = hook {
+            observer(&TrainingProgress {
+                evaluations: trained.evaluations,
+                best_energy: trained.energy,
+                converged,
+            });
         }
     }
 
@@ -479,6 +542,7 @@ impl TrainingSession {
             fast,
             state,
             zero_depth,
+            hook,
         } = self;
 
         let Some(state) = state.as_mut() else {
@@ -495,7 +559,9 @@ impl TrainingSession {
                     classical_quality: evaluator.classical.quality,
                 });
             }
-            return Ok(zero_depth.clone().expect("just cached"));
+            let trained = zero_depth.clone().expect("just cached");
+            Self::emit_progress(hook, &trained, true);
+            return Ok(trained);
         };
 
         if let (Some(compiled), Some(buf)) = (&*fast, scratch.as_deref()) {
@@ -528,7 +594,10 @@ impl TrainingSession {
             }
         };
         let result = optimizer.resume_until(state, &objective, target_evaluations);
-        Self::trained_from(evaluator, ansatz.depth(), result)
+        let converged = state.converged();
+        let trained = Self::trained_from(evaluator, ansatz.depth(), result)?;
+        Self::emit_progress(hook, &trained, converged);
+        Ok(trained)
     }
 
     /// Snapshot the best result found so far without advancing the run.
@@ -926,6 +995,56 @@ mod tests {
         // Advancing again does not re-evaluate.
         session.advance(&opt, 50).unwrap();
         assert_eq!(session.evaluations(), 1);
+    }
+
+    #[test]
+    fn session_progress_hook_fires_per_advance() {
+        let graph = Graph::cycle(6);
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::baseline());
+        let opt = CobylaOptimizer::default();
+        let mut session = eval.begin_training(&ansatz, &opt, None, 60).unwrap();
+
+        let log = std::sync::Arc::new(Mutex::new(Vec::<TrainingProgress>::new()));
+        let sink = std::sync::Arc::clone(&log);
+        session.set_progress_hook(Some(ProgressHook::new(move |p| {
+            sink.lock().unwrap().push(p.clone());
+        })));
+
+        let a = session.advance(&opt, 20).unwrap();
+        let b = session.advance(&opt, 60).unwrap();
+        let seen = log.lock().unwrap().clone();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].evaluations, a.evaluations);
+        assert_eq!(seen[0].best_energy, a.energy);
+        assert_eq!(seen[1].evaluations, b.evaluations);
+        assert_eq!(seen[1].best_energy, b.energy);
+        assert!(seen[0].evaluations <= seen[1].evaluations);
+
+        // Clearing the hook stops the stream; the session still advances.
+        session.set_progress_hook(None);
+        session.advance(&opt, 60).unwrap();
+        assert_eq!(log.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn session_progress_hook_marks_depth_zero_converged() {
+        let graph = Graph::cycle(4);
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let ansatz = QaoaAnsatz::new(&graph, 0, Mixer::baseline());
+        let opt = CobylaOptimizer::default();
+        let mut session = eval.begin_training(&ansatz, &opt, None, 10).unwrap();
+        let log = std::sync::Arc::new(Mutex::new(Vec::<TrainingProgress>::new()));
+        let sink = std::sync::Arc::clone(&log);
+        session.set_progress_hook(Some(ProgressHook::new(move |p| {
+            sink.lock().unwrap().push(p.clone());
+        })));
+        session.advance(&opt, 10).unwrap();
+        let seen = log.lock().unwrap().clone();
+        assert_eq!(seen.len(), 1);
+        assert!(seen[0].converged);
+        assert_eq!(seen[0].evaluations, 1);
+        assert!(session.converged());
     }
 
     #[test]

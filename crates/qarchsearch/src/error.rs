@@ -33,6 +33,26 @@ pub enum SearchError {
         /// What is wrong.
         message: String,
     },
+
+    /// A session was cancelled before any depth completed (a cancellation
+    /// after at least one completed depth drains into a partial
+    /// [`crate::search::SearchOutcome`] instead).
+    #[error("search cancelled before any depth completed")]
+    Cancelled,
+
+    /// The job server's bounded queue is full.
+    #[error("job queue is full ({capacity} pending jobs); retry later or raise the capacity")]
+    QueueFull {
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+
+    /// A job id is unknown to the job server.
+    #[error("unknown job {id}")]
+    UnknownJob {
+        /// The offending job id.
+        id: u64,
+    },
 }
 
 impl From<qaoa::QaoaError> for SearchError {

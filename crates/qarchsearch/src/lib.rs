@@ -16,25 +16,25 @@
 //!   (COBYLA, 200 steps by default) and reports the energy, which is fed back
 //!   to the predictor as the reward.
 //!
-//! [`search`] wires the three together in either a serial loop (Algorithm 1)
-//! or the two-level parallel scheme of Figs. 2–3: the outer level fans the
-//!   candidate gate combinations out over a thread pool (the paper uses
-//!   Python `multiprocessing` over the CPUs of a Polaris node); the inner
-//!   level parallelizes each energy evaluation over graph edges inside the
-//!   tensor-network backend.
-//!
-//! [`search::ParallelSearch`] goes beyond the paper with a **budget-aware
-//! pipeline** (the `pipeline` module): successive-halving pruning over resumable
-//! optimizer sessions, warm starts transferred from the previous depth, an
-//! optional learned predictor gate, and a work-stealing executor
-//! ([`worksteal`]) with per-worker scratch states. Results are
-//! deterministic for a fixed seed regardless of the thread count, and
+//! [`session::SearchDriver`] wires the three together behind a
+//! **session-oriented API**: one driver covers both execution modes
+//! ([`search::ExecutionMode::Serial`] — Algorithm 1 as written — and
+//! [`search::ExecutionMode::Parallel`] — the two-level scheme of Figs. 2–3
+//! extended into a **budget-aware pipeline**: successive-halving pruning
+//! over resumable optimizer sessions, warm starts transferred from the
+//! previous depth, an optional learned predictor gate, and a work-stealing
+//! executor ([`worksteal`]) with per-worker scratch states). Started
+//! sessions stream typed [`events::SearchEvent`]s, cancel cooperatively,
+//! and checkpoint/resume bit-identically; results are deterministic for a
+//! fixed seed regardless of the thread count, and
 //! `SearchConfig::builder().no_prune()` restores the paper-faithful
-//! full-budget behaviour.
+//! full-budget behaviour. [`server::JobServer`] multiplexes many concurrent
+//! sessions over a bounded priority queue — the engine behind `qas serve`.
 //!
 //! ```
 //! use graphs::Graph;
-//! use qarchsearch::search::{SearchConfig, SerialSearch};
+//! use qarchsearch::search::SearchConfig;
+//! use qarchsearch::session::SearchDriver;
 //!
 //! let graph = Graph::erdos_renyi(6, 0.5, 1);
 //! let config = SearchConfig::builder()
@@ -42,7 +42,7 @@
 //!     .max_gates_per_mixer(1)
 //!     .optimizer_budget(30)
 //!     .build();
-//! let outcome = SerialSearch::new(config).run(&[graph]).unwrap();
+//! let outcome = SearchDriver::new(config).run(&[graph]).unwrap();
 //! assert!(outcome.best.energy > 0.0);
 //! ```
 
@@ -51,21 +51,29 @@ pub mod constraints;
 pub mod encoding;
 pub mod error;
 pub mod evaluator;
+pub mod events;
 mod pipeline;
 pub mod predictor;
 pub mod qbuilder;
 pub mod report;
 pub mod search;
+pub mod server;
+pub mod session;
 pub mod worksteal;
 
 pub use alphabet::{GateAlphabet, RotationGate};
 pub use constraints::{Constraint, ConstraintSet};
 pub use error::SearchError;
 pub use evaluator::Evaluator;
-pub use predictor::{Predictor, RandomPredictor};
+pub use events::SearchEvent;
+pub use predictor::{BanditState, Predictor, RandomPredictor};
 pub use qbuilder::QBuilder;
-pub use search::{
-    ParallelSearch, PipelineConfig, RungStat, SearchConfig, SearchOutcome, SerialSearch,
+pub use search::{ExecutionMode, PipelineConfig, RungStat, SearchConfig, SearchOutcome};
+#[allow(deprecated)]
+pub use search::{ParallelSearch, SerialSearch};
+pub use server::{JobId, JobServer, JobServerConfig, JobSpec, JobState, JobStatus};
+pub use session::{
+    SchedulerCheckpoint, SearchCheckpoint, SearchDriver, SearchHandle, SearchProgress, SearchStatus,
 };
 
 #[cfg(test)]

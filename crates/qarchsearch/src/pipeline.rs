@@ -28,14 +28,17 @@
 
 use crate::error::SearchError;
 use crate::evaluator::{CandidateResult, Evaluator};
+use crate::events::SearchEvent;
 use crate::predictor::{EpsilonGreedyPredictor, Predictor};
 use crate::qbuilder::QBuilder;
 use crate::search::{RungStat, SearchConfig};
+use crate::session::SchedulerCheckpoint;
 use crate::worksteal::run_tasks;
 use graphs::Graph;
-use qaoa::energy::{TrainedCircuit, TrainingSession};
+use qaoa::energy::{ProgressHook, TrainedCircuit, TrainingProgress, TrainingSession};
 use qaoa::mixer::Mixer;
 use qcircuit::Gate;
+use std::sync::{Arc, Mutex};
 
 /// The cumulative budget targets of the halving schedule: starting at
 /// `first`, multiplying by `eta`, capped at (and always finishing with)
@@ -99,6 +102,29 @@ impl BudgetedScheduler {
         }
     }
 
+    /// Snapshot the cross-depth state (ranker + warm-start source) for the
+    /// session layer's [`crate::session::SearchCheckpoint`]. Everything a
+    /// later depth's evaluation depends on beyond the immutable
+    /// configuration lives here, which is what makes resume-from-checkpoint
+    /// bit-identical to an uninterrupted run.
+    pub(crate) fn checkpoint(&self) -> SchedulerCheckpoint {
+        SchedulerCheckpoint {
+            ranker: self.ranker.state(),
+            ranker_trained: self.ranker_trained,
+            warm_source: self.warm_source.clone(),
+        }
+    }
+
+    /// Rebuild a scheduler mid-search from a checkpoint (the inverse of
+    /// [`BudgetedScheduler::checkpoint`]).
+    pub(crate) fn restore(config: &SearchConfig, state: SchedulerCheckpoint) -> BudgetedScheduler {
+        let mut scheduler = BudgetedScheduler::new(config);
+        scheduler.ranker.restore_state(state.ranker);
+        scheduler.ranker_trained = state.ranker_trained;
+        scheduler.warm_source = state.warm_source;
+        scheduler
+    }
+
     /// Rank-and-truncate candidates through the predictor gate. Returns the
     /// admitted candidates (in original proposal order) and the number
     /// rejected. The gate only engages once the ranker has seen feedback
@@ -130,15 +156,30 @@ impl BudgetedScheduler {
     }
 
     /// Evaluate one depth's candidates and update the scheduler state
-    /// (ranker feedback, warm-start source).
+    /// (ranker feedback, warm-start source). `events` receives the depth's
+    /// telemetry ([`SearchEvent::CandidatesGated`], `SessionAdvanced`,
+    /// `RungCompleted`, `CandidatePruned`) in deterministic order — always
+    /// from the calling thread, never from a worker. `cancel` is polled
+    /// between rungs: once set, the depth aborts with
+    /// [`SearchError::Cancelled`] and its partial sessions are dropped
+    /// (cancellation is depth-atomic for results).
     pub(crate) fn evaluate_depth(
         &mut self,
         depth: usize,
         candidates: Vec<Vec<Gate>>,
         graphs: &[Graph],
         threads: usize,
+        cancel: &std::sync::atomic::AtomicBool,
+        events: &mut dyn FnMut(SearchEvent),
     ) -> Result<DepthEvaluation, SearchError> {
         let (candidates, gated_out) = self.apply_gate(candidates);
+        if gated_out > 0 {
+            events(SearchEvent::CandidatesGated {
+                depth,
+                admitted: candidates.len(),
+                gated_out,
+            });
+        }
         if candidates.is_empty() {
             return Ok(DepthEvaluation {
                 results: Vec::new(),
@@ -161,7 +202,7 @@ impl BudgetedScheduler {
             // granularity.
             self.evaluate_legacy(depth, &mixers, graphs, threads)?
         } else {
-            self.evaluate_halving(depth, &mixers, graphs, threads)?
+            self.evaluate_halving(depth, &mixers, graphs, threads, cancel, events)?
         };
 
         // The gate bandit must compare like with like: under halving,
@@ -201,6 +242,8 @@ impl BudgetedScheduler {
         mixers: &[Mixer],
         graphs: &[Graph],
         threads: usize,
+        cancel: &std::sync::atomic::AtomicBool,
+        events: &mut dyn FnMut(SearchEvent),
     ) -> Result<EvaluatedCohort, SearchError> {
         let pc = &self.config.pipeline;
         let full_budget = self.config.evaluator.budget;
@@ -224,23 +267,37 @@ impl BudgetedScheduler {
         let optimizer = self.config.evaluator.build_resumable();
         let optimizer = optimizer.as_ref();
 
+        // Per-session progress observations, gathered through the
+        // `qaoa::TrainingSession` hooks. Workers append in completion order
+        // (nondeterministic); each rung drains and sorts by slot before
+        // emitting, so the event stream stays deterministic.
+        let progress: Arc<Mutex<Vec<(usize, TrainingProgress)>>> = Arc::new(Mutex::new(Vec::new()));
+
         // One session per (candidate, graph), laid out candidate-major.
         let mut sessions: Vec<Option<TrainingSession>> =
             Vec::with_capacity(num_candidates * num_graphs);
-        for mixer in mixers {
+        for (ci, mixer) in mixers.iter().enumerate() {
             for (gi, graph) in graphs.iter().enumerate() {
                 let warm_from = warm.map(|w| {
                     let prev = &w.per_graph[gi];
                     (prev.gammas.as_slice(), prev.betas.as_slice())
                 });
-                sessions.push(Some(self.evaluator.begin_session(
+                let mut session = self.evaluator.begin_session(
                     graph,
                     mixer,
                     depth,
                     warm_from,
                     full_budget,
                     optimizer,
-                )?));
+                )?;
+                let slot = ci * num_graphs + gi;
+                let sink = Arc::clone(&progress);
+                session.set_progress_hook(Some(ProgressHook::new(move |p| {
+                    sink.lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((slot, p.clone()));
+                })));
+                sessions.push(Some(session));
             }
         }
         let mut snapshots: Vec<Option<TrainedCircuit>> = vec![None; num_candidates * num_graphs];
@@ -251,6 +308,9 @@ impl BudgetedScheduler {
         let mut first_rung_means: Vec<f64> = Vec::new();
 
         for (ri, &target) in targets.iter().enumerate() {
+            if cancel.load(std::sync::atomic::Ordering::SeqCst) {
+                return Err(SearchError::Cancelled);
+            }
             let entrants = active.len();
             let mut tasks: Vec<(usize, TrainingSession)> =
                 Vec::with_capacity(entrants * num_graphs);
@@ -280,6 +340,23 @@ impl BudgetedScheduler {
                 sessions[slot] = Some(session);
             }
 
+            // Forward this rung's session telemetry in deterministic slot
+            // order (workers pushed in completion order).
+            let mut advanced = {
+                let mut buf = progress.lock().unwrap_or_else(|e| e.into_inner());
+                std::mem::take(&mut *buf)
+            };
+            advanced.sort_by_key(|(slot, _)| *slot);
+            for (slot, p) in advanced {
+                events(SearchEvent::SessionAdvanced {
+                    depth,
+                    candidate: slot / num_graphs,
+                    graph: slot % num_graphs,
+                    evaluations: p.evaluations,
+                    energy: p.best_energy,
+                });
+            }
+
             let mean_energy = |ci: usize| -> f64 {
                 (0..num_graphs)
                     .map(|gi| {
@@ -304,12 +381,22 @@ impl BudgetedScheduler {
                 let keep = entrants.div_ceil(pc.eta).max(1);
                 let mut order = active.clone();
                 order.sort_by(|&a, &b| mean_energy(b).total_cmp(&mean_energy(a)).then(a.cmp(&b)));
-                for &ci in &order[keep.min(order.len())..] {
+                let mut cut: Vec<usize> = order[keep.min(order.len())..].to_vec();
+                cut.sort_unstable();
+                for &ci in &cut {
                     pruned_at[ci] = Some(ri);
                 }
                 order.truncate(keep);
                 order.sort_unstable();
                 active = order;
+                for ci in cut {
+                    events(SearchEvent::CandidatePruned {
+                        depth,
+                        candidate: ci,
+                        mixer_label: mixers[ci].label(),
+                        rung: ri,
+                    });
+                }
             }
 
             rung_stats.push(RungStat {
@@ -318,6 +405,16 @@ impl BudgetedScheduler {
                 survivors: active.len(),
                 evaluations: rung_evaluations,
             });
+            if pc.prune {
+                events(SearchEvent::RungCompleted {
+                    depth,
+                    rung: ri,
+                    target_budget: target,
+                    entrants,
+                    survivors: active.len(),
+                    evaluations: rung_evaluations,
+                });
+            }
         }
 
         let mut results = Vec::with_capacity(num_candidates);

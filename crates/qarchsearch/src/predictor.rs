@@ -22,6 +22,7 @@ use crate::alphabet::GateAlphabet;
 use qcircuit::Gate;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 
 /// A strategy for proposing candidate mixer gate sequences.
 pub trait Predictor: Send {
@@ -152,6 +153,21 @@ pub struct EpsilonGreedyPredictor {
     rng: ChaCha8Rng,
 }
 
+/// A serializable snapshot of an [`EpsilonGreedyPredictor`]'s learned
+/// state (per-slot value estimates and sample counts).
+///
+/// Used by the search session layer to checkpoint the predictor-gate ranker
+/// mid-search: restoring the state into a freshly seeded bandit reproduces
+/// every subsequent [`Predictor::score`] bit for bit (scoring consumes no
+/// randomness, so the RNG stream does not belong to the learned state).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BanditState {
+    /// `values[slot][gate]` running mean rewards.
+    pub values: Vec<Vec<f64>>,
+    /// `counts[slot][gate]` sample counts.
+    pub counts: Vec<Vec<usize>>,
+}
+
 impl EpsilonGreedyPredictor {
     /// A bandit predictor with exploration rate `epsilon` over `alphabet`.
     pub fn new(alphabet: GateAlphabet, epsilon: f64, seed: u64) -> EpsilonGreedyPredictor {
@@ -162,6 +178,20 @@ impl EpsilonGreedyPredictor {
             counts: Vec::new(),
             rng: ChaCha8Rng::seed_from_u64(seed),
         }
+    }
+
+    /// Snapshot the learned state (value estimates and counts).
+    pub fn state(&self) -> BanditState {
+        BanditState {
+            values: self.values.clone(),
+            counts: self.counts.clone(),
+        }
+    }
+
+    /// Replace the learned state with a previously captured snapshot.
+    pub fn restore_state(&mut self, state: BanditState) {
+        self.values = state.values;
+        self.counts = state.counts;
     }
 
     fn ensure_slots(&mut self, k: usize) {
@@ -514,6 +544,38 @@ mod tests {
         let d = p.slot_distribution(0);
         assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn bandit_state_round_trip_preserves_scores() {
+        let mut trained = EpsilonGreedyPredictor::new(alphabet(), 0.0, 5);
+        trained.feedback(&[Gate::RX, Gate::RY], 4.5);
+        trained.feedback(&[Gate::RY, Gate::RX], 2.25);
+
+        // Through serde (the search checkpoint path) into a fresh bandit.
+        let json = serde_json::to_string(&trained.state()).unwrap();
+        let state: BanditState = serde_json::from_str(&json).unwrap();
+        let mut restored = EpsilonGreedyPredictor::new(alphabet(), 0.0, 5);
+        restored.restore_state(state);
+
+        for seq in [
+            vec![Gate::RX, Gate::RY],
+            vec![Gate::RY, Gate::RX],
+            vec![Gate::RZ],
+        ] {
+            assert_eq!(
+                trained.score(&seq).to_bits(),
+                restored.score(&seq).to_bits(),
+                "{seq:?}"
+            );
+        }
+        // Further feedback keeps the two in lockstep.
+        trained.feedback(&[Gate::H], 1.0);
+        restored.feedback(&[Gate::H], 1.0);
+        assert_eq!(
+            trained.score(&[Gate::H]).to_bits(),
+            restored.score(&[Gate::H]).to_bits()
+        );
     }
 
     #[test]

@@ -3,8 +3,18 @@
 use crate::alphabet::GateAlphabet;
 use crate::encoding::CircuitEncoding;
 use crate::predictor::{ExhaustivePredictor, Predictor, RandomPredictor};
-use crate::search::{ParallelSearch, SearchConfig, SearchStrategy};
+use crate::search::{ExecutionMode, SearchConfig, SearchOutcome, SearchStrategy};
+use crate::session::SearchDriver;
 use proptest::prelude::*;
+
+/// Run a configuration through the session driver in parallel mode.
+fn parallel_run(
+    mut config: SearchConfig,
+    graphs: &[graphs::Graph],
+) -> Result<SearchOutcome, crate::SearchError> {
+    config.mode = ExecutionMode::Parallel;
+    SearchDriver::new(config).run(graphs)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -117,18 +127,16 @@ proptest! {
             .backend(qaoa::Backend::StateVector)
             .seed(seed)
             .build();
-        let reference = ParallelSearch::new(SearchConfig {
+        let reference = parallel_run(SearchConfig {
             threads: Some(1),
             ..base.clone()
-        })
-        .run(&graphs)
+        }, &graphs)
         .unwrap();
         for threads in [2usize, 4] {
-            let other = ParallelSearch::new(SearchConfig {
+            let other = parallel_run(SearchConfig {
                 threads: Some(threads),
                 ..base.clone()
-            })
-            .run(&graphs)
+            }, &graphs)
             .unwrap();
             prop_assert_eq!(reference.best.mixer_label.clone(), other.best.mixer_label);
             prop_assert_eq!(reference.best.energy, other.best.energy);

@@ -1,35 +1,55 @@
-//! The search schedulers: Algorithm 1, serially and in parallel.
+//! Search configuration and outcome types, plus the legacy blocking
+//! schedulers.
 //!
-//! [`SerialSearch`] is a faithful transcription of Algorithm 1: for every
-//! QAOA depth `p = 1..=p_max`, enumerate (or sample) candidate mixer gate
-//! combinations, build and train each candidate, and keep the best performer.
-//!
-//! [`ParallelSearch`] implements the paper's speedup: "our focus was to
-//! improve run time by searching multiple possible gate combinations in
-//! parallel" (§3.1), i.e. the **outer** level of the two-level scheme of
-//! Figs. 2–3 — and goes beyond it with the **budget-aware pipeline** of
-//! the `pipeline` module: candidates are trained in successive-halving rungs
-//! (losers pruned early, survivors *resumed*, not restarted), warm-started
-//! from the previous depth's winner, optionally pre-filtered by a learned
-//! predictor gate, and dispatched onto a work-stealing executor
-//! ([`crate::worksteal`]) whose worker count plays the role of "number of
-//! cores" in Fig. 5. Outcomes are deterministic for a fixed seed regardless
-//! of the thread count. [`SearchConfigBuilder::no_prune`] switches all of it
-//! off for the paper-faithful full-budget mode.
+//! The front door of the crate is now the session-oriented
+//! [`crate::session::SearchDriver`]: one driver covers both execution modes
+//! ([`ExecutionMode::Serial`] — Algorithm 1 exactly as written — and
+//! [`ExecutionMode::Parallel`] — the budget-aware successive-halving
+//! pipeline over the work-stealing executor), streams [`crate::SearchEvent`]s
+//! while it runs, and supports cooperative cancellation and serde
+//! checkpointing. This module keeps everything the driver is configured
+//! with ([`SearchConfig`], [`SearchStrategy`], [`PipelineConfig`]) and
+//! returns ([`SearchOutcome`], [`DepthResult`], [`BestCandidate`]), along
+//! with the deprecated [`SerialSearch`]/[`ParallelSearch`] shims whose
+//! `run()` is now a thin `start().wait()` wrapper.
 
-use crate::alphabet::GateAlphabet;
 use crate::constraints::ConstraintSet;
 use crate::error::SearchError;
-use crate::evaluator::{CandidateResult, Evaluator, EvaluatorConfig};
-use crate::pipeline::BudgetedScheduler;
+use crate::evaluator::{CandidateResult, EvaluatorConfig};
 use crate::predictor::{
     EpsilonGreedyPredictor, PolicyGradientPredictor, Predictor, RandomPredictor,
 };
-use crate::qbuilder::QBuilder;
+use crate::session::SearchDriver;
+use crate::GateAlphabet;
 use graphs::Graph;
 use qcircuit::Gate;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
+
+/// How a search session executes its candidate evaluations.
+///
+/// Folded into [`SearchConfig`]; the session layer's
+/// [`SearchDriver`] reads it instead of the caller picking between two
+/// scheduler structs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ExecutionMode {
+    /// Algorithm 1 exactly as written: one candidate at a time, full budget
+    /// each, full inner (per-edge / kernel) parallelism.
+    Serial,
+    /// The budget-aware pipeline over the work-stealing executor:
+    /// successive halving, warm starts, optional predictor gate.
+    /// Bit-identical results for a fixed seed at any worker count.
+    #[default]
+    Parallel,
+}
+
+impl std::fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionMode::Serial => write!(f, "serial"),
+            ExecutionMode::Parallel => write!(f, "parallel"),
+        }
+    }
+}
 
 /// How candidate gate combinations are proposed.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -125,6 +145,10 @@ pub struct RungStat {
 /// Full configuration of a search run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SearchConfig {
+    /// Serial or parallel candidate evaluation (the session layer's
+    /// [`SearchDriver`] reads this; the deprecated scheduler shims override
+    /// it to their respective modes).
+    pub mode: ExecutionMode,
     /// The gate alphabet `A_R`.
     pub alphabet: GateAlphabet,
     /// Maximum QAOA depth `p_max` (depths `1..=p_max` are searched).
@@ -153,6 +177,7 @@ pub struct SearchConfig {
 impl Default for SearchConfig {
     fn default() -> Self {
         SearchConfig {
+            mode: ExecutionMode::Parallel,
             alphabet: GateAlphabet::paper_default(),
             max_depth: 4,
             max_gates_per_mixer: 4,
@@ -174,18 +199,33 @@ impl SearchConfig {
         }
     }
 
-    /// Validate the configuration for the budget-aware [`ParallelSearch`]
-    /// pipeline: the scheduler-independent base checks plus the pipeline
-    /// settings (halving schedule, predictor gate). [`SerialSearch`] only
-    /// applies the base checks, since it never prunes.
+    /// The same configuration with a different [`ExecutionMode`] —
+    /// convenient when one config drives both a serial and a parallel run.
+    pub fn with_mode(mut self, mode: ExecutionMode) -> SearchConfig {
+        self.mode = mode;
+        self
+    }
+
+    /// Validate the configuration for the budget-aware pipeline: the
+    /// mode-independent base checks plus the pipeline settings (halving
+    /// schedule, predictor gate). Serial runs only apply the base checks,
+    /// since they never prune — see [`SearchConfig::validate_for`].
     pub fn validate(&self) -> Result<(), SearchError> {
         self.validate_base()?;
         self.validate_pipeline()
     }
 
-    /// The scheduler-independent checks. [`SerialSearch`] validates only
-    /// these — it never prunes, so a budget below the halving schedule's
-    /// first rung is fine there.
+    /// The checks the given execution mode actually needs: serial runs skip
+    /// the pipeline checks (they never prune, so a budget below the halving
+    /// schedule's first rung is fine there).
+    pub fn validate_for(&self, mode: ExecutionMode) -> Result<(), SearchError> {
+        match mode {
+            ExecutionMode::Serial => self.validate_base(),
+            ExecutionMode::Parallel => self.validate(),
+        }
+    }
+
+    /// The mode-independent checks.
     fn validate_base(&self) -> Result<(), SearchError> {
         if self.max_depth == 0 {
             return Err(SearchError::InvalidConfig {
@@ -210,7 +250,7 @@ impl SearchConfig {
         Ok(())
     }
 
-    /// The pipeline-only checks ([`ParallelSearch`]).
+    /// The pipeline-only checks ([`ExecutionMode::Parallel`]).
     fn validate_pipeline(&self) -> Result<(), SearchError> {
         if self.pipeline.prune {
             if self.pipeline.eta < 2 {
@@ -243,6 +283,48 @@ impl SearchConfig {
             });
         }
         Ok(())
+    }
+
+    /// Candidate sequences for one depth (learned strategies propose online,
+    /// receiving feedback sequentially). Candidates that violate the
+    /// configured [`ConstraintSet`] are filtered out before evaluation.
+    /// Proposal is a pure function of `(self, depth)`, which is what makes
+    /// checkpoint/resume bit-identical: a resumed run re-proposes exactly
+    /// the cohorts the interrupted run would have seen.
+    pub(crate) fn propose_candidates(&self, depth: usize) -> Vec<Vec<Gate>> {
+        let mut candidates = match &self.strategy {
+            SearchStrategy::Exhaustive | SearchStrategy::Random { .. } => {
+                self.candidates_for_depth(depth)
+            }
+            SearchStrategy::EpsilonGreedy {
+                samples_per_depth,
+                epsilon,
+            } => {
+                let mut predictor = EpsilonGreedyPredictor::new(
+                    self.alphabet.clone(),
+                    *epsilon,
+                    self.seed.wrapping_add(depth as u64),
+                );
+                (0..*samples_per_depth)
+                    .map(|_| predictor.propose(self.max_gates_per_mixer))
+                    .collect()
+            }
+            SearchStrategy::PolicyGradient {
+                samples_per_depth,
+                learning_rate,
+            } => {
+                let mut predictor = PolicyGradientPredictor::new(
+                    self.alphabet.clone(),
+                    *learning_rate,
+                    self.seed.wrapping_add(depth as u64),
+                );
+                (0..*samples_per_depth)
+                    .map(|_| predictor.propose(self.max_gates_per_mixer))
+                    .collect()
+            }
+        };
+        self.constraints.filter(&mut candidates);
+        candidates
     }
 
     /// The candidate gate sequences explored at one depth.
@@ -290,6 +372,18 @@ pub struct SearchConfigBuilder {
 }
 
 impl SearchConfigBuilder {
+    /// Set the execution mode (serial Algorithm 1 vs the parallel
+    /// budget-aware pipeline; default parallel).
+    pub fn mode(mut self, mode: ExecutionMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Shorthand for [`mode(ExecutionMode::Serial)`](Self::mode).
+    pub fn serial(self) -> Self {
+        self.mode(ExecutionMode::Serial)
+    }
+
     /// Set the gate alphabet.
     pub fn alphabet(mut self, alphabet: GateAlphabet) -> Self {
         self.config.alphabet = alphabet;
@@ -468,7 +562,7 @@ pub struct SearchOutcome {
 }
 
 impl SearchOutcome {
-    fn from_depth_results(
+    pub(crate) fn from_depth_results(
         problem: String,
         depth_results: Vec<DepthResult>,
         total_elapsed_seconds: f64,
@@ -554,15 +648,23 @@ fn parse_label_gates(label: &str) -> Vec<Gate> {
 
 // ---------------------------------------------------------------------------
 
-/// Serial scheduler: Algorithm 1 exactly as written.
+/// Serial scheduler shim: Algorithm 1 exactly as written.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SearchDriver` with `ExecutionMode::Serial` (or `SearchConfig::builder().serial()`); \
+            `run()` is now a thin `start().wait()` wrapper"
+)]
 #[derive(Debug, Clone)]
 pub struct SerialSearch {
     config: SearchConfig,
 }
 
+#[allow(deprecated)]
 impl SerialSearch {
-    /// A serial search with the given configuration.
-    pub fn new(config: SearchConfig) -> SerialSearch {
+    /// A serial search with the given configuration (the configuration's
+    /// [`ExecutionMode`] is overridden to `Serial`).
+    pub fn new(mut config: SearchConfig) -> SerialSearch {
+        config.mode = ExecutionMode::Serial;
         SerialSearch { config }
     }
 
@@ -571,108 +673,33 @@ impl SerialSearch {
         &self.config
     }
 
-    /// Run the search over the training graphs.
+    /// Run the search over the training graphs: `start().wait()` on a
+    /// [`SearchDriver`], blocking until the outcome is ready.
     pub fn run(&self, graphs: &[Graph]) -> Result<SearchOutcome, SearchError> {
-        self.config.validate_base()?;
-        if graphs.is_empty() {
-            return Err(SearchError::NoGraphs);
-        }
-        let builder = QBuilder::new(self.config.alphabet.clone());
-        let evaluator = Evaluator::new(self.config.evaluator.clone());
-        let total_start = Instant::now();
-        let mut depth_results = Vec::with_capacity(self.config.max_depth);
-
-        for depth in 1..=self.config.max_depth {
-            let depth_start = Instant::now();
-            let candidates = self.propose_candidates(depth);
-            let mut results = Vec::with_capacity(candidates.len());
-            for gates in &candidates {
-                let mixer = builder.build_mixer(gates)?;
-                results.push(evaluator.evaluate(graphs, &mixer, depth)?);
-            }
-            let best_energy = results
-                .iter()
-                .map(|r| r.mean_energy)
-                .fold(f64::NEG_INFINITY, f64::max);
-            depth_results.push(DepthResult {
-                depth,
-                candidates: results,
-                elapsed_seconds: depth_start.elapsed().as_secs_f64(),
-                best_energy,
-                rungs: Vec::new(),
-                gated_out: 0,
-            });
-        }
-        SearchOutcome::from_depth_results(
-            self.config.evaluator.problem.name().to_string(),
-            depth_results,
-            total_start.elapsed().as_secs_f64(),
-            None,
-            self.config.evaluator.budget,
-            graphs.len(),
-        )
-    }
-
-    /// Candidate sequences for one depth (learned strategies propose online,
-    /// receiving feedback sequentially). Candidates that violate the
-    /// configured [`ConstraintSet`] are filtered out before evaluation.
-    fn propose_candidates(&self, depth: usize) -> Vec<Vec<Gate>> {
-        let mut candidates = match &self.config.strategy {
-            SearchStrategy::Exhaustive | SearchStrategy::Random { .. } => {
-                self.config.candidates_for_depth(depth)
-            }
-            SearchStrategy::EpsilonGreedy {
-                samples_per_depth,
-                epsilon,
-            } => {
-                let mut predictor = EpsilonGreedyPredictor::new(
-                    self.config.alphabet.clone(),
-                    *epsilon,
-                    self.config.seed.wrapping_add(depth as u64),
-                );
-                (0..*samples_per_depth)
-                    .map(|_| predictor.propose(self.config.max_gates_per_mixer))
-                    .collect()
-            }
-            SearchStrategy::PolicyGradient {
-                samples_per_depth,
-                learning_rate,
-            } => {
-                let mut predictor = PolicyGradientPredictor::new(
-                    self.config.alphabet.clone(),
-                    *learning_rate,
-                    self.config.seed.wrapping_add(depth as u64),
-                );
-                (0..*samples_per_depth)
-                    .map(|_| predictor.propose(self.config.max_gates_per_mixer))
-                    .collect()
-            }
-        };
-        self.config.constraints.filter(&mut candidates);
-        candidates
+        SearchDriver::new(self.config.clone()).run(graphs)
     }
 }
 
 // ---------------------------------------------------------------------------
 
-/// Parallel scheduler: the outer level of the two-level parallelization,
-/// rebuilt as a budget-aware pipeline.
-///
-/// Each depth's candidates run through the budget-aware pipeline: an optional
-/// predictor gate, warm-started resumable training sessions, and
-/// successive-halving rungs dispatched onto the work-stealing executor of
-/// [`crate::worksteal`]. The worker count stands in for the "number of
-/// cores" axis of Fig. 5, and for a fixed seed the outcome is bit-identical
-/// whatever that count is (workers pin the inner parallelism level, so no
-/// floating-point reduction ever depends on the thread configuration).
+/// Parallel scheduler shim: the outer level of the two-level
+/// parallelization, rebuilt as a budget-aware pipeline.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SearchDriver` (parallel is the default `ExecutionMode`); \
+            `run()` is now a thin `start().wait()` wrapper"
+)]
 #[derive(Debug, Clone)]
 pub struct ParallelSearch {
     config: SearchConfig,
 }
 
+#[allow(deprecated)]
 impl ParallelSearch {
-    /// A parallel search with the given configuration.
-    pub fn new(config: SearchConfig) -> ParallelSearch {
+    /// A parallel search with the given configuration (the configuration's
+    /// [`ExecutionMode`] is overridden to `Parallel`).
+    pub fn new(mut config: SearchConfig) -> ParallelSearch {
+        config.mode = ExecutionMode::Parallel;
         ParallelSearch { config }
     }
 
@@ -681,52 +708,10 @@ impl ParallelSearch {
         &self.config
     }
 
-    /// Run the search over the training graphs.
+    /// Run the search over the training graphs: `start().wait()` on a
+    /// [`SearchDriver`], blocking until the outcome is ready.
     pub fn run(&self, graphs: &[Graph]) -> Result<SearchOutcome, SearchError> {
-        self.config.validate()?;
-        if graphs.is_empty() {
-            return Err(SearchError::NoGraphs);
-        }
-        let threads = self
-            .config
-            .threads
-            .unwrap_or_else(rayon::current_num_threads)
-            .max(1);
-        let mut scheduler = BudgetedScheduler::new(&self.config);
-
-        let total_start = Instant::now();
-        let mut depth_results = Vec::with_capacity(self.config.max_depth);
-
-        for depth in 1..=self.config.max_depth {
-            let depth_start = Instant::now();
-            let serial_helper = SerialSearch {
-                config: self.config.clone(),
-            };
-            let candidates = serial_helper.propose_candidates(depth);
-            let evaluated = scheduler.evaluate_depth(depth, candidates, graphs, threads)?;
-
-            let best_energy = evaluated
-                .results
-                .iter()
-                .map(|r| r.mean_energy)
-                .fold(f64::NEG_INFINITY, f64::max);
-            depth_results.push(DepthResult {
-                depth,
-                candidates: evaluated.results,
-                elapsed_seconds: depth_start.elapsed().as_secs_f64(),
-                best_energy,
-                rungs: evaluated.rungs,
-                gated_out: evaluated.gated_out,
-            });
-        }
-        SearchOutcome::from_depth_results(
-            self.config.evaluator.problem.name().to_string(),
-            depth_results,
-            total_start.elapsed().as_secs_f64(),
-            Some(threads),
-            self.config.evaluator.budget,
-            graphs.len(),
-        )
+        SearchDriver::new(self.config.clone()).run(graphs)
     }
 }
 
@@ -749,6 +734,24 @@ mod tests {
 
     fn tiny_graphs() -> Vec<Graph> {
         vec![Graph::cycle(4), Graph::erdos_renyi(5, 0.6, 8)]
+    }
+
+    /// Run through the session driver in serial mode.
+    fn serial_run(
+        mut config: SearchConfig,
+        graphs: &[Graph],
+    ) -> Result<SearchOutcome, SearchError> {
+        config.mode = ExecutionMode::Serial;
+        SearchDriver::new(config).run(graphs)
+    }
+
+    /// Run through the session driver in parallel mode.
+    fn parallel_run(
+        mut config: SearchConfig,
+        graphs: &[Graph],
+    ) -> Result<SearchOutcome, SearchError> {
+        config.mode = ExecutionMode::Parallel;
+        SearchDriver::new(config).run(graphs)
     }
 
     #[test]
@@ -826,10 +829,10 @@ mod tests {
         cfg.evaluator.budget = 10;
         assert!(cfg.evaluator.budget < cfg.pipeline.first_rung);
         assert!(cfg.validate().is_err(), "pipeline validation still rejects");
-        let outcome = SerialSearch::new(cfg.clone()).run(&tiny_graphs()).unwrap();
+        let outcome = serial_run(cfg.clone(), &tiny_graphs()).unwrap();
         assert_eq!(outcome.num_candidates_evaluated, 6);
         // The parallel pipeline keeps rejecting it with a clear message.
-        assert!(ParallelSearch::new(cfg).run(&tiny_graphs()).is_err());
+        assert!(parallel_run(cfg, &tiny_graphs()).is_err());
     }
 
     #[test]
@@ -855,9 +858,7 @@ mod tests {
 
     #[test]
     fn serial_exhaustive_search_finds_a_mixing_winner() {
-        let outcome = SerialSearch::new(tiny_config(SearchStrategy::Exhaustive))
-            .run(&tiny_graphs())
-            .unwrap();
+        let outcome = serial_run(tiny_config(SearchStrategy::Exhaustive), &tiny_graphs()).unwrap();
         // Space: 2 + 4 = 6 candidates at depth 1.
         assert_eq!(outcome.num_candidates_evaluated, 6);
         assert_eq!(outcome.depth_results.len(), 1);
@@ -873,15 +874,15 @@ mod tests {
         // gate disabled, the pipeline must reproduce the serial full-budget
         // search exactly — same winner, bit-identical energies, same budget.
         let graphs = tiny_graphs();
-        let serial = SerialSearch::new(tiny_config(SearchStrategy::Exhaustive))
-            .run(&graphs)
-            .unwrap();
-        let parallel = ParallelSearch::new(SearchConfig {
-            threads: Some(2),
-            pipeline: PipelineConfig::full_budget(),
-            ..tiny_config(SearchStrategy::Exhaustive)
-        })
-        .run(&graphs)
+        let serial = serial_run(tiny_config(SearchStrategy::Exhaustive), &graphs).unwrap();
+        let parallel = parallel_run(
+            SearchConfig {
+                threads: Some(2),
+                pipeline: PipelineConfig::full_budget(),
+                ..tiny_config(SearchStrategy::Exhaustive)
+            },
+            &graphs,
+        )
         .unwrap();
         assert_eq!(
             serial.num_candidates_evaluated,
@@ -914,13 +915,15 @@ mod tests {
             warm_start: false,
             predictor_gate: None,
         };
-        let full = ParallelSearch::new(SearchConfig {
-            pipeline: PipelineConfig::full_budget(),
-            ..cfg.clone()
-        })
-        .run(&graphs)
+        let full = parallel_run(
+            SearchConfig {
+                pipeline: PipelineConfig::full_budget(),
+                ..cfg.clone()
+            },
+            &graphs,
+        )
         .unwrap();
-        let pruned = ParallelSearch::new(cfg).run(&graphs).unwrap();
+        let pruned = parallel_run(cfg, &graphs).unwrap();
 
         assert!(
             pruned.total_optimizer_evaluations < full.total_optimizer_evaluations,
@@ -972,18 +975,22 @@ mod tests {
             warm_start: true,
             predictor_gate: Some(4),
         };
-        let reference = ParallelSearch::new(SearchConfig {
-            threads: Some(1),
-            ..cfg.clone()
-        })
-        .run(&graphs)
+        let reference = parallel_run(
+            SearchConfig {
+                threads: Some(1),
+                ..cfg.clone()
+            },
+            &graphs,
+        )
         .unwrap();
         for threads in [2usize, 4] {
-            let other = ParallelSearch::new(SearchConfig {
-                threads: Some(threads),
-                ..cfg.clone()
-            })
-            .run(&graphs)
+            let other = parallel_run(
+                SearchConfig {
+                    threads: Some(threads),
+                    ..cfg.clone()
+                },
+                &graphs,
+            )
             .unwrap();
             assert_eq!(
                 reference.best.energy, other.best.energy,
@@ -1017,9 +1024,9 @@ mod tests {
             warm_start: true,
             ..PipelineConfig::default()
         };
-        let warm = ParallelSearch::new(cfg.clone()).run(&graphs).unwrap();
+        let warm = parallel_run(cfg.clone(), &graphs).unwrap();
         cfg.pipeline.warm_start = false;
-        let cold = ParallelSearch::new(cfg).run(&graphs).unwrap();
+        let cold = parallel_run(cfg, &graphs).unwrap();
         assert!(
             warm.best.energy >= cold.best.energy - 0.1,
             "warm {} vs cold {}",
@@ -1040,7 +1047,7 @@ mod tests {
             predictor_gate: Some(3),
             ..PipelineConfig::default()
         };
-        let outcome = ParallelSearch::new(cfg).run(&graphs).unwrap();
+        let outcome = parallel_run(cfg, &graphs).unwrap();
         // Depth 1: no feedback yet, the gate stays open (6 candidates).
         assert_eq!(outcome.depth_results[0].candidates.len(), 6);
         assert_eq!(outcome.depth_results[0].gated_out, 0);
@@ -1055,7 +1062,7 @@ mod tests {
         let mut cfg = tiny_config(SearchStrategy::Exhaustive);
         cfg.evaluator.restarts = 3;
         cfg.evaluator.budget = 45;
-        let outcome = ParallelSearch::new(cfg).run(&graphs).unwrap();
+        let outcome = parallel_run(cfg, &graphs).unwrap();
         assert_eq!(outcome.num_candidates_evaluated, 6);
         // The legacy path reports no rung accounting.
         assert!(outcome.depth_results.iter().all(|d| d.rungs.is_empty()));
@@ -1067,7 +1074,7 @@ mod tests {
         for kind in graphs::ProblemKind::all(8) {
             let mut cfg = tiny_config(SearchStrategy::Exhaustive);
             cfg.evaluator.problem = kind.clone();
-            let outcome = ParallelSearch::new(cfg).run(&graphs).unwrap();
+            let outcome = parallel_run(cfg, &graphs).unwrap();
             assert_eq!(outcome.problem, kind.name());
             assert!(outcome.best.energy.is_finite(), "{}", kind.name());
             assert!(
@@ -1082,9 +1089,7 @@ mod tests {
 
     #[test]
     fn outcome_reports_the_problem_name() {
-        let outcome = SerialSearch::new(tiny_config(SearchStrategy::Exhaustive))
-            .run(&tiny_graphs())
-            .unwrap();
+        let outcome = serial_run(tiny_config(SearchStrategy::Exhaustive), &tiny_graphs()).unwrap();
         assert_eq!(outcome.problem, "maxcut");
         let report = crate::report::SearchReport::from(&outcome);
         assert_eq!(report.problem, "maxcut");
@@ -1095,32 +1100,68 @@ mod tests {
         let cfg = tiny_config(SearchStrategy::Random {
             samples_per_depth: 4,
         });
-        let outcome = SerialSearch::new(cfg).run(&tiny_graphs()).unwrap();
+        let outcome = serial_run(cfg, &tiny_graphs()).unwrap();
         assert_eq!(outcome.num_candidates_evaluated, 4);
     }
 
     #[test]
     fn no_graphs_is_rejected() {
-        let s = SerialSearch::new(tiny_config(SearchStrategy::Exhaustive));
-        assert!(matches!(s.run(&[]), Err(SearchError::NoGraphs)));
-        let p = ParallelSearch::new(tiny_config(SearchStrategy::Exhaustive));
-        assert!(matches!(p.run(&[]), Err(SearchError::NoGraphs)));
+        assert!(matches!(
+            serial_run(tiny_config(SearchStrategy::Exhaustive), &[]),
+            Err(SearchError::NoGraphs)
+        ));
+        assert!(matches!(
+            parallel_run(tiny_config(SearchStrategy::Exhaustive), &[]),
+            Err(SearchError::NoGraphs)
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_driver_bitwise() {
+        // The one-release compatibility guarantee: `SerialSearch::run` /
+        // `ParallelSearch::run` are thin `start().wait()` wrappers and
+        // reproduce the driver's outcome bit for bit.
+        let graphs = tiny_graphs();
+        let serial_shim = SerialSearch::new(tiny_config(SearchStrategy::Exhaustive))
+            .run(&graphs)
+            .unwrap();
+        let serial_driver = serial_run(tiny_config(SearchStrategy::Exhaustive), &graphs).unwrap();
+        assert_eq!(
+            serial_shim.best.energy.to_bits(),
+            serial_driver.best.energy.to_bits()
+        );
+        assert_eq!(serial_shim.best.mixer_label, serial_driver.best.mixer_label);
+
+        let parallel_shim = ParallelSearch::new(tiny_config(SearchStrategy::Exhaustive))
+            .run(&graphs)
+            .unwrap();
+        let parallel_driver =
+            parallel_run(tiny_config(SearchStrategy::Exhaustive), &graphs).unwrap();
+        assert_eq!(
+            parallel_shim.best.energy.to_bits(),
+            parallel_driver.best.energy.to_bits()
+        );
+        assert_eq!(
+            parallel_shim.total_optimizer_evaluations,
+            parallel_driver.total_optimizer_evaluations
+        );
+        // The shims force their mode regardless of the config's.
+        let mut cfg = tiny_config(SearchStrategy::Exhaustive);
+        cfg.mode = ExecutionMode::Parallel;
+        assert_eq!(SerialSearch::new(cfg).config().mode, ExecutionMode::Serial);
     }
 
     #[test]
     fn best_candidate_gates_match_label() {
-        let outcome = SerialSearch::new(tiny_config(SearchStrategy::Exhaustive))
-            .run(&tiny_graphs())
-            .unwrap();
+        let outcome = serial_run(tiny_config(SearchStrategy::Exhaustive), &tiny_graphs()).unwrap();
         let from_label = parse_label_gates(&outcome.best.mixer_label);
         assert_eq!(from_label, outcome.best.gates);
     }
 
     #[test]
     fn elapsed_at_depth_reports_only_searched_depths() {
-        let outcome = SerialSearch::new(tiny_config(SearchStrategy::Exhaustive))
-            .run(&tiny_graphs())
-            .unwrap();
+        let outcome = serial_run(tiny_config(SearchStrategy::Exhaustive), &tiny_graphs()).unwrap();
         assert!(outcome.elapsed_at_depth(1).is_some());
         assert!(outcome.elapsed_at_depth(2).is_none());
     }
@@ -1136,12 +1177,10 @@ mod tests {
     fn constraints_prune_the_candidate_space() {
         use crate::constraints::{Constraint, ConstraintSet};
         let graphs = tiny_graphs();
-        let unconstrained = SerialSearch::new(tiny_config(SearchStrategy::Exhaustive))
-            .run(&graphs)
-            .unwrap();
+        let unconstrained = serial_run(tiny_config(SearchStrategy::Exhaustive), &graphs).unwrap();
         let mut constrained_cfg = tiny_config(SearchStrategy::Exhaustive);
         constrained_cfg.constraints = ConstraintSet::new(vec![Constraint::NoAdjacentDuplicates]);
-        let constrained = SerialSearch::new(constrained_cfg).run(&graphs).unwrap();
+        let constrained = serial_run(constrained_cfg, &graphs).unwrap();
         // {rx, ry} alphabet, k ≤ 2: 6 unconstrained candidates, the two
         // duplicated pairs (rx,rx) and (ry,ry) are pruned.
         assert_eq!(unconstrained.num_candidates_evaluated, 6);
@@ -1156,7 +1195,7 @@ mod tests {
         let mut cfg = tiny_config(SearchStrategy::Exhaustive);
         // The {rx, ry} alphabet cannot satisfy a "require H" constraint.
         cfg.constraints = ConstraintSet::new(vec![Constraint::RequireAnyOf(vec![Gate::H])]);
-        let result = SerialSearch::new(cfg).run(&tiny_graphs());
+        let result = serial_run(cfg, &tiny_graphs());
         assert!(matches!(result, Err(SearchError::Evaluation { .. })));
     }
 
@@ -1166,7 +1205,7 @@ mod tests {
             samples_per_depth: 3,
             epsilon: 0.5,
         });
-        let outcome = SerialSearch::new(cfg).run(&tiny_graphs()).unwrap();
+        let outcome = serial_run(cfg, &tiny_graphs()).unwrap();
         assert_eq!(outcome.num_candidates_evaluated, 3);
     }
 
@@ -1176,7 +1215,7 @@ mod tests {
             samples_per_depth: 3,
             learning_rate: 0.2,
         });
-        let outcome = SerialSearch::new(cfg).run(&tiny_graphs()).unwrap();
+        let outcome = serial_run(cfg, &tiny_graphs()).unwrap();
         assert_eq!(outcome.num_candidates_evaluated, 3);
     }
 }

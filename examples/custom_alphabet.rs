@@ -36,7 +36,7 @@ fn main() {
         })
         .seed(11)
         .build();
-    let outcome = SerialSearch::new(config)
+    let outcome = SearchDriver::new(config.with_mode(ExecutionMode::Serial))
         .run(std::slice::from_ref(&graph))
         .expect("search");
     println!(

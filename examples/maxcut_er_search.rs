@@ -27,21 +27,21 @@ fn main() {
         .optimizer_budget(40)
         .seed(1)
         // Paper-faithful full-budget mode, so serial vs. parallel differ only
-        // in scheduling (drop this line to let ParallelSearch's default
+        // in scheduling (drop this line to let the parallel mode's default
         // budget-aware pipeline prune losers early and warm-start depth 2).
         .no_prune()
         .build();
 
     // Serial search (Algorithm 1 as written).
     let serial_start = Instant::now();
-    let serial = SerialSearch::new(config.clone())
+    let serial = SearchDriver::new(config.clone().with_mode(ExecutionMode::Serial))
         .run(&dataset)
         .expect("serial search");
     let serial_elapsed = serial_start.elapsed().as_secs_f64();
 
     // Parallel search (outer level over candidates).
     let parallel_start = Instant::now();
-    let parallel = ParallelSearch::new(config)
+    let parallel = SearchDriver::new(config.with_mode(ExecutionMode::Parallel))
         .run(&dataset)
         .expect("parallel search");
     let parallel_elapsed = parallel_start.elapsed().as_secs_f64();

@@ -1,8 +1,8 @@
 //! Quickstart: search for a QAOA mixer on a single Erdős–Rényi graph.
 //!
 //! This is the smallest end-to-end use of the QArchSearch reproduction:
-//! generate a graph, configure a search, run the parallel scheduler, and
-//! inspect the discovered mixer.
+//! generate a graph, configure a search, start a **search session** whose
+//! event stream narrates progress live, and inspect the discovered mixer.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -32,10 +32,27 @@ fn main() {
         config.max_depth
     );
 
-    // 3. Run the two-level parallel search (outer: candidates, inner: edges).
-    let outcome = ParallelSearch::new(config)
-        .run(&[graph])
-        .expect("search run");
+    // 3. Start the search session (parallel mode is the default) and follow
+    //    its typed event stream while it runs. The handle also supports
+    //    `cancel()` and `checkpoint()` — see the README's "Search sessions
+    //    and serving" section.
+    let handle = SearchDriver::new(config)
+        .start(&[graph])
+        .expect("search starts");
+    for event in handle.events().iter() {
+        match event {
+            SearchEvent::DepthStarted { depth, proposed } => {
+                println!("depth {depth}: evaluating {proposed} candidates");
+            }
+            SearchEvent::DepthCompleted {
+                depth, best_energy, ..
+            } => {
+                println!("depth {depth}: best energy {best_energy:.4}");
+            }
+            _ => {}
+        }
+    }
+    let outcome = handle.wait().expect("search run");
 
     // 4. Report.
     println!();

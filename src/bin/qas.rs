@@ -3,6 +3,8 @@
 //! Subcommands:
 //!
 //! * `qas search`   — run a mixer search over a generated graph dataset
+//! * `qas serve`    — multi-job search server speaking JSON-lines on
+//!   stdin/stdout (or a local TCP socket with `--port`)
 //! * `qas evaluate` — train a named mixer (baseline / qnas / custom) on a dataset
 //! * `qas problems` — list the shipped cost-Hamiltonian families
 //! * `qas info`     — print the search-space accounting for a configuration
@@ -16,13 +18,15 @@ use qarchsearch_suite::qarchsearch::constraints::ConstraintSet;
 use qarchsearch_suite::qarchsearch::evaluator::{Evaluator, EvaluatorConfig};
 use qarchsearch_suite::qarchsearch::report::SearchReport;
 use qarchsearch_suite::qarchsearch::search::SearchStrategy;
+use qarchsearch_suite::serde_json::{self, json, Value};
 use std::collections::HashMap;
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
 const HELP: &str = "qas — QArchSearch (Rust reproduction) command line
 
 USAGE:
-    qas <search|evaluate|problems|info|help> [--key value ...]
+    qas <search|serve|evaluate|problems|info|help> [--key value ...]
 
 COMMON OPTIONS:
     --graphs N        number of graphs in the dataset        (default 4)
@@ -31,6 +35,10 @@ COMMON OPTIONS:
     --seed N          RNG seed                               (default 2023)
     --problem NAME    cost Hamiltonian: maxcut | wmaxcut | mis | sk | partition
                       (default maxcut; run `qas problems` for details)
+    --backend NAME    statevector | tensor-network | tensor-network-sequential
+                      (default tensor-network)
+    --optimizer NAME  cobyla | nelder-mead | spsa | random-search | grid-search
+                      (default cobyla)
 
 SEARCH OPTIONS (qas search):
     --pmax N          maximum QAOA depth                     (default 2)
@@ -41,7 +49,8 @@ SEARCH OPTIONS (qas search):
     --threads N       worker count of the evaluation pipeline (default: all cores)
     --restarts N      optimizer restarts per candidate       (default 1)
     --hardware-aware  apply the hardware-aware constraint preset
-    --json            print the machine-readable report as JSON
+    --json            machine-readable SearchReport JSON on stdout,
+                      human summary on stderr (shares the serve serialization)
 
 SEARCH PIPELINE OPTIONS (qas search):
     --no-prune        paper-faithful mode: full budget for every candidate,
@@ -54,6 +63,23 @@ SEARCH PIPELINE OPTIONS (qas search):
     --gate N          admit at most N candidates per depth, ranked by the
                       learned predictor (engages from depth 2 on)
 
+SERVE OPTIONS (qas serve):
+    --workers N       concurrent search jobs                 (default 2)
+    --queue N         bounded queue capacity                 (default 16)
+    --retain N        terminal job records kept (oldest evicted) (default 256)
+    --port P          listen on 127.0.0.1:P instead of stdin/stdout
+                      (one client connection served at a time; jobs still
+                      run concurrently)
+
+    Protocol: one JSON request per line, one JSON response per line.
+      {\"cmd\":\"submit\",\"priority\":0,\"name\":\"j1\",\"search\":{<search options>}}
+      {\"cmd\":\"status\",\"job\":1}      {\"cmd\":\"events\",\"job\":1,\"since\":0}
+      {\"cmd\":\"cancel\",\"job\":1}      {\"cmd\":\"result\",\"job\":1}
+      {\"cmd\":\"wait\",\"job\":1}        {\"cmd\":\"forget\",\"job\":1}
+      {\"cmd\":\"jobs\"}                 {\"cmd\":\"shutdown\"}
+    `search` takes the `qas search` options by name (booleans for flags),
+    e.g. {\"pmax\":2,\"kmax\":1,\"budget\":30,\"serial\":true}.
+
 EVALUATE OPTIONS (qas evaluate):
     --mixer M         baseline | qnas | comma-separated gates (default qnas)
     --depth N         QAOA depth p                           (default 1)
@@ -63,8 +89,10 @@ EXAMPLES:
     qas search --pmax 2 --kmax 2 --threads 8
     qas search --pmax 3 --kmax 2 --no-prune --serial    # paper-faithful
     qas search --problem sk --pmax 2 --kmax 2            # spin-glass search
+    qas search --json --pmax 1 --kmax 1 > report.json
+    qas serve --workers 4 < jobs.jsonl
     qas evaluate --mixer rx,ry --dataset regular --depth 2
-    qas evaluate --problem mis --mixer qnas
+    qas evaluate --problem mis --mixer qnas --backend statevector
     qas problems
     qas info --pmax 4 --kmax 4
 ";
@@ -156,12 +184,31 @@ fn build_strategy(options: &HashMap<String, String>) -> Result<SearchStrategy, S
     }
 }
 
+/// The three kind enums parse through their `FromStr` impls, which share
+/// one `graphs::ParseKindError`; the CLI only stringifies it.
 fn build_problem(options: &HashMap<String, String>) -> Result<ProblemKind, String> {
     let seed = opt_u64(options, "seed", 2023);
     match options.get("problem") {
         None => Ok(ProblemKind::MaxCut),
-        Some(spec) => ProblemKind::parse(spec, seed),
+        Some(spec) => spec
+            .parse::<ProblemKind>()
+            .map(|kind| kind.reseeded(seed))
+            .map_err(|e| e.to_string()),
     }
+}
+
+fn build_backend(options: &HashMap<String, String>) -> Result<Option<Backend>, String> {
+    options
+        .get("backend")
+        .map(|spec| spec.parse::<Backend>().map_err(|e| e.to_string()))
+        .transpose()
+}
+
+fn build_optimizer(options: &HashMap<String, String>) -> Result<Option<OptimizerKind>, String> {
+    options
+        .get("optimizer")
+        .map(|spec| spec.parse::<OptimizerKind>().map_err(|e| e.to_string()))
+        .transpose()
 }
 
 fn build_mixer(options: &HashMap<String, String>) -> Result<Mixer, String> {
@@ -178,12 +225,16 @@ fn build_mixer(options: &HashMap<String, String>) -> Result<Mixer, String> {
     }
 }
 
-fn cmd_search(options: &HashMap<String, String>, flags: &[String]) -> Result<(), String> {
-    let dataset = build_dataset(options);
+/// Assemble a [`SearchConfig`] from CLI-style options + flags. Shared
+/// verbatim by `qas search` and the `serve` protocol's `submit` command,
+/// so both front doors accept the same knobs.
+fn build_search_config(
+    options: &HashMap<String, String>,
+    flags: &[String],
+) -> Result<SearchConfig, String> {
     let alphabet = build_alphabet(options)?;
     let strategy = build_strategy(options)?;
     let k_max = opt_usize(options, "kmax", 2);
-
     let has_flag = |name: &str| flags.iter().any(|f| f == name);
 
     let mut builder = SearchConfig::builder()
@@ -194,6 +245,12 @@ fn cmd_search(options: &HashMap<String, String>, flags: &[String]) -> Result<(),
         .strategy(strategy)
         .problem(build_problem(options)?)
         .seed(opt_u64(options, "seed", 2023));
+    if let Some(backend) = build_backend(options)? {
+        builder = builder.backend(backend);
+    }
+    if let Some(optimizer) = build_optimizer(options)? {
+        builder = builder.optimizer(optimizer);
+    }
     if has_flag("hardware-aware") {
         builder = builder.constraints(ConstraintSet::hardware_aware(k_max));
     }
@@ -201,8 +258,11 @@ fn cmd_search(options: &HashMap<String, String>, flags: &[String]) -> Result<(),
     if let Some(t) = threads {
         builder = builder.threads(t);
     }
-    // Pipeline flags: --no-prune is the paper-faithful escape hatch.
-    if has_flag("no-prune") {
+    // Pipeline flags: --no-prune is the paper-faithful escape hatch;
+    // --serial additionally runs Algorithm 1 as written.
+    if has_flag("serial") {
+        builder = builder.serial().no_prune();
+    } else if has_flag("no-prune") {
         builder = builder.no_prune();
     } else {
         builder = builder.halving(
@@ -218,62 +278,304 @@ fn cmd_search(options: &HashMap<String, String>, flags: &[String]) -> Result<(),
     }
     let mut config = builder.build();
     config.evaluator.restarts = opt_usize(options, "restarts", 1);
+    Ok(config)
+}
 
-    let outcome = if has_flag("serial") {
-        config.pipeline = qarchsearch_suite::qarchsearch::PipelineConfig::full_budget();
-        SerialSearch::new(config)
-            .run(&dataset)
-            .map_err(|e| e.to_string())?
-    } else {
-        ParallelSearch::new(config)
-            .run(&dataset)
-            .map_err(|e| e.to_string())?
-    };
+fn print_search_human(outcome: &SearchOutcome, out: &mut dyn Write) -> std::io::Result<()> {
+    writeln!(out, "problem          : {}", outcome.problem)?;
+    writeln!(out, "best mixer       : {}", outcome.best.mixer_label)?;
+    writeln!(out, "found at depth   : {}", outcome.best.depth)?;
+    writeln!(out, "mean energy <C>  : {:.4}", outcome.best.energy)?;
+    writeln!(out, "approximation r  : {:.4}", outcome.best.approx_ratio)?;
+    writeln!(
+        out,
+        "candidates tried : {}",
+        outcome.num_candidates_evaluated
+    )?;
+    writeln!(
+        out,
+        "optimizer evals  : {} (full-budget baseline: {}, {:.1}x saved)",
+        outcome.total_optimizer_evaluations,
+        outcome.full_budget_evaluations,
+        outcome.budget_savings_factor()
+    )?;
+    writeln!(
+        out,
+        "wall-clock       : {:.2}s",
+        outcome.total_elapsed_seconds
+    )?;
+    for d in &outcome.depth_results {
+        let pruned = d
+            .candidates
+            .iter()
+            .filter(|c| c.pruned_at_rung.is_some())
+            .count();
+        write!(
+            out,
+            "  depth {}: best energy {:.4} in {:.2}s ({} candidates",
+            d.depth,
+            d.best_energy,
+            d.elapsed_seconds,
+            d.candidates.len()
+        )?;
+        if d.gated_out > 0 {
+            write!(out, ", {} gated", d.gated_out)?;
+        }
+        if pruned > 0 {
+            write!(out, ", {pruned} pruned")?;
+        }
+        writeln!(out, ")")?;
+        for (ri, rung) in d.rungs.iter().enumerate() {
+            writeln!(
+                out,
+                "    rung {ri}: {} -> {} candidates at budget {} ({} evals)",
+                rung.entrants, rung.survivors, rung.target_budget, rung.evaluations
+            )?;
+        }
+    }
+    Ok(())
+}
 
+fn cmd_search(options: &HashMap<String, String>, flags: &[String]) -> Result<(), String> {
+    let dataset = build_dataset(options);
+    let config = build_search_config(options, flags)?;
+    let outcome = SearchDriver::new(config)
+        .run(&dataset)
+        .map_err(|e| e.to_string())?;
+
+    let has_flag = |name: &str| flags.iter().any(|f| f == name);
     if has_flag("json") {
+        // Machine-readable report on stdout, human narration on stderr —
+        // the same SearchReport serialization the serve protocol returns.
+        print_search_human(&outcome, &mut std::io::stderr()).map_err(|e| e.to_string())?;
         println!("{}", SearchReport::from(&outcome).to_json());
     } else {
-        println!("problem          : {}", outcome.problem);
-        println!("best mixer       : {}", outcome.best.mixer_label);
-        println!("found at depth   : {}", outcome.best.depth);
-        println!("mean energy <C>  : {:.4}", outcome.best.energy);
-        println!("approximation r  : {:.4}", outcome.best.approx_ratio);
-        println!("candidates tried : {}", outcome.num_candidates_evaluated);
-        println!(
-            "optimizer evals  : {} (full-budget baseline: {}, {:.1}x saved)",
-            outcome.total_optimizer_evaluations,
-            outcome.full_budget_evaluations,
-            outcome.budget_savings_factor()
-        );
-        println!("wall-clock       : {:.2}s", outcome.total_elapsed_seconds);
-        for d in &outcome.depth_results {
-            let pruned = d
-                .candidates
-                .iter()
-                .filter(|c| c.pruned_at_rung.is_some())
-                .count();
-            print!(
-                "  depth {}: best energy {:.4} in {:.2}s ({} candidates",
-                d.depth,
-                d.best_energy,
-                d.elapsed_seconds,
-                d.candidates.len()
-            );
-            if d.gated_out > 0 {
-                print!(", {} gated", d.gated_out);
+        print_search_human(&outcome, &mut std::io::stdout()).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// qas serve — the JSON-lines multi-job front door.
+
+/// Convert a protocol `search` object into the CLI option map + flags, so
+/// `submit` accepts exactly the `qas search` knobs.
+fn search_object_to_options(
+    search: &Value,
+) -> Result<(HashMap<String, String>, Vec<String>), String> {
+    let mut options = HashMap::new();
+    let mut flags = Vec::new();
+    let Some(entries) = search.as_object() else {
+        return Err("'search' must be an object of qas search options".to_string());
+    };
+    for (key, value) in entries {
+        match value {
+            Value::Bool(true) => flags.push(key.clone()),
+            Value::Bool(false) => {}
+            Value::String(s) => {
+                options.insert(key.clone(), s.clone());
             }
-            if pruned > 0 {
-                print!(", {pruned} pruned");
+            Value::Number(_) => {
+                // Integers format without a trailing fraction, matching the
+                // CLI's string parsing.
+                let rendered = if let Some(u) = value.as_u64() {
+                    u.to_string()
+                } else if let Some(i) = value.as_i64() {
+                    i.to_string()
+                } else {
+                    value.as_f64().unwrap_or(0.0).to_string()
+                };
+                options.insert(key.clone(), rendered);
             }
-            println!(")");
-            for (ri, rung) in d.rungs.iter().enumerate() {
-                println!(
-                    "    rung {ri}: {} -> {} candidates at budget {} ({} evals)",
-                    rung.entrants, rung.survivors, rung.target_budget, rung.evaluations
-                );
+            other => {
+                return Err(format!(
+                    "search option '{key}' must be a string, number or boolean (got {})",
+                    other.kind()
+                ));
             }
         }
     }
+    Ok((options, flags))
+}
+
+fn job_id_of(request: &Value) -> Result<JobId, String> {
+    request
+        .get("job")
+        .and_then(|v| v.as_u64())
+        .map(JobId)
+        .ok_or_else(|| "request needs a numeric 'job' field".to_string())
+}
+
+fn status_value(status: &JobStatus) -> Value {
+    serde_json::to_value(status).unwrap_or(Value::Null)
+}
+
+fn result_response(
+    server: &JobServer,
+    id: JobId,
+    result: Option<Result<SearchOutcome, SearchError>>,
+) -> Result<Value, String> {
+    let status = server.status(id).map_err(|e| e.to_string())?;
+    // Serialize the state the same way `status`/`jobs` do (serde's enum
+    // tag), so clients match one spelling everywhere.
+    let state = serde_json::to_value(&status.state).unwrap_or(Value::Null);
+    match result {
+        None => Ok(json!({
+            "ok": true,
+            "job": (id.0),
+            "state": state,
+            "done": false,
+        })),
+        Some(Ok(outcome)) => {
+            let report =
+                serde_json::to_value(&SearchReport::from(&outcome)).map_err(|e| e.to_string())?;
+            Ok(json!({
+                "ok": true,
+                "job": (id.0),
+                "state": state,
+                "done": true,
+                "report": report,
+            }))
+        }
+        Some(Err(e)) => Ok(json!({
+            "ok": true,
+            "job": (id.0),
+            "state": state,
+            "done": true,
+            "error": (e.to_string()),
+        })),
+    }
+}
+
+/// Handle one protocol line. Returns the JSON response and whether the
+/// server should shut down afterwards.
+fn handle_serve_line(server: &JobServer, line: &str) -> (Value, bool) {
+    let fail = |message: String| (json!({ "ok": false, "error": message }), false);
+    let request: Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(e) => return fail(format!("invalid JSON: {e}")),
+    };
+    let Some(cmd) = request.get("cmd").and_then(|c| c.as_str()) else {
+        return fail("request needs a string 'cmd' field".to_string());
+    };
+    let response = match cmd {
+        "submit" => (|| -> Result<Value, String> {
+            let search = request
+                .get("search")
+                .ok_or_else(|| "submit needs a 'search' object".to_string())?;
+            let (options, flags) = search_object_to_options(search)?;
+            let config = build_search_config(&options, &flags)?;
+            let graphs = build_dataset(&options);
+            let mut spec = JobSpec::new(config, graphs);
+            if let Some(priority) = request.get("priority").and_then(|p| p.as_i64()) {
+                spec = spec.priority(priority as i32);
+            }
+            if let Some(name) = request.get("name").and_then(|n| n.as_str()) {
+                spec = spec.name(name);
+            }
+            let id = server.submit(spec).map_err(|e| e.to_string())?;
+            // Same JobState serialization as status/jobs/result responses.
+            let state = serde_json::to_value(&JobState::Queued).unwrap_or(Value::Null);
+            Ok(json!({ "ok": true, "job": (id.0), "state": state }))
+        })(),
+        "status" => job_id_of(&request).and_then(|id| {
+            let status = server.status(id).map_err(|e| e.to_string())?;
+            Ok(json!({ "ok": true, "status": (status_value(&status)) }))
+        }),
+        "jobs" => {
+            let statuses: Vec<Value> = server.jobs().iter().map(status_value).collect();
+            Ok(json!({ "ok": true, "jobs": (Value::Array(statuses)) }))
+        }
+        "events" => job_id_of(&request).and_then(|id| {
+            let since = request.get("since").and_then(|s| s.as_u64()).unwrap_or(0) as usize;
+            let (events, next) = server.events_since(id, since).map_err(|e| e.to_string())?;
+            let events = serde_json::to_value(&events).map_err(|e| e.to_string())?;
+            Ok(json!({ "ok": true, "job": (id.0), "events": events, "next": next }))
+        }),
+        "cancel" => job_id_of(&request).map(|id| {
+            let accepted = server.cancel(id);
+            json!({ "ok": true, "job": (id.0), "cancelled": accepted })
+        }),
+        "forget" => job_id_of(&request).map(|id| {
+            let dropped = server.forget(id);
+            json!({ "ok": true, "job": (id.0), "forgotten": dropped })
+        }),
+        "result" => job_id_of(&request).and_then(|id| {
+            let result = server.result(id).map_err(|e| e.to_string())?;
+            result_response(server, id, result)
+        }),
+        "wait" => job_id_of(&request).and_then(|id| {
+            let result = server.wait(id).map_err(|e| e.to_string())?;
+            result_response(server, id, Some(result))
+        }),
+        "shutdown" => return (json!({ "ok": true, "shutdown": true }), true),
+        other => Err(format!("unknown cmd '{other}'")),
+    };
+    match response {
+        Ok(value) => (value, false),
+        Err(message) => fail(message),
+    }
+}
+
+fn serve_connection(
+    server: &JobServer,
+    input: &mut dyn BufRead,
+    output: &mut dyn Write,
+) -> Result<bool, String> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let read = input.read_line(&mut line).map_err(|e| e.to_string())?;
+        if read == 0 {
+            return Ok(false); // EOF: client is done, keep serving others.
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = handle_serve_line(server, line.trim());
+        let rendered = serde_json::to_string(&response).map_err(|e| e.to_string())?;
+        writeln!(output, "{rendered}").map_err(|e| e.to_string())?;
+        output.flush().map_err(|e| e.to_string())?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+}
+
+fn cmd_serve(options: &HashMap<String, String>) -> Result<(), String> {
+    let server = JobServer::start(JobServerConfig {
+        workers: opt_usize(options, "workers", 2),
+        queue_capacity: opt_usize(options, "queue", 16),
+        max_retained_jobs: opt_usize(options, "retain", 256),
+    });
+    match options.get("port") {
+        Some(port) => {
+            let port: u16 = port
+                .parse()
+                .map_err(|_| format!("invalid --port '{port}'"))?;
+            let listener = std::net::TcpListener::bind(("127.0.0.1", port))
+                .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
+            eprintln!("qas serve: listening on 127.0.0.1:{port} (JSON lines)");
+            for stream in listener.incoming() {
+                let stream = stream.map_err(|e| e.to_string())?;
+                let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+                let mut reader = std::io::BufReader::new(stream);
+                match serve_connection(&server, &mut reader, &mut writer) {
+                    Ok(true) => break,
+                    Ok(false) => continue,
+                    Err(message) => eprintln!("qas serve: connection error: {message}"),
+                }
+            }
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let mut reader = stdin.lock();
+            let mut writer = stdout.lock();
+            serve_connection(&server, &mut reader, &mut writer)?;
+        }
+    }
+    server.shutdown();
     Ok(())
 }
 
@@ -282,12 +584,19 @@ fn cmd_evaluate(options: &HashMap<String, String>) -> Result<(), String> {
     let mixer = build_mixer(options)?;
     let problem = build_problem(options)?;
     let depth = opt_usize(options, "depth", 1);
-    let evaluator = Evaluator::new(EvaluatorConfig {
+    let mut evaluator_config = EvaluatorConfig {
         budget: opt_usize(options, "budget", 60),
         restarts: opt_usize(options, "restarts", 1),
         problem: problem.clone(),
         ..EvaluatorConfig::default()
-    });
+    };
+    if let Some(backend) = build_backend(options)? {
+        evaluator_config.backend = backend;
+    }
+    if let Some(optimizer) = build_optimizer(options)? {
+        evaluator_config.optimizer = optimizer;
+    }
+    let evaluator = Evaluator::new(evaluator_config);
     let result = evaluator
         .evaluate(&dataset, &mixer, depth)
         .map_err(|e| e.to_string())?;
@@ -354,6 +663,7 @@ fn main() -> ExitCode {
 
     let result = match command {
         "search" => cmd_search(&options, &flags),
+        "serve" => cmd_serve(&options),
         "evaluate" => cmd_evaluate(&options),
         "problems" => cmd_problems(&options),
         "info" => cmd_info(&options),

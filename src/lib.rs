@@ -17,7 +17,8 @@
 //! * [`optim`] — classical optimizers (COBYLA-style, Nelder–Mead, SPSA, …).
 //! * [`qaoa`] — QAOA ansatz assembly and energy evaluation.
 //! * [`qarchsearch`] — the architecture-search package itself (predictor,
-//!   builder, evaluator, serial and parallel schedulers).
+//!   builder, evaluator, the session-oriented `SearchDriver`, and the
+//!   multi-job `JobServer` behind `qas serve`).
 //!
 //! ## Quickstart
 //!
@@ -33,7 +34,9 @@
 //!     .optimizer_budget(40)
 //!     .seed(7)
 //!     .build();
-//! let outcome = SerialSearch::new(config).run(&[graph]).unwrap();
+//! // `start()` returns a handle with a live event stream, cancellation and
+//! // checkpointing; `run()` is the blocking shorthand.
+//! let outcome = SearchDriver::new(config).run(&[graph]).unwrap();
 //! assert!(outcome.best.energy.is_finite());
 //! ```
 
@@ -42,6 +45,7 @@ pub use optim;
 pub use qaoa;
 pub use qarchsearch;
 pub use qcircuit;
+pub use serde_json;
 pub use statevec;
 pub use tensornet;
 
@@ -58,12 +62,18 @@ pub mod prelude {
         mixer::Mixer,
         Backend,
     };
+    #[allow(deprecated)]
+    pub use qarchsearch::search::{ParallelSearch, SerialSearch};
     pub use qarchsearch::{
         alphabet::{GateAlphabet, RotationGate},
+        error::SearchError,
         evaluator::Evaluator,
+        events::SearchEvent,
         predictor::{Predictor, RandomPredictor},
         qbuilder::QBuilder,
-        search::{ParallelSearch, PipelineConfig, SearchConfig, SearchOutcome, SerialSearch},
+        search::{ExecutionMode, PipelineConfig, SearchConfig, SearchOutcome},
+        server::{JobId, JobServer, JobServerConfig, JobSpec, JobState, JobStatus},
+        session::{SearchCheckpoint, SearchDriver, SearchHandle, SearchProgress, SearchStatus},
     };
     pub use qcircuit::{Circuit, Gate, Parameter};
     pub use statevec::StateVector;

@@ -1,5 +1,6 @@
 //! Integration tests: full searches through the public API of the facade
-//! crate, spanning every layer (graphs → qaoa → simulators → search).
+//! crate, spanning every layer (graphs → qaoa → simulators → search), plus
+//! the session layer (event streams, cancellation, checkpoint/resume).
 
 use qarchsearch_suite::prelude::*;
 use qarchsearch_suite::qarchsearch::search::SearchStrategy;
@@ -24,7 +25,7 @@ fn training_graphs() -> Vec<Graph> {
 
 #[test]
 fn serial_search_end_to_end() {
-    let outcome = SerialSearch::new(small_config())
+    let outcome = SearchDriver::new(small_config().with_mode(ExecutionMode::Serial))
         .run(&training_graphs())
         .unwrap();
     // Space per depth: 3 + 9 = 12 candidates, 2 depths.
@@ -47,11 +48,15 @@ fn parallel_search_matches_serial_winner() {
     // In paper-faithful mode (pruning/warm-start/gate off) the parallel
     // pipeline reproduces the serial full-budget search bit for bit.
     let graphs = training_graphs();
-    let serial = SerialSearch::new(small_config()).run(&graphs).unwrap();
+    let serial = SearchDriver::new(small_config().with_mode(ExecutionMode::Serial))
+        .run(&graphs)
+        .unwrap();
     let mut cfg = small_config();
     cfg.threads = Some(2);
     cfg.pipeline = qarchsearch_suite::qarchsearch::PipelineConfig::full_budget();
-    let parallel = ParallelSearch::new(cfg).run(&graphs).unwrap();
+    let parallel = SearchDriver::new(cfg.with_mode(ExecutionMode::Parallel))
+        .run(&graphs)
+        .unwrap();
 
     assert_eq!(
         serial.num_candidates_evaluated,
@@ -74,12 +79,16 @@ fn budget_aware_pipeline_saves_budget_at_competitive_energy() {
     let mut full_cfg = small_config();
     full_cfg.threads = Some(2);
     full_cfg.pipeline = qarchsearch_suite::qarchsearch::PipelineConfig::full_budget();
-    let full = ParallelSearch::new(full_cfg).run(&graphs).unwrap();
+    let full = SearchDriver::new(full_cfg.with_mode(ExecutionMode::Parallel))
+        .run(&graphs)
+        .unwrap();
 
     let mut pruned_cfg = small_config();
     pruned_cfg.threads = Some(2);
     pruned_cfg.pipeline.first_rung = 10;
-    let pruned = ParallelSearch::new(pruned_cfg).run(&graphs).unwrap();
+    let pruned = SearchDriver::new(pruned_cfg.with_mode(ExecutionMode::Parallel))
+        .run(&graphs)
+        .unwrap();
 
     assert!(pruned.total_optimizer_evaluations < full.total_optimizer_evaluations);
     assert!(pruned.budget_savings_factor() > 1.0);
@@ -97,7 +106,7 @@ fn budget_aware_pipeline_saves_budget_at_competitive_energy() {
 fn winner_is_a_mixing_circuit() {
     // A purely diagonal mixer cannot beat a mixing one, so the winner must
     // contain at least one non-diagonal gate.
-    let outcome = SerialSearch::new(small_config())
+    let outcome = SearchDriver::new(small_config().with_mode(ExecutionMode::Serial))
         .run(&training_graphs())
         .unwrap();
     let mixing = outcome.best.gates.iter().any(|g| !g.is_diagonal());
@@ -115,8 +124,12 @@ fn deeper_search_does_not_lose_energy() {
     let graphs = training_graphs();
     let mut shallow_cfg = small_config();
     shallow_cfg.max_depth = 1;
-    let shallow = SerialSearch::new(shallow_cfg).run(&graphs).unwrap();
-    let deep = SerialSearch::new(small_config()).run(&graphs).unwrap();
+    let shallow = SearchDriver::new(shallow_cfg.with_mode(ExecutionMode::Serial))
+        .run(&graphs)
+        .unwrap();
+    let deep = SearchDriver::new(small_config().with_mode(ExecutionMode::Serial))
+        .run(&graphs)
+        .unwrap();
     assert!(deep.best.energy >= shallow.best.energy - 0.1);
 }
 
@@ -126,14 +139,188 @@ fn random_strategy_search_runs_through_facade() {
     cfg.strategy = SearchStrategy::Random {
         samples_per_depth: 5,
     };
-    let outcome = ParallelSearch::new(cfg).run(&training_graphs()).unwrap();
+    let outcome = SearchDriver::new(cfg.with_mode(ExecutionMode::Parallel))
+        .run(&training_graphs())
+        .unwrap();
     assert_eq!(outcome.num_candidates_evaluated, 10);
     assert!(outcome.best.energy > 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// Session layer: event streams, cancellation, checkpoint/resume.
+
+/// A pipeline configuration that exercises every event type: pruning rungs,
+/// the predictor gate (from depth 2), warm starts.
+fn session_config(threads: usize) -> SearchConfig {
+    let mut cfg = SearchConfig::builder()
+        .alphabet(GateAlphabet::from_mnemonics(&["rx", "ry"]).unwrap())
+        .max_depth(2)
+        .max_gates_per_mixer(2)
+        .optimizer_budget(30)
+        .backend(qarchsearch_suite::qaoa::Backend::StateVector)
+        .halving(10, 2)
+        .predictor_gate(3)
+        .seed(5)
+        .threads(threads)
+        .build();
+    cfg.mode = ExecutionMode::Parallel;
+    cfg
+}
+
+#[test]
+fn event_stream_is_deterministic_across_worker_counts() {
+    // Events carry no wall-clock state and are emitted from the driver
+    // thread at deterministic points, so the full stream must be identical
+    // at 1, 2 and 4 workers for a fixed seed.
+    let graphs = training_graphs();
+    let reference: Vec<SearchEvent> = {
+        let handle = SearchDriver::new(session_config(1)).start(&graphs).unwrap();
+        let events = handle.events().iter().collect();
+        handle.wait().unwrap();
+        events
+    };
+    assert!(matches!(
+        reference.first(),
+        Some(SearchEvent::Started { .. })
+    ));
+    assert!(matches!(
+        reference.last(),
+        Some(SearchEvent::Finished { .. })
+    ));
+    // The stream exercises the full taxonomy.
+    for kind in [
+        "depth_started",
+        "session_advanced",
+        "rung_completed",
+        "candidate_pruned",
+        "candidates_gated",
+        "candidate_evaluated",
+        "depth_completed",
+    ] {
+        assert!(
+            reference.iter().any(|e| e.kind() == kind),
+            "no {kind} event in the stream"
+        );
+    }
+    for threads in [2usize, 4] {
+        let handle = SearchDriver::new(session_config(threads))
+            .start(&graphs)
+            .unwrap();
+        let events: Vec<SearchEvent> = handle.events().iter().collect();
+        handle.wait().unwrap();
+        assert_eq!(
+            events, reference,
+            "event stream diverged at {threads} workers"
+        );
+    }
+}
+
+#[test]
+fn cancel_checkpoint_resume_is_bit_identical_to_uninterrupted() {
+    // Reference: one uninterrupted run.
+    let graphs = training_graphs();
+    let mut cfg = session_config(2);
+    cfg.max_depth = 3;
+    let reference = SearchDriver::new(cfg.clone()).run(&graphs).unwrap();
+
+    // Interrupted run: cancel as soon as the first depth completes, then
+    // checkpoint → serialize → deserialize → resume. Whatever boundary the
+    // cancellation actually lands on (the engine races ahead of the event
+    // consumer), the resumed outcome must reproduce the reference bit for
+    // bit — that is the whole point of the checkpoint design.
+    let handle = SearchDriver::new(cfg).start(&graphs).unwrap();
+    for event in handle.events().iter() {
+        if matches!(event, SearchEvent::DepthCompleted { depth: 1, .. }) {
+            handle.cancel();
+        }
+    }
+    let partial = handle.wait();
+    let checkpoint = handle.checkpoint();
+    if let Ok(partial) = &partial {
+        // The drained partial outcome only contains completed depths.
+        assert_eq!(partial.depth_results.len(), checkpoint.completed.len());
+        assert!(partial.depth_results.len() <= 3);
+    }
+    let json = qarchsearch_suite::serde_json::to_string(&checkpoint).unwrap();
+    let restored: SearchCheckpoint = qarchsearch_suite::serde_json::from_str(&json).unwrap();
+
+    let resumed = SearchDriver::resume(restored).unwrap().wait().unwrap();
+    assert_eq!(resumed.depth_results.len(), reference.depth_results.len());
+    assert_eq!(
+        resumed.best.energy.to_bits(),
+        reference.best.energy.to_bits()
+    );
+    assert_eq!(resumed.best.mixer_label, reference.best.mixer_label);
+    assert_eq!(
+        resumed.total_optimizer_evaluations,
+        reference.total_optimizer_evaluations
+    );
+    for (dr, dref) in resumed.depth_results.iter().zip(&reference.depth_results) {
+        assert_eq!(dr.rungs, dref.rungs);
+        assert_eq!(dr.gated_out, dref.gated_out);
+        for (cr, cref) in dr.candidates.iter().zip(&dref.candidates) {
+            assert_eq!(cr.mean_energy.to_bits(), cref.mean_energy.to_bits());
+            assert_eq!(cr.per_graph, cref.per_graph);
+            assert_eq!(cr.pruned_at_rung, cref.pruned_at_rung);
+        }
+    }
+}
+
+#[test]
+fn serial_cancel_checkpoint_resume_matches_uninterrupted() {
+    // The serial engine carries no cross-depth state, so its checkpoint is
+    // just config + completed depths — resume must still be bit-identical.
+    let graphs = training_graphs();
+    let mut cfg = small_config();
+    cfg.mode = ExecutionMode::Serial;
+    let reference = SearchDriver::new(cfg.clone()).run(&graphs).unwrap();
+
+    let handle = SearchDriver::new(cfg).start(&graphs).unwrap();
+    for event in handle.events().iter() {
+        if matches!(event, SearchEvent::DepthCompleted { depth: 1, .. }) {
+            handle.cancel();
+        }
+    }
+    let _ = handle.wait();
+    let resumed = SearchDriver::resume(handle.checkpoint())
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(
+        resumed.best.energy.to_bits(),
+        reference.best.energy.to_bits()
+    );
+    assert_eq!(
+        resumed.total_optimizer_evaluations,
+        reference.total_optimizer_evaluations
+    );
+}
+
+#[test]
+fn progress_snapshots_track_depth_boundaries() {
+    let graphs = training_graphs();
+    let handle = SearchDriver::new(session_config(2)).start(&graphs).unwrap();
+    let outcome = handle.wait().unwrap();
+    let progress = handle.progress();
+    assert_eq!(progress.status, SearchStatus::Finished);
+    assert_eq!(progress.depths_completed, 2);
+    assert_eq!(
+        progress.candidates_evaluated,
+        outcome.num_candidates_evaluated
+    );
+    assert_eq!(
+        progress.optimizer_evaluations,
+        outcome.total_optimizer_evaluations
+    );
+    assert_eq!(
+        progress.best_energy.map(f64::to_bits),
+        Some(outcome.best.energy.to_bits())
+    );
+}
+
 #[test]
 fn search_report_serializes() {
-    let outcome = SerialSearch::new(small_config())
+    let outcome = SearchDriver::new(small_config().with_mode(ExecutionMode::Serial))
         .run(&training_graphs())
         .unwrap();
     let report = qarchsearch_suite::qarchsearch::report::SearchReport::from(&outcome);

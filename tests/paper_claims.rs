@@ -128,7 +128,9 @@ fn fig6_winner_emerges_from_a_restricted_search() {
         .backend(Backend::StateVector)
         .seed(3)
         .build();
-    let outcome = SerialSearch::new(config).run(&graphs).unwrap();
+    let outcome = SearchDriver::new(config.with_mode(ExecutionMode::Serial))
+        .run(&graphs)
+        .unwrap();
     assert!(
         !outcome.best.gates.is_empty(),
         "winner should exist, got {:?}",

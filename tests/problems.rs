@@ -22,6 +22,37 @@ fn er_dataset(count: usize, nodes: usize, seed: u64) -> Vec<Graph> {
     qarchsearch_suite::graphs::datasets::erdos_renyi_dataset(count, nodes, seed)
 }
 
+/// Assert two outcomes agree bit-for-bit on everything except wall-clock
+/// timings (which can never reproduce).
+fn assert_outcomes_bitwise_equal(a: &SearchOutcome, b: &SearchOutcome) {
+    assert_eq!(a.problem, b.problem);
+    assert_eq!(a.best.mixer_label, b.best.mixer_label);
+    assert_eq!(a.best.depth, b.best.depth);
+    assert_eq!(a.best.energy.to_bits(), b.best.energy.to_bits());
+    assert_eq!(a.num_candidates_evaluated, b.num_candidates_evaluated);
+    assert_eq!(a.total_optimizer_evaluations, b.total_optimizer_evaluations);
+    assert_eq!(a.full_budget_evaluations, b.full_budget_evaluations);
+    assert_eq!(a.depth_results.len(), b.depth_results.len());
+    for (da, db) in a.depth_results.iter().zip(&b.depth_results) {
+        assert_eq!(da.depth, db.depth);
+        assert_eq!(da.rungs, db.rungs);
+        assert_eq!(da.gated_out, db.gated_out);
+        assert_eq!(da.best_energy.to_bits(), db.best_energy.to_bits());
+        assert_eq!(da.candidates.len(), db.candidates.len());
+        for (ca, cb) in da.candidates.iter().zip(&db.candidates) {
+            assert_eq!(ca.mixer_label, cb.mixer_label);
+            assert_eq!(ca.mean_energy.to_bits(), cb.mean_energy.to_bits());
+            assert_eq!(
+                ca.mean_approx_ratio.to_bits(),
+                cb.mean_approx_ratio.to_bits()
+            );
+            assert_eq!(ca.total_evaluations, cb.total_evaluations);
+            assert_eq!(ca.pruned_at_rung, cb.pruned_at_rung);
+            assert_eq!(ca.per_graph, cb.per_graph);
+        }
+    }
+}
+
 /// Pre-refactor capture: statevector backend, pruning pipeline (first rung
 /// 10, eta 2), 2 threads, seed 2023, 2 ER graphs on 8 nodes, alphabet
 /// {rx, ry}, pmax 2, kmax 2, budget 40. Values are `f64::to_bits()` of each
@@ -39,7 +70,13 @@ fn maxcut_pipeline_search_is_bit_identical_to_pre_refactor() {
         .threads(2)
         .seed(2023)
         .build();
-    let outcome = ParallelSearch::new(cfg).run(&dataset).unwrap();
+    let outcome = SearchDriver::new(cfg.clone()).run(&dataset).unwrap();
+
+    // The deprecated blocking shim must reproduce the session driver bit
+    // for bit (it is a thin `start().wait()` wrapper).
+    #[allow(deprecated)]
+    let legacy = ParallelSearch::new(cfg).run(&dataset).unwrap();
+    assert_outcomes_bitwise_equal(&outcome, &legacy);
 
     assert_eq!(outcome.problem, "maxcut");
     assert_eq!(outcome.best.mixer_label, "('rx', 'rx')");
@@ -102,9 +139,15 @@ fn maxcut_serial_tensornet_search_is_bit_identical_to_pre_refactor() {
         .max_gates_per_mixer(1)
         .optimizer_budget(25)
         .no_prune()
+        .serial()
         .seed(7)
         .build();
-    let outcome = SerialSearch::new(cfg).run(&dataset).unwrap();
+    let outcome = SearchDriver::new(cfg.clone()).run(&dataset).unwrap();
+
+    // The deprecated serial shim reproduces the driver bit for bit.
+    #[allow(deprecated)]
+    let legacy = SerialSearch::new(cfg).run(&dataset).unwrap();
+    assert_outcomes_bitwise_equal(&outcome, &legacy);
 
     assert_eq!(outcome.best.mixer_label, "('ry')");
     assert_eq!(outcome.best.energy.to_bits(), 0x4017ff6229602e46);
@@ -237,13 +280,13 @@ fn pipeline_search_runs_end_to_end_for_every_problem_family() {
             .problem(kind.clone())
             .seed(5)
             .build();
-        let one = ParallelSearch::new(SearchConfig {
+        let one = SearchDriver::new(SearchConfig {
             threads: Some(1),
             ..cfg.clone()
         })
         .run(&dataset)
         .unwrap();
-        let four = ParallelSearch::new(SearchConfig {
+        let four = SearchDriver::new(SearchConfig {
             threads: Some(4),
             ..cfg
         })
@@ -277,7 +320,7 @@ fn search_report_names_the_problem() {
         .no_prune()
         .seed(3)
         .build();
-    let outcome = ParallelSearch::new(cfg).run(&dataset).unwrap();
+    let outcome = SearchDriver::new(cfg).run(&dataset).unwrap();
     let report = SearchReport::from(&outcome);
     assert_eq!(report.problem, "partition");
     let json = report.to_json();
