@@ -94,6 +94,36 @@ fn main() {
         "paths disagree: {legacy_energy} vs {compiled_energy}"
     );
 
+    // --- batched evaluation: amortize the sweep over B parameter vectors --
+    let mut scratch = qaoa::BatchScratch::new();
+    let mut per_eval = std::collections::BTreeMap::new();
+    for b in [1usize, 8, 32] {
+        let points: Vec<Vec<f64>> = (0..b)
+            .map(|i| params.iter().map(|p| p + 0.01 * i as f64).collect())
+            .collect();
+        // The batch path must match the scalar path to the bit before timing.
+        let batched = compiled.energy_batch_in(&points, &mut scratch).unwrap();
+        for (p, &e) in points.iter().zip(&batched) {
+            let scalar = compiled.energy_flat(p).unwrap();
+            assert!(
+                e.to_bits() == scalar.to_bits(),
+                "batch B={b} diverges from scalar: {e} vs {scalar}"
+            );
+        }
+        let (mean, best) = time_ms(reps, || {
+            compiled.energy_batch_in(&points, &mut scratch).unwrap();
+        });
+        per_eval.insert(b, mean / b as f64);
+        results.push(json!({
+            "name": (format!("energy_eval_batched_b{b}")),
+            "description": (format!("energy_batch_in over {b} parameter vectors, SoA tiles (per-eval = mean/B)")),
+            "mean_ms": mean,
+            "best_ms": best,
+            "per_eval_mean_ms": (mean / b as f64),
+            "per_eval_best_ms": (best / b as f64),
+        }));
+    }
+
     // --- individual kernels ----------------------------------------------
     let plus = StateVector::plus_state(n).unwrap();
 
@@ -167,6 +197,8 @@ fn main() {
             "energy_eval_mean": (legacy_mean / compiled_mean),
             "energy_eval_best": (legacy_best / compiled_best),
             "cost_layer_mean": (per_edge_mean / fused_mean),
+            "energy_eval_batched_b8_vs_b1": (per_eval[&1] / per_eval[&8]),
+            "energy_eval_batched_b32_vs_b1": (per_eval[&1] / per_eval[&32]),
         },
     });
     println!("{}", serde_json::to_string_pretty(&doc).unwrap());

@@ -5,7 +5,7 @@
 //! [resumes](crate::Resumable) at the exact next grid point.
 
 use crate::result::{OptimizationResult, OptimizationTrace};
-use crate::resumable::{OptimizerState, Resumable};
+use crate::resumable::{BatchProposal, OptimizerState, Resumable};
 use crate::Optimizer;
 
 /// Evaluate the objective on a uniform grid in `initial ± half_width` and
@@ -122,6 +122,68 @@ impl Resumable for GridSearch {
             s.converged = true;
         }
         s.snapshot()
+    }
+
+    /// Grid search's probe set is the grid itself: every remaining point up
+    /// to the target, decoded from consecutive cursor values exactly as the
+    /// scalar loop decodes them.
+    fn propose_batch(
+        &self,
+        state: &mut OptimizerState,
+        target_evaluations: usize,
+    ) -> BatchProposal {
+        let OptimizerState::GridSearch(s) = state else {
+            panic!(
+                "GridSearch::propose_batch given a {} state",
+                state.kind_name()
+            );
+        };
+        let n = s.initial.len();
+        if n == 0 {
+            return BatchProposal::Scalar;
+        }
+        if s.cursor >= s.total || s.trace.len() >= target_evaluations {
+            // Mirror the scalar post-loop check: a fully walked grid flips
+            // to converged even when this call evaluates nothing.
+            if s.cursor >= s.total {
+                s.converged = true;
+            }
+            return BatchProposal::Exhausted;
+        }
+        let count = (s.total - s.cursor).min(target_evaluations - s.trace.len());
+        let mut points = Vec::with_capacity(count);
+        for cursor in s.cursor..s.cursor + count {
+            let mut rest = cursor;
+            let mut point = Vec::with_capacity(n);
+            for &x0 in &s.initial {
+                let idx = rest % s.points_per_dim;
+                rest /= s.points_per_dim;
+                let frac = idx as f64 / (s.points_per_dim - 1) as f64; // in [0, 1]
+                point.push(x0 - self.half_width + 2.0 * self.half_width * frac);
+            }
+            points.push(point);
+        }
+        BatchProposal::Points(points)
+    }
+
+    fn observe_batch(&self, state: &mut OptimizerState, points: &[Vec<f64>], values: &[f64]) {
+        let OptimizerState::GridSearch(s) = state else {
+            panic!(
+                "GridSearch::observe_batch given a {} state",
+                state.kind_name()
+            );
+        };
+        for (point, &value) in points.iter().zip(values) {
+            s.trace.record(value);
+            if value < s.best_value {
+                s.best_value = value;
+                s.best_point = point.clone();
+            }
+            s.cursor += 1;
+        }
+        if s.cursor >= s.total {
+            s.converged = true;
+        }
     }
 }
 

@@ -45,7 +45,7 @@ pub use grid::GridSearch;
 pub use nelder_mead::NelderMead;
 pub use random_search::RandomSearch;
 pub use result::{OptimizationResult, OptimizationTrace};
-pub use resumable::{OptimizerState, Resumable};
+pub use resumable::{BatchProposal, OptimizerState, Resumable};
 pub use spsa::Spsa;
 
 use serde::{Deserialize, Serialize};

@@ -4,7 +4,7 @@
 //! paused run can be [resumed](crate::Resumable) exactly where it stopped.
 
 use crate::result::{OptimizationResult, OptimizationTrace};
-use crate::resumable::{OptimizerState, Resumable};
+use crate::resumable::{BatchProposal, OptimizerState, Resumable};
 use crate::Optimizer;
 
 /// The Nelder–Mead simplex method with standard reflection / expansion /
@@ -198,6 +198,67 @@ impl Resumable for NelderMead {
             self.step(s, objective);
         }
         s.snapshot()
+    }
+
+    /// Nelder–Mead's natural probe set is the initial simplex: the start
+    /// point plus one axis-step vertex per dimension, all independent of
+    /// each other's values. Every later iteration branches on values
+    /// mid-step (reflect → expand/contract/shrink), so it stays scalar —
+    /// which is the reference path itself, hence bit-identical for free.
+    fn propose_batch(
+        &self,
+        state: &mut OptimizerState,
+        target_evaluations: usize,
+    ) -> BatchProposal {
+        let OptimizerState::NelderMead(s) = state else {
+            panic!(
+                "NelderMead::propose_batch given a {} state",
+                state.kind_name()
+            );
+        };
+        let n = s.initial.len();
+        if s.converged || n == 0 {
+            // The 0-dimensional step is a single evaluation; let the scalar
+            // path handle it (and the converged no-op snapshot).
+            return BatchProposal::Scalar;
+        }
+        if s.simplex.len() < n + 1 {
+            if s.trace.len() >= target_evaluations {
+                return BatchProposal::Exhausted;
+            }
+            // Same vertices, in the same order, as the scalar init block
+            // (which is atomic and may overshoot the target identically).
+            let mut points = Vec::with_capacity(n + 1);
+            points.push(s.initial.clone());
+            for i in 0..n {
+                let mut x = s.initial.clone();
+                x[i] += if x[i].abs() > 1e-12 {
+                    self.initial_step * x[i].abs()
+                } else {
+                    self.initial_step
+                };
+                points.push(x);
+            }
+            return BatchProposal::Points(points);
+        }
+        BatchProposal::Scalar
+    }
+
+    fn observe_batch(&self, state: &mut OptimizerState, points: &[Vec<f64>], values: &[f64]) {
+        let OptimizerState::NelderMead(s) = state else {
+            panic!(
+                "NelderMead::observe_batch given a {} state",
+                state.kind_name()
+            );
+        };
+        assert!(
+            s.simplex.is_empty() && points.len() == s.initial.len() + 1,
+            "NelderMead::observe_batch expects the initial simplex block"
+        );
+        for (x, &v) in points.iter().zip(values) {
+            s.trace.record(v);
+            s.simplex.push((x.clone(), v));
+        }
     }
 }
 

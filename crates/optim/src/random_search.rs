@@ -9,7 +9,7 @@
 //! [resumable](crate::Resumable).
 
 use crate::result::{OptimizationResult, OptimizationTrace};
-use crate::resumable::{OptimizerState, Resumable};
+use crate::resumable::{BatchProposal, OptimizerState, Resumable};
 use crate::Optimizer;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -105,6 +105,73 @@ impl Resumable for RandomSearch {
             }
         }
         s.snapshot()
+    }
+
+    /// Random search's probe set is its whole remaining population: the
+    /// candidate draws never depend on objective values, so the RNG stream
+    /// is identical whether points are drawn one at a time or all up front.
+    /// The initial center evaluation rides along as the first point of the
+    /// first batch (`started` distinguishes it in `observe_batch`).
+    fn propose_batch(
+        &self,
+        state: &mut OptimizerState,
+        target_evaluations: usize,
+    ) -> BatchProposal {
+        let OptimizerState::RandomSearch(s) = state else {
+            panic!(
+                "RandomSearch::propose_batch given a {} state",
+                state.kind_name()
+            );
+        };
+        if s.converged {
+            return BatchProposal::Exhausted;
+        }
+        let mut points = Vec::new();
+        if !s.started && target_evaluations > 0 {
+            points.push(s.center.clone());
+        }
+        if !s.center.is_empty() {
+            let remaining = target_evaluations.saturating_sub(s.trace.len() + points.len());
+            for _ in 0..remaining {
+                let candidate: Vec<f64> = s
+                    .center
+                    .iter()
+                    .map(|&x| x + s.rng.gen_range(-self.half_width..=self.half_width))
+                    .collect();
+                points.push(candidate);
+            }
+        }
+        if points.is_empty() {
+            return BatchProposal::Exhausted;
+        }
+        BatchProposal::Points(points)
+    }
+
+    fn observe_batch(&self, state: &mut OptimizerState, points: &[Vec<f64>], values: &[f64]) {
+        let OptimizerState::RandomSearch(s) = state else {
+            panic!(
+                "RandomSearch::observe_batch given a {} state",
+                state.kind_name()
+            );
+        };
+        let mut pairs = points.iter().zip(values);
+        if !s.started {
+            let (_, &v) = pairs.next().expect("init point is first in the batch");
+            s.trace.record(v);
+            s.best_value = v;
+            s.best_point = s.center.clone();
+            s.started = true;
+            if s.center.is_empty() {
+                s.converged = true;
+            }
+        }
+        for (candidate, &value) in pairs {
+            s.trace.record(value);
+            if value < s.best_value {
+                s.best_value = value;
+                s.best_point = candidate.clone();
+            }
+        }
     }
 }
 

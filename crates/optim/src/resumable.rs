@@ -123,6 +123,24 @@ impl OptimizerState {
     }
 }
 
+/// One round of the batch-step protocol (see
+/// [`Resumable::propose_batch`]).
+#[derive(Debug, Clone)]
+pub enum BatchProposal {
+    /// Evaluate these points (in order) and hand the values back via
+    /// [`Resumable::observe_batch`]. Never empty.
+    Points(Vec<Vec<f64>>),
+    /// The optimizer's next step cannot be expressed as an up-front point
+    /// set (it branches on values mid-step); fall back to the scalar
+    /// [`Resumable::resume_until`] path for the rest of the rung. Since the
+    /// scalar path is the reference semantics, this arm is trivially
+    /// bit-identical.
+    Scalar,
+    /// Nothing left to do within the target (converged, exhausted, or the
+    /// next atomic step does not fit the remaining budget).
+    Exhausted,
+}
+
 /// A minimizer whose runs can be checkpointed and continued.
 ///
 /// See the [module documentation](self) for the contract and a worked
@@ -130,6 +148,21 @@ impl OptimizerState {
 /// targets `t_1 < t_2 < … < t_m = B`, chaining
 /// `resume_until(t_1), …, resume_until(t_m)` performs exactly the same
 /// objective evaluations as a single `minimize(…, B)` call.
+///
+/// # Batch stepping
+///
+/// The batch protocol lets a caller that can evaluate several points in one
+/// sweep (see `CompiledEnergy::energy_batch_in` in the `qaoa` crate) pull an
+/// optimizer's *natural probe set* out of it instead of being called back
+/// one point at a time: SPSA's ± perturbation pair, Nelder–Mead's initial
+/// simplex vertices, grid/random search's whole populations. The contract is
+/// strict bit-identity: driving a state with
+/// [`Resumable::resume_until_batched`] performs exactly the same objective
+/// evaluations, in the same order, with the same f64 arithmetic on the
+/// results, as [`Resumable::resume_until`] with the same target — so the two
+/// are interchangeable mid-run, checkpoint for checkpoint. The default
+/// implementation proposes [`BatchProposal::Scalar`], which makes every
+/// existing implementor batch-capable (at batch size 1) by construction.
 pub trait Resumable: Optimizer {
     /// Create a fresh checkpoint at `initial`. No objective evaluations are
     /// consumed. `budget_hint` is the total evaluation budget the run is
@@ -152,6 +185,82 @@ pub trait Resumable: Optimizer {
         objective: &(dyn Fn(&[f64]) -> f64 + Sync),
         target_evaluations: usize,
     ) -> OptimizationResult;
+
+    /// Propose the next set of points to evaluate together, given that the
+    /// run may spend evaluations up to `target_evaluations` in total.
+    ///
+    /// Implementations may mutate `state` (e.g. draw the RNG that shapes the
+    /// points), but every [`BatchProposal::Points`] return must be followed
+    /// by exactly one [`Resumable::observe_batch`] call with the values
+    /// before the next `propose_batch` / `resume_until`. The default
+    /// delegates the whole rung to the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was produced by a different optimizer kind.
+    fn propose_batch(
+        &self,
+        state: &mut OptimizerState,
+        target_evaluations: usize,
+    ) -> BatchProposal {
+        let _ = (state, target_evaluations);
+        BatchProposal::Scalar
+    }
+
+    /// Feed the objective values for the points of the immediately preceding
+    /// [`BatchProposal::Points`] back into `state`, applying exactly the
+    /// f64 updates the scalar path would apply after evaluating the same
+    /// points in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no outstanding proposal (the default
+    /// `propose_batch` never returns `Points`, so the default here is
+    /// unreachable by contract) or if `state` is of the wrong kind.
+    fn observe_batch(&self, state: &mut OptimizerState, points: &[Vec<f64>], values: &[f64]) {
+        let _ = (points, values);
+        panic!(
+            "observe_batch without a matching propose_batch on a {} state",
+            state.kind_name()
+        );
+    }
+
+    /// Advance `state` to `target_evaluations` through the batch protocol:
+    /// repeatedly propose a point set, evaluate it with `batch_objective`,
+    /// and observe the values — falling back to the scalar `objective` when
+    /// the optimizer cannot batch its next step. Bit-identical to
+    /// [`Resumable::resume_until`] with the same target (see the trait docs).
+    ///
+    /// `batch_objective` must return one value per point, equal to what
+    /// `objective` would return for that point — the batch evaluator's own
+    /// bit-identity guarantee supplies exactly that.
+    fn resume_until_batched(
+        &self,
+        state: &mut OptimizerState,
+        batch_objective: &mut dyn FnMut(&[Vec<f64>]) -> Vec<f64>,
+        objective: &(dyn Fn(&[f64]) -> f64 + Sync),
+        target_evaluations: usize,
+    ) -> OptimizationResult {
+        loop {
+            match self.propose_batch(state, target_evaluations) {
+                BatchProposal::Exhausted => return state.result(),
+                BatchProposal::Scalar => {
+                    return self.resume_until(state, objective, target_evaluations)
+                }
+                BatchProposal::Points(points) => {
+                    let values = batch_objective(&points);
+                    assert_eq!(
+                        values.len(),
+                        points.len(),
+                        "batch objective returned {} values for {} points",
+                        values.len(),
+                        points.len()
+                    );
+                    self.observe_batch(state, &points, &values);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -291,5 +400,154 @@ mod tests {
             assert!(state.converged(), "{}", opt.name());
             assert_eq!(state.evaluations(), 1, "{}", opt.name());
         }
+    }
+
+    /// Drive a state through the batch protocol, counting the points per
+    /// batch call; the batch objective is the scalar one mapped over the
+    /// points (exactly what the batch evaluator guarantees bitwise).
+    fn run_batched(
+        opt: &dyn Resumable,
+        state: &mut OptimizerState,
+        f: &(dyn Fn(&[f64]) -> f64 + Sync),
+        target: usize,
+        batch_sizes: &mut Vec<usize>,
+    ) -> OptimizationResult {
+        let mut batch_objective = |points: &[Vec<f64>]| {
+            batch_sizes.push(points.len());
+            points.iter().map(|p| f(p)).collect::<Vec<f64>>()
+        };
+        opt.resume_until_batched(state, &mut batch_objective, f, target)
+    }
+
+    fn assert_results_bitwise_equal(a: &OptimizationResult, b: &OptimizationResult, ctx: &str) {
+        assert_eq!(a.best_point, b.best_point, "{ctx}: best point");
+        assert_eq!(
+            a.best_value.to_bits(),
+            b.best_value.to_bits(),
+            "{ctx}: best value"
+        );
+        assert_eq!(a.evaluations, b.evaluations, "{ctx}: evaluation count");
+        assert_eq!(a.converged, b.converged, "{ctx}: converged flag");
+        let (ap, bp) = (a.trace.points(), b.trace.points());
+        assert_eq!(ap.len(), bp.len(), "{ctx}: trace length");
+        for (x, y) in ap.iter().zip(bp) {
+            assert_eq!(x.value.to_bits(), y.value.to_bits(), "{ctx}: trace value");
+            assert_eq!(
+                x.best_so_far.to_bits(),
+                y.best_so_far.to_bits(),
+                "{ctx}: trace best-so-far"
+            );
+        }
+    }
+
+    /// The batch tentpole guarantee: driving a run entirely through
+    /// `resume_until_batched` is bit-identical to the scalar path, for every
+    /// bundled optimizer, including when the run is split into rungs.
+    #[test]
+    fn batched_driving_is_bitwise_identical_to_scalar() {
+        let f = |x: &[f64]| (x[0] - 0.8).powi(2) + (x[1] + 0.4).powi(2) + (x[0] * x[1]).sin();
+        let initial = [0.3, -0.2];
+        let budget = 90;
+        for opt in resumables() {
+            let mut scalar_state = opt.start(&initial, budget);
+            let scalar = opt.resume_until(&mut scalar_state, &f, budget);
+
+            let mut sizes = Vec::new();
+            let mut batched_state = opt.start(&initial, budget);
+            let batched = run_batched(opt.as_ref(), &mut batched_state, &f, budget, &mut sizes);
+            assert_results_bitwise_equal(&scalar, &batched, opt.name());
+
+            // Split into rungs at several checkpoints, alternating which leg
+            // is batched — the states must stay interchangeable mid-run.
+            for k in [1usize, 7, 25, 60] {
+                let mut sizes = Vec::new();
+                let mut state = opt.start(&initial, budget);
+                run_batched(opt.as_ref(), &mut state, &f, k, &mut sizes);
+                let finish_scalar = opt.resume_until(&mut state, &f, budget);
+                assert_results_bitwise_equal(
+                    &scalar,
+                    &finish_scalar,
+                    &format!("{} batched-then-scalar at {k}", opt.name()),
+                );
+
+                let mut state = opt.start(&initial, budget);
+                opt.resume_until(&mut state, &f, k);
+                let finish_batched = run_batched(opt.as_ref(), &mut state, &f, budget, &mut sizes);
+                assert_results_bitwise_equal(
+                    &scalar,
+                    &finish_batched,
+                    &format!("{} scalar-then-batched at {k}", opt.name()),
+                );
+            }
+        }
+    }
+
+    /// The optimizers that override the protocol actually submit multi-point
+    /// probe sets (the whole point of batching), instead of degenerating to
+    /// one point per call.
+    #[test]
+    fn overriding_optimizers_propose_their_natural_probe_sets() {
+        let f = |x: &[f64]| (x[0] - 0.5).powi(2) + x[1] * x[1];
+        let initial = [0.4, -0.1];
+
+        let mut sizes = Vec::new();
+        let spsa = Spsa::default();
+        let mut state = spsa.start(&initial, 40);
+        run_batched(&spsa, &mut state, &f, 40, &mut sizes);
+        assert!(sizes.contains(&2), "SPSA pairs: {sizes:?}");
+
+        let mut sizes = Vec::new();
+        let nm = NelderMead::default();
+        let mut state = nm.start(&initial, 40);
+        run_batched(&nm, &mut state, &f, 40, &mut sizes);
+        assert_eq!(sizes.first(), Some(&3), "NM initial simplex: {sizes:?}");
+
+        let mut sizes = Vec::new();
+        let grid = GridSearch::default();
+        let mut state = grid.start(&initial, 40);
+        run_batched(&grid, &mut state, &f, 40, &mut sizes);
+        assert_eq!(sizes, vec![36], "grid population: {sizes:?}");
+
+        let mut sizes = Vec::new();
+        let rs = RandomSearch::default();
+        let mut state = rs.start(&initial, 40);
+        run_batched(&rs, &mut state, &f, 40, &mut sizes);
+        assert_eq!(sizes, vec![40], "random population: {sizes:?}");
+    }
+
+    #[test]
+    fn batch_driver_on_converged_or_met_target_is_a_noop() {
+        let f = |x: &[f64]| x[0] * x[0];
+        for opt in resumables() {
+            let mut state = opt.start(&[0.7], 40);
+            let mut sizes = Vec::new();
+            let a = run_batched(opt.as_ref(), &mut state, &f, 20, &mut sizes);
+            let evals = state.evaluations();
+            let b = run_batched(opt.as_ref(), &mut state, &f, evals, &mut sizes);
+            let c = run_batched(opt.as_ref(), &mut state, &f, 3, &mut sizes);
+            assert_eq!(a.trace.points(), b.trace.points(), "{}", opt.name());
+            assert_eq!(b.trace.points(), c.trace.points(), "{}", opt.name());
+            assert_eq!(state.evaluations(), evals, "{}", opt.name());
+        }
+    }
+
+    #[test]
+    fn zero_dimensional_batched_runs_converge_immediately() {
+        let f = |_: &[f64]| 4.2;
+        for opt in resumables() {
+            let mut state = opt.start(&[], 10);
+            let mut sizes = Vec::new();
+            let r = run_batched(opt.as_ref(), &mut state, &f, 10, &mut sizes);
+            assert_eq!(r.best_value, 4.2, "{}", opt.name());
+            assert!(state.converged(), "{}", opt.name());
+            assert_eq!(state.evaluations(), 1, "{}", opt.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "state")]
+    fn mismatched_state_kind_panics_in_propose_batch() {
+        let mut state = NelderMead::default().start(&[0.1], 10);
+        Spsa::default().propose_batch(&mut state, 10);
     }
 }

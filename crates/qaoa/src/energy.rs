@@ -12,7 +12,7 @@ use crate::error::QaoaError;
 use graphs::{ClassicalSolution, Graph, Problem, SolutionQuality};
 use optim::{OptimizationResult, OptimizationTrace, Optimizer, OptimizerState, Resumable};
 use serde::{Deserialize, Serialize};
-use statevec::{CompiledProgram, StateVector};
+use statevec::{BatchStateVector, CompiledProgram, StateVector};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Result of training one ansatz on one problem instance.
@@ -600,6 +600,105 @@ impl TrainingSession {
         Ok(trained)
     }
 
+    /// [`advance`](Self::advance) through the optimizer's **batch-step
+    /// protocol**: probe sets proposed by the optimizer are evaluated in one
+    /// batched statevector sweep ([`CompiledEnergy::energy_batch_in`]),
+    /// bit-identical to the scalar path — identical angles, energies and
+    /// evaluation counts for any batch size.
+    pub fn advance_batched(
+        &mut self,
+        optimizer: &dyn Resumable,
+        target_evaluations: usize,
+    ) -> Result<TrainedCircuit, QaoaError> {
+        self.advance_batched_in(optimizer, target_evaluations, None)
+    }
+
+    /// [`advance_batched`](Self::advance_batched) with an optional
+    /// caller-provided [`BatchScratch`] (per-worker buffer reuse in the
+    /// search pipeline). Ignored when the session does not use the compiled
+    /// fast path.
+    pub fn advance_batched_in(
+        &mut self,
+        optimizer: &dyn Resumable,
+        target_evaluations: usize,
+        scratch: Option<&mut BatchScratch>,
+    ) -> Result<TrainedCircuit, QaoaError> {
+        let TrainingSession {
+            evaluator,
+            ansatz,
+            fast,
+            state,
+            zero_depth,
+            hook,
+        } = self;
+
+        let Some(state) = state.as_mut() else {
+            // Depth 0: a single evaluation of the plus state, cached.
+            if zero_depth.is_none() {
+                let energy = evaluator.energy(ansatz, &[], &[])?;
+                *zero_depth = Some(TrainedCircuit {
+                    energy,
+                    gammas: vec![],
+                    betas: vec![],
+                    evaluations: 1,
+                    approx_ratio: evaluator.approx_ratio(energy),
+                    classical_optimum: evaluator.classical.best,
+                    classical_quality: evaluator.classical.quality,
+                });
+            }
+            let trained = zero_depth.clone().expect("just cached");
+            Self::emit_progress(hook, &trained, true);
+            return Ok(trained);
+        };
+
+        // Both objectives share the scratch behind an (uncontended,
+        // worker-local) mutex; the batch driver only ever runs one at a time.
+        let scratch_cell = scratch.map(Mutex::new);
+        let scalar_objective = |params: &[f64]| -> f64 {
+            let energy = match (&*fast, &scratch_cell) {
+                (Some(compiled), Some(cell)) => {
+                    let mut buf = cell.lock().unwrap_or_else(|e| e.into_inner());
+                    let BatchScratch { scalar, values, .. } = &mut **buf;
+                    compiled.energy_flat_with(params, scalar, values)
+                }
+                (Some(compiled), None) => compiled.energy_flat(params),
+                (None, _) => evaluator.energy_flat(ansatz, params),
+            };
+            match energy {
+                Ok(e) => -e,
+                Err(_) => f64::INFINITY,
+            }
+        };
+        let mut batch_objective = |points: &[Vec<f64>]| -> Vec<f64> {
+            let energies = match (&*fast, &scratch_cell) {
+                (Some(compiled), Some(cell)) => {
+                    let mut buf = cell.lock().unwrap_or_else(|e| e.into_inner());
+                    compiled.energy_batch_in(points, &mut buf)
+                }
+                (Some(compiled), None) => compiled.energy_batch(points),
+                (None, _) => {
+                    // No compiled sweep to amortize: evaluate point by point,
+                    // exactly as the scalar protocol would.
+                    return points.iter().map(|p| scalar_objective(p)).collect();
+                }
+            };
+            match energies {
+                Ok(es) => es.into_iter().map(|e| -e).collect(),
+                Err(_) => vec![f64::INFINITY; points.len()],
+            }
+        };
+        let result = optimizer.resume_until_batched(
+            state,
+            &mut batch_objective,
+            &scalar_objective,
+            target_evaluations,
+        );
+        let converged = state.converged();
+        let trained = Self::trained_from(evaluator, ansatz.depth(), result)?;
+        Self::emit_progress(hook, &trained, converged);
+        Ok(trained)
+    }
+
     /// Snapshot the best result found so far without advancing the run.
     pub fn best(&self) -> Result<TrainedCircuit, QaoaError> {
         match (&self.state, &self.zero_depth) {
@@ -666,6 +765,36 @@ pub struct CompiledEnergy {
 struct Scratch {
     state: Option<StateVector>,
     slots: Vec<f64>,
+    /// Batch buffers for the internal-scratch [`CompiledEnergy::energy_batch`]
+    /// path, built lazily like `state` — scalar-only callers never pay.
+    batch: BatchScratch,
+}
+
+/// Reusable buffers for [`CompiledEnergy::energy_batch_in`]: the `2^n × B`
+/// structure-of-arrays amplitude buffer, a scalar state for single-point
+/// tiles, and the flattened slot-value staging area.
+///
+/// One `BatchScratch` per worker serves every candidate trained on the same
+/// graph size (the batch buffer is resized in place across tile sizes), the
+/// batched analogue of the per-worker [`StateVector`] scratch.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    /// The `2^n × B` amplitude buffer, amplitude-major × batch-minor.
+    batch: Option<BatchStateVector>,
+    /// Scalar state for size-1 tiles (and B = 1 calls), which delegate to
+    /// the sequential sweep.
+    scalar: Option<StateVector>,
+    /// Slot values for the whole tile, batch-major (`np` per point).
+    values: Vec<f64>,
+    /// Per-tile energies from the batched diagonal expectation.
+    energies: Vec<f64>,
+}
+
+impl BatchScratch {
+    /// An empty scratch; all buffers are built lazily on first use.
+    pub fn new() -> BatchScratch {
+        BatchScratch::default()
+    }
 }
 
 impl CompiledEnergy {
@@ -700,7 +829,11 @@ impl CompiledEnergy {
             num_qubits: n,
             slot_for_flat,
             diag,
-            scratch: Mutex::new(Scratch { state: None, slots }),
+            scratch: Mutex::new(Scratch {
+                state: None,
+                slots,
+                batch: BatchScratch::new(),
+            }),
         })
     }
 
@@ -722,7 +855,7 @@ impl CompiledEnergy {
             message: e.to_string(),
         };
         let mut guard = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
-        let Scratch { state, slots } = &mut *guard;
+        let Scratch { state, slots, .. } = &mut *guard;
         let state = match state {
             Some(s) => s,
             None => state.insert(StateVector::zero_state(self.num_qubits).map_err(map_err)?),
@@ -773,6 +906,104 @@ impl CompiledEnergy {
                 slots[s] = *value;
             }
         }
+    }
+
+    /// ⟨C⟩ for `B` flat parameter vectors in one batched sweep, bit-identical
+    /// to `B` sequential [`CompiledEnergy::energy_flat_in`] calls.
+    ///
+    /// Points are processed in cache-sized tiles
+    /// ([`statevec::preferred_batch_tile`]); single-point tiles (including
+    /// every `B = 1` call) delegate to the scalar sweep, so the batch path
+    /// never costs more than the sequential one. All buffers come from the
+    /// caller's [`BatchScratch`] and are reused across calls.
+    pub fn energy_batch_in<P: AsRef<[f64]>>(
+        &self,
+        points: &[P],
+        scratch: &mut BatchScratch,
+    ) -> Result<Vec<f64>, QaoaError> {
+        for p in points {
+            self.check_params(p.as_ref())?;
+        }
+        let map_err = |e: statevec::SimulatorError| QaoaError::Backend {
+            message: e.to_string(),
+        };
+        let np = self.program.num_params();
+        let tile = statevec::preferred_batch_tile(self.num_qubits, points.len());
+        let mut out = Vec::with_capacity(points.len());
+        for chunk in points.chunks(tile.max(1)) {
+            if chunk.len() == 1 {
+                // The sequential sweep *is* the reference semantics; using it
+                // for singleton tiles makes bit-identity trivial there and
+                // keeps B = 1 at exactly the scalar cost.
+                out.push(self.energy_flat_with(
+                    chunk[0].as_ref(),
+                    &mut scratch.scalar,
+                    &mut scratch.values,
+                )?);
+                continue;
+            }
+            let b = chunk.len();
+            scratch.values.clear();
+            scratch.values.resize(np * b, 0.0);
+            for (i, p) in chunk.iter().enumerate() {
+                Self::fill_slots(
+                    &self.slot_for_flat,
+                    p.as_ref(),
+                    &mut scratch.values[i * np..(i + 1) * np],
+                );
+            }
+            let state = match &mut scratch.batch {
+                Some(s) if s.num_qubits() == self.num_qubits => {
+                    s.resize_batch(b);
+                    s
+                }
+                slot => {
+                    slot.insert(BatchStateVector::zero_states(self.num_qubits, b).map_err(map_err)?)
+                }
+            };
+            self.program
+                .execute_batch_into(&scratch.values, state)
+                .map_err(map_err)?;
+            state
+                .expectation_diagonal_batch(&self.diag, &mut scratch.energies)
+                .map_err(map_err)?;
+            out.extend_from_slice(&scratch.energies);
+        }
+        Ok(out)
+    }
+
+    /// [`energy_batch_in`](Self::energy_batch_in) with the compiled
+    /// objective's internal scratch (built lazily on first use), for callers
+    /// without a per-worker buffer.
+    pub fn energy_batch<P: AsRef<[f64]>>(&self, points: &[P]) -> Result<Vec<f64>, QaoaError> {
+        let mut guard = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        self.energy_batch_in(points, &mut guard.batch)
+    }
+
+    /// The scalar sweep against caller-owned buffers (the singleton-tile leg
+    /// of the batch path): same op sequence as
+    /// [`energy_flat_in`](Self::energy_flat_in), hence bitwise equal.
+    fn energy_flat_with(
+        &self,
+        params: &[f64],
+        state: &mut Option<StateVector>,
+        slots: &mut Vec<f64>,
+    ) -> Result<f64, QaoaError> {
+        let map_err = |e: statevec::SimulatorError| QaoaError::Backend {
+            message: e.to_string(),
+        };
+        let state = match state {
+            Some(s) if s.num_qubits() == self.num_qubits => s,
+            s => {
+                *s = Some(StateVector::zero_state(self.num_qubits).map_err(map_err)?);
+                s.as_mut().expect("just inserted")
+            }
+        };
+        slots.clear();
+        slots.resize(self.program.num_params(), 0.0);
+        Self::fill_slots(&self.slot_for_flat, params, slots);
+        self.program.execute_into(slots, state).map_err(map_err)?;
+        state.expectation_diagonal(&self.diag).map_err(map_err)
     }
 }
 
@@ -1143,6 +1374,148 @@ mod tests {
                 problem.name()
             );
         }
+    }
+
+    #[test]
+    fn energy_batch_in_is_bitwise_identical_to_sequential_energy_flat_in() {
+        let graph = Graph::erdos_renyi(7, 0.5, 13);
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let ansatz = QaoaAnsatz::new(&graph, 2, Mixer::qnas());
+        let compiled = eval.compile(&ansatz).unwrap();
+        let mut scratch = BatchScratch::new();
+        let mut buf = StateVector::zero_state(7).unwrap();
+        for batch in [1usize, 2, 7, 64] {
+            let points: Vec<Vec<f64>> = (0..batch)
+                .map(|i| {
+                    (0..4)
+                        .map(|j| 0.1 + 0.07 * i as f64 - 0.13 * j as f64)
+                        .collect()
+                })
+                .collect();
+            let batched = compiled.energy_batch_in(&points, &mut scratch).unwrap();
+            assert_eq!(batched.len(), batch);
+            for (p, &e) in points.iter().zip(&batched) {
+                let scalar = compiled.energy_flat_in(p, &mut buf).unwrap();
+                assert_eq!(
+                    e.to_bits(),
+                    scalar.to_bits(),
+                    "B={batch}: batched {e} vs scalar {scalar}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn energy_batch_internal_scratch_matches_external() {
+        let graph = Graph::cycle(6);
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::baseline());
+        let compiled = eval.compile(&ansatz).unwrap();
+        let points: Vec<Vec<f64>> = (0..5).map(|i| vec![0.2 + 0.1 * i as f64, -0.3]).collect();
+        let internal = compiled.energy_batch(&points).unwrap();
+        let mut scratch = BatchScratch::new();
+        let external = compiled.energy_batch_in(&points, &mut scratch).unwrap();
+        for (a, b) in internal.iter().zip(&external) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // And both agree with the one-at-a-time compiled path.
+        for (p, &e) in points.iter().zip(&internal) {
+            assert_eq!(compiled.energy_flat(p).unwrap().to_bits(), e.to_bits());
+        }
+    }
+
+    #[test]
+    fn energy_batch_rejects_mis_sized_points() {
+        let graph = Graph::cycle(5);
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::baseline());
+        let compiled = eval.compile(&ansatz).unwrap();
+        let points = vec![vec![0.1, 0.2], vec![0.1, 0.2, 0.3]];
+        assert!(matches!(
+            compiled.energy_batch(&points),
+            Err(QaoaError::WrongParameterCount { .. })
+        ));
+        // Empty batches are a no-op, not an error.
+        assert!(compiled.energy_batch::<Vec<f64>>(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn batch_scratch_is_reusable_across_graph_sizes() {
+        let mut scratch = BatchScratch::new();
+        for n in [4usize, 6, 5] {
+            let graph = Graph::cycle(n);
+            let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+            let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::baseline());
+            let compiled = eval.compile(&ansatz).unwrap();
+            let points: Vec<Vec<f64>> = (0..3).map(|i| vec![0.1 * i as f64, 0.4]).collect();
+            let batched = compiled.energy_batch_in(&points, &mut scratch).unwrap();
+            for (p, &e) in points.iter().zip(&batched) {
+                assert_eq!(compiled.energy_flat(p).unwrap().to_bits(), e.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn advance_batched_is_bitwise_identical_to_advance() {
+        let graph = Graph::erdos_renyi(7, 0.5, 11);
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let ansatz = QaoaAnsatz::new(&graph, 2, Mixer::qnas());
+        for kind in optim::OptimizerKind::all() {
+            let opt = kind.build_resumable();
+            let mut scalar = eval.begin_training(&ansatz, &*opt, None, 90).unwrap();
+            scalar.advance(&*opt, 30).unwrap();
+            let a = scalar.advance(&*opt, 90).unwrap();
+
+            let mut batched = eval.begin_training(&ansatz, &*opt, None, 90).unwrap();
+            let mut scratch = BatchScratch::new();
+            batched
+                .advance_batched_in(&*opt, 30, Some(&mut scratch))
+                .unwrap();
+            let b = batched
+                .advance_batched_in(&*opt, 90, Some(&mut scratch))
+                .unwrap();
+
+            assert_eq!(a.energy.to_bits(), b.energy.to_bits(), "{kind}");
+            assert_eq!(a.gammas, b.gammas, "{kind}");
+            assert_eq!(a.betas, b.betas, "{kind}");
+            assert_eq!(a.evaluations, b.evaluations, "{kind}");
+
+            // Mixed rungs interleave too: batched then scalar.
+            let mut mixed = eval.begin_training(&ansatz, &*opt, None, 90).unwrap();
+            mixed.advance_batched(&*opt, 30).unwrap();
+            let c = mixed.advance(&*opt, 90).unwrap();
+            assert_eq!(a.energy.to_bits(), c.energy.to_bits(), "{kind} mixed");
+            assert_eq!(a.evaluations, c.evaluations, "{kind} mixed");
+        }
+    }
+
+    #[test]
+    fn advance_batched_works_on_tensor_network_backend() {
+        let graph = Graph::erdos_renyi(6, 0.4, 21);
+        let eval = EnergyEvaluator::new(&graph, Backend::TensorNetwork);
+        let ansatz = QaoaAnsatz::new(&graph, 1, Mixer::baseline());
+        let opt = optim::Spsa::default();
+        let mut batched = eval.begin_training(&ansatz, &opt, None, 40).unwrap();
+        assert!(!batched.uses_compiled_scratch());
+        let b = batched.advance_batched(&opt, 40).unwrap();
+        let mut scalar = eval.begin_training(&ansatz, &opt, None, 40).unwrap();
+        let a = scalar.advance(&opt, 40).unwrap();
+        assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn advance_batched_depth_zero_is_one_evaluation() {
+        let graph = Graph::cycle(4);
+        let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+        let ansatz = QaoaAnsatz::new(&graph, 0, Mixer::baseline());
+        let opt = CobylaOptimizer::default();
+        let mut session = eval.begin_training(&ansatz, &opt, None, 10).unwrap();
+        let t = session.advance_batched(&opt, 10).unwrap();
+        assert!((t.energy - 2.0).abs() < 1e-10);
+        assert_eq!(session.evaluations(), 1);
+        session.advance_batched(&opt, 50).unwrap();
+        assert_eq!(session.evaluations(), 1);
     }
 
     #[test]

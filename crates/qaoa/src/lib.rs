@@ -42,7 +42,7 @@ pub mod error;
 pub mod mixer;
 
 pub use backend::Backend;
-pub use energy::{EnergyEvaluator, ProgressHook, TrainingProgress, TrainingSession};
+pub use energy::{BatchScratch, EnergyEvaluator, ProgressHook, TrainingProgress, TrainingSession};
 pub use error::QaoaError;
 
 #[cfg(test)]

@@ -1,0 +1,123 @@
+//! Allocation-count assertions for the batched energy path (ISSUE 6,
+//! satellite 2).
+//!
+//! `CompiledEnergy::energy_batch_in` promises to reuse the caller's
+//! [`BatchScratch`] buffers: after a warm-up call, the only allocation a call
+//! may make is the returned `Vec<f64>` of energies (plus the tolerance noted
+//! below). A counting global allocator pins that contract so buffer reuse
+//! cannot silently regress into per-call `2^n` allocations.
+
+use graphs::Graph;
+use qaoa::ansatz::QaoaAnsatz;
+use qaoa::energy::EnergyEvaluator;
+use qaoa::mixer::Mixer;
+use qaoa::{Backend, BatchScratch};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// System allocator wrapper that counts allocations while armed.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static BYTES: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size(), Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Run `f` with allocation counting armed; returns (allocations, bytes).
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (usize, usize, R) {
+    ALLOCS.store(0, Ordering::Relaxed);
+    BYTES.store(0, Ordering::Relaxed);
+    ARMED.store(true, Ordering::Relaxed);
+    let r = f();
+    ARMED.store(false, Ordering::Relaxed);
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+        r,
+    )
+}
+
+#[test]
+fn energy_batch_in_reuses_scratch_buffers_after_warmup() {
+    // Below the rayon threshold so the sweep stays on this thread: counting
+    // must see every allocation the evaluation makes.
+    let n = 8;
+    let graph = Graph::connected_erdos_renyi(n, 0.5, 7, 50);
+    let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+    let ansatz = QaoaAnsatz::new(&graph, 2, Mixer::qnas());
+    let compiled = eval.compile(&ansatz).unwrap();
+
+    let batch = 8;
+    let points: Vec<Vec<f64>> = (0..batch)
+        .map(|i| {
+            (0..4)
+                .map(|j| 0.1 + 0.05 * i as f64 + 0.02 * j as f64)
+                .collect()
+        })
+        .collect();
+
+    let mut scratch = BatchScratch::new();
+    // Warm-up: builds the 2^n × tile batch buffer, the scalar state (if any
+    // singleton tile ran), and sizes the staging vectors.
+    let warm = compiled.energy_batch_in(&points, &mut scratch).unwrap();
+
+    let (allocs, bytes, result) =
+        count_allocs(|| compiled.energy_batch_in(&points, &mut scratch).unwrap());
+    assert_eq!(result.len(), batch);
+    for (a, b) in warm.iter().zip(&result) {
+        assert_eq!(a.to_bits(), b.to_bits(), "warm vs counted run");
+    }
+
+    // Budget: the returned energies Vec, plus a small constant for the
+    // per-sweep factor staging (distinct phase values per angle, O(batch)
+    // each, nowhere near the 2^n state). A regression to per-call state
+    // allocation would cost 2^n * 16 bytes per tile and blow both bounds.
+    let state_bytes = (1usize << n) * 16; // 2^n Complex64 amplitudes
+    assert!(allocs <= 24, "energy_batch_in made {allocs} allocations");
+    assert!(
+        bytes < state_bytes,
+        "energy_batch_in allocated {bytes} bytes (>= one 2^{n} state of {state_bytes})"
+    );
+}
+
+#[test]
+fn warm_scalar_energy_flat_in_stays_allocation_free() {
+    // The pre-existing scalar contract, pinned here with the same counter:
+    // an external-scratch evaluation allocates nothing at all.
+    let n = 8;
+    let graph = Graph::connected_erdos_renyi(n, 0.5, 7, 50);
+    let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+    let ansatz = QaoaAnsatz::new(&graph, 2, Mixer::qnas());
+    let compiled = eval.compile(&ansatz).unwrap();
+    let params = [0.3, -0.2, 0.5, 0.1];
+
+    let mut buf = statevec::StateVector::zero_state(n).unwrap();
+    let warm = compiled.energy_flat_in(&params, &mut buf).unwrap();
+    let (allocs, _bytes, e) = count_allocs(|| compiled.energy_flat_in(&params, &mut buf).unwrap());
+    assert_eq!(warm.to_bits(), e.to_bits());
+    assert_eq!(allocs, 0, "energy_flat_in allocated after warm-up");
+}

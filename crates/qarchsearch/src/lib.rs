@@ -69,8 +69,6 @@ pub use events::SearchEvent;
 pub use predictor::{BanditState, Predictor, RandomPredictor};
 pub use qbuilder::QBuilder;
 pub use search::{ExecutionMode, PipelineConfig, RungStat, SearchConfig, SearchOutcome};
-#[allow(deprecated)]
-pub use search::{ParallelSearch, SerialSearch};
 pub use server::{JobId, JobServer, JobServerConfig, JobSpec, JobState, JobStatus};
 pub use session::{
     SchedulerCheckpoint, SearchCheckpoint, SearchDriver, SearchHandle, SearchProgress, SearchStatus,

@@ -322,12 +322,13 @@ impl BudgetedScheduler {
             }
 
             let outcomes = run_tasks(tasks, threads, |scratch, (slot, mut session)| {
-                let buf = if session.uses_compiled_scratch() {
-                    scratch.state(session.num_qubits())
-                } else {
-                    None
-                };
-                let trained = session.advance_in(optimizer, target, buf);
+                // Batched advance: optimizer probe sets (SPSA pairs, initial
+                // simplexes, grid/random populations) run through one batched
+                // statevector sweep per set, bit-identical to the scalar path.
+                let buf = session
+                    .uses_compiled_scratch()
+                    .then(|| scratch.batch(session.num_qubits()));
+                let trained = session.advance_batched_in(optimizer, target, buf);
                 (slot, session, trained)
             });
 

@@ -1,5 +1,4 @@
-//! Search configuration and outcome types, plus the legacy blocking
-//! schedulers.
+//! Search configuration and outcome types.
 //!
 //! The front door of the crate is now the session-oriented
 //! [`crate::session::SearchDriver`]: one driver covers both execution modes
@@ -9,9 +8,7 @@
 //! while it runs, and supports cooperative cancellation and serde
 //! checkpointing. This module keeps everything the driver is configured
 //! with ([`SearchConfig`], [`SearchStrategy`], [`PipelineConfig`]) and
-//! returns ([`SearchOutcome`], [`DepthResult`], [`BestCandidate`]), along
-//! with the deprecated [`SerialSearch`]/[`ParallelSearch`] shims whose
-//! `run()` is now a thin `start().wait()` wrapper.
+//! returns ([`SearchOutcome`], [`DepthResult`], [`BestCandidate`]).
 
 use crate::constraints::ConstraintSet;
 use crate::error::SearchError;
@@ -19,17 +16,15 @@ use crate::evaluator::{CandidateResult, EvaluatorConfig};
 use crate::predictor::{
     EpsilonGreedyPredictor, PolicyGradientPredictor, Predictor, RandomPredictor,
 };
-use crate::session::SearchDriver;
 use crate::GateAlphabet;
-use graphs::Graph;
 use qcircuit::Gate;
 use serde::{Deserialize, Serialize};
 
 /// How a search session executes its candidate evaluations.
 ///
 /// Folded into [`SearchConfig`]; the session layer's
-/// [`SearchDriver`] reads it instead of the caller picking between two
-/// scheduler structs.
+/// [`crate::session::SearchDriver`] reads it instead of the caller picking
+/// between two scheduler structs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum ExecutionMode {
     /// Algorithm 1 exactly as written: one candidate at a time, full budget
@@ -82,7 +77,7 @@ pub enum SearchStrategy {
 }
 
 /// Configuration of the budget-aware evaluation pipeline (successive
-/// halving, warm starts, predictor gate) used by [`ParallelSearch`].
+/// halving, warm starts, predictor gate) used by parallel-mode searches.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PipelineConfig {
     /// Enable successive-halving pruning. When `false`, every candidate
@@ -118,7 +113,7 @@ impl Default for PipelineConfig {
 impl PipelineConfig {
     /// The paper-faithful configuration: no pruning, no warm starts, no
     /// gate — every candidate trains at the full budget from the default
-    /// initial point, exactly like [`SerialSearch`].
+    /// initial point, exactly like the paper's serial Algorithm 1.
     pub fn full_budget() -> PipelineConfig {
         PipelineConfig {
             prune: false,
@@ -145,9 +140,8 @@ pub struct RungStat {
 /// Full configuration of a search run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SearchConfig {
-    /// Serial or parallel candidate evaluation (the session layer's
-    /// [`SearchDriver`] reads this; the deprecated scheduler shims override
-    /// it to their respective modes).
+    /// Serial or parallel candidate evaluation (read by the session layer's
+    /// [`crate::session::SearchDriver`]).
     pub mode: ExecutionMode,
     /// The gate alphabet `A_R`.
     pub alphabet: GateAlphabet,
@@ -161,7 +155,7 @@ pub struct SearchConfig {
     pub evaluator: EvaluatorConfig,
     /// Seed for every stochastic component.
     pub seed: u64,
-    /// Size of the outer-level thread pool for [`ParallelSearch`]
+    /// Size of the outer-level thread pool in parallel mode
     /// (`None` = Rayon's default, typically the number of logical cores).
     pub threads: Option<usize>,
     /// Admissibility constraints applied to every proposed candidate ("our
@@ -169,8 +163,8 @@ pub struct SearchConfig {
     /// procedure", §6 of the paper).
     pub constraints: ConstraintSet,
     /// Budget-aware pipeline settings (pruning, warm starts, predictor
-    /// gate) for [`ParallelSearch`]. [`SerialSearch`] ignores this and
-    /// always runs the paper-faithful full-budget loop.
+    /// gate) for parallel mode. Serial mode ignores this and always runs
+    /// the paper-faithful full-budget loop.
     pub pipeline: PipelineConfig,
 }
 
@@ -460,10 +454,10 @@ impl SearchConfigBuilder {
     /// The paper-faithful escape hatch: disable pruning, warm starts and the
     /// predictor gate so every candidate trains at the full budget from the
     /// default initial point — one flag away from the exhaustive search the
-    /// paper released, and bit-identical to [`SerialSearch`] results for
+    /// paper released, and bit-identical to serial-mode results for
     /// registers below the kernel-parallel threshold
     /// (`QAS_PARALLEL_THRESHOLD`, default 14 qubits). At or above it,
-    /// [`SerialSearch`]'s kernels may split float reductions across threads
+    /// serial-mode kernels may split float reductions across threads
     /// while pipeline workers pin them to one, so energies can differ in
     /// the last bits.
     pub fn no_prune(mut self) -> Self {
@@ -646,78 +640,11 @@ fn parse_label_gates(label: &str) -> Vec<Gate> {
         .collect()
 }
 
-// ---------------------------------------------------------------------------
-
-/// Serial scheduler shim: Algorithm 1 exactly as written.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `SearchDriver` with `ExecutionMode::Serial` (or `SearchConfig::builder().serial()`); \
-            `run()` is now a thin `start().wait()` wrapper"
-)]
-#[derive(Debug, Clone)]
-pub struct SerialSearch {
-    config: SearchConfig,
-}
-
-#[allow(deprecated)]
-impl SerialSearch {
-    /// A serial search with the given configuration (the configuration's
-    /// [`ExecutionMode`] is overridden to `Serial`).
-    pub fn new(mut config: SearchConfig) -> SerialSearch {
-        config.mode = ExecutionMode::Serial;
-        SerialSearch { config }
-    }
-
-    /// The configuration.
-    pub fn config(&self) -> &SearchConfig {
-        &self.config
-    }
-
-    /// Run the search over the training graphs: `start().wait()` on a
-    /// [`SearchDriver`], blocking until the outcome is ready.
-    pub fn run(&self, graphs: &[Graph]) -> Result<SearchOutcome, SearchError> {
-        SearchDriver::new(self.config.clone()).run(graphs)
-    }
-}
-
-// ---------------------------------------------------------------------------
-
-/// Parallel scheduler shim: the outer level of the two-level
-/// parallelization, rebuilt as a budget-aware pipeline.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `SearchDriver` (parallel is the default `ExecutionMode`); \
-            `run()` is now a thin `start().wait()` wrapper"
-)]
-#[derive(Debug, Clone)]
-pub struct ParallelSearch {
-    config: SearchConfig,
-}
-
-#[allow(deprecated)]
-impl ParallelSearch {
-    /// A parallel search with the given configuration (the configuration's
-    /// [`ExecutionMode`] is overridden to `Parallel`).
-    pub fn new(mut config: SearchConfig) -> ParallelSearch {
-        config.mode = ExecutionMode::Parallel;
-        ParallelSearch { config }
-    }
-
-    /// The configuration.
-    pub fn config(&self) -> &SearchConfig {
-        &self.config
-    }
-
-    /// Run the search over the training graphs: `start().wait()` on a
-    /// [`SearchDriver`], blocking until the outcome is ready.
-    pub fn run(&self, graphs: &[Graph]) -> Result<SearchOutcome, SearchError> {
-        SearchDriver::new(self.config.clone()).run(graphs)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::SearchDriver;
+    use graphs::Graph;
     use qaoa::Backend;
 
     fn tiny_config(strategy: SearchStrategy) -> SearchConfig {
@@ -823,7 +750,7 @@ mod tests {
 
     #[test]
     fn serial_search_ignores_pipeline_only_validation() {
-        // SerialSearch never prunes, so a budget below the halving
+        // Serial mode never prunes, so a budget below the halving
         // schedule's first rung must not block a cheap serial run.
         let mut cfg = tiny_config(SearchStrategy::Exhaustive);
         cfg.evaluator.budget = 10;
@@ -1117,39 +1044,29 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_driver_bitwise() {
-        // The one-release compatibility guarantee: `SerialSearch::run` /
-        // `ParallelSearch::run` are thin `start().wait()` wrappers and
-        // reproduce the driver's outcome bit for bit.
+    fn repeated_driver_runs_are_bitwise_identical_across_modes() {
+        // Replaces the retired `SerialSearch`/`ParallelSearch` shim check:
+        // the driver itself is the only entry point, and repeated runs in
+        // either mode reproduce each other's outcome bit for bit.
         let graphs = tiny_graphs();
-        let serial_shim = SerialSearch::new(tiny_config(SearchStrategy::Exhaustive))
-            .run(&graphs)
-            .unwrap();
-        let serial_driver = serial_run(tiny_config(SearchStrategy::Exhaustive), &graphs).unwrap();
+        let serial_a = serial_run(tiny_config(SearchStrategy::Exhaustive), &graphs).unwrap();
+        let serial_b = serial_run(tiny_config(SearchStrategy::Exhaustive), &graphs).unwrap();
         assert_eq!(
-            serial_shim.best.energy.to_bits(),
-            serial_driver.best.energy.to_bits()
+            serial_a.best.energy.to_bits(),
+            serial_b.best.energy.to_bits()
         );
-        assert_eq!(serial_shim.best.mixer_label, serial_driver.best.mixer_label);
+        assert_eq!(serial_a.best.mixer_label, serial_b.best.mixer_label);
 
-        let parallel_shim = ParallelSearch::new(tiny_config(SearchStrategy::Exhaustive))
-            .run(&graphs)
-            .unwrap();
-        let parallel_driver =
-            parallel_run(tiny_config(SearchStrategy::Exhaustive), &graphs).unwrap();
+        let parallel_a = parallel_run(tiny_config(SearchStrategy::Exhaustive), &graphs).unwrap();
+        let parallel_b = parallel_run(tiny_config(SearchStrategy::Exhaustive), &graphs).unwrap();
         assert_eq!(
-            parallel_shim.best.energy.to_bits(),
-            parallel_driver.best.energy.to_bits()
+            parallel_a.best.energy.to_bits(),
+            parallel_b.best.energy.to_bits()
         );
         assert_eq!(
-            parallel_shim.total_optimizer_evaluations,
-            parallel_driver.total_optimizer_evaluations
+            parallel_a.total_optimizer_evaluations,
+            parallel_b.total_optimizer_evaluations
         );
-        // The shims force their mode regardless of the config's.
-        let mut cfg = tiny_config(SearchStrategy::Exhaustive);
-        cfg.mode = ExecutionMode::Parallel;
-        assert_eq!(SerialSearch::new(cfg).config().mode, ExecutionMode::Serial);
     }
 
     #[test]

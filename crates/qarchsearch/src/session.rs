@@ -1,9 +1,8 @@
 //! Session-oriented search execution: the [`SearchDriver`].
 //!
-//! The original front door was a pair of blocking calls
-//! (`SerialSearch::run` / `ParallelSearch::run`) that disappeared for
-//! minutes and returned a single [`SearchOutcome`]. This module replaces
-//! them with **sessions**: [`SearchDriver::start`] launches the search on a
+//! The original front door was a pair of blocking scheduler calls that
+//! disappeared for minutes and returned a single [`SearchOutcome`]. This
+//! module replaces them with **sessions**: [`SearchDriver::start`] launches the search on a
 //! background thread and hands back a [`SearchHandle`] with
 //!
 //! * a typed [`SearchEvent`] stream ([`SearchHandle::events`]) emitted at

@@ -1,6 +1,6 @@
 //! A work-stealing task executor for candidate evaluations.
 //!
-//! The original `ParallelSearch` fanned each depth's candidates out with a
+//! The original parallel scheduler fanned each depth's candidates out with a
 //! fork-join `par_iter`, which splits the task list into one contiguous
 //! chunk per thread up front. Candidate training times vary wildly under
 //! successive halving (a candidate pruned at the first rung costs a tenth of
@@ -22,6 +22,7 @@
 //! optimizers, pinned inner parallelism), and results are returned in task
 //! order no matter which worker executed them or in what interleaving.
 
+use qaoa::BatchScratch;
 use statevec::StateVector;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;
@@ -30,6 +31,7 @@ use std::sync::Mutex;
 #[derive(Debug, Default)]
 pub struct WorkerScratch {
     states: HashMap<usize, StateVector>,
+    batches: HashMap<usize, BatchScratch>,
 }
 
 impl WorkerScratch {
@@ -50,9 +52,16 @@ impl WorkerScratch {
         }
     }
 
+    /// The reusable batched-evaluation scratch for `num_qubits`. The buffers
+    /// inside are built lazily by the batch path itself, so handing one out
+    /// costs nothing until a batched sweep actually runs.
+    pub fn batch(&mut self, num_qubits: usize) -> &mut BatchScratch {
+        self.batches.entry(num_qubits).or_default()
+    }
+
     /// Number of distinct buffer widths currently held.
     pub fn num_buffers(&self) -> usize {
-        self.states.len()
+        self.states.len().max(self.batches.len())
     }
 }
 

@@ -33,11 +33,45 @@
 //! assert!((scratch.norm_squared() - 1.0).abs() < 1e-12);
 //! ```
 
+use crate::batch::BatchStateVector;
 use crate::error::SimulatorError;
 use crate::state::StateVector;
 use num_complex::Complex64;
 use qcircuit::{Circuit, Gate, GateMatrix, Parameter};
 use std::collections::HashMap;
+
+/// Distinct-value view of an angle table, for the batched phase pass.
+///
+/// A fused cost-layer table holds `2^n` angles but typically only a handful
+/// of *distinct* f64 bit patterns (a Max-Cut layer over `|E|` unit-weight
+/// edges produces at most `|E| + 1` cut values). The batch executor
+/// exponentiates each distinct value once per batch element and then streams
+/// one table lookup + complex multiply per amplitude-element, instead of a
+/// `sin`/`cos` pair per amplitude as the scalar path does. `values[index[z]]`
+/// reproduces `table[z]` bit-for-bit, so the factors are bitwise the same
+/// numbers the scalar kernel computes.
+#[derive(Debug, Clone)]
+struct PhaseLut {
+    /// Distinct angle bit patterns, in first-appearance order.
+    values: Vec<f64>,
+    /// Per-basis-state index into `values` (u32: dims are ≤ 2^30).
+    index: Vec<u32>,
+}
+
+impl PhaseLut {
+    fn build(table: &[f64]) -> PhaseLut {
+        let mut seen: HashMap<u64, u32> = HashMap::new();
+        let mut values: Vec<f64> = Vec::new();
+        let mut index = vec![0u32; table.len()];
+        for (slot, &theta) in index.iter_mut().zip(table) {
+            *slot = *seen.entry(theta.to_bits()).or_insert_with(|| {
+                values.push(theta);
+                (values.len() - 1) as u32
+            });
+        }
+        PhaseLut { values, index }
+    }
+}
 
 /// One factor of a fused per-qubit single-qubit chain.
 #[derive(Debug, Clone)]
@@ -152,6 +186,8 @@ pub struct CompiledProgram {
     param_names: Vec<String>,
     ops: Vec<CompiledOp>,
     tables: Vec<Vec<f64>>,
+    /// Distinct-value views of `tables`, same indices.
+    luts: Vec<PhaseLut>,
     source_instructions: usize,
 }
 
@@ -195,6 +231,7 @@ impl CompiledProgram {
             param_names: Vec::new(),
             ops: Vec::new(),
             tables: Vec::new(),
+            luts: Vec::new(),
             table_index: HashMap::new(),
             pending: PendingDiag::default(),
             pending_chains: Vec::new(),
@@ -213,6 +250,7 @@ impl CompiledProgram {
             param_names: builder.param_names,
             ops,
             tables: builder.tables,
+            luts: builder.luts,
             source_instructions: circuit.len(),
         })
     }
@@ -375,6 +413,230 @@ impl CompiledProgram {
         self.execute_into(params, &mut state)?;
         Ok(state)
     }
+
+    /// Execute the program once per batch element of `state`, from `|0...0⟩`,
+    /// in one sweep over the structure-of-arrays buffer. `params` is
+    /// batch-major: element `b`'s slot values occupy
+    /// `params[b·num_params .. (b+1)·num_params]`.
+    ///
+    /// Bit-identical to calling [`CompiledProgram::execute_into`] once per
+    /// element (see the contract on [`crate::batch`]): gate kernels perform
+    /// the same per-element arithmetic, and phase passes draw their angles
+    /// from the same tables via a distinct-value lookup whose factors are
+    /// `e^{i·scale_b·θ}` for bitwise the same `scale_b·θ` products.
+    pub fn execute_batch_into(
+        &self,
+        params: &[f64],
+        state: &mut BatchStateVector,
+    ) -> Result<(), SimulatorError> {
+        let batch = state.batch();
+        let np = self.param_names.len();
+        if params.len() != np * batch {
+            return Err(SimulatorError::WrongParameterCount {
+                expected: np * batch,
+                got: params.len(),
+            });
+        }
+        if state.num_qubits() != self.num_qubits {
+            return Err(SimulatorError::WidthMismatch {
+                program: self.num_qubits,
+                state: state.num_qubits(),
+            });
+        }
+        let mut ops = self.ops.as_slice();
+        if matches!(ops.first(), Some(CompiledOp::InitPlus)) {
+            state.reset_plus();
+            ops = &ops[1..];
+        } else {
+            state.reset_zero();
+        }
+        // Per-element slot values, shared by every op below.
+        let slots_of = |b: usize| &params[b * np..(b + 1) * np];
+
+        // Stage the per-element 2×2 matrices of one single-qubit op.
+        let stage_one_q = |op: &CompiledOp, out: &mut Vec<[Complex64; 4]>| match op {
+            CompiledOp::OneQ { m, .. } => {
+                for _ in 0..batch {
+                    out.push(*m);
+                }
+            }
+            CompiledOp::OneQChain { factors, .. } => {
+                for b in 0..batch {
+                    let slots = slots_of(b);
+                    let one = Complex64::new(1.0, 0.0);
+                    let zero = Complex64::new(0.0, 0.0);
+                    let mut m = [one, zero, zero, one];
+                    for f in factors {
+                        let fm = match f {
+                            OneQFactor::Fixed(fm) => *fm,
+                            OneQFactor::Rot {
+                                gate,
+                                slot,
+                                multiplier,
+                            } => match GateMatrix::of(*gate, multiplier * slots[*slot]) {
+                                GateMatrix::One(fm) => fm,
+                                GateMatrix::Two(_) => unreachable!("single-qubit rotation"),
+                            },
+                        };
+                        m = mul2(&fm, &m);
+                    }
+                    out.push(m);
+                }
+            }
+            CompiledOp::OneQRot {
+                gate,
+                slot,
+                multiplier,
+                ..
+            } => {
+                for b in 0..batch {
+                    let theta = multiplier * slots_of(b)[*slot];
+                    match GateMatrix::of(*gate, theta) {
+                        GateMatrix::One(m) => out.push(m),
+                        GateMatrix::Two(_) => unreachable!("single-qubit rotation"),
+                    }
+                }
+            }
+            _ => unreachable!("not a single-qubit op"),
+        };
+        let one_q_target = |op: &CompiledOp| match op {
+            CompiledOp::OneQ { target, .. }
+            | CompiledOp::OneQChain { target, .. }
+            | CompiledOp::OneQRot { target, .. } => Some(*target),
+            _ => None,
+        };
+
+        let mut scr = state.take_exec_scratch();
+        let block_amps = crate::batch::run_block_amps(batch);
+        let mut i = 0;
+        while i < ops.len() {
+            // Fuse a maximal run of consecutive single-qubit ops whose pair
+            // strides fit the cache block into ONE blocked sweep (a QAOA
+            // mixer layer is exactly such a run). Gates keep their program
+            // order per amplitude, so results are bit-identical to the
+            // one-pass-per-gate path; only the memory traffic changes.
+            if one_q_target(&ops[i]).is_some() {
+                let mut k = i;
+                while k < ops.len() {
+                    match one_q_target(&ops[k]) {
+                        Some(t) if (2usize << t) <= block_amps => k += 1,
+                        _ => break,
+                    }
+                }
+                if k - i >= 2 {
+                    scr.run_targets.clear();
+                    scr.mat1.clear();
+                    for op in &ops[i..k] {
+                        scr.run_targets
+                            .push(one_q_target(op).expect("single-qubit run op"));
+                        stage_one_q(op, &mut scr.mat1);
+                    }
+                    let mut coef = std::mem::take(&mut scr.coef);
+                    state.apply_single_qubit_run_batch(
+                        &scr.run_targets,
+                        &scr.mat1,
+                        block_amps,
+                        &mut coef,
+                    );
+                    scr.coef = coef;
+                    i = k;
+                    continue;
+                }
+            }
+            let op = &ops[i];
+            i += 1;
+            match op {
+                CompiledOp::InitPlus => unreachable!("InitPlus past the program start"),
+                CompiledOp::OneQ { target, .. }
+                | CompiledOp::OneQChain { target, .. }
+                | CompiledOp::OneQRot { target, .. } => {
+                    scr.mat1.clear();
+                    stage_one_q(op, &mut scr.mat1);
+                    state.apply_single_qubit_batch(&scr.mat1, *target);
+                }
+                CompiledOp::TwoQ { q1, q0, m } => {
+                    scr.mat2.clear();
+                    scr.mat2.resize(batch, *m);
+                    state.apply_two_qubit_batch(&scr.mat2, *q1, *q0);
+                }
+                CompiledOp::TwoQRot {
+                    gate,
+                    q1,
+                    q0,
+                    slot,
+                    multiplier,
+                } => {
+                    scr.mat2.clear();
+                    for b in 0..batch {
+                        let theta = multiplier * slots_of(b)[*slot];
+                        match GateMatrix::of(*gate, theta) {
+                            GateMatrix::Two(m) => scr.mat2.push(m),
+                            GateMatrix::One(_) => unreachable!("two-qubit rotation"),
+                        }
+                    }
+                    state.apply_two_qubit_batch(&scr.mat2, *q1, *q0);
+                }
+                CompiledOp::Phase { table } => {
+                    let lut = &self.luts[*table];
+                    scr.factors_re.clear();
+                    scr.factors_im.clear();
+                    for &v in &lut.values {
+                        for _ in 0..batch {
+                            // Same expression as the scalar pass at scale 1.0.
+                            let f = Complex64::from_polar(1.0, 1.0 * v);
+                            scr.factors_re.push(f.re);
+                            scr.factors_im.push(f.im);
+                        }
+                    }
+                    state.apply_phase_lut(&lut.index, &scr.factors_re, &scr.factors_im);
+                }
+                CompiledOp::PhaseScaled { table, slot } => {
+                    let lut = &self.luts[*table];
+                    scr.factors_re.clear();
+                    scr.factors_im.clear();
+                    for &v in &lut.values {
+                        for b in 0..batch {
+                            let scale = slots_of(b)[*slot];
+                            let f = Complex64::from_polar(1.0, scale * v);
+                            scr.factors_re.push(f.re);
+                            scr.factors_im.push(f.im);
+                        }
+                    }
+                    state.apply_phase_lut(&lut.index, &scr.factors_re, &scr.factors_im);
+                }
+            }
+        }
+        state.restore_exec_scratch(scr);
+        Ok(())
+    }
+
+    /// Execute `B` parameter vectors in one sweep and return the `B` final
+    /// states (convenience wrapper around
+    /// [`CompiledProgram::execute_batch_into`]; an empty input yields an
+    /// empty output).
+    pub fn run_batch<P: AsRef<[f64]>>(
+        &self,
+        params_list: &[P],
+    ) -> Result<Vec<StateVector>, SimulatorError> {
+        if params_list.is_empty() {
+            return Ok(Vec::new());
+        }
+        let np = self.param_names.len();
+        let mut flat = Vec::with_capacity(np * params_list.len());
+        for p in params_list {
+            let p = p.as_ref();
+            if p.len() != np {
+                return Err(SimulatorError::WrongParameterCount {
+                    expected: np,
+                    got: p.len(),
+                });
+            }
+            flat.extend_from_slice(p);
+        }
+        let mut state = BatchStateVector::zero_states(self.num_qubits, params_list.len())?;
+        self.execute_batch_into(&flat, &mut state)?;
+        Ok((0..params_list.len()).map(|b| state.state(b)).collect())
+    }
 }
 
 struct ProgramBuilder {
@@ -382,6 +644,7 @@ struct ProgramBuilder {
     param_names: Vec<String>,
     ops: Vec<CompiledOp>,
     tables: Vec<Vec<f64>>,
+    luts: Vec<PhaseLut>,
     table_index: HashMap<Vec<u64>, usize>,
     pending: PendingDiag,
     /// Per-qubit chains of consecutive single-qubit gates (first-touch
@@ -631,6 +894,7 @@ impl ProgramBuilder {
         } else {
             fill(&mut table, 0);
         }
+        self.luts.push(PhaseLut::build(&table));
         self.tables.push(table);
         self.table_index.insert(key, self.tables.len() - 1);
         self.tables.len() - 1
@@ -797,6 +1061,100 @@ mod tests {
         let reference = StateVector::from_circuit(&c).unwrap();
         let compiled = program.run(&[]).unwrap();
         assert_states_close(&reference, &compiled, 1e-10);
+    }
+
+    fn assert_states_bitwise_equal(a: &StateVector, b: &StateVector) {
+        assert_eq!(a.num_qubits(), b.num_qubits());
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits(), "{x} vs {y}");
+            assert_eq!(x.im.to_bits(), y.im.to_bits(), "{x} vs {y}");
+        }
+    }
+
+    /// A QAOA-shaped template exercising every batched op kind: |+⟩ init,
+    /// fused scaled cost pass, fixed phase pass, rotation chains, fixed and
+    /// parameterized two-qubit gates.
+    fn batch_test_circuit(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.h_layer();
+        c.push(Gate::S, &[0], Parameter::None);
+        for q in 0..n - 1 {
+            c.push(Gate::RZZ, &[q, q + 1], Parameter::free("gamma_0", 2.0));
+        }
+        for q in 0..n {
+            c.push(Gate::RX, &[q], Parameter::free("beta_0", 2.0));
+            c.push(Gate::RY, &[q], Parameter::free("beta_0", 2.0));
+        }
+        c.cx(0, n - 1);
+        c.push(Gate::RXX, &[1, 2], Parameter::free("gamma_0", 0.5));
+        c
+    }
+
+    #[test]
+    fn batch_execution_is_bitwise_identical_to_sequential() {
+        for n in [4usize, 15] {
+            let program = CompiledProgram::compile(&batch_test_circuit(n)).unwrap();
+            for batch in [1usize, 2, 5] {
+                let points: Vec<Vec<f64>> = (0..batch)
+                    .map(|b| vec![0.3 + 0.17 * b as f64, -0.9 + 0.4 * b as f64])
+                    .collect();
+                let batched = program.run_batch(&points).unwrap();
+                for (p, got) in points.iter().zip(&batched) {
+                    let want = program.run(p).unwrap();
+                    assert_states_bitwise_equal(got, &want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scratch_reuse_matches_fresh_runs_bitwise() {
+        let program = CompiledProgram::compile(&batch_test_circuit(5)).unwrap();
+        let mut state = crate::batch::BatchStateVector::zero_states(5, 3).unwrap();
+        for round in 0..3 {
+            let points: Vec<Vec<f64>> = (0..3)
+                .map(|b| vec![0.1 * (round + 1) as f64 + 0.2 * b as f64, -0.4])
+                .collect();
+            let flat: Vec<f64> = points.iter().flatten().copied().collect();
+            program.execute_batch_into(&flat, &mut state).unwrap();
+            for (b, p) in points.iter().enumerate() {
+                assert_states_bitwise_equal(&state.state(b), &program.run(p).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_parameter_and_width_errors() {
+        let program = CompiledProgram::compile(&batch_test_circuit(4)).unwrap();
+        let mut state = crate::batch::BatchStateVector::zero_states(4, 2).unwrap();
+        assert!(matches!(
+            program.execute_batch_into(&[0.1; 3], &mut state),
+            Err(SimulatorError::WrongParameterCount {
+                expected: 4,
+                got: 3
+            })
+        ));
+        let mut narrow = crate::batch::BatchStateVector::zero_states(3, 2).unwrap();
+        assert!(matches!(
+            program.execute_batch_into(&[0.1; 4], &mut narrow),
+            Err(SimulatorError::WidthMismatch { .. })
+        ));
+        assert!(matches!(
+            program.run_batch(&[vec![0.1]]),
+            Err(SimulatorError::WrongParameterCount { .. })
+        ));
+        assert!(program.run_batch::<Vec<f64>>(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn phase_lut_reproduces_table_bit_patterns() {
+        let lut = PhaseLut::build(&[0.5, -0.0, 0.5, 0.0, 1.25, -0.0, 0.5, 1.25]);
+        // -0.0 and 0.0 have distinct bit patterns and must stay distinct.
+        assert_eq!(lut.values.len(), 4);
+        let table: [f64; 8] = [0.5, -0.0, 0.5, 0.0, 1.25, -0.0, 0.5, 1.25];
+        for (z, &theta) in table.iter().enumerate() {
+            assert_eq!(lut.values[lut.index[z] as usize].to_bits(), theta.to_bits());
+        }
     }
 
     #[test]

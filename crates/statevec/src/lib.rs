@@ -31,12 +31,14 @@
 //! assert!((probs[0b11] - 0.5).abs() < 1e-12);
 //! ```
 
+pub mod batch;
 pub mod compile;
 pub mod error;
 pub mod expectation;
 pub mod sampling;
 pub mod state;
 
+pub use batch::BatchStateVector;
 pub use compile::CompiledProgram;
 pub use error::SimulatorError;
 pub use state::StateVector;
@@ -66,6 +68,38 @@ pub fn parallel_threshold_qubits() -> usize {
             .and_then(|v| v.trim().parse::<usize>().ok())
             .unwrap_or(PARALLEL_THRESHOLD_QUBITS)
     })
+}
+
+/// Preferred number of batch elements to simulate per sweep for an `n`-qubit
+/// register, capped at `batch`.
+///
+/// The structure-of-arrays buffer of [`BatchStateVector`] holds
+/// `2^n · tile` amplitudes; keeping that under a few MiB preserves the
+/// cache residency the scalar kernels enjoy across a program's ~dozens of
+/// passes, while still amortizing each angle-table lookup over several
+/// states. The ~4 MiB budget gives tile 4 at n = 16 and larger tiles for
+/// smaller registers; the floor of 2 keeps the lookup amortization even when
+/// one state already fills the budget. Tiling never affects results — batch
+/// elements are arithmetically independent — so this is purely a performance
+/// knob, overridable per machine with the `QAS_BATCH_TILE` environment
+/// variable.
+pub fn preferred_batch_tile(num_qubits: usize, batch: usize) -> usize {
+    static TILE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    let forced = *TILE.get_or_init(|| {
+        std::env::var("QAS_BATCH_TILE")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+    });
+    if batch <= 1 {
+        return batch.max(1);
+    }
+    if let Some(t) = forced {
+        return t.min(batch);
+    }
+    let state_bytes = (1usize << num_qubits) * std::mem::size_of::<num_complex::Complex64>();
+    let budget = 4usize << 20;
+    (budget / state_bytes.max(1)).clamp(2, 32).min(batch)
 }
 
 #[cfg(test)]

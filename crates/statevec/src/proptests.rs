@@ -156,6 +156,44 @@ proptest! {
     }
 
     #[test]
+    fn batched_execution_matches_sequential_bitwise(
+        edges in proptest::collection::vec((0usize..5, 0usize..5), 1..8),
+        depth in 1usize..3,
+        points in proptest::collection::vec(
+            proptest::collection::vec(-2.0f64..2.0, 4), 1..7),
+    ) {
+        // Same QAOA-shaped template as above; every batch element gets its
+        // own angles and must come out bit-for-bit equal to its own scalar
+        // run.
+        let mut c = Circuit::new(5);
+        c.h_layer();
+        for k in 0..depth {
+            let gamma = format!("gamma_{k}");
+            for &(u, v) in &edges {
+                if u != v {
+                    c.push(Gate::RZZ, &[u, v], Parameter::free(&gamma, 2.0));
+                }
+            }
+            let beta = format!("beta_{k}");
+            for q in 0..5 {
+                c.push(Gate::RX, &[q], Parameter::free(&beta, 2.0));
+            }
+        }
+        let program = CompiledProgram::compile(&c).unwrap();
+        let np = program.num_params();
+        let points: Vec<Vec<f64>> =
+            points.into_iter().map(|p| p[..np].to_vec()).collect();
+        let batched = program.run_batch(&points).unwrap();
+        for (p, got) in points.iter().zip(&batched) {
+            let want = program.run(p).unwrap();
+            for (a, b) in got.amplitudes().iter().zip(want.amplitudes()) {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn maxcut_diagonal_matches_per_state_values(
         edges in proptest::collection::vec((0usize..4, 0usize..4, 0.1f64..2.0), 1..6),
     ) {

@@ -23,17 +23,18 @@ use std::ops::Range;
 
 /// Raw amplitude pointer that can cross `std::thread::scope` boundaries.
 ///
-/// Used only by the two-qubit kernel, which partitions the base-index space
-/// into disjoint per-thread ranges; every base index expands to a unique
-/// amplitude quadruple, so no two threads ever touch the same amplitude.
+/// Used only by the two-qubit kernels (scalar here, batched in
+/// [`crate::batch`]), which partition the base-index space into disjoint
+/// per-thread ranges; every base index expands to a unique amplitude
+/// quadruple, so no two threads ever touch the same amplitude.
 #[derive(Clone, Copy)]
-struct AmpPtr(*mut Complex64);
+pub(crate) struct AmpPtr(pub(crate) *mut Complex64);
 
 impl AmpPtr {
     /// Accessor used inside worker closures; going through a method makes
     /// the closure capture the whole `Sync` wrapper rather than the raw
     /// pointer field (edition-2021 disjoint capture).
-    fn get(self) -> *mut Complex64 {
+    pub(crate) fn get(self) -> *mut Complex64 {
         self.0
     }
 }
@@ -47,7 +48,7 @@ unsafe impl Sync for AmpPtr {}
 /// Split `0..total` into one contiguous range per worker thread and run `f`
 /// on each range in parallel (honouring [`rayon::ThreadPool::install`]
 /// overrides). Runs inline when one thread suffices.
-fn par_index_ranges(total: usize, f: impl Fn(Range<usize>) + Sync) {
+pub(crate) fn par_index_ranges(total: usize, f: impl Fn(Range<usize>) + Sync) {
     let threads = rayon::current_num_threads().clamp(1, total.max(1));
     if threads <= 1 {
         f(0..total);
@@ -69,7 +70,7 @@ fn par_index_ranges(total: usize, f: impl Fn(Range<usize>) + Sync) {
 
 /// Chunk size for `par_chunks_mut` kernels: a multiple of `block` close to
 /// an even split across the worker threads, so each thread gets one chunk.
-fn parallel_chunk_size(dim: usize, block: usize) -> usize {
+pub(crate) fn parallel_chunk_size(dim: usize, block: usize) -> usize {
     let threads = rayon::current_num_threads().max(1);
     let per_thread = (dim / threads).max(block);
     (per_thread / block) * block

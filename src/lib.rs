@@ -58,12 +58,10 @@ pub mod prelude {
     pub use optim::{CobylaOptimizer, NelderMead, Optimizer, OptimizerKind, Resumable, Spsa};
     pub use qaoa::{
         ansatz::QaoaAnsatz,
-        energy::{EnergyEvaluator, TrainingSession},
+        energy::{BatchScratch, CompiledEnergy, EnergyEvaluator, TrainingSession},
         mixer::Mixer,
         Backend,
     };
-    #[allow(deprecated)]
-    pub use qarchsearch::search::{ParallelSearch, SerialSearch};
     pub use qarchsearch::{
         alphabet::{GateAlphabet, RotationGate},
         error::SearchError,

@@ -1,0 +1,197 @@
+//! Differential suite for batched multi-parameter energy evaluation
+//! (ISSUE 6 tentpole).
+//!
+//! The batched statevector sweep is an optimization, not a semantic change:
+//! every test here pins **bitwise** equality between the batch path and the
+//! sequential reference it amortizes —
+//!
+//! 1. `CompiledEnergy::energy_batch_in` ≡ one `energy_flat_in` per point,
+//!    as exact `f64` bit patterns, for batch sizes 1, 2, 7 and 64, for every
+//!    shipped problem family;
+//! 2. training through the optimizer batch-step protocol
+//!    (`TrainingSession::advance_batched_in`) ≡ scalar `advance_in`, for all
+//!    five bundled optimizers, including interrupted/mixed rung sequences;
+//! 3. the full search pipeline (which now routes through the batch path)
+//!    stays thread-count-deterministic — the pinned byte-exact searches in
+//!    `tests/problems.rs` complete this claim against pre-batching captures.
+
+use qarchsearch_suite::prelude::*;
+
+const BATCH_SIZES: [usize; 4] = [1, 2, 7, 64];
+
+/// Deterministic parameter points spread over the QAOA angle range.
+fn points(count: usize, dim: usize) -> Vec<Vec<f64>> {
+    (0..count)
+        .map(|i| {
+            (0..dim)
+                .map(|j| 0.11 + 0.37 * (i as f64) - 0.23 * (j as f64) + 0.013 * (i * j) as f64)
+                .map(|x| (x % 3.0) - 1.5)
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn energy_batch_in_matches_energy_flat_in_bitwise_for_every_problem() {
+    let graph = Graph::erdos_renyi(7, 0.5, 41);
+    for kind in ProblemKind::all(41) {
+        let problem = kind.instantiate(&graph);
+        let eval =
+            EnergyEvaluator::for_problem(&graph, problem.clone(), Backend::StateVector).unwrap();
+        let ansatz = QaoaAnsatz::for_problem(&problem, 2, Mixer::qnas()).unwrap();
+        let compiled = eval.compile(&ansatz).unwrap();
+        let mut scratch = BatchScratch::new();
+        let mut state = StateVector::zero_state(compiled.num_qubits()).unwrap();
+        for batch in BATCH_SIZES {
+            let pts = points(batch, 4);
+            let batched = compiled.energy_batch_in(&pts, &mut scratch).unwrap();
+            assert_eq!(batched.len(), batch, "{}", problem.name());
+            for (p, &e) in pts.iter().zip(&batched) {
+                let scalar = compiled.energy_flat_in(p, &mut state).unwrap();
+                assert_eq!(
+                    e.to_bits(),
+                    scalar.to_bits(),
+                    "{} B={batch}: batched {e} vs sequential {scalar} at {p:?}",
+                    problem.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn energy_batch_internal_and_external_scratch_agree_bitwise() {
+    let graph = Graph::erdos_renyi(6, 0.5, 17);
+    let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+    let ansatz = QaoaAnsatz::new(&graph, 2, Mixer::qnas());
+    let compiled = eval.compile(&ansatz).unwrap();
+    let mut scratch = BatchScratch::new();
+    for batch in BATCH_SIZES {
+        let pts = points(batch, 4);
+        let external = compiled.energy_batch_in(&pts, &mut scratch).unwrap();
+        let internal = compiled.energy_batch(&pts).unwrap();
+        for (a, b) in external.iter().zip(&internal) {
+            assert_eq!(a.to_bits(), b.to_bits(), "B={batch}");
+        }
+    }
+}
+
+/// One training rung per optimizer through the batch protocol vs the scalar
+/// protocol: identical energies, angles and evaluation counts to the bit.
+#[test]
+fn batched_training_is_bit_identical_for_all_five_optimizers() {
+    let graph = Graph::erdos_renyi(7, 0.5, 23);
+    for kind in [
+        ProblemKind::MaxCut,
+        ProblemKind::MaxIndependentSet { penalty: 2.0 },
+    ] {
+        let problem = kind.instantiate(&graph);
+        let eval =
+            EnergyEvaluator::for_problem(&graph, problem.clone(), Backend::StateVector).unwrap();
+        let ansatz = QaoaAnsatz::for_problem(&problem, 2, Mixer::qnas()).unwrap();
+        for opt_kind in OptimizerKind::all() {
+            let opt = opt_kind.build_resumable();
+            let mut scalar = eval.begin_training(&ansatz, &*opt, None, 80).unwrap();
+            let a = scalar.advance(&*opt, 80).unwrap();
+
+            let mut batched = eval.begin_training(&ansatz, &*opt, None, 80).unwrap();
+            let mut scratch = BatchScratch::new();
+            let b = batched
+                .advance_batched_in(&*opt, 80, Some(&mut scratch))
+                .unwrap();
+
+            let ctx = format!("{} with {opt_kind}", problem.name());
+            assert_eq!(a.energy.to_bits(), b.energy.to_bits(), "{ctx}: energy");
+            assert_eq!(a.gammas, b.gammas, "{ctx}: gammas");
+            assert_eq!(a.betas, b.betas, "{ctx}: betas");
+            assert_eq!(a.evaluations, b.evaluations, "{ctx}: evaluations");
+            assert_eq!(
+                a.approx_ratio.to_bits(),
+                b.approx_ratio.to_bits(),
+                "{ctx}: ratio"
+            );
+        }
+    }
+}
+
+/// Interrupted runs stay interchangeable: a session advanced in batched
+/// rungs, scalar rungs, or any mix lands on the same bits.
+#[test]
+fn mixed_batched_and_scalar_rungs_are_bit_identical() {
+    let graph = Graph::erdos_renyi(7, 0.5, 29);
+    let eval = EnergyEvaluator::new(&graph, Backend::StateVector);
+    let ansatz = QaoaAnsatz::new(&graph, 2, Mixer::qnas());
+    for opt_kind in OptimizerKind::all() {
+        let opt = opt_kind.build_resumable();
+        let mut reference = eval.begin_training(&ansatz, &*opt, None, 90).unwrap();
+        reference.advance(&*opt, 25).unwrap();
+        reference.advance(&*opt, 60).unwrap();
+        let r = reference.advance(&*opt, 90).unwrap();
+
+        // batched → scalar → batched
+        let mut mixed = eval.begin_training(&ansatz, &*opt, None, 90).unwrap();
+        mixed.advance_batched(&*opt, 25).unwrap();
+        mixed.advance(&*opt, 60).unwrap();
+        let m = mixed.advance_batched(&*opt, 90).unwrap();
+
+        // scalar → batched → scalar
+        let mut other = eval.begin_training(&ansatz, &*opt, None, 90).unwrap();
+        other.advance(&*opt, 25).unwrap();
+        other.advance_batched(&*opt, 60).unwrap();
+        let o = other.advance(&*opt, 90).unwrap();
+
+        assert_eq!(r.energy.to_bits(), m.energy.to_bits(), "{opt_kind} b-s-b");
+        assert_eq!(r.evaluations, m.evaluations, "{opt_kind} b-s-b");
+        assert_eq!(r.gammas, m.gammas, "{opt_kind} b-s-b");
+        assert_eq!(r.energy.to_bits(), o.energy.to_bits(), "{opt_kind} s-b-s");
+        assert_eq!(r.evaluations, o.evaluations, "{opt_kind} s-b-s");
+        assert_eq!(r.betas, o.betas, "{opt_kind} s-b-s");
+    }
+}
+
+/// The batched pipeline is thread-count-deterministic end to end, for a
+/// batching-friendly optimizer (SPSA proposes ± probe pairs every step).
+#[test]
+fn batched_pipeline_search_is_thread_count_deterministic() {
+    let dataset = qarchsearch_suite::graphs::datasets::erdos_renyi_dataset(2, 7, 301);
+    let cfg = SearchConfig::builder()
+        .alphabet(GateAlphabet::from_mnemonics(&["rx", "ry"]).unwrap())
+        .max_depth(2)
+        .max_gates_per_mixer(2)
+        .optimizer_budget(40)
+        .backend(Backend::StateVector)
+        .optimizer(OptimizerKind::Spsa)
+        .halving(10, 2)
+        .seed(301)
+        .build();
+    let one = SearchDriver::new(SearchConfig {
+        threads: Some(1),
+        ..cfg.clone()
+    })
+    .run(&dataset)
+    .unwrap();
+    let four = SearchDriver::new(SearchConfig {
+        threads: Some(4),
+        ..cfg
+    })
+    .run(&dataset)
+    .unwrap();
+    assert_eq!(one.best.energy.to_bits(), four.best.energy.to_bits());
+    assert_eq!(one.best.mixer_label, four.best.mixer_label);
+    assert_eq!(
+        one.total_optimizer_evaluations,
+        four.total_optimizer_evaluations
+    );
+    for (da, db) in one.depth_results.iter().zip(&four.depth_results) {
+        for (ca, cb) in da.candidates.iter().zip(&db.candidates) {
+            assert_eq!(ca.mixer_label, cb.mixer_label);
+            assert_eq!(
+                ca.mean_energy.to_bits(),
+                cb.mean_energy.to_bits(),
+                "{} at depth {}",
+                ca.mixer_label,
+                da.depth
+            );
+        }
+    }
+}

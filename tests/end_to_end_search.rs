@@ -72,7 +72,7 @@ fn parallel_search_matches_serial_winner() {
 
 #[test]
 fn budget_aware_pipeline_saves_budget_at_competitive_energy() {
-    // The default ParallelSearch pipeline (successive halving + warm
+    // The default parallel pipeline (successive halving + warm
     // starts) spends a fraction of the full budget and still lands within
     // optimizer noise of the exhaustive winner.
     let graphs = training_graphs();

@@ -72,11 +72,16 @@ fn maxcut_pipeline_search_is_bit_identical_to_pre_refactor() {
         .build();
     let outcome = SearchDriver::new(cfg.clone()).run(&dataset).unwrap();
 
-    // The deprecated blocking shim must reproduce the session driver bit
-    // for bit (it is a thin `start().wait()` wrapper).
-    #[allow(deprecated)]
-    let legacy = ParallelSearch::new(cfg).run(&dataset).unwrap();
-    assert_outcomes_bitwise_equal(&outcome, &legacy);
+    // Driver vs driver: a second run at a different worker count must
+    // reproduce the first bit for bit (thread count never leaks into
+    // results — including through the batched energy path).
+    let other = SearchDriver::new(SearchConfig {
+        threads: Some(1),
+        ..cfg
+    })
+    .run(&dataset)
+    .unwrap();
+    assert_outcomes_bitwise_equal(&outcome, &other);
 
     assert_eq!(outcome.problem, "maxcut");
     assert_eq!(outcome.best.mixer_label, "('rx', 'rx')");
@@ -144,10 +149,10 @@ fn maxcut_serial_tensornet_search_is_bit_identical_to_pre_refactor() {
         .build();
     let outcome = SearchDriver::new(cfg.clone()).run(&dataset).unwrap();
 
-    // The deprecated serial shim reproduces the driver bit for bit.
-    #[allow(deprecated)]
-    let legacy = SerialSearch::new(cfg).run(&dataset).unwrap();
-    assert_outcomes_bitwise_equal(&outcome, &legacy);
+    // Driver vs driver: a repeated serial run reproduces the first bit for
+    // bit.
+    let again = SearchDriver::new(cfg).run(&dataset).unwrap();
+    assert_outcomes_bitwise_equal(&outcome, &again);
 
     assert_eq!(outcome.best.mixer_label, "('ry')");
     assert_eq!(outcome.best.energy.to_bits(), 0x4017ff6229602e46);

@@ -124,6 +124,14 @@ impl<T: Send> ParSeq<T> {
         }
     }
 
+    /// Pair items positionally with another parallel sequence, like rayon's
+    /// `IndexedParallelIterator::zip`. Truncates to the shorter input.
+    pub fn zip<U: Send>(self, other: ParSeq<U>) -> ParSeq<(T, U)> {
+        ParSeq {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
     /// Pair every item with its index.
     pub fn enumerate(self) -> ParSeq<(usize, T)> {
         ParSeq {
