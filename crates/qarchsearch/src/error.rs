@@ -1,9 +1,13 @@
 //! Error types for the architecture search.
 
+use serde::{Deserialize, Serialize};
 use thiserror::Error;
 
 /// Errors raised by the search package.
-#[derive(Debug, Error, Clone, PartialEq)]
+///
+/// Serializable so terminal errors can be journaled by the durable job
+/// store ([`crate::store`]) and survive a server restart.
+#[derive(Debug, Error, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SearchError {
     /// The gate alphabet is empty.
     #[error("gate alphabet must contain at least one gate")]
@@ -53,6 +57,47 @@ pub enum SearchError {
         /// The offending job id.
         id: u64,
     },
+
+    /// The search engine (or a candidate evaluation inside it) panicked.
+    /// The worker thread survives; the job is recorded as
+    /// [`crate::server::JobState::Failed`] with this message.
+    #[error("search panicked: {message}")]
+    Panicked {
+        /// The panic payload, best-effort stringified.
+        message: String,
+    },
+
+    /// A job exceeded its [`crate::server::JobSpec::timeout_secs`] deadline
+    /// and was cooperatively cancelled.
+    #[error("job deadline exceeded after {timeout_secs} seconds")]
+    DeadlineExceeded {
+        /// The configured per-job timeout.
+        timeout_secs: f64,
+    },
+
+    /// A transient fault (an injected I/O error, a flaky resource) that a
+    /// job with retry budget left will automatically retry with
+    /// exponential backoff.
+    #[error("transient failure: {message}")]
+    Transient {
+        /// Underlying error description.
+        message: String,
+    },
+
+    /// The durable job store could not read or write its journal.
+    #[error("job store error: {message}")]
+    Store {
+        /// Underlying I/O or format error description.
+        message: String,
+    },
+}
+
+impl SearchError {
+    /// Whether the error is transient — eligible for automatic retry under
+    /// the job server's bounded exponential backoff.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SearchError::Transient { .. })
+    }
 }
 
 impl From<qaoa::QaoaError> for SearchError {

@@ -8,6 +8,7 @@
 //! kept as well for the quality figures (Figs. 7–9).
 
 use crate::error::SearchError;
+use crate::sync::lock_recover;
 use graphs::{Graph, ProblemKind};
 use optim::{CobylaOptimizer, NelderMead, Optimizer, OptimizerKind, RandomSearch, Resumable, Spsa};
 use qaoa::ansatz::QaoaAnsatz;
@@ -177,7 +178,7 @@ impl Evaluator {
     fn energy_evaluator_for(&self, graph: &Graph) -> Arc<EnergyEvaluator> {
         let key = instance_fingerprint(&self.config.problem, graph);
         {
-            let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            let cache = lock_recover(&self.cache);
             if let Some(hit) = cache.get(&key) {
                 if hit.graph() == graph {
                     return Arc::clone(hit);
@@ -192,7 +193,7 @@ impl Evaluator {
             EnergyEvaluator::for_problem(graph, problem, self.config.backend)
                 .expect("instantiated problem matches its graph"),
         );
-        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        let mut cache = lock_recover(&self.cache);
         match cache.entry(key) {
             std::collections::hash_map::Entry::Occupied(mut slot) => {
                 if slot.get().graph() == graph {

@@ -14,6 +14,16 @@
 //! and what `qas serve` replays to protocol clients, so mid-run telemetry
 //! (the raw material for surrogate predictors and kill-doomed-runs
 //! schedulers) is available without waiting for the final outcome.
+//!
+//! **Durability semantics.** The in-memory event log is *not* journaled by
+//! the durable store ([`crate::store`]): after a crash and restart, a
+//! recovered job's log restarts from its resume point (a fresh `Started`
+//! with `start_depth` past the checkpointed depths), and a job recovered
+//! already-terminal carries its journaled result but an empty log. The
+//! server may also append events the engine never emitted: a synthetic
+//! [`SearchEvent::Failed`] closes the log when a job panics or exhausts
+//! its transient-failure retries, and a retried job concatenates the
+//! streams of its attempts (each attempt ends in a terminal event).
 
 use crate::search::ExecutionMode;
 use serde::{Deserialize, Serialize};

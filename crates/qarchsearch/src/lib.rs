@@ -52,6 +52,7 @@ pub mod encoding;
 pub mod error;
 pub mod evaluator;
 pub mod events;
+pub mod fault;
 mod pipeline;
 pub mod predictor;
 pub mod qbuilder;
@@ -59,6 +60,8 @@ pub mod report;
 pub mod search;
 pub mod server;
 pub mod session;
+pub mod store;
+mod sync;
 pub mod worksteal;
 
 pub use alphabet::{GateAlphabet, RotationGate};
@@ -66,13 +69,17 @@ pub use constraints::{Constraint, ConstraintSet};
 pub use error::SearchError;
 pub use evaluator::Evaluator;
 pub use events::SearchEvent;
+pub use fault::{FaultAction, FaultContext, FaultInjector, FaultPlan, FaultSpec};
 pub use predictor::{BanditState, Predictor, RandomPredictor};
 pub use qbuilder::QBuilder;
 pub use search::{ExecutionMode, PipelineConfig, RungStat, SearchConfig, SearchOutcome};
-pub use server::{JobId, JobServer, JobServerConfig, JobSpec, JobState, JobStatus};
+pub use server::{
+    JobId, JobServer, JobServerConfig, JobSpec, JobState, JobStatus, RecoveryReport, ServerOptions,
+};
 pub use session::{
     SchedulerCheckpoint, SearchCheckpoint, SearchDriver, SearchHandle, SearchProgress, SearchStatus,
 };
+pub use store::{JobStore, JournalRecord, ReplayedJob, ReplayedState, StoreConfig};
 
 #[cfg(test)]
 mod proptests;

@@ -29,10 +29,12 @@
 use crate::error::SearchError;
 use crate::evaluator::{CandidateResult, Evaluator};
 use crate::events::SearchEvent;
+use crate::fault::{self, site, FaultContext};
 use crate::predictor::{EpsilonGreedyPredictor, Predictor};
 use crate::qbuilder::QBuilder;
 use crate::search::{RungStat, SearchConfig};
 use crate::session::SchedulerCheckpoint;
+use crate::sync::lock_recover;
 use crate::worksteal::run_tasks;
 use graphs::Graph;
 use qaoa::energy::{ProgressHook, TrainedCircuit, TrainingProgress, TrainingSession};
@@ -162,7 +164,10 @@ impl BudgetedScheduler {
     /// from the calling thread, never from a worker. `cancel` is polled
     /// between rungs: once set, the depth aborts with
     /// [`SearchError::Cancelled`] and its partial sessions are dropped
-    /// (cancellation is depth-atomic for results).
+    /// (cancellation is depth-atomic for results). `faults` is the
+    /// optional chaos-test context: [`crate::fault::site::PIPELINE_RUNG`]
+    /// fires at the top of every successive-halving rung.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn evaluate_depth(
         &mut self,
         depth: usize,
@@ -171,6 +176,7 @@ impl BudgetedScheduler {
         threads: usize,
         cancel: &std::sync::atomic::AtomicBool,
         events: &mut dyn FnMut(SearchEvent),
+        faults: Option<&FaultContext>,
     ) -> Result<DepthEvaluation, SearchError> {
         let (candidates, gated_out) = self.apply_gate(candidates);
         if gated_out > 0 {
@@ -202,7 +208,7 @@ impl BudgetedScheduler {
             // granularity.
             self.evaluate_legacy(depth, &mixers, graphs, threads)?
         } else {
-            self.evaluate_halving(depth, &mixers, graphs, threads, cancel, events)?
+            self.evaluate_halving(depth, &mixers, graphs, threads, cancel, events, faults)?
         };
 
         // The gate bandit must compare like with like: under halving,
@@ -236,6 +242,7 @@ impl BudgetedScheduler {
     /// The successive-halving session pipeline. The third return value is
     /// the per-candidate mean energy after the first rung — the
     /// equal-budget reward the gate bandit trains on.
+    #[allow(clippy::too_many_arguments)]
     fn evaluate_halving(
         &self,
         depth: usize,
@@ -244,6 +251,7 @@ impl BudgetedScheduler {
         threads: usize,
         cancel: &std::sync::atomic::AtomicBool,
         events: &mut dyn FnMut(SearchEvent),
+        faults: Option<&FaultContext>,
     ) -> Result<EvaluatedCohort, SearchError> {
         let pc = &self.config.pipeline;
         let full_budget = self.config.evaluator.budget;
@@ -293,9 +301,7 @@ impl BudgetedScheduler {
                 let slot = ci * num_graphs + gi;
                 let sink = Arc::clone(&progress);
                 session.set_progress_hook(Some(ProgressHook::new(move |p| {
-                    sink.lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .push((slot, p.clone()));
+                    lock_recover(&sink).push((slot, p.clone()));
                 })));
                 sessions.push(Some(session));
             }
@@ -311,6 +317,7 @@ impl BudgetedScheduler {
             if cancel.load(std::sync::atomic::Ordering::SeqCst) {
                 return Err(SearchError::Cancelled);
             }
+            fault::trip(faults, site::PIPELINE_RUNG)?;
             let entrants = active.len();
             let mut tasks: Vec<(usize, TrainingSession)> =
                 Vec::with_capacity(entrants * num_graphs);
@@ -344,7 +351,7 @@ impl BudgetedScheduler {
             // Forward this rung's session telemetry in deterministic slot
             // order (workers pushed in completion order).
             let mut advanced = {
-                let mut buf = progress.lock().unwrap_or_else(|e| e.into_inner());
+                let mut buf = lock_recover(&progress);
                 std::mem::take(&mut *buf)
             };
             advanced.sort_by_key(|(slot, _)| *slot);

@@ -163,6 +163,19 @@ impl SearchReport {
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("search report serializes")
     }
+
+    /// The same report with every wall-clock field zeroed. Search results
+    /// are deterministic for a fixed seed, but elapsed seconds are not —
+    /// recovery tests compare `without_timings().to_json()` bytes to pin
+    /// the semantic outcome while ignoring the clock.
+    pub fn without_timings(&self) -> SearchReport {
+        let mut report = self.clone();
+        for (_, seconds) in &mut report.per_depth_seconds {
+            *seconds = 0.0;
+        }
+        report.total_seconds = 0.0;
+        report
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,5 @@
 //! The multi-tenant job server: many concurrent search sessions over one
-//! bounded, priority-ordered queue.
+//! bounded, priority-ordered queue — crash-safe when given a state dir.
 //!
 //! [`JobServer`] is the programmatic face of `qas serve`: callers submit
 //! [`JobSpec`]s (a [`SearchConfig`] plus training graphs and a priority),
@@ -17,18 +17,46 @@
 //! submissions beyond it fail fast with [`SearchError::QueueFull`] instead
 //! of accumulating unbounded memory — the behaviour a front door serving
 //! heavy traffic needs.
+//!
+//! ## Fault tolerance
+//!
+//! Launched via [`JobServer::launch`] with a [`StoreConfig`], the server
+//! write-ahead journals every submission, state transition, periodic
+//! [`SearchCheckpoint`], and terminal result to a crc-checked JSON-lines
+//! journal ([`crate::store`]). On restart it replays the journal,
+//! re-enqueues incomplete jobs, and resumes each from its last checkpoint
+//! — bit-identical to an uninterrupted run. Independently of the store:
+//!
+//! * **Panic isolation** — workers wrap job execution in `catch_unwind`;
+//!   a panicking candidate evaluation becomes
+//!   [`JobState::Failed`]` { panic: Some(message) }` plus a terminal
+//!   [`SearchEvent::Failed`], and the worker (and every lock, via the
+//!   poison-recovering helpers in the crate-private `sync` module)
+//!   survives.
+//! * **Deadlines** — [`JobSpec::timeout_secs`] arms a per-job deadline;
+//!   on expiry the job is cooperatively cancelled and recorded as
+//!   [`JobState::TimedOut`].
+//! * **Retries** — transient failures ([`SearchError::is_transient`])
+//!   consume [`JobSpec::max_retries`] attempts under deterministic
+//!   exponential backoff, resuming from the last checkpoint.
 
 use crate::error::SearchError;
 use crate::events::SearchEvent;
+use crate::fault::{self, site, FaultContext, FaultInjector};
 use crate::search::{SearchConfig, SearchOutcome};
-use crate::session::{Canceller, SearchDriver, SearchProgress, SearchStatus};
+use crate::session::{Canceller, SearchCheckpoint, SearchDriver, SearchProgress, SearchStatus};
+use crate::store::{JobStore, JournalRecord, ReplayedState, StoreConfig};
+use crate::sync::{lock_recover, wait_recover, wait_timeout_recover};
 use graphs::Graph;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-/// Identifier of a submitted job (monotonically increasing per server).
+/// Identifier of a submitted job (monotonically increasing per server,
+/// preserved across restarts by the durable store).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct JobId(pub u64);
 
@@ -45,6 +73,18 @@ pub struct JobSpec {
     pub name: Option<String>,
     /// Higher runs first; ties serve in submission order.
     pub priority: i32,
+    /// Per-job deadline in seconds: on expiry the session is cooperatively
+    /// cancelled and the job recorded as [`JobState::TimedOut`]. `None`
+    /// runs unbounded.
+    pub timeout_secs: Option<f64>,
+    /// Automatic retries granted for **transient** failures
+    /// ([`SearchError::is_transient`]); each retry resumes from the last
+    /// checkpoint. `0` (the default) fails on first transient error.
+    pub max_retries: u32,
+    /// Base backoff before retry attempt `n`, growing as
+    /// `retry_backoff_ms * 2^(n-1)` — deterministic, not jittered, so
+    /// chaos tests replay exactly.
+    pub retry_backoff_ms: u64,
     /// The search configuration (execution mode included).
     pub config: SearchConfig,
     /// The training graphs.
@@ -52,11 +92,14 @@ pub struct JobSpec {
 }
 
 impl JobSpec {
-    /// A job with default priority 0 and no name.
+    /// A job with default priority 0, no name, no deadline, no retries.
     pub fn new(config: SearchConfig, graphs: Vec<Graph>) -> JobSpec {
         JobSpec {
             name: None,
             priority: 0,
+            timeout_secs: None,
+            max_retries: 0,
+            retry_backoff_ms: 100,
             config,
             graphs,
         }
@@ -73,22 +116,54 @@ impl JobSpec {
         self.name = Some(name.into());
         self
     }
+
+    /// Set the per-job deadline.
+    pub fn timeout_secs(mut self, secs: f64) -> JobSpec {
+        self.timeout_secs = Some(secs);
+        self
+    }
+
+    /// Set the transient-failure retry budget.
+    pub fn max_retries(mut self, retries: u32) -> JobSpec {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Set the base retry backoff in milliseconds.
+    pub fn retry_backoff_ms(mut self, millis: u64) -> JobSpec {
+        self.retry_backoff_ms = millis;
+        self
+    }
 }
 
 /// Queue/lifecycle state of a job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum JobState {
     /// Waiting in the bounded queue.
     Queued,
     /// A worker is driving its search session.
     Running,
+    /// A transient failure consumed retry attempt `attempt`; the job is
+    /// back in the queue behind a deterministic exponential backoff and
+    /// will resume from its last checkpoint.
+    Retrying {
+        /// 1-based retry attempt underway.
+        attempt: u32,
+    },
     /// Finished every depth; the outcome is ready.
     Completed,
     /// Cancelled (instantly if queued; cooperatively if running — a partial
     /// outcome may still be available).
     Cancelled,
-    /// The session failed.
-    Failed,
+    /// The per-job deadline ([`JobSpec::timeout_secs`]) expired; the
+    /// session was cooperatively cancelled.
+    TimedOut,
+    /// The session failed. `panic` carries the panic message when the
+    /// failure was a caught panic rather than a typed error.
+    Failed {
+        /// The panic payload, if the job died panicking.
+        panic: Option<String>,
+    },
 }
 
 impl JobState {
@@ -96,21 +171,25 @@ impl JobState {
     pub fn is_terminal(&self) -> bool {
         matches!(
             self,
-            JobState::Completed | JobState::Cancelled | JobState::Failed
+            JobState::Completed
+                | JobState::Cancelled
+                | JobState::TimedOut
+                | JobState::Failed { .. }
         )
     }
 }
 
 impl std::fmt::Display for JobState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            JobState::Queued => "queued",
-            JobState::Running => "running",
-            JobState::Completed => "completed",
-            JobState::Cancelled => "cancelled",
-            JobState::Failed => "failed",
-        };
-        write!(f, "{s}")
+        match self {
+            JobState::Queued => write!(f, "queued"),
+            JobState::Running => write!(f, "running"),
+            JobState::Retrying { attempt } => write!(f, "retrying (attempt {attempt})"),
+            JobState::Completed => write!(f, "completed"),
+            JobState::Cancelled => write!(f, "cancelled"),
+            JobState::TimedOut => write!(f, "timed-out"),
+            JobState::Failed { .. } => write!(f, "failed"),
+        }
     }
 }
 
@@ -125,6 +204,8 @@ pub struct JobStatus {
     pub priority: i32,
     /// Queue/lifecycle state.
     pub state: JobState,
+    /// Retry attempts consumed so far.
+    pub retries: u32,
     /// Events recorded so far (the `since` cursor for
     /// [`JobServer::events_since`]).
     pub events_recorded: usize,
@@ -157,6 +238,34 @@ impl Default for JobServerConfig {
     }
 }
 
+/// Extra launch-time wiring: the durable store and the fault-injection
+/// harness (both optional; the default is the in-memory server).
+#[derive(Debug, Default)]
+pub struct ServerOptions {
+    /// Journal jobs under this state dir and recover them on launch.
+    pub store: Option<StoreConfig>,
+    /// Armed fault plan, threaded into every job (chaos tests; inert in
+    /// release builds — see [`crate::fault`]).
+    pub faults: Option<Arc<FaultInjector>>,
+}
+
+/// What [`JobServer::launch`] recovered from a durable store's journal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Valid journal records replayed.
+    pub journal_records: usize,
+    /// Trailing records dropped as torn/corrupt.
+    pub dropped_records: usize,
+    /// Incomplete jobs re-enqueued with a checkpoint to resume from.
+    pub resumed_jobs: usize,
+    /// Incomplete jobs re-enqueued from scratch (no checkpoint yet).
+    pub requeued_jobs: usize,
+    /// Terminal jobs whose results were restored.
+    pub terminal_jobs: usize,
+    /// Whether the previous server stopped cleanly.
+    pub clean_shutdown: bool,
+}
+
 struct JobRecord {
     name: Option<String>,
     priority: i32,
@@ -166,12 +275,25 @@ struct JobRecord {
     canceller: Option<Canceller>,
     progress: Option<SearchProgress>,
     result: Option<Result<SearchOutcome, SearchError>>,
+    retries: u32,
+    /// Last checkpoint taken at a depth boundary (what retries and — via
+    /// the journal — restarts resume from).
+    checkpoint: Option<SearchCheckpoint>,
+    /// Set by an explicit [`JobServer::cancel`] on a running job, so
+    /// shutdown-suspension never resurrects a job the user killed.
+    user_cancelled: bool,
+}
+
+/// One queue entry; `ready_at` defers retry attempts (backoff).
+struct PendingEntry {
+    id: u64,
+    ready_at: Option<Instant>,
 }
 
 struct Registry {
     jobs: HashMap<u64, JobRecord>,
-    /// Ids waiting to run (ordering resolved at pop time).
-    pending: Vec<u64>,
+    /// Entries waiting to run (ordering resolved at pop time).
+    pending: Vec<PendingEntry>,
     next_id: u64,
     shutdown: bool,
 }
@@ -183,6 +305,13 @@ struct ServerInner {
     work_cv: Condvar,
     /// Signalled whenever a job reaches a terminal state.
     done_cv: Condvar,
+    /// The durable journal, when launched with a state dir. Lock order:
+    /// `registry` before `store`, everywhere.
+    store: Option<Mutex<JobStore>>,
+    /// Journal a checkpoint every N completed depths.
+    checkpoint_every: usize,
+    /// Armed fault plan shared by every job context.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 /// A running job server; dropping it (or calling [`JobServer::shutdown`])
@@ -190,25 +319,61 @@ struct ServerInner {
 pub struct JobServer {
     inner: Arc<ServerInner>,
     workers: Vec<JoinHandle<()>>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl JobServer {
-    /// Start a server with the given worker pool and queue bound.
+    /// Start an in-memory server with the given worker pool and queue
+    /// bound (no durability; see [`JobServer::launch`]).
     pub fn start(config: JobServerConfig) -> JobServer {
+        Self::launch(config, ServerOptions::default())
+            .expect("launching without a store cannot fail")
+    }
+
+    /// Start a server with explicit options. With a [`StoreConfig`] the
+    /// journal under its state dir is replayed first: terminal jobs get
+    /// their results back, incomplete jobs are re-enqueued (resuming from
+    /// their last checkpoint), and every later transition is journaled
+    /// write-ahead. See [`JobServer::recovery`] for what was recovered.
+    pub fn launch(
+        config: JobServerConfig,
+        options: ServerOptions,
+    ) -> Result<JobServer, SearchError> {
+        let config = JobServerConfig {
+            workers: config.workers.max(1),
+            queue_capacity: config.queue_capacity.max(1),
+            max_retained_jobs: config.max_retained_jobs.max(1),
+        };
+        let faults = options.faults;
+        let mut registry = Registry {
+            jobs: HashMap::new(),
+            pending: Vec::new(),
+            next_id: 1,
+            shutdown: false,
+        };
+        let mut checkpoint_every = 1;
+        let mut recovery = None;
+        let store = match options.store {
+            Some(store_config) => {
+                checkpoint_every = store_config.checkpoint_every.max(1);
+                let store_faults = faults
+                    .as_ref()
+                    .map(|injector| FaultContext::new(Arc::clone(injector), None));
+                let (store, replayed) =
+                    JobStore::open_with_faults(&store_config.dir, store_faults)?;
+                recovery = Some(rebuild_registry(&mut registry, &replayed, &config));
+                Some(Mutex::new(store))
+            }
+            None => None,
+        };
         let inner = Arc::new(ServerInner {
-            config: JobServerConfig {
-                workers: config.workers.max(1),
-                queue_capacity: config.queue_capacity.max(1),
-                max_retained_jobs: config.max_retained_jobs.max(1),
-            },
-            registry: Mutex::new(Registry {
-                jobs: HashMap::new(),
-                pending: Vec::new(),
-                next_id: 1,
-                shutdown: false,
-            }),
+            config,
+            registry: Mutex::new(registry),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            store,
+            checkpoint_every,
+            faults,
         });
         let workers = (0..inner.config.workers)
             .map(|i| {
@@ -219,7 +384,17 @@ impl JobServer {
                     .expect("spawn job worker")
             })
             .collect();
-        JobServer { inner, workers }
+        Ok(JobServer {
+            inner,
+            workers,
+            recovery,
+        })
+    }
+
+    /// What launch recovered from the durable store's journal (`None` for
+    /// in-memory servers).
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// Submit a job. Fails fast with [`SearchError::QueueFull`] when the
@@ -244,6 +419,13 @@ impl JobServer {
         }
         let id = registry.next_id;
         registry.next_id += 1;
+        journal(
+            &self.inner,
+            &JournalRecord::Submitted {
+                id,
+                spec: spec.clone(),
+            },
+        );
         registry.jobs.insert(
             id,
             JobRecord {
@@ -255,34 +437,56 @@ impl JobServer {
                 canceller: None,
                 progress: None,
                 result: None,
+                retries: 0,
+                checkpoint: None,
+                user_cancelled: false,
             },
         );
-        registry.pending.push(id);
+        registry.pending.push(PendingEntry { id, ready_at: None });
         drop(registry);
         self.inner.work_cv.notify_one();
         Ok(JobId(id))
     }
 
-    /// Cancel a job: queued jobs are cut instantly, running jobs
-    /// cooperatively (their partial outcome, if any, stays retrievable).
-    /// Returns `false` for unknown or already-terminal jobs.
+    /// Cancel a job: queued (and backoff-waiting) jobs are cut instantly,
+    /// running jobs cooperatively (their partial outcome, if any, stays
+    /// retrievable). Returns `false` for unknown or already-terminal jobs.
     pub fn cancel(&self, id: JobId) -> bool {
         let mut registry = self.lock_registry();
         let Some(record) = registry.jobs.get_mut(&id.0) else {
             return false;
         };
         match record.state {
-            JobState::Queued => {
+            JobState::Queued | JobState::Retrying { .. } => {
                 record.state = JobState::Cancelled;
                 record.spec = None;
                 record.result = Some(Err(SearchError::Cancelled));
-                registry.pending.retain(|&p| p != id.0);
-                evict_over_retention(&mut registry, self.inner.config.max_retained_jobs);
+                journal(
+                    &self.inner,
+                    &JournalRecord::Finished {
+                        id: id.0,
+                        outcome: None,
+                        error: Some(SearchError::Cancelled),
+                    },
+                );
+                journal(
+                    &self.inner,
+                    &JournalRecord::State {
+                        id: id.0,
+                        state: JobState::Cancelled,
+                        retries: record.retries,
+                    },
+                );
+                registry.pending.retain(|entry| entry.id != id.0);
+                let evicted =
+                    evict_over_retention(&mut registry, self.inner.config.max_retained_jobs);
+                journal_forgotten(&self.inner, &evicted);
                 drop(registry);
                 self.inner.done_cv.notify_all();
                 true
             }
             JobState::Running => {
+                record.user_cancelled = true;
                 if let Some(canceller) = &record.canceller {
                     canceller.cancel();
                 }
@@ -314,7 +518,9 @@ impl JobServer {
 
     /// The job's recorded events from cursor `since` on, plus the next
     /// cursor value. Events are recorded in the session's deterministic
-    /// emission order.
+    /// emission order; retried jobs concatenate the streams of their
+    /// attempts. (Jobs recovered terminal from a journal replay carry no
+    /// event log — only their result.)
     pub fn events_since(
         &self,
         id: JobId,
@@ -354,47 +560,63 @@ impl JobServer {
             if let Some(result) = record.result.clone() {
                 return Ok(result);
             }
-            registry = self
-                .inner
-                .done_cv
-                .wait(registry)
-                .unwrap_or_else(|e| e.into_inner());
+            registry = wait_recover(&self.inner.done_cv, registry);
         }
     }
 
     /// Drop a **terminal** job's record (event log, outcome). Returns
     /// `false` for unknown jobs and refuses queued/running ones (cancel
     /// first). Lets protocol clients reclaim history eagerly instead of
-    /// waiting for the `max_retained_jobs` eviction.
+    /// waiting for the `max_retained_jobs` eviction. Durable servers
+    /// journal the drop, so forgotten jobs stay forgotten across restarts.
     pub fn forget(&self, id: JobId) -> bool {
         let mut registry = self.lock_registry();
         match registry.jobs.get(&id.0) {
             Some(record) if record.state.is_terminal() => {
                 registry.jobs.remove(&id.0);
+                journal(&self.inner, &JournalRecord::Forgotten { id: id.0 });
                 true
             }
             _ => false,
         }
     }
 
-    /// Stop accepting work, cancel queued and running jobs, and join the
-    /// workers.
+    /// Stop accepting work, stop queued and running jobs, and join the
+    /// workers. A durable server **suspends** instead of cancels: queued
+    /// jobs stay journaled as queued, running jobs journal a final
+    /// checkpoint, and a clean-shutdown marker is appended — the next
+    /// launch resumes all of them instead of re-running from scratch.
     pub fn shutdown(mut self) {
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
         self.begin_shutdown();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        self.finalize_store();
     }
 
     fn begin_shutdown(&self) {
+        let suspend = self.inner.store.is_some();
         let mut registry = self.lock_registry();
         registry.shutdown = true;
         let pending = std::mem::take(&mut registry.pending);
-        for id in pending {
-            if let Some(record) = registry.jobs.get_mut(&id) {
+        for entry in pending {
+            if let Some(record) = registry.jobs.get_mut(&entry.id) {
+                // In-memory the job is cancelled either way (the server is
+                // going away); a durable server leaves the journal alone so
+                // replay re-enqueues the job on the next launch.
                 record.state = JobState::Cancelled;
                 record.spec = None;
                 record.result = Some(Err(SearchError::Cancelled));
+                if !suspend {
+                    continue;
+                }
             }
         }
         for record in registry.jobs.values_mut() {
@@ -407,31 +629,47 @@ impl JobServer {
         self.inner.done_cv.notify_all();
     }
 
+    /// Append the clean-shutdown marker and compact the journal down to
+    /// the minimal record set (workers must already be joined).
+    fn finalize_store(&self) {
+        let Some(store) = &self.inner.store else {
+            return;
+        };
+        let mut store = lock_recover(store);
+        if let Err(e) = store.append(&JournalRecord::CleanShutdown) {
+            eprintln!("[qas-serve] could not journal clean shutdown: {e}");
+        }
+        match store.replay_current() {
+            Ok(state) => {
+                let clean = state.clean_shutdown;
+                if let Err(e) = store.compact(&state, clean) {
+                    eprintln!("[qas-serve] journal compaction failed: {e}");
+                }
+            }
+            Err(e) => eprintln!("[qas-serve] journal replay for compaction failed: {e}"),
+        }
+    }
+
     fn status_of(id: u64, record: &JobRecord) -> JobStatus {
         JobStatus {
             id,
             name: record.name.clone(),
             priority: record.priority,
-            state: record.state,
+            state: record.state.clone(),
+            retries: record.retries,
             events_recorded: record.events.len(),
             progress: record.progress.clone(),
         }
     }
 
     fn lock_registry(&self) -> std::sync::MutexGuard<'_, Registry> {
-        self.inner
-            .registry
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
+        lock_recover(&self.inner.registry)
     }
 }
 
 impl Drop for JobServer {
     fn drop(&mut self) {
-        self.begin_shutdown();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
+        self.teardown();
     }
 }
 
@@ -439,14 +677,89 @@ impl std::fmt::Debug for JobServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("JobServer")
             .field("config", &self.inner.config)
+            .field("durable", &self.inner.store.is_some())
             .field("jobs", &self.jobs().len())
             .finish()
     }
 }
 
+/// Fold a replayed journal into a fresh registry; returns the recovery
+/// summary. Incomplete jobs (anything without a journaled result) are
+/// re-enqueued — with their last checkpoint when one was journaled.
+fn rebuild_registry(
+    registry: &mut Registry,
+    replayed: &ReplayedState,
+    config: &JobServerConfig,
+) -> RecoveryReport {
+    let mut report = RecoveryReport {
+        journal_records: replayed.records,
+        dropped_records: replayed.dropped_records,
+        resumed_jobs: 0,
+        requeued_jobs: 0,
+        terminal_jobs: 0,
+        clean_shutdown: replayed.clean_shutdown,
+    };
+    registry.next_id = replayed.next_id;
+    for job in replayed.jobs.values() {
+        let terminal = job.is_terminal();
+        let state = if terminal {
+            report.terminal_jobs += 1;
+            job.state.clone()
+        } else {
+            if job.checkpoint.is_some() {
+                report.resumed_jobs += 1;
+            } else {
+                report.requeued_jobs += 1;
+            }
+            registry.pending.push(PendingEntry {
+                id: job.id,
+                ready_at: None,
+            });
+            JobState::Queued
+        };
+        registry.jobs.insert(
+            job.id,
+            JobRecord {
+                name: job.spec.name.clone(),
+                priority: job.spec.priority,
+                state,
+                spec: (!terminal).then(|| job.spec.clone()),
+                events: Vec::new(),
+                canceller: None,
+                progress: None,
+                result: job.result.clone(),
+                retries: job.retries,
+                checkpoint: job.checkpoint.clone(),
+                user_cancelled: false,
+            },
+        );
+    }
+    let _ = evict_over_retention(registry, config.max_retained_jobs);
+    report
+}
+
+/// Append `record` to the journal, if the server is durable. Append
+/// failures degrade to an in-memory server with a warning instead of
+/// taking the serving path down.
+fn journal(inner: &ServerInner, record: &JournalRecord) {
+    if let Some(store) = &inner.store {
+        let mut store = lock_recover(store);
+        if let Err(e) = store.append(record) {
+            eprintln!("[qas-serve] journal append failed (job state kept in memory only): {e}");
+        }
+    }
+}
+
+fn journal_forgotten(inner: &ServerInner, evicted: &[u64]) {
+    for id in evicted {
+        journal(inner, &JournalRecord::Forgotten { id: *id });
+    }
+}
+
 /// Evict the oldest terminal job records beyond the retention cap (queued
-/// and running jobs are never touched).
-fn evict_over_retention(registry: &mut Registry, cap: usize) {
+/// and running jobs are never touched). Returns the evicted ids so durable
+/// servers can journal the drops.
+fn evict_over_retention(registry: &mut Registry, cap: usize) -> Vec<u64> {
     let mut terminal: Vec<u64> = registry
         .jobs
         .iter()
@@ -454,61 +767,170 @@ fn evict_over_retention(registry: &mut Registry, cap: usize) {
         .map(|(id, _)| *id)
         .collect();
     if terminal.len() <= cap {
-        return;
+        return Vec::new();
     }
     terminal.sort_unstable();
-    for id in terminal.drain(..terminal.len() - cap) {
-        registry.jobs.remove(&id);
+    let evicted: Vec<u64> = terminal.drain(..terminal.len() - cap).collect();
+    for id in &evicted {
+        registry.jobs.remove(id);
     }
+    evicted
 }
 
 fn worker_loop(inner: Arc<ServerInner>) {
     loop {
-        // Pop the highest-priority pending job (ties: lowest id first).
-        let (id, spec) = {
-            let mut registry = inner.registry.lock().unwrap_or_else(|e| e.into_inner());
+        // Pop the highest-priority *ready* pending job (ties: lowest id
+        // first); entries in retry backoff only become ready at `ready_at`.
+        let (id, spec, resume_from) = {
+            let mut registry = lock_recover(&inner.registry);
             loop {
                 if registry.shutdown {
                     return;
                 }
-                let best = registry.pending.iter().copied().max_by_key(|id| {
-                    let priority = registry.jobs[id].priority;
-                    (priority, std::cmp::Reverse(*id))
-                });
+                let now = Instant::now();
+                let best = registry
+                    .pending
+                    .iter()
+                    .filter(|entry| entry.ready_at.is_none_or(|at| at <= now))
+                    .filter(|entry| registry.jobs.contains_key(&entry.id))
+                    .map(|entry| entry.id)
+                    .max_by_key(|id| {
+                        let priority = registry.jobs[id].priority;
+                        (priority, std::cmp::Reverse(*id))
+                    });
                 if let Some(id) = best {
-                    registry.pending.retain(|&p| p != id);
+                    registry.pending.retain(|entry| entry.id != id);
                     let record = registry.jobs.get_mut(&id).expect("pending job exists");
-                    let spec = record.spec.take().expect("queued job keeps its spec");
+                    let spec = record.spec.clone().expect("pending job keeps its spec");
+                    let resume_from = record.checkpoint.clone();
+                    let retries = record.retries;
                     record.state = JobState::Running;
-                    break (id, spec);
+                    journal(
+                        &inner,
+                        &JournalRecord::State {
+                            id,
+                            state: JobState::Running,
+                            retries,
+                        },
+                    );
+                    break (id, spec, resume_from);
                 }
-                registry = inner
-                    .work_cv
-                    .wait(registry)
-                    .unwrap_or_else(|e| e.into_inner());
+                // Nothing ready: sleep until new work arrives or the
+                // earliest backoff deadline passes.
+                let earliest = registry
+                    .pending
+                    .iter()
+                    .filter_map(|entry| entry.ready_at)
+                    .min();
+                registry = match earliest {
+                    Some(at) => {
+                        let timeout = at
+                            .saturating_duration_since(now)
+                            .max(Duration::from_millis(1));
+                        wait_timeout_recover(&inner.work_cv, registry, timeout).0
+                    }
+                    None => wait_recover(&inner.work_cv, registry),
+                };
             }
         };
 
-        run_job(&inner, id, spec);
+        // Panic isolation: a job blowing up (its own evaluation code, or an
+        // injected chaos fault in the drain loop) must never kill the
+        // worker. The engine's own panics are already converted to
+        // `Err(Panicked)` by `SearchHandle::wait`; this guard catches
+        // everything else.
+        let ran =
+            std::panic::catch_unwind(AssertUnwindSafe(|| run_job(&inner, id, spec, resume_from)));
+        if let Err(payload) = ran {
+            let message = fault::panic_message(payload.as_ref());
+            fail_job_after_panic(&inner, id, message);
+        }
         inner.done_cv.notify_all();
     }
 }
 
-fn run_job(inner: &ServerInner, id: u64, spec: JobSpec) {
-    let driver = SearchDriver::new(spec.config);
-    let handle = match driver.start(&spec.graphs) {
-        Ok(handle) => handle,
-        Err(e) => {
-            let mut registry = inner.registry.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some(record) = registry.jobs.get_mut(&id) {
-                record.state = JobState::Failed;
-                record.result = Some(Err(e));
+/// Record a job whose worker-side execution panicked (the session handle
+/// was dropped during the unwind, which cancels any surviving engine).
+fn fail_job_after_panic(inner: &ServerInner, id: u64, message: String) {
+    let mut registry = lock_recover(&inner.registry);
+    if let Some(record) = registry.jobs.get_mut(&id) {
+        if let Some(canceller) = &record.canceller {
+            canceller.cancel();
+        }
+        record.canceller = None;
+        record.events.push(SearchEvent::Failed {
+            message: format!("search panicked: {message}"),
+        });
+        record.state = JobState::Failed {
+            panic: Some(message.clone()),
+        };
+        record.result = Some(Err(SearchError::Panicked {
+            message: message.clone(),
+        }));
+        journal(
+            inner,
+            &JournalRecord::Finished {
+                id,
+                outcome: None,
+                error: Some(SearchError::Panicked { message }),
+            },
+        );
+        journal(
+            inner,
+            &JournalRecord::State {
+                id,
+                state: record.state.clone(),
+                retries: record.retries,
+            },
+        );
+    }
+    let evicted = evict_over_retention(&mut registry, inner.config.max_retained_jobs);
+    journal_forgotten(inner, &evicted);
+}
+
+fn run_job(inner: &ServerInner, id: u64, spec: JobSpec, resume_from: Option<SearchCheckpoint>) {
+    let faults_ctx = inner
+        .faults
+        .as_ref()
+        .map(|injector| FaultContext::new(Arc::clone(injector), Some(id)));
+    let (timed_out, status, result) = drive_job(inner, id, &spec, resume_from, faults_ctx);
+    settle_job(inner, id, &spec, timed_out, status, result);
+}
+
+/// Start (or resume) the session, drain its event stream while enforcing
+/// the deadline, and return `(timed_out, final status, result)`.
+fn drive_job(
+    inner: &ServerInner,
+    id: u64,
+    spec: &JobSpec,
+    resume_from: Option<SearchCheckpoint>,
+    faults_ctx: Option<FaultContext>,
+) -> (
+    bool,
+    Option<SearchStatus>,
+    Result<SearchOutcome, SearchError>,
+) {
+    if let Some(ctx) = &faults_ctx {
+        if let Err(e) = ctx.trip(site::WORKER_JOB) {
+            return (false, None, Err(e));
+        }
+    }
+    let started = match resume_from {
+        Some(checkpoint) => SearchDriver::resume_with(checkpoint, faults_ctx.clone()),
+        None => {
+            let mut driver = SearchDriver::new(spec.config.clone());
+            if let Some(ctx) = faults_ctx.clone() {
+                driver = driver.with_fault_context(ctx);
             }
-            return;
+            driver.start(&spec.graphs)
         }
     };
+    let handle = match started {
+        Ok(handle) => handle,
+        Err(e) => return (false, None, Err(e)),
+    };
     {
-        let mut registry = inner.registry.lock().unwrap_or_else(|e| e.into_inner());
+        let mut registry = lock_recover(&inner.registry);
         if let Some(record) = registry.jobs.get_mut(&id) {
             record.canceller = Some(handle.canceller());
         }
@@ -516,38 +938,234 @@ fn run_job(inner: &ServerInner, id: u64, spec: JobSpec) {
 
     // Drain the event stream live so status/events requests see mid-run
     // telemetry; the channel closes when the engine reaches a terminal
-    // event.
-    while let Some(event) = handle.next_event() {
-        let mut registry = inner.registry.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(record) = registry.jobs.get_mut(&id) {
-            record.events.push(event);
-            record.progress = Some(handle.progress());
-        }
-    }
-
-    let result = handle.wait();
-    let status = handle.progress().status;
-    let mut registry = inner.registry.lock().unwrap_or_else(|e| e.into_inner());
-    if let Some(record) = registry.jobs.get_mut(&id) {
-        record.progress = Some(handle.progress());
-        record.canceller = None;
-        record.state = match status {
-            SearchStatus::Finished => JobState::Completed,
-            SearchStatus::Cancelled => JobState::Cancelled,
-            SearchStatus::Failed => JobState::Failed,
-            // The engine already returned, so Running can only mean the
-            // result raced ahead of the status write; classify by result.
-            SearchStatus::Running => {
-                if result.is_ok() {
-                    JobState::Completed
-                } else {
-                    JobState::Failed
+    // event. `deadline` arms the per-job timeout: on expiry the session is
+    // cancelled cooperatively and the remaining events drained normally.
+    let mut deadline = spec
+        .timeout_secs
+        .map(|secs| Instant::now() + Duration::from_secs_f64(secs.max(0.0)));
+    let mut timed_out = false;
+    let mut injected: Option<SearchError> = None;
+    let mut depths_completed = 0usize;
+    loop {
+        let event = match deadline {
+            None => handle.next_event(),
+            Some(at) => {
+                let remaining = at.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    timed_out = true;
+                    deadline = None;
+                    handle.cancel();
+                    continue;
+                }
+                match handle.events().recv_timeout(remaining) {
+                    Ok(event) => Some(event),
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => None,
                 }
             }
         };
-        record.result = Some(result);
+        let Some(event) = event else {
+            break;
+        };
+        {
+            let mut registry = lock_recover(&inner.registry);
+            if let Some(record) = registry.jobs.get_mut(&id) {
+                record.events.push(event.clone());
+                record.progress = Some(handle.progress());
+            }
+        }
+        match &event {
+            SearchEvent::RungCompleted { depth, rung, .. } => {
+                journal(
+                    inner,
+                    &JournalRecord::Progress {
+                        id,
+                        depth: *depth,
+                        rung: *rung,
+                    },
+                );
+                if injected.is_none() {
+                    if let Some(ctx) = &faults_ctx {
+                        if let Err(e) = ctx.trip(site::WORKER_RUNG) {
+                            // Injected worker-side transient: stop the
+                            // session and let the retry logic take over.
+                            injected = Some(e);
+                            handle.cancel();
+                        }
+                    }
+                }
+            }
+            SearchEvent::DepthCompleted { .. } => {
+                // The engine publishes its shared state before emitting, so
+                // this checkpoint always covers the announced depth.
+                depths_completed += 1;
+                let checkpoint = handle.checkpoint();
+                {
+                    let mut registry = lock_recover(&inner.registry);
+                    if let Some(record) = registry.jobs.get_mut(&id) {
+                        record.checkpoint = Some(checkpoint.clone());
+                    }
+                }
+                if depths_completed.is_multiple_of(inner.checkpoint_every) {
+                    journal(inner, &JournalRecord::Checkpoint { id, checkpoint });
+                }
+            }
+            _ => {}
+        }
     }
-    evict_over_retention(&mut registry, inner.config.max_retained_jobs);
+
+    let mut result = handle.wait();
+    let status = handle.progress().status;
+    {
+        let mut registry = lock_recover(&inner.registry);
+        if let Some(record) = registry.jobs.get_mut(&id) {
+            record.progress = Some(handle.progress());
+        }
+    }
+    if let Some(e) = injected {
+        result = Err(e);
+    }
+    (timed_out, Some(status), result)
+}
+
+/// Classify a finished drive into the job's terminal (or retrying) state,
+/// journal it, and update the registry.
+fn settle_job(
+    inner: &ServerInner,
+    id: u64,
+    spec: &JobSpec,
+    timed_out: bool,
+    status: Option<SearchStatus>,
+    result: Result<SearchOutcome, SearchError>,
+) {
+    let mut registry = lock_recover(&inner.registry);
+    let shutting_down = registry.shutdown;
+    let Some(record) = registry.jobs.get_mut(&id) else {
+        return;
+    };
+    record.canceller = None;
+
+    // Transient failures retry (resuming from the last checkpoint) while
+    // budget remains — deterministic exponential backoff, no jitter.
+    let mut retry_at: Option<Instant> = None;
+    if let Err(e) = &result {
+        if e.is_transient() && !timed_out && !shutting_down && record.retries < spec.max_retries {
+            record.retries += 1;
+            let attempt = record.retries;
+            record.state = JobState::Retrying { attempt };
+            record.events.push(SearchEvent::Failed {
+                message: format!("{e} (retry {attempt}/{} scheduled)", spec.max_retries),
+            });
+            journal(
+                inner,
+                &JournalRecord::State {
+                    id,
+                    state: record.state.clone(),
+                    retries: attempt,
+                },
+            );
+            let backoff = spec
+                .retry_backoff_ms
+                .saturating_mul(1u64 << (attempt.min(16) - 1));
+            retry_at = Some(Instant::now() + Duration::from_millis(backoff));
+        }
+    }
+    if let Some(ready_at) = retry_at {
+        registry.pending.push(PendingEntry {
+            id,
+            ready_at: Some(ready_at),
+        });
+        drop(registry);
+        // notify_all: sleeping workers must recompute their wait deadline
+        // against the new backoff entry.
+        inner.work_cv.notify_all();
+        return;
+    }
+
+    let (state, final_result) = if timed_out {
+        (
+            JobState::TimedOut,
+            Err(SearchError::DeadlineExceeded {
+                timeout_secs: spec.timeout_secs.unwrap_or(0.0),
+            }),
+        )
+    } else {
+        match (&result, status) {
+            (Err(SearchError::Panicked { message }), _) => (
+                JobState::Failed {
+                    panic: Some(message.clone()),
+                },
+                result,
+            ),
+            (Err(SearchError::Cancelled), _) | (_, Some(SearchStatus::Cancelled)) => {
+                // A durable server shutting down *suspends* the job: the
+                // journal keeps it queued behind its final checkpoint, so
+                // the next launch resumes instead of re-running. A job the
+                // user explicitly cancelled stays cancelled.
+                if shutting_down && inner.store.is_some() && !record.user_cancelled {
+                    if let Some(checkpoint) = &record.checkpoint {
+                        journal(
+                            inner,
+                            &JournalRecord::Checkpoint {
+                                id,
+                                checkpoint: checkpoint.clone(),
+                            },
+                        );
+                    }
+                    journal(
+                        inner,
+                        &JournalRecord::State {
+                            id,
+                            state: JobState::Queued,
+                            retries: record.retries,
+                        },
+                    );
+                    record.state = JobState::Cancelled;
+                    record.result = Some(Err(SearchError::Cancelled));
+                    return;
+                }
+                (JobState::Cancelled, result)
+            }
+            (Ok(_), _) => (JobState::Completed, result),
+            (Err(_), _) => (JobState::Failed { panic: None }, result),
+        }
+    };
+
+    // Every terminal event log should end on a terminal event; the engine
+    // guarantees it except when the verdict was decided server-side
+    // (deadline expiry surfaces as the engine's `Cancelled`, a panic may
+    // have cut the stream short).
+    if matches!(state, JobState::Failed { .. })
+        && record.events.last().is_none_or(|e| !e.is_terminal())
+    {
+        if let Err(e) = &final_result {
+            record.events.push(SearchEvent::Failed {
+                message: e.to_string(),
+            });
+        }
+    }
+
+    journal(
+        inner,
+        &JournalRecord::Finished {
+            id,
+            outcome: final_result.as_ref().ok().cloned(),
+            error: final_result.as_ref().err().cloned(),
+        },
+    );
+    journal(
+        inner,
+        &JournalRecord::State {
+            id,
+            state: state.clone(),
+            retries: record.retries,
+        },
+    );
+    record.state = state;
+    record.spec = None;
+    record.result = Some(final_result);
+    let evicted = evict_over_retention(&mut registry, inner.config.max_retained_jobs);
+    journal_forgotten(inner, &evicted);
 }
 
 #[cfg(test)]
@@ -600,12 +1218,16 @@ mod tests {
         for seed in 2..20 {
             match server.submit(tiny_spec(seed)) {
                 Ok(_) => queued_or_full += 1,
-                Err(SearchError::QueueFull { capacity }) => {
-                    assert_eq!(capacity, 1);
+                Err(e) => {
+                    // The only acceptable rejection on this path is the
+                    // bounded queue pushing back.
+                    assert!(
+                        matches!(e, SearchError::QueueFull { capacity: 1 }),
+                        "submit must fail with QueueFull {{ capacity: 1 }}, got: {e}"
+                    );
                     queued_or_full = 100;
                     break;
                 }
-                Err(e) => panic!("unexpected error {e}"),
             }
         }
         // Either the jobs were fast enough to drain (all accepted) or the
@@ -683,8 +1305,45 @@ mod tests {
         for id in [blocker, low, high] {
             let status = server.status(id).unwrap();
             assert_eq!(status.state, JobState::Completed, "job {id}");
+            assert_eq!(status.retries, 0);
             assert!(status.events_recorded > 0);
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn job_state_taxonomy_is_terminal_consistent() {
+        for state in [
+            JobState::Completed,
+            JobState::Cancelled,
+            JobState::TimedOut,
+            JobState::Failed { panic: None },
+            JobState::Failed {
+                panic: Some("boom".to_string()),
+            },
+        ] {
+            assert!(state.is_terminal(), "{state}");
+        }
+        for state in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Retrying { attempt: 1 },
+        ] {
+            assert!(!state.is_terminal(), "{state}");
+        }
+    }
+
+    #[test]
+    fn immediate_timeout_reports_timed_out() {
+        let server = JobServer::start(JobServerConfig {
+            workers: 1,
+            queue_capacity: 4,
+            ..JobServerConfig::default()
+        });
+        let id = server.submit(tiny_spec(1).timeout_secs(0.0)).unwrap();
+        let result = server.wait(id).unwrap();
+        assert!(matches!(result, Err(SearchError::DeadlineExceeded { .. })));
+        assert_eq!(server.status(id).unwrap().state, JobState::TimedOut);
         server.shutdown();
     }
 }

@@ -45,10 +45,12 @@
 use crate::error::SearchError;
 use crate::evaluator::{CandidateResult, Evaluator};
 use crate::events::SearchEvent;
+use crate::fault::{self, site, FaultContext};
 use crate::pipeline::BudgetedScheduler;
 use crate::predictor::BanditState;
 use crate::qbuilder::QBuilder;
 use crate::search::{DepthResult, ExecutionMode, SearchConfig, SearchOutcome};
+use crate::sync::{lock_recover, wait_recover};
 use graphs::Graph;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -185,13 +187,25 @@ impl std::fmt::Debug for Canceller {
 #[derive(Debug, Clone)]
 pub struct SearchDriver {
     config: SearchConfig,
+    faults: Option<FaultContext>,
 }
 
 impl SearchDriver {
     /// A driver for the given configuration (execution mode included —
     /// see [`SearchConfig::mode`]).
     pub fn new(config: SearchConfig) -> SearchDriver {
-        SearchDriver { config }
+        SearchDriver {
+            config,
+            faults: None,
+        }
+    }
+
+    /// Arm a deterministic fault-injection context for this session's
+    /// engine (`session.advance` per depth, `pipeline.rung` per rung).
+    /// Inert in release builds; see [`crate::fault`].
+    pub fn with_fault_context(mut self, faults: FaultContext) -> SearchDriver {
+        self.faults = Some(faults);
+        self
     }
 
     /// The configuration.
@@ -211,6 +225,7 @@ impl SearchDriver {
             completed: Vec::new(),
             scheduler: None,
             prior_elapsed: 0.0,
+            faults: self.faults.clone(),
         })
     }
 
@@ -219,6 +234,15 @@ impl SearchDriver {
     /// `checkpoint.next_depth`. For a fixed seed the final outcome is
     /// bit-identical to the uninterrupted run (timings aside).
     pub fn resume(checkpoint: SearchCheckpoint) -> Result<SearchHandle, SearchError> {
+        Self::resume_with(checkpoint, None)
+    }
+
+    /// [`SearchDriver::resume`] with a fault-injection context (what the
+    /// job server uses so resumed jobs stay chaos-testable).
+    pub fn resume_with(
+        checkpoint: SearchCheckpoint,
+        faults: Option<FaultContext>,
+    ) -> Result<SearchHandle, SearchError> {
         let SearchCheckpoint {
             config,
             graphs,
@@ -247,6 +271,7 @@ impl SearchDriver {
             completed,
             scheduler,
             prior_elapsed: elapsed_seconds,
+            faults,
         })
     }
 
@@ -340,7 +365,7 @@ impl SearchHandle {
 
     /// Live progress snapshot (updates at every depth boundary).
     pub fn progress(&self) -> SearchProgress {
-        let state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        let state = lock_recover(&self.shared.state);
         let candidates_evaluated = state
             .completed
             .iter()
@@ -373,7 +398,7 @@ impl SearchHandle {
     /// cancellation, or after completion (a checkpoint of a finished run
     /// resumes into an immediate [`SearchEvent::Finished`]).
     pub fn checkpoint(&self) -> SearchCheckpoint {
-        let state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        let state = lock_recover(&self.shared.state);
         SearchCheckpoint {
             config: self.config.clone(),
             graphs: self.graphs.clone(),
@@ -390,38 +415,38 @@ impl SearchHandle {
     /// [`SearchError::Cancelled`] if nothing had completed.
     pub fn wait(&self) -> Result<SearchOutcome, SearchError> {
         {
-            let cached = self.result.lock().unwrap_or_else(|e| e.into_inner());
+            let cached = lock_recover(&self.result);
             if let Some(result) = cached.as_ref() {
                 return result.clone();
             }
         }
         let join = {
-            let mut slot = self.join.lock().unwrap_or_else(|e| e.into_inner());
+            let mut slot = lock_recover(&self.join);
             slot.take()
         };
         match join {
             Some(handle) => {
-                let result = handle.join().unwrap_or_else(|_| {
-                    Err(SearchError::Evaluation {
-                        message: "the search engine thread panicked".to_string(),
+                // A panicking engine (a candidate evaluation blowing up, an
+                // injected chaos fault) is captured as a typed error with
+                // its payload message, not swallowed into a generic one.
+                let result = handle.join().unwrap_or_else(|payload| {
+                    Err(SearchError::Panicked {
+                        message: fault::panic_message(payload.as_ref()),
                     })
                 });
-                let mut cached = self.result.lock().unwrap_or_else(|e| e.into_inner());
+                let mut cached = lock_recover(&self.result);
                 let result = cached.get_or_insert(result).clone();
                 self.result_cv.notify_all();
                 result
             }
             // Another thread is joining; block until it caches the result.
             None => {
-                let mut cached = self.result.lock().unwrap_or_else(|e| e.into_inner());
+                let mut cached = lock_recover(&self.result);
                 loop {
                     if let Some(result) = cached.as_ref() {
                         return result.clone();
                     }
-                    cached = self
-                        .result_cv
-                        .wait(cached)
-                        .unwrap_or_else(|e| e.into_inner());
+                    cached = wait_recover(&self.result_cv, cached);
                 }
             }
         }
@@ -452,6 +477,7 @@ struct EngineSeed {
     completed: Vec<DepthResult>,
     scheduler: Option<SchedulerCheckpoint>,
     prior_elapsed: f64,
+    faults: Option<FaultContext>,
 }
 
 /// Mode-specific evaluation machinery, built once per engine run.
@@ -488,6 +514,7 @@ fn run_engine(
         mut completed,
         scheduler,
         prior_elapsed,
+        faults,
     } = seed;
     let run_start = Instant::now();
     let start_depth = completed.len() + 1;
@@ -528,7 +555,7 @@ fn run_engine(
     let publish = |completed: &[DepthResult],
                    scheduler: Option<SchedulerCheckpoint>,
                    status: SearchStatus| {
-        let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut state = lock_recover(&shared.state);
         state.completed = completed.to_vec();
         state.scheduler = scheduler;
         state.elapsed_seconds = prior_elapsed + run_start.elapsed().as_secs_f64();
@@ -557,6 +584,10 @@ fn run_engine(
 
         let evaluated = if cancelled_now() {
             Err(SearchError::Cancelled)
+        } else if let Err(e) = fault::trip(faults.as_ref(), site::SESSION_ADVANCE) {
+            // An injected transient at the depth boundary aborts the depth
+            // exactly like a real evaluation failure (retryable upstream).
+            Err(e)
         } else {
             match &mut machinery {
                 DepthEvaluator::Serial { builder, evaluator } => evaluate_depth_serial(
@@ -571,7 +602,15 @@ fn run_engine(
                 DepthEvaluator::Parallel { scheduler, threads } => {
                     let mut sink = |event: SearchEvent| emit(event);
                     scheduler
-                        .evaluate_depth(depth, candidates, &graphs, *threads, cancel, &mut sink)
+                        .evaluate_depth(
+                            depth,
+                            candidates,
+                            &graphs,
+                            *threads,
+                            cancel,
+                            &mut sink,
+                            faults.as_ref(),
+                        )
                         .map(|d| (d.results, d.rungs, d.gated_out))
                 }
             }
@@ -602,12 +641,7 @@ fn run_engine(
                     .iter()
                     .filter(|c| c.pruned_at_rung.is_some())
                     .count();
-                emit(SearchEvent::DepthCompleted {
-                    depth,
-                    best_energy,
-                    evaluated: results.len(),
-                    pruned,
-                });
+                let evaluated = results.len();
                 completed.push(DepthResult {
                     depth,
                     candidates: results,
@@ -616,35 +650,43 @@ fn run_engine(
                     rungs,
                     gated_out,
                 });
+                // Publish **before** emitting: an observer that checkpoints
+                // on `DepthCompleted` must see the depth it was told about.
                 publish(
                     &completed,
                     machinery.scheduler_state(),
                     SearchStatus::Running,
                 );
+                emit(SearchEvent::DepthCompleted {
+                    depth,
+                    best_energy,
+                    evaluated,
+                    pruned,
+                });
             }
             Err(SearchError::Cancelled) => {
-                emit(SearchEvent::Cancelled {
-                    completed_depths: completed.len(),
-                });
                 publish(
                     &completed,
                     machinery.scheduler_state(),
                     SearchStatus::Cancelled,
                 );
+                emit(SearchEvent::Cancelled {
+                    completed_depths: completed.len(),
+                });
                 if completed.is_empty() {
                     return Err(SearchError::Cancelled);
                 }
                 return outcome_of(completed);
             }
             Err(other) => {
-                emit(SearchEvent::Failed {
-                    message: other.to_string(),
-                });
                 publish(
                     &completed,
                     machinery.scheduler_state(),
                     SearchStatus::Failed,
                 );
+                emit(SearchEvent::Failed {
+                    message: other.to_string(),
+                });
                 return Err(other);
             }
         }
@@ -653,27 +695,27 @@ fn run_engine(
     let outcome = outcome_of(completed.clone());
     match &outcome {
         Ok(o) => {
+            publish(
+                &completed,
+                machinery.scheduler_state(),
+                SearchStatus::Finished,
+            );
             emit(SearchEvent::Finished {
                 best_mixer: o.best.mixer_label.clone(),
                 best_depth: o.best.depth,
                 best_energy: o.best.energy,
                 candidates_evaluated: o.num_candidates_evaluated,
             });
-            publish(
-                &completed,
-                machinery.scheduler_state(),
-                SearchStatus::Finished,
-            );
         }
         Err(e) => {
-            emit(SearchEvent::Failed {
-                message: e.to_string(),
-            });
             publish(
                 &completed,
                 machinery.scheduler_state(),
                 SearchStatus::Failed,
             );
+            emit(SearchEvent::Failed {
+                message: e.to_string(),
+            });
         }
     }
     outcome

@@ -1,0 +1,60 @@
+//! Poison-recovering lock helpers.
+//!
+//! The serve tier isolates panics with `catch_unwind`, which means a mutex
+//! *can* be poisoned by a panicking job — and every piece of state guarded
+//! by those mutexes (the job registry, the session's shared state, progress
+//! buffers) is only ever mutated through whole-value writes, so a poisoned
+//! guard's contents are still consistent. These helpers centralize the
+//! recover-and-continue policy that was previously repeated inline at every
+//! lock site: one panic must never wedge the whole server.
+
+use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Lock `mutex`, recovering the guard if a panicking thread poisoned it.
+pub(crate) fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Wait on `cv`, recovering the reacquired guard from poisoning.
+pub(crate) fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+/// Timed wait on `cv`, recovering the reacquired guard from poisoning.
+pub(crate) fn wait_timeout_recover<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    cv.wait_timeout(guard, timeout)
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_recover_survives_a_poisoning_panic() {
+        let mutex = Arc::new(Mutex::new(7usize));
+        let poisoner = Arc::clone(&mutex);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(mutex.is_poisoned());
+        assert_eq!(*lock_recover(&mutex), 7);
+    }
+
+    #[test]
+    fn wait_timeout_recover_times_out_cleanly() {
+        let mutex = Mutex::new(());
+        let cv = Condvar::new();
+        let guard = lock_recover(&mutex);
+        let (_guard, result) = wait_timeout_recover(&cv, guard, Duration::from_millis(5));
+        assert!(result.timed_out());
+    }
+}

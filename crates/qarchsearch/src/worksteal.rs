@@ -22,6 +22,7 @@
 //! optimizers, pinned inner parallelism), and results are returned in task
 //! order no matter which worker executed them or in what interleaving.
 
+use crate::sync::lock_recover;
 use qaoa::BatchScratch;
 use statevec::StateVector;
 use std::collections::{HashMap, VecDeque};
@@ -115,14 +116,13 @@ where
                         // Own queue first (front), then steal (back) walking
                         // the other workers in ring order.
                         let next = {
-                            let mut own = queues[w].lock().unwrap_or_else(|e| e.into_inner());
+                            let mut own = lock_recover(&queues[w]);
                             own.pop_front()
                         }
                         .or_else(|| {
                             (1..threads).find_map(|d| {
                                 let victim = (w + d) % threads;
-                                let mut q =
-                                    queues[victim].lock().unwrap_or_else(|e| e.into_inner());
+                                let mut q = lock_recover(&queues[victim]);
                                 q.pop_back()
                             })
                         });

@@ -70,6 +70,11 @@ SERVE OPTIONS (qas serve):
     --port P          listen on 127.0.0.1:P instead of stdin/stdout
                       (one client connection served at a time; jobs still
                       run concurrently)
+    --state-dir DIR   durable mode: journal every job to DIR and recover
+                      on restart (incomplete jobs resume from their last
+                      checkpoint, bit-identical to an uninterrupted run)
+    --checkpoint-every N  journal a checkpoint every N completed depths
+                      (default 1; durable mode only)
 
     Protocol: one JSON request per line, one JSON response per line.
       {\"cmd\":\"submit\",\"priority\":0,\"name\":\"j1\",\"search\":{<search options>}}
@@ -78,7 +83,9 @@ SERVE OPTIONS (qas serve):
       {\"cmd\":\"wait\",\"job\":1}        {\"cmd\":\"forget\",\"job\":1}
       {\"cmd\":\"jobs\"}                 {\"cmd\":\"shutdown\"}
     `search` takes the `qas search` options by name (booleans for flags),
-    e.g. {\"pmax\":2,\"kmax\":1,\"budget\":30,\"serial\":true}.
+    e.g. {\"pmax\":2,\"kmax\":1,\"budget\":30,\"serial\":true}. `submit` also
+    accepts \"timeout_secs\" (deadline -> timed-out), \"max_retries\" and
+    \"retry_backoff_ms\" (transient-failure retries, exponential backoff).
 
 EVALUATE OPTIONS (qas evaluate):
     --mixer M         baseline | qnas | comma-separated gates (default qnas)
@@ -91,6 +98,7 @@ EXAMPLES:
     qas search --problem sk --pmax 2 --kmax 2            # spin-glass search
     qas search --json --pmax 1 --kmax 1 > report.json
     qas serve --workers 4 < jobs.jsonl
+    qas serve --state-dir runs/serve-state --workers 4   # crash-safe
     qas evaluate --mixer rx,ry --dataset regular --depth 2
     qas evaluate --problem mis --mixer qnas --backend statevector
     qas problems
@@ -473,6 +481,15 @@ fn handle_serve_line(server: &JobServer, line: &str) -> (Value, bool) {
             if let Some(name) = request.get("name").and_then(|n| n.as_str()) {
                 spec = spec.name(name);
             }
+            if let Some(timeout) = request.get("timeout_secs").and_then(|t| t.as_f64()) {
+                spec = spec.timeout_secs(timeout);
+            }
+            if let Some(retries) = request.get("max_retries").and_then(|r| r.as_u64()) {
+                spec = spec.max_retries(retries as u32);
+            }
+            if let Some(backoff) = request.get("retry_backoff_ms").and_then(|b| b.as_u64()) {
+                spec = spec.retry_backoff_ms(backoff);
+            }
             let id = server.submit(spec).map_err(|e| e.to_string())?;
             // Same JobState serialization as status/jobs/result responses.
             let state = serde_json::to_value(&JobState::Queued).unwrap_or(Value::Null);
@@ -543,11 +560,33 @@ fn serve_connection(
 }
 
 fn cmd_serve(options: &HashMap<String, String>) -> Result<(), String> {
-    let server = JobServer::start(JobServerConfig {
+    let config = JobServerConfig {
         workers: opt_usize(options, "workers", 2),
         queue_capacity: opt_usize(options, "queue", 16),
         max_retained_jobs: opt_usize(options, "retain", 256),
+    };
+    let store = options.get("state-dir").map(|dir| {
+        StoreConfig::new(dir).checkpoint_every(opt_usize(options, "checkpoint-every", 1))
     });
+    let server = JobServer::launch(
+        config,
+        ServerOptions {
+            store,
+            faults: None,
+        },
+    )
+    .map_err(|e| format!("cannot open state dir: {e}"))?;
+    if let Some(recovery) = server.recovery() {
+        eprintln!(
+            "qas serve: recovered journal ({} records, {} dropped): {} resumed, {} requeued, {} terminal, previous shutdown {}",
+            recovery.journal_records,
+            recovery.dropped_records,
+            recovery.resumed_jobs,
+            recovery.requeued_jobs,
+            recovery.terminal_jobs,
+            if recovery.clean_shutdown { "clean" } else { "unclean" },
+        );
+    }
     match options.get("port") {
         Some(port) => {
             let port: u16 = port

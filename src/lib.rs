@@ -67,11 +67,16 @@ pub mod prelude {
         error::SearchError,
         evaluator::Evaluator,
         events::SearchEvent,
+        fault::{FaultAction, FaultInjector, FaultPlan, FaultSpec},
         predictor::{Predictor, RandomPredictor},
         qbuilder::QBuilder,
         search::{ExecutionMode, PipelineConfig, SearchConfig, SearchOutcome},
-        server::{JobId, JobServer, JobServerConfig, JobSpec, JobState, JobStatus},
+        server::{
+            JobId, JobServer, JobServerConfig, JobSpec, JobState, JobStatus, RecoveryReport,
+            ServerOptions,
+        },
         session::{SearchCheckpoint, SearchDriver, SearchHandle, SearchProgress, SearchStatus},
+        store::{JobStore, StoreConfig},
     };
     pub use qcircuit::{Circuit, Gate, Parameter};
     pub use statevec::StateVector;
