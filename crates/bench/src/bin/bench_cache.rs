@@ -1,0 +1,222 @@
+//! JSON-emitting benchmark for the serve-path result cache and request
+//! coalescing: what does "never compute the same search twice" buy?
+//!
+//! Two measurements:
+//!
+//! 1. **Cold vs warm latency** — submit a search sized to take at least a
+//!    second cold, then resubmit it; the warm path must be served from the
+//!    result cache at least 100x faster, with a bit-identical
+//!    (timing-free) report.
+//! 2. **Coalesced fan-out** — submit the same search 8 times back to back
+//!    to a single-worker cached server (exactly one execution, the rest
+//!    attach or hit) vs 8 sequential runs on a cache-disabled server.
+//!
+//! ```text
+//! cargo run --release -p qarchsearch_bench --bin bench_cache
+//! QAS_CACHE_NODES=12 QAS_CACHE_BUDGET=400 ./target/release/bench_cache
+//! ```
+//!
+//! | variable           | meaning                        | default |
+//! |--------------------|--------------------------------|---------|
+//! | `QAS_CACHE_NODES`  | nodes in the training graph    | 12      |
+//! | `QAS_CACHE_PMAX`   | search depth                   | 3       |
+//! | `QAS_CACHE_BUDGET` | optimizer budget per candidate | 500     |
+//! | `QAS_CACHE_FAN`    | coalesced fan-out width        | 8       |
+//!
+//! `QAS_CACHE_MIN_COLD` (default 1.0 s) and `QAS_CACHE_MIN_SPEEDUP`
+//! (default 100) gate the cold-run-size and warm-speedup assertions; set
+//! them to 0 for a fast functional smoke with small parameters.
+
+use graphs::Graph;
+use qarchsearch::cache::CacheConfig;
+use qarchsearch::report::SearchReport;
+use qarchsearch::search::{SearchConfig, SearchOutcome};
+use qarchsearch::server::{JobId, JobServer, JobServerConfig, JobSpec, ServerOptions};
+use qarchsearch::GateAlphabet;
+use serde_json::json;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn job_spec(seed: u64, nodes: usize, p_max: usize, budget: usize) -> JobSpec {
+    let config = SearchConfig::builder()
+        .alphabet(GateAlphabet::from_mnemonics(&["rx", "ry"]).unwrap())
+        .max_depth(p_max)
+        .max_gates_per_mixer(2)
+        .optimizer_budget(budget)
+        .halving(budget.div_ceil(3).max(1), 2)
+        .backend(qaoa::Backend::StateVector)
+        .threads(1)
+        .seed(seed)
+        .build();
+    let graphs = vec![Graph::connected_erdos_renyi(nodes, 0.5, seed, 50)];
+    JobSpec::new(config, graphs).name(format!("bench-cache-{seed}"))
+}
+
+fn report_bytes(outcome: &SearchOutcome) -> String {
+    SearchReport::from(outcome).without_timings().to_json()
+}
+
+fn cached_server(workers: usize, queue: usize) -> JobServer {
+    JobServer::launch(
+        JobServerConfig {
+            workers,
+            queue_capacity: queue,
+            ..JobServerConfig::default()
+        },
+        ServerOptions {
+            store: None,
+            faults: None,
+            cache: Some(CacheConfig::default()),
+        },
+    )
+    .expect("in-memory cached server")
+}
+
+fn uncached_server(workers: usize, queue: usize) -> JobServer {
+    JobServer::launch(
+        JobServerConfig {
+            workers,
+            queue_capacity: queue,
+            ..JobServerConfig::default()
+        },
+        ServerOptions {
+            store: None,
+            faults: None,
+            cache: None,
+        },
+    )
+    .expect("in-memory uncached server")
+}
+
+fn main() {
+    let nodes = env_usize("QAS_CACHE_NODES", 12);
+    let p_max = env_usize("QAS_CACHE_PMAX", 3);
+    let budget = env_usize("QAS_CACHE_BUDGET", 500);
+    let fan = env_usize("QAS_CACHE_FAN", 8).max(2);
+    let min_cold = env_f64("QAS_CACHE_MIN_COLD", 1.0);
+    let min_speedup = env_f64("QAS_CACHE_MIN_SPEEDUP", 100.0);
+
+    // --- 1. cold vs warm latency -----------------------------------------
+    let server = cached_server(1, fan + 1);
+    let cold_start = Instant::now();
+    let id = server.submit(job_spec(7, nodes, p_max, budget)).unwrap();
+    let cold_report = report_bytes(&server.wait(id).unwrap().expect("cold run completes"));
+    let cold_secs = cold_start.elapsed().as_secs_f64();
+
+    let warm_start = Instant::now();
+    let id = server.submit(job_spec(7, nodes, p_max, budget)).unwrap();
+    let warm_report = report_bytes(&server.wait(id).unwrap().expect("warm run completes"));
+    let warm_secs = warm_start.elapsed().as_secs_f64();
+    assert!(
+        server.status(id).unwrap().cache_hit,
+        "resubmission must be served from the cache"
+    );
+    assert_eq!(warm_report, cold_report, "cached report diverged");
+    assert!(
+        cold_secs >= min_cold,
+        "cold run finished in {cold_secs:.3}s (< {min_cold}s); raise QAS_CACHE_BUDGET/NODES \
+         so the speedup measures a representative search"
+    );
+    let speedup = cold_secs / warm_secs.max(1e-9);
+    assert!(
+        speedup >= min_speedup,
+        "warm path only {speedup:.0}x faster ({warm_secs:.6}s vs {cold_secs:.3}s)"
+    );
+    eprintln!(
+        "[bench_cache] cold {cold_secs:.3}s vs warm {:.3}ms: {speedup:.0}x",
+        warm_secs * 1e3
+    );
+    server.shutdown();
+
+    // --- 2. coalesced fan-out vs sequential re-execution ------------------
+    // Single worker: the first identical submission runs, the rest attach
+    // to it in flight (or hit the cache if they arrive after it finishes).
+    let server = cached_server(1, fan + 1);
+    let fanout_start = Instant::now();
+    let ids: Vec<JobId> = (0..fan)
+        .map(|_| server.submit(job_spec(21, nodes, p_max, budget)).unwrap())
+        .collect();
+    let mut fan_reports = Vec::with_capacity(fan);
+    for id in &ids {
+        fan_reports.push(report_bytes(
+            &server.wait(*id).unwrap().expect("fan-out job completes"),
+        ));
+    }
+    let fanout_secs = fanout_start.elapsed().as_secs_f64();
+    for report in &fan_reports {
+        assert_eq!(report, &fan_reports[0], "fan-out reports diverged");
+    }
+    let stats = server.stats();
+    let cache = stats.cache.expect("cache enabled");
+    assert_eq!(cache.insertions, 1, "fan-out must execute exactly once");
+    assert_eq!(cache.misses, 1, "only the leader may miss");
+    assert_eq!(
+        cache.coalesced + cache.hits,
+        (fan - 1) as u64,
+        "every other subscriber attaches or hits"
+    );
+    let coalesced = cache.coalesced;
+    server.shutdown();
+
+    let server = uncached_server(1, fan + 1);
+    let sequential_start = Instant::now();
+    for _ in 0..fan {
+        let id = server.submit(job_spec(21, nodes, p_max, budget)).unwrap();
+        let report = report_bytes(&server.wait(id).unwrap().expect("sequential job completes"));
+        assert_eq!(report, fan_reports[0], "uncached rerun diverged");
+    }
+    let sequential_secs = sequential_start.elapsed().as_secs_f64();
+    server.shutdown();
+    let fanout_speedup = sequential_secs / fanout_secs.max(1e-9);
+    eprintln!(
+        "[bench_cache] {fan}-way fan-out {fanout_secs:.3}s ({coalesced} coalesced, 1 \
+         execution) vs sequential uncached {sequential_secs:.3}s: {fanout_speedup:.1}x"
+    );
+
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&json!({
+            "benchmark": "bench_cache",
+            "description": "serve-path result cache: cold vs cached latency for an \
+                            identical resubmission, and N-way coalesced fan-out vs \
+                            sequential uncached re-execution (bit-identical reports \
+                            asserted throughout)",
+            "available_cpus": (std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)),
+            "results": [
+                {
+                    "name": "cold_vs_warm",
+                    "nodes": nodes,
+                    "p_max": p_max,
+                    "budget": budget,
+                    "cold_seconds": cold_secs,
+                    "warm_seconds": warm_secs,
+                    "speedup": speedup,
+                },
+                {
+                    "name": "coalesced_fanout",
+                    "fan": fan,
+                    "executions": 1,
+                    "coalesced": coalesced,
+                    "cache_hits": (cache.hits),
+                    "fanout_seconds": fanout_secs,
+                    "sequential_uncached_seconds": sequential_secs,
+                    "speedup": fanout_speedup,
+                },
+            ],
+        }))
+        .expect("report serializes")
+    );
+}

@@ -116,6 +116,7 @@ fn durable_server(dir: &Path, workers: usize, queue: usize) -> JobServer {
         ServerOptions {
             store: Some(StoreConfig::new(dir)),
             faults: None,
+            cache: None,
         },
     )
     .expect("open bench state dir")

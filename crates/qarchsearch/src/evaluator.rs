@@ -123,28 +123,16 @@ impl EvaluatorConfig {
     }
 }
 
-/// Trains candidate mixers on a set of graphs (SIMULATE_QAOA of Algorithm 1).
-///
-/// Per-graph [`EnergyEvaluator`]s (classical reference cut, cached edge
-/// list) are memoized across candidates: a search trains hundreds of mixers
-/// on the same handful of graphs, and the classical Max-Cut reference is far
-/// too expensive to recompute per candidate. The cache is shared between
-/// clones, so the parallel scheduler's workers all reuse one entry per graph.
-#[derive(Debug, Clone)]
-pub struct Evaluator {
-    config: EvaluatorConfig,
-    cache: Arc<Mutex<HashMap<u64, Arc<EnergyEvaluator>>>>,
-}
-
-/// Structural fingerprint of a problem + graph pair (problem family and
-/// parameters, nodes, exact weighted edge list), used as the
-/// evaluator-cache key. Collisions are guarded by a full graph equality
-/// check on lookup (the problem side is fixed per [`Evaluator`] instance,
-/// but keying on it keeps entries distinct if a cache is ever shared).
-fn instance_fingerprint(problem: &ProblemKind, graph: &Graph) -> u64 {
+/// Structural fingerprint of a (problem, backend, graph) triple (problem
+/// family and parameters, simulator backend, nodes, exact weighted edge
+/// list), used as the evaluator-cache key. Collisions are guarded by a
+/// full triple-equality check on lookup: within one [`Evaluator`] the
+/// problem and backend are fixed, but the cache can be shared server-wide
+/// across jobs with differing configurations ([`EnergyCache`]).
+fn instance_fingerprint(problem: &ProblemKind, backend: Backend, graph: &Graph) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     // ProblemKind carries f64 parameters, so hash its debug rendering.
-    format!("{problem:?}").hash(&mut h);
+    format!("{problem:?}|{backend:?}").hash(&mut h);
     graph.num_nodes().hash(&mut h);
     for e in graph.edges() {
         e.u.hash(&mut h);
@@ -154,6 +142,213 @@ fn instance_fingerprint(problem: &ProblemKind, graph: &Graph) -> u64 {
     h.finish()
 }
 
+/// One memoized entry: the built [`EnergyEvaluator`] plus the exact triple
+/// it was built for (the collision guard).
+#[derive(Debug)]
+struct EnergyEntry {
+    problem: ProblemKind,
+    backend: Backend,
+    evaluator: Arc<EnergyEvaluator>,
+    /// LRU clock value of the last touch (only meaningful when bounded).
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct EnergyCacheInner {
+    /// `None` = unbounded (the per-search default: a search only ever sees
+    /// its own handful of graphs). Bounded caches are shared server-wide.
+    capacity: Option<usize>,
+    tick: u64,
+    hits: u64,
+    builds: u64,
+    evictions: u64,
+    entries: HashMap<u64, EnergyEntry>,
+}
+
+/// Point-in-time counters of an [`EnergyCache`] (surfaced by the server's
+/// `stats` request).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnergyCacheStats {
+    /// Entries currently held.
+    pub entries: usize,
+    /// Bound on entries (`None` = unbounded).
+    pub capacity: Option<usize>,
+    /// Lookups served from the memo.
+    pub hits: u64,
+    /// Evaluators built (misses).
+    pub builds: u64,
+    /// Entries dropped by LRU eviction.
+    pub evictions: u64,
+}
+
+/// A shareable memo of per-problem-instance [`EnergyEvaluator`]s (the
+/// classical reference solution and cached edge list behind every
+/// training session).
+///
+/// Each [`Evaluator`] owns an unbounded one by default, scoped to its own
+/// search. The [`crate::server::JobServer`] lifts the memo to a single
+/// **bounded** server-scoped instance shared by every job, so
+/// distinct-but-overlapping searches (same graphs and problem, different
+/// budgets or seeds) reuse the expensive classical reference instead of
+/// recomputing it per job. Entries are keyed by the full
+/// (problem, backend, graph) triple with equality guards, so sharing
+/// across heterogeneous jobs can never cross-contaminate results.
+#[derive(Debug, Clone)]
+pub struct EnergyCache {
+    inner: Arc<Mutex<EnergyCacheInner>>,
+}
+
+impl EnergyCache {
+    /// An unbounded memo (per-search usage: one search touches only its
+    /// own training graphs).
+    pub fn unbounded() -> EnergyCache {
+        EnergyCache::with_bound(None)
+    }
+
+    /// A memo bounded to `capacity` entries, evicting least-recently-used
+    /// beyond it (server-scoped usage).
+    pub fn bounded(capacity: usize) -> EnergyCache {
+        EnergyCache::with_bound(Some(capacity.max(1)))
+    }
+
+    fn with_bound(capacity: Option<usize>) -> EnergyCache {
+        EnergyCache {
+            inner: Arc::new(Mutex::new(EnergyCacheInner {
+                capacity,
+                tick: 0,
+                hits: 0,
+                builds: 0,
+                evictions: 0,
+                entries: HashMap::new(),
+            })),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> EnergyCacheStats {
+        let inner = lock_recover(&self.inner);
+        EnergyCacheStats {
+            entries: inner.entries.len(),
+            capacity: inner.capacity,
+            hits: inner.hits,
+            builds: inner.builds,
+            evictions: inner.evictions,
+        }
+    }
+
+    /// The memoized energy evaluator for the triple, building it on miss.
+    fn get_or_build(
+        &self,
+        problem: &ProblemKind,
+        backend: Backend,
+        graph: &Graph,
+    ) -> Arc<EnergyEvaluator> {
+        let key = instance_fingerprint(problem, backend, graph);
+        {
+            let mut inner = lock_recover(&self.inner);
+            let tick = inner.bump_tick();
+            let hit = inner.entries.get_mut(&key).and_then(|entry| {
+                entry.matches(problem, backend, graph).then(|| {
+                    entry.last_used = tick;
+                    Arc::clone(&entry.evaluator)
+                })
+            });
+            if let Some(evaluator) = hit {
+                inner.hits += 1;
+                return evaluator;
+            }
+        }
+        // Built outside the lock: the classical reference is expensive and
+        // must not serialize the parallel scheduler's workers. Two workers
+        // may race to build the same entry; the loser's work is discarded.
+        let instance = problem.instantiate(graph);
+        let built = Arc::new(
+            EnergyEvaluator::for_problem(graph, instance, backend)
+                .expect("instantiated problem matches its graph"),
+        );
+        let mut inner = lock_recover(&self.inner);
+        let tick = inner.bump_tick();
+        inner.builds += 1;
+        let evaluator = match inner.entries.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                if slot.get().matches(problem, backend, graph) {
+                    // Another worker built the same entry first — reuse it.
+                    slot.get_mut().last_used = tick;
+                    Arc::clone(&slot.get().evaluator)
+                } else {
+                    // Fingerprint collision: evict the other triple's entry
+                    // so a graph never trains against the wrong edge list.
+                    slot.insert(EnergyEntry {
+                        problem: problem.clone(),
+                        backend,
+                        evaluator: Arc::clone(&built),
+                        last_used: tick,
+                    });
+                    built
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(EnergyEntry {
+                    problem: problem.clone(),
+                    backend,
+                    evaluator: Arc::clone(&built),
+                    last_used: tick,
+                });
+                built
+            }
+        };
+        inner.evict_over_capacity();
+        evaluator
+    }
+}
+
+impl EnergyCacheInner {
+    fn bump_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn evict_over_capacity(&mut self) {
+        let Some(capacity) = self.capacity else {
+            return;
+        };
+        while self.entries.len() > capacity {
+            let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(key, _)| *key)
+            else {
+                break;
+            };
+            self.entries.remove(&oldest);
+            self.evictions += 1;
+        }
+    }
+}
+
+impl EnergyEntry {
+    fn matches(&self, problem: &ProblemKind, backend: Backend, graph: &Graph) -> bool {
+        self.problem == *problem && self.backend == backend && self.evaluator.graph() == graph
+    }
+}
+
+/// Trains candidate mixers on a set of graphs (SIMULATE_QAOA of Algorithm 1).
+///
+/// Per-graph [`EnergyEvaluator`]s (classical reference cut, cached edge
+/// list) are memoized across candidates through an [`EnergyCache`]: a
+/// search trains hundreds of mixers on the same handful of graphs, and the
+/// classical Max-Cut reference is far too expensive to recompute per
+/// candidate. The cache is shared between clones, so the parallel
+/// scheduler's workers all reuse one entry per graph — and the
+/// [`crate::server::JobServer`] injects a server-scoped cache so entries
+/// are reused *across* jobs too.
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    config: EvaluatorConfig,
+    cache: EnergyCache,
+}
+
 impl Evaluator {
     /// An evaluator with the paper's defaults (tensor network, COBYLA, 200
     /// steps).
@@ -161,12 +356,15 @@ impl Evaluator {
         Evaluator::new(EvaluatorConfig::default())
     }
 
-    /// An evaluator with an explicit configuration.
+    /// An evaluator with an explicit configuration and its own private
+    /// (unbounded) memo.
     pub fn new(config: EvaluatorConfig) -> Evaluator {
-        Evaluator {
-            config,
-            cache: Arc::new(Mutex::new(HashMap::new())),
-        }
+        Evaluator::with_energy_cache(config, EnergyCache::unbounded())
+    }
+
+    /// An evaluator backed by a shared (possibly server-scoped) memo.
+    pub fn with_energy_cache(config: EvaluatorConfig, cache: EnergyCache) -> Evaluator {
+        Evaluator { config, cache }
     }
 
     /// The configuration in use.
@@ -176,41 +374,8 @@ impl Evaluator {
 
     /// The memoized per-problem-instance energy evaluator.
     fn energy_evaluator_for(&self, graph: &Graph) -> Arc<EnergyEvaluator> {
-        let key = instance_fingerprint(&self.config.problem, graph);
-        {
-            let cache = lock_recover(&self.cache);
-            if let Some(hit) = cache.get(&key) {
-                if hit.graph() == graph {
-                    return Arc::clone(hit);
-                }
-            }
-        }
-        // Built outside the lock: the classical reference is expensive and
-        // must not serialize the parallel scheduler's workers. Two workers
-        // may race to build the same entry; the loser's work is discarded.
-        let problem = self.config.problem.instantiate(graph);
-        let built = Arc::new(
-            EnergyEvaluator::for_problem(graph, problem, self.config.backend)
-                .expect("instantiated problem matches its graph"),
-        );
-        let mut cache = lock_recover(&self.cache);
-        match cache.entry(key) {
-            std::collections::hash_map::Entry::Occupied(mut slot) => {
-                if slot.get().graph() == graph {
-                    // Another worker built the same entry first — reuse it.
-                    Arc::clone(slot.get())
-                } else {
-                    // Fingerprint collision: evict the other graph's entry so
-                    // this graph never trains against the wrong edge list.
-                    slot.insert(Arc::clone(&built));
-                    built
-                }
-            }
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                slot.insert(Arc::clone(&built));
-                built
-            }
-        }
+        self.cache
+            .get_or_build(&self.config.problem, self.config.backend, graph)
     }
 
     /// Train `mixer` at `depth` on a single graph (against the configured
@@ -392,6 +557,59 @@ mod tests {
     }
 
     #[test]
+    fn shared_energy_cache_crosses_evaluator_instances() {
+        // Two evaluators with different budgets (distinct jobs on a
+        // server) share one bounded cache: the second reuses the first's
+        // classical reference.
+        let shared = EnergyCache::bounded(8);
+        let a = Evaluator::with_energy_cache(small_config(), shared.clone());
+        let b = Evaluator::with_energy_cache(
+            EvaluatorConfig {
+                budget: 80,
+                ..small_config()
+            },
+            shared.clone(),
+        );
+        let graph = Graph::cycle(5);
+        let ea = a.energy_evaluator_for(&graph);
+        let eb = b.energy_evaluator_for(&graph);
+        assert!(Arc::ptr_eq(&ea, &eb), "shared cache must serve both jobs");
+        let stats = shared.stats();
+        assert_eq!(stats.builds, 1);
+        assert_eq!(stats.hits, 1);
+        // A different backend is a different entry, never a false hit.
+        let c = Evaluator::with_energy_cache(
+            EvaluatorConfig {
+                backend: Backend::TensorNetwork,
+                ..small_config()
+            },
+            shared.clone(),
+        );
+        let ec = c.energy_evaluator_for(&graph);
+        assert!(!Arc::ptr_eq(&ea, &ec));
+        assert_eq!(shared.stats().builds, 2);
+    }
+
+    #[test]
+    fn bounded_energy_cache_evicts_lru() {
+        let shared = EnergyCache::bounded(2);
+        let evaluator = Evaluator::with_energy_cache(small_config(), shared.clone());
+        let g1 = Graph::cycle(4);
+        let g2 = Graph::cycle(5);
+        let g3 = Graph::cycle(6);
+        let first = evaluator.energy_evaluator_for(&g1);
+        let _ = evaluator.energy_evaluator_for(&g2);
+        let _ = evaluator.energy_evaluator_for(&g1); // refresh g1
+        let _ = evaluator.energy_evaluator_for(&g3); // evicts g2
+        let stats = shared.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        // g1 survived the eviction (g2 was least recently used).
+        let again = evaluator.energy_evaluator_for(&g1);
+        assert!(Arc::ptr_eq(&first, &again));
+    }
+
+    #[test]
     fn default_config_problem_is_maxcut() {
         assert_eq!(EvaluatorConfig::default().problem, ProblemKind::MaxCut);
     }
@@ -420,9 +638,12 @@ mod tests {
     #[test]
     fn evaluator_cache_distinguishes_problem_families() {
         let graph = Graph::cycle(6);
-        let g_key_mc = instance_fingerprint(&ProblemKind::MaxCut, &graph);
-        let g_key_sk =
-            instance_fingerprint(&ProblemKind::SherringtonKirkpatrick { seed: 0 }, &graph);
+        let g_key_mc = instance_fingerprint(&ProblemKind::MaxCut, Backend::StateVector, &graph);
+        let g_key_sk = instance_fingerprint(
+            &ProblemKind::SherringtonKirkpatrick { seed: 0 },
+            Backend::StateVector,
+            &graph,
+        );
         assert_ne!(g_key_mc, g_key_sk);
         let mc = Evaluator::new(small_config());
         let sk = Evaluator::new(EvaluatorConfig {

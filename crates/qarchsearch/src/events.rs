@@ -132,6 +132,14 @@ pub enum SearchEvent {
         /// Candidates pruned before the full budget.
         pruned: usize,
     },
+    /// The job was served from the server's content-addressed result cache:
+    /// no engine ran. Emitted only by the [`crate::server::JobServer`]
+    /// (never by a session engine), immediately followed by a synthetic
+    /// [`SearchEvent::Finished`] built from the cached outcome.
+    CacheHit {
+        /// Hex rendering of the cache key (the canonical-spec hash).
+        key: String,
+    },
     /// The run stopped at a cancellation point; completed depths drain into
     /// a valid partial outcome.
     Cancelled {
@@ -168,6 +176,7 @@ impl SearchEvent {
             SearchEvent::CandidatePruned { .. } => "candidate_pruned",
             SearchEvent::CandidateEvaluated { .. } => "candidate_evaluated",
             SearchEvent::DepthCompleted { .. } => "depth_completed",
+            SearchEvent::CacheHit { .. } => "cache_hit",
             SearchEvent::Cancelled { .. } => "cancelled",
             SearchEvent::Finished { .. } => "finished",
             SearchEvent::Failed { .. } => "failed",

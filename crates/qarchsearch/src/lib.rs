@@ -47,6 +47,7 @@
 //! ```
 
 pub mod alphabet;
+pub mod cache;
 pub mod constraints;
 pub mod encoding;
 pub mod error;
@@ -65,9 +66,10 @@ mod sync;
 pub mod worksteal;
 
 pub use alphabet::{GateAlphabet, RotationGate};
+pub use cache::{spec_cache_key, CacheConfig, CacheStats, ResultCache, SpecKey};
 pub use constraints::{Constraint, ConstraintSet};
 pub use error::SearchError;
-pub use evaluator::Evaluator;
+pub use evaluator::{EnergyCache, Evaluator};
 pub use events::SearchEvent;
 pub use fault::{FaultAction, FaultContext, FaultInjector, FaultPlan, FaultSpec};
 pub use predictor::{BanditState, Predictor, RandomPredictor};
@@ -75,6 +77,7 @@ pub use qbuilder::QBuilder;
 pub use search::{ExecutionMode, PipelineConfig, RungStat, SearchConfig, SearchOutcome};
 pub use server::{
     JobId, JobServer, JobServerConfig, JobSpec, JobState, JobStatus, RecoveryReport, ServerOptions,
+    ServerStats,
 };
 pub use session::{
     SchedulerCheckpoint, SearchCheckpoint, SearchDriver, SearchHandle, SearchProgress, SearchStatus,

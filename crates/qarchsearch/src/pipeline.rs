@@ -27,7 +27,7 @@
 //! were pruned at) so reports can show exactly where the budget went.
 
 use crate::error::SearchError;
-use crate::evaluator::{CandidateResult, Evaluator};
+use crate::evaluator::{CandidateResult, EnergyCache, Evaluator};
 use crate::events::SearchEvent;
 use crate::fault::{self, site, FaultContext};
 use crate::predictor::{EpsilonGreedyPredictor, Predictor};
@@ -92,9 +92,19 @@ pub(crate) struct BudgetedScheduler {
 }
 
 impl BudgetedScheduler {
-    pub(crate) fn new(config: &SearchConfig) -> BudgetedScheduler {
+    /// Build a scheduler with an optionally shared energy-evaluator memo
+    /// (the job server injects its server-scoped cache here; `None` keeps
+    /// the search's own private, unbounded memo).
+    pub(crate) fn with_energy_cache(
+        config: &SearchConfig,
+        energy_cache: Option<EnergyCache>,
+    ) -> BudgetedScheduler {
+        let evaluator = match energy_cache {
+            Some(cache) => Evaluator::with_energy_cache(config.evaluator.clone(), cache),
+            None => Evaluator::new(config.evaluator.clone()),
+        };
         BudgetedScheduler {
-            evaluator: Evaluator::new(config.evaluator.clone()),
+            evaluator,
             builder: QBuilder::new(config.alphabet.clone()),
             // Exploration rate 0: the ranker only scores, it never proposes.
             ranker: EpsilonGreedyPredictor::new(config.alphabet.clone(), 0.0, config.seed),
@@ -119,8 +129,12 @@ impl BudgetedScheduler {
 
     /// Rebuild a scheduler mid-search from a checkpoint (the inverse of
     /// [`BudgetedScheduler::checkpoint`]).
-    pub(crate) fn restore(config: &SearchConfig, state: SchedulerCheckpoint) -> BudgetedScheduler {
-        let mut scheduler = BudgetedScheduler::new(config);
+    pub(crate) fn restore(
+        config: &SearchConfig,
+        state: SchedulerCheckpoint,
+        energy_cache: Option<EnergyCache>,
+    ) -> BudgetedScheduler {
+        let mut scheduler = BudgetedScheduler::with_energy_cache(config, energy_cache);
         scheduler.ranker.restore_state(state.ranker);
         scheduler.ranker_trained = state.ranker_trained;
         scheduler.warm_source = state.warm_source;

@@ -126,6 +126,13 @@ pub struct SearchReport {
     pub budget_savings_factor: f64,
     /// Threads used by the parallel scheduler (None = serial).
     pub threads: Option<usize>,
+    /// Whether the serve path answered this report from its
+    /// content-addressed result cache instead of executing the search.
+    /// Provenance only: a cached report is bit-identical to the computed
+    /// one under [`SearchReport::without_timings`], which resets this flag
+    /// along with the clocks.
+    #[serde(default)]
+    pub served_from_cache: bool,
 }
 
 impl From<&SearchOutcome> for SearchReport {
@@ -154,6 +161,7 @@ impl From<&SearchOutcome> for SearchReport {
             full_budget_evaluations: o.full_budget_evaluations,
             budget_savings_factor: o.budget_savings_factor(),
             threads: o.parallel_threads,
+            served_from_cache: false,
         }
     }
 }
@@ -174,6 +182,7 @@ impl SearchReport {
             *seconds = 0.0;
         }
         report.total_seconds = 0.0;
+        report.served_from_cache = false;
         report
     }
 }

@@ -39,8 +39,38 @@
 //! * **Retries** — transient failures ([`SearchError::is_transient`])
 //!   consume [`JobSpec::max_retries`] attempts under deterministic
 //!   exponential backoff, resuming from the last checkpoint.
+//!
+//! ## Caching and coalescing
+//!
+//! Search results are pure functions of the submitted spec (config +
+//! graphs + seed — see [`crate::cache`]), so the server never computes
+//! the same search twice. Three tiers, all enabled by
+//! [`ServerOptions::cache`] (on by default, `None` to disable):
+//!
+//! 1. **Result cache** — [`submit`](JobServer::submit) consults a
+//!    content-addressed [`ResultCache`] first; a hit completes the job
+//!    instantly with the stored outcome, a synthetic
+//!    [`SearchEvent::CacheHit`] + `Finished` event pair, and
+//!    [`JobStatus::cache_hit`] set. With [`CacheConfig::dir`] the cache
+//!    survives restarts through the same crc-framed journal as the job
+//!    store.
+//! 2. **Request coalescing** — a submission identical to one already
+//!    queued or running attaches as a *follower* of that execution: it
+//!    gets its own [`JobId`], event cursor, result, and cancel (which
+//!    only detaches it), but no engine runs for it. When the leader
+//!    settles, the terminal state and result fan out to every follower.
+//!    Cancelling a leader promotes its first follower; the engine keeps
+//!    running.
+//! 3. **Evaluator sharing** — jobs share one server-scoped bounded
+//!    [`EnergyCache`], so identical `(problem, backend, graph)` triples
+//!    across *different* jobs reuse one trained-energy evaluator.
+//!
+//! [`JobServer::stats`] reports queue depth, per-state job counts, and
+//! the hit/miss/coalesced counters of both caches.
 
+use crate::cache::{spec_cache_key, CacheConfig, CacheStats, ResultCache, SpecKey};
 use crate::error::SearchError;
+use crate::evaluator::{EnergyCache, EnergyCacheStats};
 use crate::events::SearchEvent;
 use crate::fault::{self, site, FaultContext, FaultInjector};
 use crate::search::{SearchConfig, SearchOutcome};
@@ -211,6 +241,12 @@ pub struct JobStatus {
     pub events_recorded: usize,
     /// Search progress, once the session has started.
     pub progress: Option<SearchProgress>,
+    /// Whether the result was served from the content-addressed result
+    /// cache (no engine ran for this job).
+    pub cache_hit: bool,
+    /// Whether this job was coalesced onto another identical in-flight
+    /// execution instead of running its own engine.
+    pub coalesced: bool,
 }
 
 /// Server tuning knobs.
@@ -238,15 +274,59 @@ impl Default for JobServerConfig {
     }
 }
 
-/// Extra launch-time wiring: the durable store and the fault-injection
-/// harness (both optional; the default is the in-memory server).
-#[derive(Debug, Default)]
+/// Extra launch-time wiring: the durable store, the fault-injection
+/// harness, and the result/evaluator caching tier.
+#[derive(Debug)]
 pub struct ServerOptions {
     /// Journal jobs under this state dir and recover them on launch.
     pub store: Option<StoreConfig>,
     /// Armed fault plan, threaded into every job (chaos tests; inert in
     /// release builds — see [`crate::fault`]).
     pub faults: Option<Arc<FaultInjector>>,
+    /// Result cache + request coalescing + shared evaluator cache.
+    /// `Some(CacheConfig::default())` (in-memory, bounded) by default;
+    /// `None` disables all three tiers — the `--no-cache` path, pinned
+    /// bit-identical to the pre-cache server.
+    pub cache: Option<CacheConfig>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            store: None,
+            faults: None,
+            cache: Some(CacheConfig::default()),
+        }
+    }
+}
+
+/// A point-in-time summary of the whole server: queue depth, job counts
+/// by state, and (when caching is enabled) both cache tiers' counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Entries waiting in the bounded queue (running jobs not counted).
+    pub queue_depth: usize,
+    /// Jobs currently [`JobState::Queued`].
+    pub jobs_queued: usize,
+    /// Jobs currently [`JobState::Running`].
+    pub jobs_running: usize,
+    /// Jobs currently [`JobState::Retrying`].
+    pub jobs_retrying: usize,
+    /// Retained jobs that finished [`JobState::Completed`].
+    pub jobs_completed: usize,
+    /// Retained jobs that finished [`JobState::Cancelled`].
+    pub jobs_cancelled: usize,
+    /// Retained jobs that finished [`JobState::TimedOut`].
+    pub jobs_timed_out: usize,
+    /// Retained jobs that finished [`JobState::Failed`].
+    pub jobs_failed: usize,
+    /// Result-cache counters (`None` when caching is disabled). The
+    /// `coalesced` counter counts follower attachments (tier 2).
+    pub cache: Option<CacheStats>,
+    /// Shared evaluator-cache counters (`None` when caching is disabled).
+    pub energy_cache: Option<EnergyCacheStats>,
 }
 
 /// What [`JobServer::launch`] recovered from a durable store's journal.
@@ -282,6 +362,42 @@ struct JobRecord {
     /// Set by an explicit [`JobServer::cancel`] on a running job, so
     /// shutdown-suspension never resurrects a job the user killed.
     user_cancelled: bool,
+    /// Follower job ids coalesced onto this execution (leaders only).
+    followers: Vec<u64>,
+    /// The execution this job is coalesced onto (followers only);
+    /// cleared when the follower detaches or the execution settles.
+    leader: Option<u64>,
+    /// The content-address of this execution's spec, kept so its result
+    /// can be inserted into the cache at settle time (leaders only).
+    cache_key: Option<SpecKey>,
+    /// Served instantly from the result cache — no engine ran.
+    cache_hit: bool,
+    /// Attached to another in-flight execution instead of running.
+    coalesced: bool,
+}
+
+impl JobRecord {
+    /// A fresh queued record for `spec` (no events, no result yet).
+    fn queued(spec: JobSpec) -> JobRecord {
+        JobRecord {
+            name: spec.name.clone(),
+            priority: spec.priority,
+            state: JobState::Queued,
+            spec: Some(spec),
+            events: Vec::new(),
+            canceller: None,
+            progress: None,
+            result: None,
+            retries: 0,
+            checkpoint: None,
+            user_cancelled: false,
+            followers: Vec::new(),
+            leader: None,
+            cache_key: None,
+            cache_hit: false,
+            coalesced: false,
+        }
+    }
 }
 
 /// One queue entry; `ready_at` defers retry attempts (backoff).
@@ -296,6 +412,116 @@ struct Registry {
     pending: Vec<PendingEntry>,
     next_id: u64,
     shutdown: bool,
+    /// Cache-key hash → job id of the one in-flight execution for that
+    /// spec; identical submissions attach here as followers.
+    inflight: HashMap<u64, u64>,
+    /// Old execution id → promoted follower id. When a leader is
+    /// cancelled mid-run its engine keeps going, but the worker thread
+    /// still holds the old id — every worker-side registry access
+    /// resolves through this map ([`resolve_exec`]).
+    exec_alias: HashMap<u64, u64>,
+}
+
+/// Follow promotion aliases to the job record currently owning the
+/// execution that started under `id`.
+fn resolve_exec(registry: &Registry, id: u64) -> u64 {
+    let mut current = id;
+    while let Some(&next) = registry.exec_alias.get(&current) {
+        current = next;
+    }
+    current
+}
+
+/// Follower ids of `exec`, cloned out so the registry can be re-borrowed.
+fn followers_of(registry: &Registry, exec: u64) -> Vec<u64> {
+    registry
+        .jobs
+        .get(&exec)
+        .map(|record| record.followers.clone())
+        .unwrap_or_default()
+}
+
+/// Record `event` (and optionally fresh progress) on the execution owner
+/// *and* every coalesced follower — each subscriber owns its copy of the
+/// stream, so cursors and `forget` stay independent.
+fn push_shared_event(
+    registry: &mut Registry,
+    exec: u64,
+    event: &SearchEvent,
+    progress: Option<SearchProgress>,
+) {
+    for follower in followers_of(registry, exec) {
+        if let Some(record) = registry.jobs.get_mut(&follower) {
+            record.events.push(event.clone());
+            if let Some(progress) = &progress {
+                record.progress = Some(progress.clone());
+            }
+        }
+    }
+    if let Some(record) = registry.jobs.get_mut(&exec) {
+        record.events.push(event.clone());
+        if let Some(progress) = progress {
+            record.progress = Some(progress);
+        }
+    }
+}
+
+/// Hand the execution owned by `old` to its first follower: the promoted
+/// record inherits the canceller, checkpoint, retry count, and cache key;
+/// remaining followers re-point to it; any pending queue entry is
+/// re-addressed; and an `exec_alias` entry redirects the worker thread
+/// (which may still be driving under `old`'s id). Returns the new owner,
+/// or `None` when `old` has no followers.
+fn promote_follower(registry: &mut Registry, old: u64) -> Option<u64> {
+    let (followers, canceller, checkpoint, cache_key, retries, state) = {
+        let record = registry.jobs.get_mut(&old)?;
+        if record.followers.is_empty() {
+            return None;
+        }
+        (
+            std::mem::take(&mut record.followers),
+            record.canceller.take(),
+            record.checkpoint.take(),
+            record.cache_key.take(),
+            record.retries,
+            record.state.clone(),
+        )
+    };
+    let new = followers[0];
+    let rest = &followers[1..];
+    if let Some(promoted) = registry.jobs.get_mut(&new) {
+        promoted.leader = None;
+        promoted.followers = rest.to_vec();
+        promoted.canceller = canceller;
+        promoted.checkpoint = checkpoint;
+        promoted.cache_key = cache_key.clone();
+        promoted.retries = retries;
+        promoted.state = state;
+    }
+    for follower in rest {
+        if let Some(record) = registry.jobs.get_mut(follower) {
+            record.leader = Some(new);
+        }
+    }
+    if let Some(key) = &cache_key {
+        if let Some(owner) = registry.inflight.get_mut(&key.hash) {
+            if *owner == old {
+                *owner = new;
+            }
+        }
+    }
+    for target in registry.exec_alias.values_mut() {
+        if *target == old {
+            *target = new;
+        }
+    }
+    registry.exec_alias.insert(old, new);
+    for entry in &mut registry.pending {
+        if entry.id == old {
+            entry.id = new;
+        }
+    }
+    Some(new)
 }
 
 struct ServerInner {
@@ -312,6 +538,11 @@ struct ServerInner {
     checkpoint_every: usize,
     /// Armed fault plan shared by every job context.
     faults: Option<Arc<FaultInjector>>,
+    /// Content-addressed result cache. Never locked while holding
+    /// `registry` (lookups happen before, inserts after).
+    cache: Option<Mutex<ResultCache>>,
+    /// Server-scoped evaluator cache shared across jobs.
+    energy_cache: Option<EnergyCache>,
 }
 
 /// A running job server; dropping it (or calling [`JobServer::shutdown`])
@@ -345,11 +576,35 @@ impl JobServer {
             max_retained_jobs: config.max_retained_jobs.max(1),
         };
         let faults = options.faults;
+        if let (Some(store_config), Some(cache_config)) = (&options.store, &options.cache) {
+            if cache_config.dir.as_deref() == Some(store_config.dir.as_path()) {
+                return Err(SearchError::InvalidConfig {
+                    message: "cache dir must differ from the job-store state dir \
+                              (both own a journal.log)"
+                        .to_string(),
+                });
+            }
+        }
+        // The cache journal runs without fault injection: chaos plans
+        // target the job store's append site, and a cache that degrades
+        // mid-test would mask the behaviour under test.
+        let (cache, energy_cache) = match &options.cache {
+            Some(cache_config) => {
+                let (cache, _recovered) = ResultCache::open(cache_config)?;
+                (
+                    Some(Mutex::new(cache)),
+                    Some(EnergyCache::bounded(cache_config.evaluator_capacity)),
+                )
+            }
+            None => (None, None),
+        };
         let mut registry = Registry {
             jobs: HashMap::new(),
             pending: Vec::new(),
             next_id: 1,
             shutdown: false,
+            inflight: HashMap::new(),
+            exec_alias: HashMap::new(),
         };
         let mut checkpoint_every = 1;
         let mut recovery = None;
@@ -361,7 +616,12 @@ impl JobServer {
                     .map(|injector| FaultContext::new(Arc::clone(injector), None));
                 let (store, replayed) =
                     JobStore::open_with_faults(&store_config.dir, store_faults)?;
-                recovery = Some(rebuild_registry(&mut registry, &replayed, &config));
+                recovery = Some(rebuild_registry(
+                    &mut registry,
+                    &replayed,
+                    &config,
+                    cache.is_some(),
+                ));
                 Some(Mutex::new(store))
             }
             None => None,
@@ -374,6 +634,8 @@ impl JobServer {
             store,
             checkpoint_every,
             faults,
+            cache,
+            energy_cache,
         });
         let workers = (0..inner.config.workers)
             .map(|i| {
@@ -401,17 +663,95 @@ impl JobServer {
     /// bounded queue is at capacity, and validates the configuration before
     /// accepting (a job that could never start is rejected here, not
     /// buried in a failed record).
+    ///
+    /// With caching enabled the submission is content-addressed first: a
+    /// result-cache hit completes instantly (no queue slot consumed), and
+    /// a spec identical to an in-flight execution attaches as a follower
+    /// of that execution instead of queueing its own.
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, SearchError> {
         if spec.graphs.is_empty() {
             return Err(SearchError::NoGraphs);
         }
         spec.config.validate_for(spec.config.mode)?;
+        let key = match &self.inner.cache {
+            Some(_) => Some(spec_cache_key(&spec)?),
+            None => None,
+        };
+        // Tier 1: result cache. Looked up before the registry lock (the
+        // cache mutex is never nested inside it); a concurrent insert
+        // between this miss and the registry lock only costs a recompute.
+        let cached = match (&self.inner.cache, &key) {
+            (Some(cache), Some(key)) => lock_recover(cache).lookup(key),
+            _ => None,
+        };
         let mut registry = self.lock_registry();
         if registry.shutdown {
             return Err(SearchError::Evaluation {
                 message: "job server is shutting down".to_string(),
             });
         }
+        if let (Some(outcome), Some(key)) = (cached, &key) {
+            let id = self.complete_from_cache(&mut registry, spec, key, outcome);
+            drop(registry);
+            self.inner.done_cv.notify_all();
+            return Ok(JobId(id));
+        }
+        // Tier 2: request coalescing. An identical spec already queued or
+        // running gets a follower record mirroring that execution instead
+        // of a queue slot. Deadline/retry budgets must match — a follower
+        // inherits the leader's schedule verbatim.
+        if let Some(key) = &key {
+            if let Some(&origin) = registry.inflight.get(&key.hash) {
+                let exec = resolve_exec(&registry, origin);
+                let attachable = registry.jobs.get(&exec).is_some_and(|leader| {
+                    !leader.state.is_terminal()
+                        && leader
+                            .cache_key
+                            .as_ref()
+                            .is_some_and(|k| k.canonical == key.canonical)
+                        && leader.spec.as_ref().is_some_and(|leader_spec| {
+                            leader_spec.timeout_secs == spec.timeout_secs
+                                && leader_spec.max_retries == spec.max_retries
+                        })
+                });
+                if attachable {
+                    let id = registry.next_id;
+                    registry.next_id += 1;
+                    journal(
+                        &self.inner,
+                        &JournalRecord::Submitted {
+                            id,
+                            spec: spec.clone(),
+                        },
+                    );
+                    let leader = registry.jobs.get(&exec).expect("attachable leader exists");
+                    // The follower keeps its own spec so it can take over
+                    // the execution if the leader is cancelled (promotion).
+                    let record = JobRecord {
+                        state: leader.state.clone(),
+                        events: leader.events.clone(),
+                        progress: leader.progress.clone(),
+                        retries: leader.retries,
+                        leader: Some(exec),
+                        coalesced: true,
+                        ..JobRecord::queued(spec)
+                    };
+                    registry.jobs.insert(id, record);
+                    registry
+                        .jobs
+                        .get_mut(&exec)
+                        .expect("attachable leader exists")
+                        .followers
+                        .push(id);
+                    drop(registry);
+                    if let Some(cache) = &self.inner.cache {
+                        lock_recover(cache).note_coalesced();
+                    }
+                    return Ok(JobId(id));
+                }
+            }
+        }
+        // Tier 3: a genuinely new execution.
         if registry.pending.len() >= self.inner.config.queue_capacity {
             return Err(SearchError::QueueFull {
                 capacity: self.inner.config.queue_capacity,
@@ -426,74 +766,231 @@ impl JobServer {
                 spec: spec.clone(),
             },
         );
-        registry.jobs.insert(
-            id,
-            JobRecord {
-                name: spec.name.clone(),
-                priority: spec.priority,
-                state: JobState::Queued,
-                spec: Some(spec),
-                events: Vec::new(),
-                canceller: None,
-                progress: None,
-                result: None,
-                retries: 0,
-                checkpoint: None,
-                user_cancelled: false,
-            },
-        );
+        let mut record = JobRecord::queued(spec);
+        record.cache_key = key.clone();
+        registry.jobs.insert(id, record);
+        if let Some(key) = &key {
+            registry.inflight.insert(key.hash, id);
+        }
         registry.pending.push(PendingEntry { id, ready_at: None });
         drop(registry);
+        if let Some(cache) = &self.inner.cache {
+            lock_recover(cache).note_miss();
+        }
         self.inner.work_cv.notify_one();
         Ok(JobId(id))
+    }
+
+    /// Complete a submission instantly from a result-cache hit: the job
+    /// record is born terminal with a synthetic [`SearchEvent::CacheHit`]
+    /// + `Finished` event pair and the cached outcome.
+    fn complete_from_cache(
+        &self,
+        registry: &mut Registry,
+        spec: JobSpec,
+        key: &SpecKey,
+        outcome: Arc<SearchOutcome>,
+    ) -> u64 {
+        let id = registry.next_id;
+        registry.next_id += 1;
+        journal(
+            &self.inner,
+            &JournalRecord::Submitted {
+                id,
+                spec: spec.clone(),
+            },
+        );
+        let progress = SearchProgress {
+            status: SearchStatus::Finished,
+            depths_completed: outcome.depth_results.len(),
+            max_depth: spec.config.max_depth,
+            candidates_evaluated: outcome.num_candidates_evaluated,
+            optimizer_evaluations: outcome.total_optimizer_evaluations,
+            best_energy: Some(outcome.best.energy),
+            elapsed_seconds: 0.0,
+        };
+        let mut record = JobRecord::queued(spec);
+        record.state = JobState::Completed;
+        record.spec = None;
+        record.events = vec![
+            SearchEvent::CacheHit { key: key.hex() },
+            SearchEvent::Finished {
+                best_mixer: outcome.best.mixer_label.clone(),
+                best_depth: outcome.best.depth,
+                best_energy: outcome.best.energy,
+                candidates_evaluated: outcome.num_candidates_evaluated,
+            },
+        ];
+        record.progress = Some(progress);
+        record.result = Some(Ok((*outcome).clone()));
+        record.cache_hit = true;
+        registry.jobs.insert(id, record);
+        journal(
+            &self.inner,
+            &JournalRecord::Finished {
+                id,
+                outcome: Some((*outcome).clone()),
+                error: None,
+            },
+        );
+        journal(
+            &self.inner,
+            &JournalRecord::State {
+                id,
+                state: JobState::Completed,
+                retries: 0,
+            },
+        );
+        let evicted = evict_over_retention(registry, self.inner.config.max_retained_jobs);
+        journal_forgotten(&self.inner, &evicted);
+        id
     }
 
     /// Cancel a job: queued (and backoff-waiting) jobs are cut instantly,
     /// running jobs cooperatively (their partial outcome, if any, stays
     /// retrievable). Returns `false` for unknown or already-terminal jobs.
+    ///
+    /// Coalesced jobs have detachment semantics: cancelling a *follower*
+    /// only detaches it (the shared execution runs on), and cancelling a
+    /// *leader* with followers promotes its first follower to own the
+    /// execution — the engine is never stopped while a live subscriber
+    /// still wants the result.
     pub fn cancel(&self, id: JobId) -> bool {
         let mut registry = self.lock_registry();
         let Some(record) = registry.jobs.get_mut(&id.0) else {
             return false;
         };
+        // Follower: detach from the shared execution; nothing else stops.
+        if let Some(exec) = record.leader {
+            if record.state.is_terminal() {
+                return false;
+            }
+            let completed_depths = record
+                .progress
+                .as_ref()
+                .map(|p| p.depths_completed)
+                .unwrap_or(0);
+            record.state = JobState::Cancelled;
+            record.spec = None;
+            record.leader = None;
+            record.result = Some(Err(SearchError::Cancelled));
+            record
+                .events
+                .push(SearchEvent::Cancelled { completed_depths });
+            let retries = record.retries;
+            journal(
+                &self.inner,
+                &JournalRecord::Finished {
+                    id: id.0,
+                    outcome: None,
+                    error: Some(SearchError::Cancelled),
+                },
+            );
+            journal(
+                &self.inner,
+                &JournalRecord::State {
+                    id: id.0,
+                    state: JobState::Cancelled,
+                    retries,
+                },
+            );
+            if let Some(leader) = registry.jobs.get_mut(&exec) {
+                leader.followers.retain(|f| *f != id.0);
+            }
+            let evicted = evict_over_retention(&mut registry, self.inner.config.max_retained_jobs);
+            journal_forgotten(&self.inner, &evicted);
+            drop(registry);
+            self.inner.done_cv.notify_all();
+            return true;
+        }
         match record.state {
             JobState::Queued | JobState::Retrying { .. } => {
-                record.state = JobState::Cancelled;
-                record.spec = None;
-                record.result = Some(Err(SearchError::Cancelled));
-                journal(
-                    &self.inner,
-                    &JournalRecord::Finished {
-                        id: id.0,
-                        outcome: None,
-                        error: Some(SearchError::Cancelled),
-                    },
-                );
-                journal(
-                    &self.inner,
-                    &JournalRecord::State {
-                        id: id.0,
-                        state: JobState::Cancelled,
-                        retries: record.retries,
-                    },
-                );
-                registry.pending.retain(|entry| entry.id != id.0);
-                let evicted =
-                    evict_over_retention(&mut registry, self.inner.config.max_retained_jobs);
-                journal_forgotten(&self.inner, &evicted);
+                // A queued leader with followers hands the execution (its
+                // pending entry included) to the first follower before
+                // being cut.
+                promote_follower(&mut registry, id.0);
+                self.finish_cancelled(&mut registry, id.0, true);
                 drop(registry);
                 self.inner.done_cv.notify_all();
                 true
             }
             JobState::Running => {
-                record.user_cancelled = true;
-                if let Some(canceller) = &record.canceller {
-                    canceller.cancel();
+                if record.followers.is_empty() {
+                    record.user_cancelled = true;
+                    if let Some(canceller) = &record.canceller {
+                        canceller.cancel();
+                    }
+                    // Unregister from the coalescing index immediately: a
+                    // submission racing this cancel must start fresh, not
+                    // attach to an execution that is winding down.
+                    if let Some(key) = record.cache_key.take() {
+                        if registry.inflight.get(&key.hash) == Some(&id.0) {
+                            registry.inflight.remove(&key.hash);
+                        }
+                    }
+                    true
+                } else {
+                    // Promote a follower to own the running execution; the
+                    // engine keeps going, only this subscriber is cut. The
+                    // worker thread finds the new owner through the
+                    // `exec_alias` it resolves on every registry access.
+                    promote_follower(&mut registry, id.0);
+                    self.finish_cancelled(&mut registry, id.0, false);
+                    drop(registry);
+                    self.inner.done_cv.notify_all();
+                    true
                 }
-                true
             }
             _ => false,
         }
+    }
+
+    /// Mark `id` cancelled with a journaled terminal record; `drop_pending`
+    /// also removes its queue entry (promotion re-points the entry at the
+    /// new leader first, making removal here a no-op for handed-off work).
+    fn finish_cancelled(&self, registry: &mut Registry, id: u64, drop_pending: bool) {
+        if let Some(record) = registry.jobs.get_mut(&id) {
+            let completed_depths = record
+                .progress
+                .as_ref()
+                .map(|p| p.depths_completed)
+                .unwrap_or(0);
+            record.state = JobState::Cancelled;
+            record.spec = None;
+            record.result = Some(Err(SearchError::Cancelled));
+            if record.events.last().is_none_or(|e| !e.is_terminal()) {
+                record
+                    .events
+                    .push(SearchEvent::Cancelled { completed_depths });
+            }
+            if let Some(key) = record.cache_key.take() {
+                if registry.inflight.get(&key.hash) == Some(&id) {
+                    registry.inflight.remove(&key.hash);
+                }
+            }
+            let retries = registry.jobs[&id].retries;
+            journal(
+                &self.inner,
+                &JournalRecord::Finished {
+                    id,
+                    outcome: None,
+                    error: Some(SearchError::Cancelled),
+                },
+            );
+            journal(
+                &self.inner,
+                &JournalRecord::State {
+                    id,
+                    state: JobState::Cancelled,
+                    retries,
+                },
+            );
+        }
+        if drop_pending {
+            registry.pending.retain(|entry| entry.id != id);
+        }
+        let evicted = evict_over_retention(registry, self.inner.config.max_retained_jobs);
+        journal_forgotten(&self.inner, &evicted);
     }
 
     /// Status of one job.
@@ -598,7 +1095,26 @@ impl JobServer {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        self.settle_stragglers();
         self.finalize_store();
+    }
+
+    /// After the workers have joined, no record can make further progress
+    /// — force any survivor (e.g. a follower of a queued leader that never
+    /// ran) terminal so waiting clients unblock. In-memory only: durable
+    /// replay re-enqueues such jobs fresh on the next launch.
+    fn settle_stragglers(&self) {
+        let mut registry = self.lock_registry();
+        for record in registry.jobs.values_mut() {
+            if !record.state.is_terminal() {
+                record.state = JobState::Cancelled;
+                record.spec = None;
+                record.leader = None;
+                record.result.get_or_insert(Err(SearchError::Cancelled));
+            }
+        }
+        drop(registry);
+        self.inner.done_cv.notify_all();
     }
 
     fn begin_shutdown(&self) {
@@ -659,7 +1175,45 @@ impl JobServer {
             retries: record.retries,
             events_recorded: record.events.len(),
             progress: record.progress.clone(),
+            cache_hit: record.cache_hit,
+            coalesced: record.coalesced,
         }
+    }
+
+    /// A point-in-time summary: queue depth, job counts by state, and the
+    /// counters of both cache tiers (when caching is enabled).
+    pub fn stats(&self) -> ServerStats {
+        let mut stats = ServerStats {
+            workers: self.inner.config.workers,
+            queue_depth: 0,
+            jobs_queued: 0,
+            jobs_running: 0,
+            jobs_retrying: 0,
+            jobs_completed: 0,
+            jobs_cancelled: 0,
+            jobs_timed_out: 0,
+            jobs_failed: 0,
+            cache: None,
+            energy_cache: None,
+        };
+        {
+            let registry = self.lock_registry();
+            stats.queue_depth = registry.pending.len();
+            for record in registry.jobs.values() {
+                match record.state {
+                    JobState::Queued => stats.jobs_queued += 1,
+                    JobState::Running => stats.jobs_running += 1,
+                    JobState::Retrying { .. } => stats.jobs_retrying += 1,
+                    JobState::Completed => stats.jobs_completed += 1,
+                    JobState::Cancelled => stats.jobs_cancelled += 1,
+                    JobState::TimedOut => stats.jobs_timed_out += 1,
+                    JobState::Failed { .. } => stats.jobs_failed += 1,
+                }
+            }
+        }
+        stats.cache = self.inner.cache.as_ref().map(|c| lock_recover(c).stats());
+        stats.energy_cache = self.inner.energy_cache.as_ref().map(|c| c.stats());
+        stats
     }
 
     fn lock_registry(&self) -> std::sync::MutexGuard<'_, Registry> {
@@ -690,6 +1244,7 @@ fn rebuild_registry(
     registry: &mut Registry,
     replayed: &ReplayedState,
     config: &JobServerConfig,
+    cache_enabled: bool,
 ) -> RecoveryReport {
     let mut report = RecoveryReport {
         journal_records: replayed.records,
@@ -717,6 +1272,12 @@ fn rebuild_registry(
             });
             JobState::Queued
         };
+        // Replayed incomplete jobs run independently (no coalescing across
+        // a restart), but each keeps its cache key so the result it does
+        // compute still lands in the result cache.
+        let cache_key = (cache_enabled && !terminal)
+            .then(|| spec_cache_key(&job.spec).ok())
+            .flatten();
         registry.jobs.insert(
             job.id,
             JobRecord {
@@ -731,6 +1292,11 @@ fn rebuild_registry(
                 retries: job.retries,
                 checkpoint: job.checkpoint.clone(),
                 user_cancelled: false,
+                followers: Vec::new(),
+                leader: None,
+                cache_key,
+                cache_hit: false,
+                coalesced: false,
             },
         );
     }
@@ -805,6 +1371,12 @@ fn worker_loop(inner: Arc<ServerInner>) {
                     let resume_from = record.checkpoint.clone();
                     let retries = record.retries;
                     record.state = JobState::Running;
+                    let followers = record.followers.clone();
+                    for follower in followers {
+                        if let Some(record) = registry.jobs.get_mut(&follower) {
+                            record.state = JobState::Running;
+                        }
+                    }
                     journal(
                         &inner,
                         &JournalRecord::State {
@@ -853,36 +1425,69 @@ fn worker_loop(inner: Arc<ServerInner>) {
 /// was dropped during the unwind, which cancels any surviving engine).
 fn fail_job_after_panic(inner: &ServerInner, id: u64, message: String) {
     let mut registry = lock_recover(&inner.registry);
-    if let Some(record) = registry.jobs.get_mut(&id) {
-        if let Some(canceller) = &record.canceller {
+    let exec = resolve_exec(&registry, id);
+    if registry.jobs.contains_key(&exec) {
+        if let Some(canceller) = registry
+            .jobs
+            .get_mut(&exec)
+            .and_then(|r| r.canceller.take())
+        {
             canceller.cancel();
         }
-        record.canceller = None;
-        record.events.push(SearchEvent::Failed {
-            message: format!("search panicked: {message}"),
-        });
-        record.state = JobState::Failed {
+        let state = JobState::Failed {
             panic: Some(message.clone()),
         };
-        record.result = Some(Err(SearchError::Panicked {
-            message: message.clone(),
-        }));
-        journal(
-            inner,
-            &JournalRecord::Finished {
-                id,
-                outcome: None,
-                error: Some(SearchError::Panicked { message }),
-            },
-        );
-        journal(
-            inner,
-            &JournalRecord::State {
-                id,
-                state: record.state.clone(),
-                retries: record.retries,
-            },
-        );
+        let event = SearchEvent::Failed {
+            message: format!("search panicked: {message}"),
+        };
+        let error = SearchError::Panicked { message };
+        // The panic verdict fans out to every coalesced follower, exactly
+        // like a settled result.
+        let mut targets = vec![exec];
+        targets.extend(std::mem::take(
+            &mut registry
+                .jobs
+                .get_mut(&exec)
+                .expect("panicked record exists")
+                .followers,
+        ));
+        for target in targets {
+            let Some(record) = registry.jobs.get_mut(&target) else {
+                continue;
+            };
+            record.events.push(event.clone());
+            record.state = state.clone();
+            record.spec = None;
+            record.result = Some(Err(error.clone()));
+            record.leader = None;
+            let retries = record.retries;
+            journal(
+                inner,
+                &JournalRecord::Finished {
+                    id: target,
+                    outcome: None,
+                    error: Some(error.clone()),
+                },
+            );
+            journal(
+                inner,
+                &JournalRecord::State {
+                    id: target,
+                    state: state.clone(),
+                    retries,
+                },
+            );
+        }
+        if let Some(key) = registry
+            .jobs
+            .get_mut(&exec)
+            .and_then(|r| r.cache_key.take())
+        {
+            if registry.inflight.get(&key.hash) == Some(&exec) {
+                registry.inflight.remove(&key.hash);
+            }
+        }
+        registry.exec_alias.retain(|_, target| *target != exec);
     }
     let evicted = evict_over_retention(&mut registry, inner.config.max_retained_jobs);
     journal_forgotten(inner, &evicted);
@@ -916,11 +1521,16 @@ fn drive_job(
         }
     }
     let started = match resume_from {
-        Some(checkpoint) => SearchDriver::resume_with(checkpoint, faults_ctx.clone()),
+        Some(checkpoint) => {
+            SearchDriver::resume_session(checkpoint, faults_ctx.clone(), inner.energy_cache.clone())
+        }
         None => {
             let mut driver = SearchDriver::new(spec.config.clone());
             if let Some(ctx) = faults_ctx.clone() {
                 driver = driver.with_fault_context(ctx);
+            }
+            if let Some(cache) = inner.energy_cache.clone() {
+                driver = driver.with_energy_cache(cache);
             }
             driver.start(&spec.graphs)
         }
@@ -931,7 +1541,8 @@ fn drive_job(
     };
     {
         let mut registry = lock_recover(&inner.registry);
-        if let Some(record) = registry.jobs.get_mut(&id) {
+        let owner = resolve_exec(&registry, id);
+        if let Some(record) = registry.jobs.get_mut(&owner) {
             record.canceller = Some(handle.canceller());
         }
     }
@@ -967,19 +1578,18 @@ fn drive_job(
         let Some(event) = event else {
             break;
         };
-        {
+        let owner = {
             let mut registry = lock_recover(&inner.registry);
-            if let Some(record) = registry.jobs.get_mut(&id) {
-                record.events.push(event.clone());
-                record.progress = Some(handle.progress());
-            }
-        }
+            let owner = resolve_exec(&registry, id);
+            push_shared_event(&mut registry, owner, &event, Some(handle.progress()));
+            owner
+        };
         match &event {
             SearchEvent::RungCompleted { depth, rung, .. } => {
                 journal(
                     inner,
                     &JournalRecord::Progress {
-                        id,
+                        id: owner,
                         depth: *depth,
                         rung: *rung,
                     },
@@ -1002,12 +1612,19 @@ fn drive_job(
                 let checkpoint = handle.checkpoint();
                 {
                     let mut registry = lock_recover(&inner.registry);
-                    if let Some(record) = registry.jobs.get_mut(&id) {
+                    let owner = resolve_exec(&registry, id);
+                    if let Some(record) = registry.jobs.get_mut(&owner) {
                         record.checkpoint = Some(checkpoint.clone());
                     }
                 }
                 if depths_completed.is_multiple_of(inner.checkpoint_every) {
-                    journal(inner, &JournalRecord::Checkpoint { id, checkpoint });
+                    journal(
+                        inner,
+                        &JournalRecord::Checkpoint {
+                            id: owner,
+                            checkpoint,
+                        },
+                    );
                 }
             }
             _ => {}
@@ -1018,8 +1635,16 @@ fn drive_job(
     let status = handle.progress().status;
     {
         let mut registry = lock_recover(&inner.registry);
-        if let Some(record) = registry.jobs.get_mut(&id) {
-            record.progress = Some(handle.progress());
+        let owner = resolve_exec(&registry, id);
+        let progress = handle.progress();
+        let followers = followers_of(&registry, owner);
+        for follower in followers {
+            if let Some(record) = registry.jobs.get_mut(&follower) {
+                record.progress = Some(progress.clone());
+            }
+        }
+        if let Some(record) = registry.jobs.get_mut(&owner) {
+            record.progress = Some(progress);
         }
     }
     if let Some(e) = injected {
@@ -1040,27 +1665,40 @@ fn settle_job(
 ) {
     let mut registry = lock_recover(&inner.registry);
     let shutting_down = registry.shutdown;
-    let Some(record) = registry.jobs.get_mut(&id) else {
-        return;
-    };
-    record.canceller = None;
+    // The job that started this execution may have been cancelled and its
+    // ownership promoted to a follower; everything below settles the
+    // *current* owner and fans out to its followers.
+    let exec = resolve_exec(&registry, id);
+    match registry.jobs.get_mut(&exec) {
+        Some(record) => record.canceller = None,
+        None => return,
+    }
 
     // Transient failures retry (resuming from the last checkpoint) while
     // budget remains — deterministic exponential backoff, no jitter.
+    // Followers mirror the retrying state: they ride the next attempt.
     let mut retry_at: Option<Instant> = None;
     if let Err(e) = &result {
-        if e.is_transient() && !timed_out && !shutting_down && record.retries < spec.max_retries {
-            record.retries += 1;
-            let attempt = record.retries;
-            record.state = JobState::Retrying { attempt };
-            record.events.push(SearchEvent::Failed {
+        let retries = registry.jobs[&exec].retries;
+        if e.is_transient() && !timed_out && !shutting_down && retries < spec.max_retries {
+            let attempt = retries + 1;
+            let retry_event = SearchEvent::Failed {
                 message: format!("{e} (retry {attempt}/{} scheduled)", spec.max_retries),
-            });
+            };
+            let mut targets = vec![exec];
+            targets.extend(followers_of(&registry, exec));
+            for target in targets {
+                if let Some(record) = registry.jobs.get_mut(&target) {
+                    record.state = JobState::Retrying { attempt };
+                    record.retries = attempt;
+                    record.events.push(retry_event.clone());
+                }
+            }
             journal(
                 inner,
                 &JournalRecord::State {
-                    id,
-                    state: record.state.clone(),
+                    id: exec,
+                    state: JobState::Retrying { attempt },
                     retries: attempt,
                 },
             );
@@ -1072,7 +1710,7 @@ fn settle_job(
     }
     if let Some(ready_at) = retry_at {
         registry.pending.push(PendingEntry {
-            id,
+            id: exec,
             ready_at: Some(ready_at),
         });
         drop(registry);
@@ -1101,27 +1739,36 @@ fn settle_job(
                 // A durable server shutting down *suspends* the job: the
                 // journal keeps it queued behind its final checkpoint, so
                 // the next launch resumes instead of re-running. A job the
-                // user explicitly cancelled stays cancelled.
-                if shutting_down && inner.store.is_some() && !record.user_cancelled {
-                    if let Some(checkpoint) = &record.checkpoint {
+                // user explicitly cancelled stays cancelled. Followers are
+                // cancelled in memory only — their journaled submissions
+                // replay as independent fresh jobs on the next launch.
+                if shutting_down && inner.store.is_some() && !registry.jobs[&exec].user_cancelled {
+                    if let Some(checkpoint) = registry.jobs[&exec].checkpoint.clone() {
                         journal(
                             inner,
                             &JournalRecord::Checkpoint {
-                                id,
-                                checkpoint: checkpoint.clone(),
+                                id: exec,
+                                checkpoint,
                             },
                         );
                     }
                     journal(
                         inner,
                         &JournalRecord::State {
-                            id,
+                            id: exec,
                             state: JobState::Queued,
-                            retries: record.retries,
+                            retries: registry.jobs[&exec].retries,
                         },
                     );
-                    record.state = JobState::Cancelled;
-                    record.result = Some(Err(SearchError::Cancelled));
+                    let mut targets = vec![exec];
+                    targets.extend(followers_of(&registry, exec));
+                    for target in targets {
+                        if let Some(record) = registry.jobs.get_mut(&target) {
+                            record.state = JobState::Cancelled;
+                            record.result = Some(Err(SearchError::Cancelled));
+                            record.leader = None;
+                        }
+                    }
                     return;
                 }
                 (JobState::Cancelled, result)
@@ -1135,20 +1782,27 @@ fn settle_job(
     // guarantees it except when the verdict was decided server-side
     // (deadline expiry surfaces as the engine's `Cancelled`, a panic may
     // have cut the stream short).
-    if matches!(state, JobState::Failed { .. })
-        && record.events.last().is_none_or(|e| !e.is_terminal())
-    {
-        if let Err(e) = &final_result {
-            record.events.push(SearchEvent::Failed {
-                message: e.to_string(),
-            });
+    let mut pad_event = None;
+    if matches!(state, JobState::Failed { .. }) {
+        let record = registry
+            .jobs
+            .get_mut(&exec)
+            .expect("settling record exists");
+        if record.events.last().is_none_or(|e| !e.is_terminal()) {
+            if let Err(e) = &final_result {
+                let event = SearchEvent::Failed {
+                    message: e.to_string(),
+                };
+                record.events.push(event.clone());
+                pad_event = Some(event);
+            }
         }
     }
 
     journal(
         inner,
         &JournalRecord::Finished {
-            id,
+            id: exec,
             outcome: final_result.as_ref().ok().cloned(),
             error: final_result.as_ref().err().cloned(),
         },
@@ -1156,16 +1810,80 @@ fn settle_job(
     journal(
         inner,
         &JournalRecord::State {
-            id,
+            id: exec,
             state: state.clone(),
-            retries: record.retries,
+            retries: registry.jobs[&exec].retries,
         },
     );
-    record.state = state;
-    record.spec = None;
-    record.result = Some(final_result);
+
+    // Fan the verdict out: every follower becomes terminal with its own
+    // clone of the result, journaled like any finished job.
+    let followers = {
+        let record = registry
+            .jobs
+            .get_mut(&exec)
+            .expect("settling record exists");
+        record.state = state.clone();
+        record.spec = None;
+        record.result = Some(final_result.clone());
+        std::mem::take(&mut record.followers)
+    };
+    for follower in followers {
+        let Some(record) = registry.jobs.get_mut(&follower) else {
+            continue;
+        };
+        record.state = state.clone();
+        record.spec = None;
+        record.result = Some(final_result.clone());
+        record.leader = None;
+        if let Some(event) = &pad_event {
+            record.events.push(event.clone());
+        }
+        let retries = record.retries;
+        journal(
+            inner,
+            &JournalRecord::Finished {
+                id: follower,
+                outcome: final_result.as_ref().ok().cloned(),
+                error: final_result.as_ref().err().cloned(),
+            },
+        );
+        journal(
+            inner,
+            &JournalRecord::State {
+                id: follower,
+                state: state.clone(),
+                retries,
+            },
+        );
+    }
+
+    // This execution is no longer in flight; later identical submissions
+    // either hit the result cache or start fresh.
+    let to_cache = registry
+        .jobs
+        .get_mut(&exec)
+        .and_then(|record| record.cache_key.take());
+    if let Some(key) = &to_cache {
+        if registry.inflight.get(&key.hash) == Some(&exec) {
+            registry.inflight.remove(&key.hash);
+        }
+    }
+    registry.exec_alias.retain(|_, target| *target != exec);
+
+    let cache_insert = match (&to_cache, &state, registry.jobs.get(&exec)) {
+        (Some(key), JobState::Completed, Some(record)) => match &record.result {
+            Some(Ok(outcome)) => Some((key.clone(), Arc::new(outcome.clone()))),
+            _ => None,
+        },
+        _ => None,
+    };
     let evicted = evict_over_retention(&mut registry, inner.config.max_retained_jobs);
     journal_forgotten(inner, &evicted);
+    drop(registry);
+    if let (Some((key, outcome)), Some(cache)) = (cache_insert, &inner.cache) {
+        lock_recover(cache).insert(&key, outcome);
+    }
 }
 
 #[cfg(test)]

@@ -43,7 +43,7 @@
 //! ```
 
 use crate::error::SearchError;
-use crate::evaluator::{CandidateResult, Evaluator};
+use crate::evaluator::{CandidateResult, EnergyCache, Evaluator};
 use crate::events::SearchEvent;
 use crate::fault::{self, site, FaultContext};
 use crate::pipeline::BudgetedScheduler;
@@ -188,6 +188,7 @@ impl std::fmt::Debug for Canceller {
 pub struct SearchDriver {
     config: SearchConfig,
     faults: Option<FaultContext>,
+    energy_cache: Option<EnergyCache>,
 }
 
 impl SearchDriver {
@@ -197,6 +198,7 @@ impl SearchDriver {
         SearchDriver {
             config,
             faults: None,
+            energy_cache: None,
         }
     }
 
@@ -205,6 +207,16 @@ impl SearchDriver {
     /// Inert in release builds; see [`crate::fault`].
     pub fn with_fault_context(mut self, faults: FaultContext) -> SearchDriver {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Share an [`EnergyCache`] with this session's evaluator, so the
+    /// expensive per-graph classical reference state is reused across
+    /// sessions (the job server injects its server-scoped cache here).
+    /// Purely a memoization hint: results are bit-identical with or
+    /// without it.
+    pub fn with_energy_cache(mut self, cache: EnergyCache) -> SearchDriver {
+        self.energy_cache = Some(cache);
         self
     }
 
@@ -226,6 +238,7 @@ impl SearchDriver {
             scheduler: None,
             prior_elapsed: 0.0,
             faults: self.faults.clone(),
+            energy_cache: self.energy_cache.clone(),
         })
     }
 
@@ -242,6 +255,16 @@ impl SearchDriver {
     pub fn resume_with(
         checkpoint: SearchCheckpoint,
         faults: Option<FaultContext>,
+    ) -> Result<SearchHandle, SearchError> {
+        Self::resume_session(checkpoint, faults, None)
+    }
+
+    /// [`SearchDriver::resume_with`] plus an optionally shared
+    /// [`EnergyCache`] (the full server-side resume path).
+    pub fn resume_session(
+        checkpoint: SearchCheckpoint,
+        faults: Option<FaultContext>,
+        energy_cache: Option<EnergyCache>,
     ) -> Result<SearchHandle, SearchError> {
         let SearchCheckpoint {
             config,
@@ -272,6 +295,7 @@ impl SearchDriver {
             scheduler,
             prior_elapsed: elapsed_seconds,
             faults,
+            energy_cache,
         })
     }
 
@@ -478,6 +502,8 @@ struct EngineSeed {
     scheduler: Option<SchedulerCheckpoint>,
     prior_elapsed: f64,
     faults: Option<FaultContext>,
+    /// Optionally shared evaluator memo (server-scoped when present).
+    energy_cache: Option<EnergyCache>,
 }
 
 /// Mode-specific evaluation machinery, built once per engine run.
@@ -515,6 +541,7 @@ fn run_engine(
         scheduler,
         prior_elapsed,
         faults,
+        energy_cache,
     } = seed;
     let run_start = Instant::now();
     let start_depth = completed.len() + 1;
@@ -534,12 +561,15 @@ fn run_engine(
     let mut machinery = match config.mode {
         ExecutionMode::Serial => DepthEvaluator::Serial {
             builder: QBuilder::new(config.alphabet.clone()),
-            evaluator: Evaluator::new(config.evaluator.clone()),
+            evaluator: match energy_cache.clone() {
+                Some(cache) => Evaluator::with_energy_cache(config.evaluator.clone(), cache),
+                None => Evaluator::new(config.evaluator.clone()),
+            },
         },
         ExecutionMode::Parallel => DepthEvaluator::Parallel {
             scheduler: Box::new(match scheduler {
-                Some(state) => BudgetedScheduler::restore(&config, state),
-                None => BudgetedScheduler::new(&config),
+                Some(state) => BudgetedScheduler::restore(&config, state, energy_cache.clone()),
+                None => BudgetedScheduler::with_energy_cache(&config, energy_cache.clone()),
             }),
             threads: config
                 .threads

@@ -137,6 +137,23 @@ pub enum JournalRecord {
         /// The job id.
         id: u64,
     },
+    /// An entry of the content-addressed result cache was stored: the
+    /// canonical spec rendering (the full-equality guard for hash
+    /// collisions) plus the finished outcome it maps to. Re-putting a key
+    /// replaces the previous entry.
+    CachePut {
+        /// FNV-1a 64 hash of the canonical spec rendering.
+        key: u64,
+        /// The canonical `(config, graphs)` JSON the key was hashed from.
+        canonical: String,
+        /// The completed outcome served on future hits.
+        outcome: SearchOutcome,
+    },
+    /// A result-cache entry was dropped (LRU eviction).
+    CacheEvict {
+        /// The evicted entry's key hash.
+        key: u64,
+    },
     /// The server stopped cleanly: queued + suspended jobs were
     /// checkpointed and will resume on restart.
     CleanShutdown,
@@ -167,11 +184,25 @@ impl ReplayedJob {
     }
 }
 
+/// One result-cache entry folded out of the journal by replay.
+#[derive(Debug, Clone)]
+pub struct ReplayedCacheEntry {
+    /// FNV-1a 64 hash of the canonical spec rendering.
+    pub key: u64,
+    /// The canonical `(config, graphs)` JSON (collision guard).
+    pub canonical: String,
+    /// The cached outcome.
+    pub outcome: SearchOutcome,
+}
+
 /// Everything replay recovered from the journal.
 #[derive(Debug, Default)]
 pub struct ReplayedState {
     /// Jobs by id (ascending — BTreeMap keeps submission order).
     pub jobs: BTreeMap<u64, ReplayedJob>,
+    /// Live result-cache entries in least-recently-written-first order
+    /// (a re-put moves its entry to the back).
+    pub cache: Vec<ReplayedCacheEntry>,
     /// The next job id to hand out (max seen + 1).
     pub next_id: u64,
     /// Whether the journal ends in a [`JournalRecord::CleanShutdown`].
@@ -308,6 +339,13 @@ impl JobStore {
                 });
             }
         }
+        for entry in &state.cache {
+            records.push(JournalRecord::CachePut {
+                key: entry.key,
+                canonical: entry.canonical.clone(),
+                outcome: entry.outcome.clone(),
+            });
+        }
         if clean {
             records.push(JournalRecord::CleanShutdown);
         }
@@ -338,8 +376,9 @@ impl JobStore {
     /// Heuristic: the journal carries substantially more records than a
     /// compact rewrite would.
     fn is_garbage_heavy(&self, state: &ReplayedState) -> bool {
-        // Compact form: ≤ 4 records per live job (+1 shutdown marker).
-        let compact = state.jobs.len() * 4 + 1;
+        // Compact form: ≤ 4 records per live job, one per live cache entry
+        // (+1 shutdown marker).
+        let compact = state.jobs.len() * 4 + state.cache.len() + 1;
         self.records > compact * 2 + 64
     }
 }
@@ -464,6 +503,21 @@ fn apply(state: &mut ReplayedState, record: JournalRecord) {
         }
         JournalRecord::Forgotten { id } => {
             state.jobs.remove(&id);
+        }
+        JournalRecord::CachePut {
+            key,
+            canonical,
+            outcome,
+        } => {
+            state.cache.retain(|entry| entry.key != key);
+            state.cache.push(ReplayedCacheEntry {
+                key,
+                canonical,
+                outcome,
+            });
+        }
+        JournalRecord::CacheEvict { key } => {
+            state.cache.retain(|entry| entry.key != key);
         }
         JournalRecord::CleanShutdown => {
             state.clean_shutdown = true;
@@ -773,6 +827,58 @@ mod tests {
         let replayed = store.replay_current().unwrap();
         assert!(replayed.jobs.is_empty());
         assert_eq!(replayed.next_id, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_records_replay_and_survive_compaction() {
+        use crate::search::{BestCandidate, SearchOutcome};
+        let dir = tmp_dir("cache-records");
+        let (mut store, _) = JobStore::open(&dir).unwrap();
+        let outcome = SearchOutcome {
+            problem: "maxcut".to_string(),
+            best: BestCandidate {
+                gates: Vec::new(),
+                mixer_label: "('rx')".to_string(),
+                depth: 1,
+                energy: 0.0,
+                approx_ratio: 0.0,
+            },
+            depth_results: Vec::new(),
+            total_elapsed_seconds: 0.0,
+            num_candidates_evaluated: 0,
+            total_optimizer_evaluations: 0,
+            full_budget_evaluations: 0,
+            parallel_threads: None,
+        };
+        for key in [7u64, 9] {
+            store
+                .append(&JournalRecord::CachePut {
+                    key,
+                    canonical: format!("spec-{key}"),
+                    outcome: outcome.clone(),
+                })
+                .unwrap();
+        }
+        // Re-putting key 7 moves it to the back; evicting 9 drops it.
+        store
+            .append(&JournalRecord::CachePut {
+                key: 7,
+                canonical: "spec-7".to_string(),
+                outcome: outcome.clone(),
+            })
+            .unwrap();
+        store.append(&JournalRecord::CacheEvict { key: 9 }).unwrap();
+        let replayed = store.replay_current().unwrap();
+        assert_eq!(replayed.cache.len(), 1);
+        assert_eq!(replayed.cache[0].key, 7);
+        assert_eq!(replayed.cache[0].canonical, "spec-7");
+
+        store.compact(&replayed, true).unwrap();
+        let again = store.replay_current().unwrap();
+        assert_eq!(again.cache.len(), 1);
+        assert_eq!(again.cache[0].key, 7);
+        assert!(again.clean_shutdown);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

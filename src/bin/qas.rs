@@ -75,13 +75,23 @@ SERVE OPTIONS (qas serve):
                       checkpoint, bit-identical to an uninterrupted run)
     --checkpoint-every N  journal a checkpoint every N completed depths
                       (default 1; durable mode only)
+    --cache-capacity N  result-cache entries kept (LRU)       (default 256)
+    --cache-dir DIR   persist the result cache to DIR (its own journal;
+                      must differ from --state-dir)
+    --no-cache        disable result caching, request coalescing, and
+                      cross-job evaluator sharing (every submission runs)
 
     Protocol: one JSON request per line, one JSON response per line.
       {\"cmd\":\"submit\",\"priority\":0,\"name\":\"j1\",\"search\":{<search options>}}
       {\"cmd\":\"status\",\"job\":1}      {\"cmd\":\"events\",\"job\":1,\"since\":0}
       {\"cmd\":\"cancel\",\"job\":1}      {\"cmd\":\"result\",\"job\":1}
       {\"cmd\":\"wait\",\"job\":1}        {\"cmd\":\"forget\",\"job\":1}
-      {\"cmd\":\"jobs\"}                 {\"cmd\":\"shutdown\"}
+      {\"cmd\":\"jobs\"}                 {\"cmd\":\"stats\"}
+      {\"cmd\":\"shutdown\"}
+    Identical submissions (same search config, graphs, and seed) are served
+    from the result cache (`cache_hit` in the result envelope, a
+    `cache_hit` event in the stream) or coalesced onto the in-flight
+    execution (`coalesced`); `stats` reports both caches' counters.
     `search` takes the `qas search` options by name (booleans for flags),
     e.g. {\"pmax\":2,\"kmax\":1,\"budget\":30,\"serial\":true}. `submit` also
     accepts \"timeout_secs\" (deadline -> timed-out), \"max_retries\" and
@@ -435,13 +445,16 @@ fn result_response(
             "done": false,
         })),
         Some(Ok(outcome)) => {
-            let report =
-                serde_json::to_value(&SearchReport::from(&outcome)).map_err(|e| e.to_string())?;
+            let mut search_report = SearchReport::from(&outcome);
+            search_report.served_from_cache = status.cache_hit;
+            let report = serde_json::to_value(&search_report).map_err(|e| e.to_string())?;
             Ok(json!({
                 "ok": true,
                 "job": (id.0),
                 "state": state,
                 "done": true,
+                "cache_hit": (status.cache_hit),
+                "coalesced": (status.coalesced),
                 "report": report,
             }))
         }
@@ -491,9 +504,18 @@ fn handle_serve_line(server: &JobServer, line: &str) -> (Value, bool) {
                 spec = spec.retry_backoff_ms(backoff);
             }
             let id = server.submit(spec).map_err(|e| e.to_string())?;
-            // Same JobState serialization as status/jobs/result responses.
-            let state = serde_json::to_value(&JobState::Queued).unwrap_or(Value::Null);
-            Ok(json!({ "ok": true, "job": (id.0), "state": state }))
+            // A submission is not necessarily Queued any more: a result-cache
+            // hit is born Completed and a coalesced duplicate mirrors its
+            // leader, so report the actual post-submit state.
+            let status = server.status(id).map_err(|e| e.to_string())?;
+            let state = serde_json::to_value(&status.state).unwrap_or(Value::Null);
+            Ok(json!({
+                "ok": true,
+                "job": (id.0),
+                "state": state,
+                "cache_hit": (status.cache_hit),
+                "coalesced": (status.coalesced),
+            }))
         })(),
         "status" => job_id_of(&request).and_then(|id| {
             let status = server.status(id).map_err(|e| e.to_string())?;
@@ -521,6 +543,9 @@ fn handle_serve_line(server: &JobServer, line: &str) -> (Value, bool) {
             let result = server.result(id).map_err(|e| e.to_string())?;
             result_response(server, id, result)
         }),
+        "stats" => serde_json::to_value(&server.stats())
+            .map(|stats| json!({ "ok": true, "stats": stats }))
+            .map_err(|e| e.to_string()),
         "wait" => job_id_of(&request).and_then(|id| {
             let result = server.wait(id).map_err(|e| e.to_string())?;
             result_response(server, id, Some(result))
@@ -559,7 +584,7 @@ fn serve_connection(
     }
 }
 
-fn cmd_serve(options: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_serve(options: &HashMap<String, String>, flags: &[String]) -> Result<(), String> {
     let config = JobServerConfig {
         workers: opt_usize(options, "workers", 2),
         queue_capacity: opt_usize(options, "queue", 16),
@@ -568,11 +593,34 @@ fn cmd_serve(options: &HashMap<String, String>) -> Result<(), String> {
     let store = options.get("state-dir").map(|dir| {
         StoreConfig::new(dir).checkpoint_every(opt_usize(options, "checkpoint-every", 1))
     });
+    let no_cache = flags.iter().any(|f| f == "no-cache");
+    let cache = if no_cache {
+        if options.contains_key("cache-dir") || options.contains_key("cache-capacity") {
+            return Err("--no-cache conflicts with --cache-dir/--cache-capacity".to_string());
+        }
+        None
+    } else {
+        let dir = match options.get("cache-dir") {
+            Some(dir) => {
+                if options.get("state-dir") == Some(dir) {
+                    return Err("--cache-dir must differ from --state-dir".to_string());
+                }
+                Some(dir.into())
+            }
+            None => None,
+        };
+        Some(CacheConfig {
+            capacity: opt_usize(options, "cache-capacity", CacheConfig::default().capacity),
+            dir,
+            ..CacheConfig::default()
+        })
+    };
     let server = JobServer::launch(
         config,
         ServerOptions {
             store,
             faults: None,
+            cache,
         },
     )
     .map_err(|e| format!("cannot open state dir: {e}"))?;
@@ -702,7 +750,7 @@ fn main() -> ExitCode {
 
     let result = match command {
         "search" => cmd_search(&options, &flags),
-        "serve" => cmd_serve(&options),
+        "serve" => cmd_serve(&options, &flags),
         "evaluate" => cmd_evaluate(&options),
         "problems" => cmd_problems(&options),
         "info" => cmd_info(&options),

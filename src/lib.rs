@@ -64,8 +64,9 @@ pub mod prelude {
     };
     pub use qarchsearch::{
         alphabet::{GateAlphabet, RotationGate},
+        cache::{spec_cache_key, CacheConfig, CacheStats, ResultCache, SpecKey},
         error::SearchError,
-        evaluator::Evaluator,
+        evaluator::{EnergyCache, Evaluator},
         events::SearchEvent,
         fault::{FaultAction, FaultInjector, FaultPlan, FaultSpec},
         predictor::{Predictor, RandomPredictor},
@@ -73,7 +74,7 @@ pub mod prelude {
         search::{ExecutionMode, PipelineConfig, SearchConfig, SearchOutcome},
         server::{
             JobId, JobServer, JobServerConfig, JobSpec, JobState, JobStatus, RecoveryReport,
-            ServerOptions,
+            ServerOptions, ServerStats,
         },
         session::{SearchCheckpoint, SearchDriver, SearchHandle, SearchProgress, SearchStatus},
         store::{JobStore, StoreConfig},

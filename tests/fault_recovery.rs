@@ -50,6 +50,7 @@ fn durable_server(dir: &std::path::Path, workers: usize) -> JobServer {
         ServerOptions {
             store: Some(StoreConfig::new(dir)),
             faults: None,
+            cache: None,
         },
     )
     .unwrap()
@@ -165,6 +166,7 @@ fn panicking_job_is_isolated_and_the_worker_survives() {
         ServerOptions {
             store: None,
             faults: Some(FaultInjector::new(plan)),
+            cache: None,
         },
     )
     .unwrap();
@@ -261,6 +263,7 @@ fn transient_failure_retries_and_converges_to_the_fault_free_result() {
         ServerOptions {
             store: None,
             faults: Some(FaultInjector::new(plan)),
+            cache: None,
         },
     )
     .unwrap();
@@ -294,6 +297,7 @@ fn transient_failure_retries_and_converges_to_the_fault_free_result() {
         ServerOptions {
             store: None,
             faults: Some(FaultInjector::new(plan)),
+            cache: None,
         },
     )
     .unwrap();
