@@ -80,6 +80,7 @@ fn cached_server(workers: usize, queue: usize) -> JobServer {
             store: None,
             faults: None,
             cache: Some(CacheConfig::default()),
+            shard_id: None,
         },
     )
     .expect("in-memory cached server")
@@ -96,6 +97,7 @@ fn uncached_server(workers: usize, queue: usize) -> JobServer {
             store: None,
             faults: None,
             cache: None,
+            shard_id: None,
         },
     )
     .expect("in-memory uncached server")

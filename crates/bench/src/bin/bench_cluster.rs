@@ -1,0 +1,295 @@
+//! JSON-emitting benchmark for the distributed serve tier behind
+//! `qas coordinator`: cluster throughput at 1, 2 and 4 shards, plus the
+//! latency of recovering from a SIGKILLed shard.
+//!
+//! Each throughput sweep fronts N real `qas serve --port` subprocesses
+//! with an in-process [`Coordinator`], submits the same batch of small
+//! searches (distinct seeds, so the cluster-wide result cache cannot
+//! dedupe them) and measures the wall-clock to drain the fleet. The
+//! recovery sweep runs one long job on a 2-shard cluster, SIGKILLs its
+//! owner mid-flight, and splits the recovery into *detect+migrate* (kill
+//! to the coordinator's migration counter ticking) and *total* (kill to
+//! the migrated result landing, which includes the re-run).
+//!
+//! The `qas` binary is found via `$QAS_BIN`, falling back to a `qas`
+//! sitting next to this executable (the usual
+//! `cargo build --release` layout).
+//!
+//! ```text
+//! cargo build --release --bin qas
+//! cargo build --release -p qarchsearch_bench --bin bench_cluster
+//! ./target/release/bench_cluster
+//! QAS_CL_SHARDS=1,2 QAS_CL_JOBS=4 ./target/release/bench_cluster
+//! ```
+//!
+//! | variable          | meaning                               | default |
+//! |-------------------|---------------------------------------|---------|
+//! | `QAS_BIN`         | path to the `qas` binary              | sibling |
+//! | `QAS_CL_SHARDS`   | comma list of shard counts to sweep   | 1,2,4   |
+//! | `QAS_CL_JOBS`     | jobs submitted per sweep              | 8       |
+//! | `QAS_CL_NODES`    | nodes per training graph              | 8       |
+//! | `QAS_CL_PMAX`     | search depth per job                  | 1       |
+//! | `QAS_CL_BUDGET`   | optimizer budget per candidate        | 30      |
+
+use graphs::Graph;
+use qarchsearch::cluster::{ClusterConfig, Coordinator, ShardEndpoint};
+use qarchsearch::search::SearchConfig;
+use qarchsearch::server::JobSpec;
+use qarchsearch::GateAlphabet;
+use serde_json::json;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn qas_bin() -> PathBuf {
+    if let Ok(path) = std::env::var("QAS_BIN") {
+        return PathBuf::from(path);
+    }
+    let sibling = std::env::current_exe()
+        .ok()
+        .and_then(|exe| exe.parent().map(|dir| dir.join("qas")));
+    match sibling {
+        Some(path) if path.exists() => path,
+        _ => panic!("set QAS_BIN or build the qas binary next to bench_cluster"),
+    }
+}
+
+struct ShardProc {
+    child: Child,
+    addr: String,
+    state_dir: PathBuf,
+}
+
+impl ShardProc {
+    fn spawn(tag: &str, workers: usize) -> ShardProc {
+        let port = {
+            let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind an ephemeral port");
+            listener.local_addr().expect("local addr").port()
+        };
+        let state_dir =
+            std::env::temp_dir().join(format!("qas-bench-cluster-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&state_dir);
+        std::fs::create_dir_all(&state_dir).expect("create shard state dir");
+        let child = Command::new(qas_bin())
+            .args([
+                "serve",
+                "--port",
+                &port.to_string(),
+                "--bind",
+                "127.0.0.1",
+                "--workers",
+                &workers.to_string(),
+                "--state-dir",
+                state_dir.to_str().expect("utf-8 temp path"),
+                "--shard-id",
+                tag,
+            ])
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn qas serve");
+        let addr = format!("127.0.0.1:{port}");
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while TcpStream::connect(&addr).is_err() {
+            assert!(Instant::now() < deadline, "shard {tag} never came up");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        ShardProc {
+            child,
+            addr,
+            state_dir,
+        }
+    }
+
+    fn endpoint(&self) -> ShardEndpoint {
+        ShardEndpoint::new(self.addr.clone()).with_state_dir(self.state_dir.clone())
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ShardProc {
+    fn drop(&mut self) {
+        self.kill();
+        let _ = std::fs::remove_dir_all(&self.state_dir);
+    }
+}
+
+fn job_spec(seed: u64, nodes: usize, p_max: usize, budget: usize) -> JobSpec {
+    let config = SearchConfig::builder()
+        .alphabet(GateAlphabet::from_mnemonics(&["rx", "ry"]).unwrap())
+        .max_depth(p_max)
+        .max_gates_per_mixer(2)
+        .optimizer_budget(budget)
+        .halving(budget.div_ceil(3).max(1), 2)
+        .backend(qaoa::Backend::StateVector)
+        .threads(1)
+        .seed(seed)
+        .build();
+    let graphs = vec![Graph::connected_erdos_renyi(nodes, 0.5, seed, 50)];
+    JobSpec::new(config, graphs).name(format!("bench-cluster-{seed}"))
+}
+
+fn cluster_config(shards: Vec<ShardEndpoint>) -> ClusterConfig {
+    let mut config = ClusterConfig::new(shards);
+    config.heartbeat_ms = 100;
+    config.heartbeat_misses = 2;
+    config
+}
+
+fn main() {
+    let jobs = env_usize("QAS_CL_JOBS", 8);
+    let nodes = env_usize("QAS_CL_NODES", 8);
+    let p_max = env_usize("QAS_CL_PMAX", 1);
+    let budget = env_usize("QAS_CL_BUDGET", 30);
+    let shard_counts: Vec<usize> = std::env::var("QAS_CL_SHARDS")
+        .unwrap_or_else(|_| "1,2,4".to_string())
+        .split(',')
+        .filter_map(|v| v.trim().parse().ok())
+        .collect();
+
+    let mut results = Vec::new();
+
+    // -- Throughput: the same batch drained by growing shard fleets. ----
+    for &shards in &shard_counts {
+        let fleet: Vec<ShardProc> = (0..shards)
+            .map(|i| ShardProc::spawn(&format!("tp{shards}-{i}"), 1))
+            .collect();
+        let coordinator = Coordinator::start(cluster_config(
+            fleet.iter().map(ShardProc::endpoint).collect(),
+        ))
+        .expect("cluster starts");
+        let sweep_start = Instant::now();
+        let ids: Vec<_> = (0..jobs)
+            .map(|i| {
+                coordinator
+                    .submit(job_spec(i as u64, nodes, p_max, budget), None)
+                    .expect("submission admitted")
+                    .id
+            })
+            .collect();
+        for id in ids {
+            let envelope = coordinator.wait(id).expect("job settles");
+            assert!(envelope.get("error").is_none(), "job failed: {envelope:?}");
+        }
+        let total_seconds = sweep_start.elapsed().as_secs_f64();
+        let stats = coordinator.stats();
+        coordinator.shutdown(true);
+        drop(fleet);
+
+        eprintln!(
+            "[bench_cluster] shards={shards}: {jobs} jobs in {total_seconds:.3}s \
+             ({:.2} jobs/s)",
+            jobs as f64 / total_seconds
+        );
+        results.push(json!({
+            "name": "cluster_throughput",
+            "shards": shards,
+            "jobs": jobs,
+            "nodes": nodes,
+            "p_max": p_max,
+            "budget": budget,
+            "total_seconds": total_seconds,
+            "jobs_per_second": (jobs as f64 / total_seconds),
+            "cache_hits": (stats.cache_hits),
+        }));
+    }
+
+    // -- Recovery: SIGKILL the owner of a long job mid-flight. ----------
+    // Release shards arm no fault plans, so the job is simply made big
+    // enough to still be running when the kill lands.
+    let mut s1 = ShardProc::spawn("mig-a", 1);
+    let mut s2 = ShardProc::spawn("mig-b", 1);
+    let config = cluster_config(vec![s1.endpoint(), s2.endpoint()]);
+    let heartbeat_ms = config.heartbeat_ms;
+    let heartbeat_misses = config.heartbeat_misses;
+    let coordinator = Coordinator::start(config).expect("cluster starts");
+    let long_job = job_spec(997, nodes.max(12), p_max.max(2), budget.max(400));
+    let id = coordinator
+        .submit(long_job, None)
+        .expect("submission admitted")
+        .id;
+    // Kill as soon as the event stream proves the job is mid-flight:
+    // release shards arm no fault plans, so a blind sleep would race the
+    // job finishing (a journaled terminal result is adopted, not
+    // migrated, and would void the measurement).
+    let poll_deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (events, _) = coordinator.events(id, 0).expect("events reachable");
+        let running = events.iter().any(|e| {
+            e.as_object()
+                .is_some_and(|entries| entries.iter().any(|(k, _)| k == "RungCompleted"))
+        });
+        let finished = events.iter().any(|e| {
+            e.as_object()
+                .is_some_and(|entries| entries.iter().any(|(k, _)| k == "Finished"))
+        });
+        assert!(
+            !finished,
+            "job finished before the kill; raise QAS_CL_BUDGET/QAS_CL_NODES"
+        );
+        if running {
+            break;
+        }
+        assert!(Instant::now() < poll_deadline, "job never started running");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let owner = coordinator.shard_of(id).expect("job is placed");
+    let killed_at = Instant::now();
+    if owner == s1.addr {
+        s1.kill();
+    } else {
+        s2.kill();
+    }
+    let mut detect_migrate_ms = None;
+    while coordinator.migrations() == 0 {
+        assert!(
+            killed_at.elapsed() < Duration::from_secs(60),
+            "migration never happened"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    detect_migrate_ms.get_or_insert(killed_at.elapsed().as_secs_f64() * 1e3);
+    let envelope = coordinator.wait(id).expect("migrated job settles");
+    let total_recovery_ms = killed_at.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        envelope.get("error").is_none(),
+        "migrated job failed: {envelope:?}"
+    );
+    let detect_migrate_ms = detect_migrate_ms.expect("measured above");
+    coordinator.shutdown(true);
+    eprintln!(
+        "[bench_cluster] recovery: detect+migrate {detect_migrate_ms:.1}ms, \
+         total {total_recovery_ms:.1}ms (heartbeat {heartbeat_ms}ms x{heartbeat_misses})"
+    );
+    results.push(json!({
+        "name": "shard_kill_recovery",
+        "heartbeat_ms": heartbeat_ms,
+        "heartbeat_misses": heartbeat_misses,
+        "detect_and_migrate_ms": detect_migrate_ms,
+        "total_recovery_ms": total_recovery_ms,
+    }));
+
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&json!({
+            "benchmark": "bench_cluster",
+            "description": "Coordinator throughput over 1/2/4 qas shards and SIGKILL recovery latency",
+            "available_cpus": (std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)),
+            "results": (serde_json::Value::Array(results)),
+        }))
+        .expect("report serializes")
+    );
+}

@@ -117,6 +117,7 @@ fn durable_server(dir: &Path, workers: usize, queue: usize) -> JobServer {
             store: Some(StoreConfig::new(dir)),
             faults: None,
             cache: None,
+            shard_id: None,
         },
     )
     .expect("open bench state dir")

@@ -74,13 +74,33 @@ pub fn spec_cache_key(spec: &JobSpec) -> Result<SpecKey, SearchError> {
 /// FNV-1a 64 over `bytes` — tiny, stable across platforms and Rust
 /// versions (unlike `DefaultHasher`), which the durable tier requires:
 /// journaled keys must still match after a toolchain upgrade.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= b as u64;
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+/// Rendezvous (highest-random-weight) routing of a content key over a
+/// candidate shard set: `argmax_s fnv1a64(key ‖ s)`, ties broken toward
+/// the smaller shard id.
+///
+/// This is how [`crate::cluster::Coordinator`] places submissions:
+/// identical specs (same [`SpecKey::hash`]) always land on the same
+/// shard, so cluster-wide dedupe and coalescing fall out of each shard's
+/// single-node [`ResultCache`]. Rendezvous hashing is stable under
+/// membership change — when a shard dies, only the keys it owned move
+/// (each to its second-highest choice); every other key keeps its shard,
+/// so a failure never scatters the cluster's cache affinity.
+pub fn rendezvous_route(key: u64, shards: &[u64]) -> Option<u64> {
+    shards.iter().copied().max_by_key(|&shard| {
+        let mut bytes = [0u8; 16];
+        bytes[..8].copy_from_slice(&key.to_le_bytes());
+        bytes[8..].copy_from_slice(&shard.to_le_bytes());
+        (fnv1a64(&bytes), std::cmp::Reverse(shard))
+    })
 }
 
 /// Configuration of the serve-path caching tier
@@ -366,6 +386,37 @@ mod tests {
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn rendezvous_is_deterministic_and_total() {
+        assert_eq!(rendezvous_route(42, &[]), None);
+        assert_eq!(rendezvous_route(42, &[7]), Some(7));
+        let shards = [0u64, 1, 2, 3];
+        let mut owners = [0usize; 4];
+        for key in 0..512u64 {
+            let owner = rendezvous_route(key, &shards).unwrap();
+            assert_eq!(rendezvous_route(key, &shards), Some(owner));
+            owners[owner as usize] += 1;
+        }
+        // Every shard owns a share of the key space.
+        assert!(owners.iter().all(|&n| n > 0), "owners: {owners:?}");
+    }
+
+    #[test]
+    fn rendezvous_only_moves_the_dead_shards_keys() {
+        let full = [0u64, 1, 2];
+        let survivors = [0u64, 2];
+        for key in 0..512u64 {
+            let before = rendezvous_route(key, &full).unwrap();
+            let after = rendezvous_route(key, &survivors).unwrap();
+            if before != 1 {
+                // Keys owned by a surviving shard never move on failure.
+                assert_eq!(before, after, "key {key} moved off a live shard");
+            } else {
+                assert!(survivors.contains(&after));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,310 @@
+//! Admission control at the cluster edge: token-bucket rate limiting,
+//! per-tenant in-flight quotas, and bounded-wait backpressure counters.
+//!
+//! Admission decisions happen **before** routing: a rejected submission
+//! never consumes a shard queue slot, and every rejection carries a
+//! retry-after hint ([`crate::SearchError::AdmissionDenied`]) so clients
+//! back off instead of hammering the edge. The token bucket takes the
+//! current instant as an explicit argument, which keeps the refill
+//! arithmetic deterministic under test (no hidden clock reads).
+
+use crate::error::SearchError;
+use crate::sync::lock_recover;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Tuning of the cluster edge's admission gates.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Token-bucket refill rate in submissions per second across the
+    /// whole cluster (`0.0` disables rate limiting).
+    pub rate_per_sec: f64,
+    /// Token-bucket capacity: the burst admitted from a full bucket.
+    pub burst: u32,
+    /// Maximum in-flight (non-terminal) jobs per tenant (`0` disables
+    /// quotas). Submissions without a `tenant` field are exempt.
+    pub tenant_quota: usize,
+    /// How long a submission may wait at the edge while every live
+    /// shard's queue is full before it is rejected with a retry-after
+    /// hint. `0` = fail fast (but still with the hint, never a bare
+    /// [`crate::SearchError::QueueFull`]).
+    pub max_wait_ms: u64,
+    /// Poll interval of the bounded wait (and the retry-after hint's
+    /// unit of suggestion).
+    pub retry_poll_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            rate_per_sec: 0.0,
+            burst: 8,
+            tenant_quota: 0,
+            max_wait_ms: 2_000,
+            retry_poll_ms: 50,
+        }
+    }
+}
+
+/// Counters of every admission decision, aggregated into
+/// [`crate::cluster::ClusterStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionStats {
+    /// Submissions admitted past both gates.
+    pub admitted: u64,
+    /// Submissions rejected by the token bucket.
+    pub rejected_rate_limit: u64,
+    /// Submissions rejected by a tenant's in-flight quota.
+    pub rejected_quota: u64,
+    /// Admitted submissions that then timed out of the bounded wait
+    /// because every live shard's queue stayed full.
+    pub rejected_backpressure: u64,
+}
+
+/// A classic token bucket with an explicit clock: `rate_per_sec` tokens
+/// accrue continuously up to `capacity`, one token per admission.
+struct TokenBucket {
+    rate_per_sec: f64,
+    capacity: f64,
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    fn new(rate_per_sec: f64, burst: u32, now: Instant) -> TokenBucket {
+        let capacity = f64::from(burst.max(1));
+        TokenBucket {
+            rate_per_sec,
+            capacity,
+            tokens: capacity,
+            last_refill: now,
+        }
+    }
+
+    /// Take one token at `now`, or return the suggested wait in
+    /// milliseconds until one will have accrued.
+    fn try_take(&mut self, now: Instant) -> Result<(), u64> {
+        let elapsed = now.saturating_duration_since(self.last_refill);
+        self.last_refill = now;
+        self.tokens = (self.tokens + elapsed.as_secs_f64() * self.rate_per_sec).min(self.capacity);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            return Ok(());
+        }
+        let deficit = 1.0 - self.tokens;
+        let wait_ms = if self.rate_per_sec > 0.0 {
+            (deficit / self.rate_per_sec * 1_000.0).ceil() as u64
+        } else {
+            u64::MAX
+        };
+        Err(wait_ms.max(1))
+    }
+}
+
+struct AdmissionState {
+    bucket: Option<TokenBucket>,
+    tenant_inflight: HashMap<String, usize>,
+    stats: AdmissionStats,
+}
+
+/// The cluster edge's admission controller. Thread-safe; one per
+/// [`crate::cluster::Coordinator`].
+pub struct AdmissionControl {
+    config: AdmissionConfig,
+    state: Mutex<AdmissionState>,
+}
+
+impl AdmissionControl {
+    /// Build a controller (an all-zero config admits everything).
+    pub fn new(config: AdmissionConfig) -> AdmissionControl {
+        let bucket = if config.rate_per_sec > 0.0 {
+            Some(TokenBucket::new(
+                config.rate_per_sec,
+                config.burst,
+                Instant::now(),
+            ))
+        } else {
+            None
+        };
+        AdmissionControl {
+            config,
+            state: Mutex::new(AdmissionState {
+                bucket,
+                tenant_inflight: HashMap::new(),
+                stats: AdmissionStats::default(),
+            }),
+        }
+    }
+
+    /// The configuration this controller enforces.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Admit or reject a submission from `tenant` at wall-clock now.
+    /// On success the tenant's in-flight count is incremented; the
+    /// caller must [`AdmissionControl::release`] it exactly once when
+    /// the job reaches a terminal state (or fails to place).
+    pub fn admit(&self, tenant: Option<&str>) -> Result<(), SearchError> {
+        self.admit_at(tenant, Instant::now())
+    }
+
+    /// [`AdmissionControl::admit`] with an explicit clock (tests).
+    pub fn admit_at(&self, tenant: Option<&str>, now: Instant) -> Result<(), SearchError> {
+        let mut state = lock_recover(&self.state);
+        // Quota is checked before the bucket so a quota rejection never
+        // burns a rate token, and the count is only incremented once
+        // both gates pass.
+        if let Some(tenant) = tenant {
+            if self.config.tenant_quota > 0 {
+                let inflight = state.tenant_inflight.get(tenant).copied().unwrap_or(0);
+                if inflight >= self.config.tenant_quota {
+                    state.stats.rejected_quota += 1;
+                    return Err(SearchError::AdmissionDenied {
+                        reason: format!(
+                            "tenant '{tenant}' is at its quota of {} in-flight jobs",
+                            self.config.tenant_quota
+                        ),
+                        retry_after_ms: self.config.retry_poll_ms.max(1),
+                    });
+                }
+            }
+        }
+        if let Some(bucket) = &mut state.bucket {
+            if let Err(wait_ms) = bucket.try_take(now) {
+                state.stats.rejected_rate_limit += 1;
+                return Err(SearchError::AdmissionDenied {
+                    reason: format!("rate limit of {}/s exceeded", self.config.rate_per_sec),
+                    retry_after_ms: wait_ms,
+                });
+            }
+        }
+        if let Some(tenant) = tenant {
+            if self.config.tenant_quota > 0 {
+                *state.tenant_inflight.entry(tenant.to_string()).or_insert(0) += 1;
+            }
+        }
+        state.stats.admitted += 1;
+        Ok(())
+    }
+
+    /// Return one in-flight slot to `tenant` (its job reached a
+    /// terminal state, or placement failed after admission).
+    pub fn release(&self, tenant: Option<&str>) {
+        let Some(tenant) = tenant else { return };
+        if self.config.tenant_quota == 0 {
+            return;
+        }
+        let mut state = lock_recover(&self.state);
+        if let Some(count) = state.tenant_inflight.get_mut(tenant) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                state.tenant_inflight.remove(tenant);
+            }
+        }
+    }
+
+    /// Record an admitted submission that timed out of the bounded wait
+    /// (every live shard's queue stayed full).
+    pub fn note_backpressure_rejection(&self) {
+        lock_recover(&self.state).stats.rejected_backpressure += 1;
+    }
+
+    /// Decision counters so far.
+    pub fn stats(&self) -> AdmissionStats {
+        lock_recover(&self.state).stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn token_bucket_admits_burst_then_refills_deterministically() {
+        let t0 = Instant::now();
+        let mut bucket = TokenBucket::new(2.0, 3, t0);
+        assert_eq!(bucket.try_take(t0), Ok(()));
+        assert_eq!(bucket.try_take(t0), Ok(()));
+        assert_eq!(bucket.try_take(t0), Ok(()));
+        // Bucket drained: at 2 tokens/s the next token is 500 ms out.
+        assert_eq!(bucket.try_take(t0), Err(500));
+        // 499 ms later there is still no whole token.
+        assert!(bucket.try_take(t0 + Duration::from_millis(499)).is_err());
+        // But a full second past the drain, one token has accrued
+        // (minus the fractional debt the 499 ms probe left behind).
+        assert_eq!(bucket.try_take(t0 + Duration::from_secs(1)), Ok(()));
+        // And the bucket never overflows its capacity.
+        let mut bucket = TokenBucket::new(2.0, 3, t0);
+        let later = t0 + Duration::from_secs(3600);
+        for _ in 0..3 {
+            assert_eq!(bucket.try_take(later), Ok(()));
+        }
+        assert!(bucket.try_take(later).is_err());
+    }
+
+    #[test]
+    fn quota_counts_per_tenant_and_releases() {
+        let control = AdmissionControl::new(AdmissionConfig {
+            tenant_quota: 2,
+            ..AdmissionConfig::default()
+        });
+        assert!(control.admit(Some("acme")).is_ok());
+        assert!(control.admit(Some("acme")).is_ok());
+        let denied = control.admit(Some("acme")).unwrap_err();
+        match denied {
+            SearchError::AdmissionDenied {
+                reason,
+                retry_after_ms,
+            } => {
+                assert!(reason.contains("quota"), "{reason}");
+                assert!(retry_after_ms >= 1);
+            }
+            other => panic!("expected AdmissionDenied, got {other:?}"),
+        }
+        // Other tenants and anonymous submissions are unaffected.
+        assert!(control.admit(Some("globex")).is_ok());
+        assert!(control.admit(None).is_ok());
+        // Releasing a slot re-opens the quota.
+        control.release(Some("acme"));
+        assert!(control.admit(Some("acme")).is_ok());
+        let stats = control.stats();
+        assert_eq!(stats.rejected_quota, 1);
+        assert_eq!(stats.admitted, 5);
+    }
+
+    #[test]
+    fn rate_limit_rejects_with_retry_hint() {
+        let control = AdmissionControl::new(AdmissionConfig {
+            rate_per_sec: 1.0,
+            burst: 1,
+            ..AdmissionConfig::default()
+        });
+        let t0 = Instant::now();
+        assert!(control.admit_at(None, t0).is_ok());
+        match control.admit_at(None, t0).unwrap_err() {
+            SearchError::AdmissionDenied { retry_after_ms, .. } => {
+                assert_eq!(retry_after_ms, 1_000);
+            }
+            other => panic!("expected AdmissionDenied, got {other:?}"),
+        }
+        assert!(control.admit_at(None, t0 + Duration::from_secs(1)).is_ok());
+        assert_eq!(control.stats().rejected_rate_limit, 1);
+    }
+
+    #[test]
+    fn zero_config_admits_everything() {
+        let control = AdmissionControl::new(AdmissionConfig {
+            rate_per_sec: 0.0,
+            tenant_quota: 0,
+            ..AdmissionConfig::default()
+        });
+        for i in 0..100 {
+            assert!(control.admit(Some(&format!("t{i}"))).is_ok());
+        }
+        assert_eq!(control.stats().admitted, 100);
+    }
+}

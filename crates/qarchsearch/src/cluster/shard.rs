@@ -1,0 +1,226 @@
+//! The coordinator's side of the shard protocol: one persistent
+//! JSON-lines TCP connection per shard.
+//!
+//! A shard is an ordinary `qas serve --port` process; the client speaks
+//! the exact protocol a human would over `nc` — one JSON request per
+//! line, one JSON response per line. Every I/O failure tears down the
+//! connection and surfaces as [`SearchError::Cluster`]; the next request
+//! reconnects from scratch, so a shard that restarts is re-reachable
+//! without any coordinator state beyond its address.
+
+use crate::error::SearchError;
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where a shard lives, and (optionally) where its journal does.
+#[derive(Debug, Clone)]
+pub struct ShardEndpoint {
+    /// `host:port` of the shard's `qas serve --port` listener.
+    pub addr: String,
+    /// The shard's `--state-dir`, when the coordinator can reach it
+    /// (same machine or shared filesystem). This is what checkpoint
+    /// migration reads post-mortem: a dead shard's journal is replayed
+    /// read-only to recover checkpoints and finished results. `None`
+    /// means migration falls back to re-running jobs from scratch —
+    /// still bit-identical, just slower.
+    pub state_dir: Option<PathBuf>,
+}
+
+impl ShardEndpoint {
+    /// An endpoint with no reachable state dir.
+    pub fn new(addr: impl Into<String>) -> ShardEndpoint {
+        ShardEndpoint {
+            addr: addr.into(),
+            state_dir: None,
+        }
+    }
+
+    /// Attach the shard's journal directory for post-mortem recovery.
+    pub fn with_state_dir(mut self, dir: impl Into<PathBuf>) -> ShardEndpoint {
+        self.state_dir = Some(dir.into());
+        self
+    }
+}
+
+struct ShardConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A lazily-(re)connecting JSON-lines request client for one shard.
+///
+/// Not internally synchronized: the coordinator wraps each client in its
+/// own mutex, which also serializes heartbeats against proxied requests
+/// to the same shard.
+pub struct ShardClient {
+    addr: String,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+    conn: Option<ShardConn>,
+}
+
+impl ShardClient {
+    /// A client for `addr`; connects on first use.
+    pub fn new(
+        addr: impl Into<String>,
+        connect_timeout: Duration,
+        io_timeout: Duration,
+    ) -> ShardClient {
+        ShardClient {
+            addr: addr.into(),
+            connect_timeout,
+            io_timeout,
+            conn: None,
+        }
+    }
+
+    /// The shard's address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether a connection is currently established.
+    pub fn is_connected(&self) -> bool {
+        self.conn.is_some()
+    }
+
+    /// Drop the connection (the next request reconnects).
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    /// One request/response round trip. Any I/O or framing failure
+    /// drops the connection and maps to [`SearchError::Cluster`].
+    pub fn request(&mut self, request: &Value) -> Result<Value, SearchError> {
+        match self.round_trip(request) {
+            Ok(response) => Ok(response),
+            Err(message) => {
+                self.conn = None;
+                Err(SearchError::Cluster {
+                    message: format!("shard {}: {message}", self.addr),
+                })
+            }
+        }
+    }
+
+    fn round_trip(&mut self, request: &Value) -> Result<Value, String> {
+        self.ensure_connected()?;
+        let conn = self.conn.as_mut().expect("just connected");
+        let line = serde_json::to_string(request).map_err(|e| format!("encode request: {e}"))?;
+        conn.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| conn.writer.write_all(b"\n"))
+            .and_then(|()| conn.writer.flush())
+            .map_err(|e| format!("send request: {e}"))?;
+        let mut response = String::new();
+        let read = conn
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| format!("read response: {e}"))?;
+        if read == 0 {
+            return Err("connection closed mid-request".to_string());
+        }
+        serde_json::from_str(response.trim()).map_err(|e| format!("decode response: {e}"))
+    }
+
+    fn ensure_connected(&mut self) -> Result<(), String> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let addrs: Vec<_> = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| format!("resolve address: {e}"))?
+            .collect();
+        let mut last_err = format!("no socket addresses for '{}'", self.addr);
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, self.connect_timeout) {
+                Ok(stream) => {
+                    stream
+                        .set_read_timeout(Some(self.io_timeout))
+                        .map_err(|e| format!("set read timeout: {e}"))?;
+                    stream
+                        .set_write_timeout(Some(self.io_timeout))
+                        .map_err(|e| format!("set write timeout: {e}"))?;
+                    let _ = stream.set_nodelay(true);
+                    let reader = BufReader::new(
+                        stream
+                            .try_clone()
+                            .map_err(|e| format!("clone stream: {e}"))?,
+                    );
+                    self.conn = Some(ShardConn {
+                        reader,
+                        writer: stream,
+                    });
+                    return Ok(());
+                }
+                Err(e) => last_err = format!("connect {addr}: {e}"),
+            }
+        }
+        Err(last_err)
+    }
+}
+
+impl std::fmt::Debug for ShardClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardClient")
+            .field("addr", &self.addr)
+            .field("connected", &self.conn.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unreachable_shard_is_a_cluster_error() {
+        // Bind-then-drop reserves a port that nothing is listening on.
+        let port = {
+            let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            listener.local_addr().unwrap().port()
+        };
+        let mut client = ShardClient::new(
+            format!("127.0.0.1:{port}"),
+            Duration::from_millis(200),
+            Duration::from_millis(200),
+        );
+        let err = client
+            .request(&serde_json::json!({ "cmd": "stats" }))
+            .unwrap_err();
+        assert!(matches!(err, SearchError::Cluster { .. }), "{err:?}");
+        assert!(!client.is_connected());
+    }
+
+    #[test]
+    fn round_trips_against_a_line_echo_server() {
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            for _ in 0..2 {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                writer.write_all(line.as_bytes()).unwrap();
+            }
+        });
+        let mut client = ShardClient::new(
+            addr.to_string(),
+            Duration::from_millis(500),
+            Duration::from_millis(500),
+        );
+        for i in 0..2u64 {
+            let request = serde_json::json!({ "cmd": "stats", "round": (i) });
+            let response = client.request(&request).unwrap();
+            assert_eq!(response, request);
+        }
+        assert!(client.is_connected());
+        server.join().unwrap();
+    }
+}

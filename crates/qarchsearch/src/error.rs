@@ -90,6 +90,27 @@ pub enum SearchError {
         /// Underlying I/O or format error description.
         message: String,
     },
+
+    /// A cluster-level failure: a shard could not be reached, a routed
+    /// request failed, or no live shard remains to place a job on.
+    #[error("cluster error: {message}")]
+    Cluster {
+        /// Underlying network or protocol error description.
+        message: String,
+    },
+
+    /// The cluster coordinator's admission controller rejected a
+    /// submission (rate limit, tenant quota, or bounded-wait
+    /// backpressure). Unlike [`SearchError::QueueFull`] this carries a
+    /// retry-after hint, so well-behaved clients back off instead of
+    /// hammering the edge.
+    #[error("admission denied ({reason}); retry after {retry_after_ms} ms")]
+    AdmissionDenied {
+        /// Which admission gate rejected the submission.
+        reason: String,
+        /// Suggested client back-off before resubmitting.
+        retry_after_ms: u64,
+    },
 }
 
 impl SearchError {

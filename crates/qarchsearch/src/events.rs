@@ -140,6 +140,21 @@ pub enum SearchEvent {
         /// Hex rendering of the cache key (the canonical-spec hash).
         key: String,
     },
+    /// The cluster coordinator moved this job to another shard after its
+    /// original shard died. Emitted only by
+    /// [`crate::cluster::Coordinator`] (never by a session engine or a
+    /// single-node server), prepended to the proxied stream ahead of the
+    /// new shard's own events.
+    Migrated {
+        /// Address of the shard the job was running on when it died.
+        from: String,
+        /// Address of the surviving shard the job was re-submitted to.
+        to: String,
+        /// Whether the new shard resumed from a checkpoint recovered out
+        /// of the dead shard's journal (`false` = re-ran from scratch;
+        /// both paths are bit-identical to an uninterrupted run).
+        resumed: bool,
+    },
     /// The run stopped at a cancellation point; completed depths drain into
     /// a valid partial outcome.
     Cancelled {
@@ -177,6 +192,7 @@ impl SearchEvent {
             SearchEvent::CandidateEvaluated { .. } => "candidate_evaluated",
             SearchEvent::DepthCompleted { .. } => "depth_completed",
             SearchEvent::CacheHit { .. } => "cache_hit",
+            SearchEvent::Migrated { .. } => "migrated",
             SearchEvent::Cancelled { .. } => "cancelled",
             SearchEvent::Finished { .. } => "finished",
             SearchEvent::Failed { .. } => "failed",

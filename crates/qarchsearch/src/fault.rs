@@ -41,6 +41,11 @@ pub mod site {
     pub const PIPELINE_RUNG: &str = "pipeline.rung";
     /// The durable job store, before appending a journal record.
     pub const STORE_APPEND: &str = "store.append";
+    /// The cluster coordinator's submit path, before routing to a shard.
+    pub const COORDINATOR_SUBMIT: &str = "coordinator.submit";
+    /// The cluster coordinator's migration loop, once per job being moved
+    /// off a dead shard.
+    pub const COORDINATOR_MIGRATE: &str = "coordinator.migrate";
 }
 
 /// What an armed site does when it fires.

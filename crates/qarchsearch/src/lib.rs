@@ -48,6 +48,7 @@
 
 pub mod alphabet;
 pub mod cache;
+pub mod cluster;
 pub mod constraints;
 pub mod encoding;
 pub mod error;
@@ -67,6 +68,10 @@ pub mod worksteal;
 
 pub use alphabet::{GateAlphabet, RotationGate};
 pub use cache::{spec_cache_key, CacheConfig, CacheStats, ResultCache, SpecKey};
+pub use cluster::{
+    AdmissionConfig, AdmissionControl, AdmissionStats, ClusterConfig, ClusterStats, Coordinator,
+    ShardClient, ShardEndpoint, ShardSnapshot, Submission,
+};
 pub use constraints::{Constraint, ConstraintSet};
 pub use error::SearchError;
 pub use evaluator::{EnergyCache, Evaluator};

@@ -133,6 +133,13 @@ pub struct SearchReport {
     /// along with the clocks.
     #[serde(default)]
     pub served_from_cache: bool,
+    /// Whether the cluster coordinator migrated this job across shards
+    /// mid-run after a shard death. Provenance only, like
+    /// [`SearchReport::served_from_cache`]: a migrated run is
+    /// bit-identical to an undisturbed one under
+    /// [`SearchReport::without_timings`], which resets this flag too.
+    #[serde(default)]
+    pub migrated: bool,
 }
 
 impl From<&SearchOutcome> for SearchReport {
@@ -162,6 +169,7 @@ impl From<&SearchOutcome> for SearchReport {
             budget_savings_factor: o.budget_savings_factor(),
             threads: o.parallel_threads,
             served_from_cache: false,
+            migrated: false,
         }
     }
 }
@@ -183,6 +191,7 @@ impl SearchReport {
         }
         report.total_seconds = 0.0;
         report.served_from_cache = false;
+        report.migrated = false;
         report
     }
 }

@@ -288,6 +288,11 @@ pub struct ServerOptions {
     /// `None` disables all three tiers — the `--no-cache` path, pinned
     /// bit-identical to the pre-cache server.
     pub cache: Option<CacheConfig>,
+    /// Operator-assigned identity reported in [`ServerStats::shard_id`]
+    /// (`--shard-id`; `None` for a standalone server). Purely
+    /// informational — a cluster coordinator uses it to tell shard
+    /// restarts apart from slow shards.
+    pub shard_id: Option<String>,
 }
 
 impl Default for ServerOptions {
@@ -296,6 +301,7 @@ impl Default for ServerOptions {
             store: None,
             faults: None,
             cache: Some(CacheConfig::default()),
+            shard_id: None,
         }
     }
 }
@@ -306,6 +312,14 @@ impl Default for ServerOptions {
 pub struct ServerStats {
     /// Worker threads in the pool.
     pub workers: usize,
+    /// Seconds since this server was launched. A cluster coordinator
+    /// watches this across heartbeats: a decrease means the shard
+    /// restarted (losing non-durable state), not merely stalled.
+    pub uptime_secs: f64,
+    /// The serving crate's version (`CARGO_PKG_VERSION`).
+    pub version: String,
+    /// Operator-assigned shard identity ([`ServerOptions::shard_id`]).
+    pub shard_id: Option<String>,
     /// Entries waiting in the bounded queue (running jobs not counted).
     pub queue_depth: usize,
     /// Jobs currently [`JobState::Queued`].
@@ -543,6 +557,10 @@ struct ServerInner {
     cache: Option<Mutex<ResultCache>>,
     /// Server-scoped evaluator cache shared across jobs.
     energy_cache: Option<EnergyCache>,
+    /// Launch instant, reported as [`ServerStats::uptime_secs`].
+    started: Instant,
+    /// Operator-assigned identity ([`ServerOptions::shard_id`]).
+    shard_id: Option<String>,
 }
 
 /// A running job server; dropping it (or calling [`JobServer::shutdown`])
@@ -636,6 +654,8 @@ impl JobServer {
             faults,
             cache,
             energy_cache,
+            started: Instant::now(),
+            shard_id: options.shard_id,
         });
         let workers = (0..inner.config.workers)
             .map(|i| {
@@ -777,6 +797,66 @@ impl JobServer {
         if let Some(cache) = &self.inner.cache {
             lock_recover(cache).note_miss();
         }
+        self.inner.work_cv.notify_one();
+        Ok(JobId(id))
+    }
+
+    /// Submit a job that resumes from an externally recovered checkpoint
+    /// instead of starting fresh — the cluster coordinator's migration
+    /// path (the checkpoint comes out of a dead shard's journal). With no
+    /// checkpoint this is exactly [`JobServer::submit`].
+    ///
+    /// A checkpointed submission deliberately bypasses the result-cache
+    /// and coalescing tiers: a migrated execution must actually run to
+    /// terminal (its follower set lives on the coordinator, not here),
+    /// and it must not become a coalescing leader whose mid-flight state
+    /// contradicts a fresh identical submission. Both the spec and the
+    /// checkpoint are journaled, so a shard that dies *after* adopting a
+    /// migrated job can itself be migrated from the same resume point.
+    pub fn submit_with_checkpoint(
+        &self,
+        spec: JobSpec,
+        checkpoint: Option<SearchCheckpoint>,
+    ) -> Result<JobId, SearchError> {
+        let Some(checkpoint) = checkpoint else {
+            return self.submit(spec);
+        };
+        if spec.graphs.is_empty() {
+            return Err(SearchError::NoGraphs);
+        }
+        spec.config.validate_for(spec.config.mode)?;
+        let mut registry = self.lock_registry();
+        if registry.shutdown {
+            return Err(SearchError::Evaluation {
+                message: "job server is shutting down".to_string(),
+            });
+        }
+        if registry.pending.len() >= self.inner.config.queue_capacity {
+            return Err(SearchError::QueueFull {
+                capacity: self.inner.config.queue_capacity,
+            });
+        }
+        let id = registry.next_id;
+        registry.next_id += 1;
+        journal(
+            &self.inner,
+            &JournalRecord::Submitted {
+                id,
+                spec: spec.clone(),
+            },
+        );
+        journal(
+            &self.inner,
+            &JournalRecord::Checkpoint {
+                id,
+                checkpoint: checkpoint.clone(),
+            },
+        );
+        let mut record = JobRecord::queued(spec);
+        record.checkpoint = Some(checkpoint);
+        registry.jobs.insert(id, record);
+        registry.pending.push(PendingEntry { id, ready_at: None });
+        drop(registry);
         self.inner.work_cv.notify_one();
         Ok(JobId(id))
     }
@@ -1185,6 +1265,9 @@ impl JobServer {
     pub fn stats(&self) -> ServerStats {
         let mut stats = ServerStats {
             workers: self.inner.config.workers,
+            uptime_secs: self.inner.started.elapsed().as_secs_f64(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            shard_id: self.inner.shard_id.clone(),
             queue_depth: 0,
             jobs_queued: 0,
             jobs_running: 0,

@@ -392,6 +392,14 @@ impl std::fmt::Debug for JobStore {
     }
 }
 
+/// The journal path inside a state directory — what the cluster
+/// coordinator hands to [`replay`] to read a dead shard's journal
+/// post-mortem (read-only; the dead shard's files are never mutated, so
+/// a restarted shard recovers its own state untouched).
+pub fn journal_path_in(dir: &Path) -> PathBuf {
+    dir.join(JOURNAL_FILE)
+}
+
 /// Replay the journal at `path` (missing file = empty state).
 pub fn replay(path: &Path) -> Result<ReplayedState, SearchError> {
     let mut state = ReplayedState {

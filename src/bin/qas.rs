@@ -2,12 +2,15 @@
 //!
 //! Subcommands:
 //!
-//! * `qas search`   — run a mixer search over a generated graph dataset
-//! * `qas serve`    — multi-job search server speaking JSON-lines on
-//!   stdin/stdout (or a local TCP socket with `--port`)
-//! * `qas evaluate` — train a named mixer (baseline / qnas / custom) on a dataset
-//! * `qas problems` — list the shipped cost-Hamiltonian families
-//! * `qas info`     — print the search-space accounting for a configuration
+//! * `qas search`      — run a mixer search over a generated graph dataset
+//! * `qas serve`       — multi-job search server speaking JSON-lines on
+//!   stdin/stdout (or a TCP socket with `--port`, concurrent connections)
+//! * `qas coordinator` — front N `qas serve --port` shards: content-keyed
+//!   routing, heartbeat health checks, checkpoint migration off dead
+//!   shards, and admission control at the edge
+//! * `qas evaluate`    — train a named mixer (baseline / qnas / custom) on a dataset
+//! * `qas problems`    — list the shipped cost-Hamiltonian families
+//! * `qas info`        — print the search-space accounting for a configuration
 //!
 //! Arguments use simple `--key value` pairs (no external CLI dependency).
 //! Run `qas help` for the full list.
@@ -20,13 +23,18 @@ use qarchsearch_suite::qarchsearch::report::SearchReport;
 use qarchsearch_suite::qarchsearch::search::SearchStrategy;
 use qarchsearch_suite::serde_json::{self, json, Value};
 use std::collections::HashMap;
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 const HELP: &str = "qas — QArchSearch (Rust reproduction) command line
 
 USAGE:
-    qas <search|serve|evaluate|problems|info|help> [--key value ...]
+    qas <search|serve|coordinator|evaluate|problems|info|help> [--key value ...]
 
 COMMON OPTIONS:
     --graphs N        number of graphs in the dataset        (default 4)
@@ -67,9 +75,13 @@ SERVE OPTIONS (qas serve):
     --workers N       concurrent search jobs                 (default 2)
     --queue N         bounded queue capacity                 (default 16)
     --retain N        terminal job records kept (oldest evicted) (default 256)
-    --port P          listen on 127.0.0.1:P instead of stdin/stdout
-                      (one client connection served at a time; jobs still
-                      run concurrently)
+    --port P          listen on a TCP socket instead of stdin/stdout;
+                      connections are served concurrently (thread per
+                      connection over the shared job server)
+    --bind ADDR       TCP listen address                     (default 127.0.0.1)
+    --shard-id NAME   name this server reports in `stats` (cluster observability)
+    --fault-plan JSON armed fault-injection plan (chaos tests; inert in
+                      release builds)
     --state-dir DIR   durable mode: journal every job to DIR and recover
                       on restart (incomplete jobs resume from their last
                       checkpoint, bit-identical to an uninterrupted run)
@@ -96,6 +108,44 @@ SERVE OPTIONS (qas serve):
     e.g. {\"pmax\":2,\"kmax\":1,\"budget\":30,\"serial\":true}. `submit` also
     accepts \"timeout_secs\" (deadline -> timed-out), \"max_retries\" and
     \"retry_backoff_ms\" (transient-failure retries, exponential backoff).
+    {\"cmd\":\"submit_spec\",\"spec\":{...}} submits a pre-built JobSpec
+    verbatim, optionally with a \"checkpoint\" to resume from — the
+    coordinator's migration path. A full queue answers
+    {\"ok\":false,\"queue_full\":true,...}.
+
+COORDINATOR OPTIONS (qas coordinator):
+    --shards LIST     comma-separated shard addresses, e.g.
+                      127.0.0.1:7301,127.0.0.1:7302         (required)
+    --shard-state-dirs LIST  the shards' --state-dir paths, aligned with
+                      --shards ('-' = none). With a reachable state dir a
+                      dead shard's journal is replayed: finished results
+                      are adopted and incomplete jobs resume from their
+                      last checkpoint on a surviving shard, bit-identical
+                      to an uninterrupted run.
+    --port P          listen on a TCP socket instead of stdin/stdout
+    --bind ADDR       TCP listen address                     (default 127.0.0.1)
+    --rate R          admitted submissions per second (token bucket;
+                      0 disables rate limiting)              (default 0)
+    --burst N         token-bucket capacity                  (default 8)
+    --tenant-quota N  max in-flight jobs per tenant (0 = unlimited;
+                      submissions carry an optional \"tenant\" field)
+    --max-wait-ms N   bounded wait while every shard queue is full before
+                      rejecting with a retry-after hint      (default 2000)
+    --retry-poll-ms N poll interval of that bounded wait     (default 50)
+    --heartbeat-ms N  shard health-check period              (default 250)
+    --heartbeat-misses N  consecutive misses before a shard is declared
+                      dead and its jobs migrate              (default 3)
+    --connect-timeout-ms N  shard TCP connect timeout        (default 1000)
+    --request-timeout-ms N  shard request I/O timeout        (default 5000)
+
+    The coordinator speaks the serve protocol verbatim (submit/status/
+    events/result/wait/cancel/forget/jobs/stats/shutdown); job ids are
+    coordinator-scoped. Extras: `submit` takes \"tenant\"; rejections
+    carry \"admission_rejected\":true and \"retry_after_ms\"; `stats`
+    aggregates the fleet; {\"cmd\":\"shutdown\",\"shards\":true} also
+    shuts the shards down. Identical submissions route to the same shard
+    (rendezvous hashing on the content key), so the single-node result
+    cache deduplicates cluster-wide.
 
 EVALUATE OPTIONS (qas evaluate):
     --mixer M         baseline | qnas | comma-separated gates (default qnas)
@@ -109,6 +159,9 @@ EXAMPLES:
     qas search --json --pmax 1 --kmax 1 > report.json
     qas serve --workers 4 < jobs.jsonl
     qas serve --state-dir runs/serve-state --workers 4   # crash-safe
+    qas serve --port 7301 --state-dir runs/s1 --shard-id s1   # a shard
+    qas coordinator --shards 127.0.0.1:7301,127.0.0.1:7302 \\
+        --shard-state-dirs runs/s1,runs/s2 --port 7300   # the cluster edge
     qas evaluate --mixer rx,ry --dataset regular --depth 2
     qas evaluate --problem mis --mixer qnas --backend statevector
     qas problems
@@ -468,6 +521,34 @@ fn result_response(
     }
 }
 
+/// A full queue answers with an explicit `queue_full` marker so the
+/// coordinator can distinguish backpressure (retryable) from rejection.
+fn queue_full_or_error(e: SearchError) -> Result<Value, String> {
+    match e {
+        SearchError::QueueFull { .. } => Ok(json!({
+            "ok": false,
+            "error": (e.to_string()),
+            "queue_full": true,
+        })),
+        other => Err(other.to_string()),
+    }
+}
+
+/// The accepted-submission envelope. A submission is not necessarily
+/// Queued any more: a result-cache hit is born Completed and a coalesced
+/// duplicate mirrors its leader, so report the actual post-submit state.
+fn submit_envelope(server: &JobServer, id: JobId) -> Result<Value, String> {
+    let status = server.status(id).map_err(|e| e.to_string())?;
+    let state = serde_json::to_value(&status.state).unwrap_or(Value::Null);
+    Ok(json!({
+        "ok": true,
+        "job": (id.0),
+        "state": state,
+        "cache_hit": (status.cache_hit),
+        "coalesced": (status.coalesced),
+    }))
+}
+
 /// Handle one protocol line. Returns the JSON response and whether the
 /// server should shut down afterwards.
 fn handle_serve_line(server: &JobServer, line: &str) -> (Value, bool) {
@@ -503,19 +584,33 @@ fn handle_serve_line(server: &JobServer, line: &str) -> (Value, bool) {
             if let Some(backoff) = request.get("retry_backoff_ms").and_then(|b| b.as_u64()) {
                 spec = spec.retry_backoff_ms(backoff);
             }
-            let id = server.submit(spec).map_err(|e| e.to_string())?;
-            // A submission is not necessarily Queued any more: a result-cache
-            // hit is born Completed and a coalesced duplicate mirrors its
-            // leader, so report the actual post-submit state.
-            let status = server.status(id).map_err(|e| e.to_string())?;
-            let state = serde_json::to_value(&status.state).unwrap_or(Value::Null);
-            Ok(json!({
-                "ok": true,
-                "job": (id.0),
-                "state": state,
-                "cache_hit": (status.cache_hit),
-                "coalesced": (status.coalesced),
-            }))
+            let id = match server.submit(spec) {
+                Ok(id) => id,
+                Err(e) => return queue_full_or_error(e),
+            };
+            submit_envelope(server, id)
+        })(),
+        "submit_spec" => (|| -> Result<Value, String> {
+            // A pre-built JobSpec, submitted verbatim — the coordinator's
+            // placement/migration path. An optional "checkpoint" resumes
+            // the search mid-flight (bit-identical to an undisturbed run).
+            let spec_value = request
+                .get("spec")
+                .ok_or_else(|| "submit_spec needs a 'spec' object".to_string())?;
+            let spec: JobSpec =
+                serde_json::from_value(spec_value).map_err(|e| format!("invalid spec: {e}"))?;
+            let checkpoint = match request.get("checkpoint") {
+                Some(Value::Null) | None => None,
+                Some(value) => Some(
+                    serde_json::from_value::<SearchCheckpoint>(value)
+                        .map_err(|e| format!("invalid checkpoint: {e}"))?,
+                ),
+            };
+            let id = match server.submit_with_checkpoint(spec, checkpoint) {
+                Ok(id) => id,
+                Err(e) => return queue_full_or_error(e),
+            };
+            submit_envelope(server, id)
         })(),
         "status" => job_id_of(&request).and_then(|id| {
             let status = server.status(id).map_err(|e| e.to_string())?;
@@ -559,8 +654,14 @@ fn handle_serve_line(server: &JobServer, line: &str) -> (Value, bool) {
     }
 }
 
-fn serve_connection(
-    server: &JobServer,
+// ---------------------------------------------------------------------------
+// Shared JSON-lines front doors. `qas serve` and `qas coordinator` differ
+// only in their line handler: (request line) -> (response, stop?).
+
+type LineHandler<'a> = dyn Fn(&str) -> (Value, bool) + Sync + 'a;
+
+fn serve_lines(
+    handler: &LineHandler<'_>,
     input: &mut dyn BufRead,
     output: &mut dyn Write,
 ) -> Result<bool, String> {
@@ -574,7 +675,7 @@ fn serve_connection(
         if line.trim().is_empty() {
             continue;
         }
-        let (response, shutdown) = handle_serve_line(server, line.trim());
+        let (response, shutdown) = handler(line.trim());
         let rendered = serde_json::to_string(&response).map_err(|e| e.to_string())?;
         writeln!(output, "{rendered}").map_err(|e| e.to_string())?;
         output.flush().map_err(|e| e.to_string())?;
@@ -582,6 +683,128 @@ fn serve_connection(
             return Ok(true);
         }
     }
+}
+
+/// Read one `\n`-terminated line off a timeout-armed socket. `read_line`
+/// would discard partially-read bytes on a timeout error, so buffering is
+/// hand-rolled: timeouts only re-check the shutdown flag and resume.
+/// Returns `None` on EOF or shutdown.
+fn read_json_line(
+    stream: &mut TcpStream,
+    pending: &mut Vec<u8>,
+    shutdown: &AtomicBool,
+) -> std::io::Result<Option<String>> {
+    let mut buf = [0u8; 4096];
+    loop {
+        if let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = pending.drain(..=pos).collect();
+            return Ok(Some(
+                String::from_utf8_lossy(&line[..line.len() - 1]).into_owned(),
+            ));
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return Ok(None),
+            Ok(n) => pending.extend_from_slice(&buf[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn serve_tcp_connection(
+    mut stream: TcpStream,
+    handler: &LineHandler<'_>,
+    shutdown: &AtomicBool,
+    local: SocketAddr,
+) -> Result<(), String> {
+    // A short read timeout keeps every connection thread responsive to a
+    // shutdown issued on a *different* connection.
+    stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .map_err(|e| e.to_string())?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut pending = Vec::new();
+    loop {
+        let Some(line) =
+            read_json_line(&mut stream, &mut pending, shutdown).map_err(|e| e.to_string())?
+        else {
+            return Ok(());
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let (response, stop) = handler(trimmed);
+        let rendered = serde_json::to_string(&response).map_err(|e| e.to_string())?;
+        writeln!(writer, "{rendered}").map_err(|e| e.to_string())?;
+        writer.flush().map_err(|e| e.to_string())?;
+        if stop {
+            shutdown.store(true, Ordering::SeqCst);
+            wake_accept_loop(local);
+            return Ok(());
+        }
+    }
+}
+
+/// Unblock a listener stuck in `accept` by connecting to it once (the
+/// accept loop re-checks the shutdown flag per connection).
+fn wake_accept_loop(local: SocketAddr) {
+    let mut addr = local;
+    if addr.ip().is_unspecified() {
+        match &mut addr {
+            SocketAddr::V4(v4) => v4.set_ip(std::net::Ipv4Addr::LOCALHOST),
+            SocketAddr::V6(v6) => v6.set_ip(std::net::Ipv6Addr::LOCALHOST),
+        }
+    }
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+}
+
+/// The concurrent TCP front door: thread per connection over a shared
+/// handler, shut down by any connection's `shutdown` command.
+fn run_tcp_front_door(
+    bind: &str,
+    port: u16,
+    label: &str,
+    handler: &LineHandler<'_>,
+) -> Result<(), String> {
+    let listener =
+        TcpListener::bind((bind, port)).map_err(|e| format!("cannot bind {bind}:{port}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("qas {label}: listening on {local} (JSON lines, concurrent connections)");
+    let shutdown = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("qas {label}: accept error: {e}");
+                    continue;
+                }
+            };
+            let shutdown = &shutdown;
+            scope.spawn(move || {
+                if let Err(message) = serve_tcp_connection(stream, handler, shutdown, local) {
+                    eprintln!("qas {label}: connection error: {message}");
+                }
+            });
+        }
+    });
+    Ok(())
 }
 
 fn cmd_serve(options: &HashMap<String, String>, flags: &[String]) -> Result<(), String> {
@@ -619,8 +842,9 @@ fn cmd_serve(options: &HashMap<String, String>, flags: &[String]) -> Result<(), 
         config,
         ServerOptions {
             store,
-            faults: None,
+            faults: build_fault_plan(options)?,
             cache,
+            shard_id: options.get("shard-id").cloned(),
         },
     )
     .map_err(|e| format!("cannot open state dir: {e}"))?;
@@ -635,34 +859,243 @@ fn cmd_serve(options: &HashMap<String, String>, flags: &[String]) -> Result<(), 
             if recovery.clean_shutdown { "clean" } else { "unclean" },
         );
     }
+    let handler = |line: &str| handle_serve_line(&server, line);
+    run_front_door(options, "serve", &handler)?;
+    server.shutdown();
+    Ok(())
+}
+
+/// Dispatch to the TCP front door (`--port`, `--bind`) or stdin/stdout.
+fn run_front_door(
+    options: &HashMap<String, String>,
+    label: &str,
+    handler: &LineHandler<'_>,
+) -> Result<(), String> {
     match options.get("port") {
         Some(port) => {
             let port: u16 = port
                 .parse()
                 .map_err(|_| format!("invalid --port '{port}'"))?;
-            let listener = std::net::TcpListener::bind(("127.0.0.1", port))
-                .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
-            eprintln!("qas serve: listening on 127.0.0.1:{port} (JSON lines)");
-            for stream in listener.incoming() {
-                let stream = stream.map_err(|e| e.to_string())?;
-                let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
-                let mut reader = std::io::BufReader::new(stream);
-                match serve_connection(&server, &mut reader, &mut writer) {
-                    Ok(true) => break,
-                    Ok(false) => continue,
-                    Err(message) => eprintln!("qas serve: connection error: {message}"),
-                }
-            }
+            let bind = options
+                .get("bind")
+                .map(|s| s.as_str())
+                .unwrap_or("127.0.0.1");
+            run_tcp_front_door(bind, port, label, handler)
         }
         None => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
             let mut reader = stdin.lock();
             let mut writer = stdout.lock();
-            serve_connection(&server, &mut reader, &mut writer)?;
+            serve_lines(handler, &mut reader, &mut writer).map(|_| ())
         }
     }
-    server.shutdown();
+}
+
+/// Parse `--fault-plan JSON` into an armed injector (chaos tests; inert
+/// in release builds).
+fn build_fault_plan(
+    options: &HashMap<String, String>,
+) -> Result<Option<Arc<FaultInjector>>, String> {
+    options
+        .get("fault-plan")
+        .map(|spec| {
+            serde_json::from_str::<FaultPlan>(spec)
+                .map(FaultInjector::new)
+                .map_err(|e| format!("invalid --fault-plan: {e}"))
+        })
+        .transpose()
+}
+
+// ---------------------------------------------------------------------------
+// qas coordinator — the distributed serve tier's front door.
+
+/// Handle one coordinator protocol line (same shape as the serve
+/// protocol; see `qarchsearch::cluster` for the routing semantics).
+fn handle_coordinator_line(
+    coordinator: &Coordinator,
+    shutdown_shards: &AtomicBool,
+    line: &str,
+) -> (Value, bool) {
+    let fail = |message: String| (json!({ "ok": false, "error": message }), false);
+    let request: Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(e) => return fail(format!("invalid JSON: {e}")),
+    };
+    let Some(cmd) = request.get("cmd").and_then(|c| c.as_str()) else {
+        return fail("request needs a string 'cmd' field".to_string());
+    };
+    let response = match cmd {
+        "submit" => (|| -> Result<Value, String> {
+            let search = request
+                .get("search")
+                .ok_or_else(|| "submit needs a 'search' object".to_string())?;
+            let (options, flags) = search_object_to_options(search)?;
+            let config = build_search_config(&options, &flags)?;
+            let graphs = build_dataset(&options);
+            let mut spec = JobSpec::new(config, graphs);
+            if let Some(priority) = request.get("priority").and_then(|p| p.as_i64()) {
+                spec = spec.priority(priority as i32);
+            }
+            if let Some(name) = request.get("name").and_then(|n| n.as_str()) {
+                spec = spec.name(name);
+            }
+            if let Some(timeout) = request.get("timeout_secs").and_then(|t| t.as_f64()) {
+                spec = spec.timeout_secs(timeout);
+            }
+            if let Some(retries) = request.get("max_retries").and_then(|r| r.as_u64()) {
+                spec = spec.max_retries(retries as u32);
+            }
+            if let Some(backoff) = request.get("retry_backoff_ms").and_then(|b| b.as_u64()) {
+                spec = spec.retry_backoff_ms(backoff);
+            }
+            let tenant = request
+                .get("tenant")
+                .and_then(|t| t.as_str())
+                .map(str::to_string);
+            match coordinator.submit(spec, tenant) {
+                Ok(submission) => {
+                    let state = serde_json::to_value(&submission.state).unwrap_or(Value::Null);
+                    Ok(json!({
+                        "ok": true,
+                        "job": (submission.id.0),
+                        "state": state,
+                        "cache_hit": (submission.cache_hit),
+                        "coalesced": (submission.coalesced),
+                        "shard": (submission.shard),
+                    }))
+                }
+                Err(e @ SearchError::AdmissionDenied { .. }) => {
+                    let retry_after_ms = match &e {
+                        SearchError::AdmissionDenied { retry_after_ms, .. } => *retry_after_ms,
+                        _ => unreachable!(),
+                    };
+                    Ok(json!({
+                        "ok": false,
+                        "error": (e.to_string()),
+                        "admission_rejected": true,
+                        "retry_after_ms": (retry_after_ms),
+                    }))
+                }
+                Err(e) => Err(e.to_string()),
+            }
+        })(),
+        "status" => job_id_of(&request).and_then(|id| {
+            let status = coordinator.status(id).map_err(|e| e.to_string())?;
+            Ok(json!({ "ok": true, "status": status }))
+        }),
+        "jobs" => Ok(json!({ "ok": true, "jobs": (Value::Array(coordinator.jobs())) })),
+        "events" => job_id_of(&request).and_then(|id| {
+            let since = request.get("since").and_then(|s| s.as_u64()).unwrap_or(0) as usize;
+            let (events, next) = coordinator.events(id, since).map_err(|e| e.to_string())?;
+            Ok(json!({
+                "ok": true,
+                "job": (id.0),
+                "events": (Value::Array(events)),
+                "next": (next),
+            }))
+        }),
+        "cancel" => job_id_of(&request).and_then(|id| {
+            let accepted = coordinator.cancel(id).map_err(|e| e.to_string())?;
+            Ok(json!({ "ok": true, "job": (id.0), "cancelled": accepted }))
+        }),
+        "forget" => job_id_of(&request).and_then(|id| {
+            let dropped = coordinator.forget(id).map_err(|e| e.to_string())?;
+            Ok(json!({ "ok": true, "job": (id.0), "forgotten": dropped }))
+        }),
+        "result" => {
+            job_id_of(&request).and_then(|id| coordinator.result(id).map_err(|e| e.to_string()))
+        }
+        "wait" => {
+            job_id_of(&request).and_then(|id| coordinator.wait(id).map_err(|e| e.to_string()))
+        }
+        "stats" => serde_json::to_value(&coordinator.stats())
+            .map(|stats| json!({ "ok": true, "stats": stats }))
+            .map_err(|e| e.to_string()),
+        "shutdown" => {
+            if request.get("shards").and_then(|v| v.as_bool()) == Some(true) {
+                shutdown_shards.store(true, Ordering::SeqCst);
+            }
+            return (json!({ "ok": true, "shutdown": true }), true);
+        }
+        other => Err(format!("unknown cmd '{other}'")),
+    };
+    match response {
+        Ok(value) => (value, false),
+        Err(message) => fail(message),
+    }
+}
+
+fn cmd_coordinator(options: &HashMap<String, String>) -> Result<(), String> {
+    let shard_list = options
+        .get("shards")
+        .ok_or_else(|| "coordinator needs --shards host:port[,host:port...]".to_string())?;
+    let addrs: Vec<String> = shard_list
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if addrs.is_empty() {
+        return Err("--shards needs at least one address".to_string());
+    }
+    let state_dirs: Vec<Option<PathBuf>> = match options.get("shard-state-dirs") {
+        Some(spec) => spec
+            .split(',')
+            .map(|s| {
+                let s = s.trim();
+                if s.is_empty() || s == "-" {
+                    None
+                } else {
+                    Some(PathBuf::from(s))
+                }
+            })
+            .collect(),
+        None => vec![None; addrs.len()],
+    };
+    if state_dirs.len() != addrs.len() {
+        return Err(format!(
+            "--shard-state-dirs lists {} entries for {} shards (use '-' for none)",
+            state_dirs.len(),
+            addrs.len()
+        ));
+    }
+    let shards: Vec<ShardEndpoint> = addrs
+        .into_iter()
+        .zip(state_dirs)
+        .map(|(addr, state_dir)| ShardEndpoint { addr, state_dir })
+        .collect();
+    let mut config = ClusterConfig::new(shards);
+    config.admission = AdmissionConfig {
+        rate_per_sec: options
+            .get("rate")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.0),
+        burst: options
+            .get("burst")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(8),
+        tenant_quota: opt_usize(options, "tenant-quota", 0),
+        max_wait_ms: opt_u64(options, "max-wait-ms", 2_000),
+        retry_poll_ms: opt_u64(options, "retry-poll-ms", 50),
+    };
+    config.heartbeat_ms = opt_u64(options, "heartbeat-ms", 250);
+    config.heartbeat_misses = options
+        .get("heartbeat-misses")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    config.connect_timeout_ms = opt_u64(options, "connect-timeout-ms", 1_000);
+    config.request_timeout_ms = opt_u64(options, "request-timeout-ms", 5_000);
+    config.faults = build_fault_plan(options)?;
+    let coordinator = Coordinator::start(config).map_err(|e| e.to_string())?;
+    eprintln!(
+        "qas coordinator: fronting {} shard(s), {} alive",
+        coordinator.stats().shards_total,
+        coordinator.alive_shards().len(),
+    );
+    let shutdown_shards = AtomicBool::new(false);
+    let handler = |line: &str| handle_coordinator_line(&coordinator, &shutdown_shards, line);
+    run_front_door(options, "coordinator", &handler)?;
+    coordinator.shutdown(shutdown_shards.load(Ordering::SeqCst));
     Ok(())
 }
 
@@ -751,6 +1184,7 @@ fn main() -> ExitCode {
     let result = match command {
         "search" => cmd_search(&options, &flags),
         "serve" => cmd_serve(&options, &flags),
+        "coordinator" => cmd_coordinator(&options),
         "evaluate" => cmd_evaluate(&options),
         "problems" => cmd_problems(&options),
         "info" => cmd_info(&options),

@@ -65,6 +65,10 @@ pub mod prelude {
     pub use qarchsearch::{
         alphabet::{GateAlphabet, RotationGate},
         cache::{spec_cache_key, CacheConfig, CacheStats, ResultCache, SpecKey},
+        cluster::{
+            AdmissionConfig, AdmissionStats, ClusterConfig, ClusterStats, Coordinator,
+            ShardEndpoint, Submission,
+        },
         error::SearchError,
         evaluator::{EnergyCache, Evaluator},
         events::SearchEvent,

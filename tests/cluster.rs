@@ -1,0 +1,503 @@
+//! Distributed-serve-tier integration tests — the guarantees behind
+//! `qas coordinator` (see `qarchsearch::cluster`):
+//!
+//! * killing a shard (SIGKILL, no warning) migrates its incomplete jobs
+//!   to a survivor and the final `SearchReport` is **bit-identical** to
+//!   an undisturbed single-node run — both when a depth checkpoint was
+//!   journaled (resumed migration) and when none was (from-scratch),
+//! * per-tenant quotas reject at the edge with a retry-after hint and
+//!   re-open when the tenant's jobs finish,
+//! * a full cluster queue backpressures inside the bounded wait and
+//!   rejects with a retry-after hint past it — never a bare `QueueFull`,
+//! * the token-bucket rate limit rejects with a computed retry hint,
+//! * `qas serve --port` serves multiple TCP connections concurrently.
+//!
+//! Shards are real `qas serve --port` subprocesses (debug build, so
+//! `--fault-plan` drain delays are armed); the coordinator runs
+//! in-process so the tests can reach its introspection API.
+
+use qarchsearch_suite::prelude::*;
+use qarchsearch_suite::qarchsearch::report::SearchReport;
+use qarchsearch_suite::qarchsearch::{ClusterConfig, Coordinator, ShardEndpoint};
+use qarchsearch_suite::serde_json::{self, json, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn qas_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_qas")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qas-cluster-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// An armed drain delay: every `worker.rung` hit sleeps, which slows the
+/// shard's event drain (and therefore checkpoint/result journaling)
+/// without perturbing the deterministic search itself — exactly the
+/// window a kill test needs.
+fn delay_plan(millis: u64) -> String {
+    format!(
+        r#"{{"faults":[{{"site":"worker.rung","job":null,"hit":0,"action":{{"Delay":{{"millis":{millis}}}}}}}]}}"#
+    )
+}
+
+/// One `qas serve --port` shard subprocess with a durable state dir.
+struct ShardProc {
+    child: Child,
+    addr: String,
+    state_dir: PathBuf,
+}
+
+impl ShardProc {
+    fn spawn(tag: &str, extra_args: &[&str]) -> ShardProc {
+        let port = {
+            let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            listener.local_addr().unwrap().port()
+        };
+        let state_dir = temp_dir(tag);
+        let child = Command::new(qas_bin())
+            .args([
+                "serve",
+                "--port",
+                &port.to_string(),
+                "--bind",
+                "127.0.0.1",
+                "--state-dir",
+                state_dir.to_str().unwrap(),
+                "--shard-id",
+                tag,
+            ])
+            .args(extra_args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap();
+        let addr = format!("127.0.0.1:{port}");
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while TcpStream::connect(&addr).is_err() {
+            assert!(
+                Instant::now() < deadline,
+                "shard {tag} never started listening on {addr}"
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        ShardProc {
+            child,
+            addr,
+            state_dir,
+        }
+    }
+
+    fn endpoint(&self) -> ShardEndpoint {
+        ShardEndpoint::new(self.addr.clone()).with_state_dir(self.state_dir.clone())
+    }
+
+    /// SIGKILL — no shutdown handshake, no journal flushes beyond what
+    /// already hit the filesystem.
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Wait for the process to exit on its own (after a protocol
+    /// `shutdown`), failing the test if it lingers.
+    fn await_exit(&mut self) {
+        let deadline = Instant::now() + Duration::from_secs(15);
+        loop {
+            if self.child.try_wait().unwrap().is_some() {
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "shard did not exit after shutdown"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}
+
+impl Drop for ShardProc {
+    fn drop(&mut self) {
+        self.kill();
+        let _ = std::fs::remove_dir_all(&self.state_dir);
+    }
+}
+
+/// Test-speed cluster config: fast heartbeats, quick death verdicts.
+fn cluster_config(shards: Vec<ShardEndpoint>) -> ClusterConfig {
+    let mut config = ClusterConfig::new(shards);
+    config.heartbeat_ms = 100;
+    config.heartbeat_misses = 2;
+    config.connect_timeout_ms = 500;
+    config.request_timeout_ms = 5_000;
+    config
+}
+
+/// A multi-depth, multi-rung job: enough journal records for the kill
+/// windows, fast enough to re-run from scratch.
+fn cluster_spec(seed: u64, max_depth: usize) -> JobSpec {
+    let config = SearchConfig::builder()
+        .alphabet(GateAlphabet::from_mnemonics(&["rx", "ry"]).unwrap())
+        .max_depth(max_depth)
+        .max_gates_per_mixer(1)
+        .optimizer_budget(30)
+        .halving(10, 2)
+        .backend(qarchsearch_suite::qaoa::Backend::StateVector)
+        .threads(1)
+        .seed(seed)
+        .build();
+    let graphs = vec![Graph::connected_erdos_renyi(6, 0.5, seed, 50)];
+    JobSpec::new(config, graphs).name(format!("cluster-{seed}"))
+}
+
+/// The undisturbed single-node baseline: same spec through an in-process
+/// `JobServer`, reduced to timing-free report bytes.
+fn reference_report(spec: JobSpec) -> String {
+    let server = JobServer::start(JobServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        ..JobServerConfig::default()
+    });
+    let id = server.submit(spec).unwrap();
+    let report = SearchReport::from(&server.wait(id).unwrap().unwrap())
+        .without_timings()
+        .to_json();
+    server.shutdown();
+    report
+}
+
+/// Externally-tagged event kinds ("Started", "DepthCompleted",
+/// "Migrated", …); unit variants serialize as bare strings.
+fn event_kinds(events: &[Value]) -> Vec<String> {
+    events
+        .iter()
+        .filter_map(|e| {
+            e.as_str().map(str::to_string).or_else(|| {
+                e.as_object()
+                    .and_then(|entries| entries.first())
+                    .map(|(k, _)| k.clone())
+            })
+        })
+        .collect()
+}
+
+fn find_migrated_event(events: &[Value]) -> Option<Value> {
+    events.iter().find_map(|e| {
+        e.as_object()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == "Migrated"))
+            .map(|(_, v)| v.clone())
+    })
+}
+
+/// Shared body of the two kill tests: submit, wait for `ready` on the
+/// event stream, kill the owner, and assert the migrated result is
+/// byte-identical to the single-node baseline.
+fn kill_and_assert_bit_identical(
+    seed: u64,
+    drain_delay_ms: u64,
+    post_detect_sleep_ms: u64,
+    ready: impl Fn(&[String]) -> bool,
+) -> (Value, Vec<Value>) {
+    let spec = cluster_spec(seed, 2);
+    let baseline = reference_report(spec.clone());
+
+    let plan = delay_plan(drain_delay_ms);
+    let mut s1 = ShardProc::spawn(
+        &format!("kill-{seed}-a"),
+        &["--workers", "1", "--fault-plan", &plan],
+    );
+    let mut s2 = ShardProc::spawn(
+        &format!("kill-{seed}-b"),
+        &["--workers", "1", "--fault-plan", &plan],
+    );
+    let coordinator =
+        Coordinator::start(cluster_config(vec![s1.endpoint(), s2.endpoint()])).unwrap();
+
+    let submission = coordinator.submit(spec, None).unwrap();
+    let id = submission.id;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (events, _) = coordinator.events(id, 0).unwrap();
+        let kinds = event_kinds(&events);
+        assert!(
+            !kinds.iter().any(|k| k == "Finished"),
+            "job drained to completion before the kill; raise the drain delay"
+        );
+        if ready(&kinds) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "kill window never opened");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    if post_detect_sleep_ms > 0 {
+        std::thread::sleep(Duration::from_millis(post_detect_sleep_ms));
+    }
+    let owner = coordinator.shard_of(id).expect("job is placed on a shard");
+    if owner == s1.addr {
+        s1.kill();
+    } else {
+        s2.kill();
+    }
+
+    let envelope = coordinator.wait(id).unwrap();
+    assert_eq!(
+        envelope.get("done").and_then(Value::as_bool),
+        Some(true),
+        "wait must return a terminal envelope: {envelope:?}"
+    );
+    assert!(
+        envelope.get("error").is_none(),
+        "migrated job failed: {envelope:?}"
+    );
+    assert!(
+        coordinator.migrations() >= 1,
+        "the kill must have migrated at least one job"
+    );
+
+    let (events, _) = coordinator.events(id, 0).unwrap();
+    assert!(
+        event_kinds(&events).iter().any(|k| k == "Migrated"),
+        "event stream must narrate the migration: {events:?}"
+    );
+
+    let report_value = envelope.get("report").cloned().expect("report present");
+    let report: SearchReport = serde_json::from_value(&report_value).unwrap();
+    assert!(
+        report.migrated,
+        "the moved job's report must carry the migrated flag"
+    );
+    assert_eq!(
+        report.without_timings().to_json(),
+        baseline,
+        "migrated run diverged from the undisturbed single-node run"
+    );
+    coordinator.shutdown(true);
+    (envelope, events)
+}
+
+#[test]
+fn sigkill_after_a_checkpoint_resumes_on_a_survivor_bit_identically() {
+    // Kill once depth 1's checkpoint is journaled (the DepthCompleted
+    // event and its checkpoint record are written back-to-back; the
+    // short sleep covers the gap). The drain delay then holds the
+    // terminal result back for ≥2 more rung delays, so the journal the
+    // coordinator replays has the checkpoint but no result: a resumed
+    // migration.
+    let (_, events) = kill_and_assert_bit_identical(11, 900, 150, |kinds| {
+        kinds.iter().any(|k| k == "DepthCompleted")
+    });
+    let migrated = find_migrated_event(&events).expect("Migrated event recorded");
+    assert_eq!(
+        migrated.get("resumed").and_then(Value::as_bool),
+        Some(true),
+        "a journaled checkpoint must make the migration a resume: {migrated:?}"
+    );
+}
+
+#[test]
+fn sigkill_before_any_checkpoint_restarts_from_scratch_bit_identically() {
+    // Kill as soon as the first rung lands, well inside the ≥900 ms the
+    // drain delay leaves before depth 1's checkpoint can be journaled:
+    // the replayed journal holds only the submission, so the job
+    // restarts from scratch on the survivor.
+    let (_, events) = kill_and_assert_bit_identical(13, 900, 0, |kinds| {
+        kinds.iter().any(|k| k == "RungCompleted") && !kinds.iter().any(|k| k == "DepthCompleted")
+    });
+    let migrated = find_migrated_event(&events).expect("Migrated event recorded");
+    assert_eq!(
+        migrated.get("resumed").and_then(Value::as_bool),
+        Some(false),
+        "without a checkpoint the migration must restart from scratch: {migrated:?}"
+    );
+}
+
+#[test]
+fn tenant_quota_rejects_at_the_edge_and_releases_on_completion() {
+    let plan = delay_plan(700);
+    let shard = ShardProc::spawn("quota", &["--workers", "2", "--fault-plan", &plan]);
+    let mut config = cluster_config(vec![shard.endpoint()]);
+    config.admission.tenant_quota = 2;
+    let coordinator = Coordinator::start(config).unwrap();
+
+    // Two acme jobs in flight fill the quota (distinct seeds: identical
+    // specs would dedupe on the shard and be born terminal).
+    let a = coordinator
+        .submit(cluster_spec(71, 1), Some("acme".to_string()))
+        .unwrap();
+    let b = coordinator
+        .submit(cluster_spec(72, 1), Some("acme".to_string()))
+        .unwrap();
+    let denied = coordinator
+        .submit(cluster_spec(73, 1), Some("acme".to_string()))
+        .unwrap_err();
+    match denied {
+        SearchError::AdmissionDenied {
+            reason,
+            retry_after_ms,
+        } => {
+            assert!(reason.contains("quota"), "unexpected reason: {reason}");
+            assert!(retry_after_ms >= 1, "hint must suggest a wait");
+        }
+        other => panic!("expected AdmissionDenied, got {other:?}"),
+    }
+
+    // Other tenants and anonymous submissions are unaffected.
+    let c = coordinator
+        .submit(cluster_spec(74, 1), Some("globex".to_string()))
+        .unwrap();
+    for id in [a.id, b.id, c.id] {
+        let envelope = coordinator.wait(id).unwrap();
+        assert!(envelope.get("error").is_none(), "{envelope:?}");
+    }
+
+    // Observed terminal states hand the quota slots back.
+    let again = coordinator
+        .submit(cluster_spec(75, 1), Some("acme".to_string()))
+        .unwrap();
+    coordinator.wait(again.id).unwrap();
+
+    let stats = coordinator.stats();
+    assert_eq!(stats.admission.rejected_quota, 1, "{:?}", stats.admission);
+    assert_eq!(stats.admission.admitted, 4, "{:?}", stats.admission);
+    coordinator.shutdown(true);
+}
+
+#[test]
+fn full_cluster_queue_backpressures_then_rejects_with_a_retry_hint() {
+    // One slow shard with a one-slot queue: one job running, one queued,
+    // everything else is backpressure.
+    let plan = delay_plan(600);
+    let shard = ShardProc::spawn(
+        "backpressure",
+        &["--workers", "1", "--queue", "1", "--fault-plan", &plan],
+    );
+
+    let mut patient_config = cluster_config(vec![shard.endpoint()]);
+    patient_config.admission.max_wait_ms = 20_000;
+    patient_config.admission.retry_poll_ms = 25;
+    let patient = Coordinator::start(patient_config).unwrap();
+
+    let j1 = patient.submit(cluster_spec(81, 1), None).unwrap();
+    let j2 = patient.submit(cluster_spec(82, 1), None).unwrap();
+    // The queue is now full: this submission must ride the bounded wait
+    // until a slot frees, then place — the edge never surfaces QueueFull.
+    let j3 = patient.submit(cluster_spec(83, 1), None).unwrap();
+
+    // A zero-wait edge pointed at the same (still clogged) shard fails
+    // fast — but with a retry-after hint, not a bare QueueFull.
+    let mut impatient_config = cluster_config(vec![shard.endpoint()]);
+    impatient_config.admission.max_wait_ms = 0;
+    impatient_config.admission.retry_poll_ms = 25;
+    let impatient = Coordinator::start(impatient_config).unwrap();
+    match impatient.submit(cluster_spec(84, 1), None).unwrap_err() {
+        SearchError::AdmissionDenied {
+            reason,
+            retry_after_ms,
+        } => {
+            assert!(reason.contains("queue"), "unexpected reason: {reason}");
+            assert!(retry_after_ms >= 1, "hint must suggest a wait");
+        }
+        other => panic!("expected AdmissionDenied, got {other:?}"),
+    }
+    assert_eq!(impatient.stats().admission.rejected_backpressure, 1);
+    impatient.shutdown(false);
+
+    for id in [j1.id, j2.id, j3.id] {
+        let envelope = patient.wait(id).unwrap();
+        assert!(envelope.get("error").is_none(), "{envelope:?}");
+    }
+    patient.shutdown(true);
+}
+
+#[test]
+fn rate_limit_rejects_with_a_computed_retry_hint() {
+    let shard = ShardProc::spawn("rate", &["--workers", "1"]);
+    let mut config = cluster_config(vec![shard.endpoint()]);
+    config.admission.rate_per_sec = 0.2;
+    config.admission.burst = 2;
+    let coordinator = Coordinator::start(config).unwrap();
+
+    let a = coordinator.submit(cluster_spec(91, 1), None).unwrap();
+    let b = coordinator.submit(cluster_spec(92, 1), None).unwrap();
+    match coordinator.submit(cluster_spec(93, 1), None).unwrap_err() {
+        SearchError::AdmissionDenied {
+            reason,
+            retry_after_ms,
+        } => {
+            assert!(reason.contains("rate limit"), "unexpected reason: {reason}");
+            // The bucket drains 2 tokens instantly; at 0.2/s the next
+            // token is ~5 s out (minus the microseconds already elapsed).
+            assert!(
+                retry_after_ms > 1_000,
+                "hint must reflect the refill rate, got {retry_after_ms}"
+            );
+        }
+        other => panic!("expected AdmissionDenied, got {other:?}"),
+    }
+    assert_eq!(coordinator.stats().admission.rejected_rate_limit, 1);
+    for id in [a.id, b.id] {
+        coordinator.wait(id).unwrap();
+    }
+    coordinator.shutdown(true);
+}
+
+#[test]
+fn tcp_serve_handles_concurrent_connections() {
+    let mut shard = ShardProc::spawn("tcp-concurrent", &["--workers", "1"]);
+
+    let connect = |tag: &str| -> (BufReader<TcpStream>, TcpStream) {
+        let stream = TcpStream::connect(&shard.addr)
+            .unwrap_or_else(|e| panic!("client {tag} cannot connect: {e}"));
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        (reader, stream)
+    };
+    let request = |reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, body: Value| {
+        writeln!(writer, "{}", serde_json::to_string(&body).unwrap()).unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        serde_json::from_str::<Value>(line.trim()).unwrap()
+    };
+
+    // Client A connects first and stays idle; under the old sequential
+    // accept loop, client B would block behind it forever.
+    let (mut reader_a, mut writer_a) = connect("a");
+    let (mut reader_b, mut writer_b) = connect("b");
+    let stats_b = request(&mut reader_b, &mut writer_b, json!({ "cmd": "stats" }));
+    assert_eq!(stats_b.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        stats_b
+            .get("stats")
+            .and_then(|s| s.get("shard_id"))
+            .and_then(Value::as_str),
+        Some("tcp-concurrent"),
+        "stats must report the --shard-id: {stats_b:?}"
+    );
+    // A is still live and interleaves freely with B.
+    let stats_a = request(&mut reader_a, &mut writer_a, json!({ "cmd": "stats" }));
+    assert_eq!(stats_a.get("ok").and_then(Value::as_bool), Some(true));
+    assert!(
+        stats_a
+            .get("stats")
+            .and_then(|s| s.get("uptime_secs"))
+            .and_then(Value::as_f64)
+            .is_some_and(|u| u >= 0.0),
+        "stats must report uptime: {stats_a:?}"
+    );
+
+    // A `shutdown` on one connection stops the whole server, including
+    // the accept loop and B's idle connection thread.
+    let bye = request(&mut reader_b, &mut writer_b, json!({ "cmd": "shutdown" }));
+    assert_eq!(bye.get("shutdown").and_then(Value::as_bool), Some(true));
+    shard.await_exit();
+}

@@ -51,6 +51,7 @@ fn durable_server(dir: &std::path::Path, workers: usize) -> JobServer {
             store: Some(StoreConfig::new(dir)),
             faults: None,
             cache: None,
+            shard_id: None,
         },
     )
     .unwrap()
@@ -167,6 +168,7 @@ fn panicking_job_is_isolated_and_the_worker_survives() {
             store: None,
             faults: Some(FaultInjector::new(plan)),
             cache: None,
+            shard_id: None,
         },
     )
     .unwrap();
@@ -264,6 +266,7 @@ fn transient_failure_retries_and_converges_to_the_fault_free_result() {
             store: None,
             faults: Some(FaultInjector::new(plan)),
             cache: None,
+            shard_id: None,
         },
     )
     .unwrap();
@@ -298,6 +301,7 @@ fn transient_failure_retries_and_converges_to_the_fault_free_result() {
             store: None,
             faults: Some(FaultInjector::new(plan)),
             cache: None,
+            shard_id: None,
         },
     )
     .unwrap();

@@ -12,6 +12,8 @@
 //!   another subscriber's terminal record,
 //! * the durable cache tier (`--cache-dir`) survives restarts and torn
 //!   journal tails without ever serving a partial report,
+//! * `ServerOptions { cache: None
+//! * `ServerOptions { cache: None     shard_id: None,
 //! * `ServerOptions { cache: None }` (the `--no-cache` path) computes
 //!   results bit-identical to the cached path.
 
@@ -305,6 +307,7 @@ fn durable_cache_survives_restart() {
         store: None,
         faults: None,
         cache: Some(CacheConfig::with_capacity(8).durable(&cache_dir)),
+        shard_id: None,
     };
     let computed = {
         let server = JobServer::launch(JobServerConfig::default(), options()).unwrap();
@@ -332,6 +335,7 @@ fn torn_cache_journal_never_serves_a_partial_report() {
         store: None,
         faults: None,
         cache: Some(CacheConfig::with_capacity(8).durable(dir)),
+        shard_id: None,
     };
     let computed = {
         let server = JobServer::launch(JobServerConfig::default(), options(&cache_dir)).unwrap();
@@ -375,6 +379,7 @@ fn disabled_cache_is_bit_identical_to_the_cached_path() {
             store: None,
             faults: None,
             cache: None,
+            shard_id: None,
         },
     )
     .unwrap();
